@@ -1,0 +1,196 @@
+//! Server-side network I/O over the three syscall paths the paper
+//! compares: direct (native), OCALL (vanilla SGX SDK / Graphene), and
+//! Eleos exit-less RPC.
+
+use std::sync::Arc;
+
+use eleos_enclave::host::Fd;
+use eleos_enclave::thread::ThreadCtx;
+use eleos_rpc::{funcs, RpcService};
+
+use crate::wire::Wire;
+
+/// How the server reaches the host OS.
+#[derive(Clone)]
+pub enum IoPath {
+    /// Direct syscalls from untrusted code (the no-SGX baseline).
+    Native,
+    /// OCALL per syscall (vanilla SGX; also our stand-in for
+    /// Graphene's exit path, §5.1).
+    Ocall,
+    /// Eleos exit-less RPC (§3.1).
+    Rpc(Arc<RpcService>),
+}
+
+impl IoPath {
+    /// Label used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoPath::Native => "native",
+            IoPath::Ocall => "ocall",
+            IoPath::Rpc(_) => "rpc",
+        }
+    }
+}
+
+/// One server connection: a socket plus untrusted staging buffers and
+/// the session cipher.
+pub struct ServerIo {
+    /// The socket.
+    pub fd: Fd,
+    /// Untrusted receive buffer.
+    pub rx_buf: u64,
+    /// Untrusted transmit buffer.
+    pub tx_buf: u64,
+    buf_len: usize,
+    /// Syscall mechanism.
+    pub path: IoPath,
+    /// Session cipher.
+    pub wire: Arc<Wire>,
+}
+
+impl ServerIo {
+    /// Allocates buffers of `buf_len` bytes and binds them to `fd`.
+    #[must_use]
+    pub fn new(ctx: &ThreadCtx, fd: Fd, buf_len: usize, path: IoPath, wire: Arc<Wire>) -> Self {
+        Self {
+            fd,
+            rx_buf: ctx.machine.alloc_untrusted(buf_len),
+            tx_buf: ctx.machine.alloc_untrusted(buf_len),
+            buf_len,
+            path,
+            wire,
+        }
+    }
+
+    /// Receives and decrypts one request. Returns `None` when the
+    /// socket queue is empty.
+    pub fn recv_msg(&self, ctx: &mut ThreadCtx) -> Option<Vec<u8>> {
+        let machine = Arc::clone(&ctx.machine);
+        let n = match &self.path {
+            IoPath::Native => {
+                assert!(!ctx.in_enclave(), "native path runs untrusted");
+                machine.host.recv(ctx, self.fd, self.rx_buf, self.buf_len)?
+            }
+            IoPath::Ocall => {
+                let fd = self.fd;
+                let (rx, len) = (self.rx_buf, self.buf_len);
+                let r = ctx.ocall(|c| {
+                    let m = Arc::clone(&c.machine);
+                    m.host.recv(c, fd, rx, len)
+                });
+                r?
+            }
+            IoPath::Rpc(svc) => {
+                let r = svc.call(
+                    ctx,
+                    funcs::RECV,
+                    [self.fd.0 as u64, self.rx_buf, self.buf_len as u64, 0],
+                );
+                if r == u64::MAX {
+                    return None;
+                }
+                r as usize
+            }
+        };
+        let mut msg = vec![0u8; n];
+        ctx.read_untrusted(self.rx_buf, &mut msg);
+        // The paper's untrusted baseline also decrypts every request
+        // (§2), so the crypto charge applies on all paths.
+        Some(self.wire.decrypt_in_enclave(ctx, &msg))
+    }
+
+    /// Blocking receive: when the queue is empty, waits via repeated
+    /// `poll()` OCALLs (the paper's split: short calls go exit-less,
+    /// long blocking waits take the naive exit, §3.1) and then
+    /// receives. On the native path it simply spins on `poll`.
+    pub fn recv_msg_blocking(&self, ctx: &mut ThreadCtx) -> Vec<u8> {
+        loop {
+            if let Some(msg) = self.recv_msg(ctx) {
+                return msg;
+            }
+            let fd = self.fd;
+            let ready = match &self.path {
+                IoPath::Native => {
+                    let m = Arc::clone(&ctx.machine);
+                    m.host.poll(ctx, fd)
+                }
+                // Both enclaved paths block via OCALL, per the paper.
+                _ => ctx.ocall(|c| {
+                    let m = Arc::clone(&c.machine);
+                    m.host.poll(c, fd)
+                }),
+            };
+            if !ready {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Encrypts and sends one response.
+    pub fn send_msg(&self, ctx: &mut ThreadCtx, plain: &[u8]) {
+        let msg = self.wire.encrypt_in_enclave(ctx, plain);
+        assert!(msg.len() <= self.buf_len, "response exceeds tx buffer");
+        ctx.write_untrusted(self.tx_buf, &msg);
+        let machine = Arc::clone(&ctx.machine);
+        match &self.path {
+            IoPath::Native => {
+                machine.host.send(ctx, self.fd, self.tx_buf, msg.len());
+            }
+            IoPath::Ocall => {
+                let fd = self.fd;
+                let (tx, len) = (self.tx_buf, msg.len());
+                ctx.ocall(|c| {
+                    let m = Arc::clone(&c.machine);
+                    m.host.send(c, fd, tx, len)
+                });
+            }
+            IoPath::Rpc(svc) => {
+                svc.call(
+                    ctx,
+                    funcs::SEND,
+                    [self.fd.0 as u64, self.tx_buf, msg.len() as u64, 0],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleos_enclave::machine::{MachineConfig, SgxMachine};
+    use eleos_enclave::thread::ThreadCtx;
+
+    #[test]
+    fn blocking_recv_waits_for_a_producer() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([2u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let io = ServerIo::new(&ut, fd, 4096, IoPath::Ocall, Arc::clone(&wire));
+
+        // A producer that delivers after a delay.
+        let producer = {
+            let m = Arc::clone(&m);
+            let wire = Arc::clone(&wire);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let ut = ThreadCtx::untrusted(&m, 2);
+                m.host.push_request(&ut, fd, &wire.encrypt(b"late arrival"));
+            })
+        };
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let s0 = m.stats.snapshot();
+        let msg = io.recv_msg_blocking(&mut t);
+        assert_eq!(msg, b"late arrival");
+        // The wait took the OCALL path (poll syscalls with exits).
+        let d = m.stats.snapshot() - s0;
+        assert!(d.ocalls >= 1, "blocking wait must OCALL-poll");
+        t.exit();
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,714 @@
+//! A memcached-style key-value store (paper §5.1).
+//!
+//! The port mirrors the paper's 75-line memcached modification: the
+//! original slab allocator keeps managing the pool, but the pool's
+//! *location* is a [`DataSpace`]; item **metadata** (hash-chain and LRU
+//! pointers, slab class) is security-insensitive and lives in a clear
+//! metadata space, while the **keys, values and their sizes** live in
+//! the secure data space (SUVM in the Eleos configuration).
+//!
+//! Layouts:
+//!
+//! - metadata record (40 B, clear): `hash_next, lru_prev, lru_next,
+//!   kv_addr, kv_class`;
+//! - kv record (secure): `key_len u32, val_len u32, key bytes, value
+//!   bytes`.
+
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::io::ServerIo;
+use crate::param_server::hash64;
+use crate::slab::SlabPool;
+use crate::space::DataSpace;
+
+const META_BYTES: usize = 40;
+const M_NEXT: u64 = 0;
+const M_LRU_PREV: u64 = 8;
+const M_LRU_NEXT: u64 = 16;
+const M_KV_ADDR: u64 = 24;
+const M_KV_CLASS: u64 = 32;
+/// Expiry deadline in simulated seconds (u32; 0 = never) — memcached's
+/// `exptime`, kept in the clear metadata like the original (§5.1 calls
+/// expiration time security-insensitive).
+const M_EXPIRY: u64 = 36;
+
+/// Null metadata pointer.
+const NIL: u64 = 0;
+
+/// Per-operation parsing/hashing compute, in cycles.
+const OP_CYCLES: u64 = 120;
+
+/// Fixed-size allocator for metadata records in the (clear) metadata
+/// space.
+struct MetaPool {
+    space: DataSpace,
+    free: Vec<u64>,
+    block: usize,
+}
+
+impl MetaPool {
+    fn new(space: DataSpace) -> Self {
+        Self {
+            space,
+            free: Vec::new(),
+            block: 64 << 10,
+        }
+    }
+
+    fn alloc(&mut self) -> u64 {
+        if let Some(a) = self.free.pop() {
+            return a;
+        }
+        let base = self.space.alloc(self.block);
+        let n = self.block / META_BYTES;
+        for i in (1..n).rev() {
+            self.free.push(base + (i * META_BYTES) as u64);
+        }
+        // Never hand out address 0 as a record (0 is the NIL marker);
+        // the first record of the first block is skipped if it would
+        // be 0.
+        let first = base;
+        if first == NIL {
+            return self.free.pop().expect("block has >1 record");
+        }
+        first
+    }
+
+    fn free(&mut self, addr: u64) {
+        self.free.push(addr);
+    }
+}
+
+/// The key-value store.
+pub struct Kvs {
+    meta: MetaPool,
+    meta_space: DataSpace,
+    slab: SlabPool,
+    buckets: u64,
+    heads: u64,
+    lru_head: u64,
+    lru_tail: u64,
+    items: u64,
+    evictions: u64,
+}
+
+impl Kvs {
+    /// Creates a store with a `mem_limit`-byte value pool in
+    /// `data_space` and chains/heads in `meta_space`.
+    #[must_use]
+    pub fn new(meta_space: DataSpace, data_space: DataSpace, mem_limit: u64, buckets: u64) -> Self {
+        let buckets = buckets.next_power_of_two();
+        let heads = meta_space.alloc((buckets * 8) as usize);
+        Self {
+            meta: MetaPool::new(meta_space.clone()),
+            meta_space,
+            slab: SlabPool::new(data_space, mem_limit),
+            buckets,
+            heads,
+            lru_head: NIL,
+            lru_tail: NIL,
+            items: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Zeroes the bucket heads.
+    pub fn init(&self, ctx: &mut ThreadCtx) {
+        let zeros = vec![0u8; 4096];
+        let len = self.buckets * 8;
+        let mut off = 0u64;
+        while off < len {
+            let n = ((len - off) as usize).min(4096);
+            self.meta_space.write(ctx, self.heads + off, &zeros[..n]);
+            off += n as u64;
+        }
+    }
+
+    /// Number of live items.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.items
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Items evicted by the LRU so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Bytes of secure pool acquired from the data space.
+    #[must_use]
+    pub fn pool_bytes(&self) -> u64 {
+        self.slab.slab_bytes
+    }
+
+    fn bucket_addr(&self, key: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        self.heads + (hash64(h) & (self.buckets - 1)) * 8
+    }
+
+    /// Reads the kv record's key and compares with `key`.
+    fn key_matches(&self, ctx: &mut ThreadCtx, kv_addr: u64, key: &[u8]) -> bool {
+        let klen = self.slab.space().read_u32(ctx, kv_addr) as usize;
+        if klen != key.len() {
+            return false;
+        }
+        let mut stored = vec![0u8; klen];
+        self.slab.space().read(ctx, kv_addr + 8, &mut stored);
+        stored == key
+    }
+
+    /// Finds `(meta_addr, prev_meta_addr)` of `key` in its chain.
+    fn find(&self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<(u64, u64)> {
+        let bucket = self.bucket_addr(key);
+        let mut prev = NIL;
+        let mut node = self.meta_space.read_u64(ctx, bucket);
+        while node != NIL {
+            let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
+            if self.key_matches(ctx, kv, key) {
+                return Some((node, prev));
+            }
+            prev = node;
+            node = self.meta_space.read_u64(ctx, node + M_NEXT);
+        }
+        None
+    }
+
+    // --- LRU list (in clear metadata, like memcached's) -------------
+
+    fn lru_unlink(&mut self, ctx: &mut ThreadCtx, node: u64) {
+        let prev = self.meta_space.read_u64(ctx, node + M_LRU_PREV);
+        let next = self.meta_space.read_u64(ctx, node + M_LRU_NEXT);
+        if prev != NIL {
+            self.meta_space.write_u64(ctx, prev + M_LRU_NEXT, next);
+        } else {
+            self.lru_head = next;
+        }
+        if next != NIL {
+            self.meta_space.write_u64(ctx, next + M_LRU_PREV, prev);
+        } else {
+            self.lru_tail = prev;
+        }
+    }
+
+    fn lru_push_front(&mut self, ctx: &mut ThreadCtx, node: u64) {
+        self.meta_space.write_u64(ctx, node + M_LRU_PREV, NIL);
+        self.meta_space.write_u64(ctx, node + M_LRU_NEXT, self.lru_head);
+        if self.lru_head != NIL {
+            self.meta_space.write_u64(ctx, self.lru_head + M_LRU_PREV, node);
+        }
+        self.lru_head = node;
+        if self.lru_tail == NIL {
+            self.lru_tail = node;
+        }
+    }
+
+    fn chain_unlink(&mut self, ctx: &mut ThreadCtx, key: &[u8], node: u64, prev: u64) {
+        let next = self.meta_space.read_u64(ctx, node + M_NEXT);
+        if prev == NIL {
+            self.meta_space.write_u64(ctx, self.bucket_addr(key), next);
+        } else {
+            self.meta_space.write_u64(ctx, prev + M_NEXT, next);
+        }
+    }
+
+    /// Removes the LRU tail item to reclaim a chunk.
+    fn evict_one(&mut self, ctx: &mut ThreadCtx) -> bool {
+        let victim = self.lru_tail;
+        if victim == NIL {
+            return false;
+        }
+        let kv = self.meta_space.read_u64(ctx, victim + M_KV_ADDR);
+        let class = self.meta_space.read_u32(ctx, victim + M_KV_CLASS) as usize;
+        // Need the key to unlink from its chain.
+        let klen = self.slab.space().read_u32(ctx, kv) as usize;
+        let mut key = vec![0u8; klen];
+        self.slab.space().read(ctx, kv + 8, &mut key);
+        let (node, prev) = self.find(ctx, &key).expect("LRU item must be chained");
+        debug_assert_eq!(node, victim);
+        self.chain_unlink(ctx, &key, node, prev);
+        self.lru_unlink(ctx, victim);
+        self.slab.free(class, kv);
+        self.meta.free(victim);
+        self.items -= 1;
+        self.evictions += 1;
+        true
+    }
+
+    /// Inserts or replaces `key` with `value` (no expiry).
+    pub fn set(&mut self, ctx: &mut ThreadCtx, key: &[u8], value: &[u8]) {
+        self.set_with_ttl(ctx, key, value, 0);
+    }
+
+    /// Simulated wall-clock seconds on the calling core.
+    fn now_secs(ctx: &ThreadCtx) -> u32 {
+        (ctx.now() as f64 / eleos_sim::costs::CPU_HZ) as u32
+    }
+
+    /// Inserts or replaces `key` with `value`, expiring after
+    /// `ttl_secs` of simulated time (0 = never) — memcached's
+    /// `exptime` semantics with lazy expiration.
+    pub fn set_with_ttl(&mut self, ctx: &mut ThreadCtx, key: &[u8], value: &[u8], ttl_secs: u32) {
+        ctx.compute(OP_CYCLES);
+        let expiry = if ttl_secs == 0 {
+            0
+        } else {
+            Self::now_secs(ctx).saturating_add(ttl_secs)
+        };
+        let record_len = 8 + key.len() + value.len();
+        if let Some((node, prev)) = self.find(ctx, key) {
+            let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
+            let class = self.meta_space.read_u32(ctx, node + M_KV_CLASS) as usize;
+            if self.slab.chunk_size(class) >= record_len {
+                // Overwrite in place.
+                self.write_record(ctx, kv, key, value);
+                self.meta_space.write_u32(ctx, node + M_EXPIRY, expiry);
+                self.lru_unlink(ctx, node);
+                self.lru_push_front(ctx, node);
+                return;
+            }
+            // Wrong class: drop and reinsert.
+            self.chain_unlink(ctx, key, node, prev);
+            self.lru_unlink(ctx, node);
+            self.slab.free(class, kv);
+            self.meta.free(node);
+            self.items -= 1;
+        }
+        // Allocate, evicting LRU victims if the pool is full.
+        let (class, kv) = loop {
+            match self.slab.alloc(record_len) {
+                Some(x) => break x,
+                None => {
+                    assert!(self.evict_one(ctx), "pool exhausted and LRU empty");
+                }
+            }
+        };
+        self.write_record(ctx, kv, key, value);
+        let node = self.meta.alloc();
+        let bucket = self.bucket_addr(key);
+        let head = self.meta_space.read_u64(ctx, bucket);
+        self.meta_space.write_u64(ctx, node + M_NEXT, head);
+        self.meta_space.write_u64(ctx, node + M_KV_ADDR, kv);
+        self.meta_space.write_u32(ctx, node + M_KV_CLASS, class as u32);
+        self.meta_space.write_u32(ctx, node + M_EXPIRY, expiry);
+        self.meta_space.write_u64(ctx, bucket, node);
+        self.lru_push_front(ctx, node);
+        self.items += 1;
+    }
+
+    fn write_record(&mut self, ctx: &mut ThreadCtx, kv: u64, key: &[u8], value: &[u8]) {
+        let mut rec = Vec::with_capacity(8 + key.len() + value.len());
+        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(key);
+        rec.extend_from_slice(value);
+        self.slab.space().write(ctx, kv, &rec);
+    }
+
+    /// Looks `key` up, refreshing its LRU position. Expired items are
+    /// lazily deleted and read as misses (memcached semantics).
+    pub fn get(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<Vec<u8>> {
+        ctx.compute(OP_CYCLES);
+        let (node, prev) = self.find(ctx, key)?;
+        let expiry = self.meta_space.read_u32(ctx, node + M_EXPIRY);
+        if expiry != 0 && Self::now_secs(ctx) >= expiry {
+            let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
+            let class = self.meta_space.read_u32(ctx, node + M_KV_CLASS) as usize;
+            self.chain_unlink(ctx, key, node, prev);
+            self.lru_unlink(ctx, node);
+            self.slab.free(class, kv);
+            self.meta.free(node);
+            self.items -= 1;
+            return None;
+        }
+        let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
+        let vlen = self.slab.space().read_u32(ctx, kv + 4) as usize;
+        let mut value = vec![0u8; vlen];
+        self.slab
+            .space()
+            .read(ctx, kv + 8 + key.len() as u64, &mut value);
+        self.lru_unlink(ctx, node);
+        self.lru_push_front(ctx, node);
+        Some(value)
+    }
+
+    /// Deletes `key`; returns whether it existed.
+    pub fn delete(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> bool {
+        ctx.compute(OP_CYCLES);
+        let Some((node, prev)) = self.find(ctx, key) else {
+            return false;
+        };
+        let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
+        let class = self.meta_space.read_u32(ctx, node + M_KV_CLASS) as usize;
+        self.chain_unlink(ctx, key, node, prev);
+        self.lru_unlink(ctx, node);
+        self.slab.free(class, kv);
+        self.meta.free(node);
+        self.items -= 1;
+        true
+    }
+
+    /// Visits every live item (bucket order) with `(key, value)`.
+    pub fn for_each_item(&self, ctx: &mut ThreadCtx, mut f: impl FnMut(&[u8], &[u8])) {
+        for b in 0..self.buckets {
+            let mut node = self.meta_space.read_u64(ctx, self.heads + b * 8);
+            while node != NIL {
+                let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
+                let klen = self.slab.space().read_u32(ctx, kv) as usize;
+                let vlen = self.slab.space().read_u32(ctx, kv + 4) as usize;
+                let mut key = vec![0u8; klen];
+                self.slab.space().read(ctx, kv + 8, &mut key);
+                let mut value = vec![0u8; vlen];
+                self.slab.space().read(ctx, kv + 8 + klen as u64, &mut value);
+                f(&key, &value);
+                node = self.meta_space.read_u64(ctx, node + M_NEXT);
+            }
+        }
+    }
+
+    /// Serializes every item into a sealed snapshot blob
+    /// (`AES-GCM(count || (klen,vlen,key,value)*)`), suitable for
+    /// writing to the untrusted host filesystem for warm restarts.
+    #[must_use]
+    pub fn sealed_snapshot(
+        &self,
+        ctx: &mut ThreadCtx,
+        cipher: &eleos_crypto::gcm::AesGcm128,
+        nonce: &eleos_crypto::gcm::Nonce,
+    ) -> Vec<u8> {
+        let mut plain = Vec::new();
+        plain.extend_from_slice(&self.items.to_le_bytes());
+        self.for_each_item(ctx, |key, value| {
+            plain.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            plain.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            plain.extend_from_slice(key);
+            plain.extend_from_slice(value);
+        });
+        ctx.compute(ctx.machine.cfg.costs.crypto(plain.len()));
+        let mut blob = plain;
+        let tag = cipher.seal(nonce, b"kvs-snapshot", &mut blob);
+        let mut out = Vec::with_capacity(12 + 16 + blob.len());
+        out.extend_from_slice(nonce);
+        out.extend_from_slice(&tag);
+        out.extend_from_slice(&blob);
+        out
+    }
+
+    /// Restores items from a sealed snapshot produced by
+    /// [`Self::sealed_snapshot`]. Returns the number of items loaded.
+    ///
+    /// # Panics
+    /// Panics if the snapshot fails authentication (tampered file).
+    pub fn restore_snapshot(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        cipher: &eleos_crypto::gcm::AesGcm128,
+        blob: &[u8],
+    ) -> u64 {
+        assert!(blob.len() >= 28, "short snapshot");
+        let nonce: eleos_crypto::gcm::Nonce = blob[..12].try_into().expect("nonce");
+        let tag: eleos_crypto::gcm::Tag = blob[12..28].try_into().expect("tag");
+        let mut plain = blob[28..].to_vec();
+        cipher
+            .open(&nonce, b"kvs-snapshot", &mut plain, &tag)
+            .expect("KVS snapshot failed authentication: file tampered");
+        ctx.compute(ctx.machine.cfg.costs.crypto(plain.len()));
+        let count = u64::from_le_bytes(plain[..8].try_into().expect("count"));
+        let mut off = 8usize;
+        for _ in 0..count {
+            let klen =
+                u32::from_le_bytes(plain[off..off + 4].try_into().expect("klen")) as usize;
+            let vlen =
+                u32::from_le_bytes(plain[off + 4..off + 8].try_into().expect("vlen")) as usize;
+            off += 8;
+            let key = plain[off..off + klen].to_vec();
+            off += klen;
+            let value = plain[off..off + vlen].to_vec();
+            off += vlen;
+            self.set(ctx, &key, &value);
+        }
+        count
+    }
+
+    /// Handles one protocol request. Returns `false` when the socket
+    /// queue is drained.
+    ///
+    /// Request plaintext: `[op u8][key_len u16][val_len u32][key][value]`
+    /// with op 0 = GET, 1 = SET. Response: GET → `[1][val_len][value]`
+    /// or `[0]`; SET → `[1]`.
+    pub fn handle_request(&mut self, ctx: &mut ThreadCtx, io: &ServerIo) -> bool {
+        let Some(plain) = io.recv_msg(ctx) else {
+            return false;
+        };
+        let op = plain[0];
+        let klen = u16::from_le_bytes(plain[1..3].try_into().expect("short header")) as usize;
+        let vlen = u32::from_le_bytes(plain[3..7].try_into().expect("short header")) as usize;
+        let key = &plain[7..7 + klen];
+        match op {
+            0 => match self.get(ctx, key) {
+                Some(value) => {
+                    let mut resp = Vec::with_capacity(5 + value.len());
+                    resp.push(1u8);
+                    resp.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                    resp.extend_from_slice(&value);
+                    io.send_msg(ctx, &resp);
+                }
+                None => io.send_msg(ctx, &[0u8]),
+            },
+            1 => {
+                let value = &plain[7 + klen..7 + klen + vlen];
+                self.set(ctx, key, value);
+                io.send_msg(ctx, &[1u8]);
+            }
+            other => panic!("unknown KVS opcode {other}"),
+        }
+        true
+    }
+}
+
+/// Builds a GET request plaintext.
+#[must_use]
+pub fn build_get(key: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(7 + key.len());
+    p.push(0u8);
+    p.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    p.extend_from_slice(&0u32.to_le_bytes());
+    p.extend_from_slice(key);
+    p
+}
+
+/// Builds a SET request plaintext.
+#[must_use]
+pub fn build_set(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(7 + key.len() + value.len());
+    p.push(1u8);
+    p.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    p.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    p.extend_from_slice(key);
+    p.extend_from_slice(value);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use eleos_core::{Suvm, SuvmConfig};
+    use eleos_enclave::machine::{MachineConfig, SgxMachine};
+
+    fn untrusted_kvs(limit: u64) -> (Kvs, ThreadCtx) {
+        let m = SgxMachine::new(MachineConfig::scaled(8));
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let kvs = Kvs::new(space.clone(), space, limit, 1024);
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        (kvs, t)
+    }
+
+    #[test]
+    fn set_get_delete() {
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        kvs.set(&mut t, b"hello", b"world");
+        assert_eq!(kvs.get(&mut t, b"hello").unwrap(), b"world");
+        assert_eq!(kvs.get(&mut t, b"missing"), None);
+        kvs.set(&mut t, b"hello", b"again");
+        assert_eq!(kvs.get(&mut t, b"hello").unwrap(), b"again");
+        assert_eq!(kvs.len(), 1);
+        assert!(kvs.delete(&mut t, b"hello"));
+        assert!(!kvs.delete(&mut t, b"hello"));
+        assert!(kvs.is_empty());
+        t.exit();
+    }
+
+    #[test]
+    fn many_keys_survive_collisions() {
+        let (mut kvs, mut t) = untrusted_kvs(32 << 20);
+        kvs.init(&mut t);
+        for i in 0..2000u32 {
+            let key = format!("key-{i:05}");
+            let value = vec![(i % 251) as u8; 100 + (i as usize % 300)];
+            kvs.set(&mut t, key.as_bytes(), &value);
+        }
+        for i in 0..2000u32 {
+            let key = format!("key-{i:05}");
+            let value = vec![(i % 251) as u8; 100 + (i as usize % 300)];
+            assert_eq!(kvs.get(&mut t, key.as_bytes()).unwrap(), value, "{key}");
+        }
+        t.exit();
+    }
+
+    #[test]
+    fn lru_evicts_coldest_under_memory_pressure() {
+        // Limit = 2 slabs; 1 KiB values -> eviction must kick in.
+        let (mut kvs, mut t) = untrusted_kvs(2 << 20);
+        kvs.init(&mut t);
+        let value = vec![7u8; 1024];
+        for i in 0..4000u32 {
+            kvs.set(&mut t, format!("k{i}").as_bytes(), &value);
+        }
+        assert!(kvs.evictions() > 0, "LRU must have evicted");
+        // The most recent keys are present; the oldest are gone.
+        assert!(kvs.get(&mut t, b"k3999").is_some());
+        assert!(kvs.get(&mut t, b"k0").is_none());
+        t.exit();
+    }
+
+    #[test]
+    fn value_resize_moves_class() {
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        kvs.set(&mut t, b"k", &[1u8; 64]);
+        kvs.set(&mut t, b"k", &vec![2u8; 8000]);
+        assert_eq!(kvs.get(&mut t, b"k").unwrap(), vec![2u8; 8000]);
+        assert_eq!(kvs.len(), 1);
+        t.exit();
+    }
+
+    #[test]
+    fn suvm_backed_kvs_with_clear_metadata() {
+        // The paper's split: metadata clear, kv pairs in SUVM.
+        let m = SgxMachine::new(MachineConfig::scaled(8));
+        let e = m.driver.create_enclave(&m, 16 << 20);
+        let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+        let suvm = Suvm::new(
+            &t0,
+            SuvmConfig {
+                epcpp_bytes: 1 << 20,
+                backing_bytes: 16 << 20,
+                ..SuvmConfig::tiny()
+            },
+        );
+        let mut kvs = Kvs::new(
+            DataSpace::Untrusted(Arc::clone(&m)),
+            DataSpace::suvm(&suvm),
+            8 << 20,
+            1024,
+        );
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        kvs.init(&mut t);
+        // Working set (8 MiB) >> EPC++ (1 MiB): SUVM pages for us.
+        for i in 0..1500u32 {
+            kvs.set(&mut t, format!("key-{i}").as_bytes(), &vec![(i % 250) as u8; 4096]);
+        }
+        for i in (0..1500u32).step_by(97) {
+            assert_eq!(
+                kvs.get(&mut t, format!("key-{i}").as_bytes()).unwrap(),
+                vec![(i % 250) as u8; 4096]
+            );
+        }
+        let s = m.stats.snapshot();
+        assert!(s.suvm_evictions > 0, "SUVM must have paged");
+        assert_eq!(s.enclave_exits, 0, "no exits during pure KVS ops");
+        t.exit();
+    }
+
+    #[test]
+    fn ttl_expiry_is_lazy_and_correct() {
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        // ~2 simulated seconds of TTL; the clock only moves when we
+        // charge cycles.
+        kvs.set_with_ttl(&mut t, b"ephemeral", b"soon gone", 2);
+        kvs.set(&mut t, b"durable", b"stays");
+        assert_eq!(kvs.get(&mut t, b"ephemeral").unwrap(), b"soon gone");
+        // Advance simulated time past the deadline (3.4e9 cycles/sec).
+        t.compute(3 * 3_400_000_000);
+        assert_eq!(kvs.get(&mut t, b"ephemeral"), None, "expired");
+        assert_eq!(kvs.len(), 1, "lazy delete reclaimed the item");
+        assert_eq!(kvs.get(&mut t, b"durable").unwrap(), b"stays");
+        // Re-inserting after expiry works.
+        kvs.set(&mut t, b"ephemeral", b"back");
+        assert_eq!(kvs.get(&mut t, b"ephemeral").unwrap(), b"back");
+        t.exit();
+    }
+
+    #[test]
+    fn sealed_snapshot_roundtrip_via_host_fs() {
+        use eleos_crypto::gcm::AesGcm128;
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        for i in 0..200u32 {
+            kvs.set(&mut t, format!("snap-{i}").as_bytes(), &vec![i as u8; 64 + i as usize]);
+        }
+        let cipher = AesGcm128::new(&[0x51u8; 16]);
+        let blob = kvs.sealed_snapshot(&mut t, &cipher, &[7u8; 12]);
+        // The snapshot is sealed: no key material visible.
+        assert!(!blob.windows(6).any(|w| w == b"snap-1"));
+
+        // Write it to the host filesystem through the syscall layer
+        // and read it back (as a warm-restarting server would).
+        let m = Arc::clone(&t.machine);
+        let mut ut = ThreadCtx::untrusted(&m, 1);
+        let fd = m.fs.open(&mut ut, "/var/kvs.snapshot");
+        let staging = m.alloc_untrusted(blob.len().next_power_of_two());
+        ut.write_untrusted(staging, &blob);
+        assert_eq!(m.fs.write(&mut ut, fd, staging, blob.len()).unwrap(), blob.len());
+        m.fs.seek(&mut ut, fd, 0).unwrap();
+        let n = m.fs.read(&mut ut, fd, staging, blob.len()).unwrap();
+        assert_eq!(n, blob.len());
+        let mut reread = vec![0u8; n];
+        ut.read_untrusted(staging, &mut reread);
+
+        // A fresh store restores everything.
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let mut kvs2 = Kvs::new(space.clone(), space, 8 << 20, 1024);
+        kvs2.init(&mut t);
+        assert_eq!(kvs2.restore_snapshot(&mut t, &cipher, &reread), 200);
+        for i in (0..200u32).step_by(23) {
+            assert_eq!(
+                kvs2.get(&mut t, format!("snap-{i}").as_bytes()).unwrap(),
+                vec![i as u8; 64 + i as usize]
+            );
+        }
+
+        // A tampered snapshot is rejected.
+        let mut bad = reread.clone();
+        bad[40] ^= 1;
+        let mut kvs3 = Kvs::new(
+            DataSpace::Untrusted(Arc::clone(&m)),
+            DataSpace::Untrusted(Arc::clone(&m)),
+            8 << 20,
+            1024,
+        );
+        kvs3.init(&mut t);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            kvs3.restore_snapshot(&mut t, &cipher, &bad)
+        }));
+        assert!(r.is_err(), "tampered snapshot accepted");
+        t.exit();
+    }
+
+    #[test]
+    fn protocol_requests() {
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        let m = Arc::clone(&t.machine);
+        let wire = Arc::new(crate::wire::Wire::new([3u8; 16]));
+        let fd = m.host.socket(&t, 64 << 10);
+        let io = crate::io::ServerIo::new(&t, fd, 32 << 10, crate::io::IoPath::Ocall, Arc::clone(&wire));
+        m.host.push_request(&t, fd, &wire.encrypt(&build_set(b"alpha", b"beta")));
+        m.host.push_request(&t, fd, &wire.encrypt(&build_get(b"alpha")));
+        assert!(kvs.handle_request(&mut t, &io));
+        assert!(kvs.handle_request(&mut t, &io));
+        assert!(!kvs.handle_request(&mut t, &io), "queue drained");
+        // SET ack then GET hit.
+        assert_eq!(wire.decrypt(&m.host.pop_response(fd).unwrap()), &[1u8]);
+        let get_resp = wire.decrypt(&m.host.pop_response(fd).unwrap());
+        assert_eq!(get_resp[0], 1);
+        assert_eq!(&get_resp[5..], b"beta");
+        t.exit();
+    }
+}

@@ -1,0 +1,273 @@
+//! Load generators for the evaluation workloads (paper §6).
+//!
+//! These play the role of the paper's client machine: memaslap for
+//! memcached, the custom update generator for the parameter server and
+//! the FERET-driven request stream for face verification. All are
+//! seeded for reproducibility and produce encrypted wire messages.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use eleos_enclave::host::Fd;
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::face;
+use crate::kvs;
+use crate::param_server::build_update_request;
+use crate::wire::Wire;
+
+/// A Zipf(α) sampler over `0..n` by inverse-CDF table lookup —
+/// key-value workloads are rarely uniform in production, and memaslap
+/// supports skewed key distributions.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution table for `n` items with exponent
+    /// `alpha` (0 = uniform; ~0.99 is the classic web/KVS skew).
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws an index in `0..n` (0 is the hottest item).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Parameter-server update stream (the §2 workload).
+pub struct ParamLoad {
+    rng: StdRng,
+    /// Total key universe (server data size / 16 bytes).
+    pub n_keys: u64,
+    /// Keys updated per request (the x-axis of Figs 2 and 6).
+    pub keys_per_req: usize,
+    /// Restrict updates to the first `hot` keys (Fig 2a's 8 MB hot
+    /// set), if set.
+    pub hot: Option<u64>,
+}
+
+impl ParamLoad {
+    /// Creates a seeded generator.
+    #[must_use]
+    pub fn new(seed: u64, n_keys: u64, keys_per_req: usize, hot: Option<u64>) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            n_keys,
+            keys_per_req,
+            hot,
+        }
+    }
+
+    /// Next request plaintext.
+    pub fn next_plain(&mut self) -> Vec<u8> {
+        let range = self.hot.unwrap_or(self.n_keys).min(self.n_keys);
+        let updates: Vec<(u64, u64)> = (0..self.keys_per_req)
+            .map(|_| (self.rng.random_range(1..=range), 1u64))
+            .collect();
+        build_update_request(&updates)
+    }
+}
+
+/// memaslap-style key-value load (paper §6.2.2): a fill phase that
+/// SETs every item, then uniform-random GETs over the full item set.
+pub struct KvsLoad {
+    rng: StdRng,
+    /// Number of items.
+    pub n_items: u64,
+    /// Key size in bytes (paper: 20 B).
+    pub key_len: usize,
+    /// Value size in bytes (paper: 1 KiB / 4 KiB).
+    pub value_len: usize,
+}
+
+impl KvsLoad {
+    /// Creates a seeded generator.
+    #[must_use]
+    pub fn new(seed: u64, n_items: u64, key_len: usize, value_len: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            n_items,
+            key_len,
+            value_len,
+        }
+    }
+
+    /// The key for item `i`, padded to `key_len`.
+    #[must_use]
+    pub fn key(&self, i: u64) -> Vec<u8> {
+        let mut k = format!("key-{i:012}").into_bytes();
+        k.resize(self.key_len, b'x');
+        k
+    }
+
+    /// Deterministic value contents for item `i`.
+    #[must_use]
+    pub fn value(&self, i: u64) -> Vec<u8> {
+        let b = (i % 251) as u8;
+        vec![b; self.value_len]
+    }
+
+    /// SET plaintext for item `i` (fill phase).
+    #[must_use]
+    pub fn set_plain(&self, i: u64) -> Vec<u8> {
+        kvs::build_set(&self.key(i), &self.value(i))
+    }
+
+    /// Next random GET plaintext, returning `(item, plaintext)`.
+    pub fn get_plain(&mut self) -> (u64, Vec<u8>) {
+        let i = self.rng.random_range(0..self.n_items);
+        (i, kvs::build_get(&self.key(i)))
+    }
+
+    /// Next GET drawn from a [`Zipf`] distribution (hot keys first).
+    pub fn get_plain_zipf(&mut self, zipf: &Zipf) -> (u64, Vec<u8>) {
+        let i = zipf.sample(&mut self.rng) as u64;
+        (i, kvs::build_get(&self.key(i)))
+    }
+
+    /// Total data-set bytes (what "500 MB of data" means in §6.2.2).
+    #[must_use]
+    pub fn dataset_bytes(&self) -> u64 {
+        self.n_items * (self.key_len + self.value_len) as u64
+    }
+}
+
+/// Face-verification request stream: random enrolled identities,
+/// genuine captures.
+pub struct FaceLoad {
+    rng: StdRng,
+    /// Enrolled identities are `1..=n_ids`.
+    pub n_ids: u64,
+    /// Image side.
+    pub side: usize,
+    capture: u64,
+}
+
+impl FaceLoad {
+    /// Creates a seeded generator.
+    #[must_use]
+    pub fn new(seed: u64, n_ids: u64, side: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            n_ids,
+            side,
+            capture: 0,
+        }
+    }
+
+    /// Next verification request plaintext (genuine attempt).
+    pub fn next_plain(&mut self) -> Vec<u8> {
+        let id = self.rng.random_range(1..=self.n_ids);
+        self.capture += 1;
+        let img = face::synth_capture(id, self.side, self.capture);
+        face::build_verify_request(id, self.side, &img)
+    }
+}
+
+/// Pushes `n` encrypted requests from `next_plain` onto `fd`'s queue.
+pub fn fill_socket(
+    machine: &SgxMachine,
+    ctx: &ThreadCtx,
+    fd: Fd,
+    wire: &Wire,
+    n: usize,
+    mut next_plain: impl FnMut() -> Vec<u8>,
+) {
+    for _ in 0..n {
+        machine.host.push_request(ctx, fd, &wire.encrypt(&next_plain()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_load_respects_hot_range() {
+        let mut g = ParamLoad::new(1, 1000, 8, Some(10));
+        for _ in 0..50 {
+            let p = g.next_plain();
+            let count = u32::from_le_bytes(p[..4].try_into().unwrap()) as usize;
+            assert_eq!(count, 8);
+            for i in 0..count {
+                let key = u64::from_le_bytes(p[4 + i * 16..12 + i * 16].try_into().unwrap());
+                assert!((1..=10).contains(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn kvs_load_is_deterministic() {
+        let a = KvsLoad::new(7, 100, 20, 64);
+        let b = KvsLoad::new(7, 100, 20, 64);
+        assert_eq!(a.key(5), b.key(5));
+        assert_eq!(a.key(5).len(), 20);
+        assert_eq!(a.set_plain(3), b.set_plain(3));
+        assert_eq!(a.dataset_bytes(), 100 * 84);
+    }
+
+    #[test]
+    fn kvs_get_targets_valid_items() {
+        let mut g = KvsLoad::new(3, 50, 20, 64);
+        for _ in 0..100 {
+            let (i, p) = g.get_plain();
+            assert!(i < 50);
+            assert_eq!(p[0], 0, "GET opcode");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < 1000);
+            counts[i] += 1;
+        }
+        // Item 0 dominates and the tail is thin.
+        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        let head: u32 = counts[..100].iter().sum();
+        let tail: u32 = counts[900..].iter().sum();
+        assert!(head > tail * 10);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniformish() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max / min.max(1) < 3, "min {min} max {max}");
+    }
+
+    #[test]
+    fn face_load_builds_valid_requests() {
+        let mut g = FaceLoad::new(1, 4, 64);
+        let p = g.next_plain();
+        let id = u64::from_le_bytes(p[..8].try_into().unwrap());
+        assert!((1..=4).contains(&id));
+        assert_eq!(p.len(), 12 + 64 * 64);
+    }
+}

@@ -1,0 +1,181 @@
+//! A memcached-style slab allocator over a [`DataSpace`].
+//!
+//! memcached carves memory into 1 MiB slabs assigned to size classes
+//! that grow by a constant factor; each class keeps a free list of
+//! fixed-size chunks. The KVS port (§5.1) keeps this allocator and
+//! simply points its memory pool at SUVM — "the memory pool in SUVM is
+//! managed by the memcached original allocator, while SUVM
+//! transparently takes care of demand paging".
+
+use crate::space::DataSpace;
+
+/// Slab size (memcached's default).
+pub const SLAB_BYTES: usize = 1 << 20;
+/// Smallest chunk.
+pub const MIN_CHUNK: usize = 96;
+/// Size-class growth factor (memcached's default 1.25).
+pub const GROWTH: f64 = 1.25;
+
+struct SizeClass {
+    chunk: usize,
+    free: Vec<u64>,
+}
+
+/// The allocator.
+pub struct SlabPool {
+    space: DataSpace,
+    classes: Vec<SizeClass>,
+    /// Bytes of slabs acquired from the space.
+    pub slab_bytes: u64,
+    /// Cap on slab acquisition (the `-m` memory limit).
+    limit: u64,
+    used_chunks: u64,
+}
+
+impl SlabPool {
+    /// Creates a pool over `space`, capped at `limit` bytes.
+    #[must_use]
+    pub fn new(space: DataSpace, limit: u64) -> Self {
+        let mut classes = Vec::new();
+        let mut chunk = MIN_CHUNK;
+        while chunk < SLAB_BYTES {
+            classes.push(SizeClass {
+                chunk,
+                free: Vec::new(),
+            });
+            chunk = (((chunk as f64) * GROWTH) as usize + 7) & !7;
+        }
+        classes.push(SizeClass {
+            chunk: SLAB_BYTES,
+            free: Vec::new(),
+        });
+        Self {
+            space,
+            classes,
+            slab_bytes: 0,
+            limit,
+            used_chunks: 0,
+        }
+    }
+
+    /// The size class index serving `len` bytes.
+    #[must_use]
+    pub fn class_of(&self, len: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.chunk >= len)
+    }
+
+    /// Chunk size of class `idx`.
+    #[must_use]
+    pub fn chunk_size(&self, idx: usize) -> usize {
+        self.classes[idx].chunk
+    }
+
+    /// Allocates a chunk for `len` bytes, returning
+    /// `(class, address)`. `None` means the memory limit is reached
+    /// and the caller must evict (memcached's LRU kicks in).
+    pub fn alloc(&mut self, len: usize) -> Option<(usize, u64)> {
+        let idx = self.class_of(len)?;
+        if let Some(addr) = self.classes[idx].free.pop() {
+            self.used_chunks += 1;
+            return Some((idx, addr));
+        }
+        // Carve a new slab.
+        if self.slab_bytes + SLAB_BYTES as u64 > self.limit {
+            return None;
+        }
+        let slab = self.space.alloc(SLAB_BYTES);
+        self.slab_bytes += SLAB_BYTES as u64;
+        let chunk = self.classes[idx].chunk;
+        let n = SLAB_BYTES / chunk;
+        for i in (0..n).rev() {
+            self.classes[idx].free.push(slab + (i * chunk) as u64);
+        }
+        let addr = self.classes[idx].free.pop().expect("fresh slab");
+        self.used_chunks += 1;
+        Some((idx, addr))
+    }
+
+    /// Returns a chunk to its class.
+    pub fn free(&mut self, class: usize, addr: u64) {
+        self.classes[class].free.push(addr);
+        self.used_chunks -= 1;
+    }
+
+    /// Live chunks.
+    #[must_use]
+    pub fn used_chunks(&self) -> u64 {
+        self.used_chunks
+    }
+
+    /// The backing space.
+    #[must_use]
+    pub fn space(&self) -> &DataSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleos_enclave::machine::{MachineConfig, SgxMachine};
+
+    fn pool(limit: u64) -> SlabPool {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        SlabPool::new(DataSpace::Untrusted(m), limit)
+    }
+
+    #[test]
+    fn classes_grow_geometrically() {
+        let p = pool(8 << 20);
+        let mut prev = 0usize;
+        for c in &p.classes {
+            assert!(c.chunk > prev);
+            prev = c.chunk;
+        }
+        assert_eq!(p.classes.last().unwrap().chunk, SLAB_BYTES);
+    }
+
+    #[test]
+    fn alloc_returns_right_class() {
+        let mut p = pool(8 << 20);
+        let (c1, a1) = p.alloc(100).unwrap();
+        assert!(p.chunk_size(c1) >= 100);
+        let (c2, a2) = p.alloc(5000).unwrap();
+        assert!(p.chunk_size(c2) >= 5000);
+        assert!(c2 > c1);
+        assert_ne!(a1, a2);
+        assert_eq!(p.used_chunks(), 2);
+    }
+
+    #[test]
+    fn chunks_within_a_slab_are_disjoint() {
+        let mut p = pool(8 << 20);
+        let mut addrs = Vec::new();
+        for _ in 0..100 {
+            let (c, a) = p.alloc(200).unwrap();
+            let sz = p.chunk_size(c) as u64;
+            for &(b, bs) in &addrs {
+                assert!(a + sz <= b || b + bs <= a, "chunk overlap");
+            }
+            addrs.push((a, sz));
+        }
+    }
+
+    #[test]
+    fn limit_forces_eviction_signal() {
+        let mut p = pool(SLAB_BYTES as u64); // one slab only
+        let (c, a) = p.alloc(SLAB_BYTES).unwrap();
+        assert!(p.alloc(SLAB_BYTES).is_none(), "limit must bite");
+        p.free(c, a);
+        assert!(p.alloc(SLAB_BYTES).is_some(), "freed chunk reusable");
+    }
+
+    #[test]
+    fn free_list_reuse_is_lifo() {
+        let mut p = pool(8 << 20);
+        let (c, a) = p.alloc(100).unwrap();
+        p.free(c, a);
+        let (_, b) = p.alloc(100).unwrap();
+        assert_eq!(a, b);
+    }
+}

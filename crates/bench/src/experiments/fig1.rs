@@ -1,0 +1,52 @@
+//! Figure 1: parameter-server slowdown in the enclave over untrusted
+//! execution, with and without Eleos, for three data sizes (fits-LLC /
+//! fits-EPC / exceeds-EPC).
+
+use eleos_apps::loadgen::ParamLoad;
+use eleos_apps::param_server::TableKind;
+
+use crate::harness::{header, run_param_server, x, Mode, Rig, Scale};
+
+/// Runs Figure 1.
+pub fn run(scale: Scale) {
+    header(
+        "fig1",
+        "parameter-server slowdown in the enclave vs untrusted",
+        "SGX 9x (2MB) to 34x (512MB); Eleos recovers most of the loss",
+    );
+    let sizes = [
+        ("2MB", scale.bytes(2 << 20)),
+        ("64MB", scale.bytes(64 << 20)),
+        ("512MB", scale.bytes(512 << 20)),
+    ];
+    let n_requests = scale.ops(100_000);
+    println!(
+        "   {:<8} {:>12} {:>12} {:>12} {:>12}",
+        "size", "sgx", "eleos-rpc", "eleos-full", "(native=1x)"
+    );
+    for (label, bytes) in sizes {
+        let n_keys = (bytes / 32) as u64;
+        let mut per_mode = Vec::new();
+        for mode in [Mode::Native, Mode::SgxOcall, Mode::EleosRpc, Mode::EleosSuvm] {
+            let cat = mode == Mode::EleosSuvm;
+            let rig = Rig::new(scale, mode, bytes, cat);
+            let mut load = ParamLoad::new(7, n_keys, 1, None);
+            let run = run_param_server(
+                &rig,
+                TableKind::OpenAddressing,
+                n_keys,
+                n_requests,
+                n_requests / 10,
+                move || load.next_plain(),
+            );
+            per_mode.push(run.e2e_cycles as f64 / run.ops as f64);
+        }
+        println!(
+            "   {:<8} {:>12} {:>12} {:>12}",
+            label,
+            x(per_mode[1] / per_mode[0]),
+            x(per_mode[2] / per_mode[0]),
+            x(per_mode[3] / per_mode[0]),
+        );
+    }
+}

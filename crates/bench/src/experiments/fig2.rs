@@ -1,0 +1,91 @@
+//! Figure 2: the indirect costs of system-call-induced exits — LLC
+//! pollution (2a) and TLB flushes (2b) — measured as *in-enclave*
+//! execution time, excluding direct exit costs.
+
+use eleos_apps::loadgen::ParamLoad;
+use eleos_apps::param_server::TableKind;
+
+use crate::harness::{header, run_param_server, x, Mode, Rig, Scale};
+
+/// Request-size sweep for both sub-figures.
+pub const KEY_COUNTS: [usize; 5] = [1, 8, 16, 32, 64];
+
+/// Measures in-enclave (or in-server for native) cycles per key for
+/// one configuration.
+pub fn inner_per_key(
+    scale: Scale,
+    mode: Mode,
+    kind: TableKind,
+    data_bytes: usize,
+    hot_bytes: Option<usize>,
+    keys_per_req: usize,
+    n_requests: usize,
+) -> f64 {
+    let rig = Rig::new(scale, mode, data_bytes, false);
+    let n_keys = (data_bytes / 32) as u64;
+    let hot = hot_bytes.map(|h| (h / 32) as u64);
+    // Warm until the hot set is resident (several touches per hot key).
+    let warmup = warmup_for(hot.unwrap_or(n_keys), keys_per_req, n_requests);
+    let mut load = ParamLoad::new(11, n_keys, keys_per_req, hot);
+    let run = run_param_server(&rig, kind, n_keys, n_requests, warmup, move || {
+        load.next_plain()
+    });
+    run.inner_cycles as f64 / (run.ops as f64 * keys_per_req as f64)
+}
+
+/// Warm-up request count that touches each hot key ~4 times.
+pub fn warmup_for(hot_keys: u64, keys_per_req: usize, n_requests: usize) -> usize {
+    ((4 * hot_keys as usize) / keys_per_req)
+        .max(n_requests / 10)
+        .max(32)
+}
+
+/// Runs Figure 2a: LLC pollution by syscall I/O buffers.
+pub fn run_2a(scale: Scale) {
+    header(
+        "fig2a",
+        "cache-pollution cost of hot requests on a 64MB server",
+        "in-enclave time grows to ~2.2x the untrusted run as request size grows",
+    );
+    let data = scale.bytes(64 << 20);
+    let hot = Some(scale.bytes(2 << 20)); // fits the enclave LLC partition (see EXPERIMENTS.md)
+    let n = scale.ops(100_000);
+    println!("   {:<10} {:>14} {:>14} {:>10}", "keys/req", "enclave c/key", "native c/key", "ratio");
+    for keys in KEY_COUNTS {
+        let n_req = (n / keys).max(64);
+        let e = inner_per_key(scale, Mode::SgxOcall, TableKind::OpenAddressing, data, hot, keys, n_req);
+        let u = inner_per_key(scale, Mode::Native, TableKind::OpenAddressing, data, hot, keys, n_req);
+        println!("   {:<10} {:>14.0} {:>14.0} {:>10}", keys, e, u, x(e / u));
+    }
+}
+
+/// Runs Figure 2b: TLB-flush cost for pointer-chasing tables.
+pub fn run_2b(scale: Scale) {
+    header(
+        "fig2b",
+        "TLB-flush cost on a 2MB server: chaining vs open addressing",
+        "chaining degrades with keys/request; open addressing stays flat",
+    );
+    let data = scale.bytes(2 << 20);
+    let n = scale.ops(100_000);
+    println!(
+        "   {:<10} {:>14} {:>14} {:>10}",
+        "keys/req", "chain c/req", "open c/req", "chain/open"
+    );
+    for keys in [1usize, 2, 4, 8, 16, 32] {
+        let n_req = (n / keys).max(64);
+        let chain = keys as f64
+            * inner_per_key(scale, Mode::SgxOcall, TableKind::Chaining, data, None, keys, n_req);
+        let open = keys as f64
+            * inner_per_key(
+                scale,
+                Mode::SgxOcall,
+                TableKind::OpenAddressing,
+                data,
+                None,
+                keys,
+                n_req,
+            );
+        println!("   {:<10} {:>14.0} {:>14.0} {:>10}", keys, chain, open, x(chain / open));
+    }
+}

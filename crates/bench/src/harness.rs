@@ -1,0 +1,418 @@
+//! Shared machinery for the reproduction experiments.
+//!
+//! Experiments run at a configurable **scale**: scale 1 is the paper's
+//! hardware (93 MiB usable PRM, 8 MiB LLC, 100k-request runs, 450–500
+//! MB datasets); scale `f` divides every capacity and dataset by `f`
+//! so the *regimes* (fits-in-LLC / fits-in-EPC / exceeds-EPC) are
+//! preserved while the simulation finishes quickly. The default repro
+//! scale is 4; `repro --full` runs scale 1.
+
+use std::sync::Arc;
+
+use eleos_apps::io::{IoPath, ServerIo};
+use eleos_apps::param_server::{ParamServer, TableKind};
+use eleos_apps::space::DataSpace;
+use eleos_apps::wire::Wire;
+use eleos_core::{Suvm, SuvmConfig};
+use eleos_enclave::host::Fd;
+use eleos_enclave::machine::{MachineConfig, SgxMachine};
+use eleos_enclave::thread::ThreadCtx;
+use eleos_rpc::{with_syscalls, RpcService};
+use eleos_sim::costs::CPU_HZ;
+use eleos_sim::llc::LlcConfig;
+use eleos_sim::stats::StatsSnapshot;
+
+/// Experiment scale divisor (power of two).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub usize);
+
+impl Scale {
+    /// The paper's scale.
+    pub const FULL: Scale = Scale(1);
+
+    /// Parses `--full` / `--scale N` style arguments.
+    #[must_use]
+    pub fn from_args(args: &[String]) -> Scale {
+        if args.iter().any(|a| a == "--full") {
+            return Scale::FULL;
+        }
+        if let Some(i) = args.iter().position(|a| a == "--scale") {
+            let f: usize = args
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .expect("--scale requires a power-of-two integer");
+            assert!(f.is_power_of_two(), "--scale must be a power of two");
+            return Scale(f);
+        }
+        Scale(4)
+    }
+
+    /// Scales a byte size.
+    #[must_use]
+    pub fn bytes(&self, full: usize) -> usize {
+        (full / self.0).max(4096)
+    }
+
+    /// Scales an operation count.
+    #[must_use]
+    pub fn ops(&self, full: usize) -> usize {
+        (full / self.0).max(64)
+    }
+}
+
+/// Builds the paper's §6 machine at the given scale.
+#[must_use]
+pub fn paper_machine(scale: Scale) -> Arc<SgxMachine> {
+    SgxMachine::new(MachineConfig {
+        epc_bytes: scale.bytes(93 << 20),
+        untrusted_bytes: 4 << 30,
+        llc: LlcConfig {
+            size: scale.bytes(8 << 20),
+            ways: 16,
+        },
+        ..MachineConfig::default()
+    })
+}
+
+/// The paper's SUVM configuration (EPC++ 60 MiB) at scale.
+#[must_use]
+pub fn paper_suvm_config(scale: Scale, backing_bytes: usize) -> SuvmConfig {
+    SuvmConfig {
+        epcpp_bytes: scale.bytes(60 << 20),
+        backing_bytes: backing_bytes.next_power_of_two(),
+        headroom_bytes: scale.bytes(16 << 20),
+        ..SuvmConfig::default()
+    }
+}
+
+/// Converts cycles to seconds.
+#[must_use]
+pub fn secs(cycles: u64) -> f64 {
+    cycles as f64 / CPU_HZ
+}
+
+/// Throughput in operations per second, optionally capped by a network
+/// link (Fig 10's native server is NIC-bound).
+#[must_use]
+pub fn throughput(ops: u64, cycles: u64, bytes_per_op: u64, link_gbps: Option<f64>) -> f64 {
+    let t = ops as f64 / secs(cycles.max(1));
+    match link_gbps {
+        Some(gbps) => t.min(gbps * 1e9 / 8.0 / bytes_per_op as f64),
+        None => t,
+    }
+}
+
+/// How a server reaches its data and the OS — the paper's
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// No SGX: untrusted data, direct syscalls.
+    Native,
+    /// Vanilla SGX (or Graphene): enclave data, OCALL syscalls.
+    SgxOcall,
+    /// Eleos RPC only: enclave data, exit-less syscalls.
+    EleosRpc,
+    /// Eleos RPC + SUVM (+ CAT).
+    EleosSuvm,
+    /// Eleos RPC + SUVM with direct sub-page access.
+    EleosSuvmDirect,
+}
+
+impl Mode {
+    /// Output label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Native => "native",
+            Mode::SgxOcall => "sgx",
+            Mode::EleosRpc => "eleos-rpc",
+            Mode::EleosSuvm => "eleos-suvm",
+            Mode::EleosSuvmDirect => "eleos-direct",
+        }
+    }
+
+    /// Whether the mode runs inside an enclave.
+    #[must_use]
+    pub fn enclaved(&self) -> bool {
+        !matches!(self, Mode::Native)
+    }
+}
+
+/// A fully wired server harness: machine, optional enclave/SUVM/RPC,
+/// socket and measurement thread context.
+pub struct Rig {
+    /// The machine.
+    pub machine: Arc<SgxMachine>,
+    /// The enclave, in enclaved modes.
+    pub enclave: Option<Arc<eleos_enclave::enclave::Enclave>>,
+    /// The SUVM instance, in SUVM modes.
+    pub suvm: Option<Arc<Suvm>>,
+    /// The RPC service, in Eleos modes.
+    pub rpc: Option<Arc<RpcService>>,
+    /// The session cipher.
+    pub wire: Arc<Wire>,
+    /// The server socket.
+    pub fd: Fd,
+    /// Mode this rig was built for.
+    pub mode: Mode,
+}
+
+/// Worker core for RPC threads (the paper dedicates a core to the
+/// worker, §3.1).
+pub const RPC_CORE: usize = 7;
+/// Socket staging capacity.
+pub const SOCKET_STAGING: usize = 4 << 20;
+
+impl Rig {
+    /// Builds a rig for `mode`. `data_bytes` sizes the enclave linear
+    /// space and SUVM backing store; `cat` applies the 75/25 LLC
+    /// partition.
+    #[must_use]
+    pub fn new(scale: Scale, mode: Mode, data_bytes: usize, cat: bool) -> Rig {
+        let machine = paper_machine(scale);
+        if cat {
+            machine.enable_cat();
+        }
+        let enclave = mode.enclaved().then(|| {
+            machine
+                .driver
+                .create_enclave(&machine, data_bytes * 2 + (64 << 20))
+        });
+        let suvm = match mode {
+            Mode::EleosSuvm | Mode::EleosSuvmDirect => {
+                let e = enclave.as_ref().expect("suvm needs an enclave");
+                let ctx = ThreadCtx::for_enclave(&machine, e, 0);
+                let mut cfg = paper_suvm_config(scale, data_bytes * 2);
+                if mode == Mode::EleosSuvmDirect {
+                    cfg.seal_sub_pages = true;
+                }
+                Some(Suvm::new(&ctx, cfg))
+            }
+            _ => None,
+        };
+        let rpc = match mode {
+            Mode::EleosRpc | Mode::EleosSuvm | Mode::EleosSuvmDirect => Some(Arc::new(
+                with_syscalls(RpcService::builder(&machine), &machine)
+                    .workers(1, &[RPC_CORE])
+                    .build(),
+            )),
+            _ => None,
+        };
+        let wire = Arc::new(Wire::new([0x42; 16]));
+        let ut = ThreadCtx::untrusted(&machine, 0);
+        let fd = machine.host.socket(&ut, SOCKET_STAGING);
+        Rig {
+            machine,
+            enclave,
+            suvm,
+            rpc,
+            wire,
+            fd,
+            mode,
+        }
+    }
+
+    /// The data space applications should put their sensitive data in.
+    #[must_use]
+    pub fn data_space(&self) -> DataSpace {
+        match self.mode {
+            Mode::Native => DataSpace::Untrusted(Arc::clone(&self.machine)),
+            Mode::SgxOcall | Mode::EleosRpc => {
+                DataSpace::Enclave(Arc::clone(self.enclave.as_ref().expect("enclaved")))
+            }
+            Mode::EleosSuvm => DataSpace::suvm(self.suvm.as_ref().expect("suvm")),
+            Mode::EleosSuvmDirect => DataSpace::suvm_direct(self.suvm.as_ref().expect("suvm")),
+        }
+    }
+
+    /// The syscall path for this mode.
+    #[must_use]
+    pub fn io_path(&self) -> IoPath {
+        match self.mode {
+            Mode::Native => IoPath::Native,
+            Mode::SgxOcall => IoPath::Ocall,
+            _ => IoPath::Rpc(Arc::clone(self.rpc.as_ref().expect("rpc"))),
+        }
+    }
+
+    /// A measurement thread on `core`, entered if the mode is
+    /// enclaved.
+    #[must_use]
+    pub fn thread(&self, core: usize) -> ThreadCtx {
+        let mut t = match &self.enclave {
+            Some(e) => ThreadCtx::for_enclave(&self.machine, e, core),
+            None => ThreadCtx::untrusted(&self.machine, core),
+        };
+        if self.mode.enclaved() {
+            t.enter();
+        }
+        t
+    }
+
+    /// A `ServerIo` bound to this rig's socket.
+    #[must_use]
+    pub fn server_io(&self, ctx: &ThreadCtx, buf_len: usize) -> ServerIo {
+        ServerIo::new(ctx, self.fd, buf_len, self.io_path(), Arc::clone(&self.wire))
+    }
+
+    /// A second socket (for multi-threaded servers).
+    #[must_use]
+    pub fn extra_socket(&self) -> Fd {
+        let ut = ThreadCtx::untrusted(&self.machine, 0);
+        self.machine.host.socket(&ut, SOCKET_STAGING)
+    }
+}
+
+/// Result of a parameter-server measurement run.
+pub struct PsRun {
+    /// Requests served.
+    pub ops: u64,
+    /// End-to-end cycles on the serving core.
+    pub e2e_cycles: u64,
+    /// Cycles inside the update loops only.
+    pub inner_cycles: u64,
+    /// Stats delta over the measured phase.
+    pub stats: StatsSnapshot,
+}
+
+/// Builds, populates, warms and measures a parameter server under
+/// `mode`. `gen` produces request plaintexts.
+pub fn run_param_server(
+    rig: &Rig,
+    kind: TableKind,
+    n_keys: u64,
+    n_requests: usize,
+    warmup: usize,
+    mut gen: impl FnMut() -> Vec<u8>,
+) -> PsRun {
+    let mut ctx = rig.thread(0);
+    let mut server = ParamServer::new(rig.data_space(), kind, n_keys);
+    server.init(&mut ctx);
+    if kind == TableKind::OpenAddressing {
+        server.populate_bulk(&mut ctx, n_keys);
+    } else {
+        server.populate(&mut ctx, n_keys);
+    }
+    let io = rig.server_io(&ctx, 64 << 10);
+
+    // Warm-up (paper: first ten invocations discarded).
+    let ut = ThreadCtx::untrusted(&rig.machine, 0);
+    for _ in 0..warmup {
+        rig.machine.host.push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+        server.handle_request(&mut ctx, &io).expect("warmup request");
+    }
+
+    rig.machine.reset_counters();
+    let s0 = rig.machine.stats.snapshot();
+    let c0 = ctx.now();
+    let mut inner = 0u64;
+    let mut served = 0usize;
+    while served < n_requests {
+        // Keep the socket fed in batches without overrunning staging.
+        let batch = (n_requests - served).min(256);
+        for _ in 0..batch {
+            rig.machine.host.push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+        }
+        for _ in 0..batch {
+            inner += server.handle_request(&mut ctx, &io).expect("request queued");
+        }
+        served += batch;
+    }
+    let run = PsRun {
+        ops: served as u64,
+        e2e_cycles: ctx.now() - c0,
+        inner_cycles: inner,
+        stats: rig.machine.stats.snapshot() - s0,
+    };
+    if ctx.in_enclave() {
+        ctx.exit();
+    }
+    run
+}
+
+/// Prints an experiment header.
+pub fn header(id: &str, title: &str, paper: &str) {
+    println!();
+    println!("== {id}: {title}");
+    println!("   paper: {paper}");
+}
+
+/// Formats a ratio as `N.NNx`.
+#[must_use]
+pub fn x(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats ops/s with a k/M suffix.
+#[must_use]
+pub fn kops(t: f64) -> String {
+    if t >= 1e6 {
+        format!("{:.2}M", t / 1e6)
+    } else {
+        format!("{:.1}k", t / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let none: Vec<String> = vec![];
+        assert_eq!(Scale::from_args(&none).0, 4);
+        let full = vec!["--full".to_string()];
+        assert_eq!(Scale::from_args(&full).0, 1);
+        let s8 = vec!["--scale".to_string(), "8".to_string()];
+        assert_eq!(Scale::from_args(&s8).0, 8);
+    }
+
+    #[test]
+    fn scale_floors() {
+        let s = Scale(16);
+        assert_eq!(s.bytes(8 << 20), 512 << 10);
+        assert_eq!(s.bytes(4096), 4096);
+        assert_eq!(s.ops(100), 64);
+    }
+
+    #[test]
+    fn throughput_capping() {
+        // 1000 ops in 3.4e9 cycles = 1 second -> 1000 ops/s.
+        let t = throughput(1000, CPU_HZ as u64, 1_000_000, None);
+        assert!((t - 1000.0).abs() < 1.0);
+        // 10 Gb/s over 1 MB/op caps at 1250 ops/s; uncapped is higher.
+        let t = throughput(10_000, CPU_HZ as u64, 1_000_000, Some(10.0));
+        assert!((t - 1250.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rig_modes_assemble() {
+        let scale = Scale(16);
+        for mode in [Mode::Native, Mode::SgxOcall, Mode::EleosSuvm] {
+            let rig = Rig::new(scale, mode, 1 << 20, false);
+            assert_eq!(rig.mode.enclaved(), mode != Mode::Native);
+            let mut t = rig.thread(0);
+            let space = rig.data_space();
+            let a = space.alloc(64);
+            space.write(&mut t, a, b"rig");
+            let mut b = [0u8; 3];
+            space.read(&mut t, a, &mut b);
+            assert_eq!(&b, b"rig");
+            if t.in_enclave() {
+                t.exit();
+            }
+        }
+    }
+
+    #[test]
+    fn param_server_small_run() {
+        let rig = Rig::new(Scale(16), Mode::SgxOcall, 1 << 20, false);
+        let mut load = eleos_apps::loadgen::ParamLoad::new(1, 1000, 4, None);
+        let run = run_param_server(&rig, TableKind::OpenAddressing, 1000, 100, 10, move || {
+            load.next_plain()
+        });
+        assert_eq!(run.ops, 100);
+        assert!(run.e2e_cycles > run.inner_cycles);
+        assert!(run.stats.enclave_exits >= 200, "2 ocalls per request");
+    }
+}

@@ -1,0 +1,51 @@
+//! Smoke tests: every experiment's machinery stays runnable (tiny
+//! scale, minimal op counts). The heavyweight ones are exercised via
+//! the `repro` binary; these cover the harness plumbing in CI.
+
+use eleos_bench::experiments as exp;
+use eleos_bench::harness::Scale;
+
+const TINY: Scale = Scale(16);
+
+#[test]
+fn costs_microbench_runs() {
+    exp::costs::run(TINY);
+}
+
+#[test]
+fn table1_runs() {
+    exp::table1::run(TINY);
+}
+
+#[test]
+fn fig2b_runs() {
+    exp::fig2::run_2b(TINY);
+}
+
+#[test]
+fn fig6a_runs() {
+    exp::fig6::run_6a(TINY);
+}
+
+#[test]
+fn fig8a_runs() {
+    exp::fig8::run_8a(TINY);
+}
+
+#[test]
+fn table3_runs() {
+    exp::table3::run(TINY);
+}
+
+#[test]
+fn fig9_runs() {
+    exp::fig9::run(TINY);
+}
+
+#[test]
+fn ablations_run() {
+    exp::ablations::run_subpage_sweep(TINY);
+    exp::ablations::run_policy_sweep(TINY);
+    exp::ablations::run_zipf_sweep(TINY);
+    exp::ablations::run_pagesize_sweep(TINY);
+}

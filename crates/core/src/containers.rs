@@ -1,0 +1,596 @@
+//! Secure data containers over SUVM.
+//!
+//! The paper's spointer rules were designed so that "SUVM enables
+//! creating data containers of arbitrarily large sizes, whose content
+//! is stored securely in the backing store" (§3.2.2) — containers hold
+//! *unlinked* spointers and link only transiently during access. These
+//! are those containers:
+//!
+//! - [`SBox<T>`] — a single sealed value;
+//! - [`SVec<T>`] — a growable array of plain values;
+//! - [`SHashMap`] — an open-addressing byte-key/byte-value map, the
+//!   paper's parameter-server/KVS use case as a reusable type.
+
+use std::sync::Arc;
+
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::spointer::{Plain, SPtr};
+use crate::suvm::{Suvm, Sva};
+
+/// A single secure value.
+pub struct SBox<T: Plain> {
+    ptr: SPtr<T>,
+    suvm: Arc<Suvm>,
+}
+
+impl<T: Plain> SBox<T> {
+    /// Allocates and initializes a secure value.
+    #[must_use]
+    pub fn new(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, value: T) -> Self {
+        let sva = suvm.malloc(T::SIZE);
+        let ptr = SPtr::new(suvm, sva);
+        ptr.set(ctx, value);
+        Self {
+            ptr,
+            suvm: Arc::clone(suvm),
+        }
+    }
+
+    /// Reads the value.
+    #[must_use]
+    pub fn get(&self, ctx: &mut ThreadCtx) -> T {
+        self.ptr.get(ctx)
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, ctx: &mut ThreadCtx, value: T) {
+        self.ptr.set(ctx, value);
+    }
+
+    /// Frees the allocation.
+    pub fn free(self) {
+        let sva = self.ptr.sva();
+        self.ptr.unlink();
+        self.suvm.free(sva);
+    }
+}
+
+/// A growable secure array of [`Plain`] values.
+///
+/// Capacity grows geometrically; on growth the contents move through
+/// `suvm_memcpy` (sealed end to end — plaintext never leaves the
+/// enclave).
+pub struct SVec<T: Plain> {
+    suvm: Arc<Suvm>,
+    base: Sva,
+    len: usize,
+    capacity: usize,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Plain> SVec<T> {
+    /// Creates an empty vector with room for `capacity` elements.
+    #[must_use]
+    pub fn with_capacity(suvm: &Arc<Suvm>, capacity: usize) -> Self {
+        let capacity = capacity.max(8);
+        Self {
+            base: suvm.malloc(capacity * T::SIZE),
+            suvm: Arc::clone(suvm),
+            len: 0,
+            capacity,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn slot(&self, index: usize) -> Sva {
+        self.base + (index * T::SIZE) as u64
+    }
+
+    /// Appends a value, growing if needed.
+    pub fn push(&mut self, ctx: &mut ThreadCtx, value: T) {
+        if self.len == self.capacity {
+            self.grow(ctx);
+        }
+        let p = SPtr::new(&self.suvm, self.slot(self.len));
+        p.set(ctx, value);
+        self.len += 1;
+    }
+
+    fn grow(&mut self, ctx: &mut ThreadCtx) {
+        let new_cap = self.capacity * 2;
+        let new_base = self.suvm.malloc(new_cap * T::SIZE);
+        self.suvm
+            .memcpy(ctx, new_base, self.base, self.len * T::SIZE);
+        self.suvm.free(self.base);
+        self.base = new_base;
+        self.capacity = new_cap;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self, ctx: &mut ThreadCtx) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let p = SPtr::new(&self.suvm, self.slot(self.len));
+        Some(p.get(ctx))
+    }
+
+    /// Reads element `index`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, ctx: &mut ThreadCtx, index: usize) -> T {
+        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        SPtr::new(&self.suvm, self.slot(index)).get(ctx)
+    }
+
+    /// Writes element `index`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn set(&mut self, ctx: &mut ThreadCtx, index: usize, value: T) {
+        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        SPtr::new(&self.suvm, self.slot(index)).set(ctx, value);
+    }
+
+    /// Sequential scan with a fold, using one linked spointer that
+    /// walks the array — the access pattern the spointer fast path is
+    /// built for (one translation per page).
+    pub fn fold<A>(&self, ctx: &mut ThreadCtx, init: A, mut f: impl FnMut(A, T) -> A) -> A {
+        let mut acc = init;
+        let mut p: SPtr<T> = SPtr::new(&self.suvm, self.base);
+        for _ in 0..self.len {
+            acc = f(acc, p.get(ctx));
+            p.add(1);
+        }
+        acc
+    }
+
+    /// Frees the storage.
+    pub fn free(self) {
+        self.suvm.free(self.base);
+    }
+}
+
+/// Entry header inside the table region: `[key_len u32][val_len u32]`
+/// followed by key and value bytes in a separately allocated record.
+const SLOT_BYTES: usize = 16; // hash(8) + record sva(8); hash 0 = empty
+
+/// An open-addressing hash map with byte-slice keys and values, fully
+/// resident in SUVM.
+///
+/// # Examples
+///
+/// ```
+/// use eleos_core::{SHashMap, Suvm, SuvmConfig};
+/// use eleos_enclave::machine::{MachineConfig, SgxMachine};
+/// use eleos_enclave::thread::ThreadCtx;
+///
+/// let m = SgxMachine::new(MachineConfig::tiny());
+/// let e = m.driver.create_enclave(&m, 2 << 20);
+/// let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+/// let suvm = Suvm::new(&t, SuvmConfig::tiny());
+/// t.enter();
+///
+/// let mut map = SHashMap::new(&suvm, &mut t, 64);
+/// map.insert(&mut t, b"alice", b"reviewer");
+/// assert_eq!(map.get(&mut t, b"alice").unwrap(), b"reviewer");
+/// assert!(map.get(&mut t, b"bob").is_none());
+/// t.exit();
+/// ```
+pub struct SHashMap {
+    suvm: Arc<Suvm>,
+    table: Sva,
+    slots: u64,
+    len: u64,
+}
+
+impl SHashMap {
+    /// Creates a map sized for `capacity` entries.
+    #[must_use]
+    pub fn new(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, capacity: u64) -> Self {
+        let slots = (capacity.max(4) * 2).next_power_of_two();
+        let table = suvm.malloc((slots as usize) * SLOT_BYTES);
+        suvm.memset(ctx, table, (slots as usize) * SLOT_BYTES, 0);
+        Self {
+            suvm: Arc::clone(suvm),
+            table,
+            slots,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn hash(key: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        // Never 0 (the empty marker) or 1 (the tombstone marker).
+        h.max(2)
+    }
+
+    fn slot_sva(&self, slot: u64) -> Sva {
+        self.table + slot * SLOT_BYTES as u64
+    }
+
+    fn read_record(&self, ctx: &mut ThreadCtx, rec: Sva) -> (Vec<u8>, Vec<u8>) {
+        let mut hdr = [0u8; 8];
+        self.suvm.read(ctx, rec, &mut hdr);
+        let klen = u32::from_le_bytes(hdr[..4].try_into().expect("hdr")) as usize;
+        let vlen = u32::from_le_bytes(hdr[4..].try_into().expect("hdr")) as usize;
+        let mut key = vec![0u8; klen];
+        self.suvm.read(ctx, rec + 8, &mut key);
+        let mut value = vec![0u8; vlen];
+        self.suvm.read(ctx, rec + 8 + klen as u64, &mut value);
+        (key, value)
+    }
+
+    /// Visits every live entry's record address.
+    fn for_each_record(&self, ctx: &mut ThreadCtx, mut f: impl FnMut(Sva)) {
+        for slot in 0..self.slots {
+            let mut pair = [0u8; 16];
+            self.suvm.read(ctx, self.slot_sva(slot), &mut pair);
+            let h = u64::from_le_bytes(pair[..8].try_into().expect("pair"));
+            if h >= 2 {
+                f(u64::from_le_bytes(pair[8..].try_into().expect("pair")));
+            }
+        }
+    }
+
+    /// Visits every `(key, value)` (slot order).
+    pub fn for_each(&self, ctx: &mut ThreadCtx, mut f: impl FnMut(&[u8], &[u8])) {
+        let mut records = Vec::new();
+        self.for_each_record(ctx, |rec| records.push(rec));
+        for rec in records {
+            let (k, v) = self.read_record(ctx, rec);
+            f(&k, &v);
+        }
+    }
+
+    /// Doubles the slot array, rehashing every entry. The records stay
+    /// where they are; only the `(hash, record)` pairs move — cheap
+    /// even for large values.
+    fn grow(&mut self, ctx: &mut ThreadCtx) {
+        let mut records = Vec::with_capacity(self.len as usize);
+        self.for_each_record(ctx, |rec| records.push(rec));
+        let old_table = self.table;
+        self.slots *= 2;
+        self.table = self.suvm.malloc((self.slots as usize) * SLOT_BYTES);
+        self.suvm
+            .memset(ctx, self.table, (self.slots as usize) * SLOT_BYTES, 0);
+        for rec in records {
+            let (key, _) = self.read_record(ctx, rec);
+            let h = Self::hash(&key);
+            let mut slot = h & (self.slots - 1);
+            loop {
+                let sva = self.slot_sva(slot);
+                let mut pair = [0u8; 16];
+                self.suvm.read(ctx, sva, &mut pair);
+                if u64::from_le_bytes(pair[..8].try_into().expect("pair")) == 0 {
+                    let mut fresh = [0u8; 16];
+                    fresh[..8].copy_from_slice(&h.to_le_bytes());
+                    fresh[8..].copy_from_slice(&rec.to_le_bytes());
+                    self.suvm.write(ctx, sva, &fresh);
+                    break;
+                }
+                slot = (slot + 1) & (self.slots - 1);
+            }
+        }
+        self.suvm.free(old_table);
+    }
+
+    /// Inserts or replaces `key`, returning the previous value if any.
+    /// The table doubles (rehashes) past 50% load.
+    pub fn insert(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        key: &[u8],
+        value: &[u8],
+    ) -> Option<Vec<u8>> {
+        if (self.len + 1) * 2 > self.slots {
+            self.grow(ctx);
+        }
+        let h = Self::hash(key);
+        let mut slot = h & (self.slots - 1);
+        let mut first_tombstone: Option<u64> = None;
+        loop {
+            let sva = self.slot_sva(slot);
+            let mut pair = [0u8; 16];
+            self.suvm.read(ctx, sva, &mut pair);
+            let stored_hash = u64::from_le_bytes(pair[..8].try_into().expect("pair"));
+            let rec = u64::from_le_bytes(pair[8..].try_into().expect("pair"));
+            match stored_hash {
+                0 => {
+                    // Empty: insert (reusing an earlier tombstone if seen).
+                    let target = first_tombstone.map_or(sva, |s| self.slot_sva(s));
+                    let rec = self.alloc_record(ctx, key, value);
+                    let mut pair = [0u8; 16];
+                    pair[..8].copy_from_slice(&h.to_le_bytes());
+                    pair[8..].copy_from_slice(&rec.to_le_bytes());
+                    self.suvm.write(ctx, target, &pair);
+                    self.len += 1;
+                    return None;
+                }
+                1 if first_tombstone.is_none() => first_tombstone = Some(slot),
+                1 => {}
+                sh if sh == h => {
+                    let (stored_key, old_value) = self.read_record(ctx, rec);
+                    if stored_key == key {
+                        // Replace in place.
+                        self.suvm.free(rec);
+                        let new_rec = self.alloc_record(ctx, key, value);
+                        self.suvm.write(ctx, sva + 8, &new_rec.to_le_bytes());
+                        return Some(old_value);
+                    }
+                }
+                _ => {}
+            }
+            slot = (slot + 1) & (self.slots - 1);
+        }
+    }
+
+    fn alloc_record(&self, ctx: &mut ThreadCtx, key: &[u8], value: &[u8]) -> Sva {
+        let rec = self.suvm.malloc(8 + key.len() + value.len());
+        let mut hdr = [0u8; 8];
+        hdr[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        hdr[4..].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        self.suvm.write(ctx, rec, &hdr);
+        self.suvm.write(ctx, rec + 8, key);
+        self.suvm.write(ctx, rec + 8 + key.len() as u64, value);
+        rec
+    }
+
+    fn find_slot(&self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<(u64, Sva)> {
+        let h = Self::hash(key);
+        let mut slot = h & (self.slots - 1);
+        loop {
+            let sva = self.slot_sva(slot);
+            let mut pair = [0u8; 16];
+            self.suvm.read(ctx, sva, &mut pair);
+            let stored_hash = u64::from_le_bytes(pair[..8].try_into().expect("pair"));
+            let rec = u64::from_le_bytes(pair[8..].try_into().expect("pair"));
+            match stored_hash {
+                0 => return None,
+                1 => {}
+                sh if sh == h => {
+                    let (stored_key, _) = self.read_record(ctx, rec);
+                    if stored_key == key {
+                        return Some((slot, rec));
+                    }
+                }
+                _ => {}
+            }
+            slot = (slot + 1) & (self.slots - 1);
+        }
+    }
+
+    /// Looks up `key`.
+    #[must_use]
+    pub fn get(&self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<Vec<u8>> {
+        let (_, rec) = self.find_slot(ctx, key)?;
+        Some(self.read_record(ctx, rec).1)
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains(&self, ctx: &mut ThreadCtx, key: &[u8]) -> bool {
+        self.find_slot(ctx, key).is_some()
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<Vec<u8>> {
+        let (slot, rec) = self.find_slot(ctx, key)?;
+        let value = self.read_record(ctx, rec).1;
+        self.suvm.free(rec);
+        // Tombstone the slot.
+        let mut pair = [0u8; 16];
+        pair[..8].copy_from_slice(&1u64.to_le_bytes());
+        self.suvm.write(ctx, self.slot_sva(slot), &pair);
+        self.len -= 1;
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SuvmConfig;
+    use eleos_enclave::machine::{MachineConfig, SgxMachine};
+
+    fn rig() -> (Arc<SgxMachine>, Arc<Suvm>, ThreadCtx) {
+        let m = SgxMachine::new(MachineConfig::scaled(4));
+        let e = m.driver.create_enclave(&m, 8 << 20);
+        let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+        let s = Suvm::new(
+            &t0,
+            SuvmConfig {
+                epcpp_bytes: 16 * 4096, // tiny: containers page constantly
+                backing_bytes: 8 << 20,
+                ..SuvmConfig::tiny()
+            },
+        );
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        (m, s, t)
+    }
+
+    #[test]
+    fn sbox_roundtrip() {
+        let (_m, s, mut t) = rig();
+        let b = SBox::new(&s, &mut t, 0xdead_beefu64);
+        assert_eq!(b.get(&mut t), 0xdead_beef);
+        b.set(&mut t, 7);
+        assert_eq!(b.get(&mut t), 7);
+        b.free();
+        t.exit();
+    }
+
+    #[test]
+    fn svec_push_pop_grow() {
+        let (_m, s, mut t) = rig();
+        let mut v: SVec<u64> = SVec::with_capacity(&s, 8);
+        for i in 0..10_000u64 {
+            v.push(&mut t, i * i);
+        }
+        assert_eq!(v.len(), 10_000);
+        assert!(v.capacity() >= 10_000);
+        for i in (0..10_000u64).step_by(997) {
+            assert_eq!(v.get(&mut t, i as usize), i * i);
+        }
+        v.set(&mut t, 5, 999);
+        assert_eq!(v.get(&mut t, 5), 999);
+        assert_eq!(v.pop(&mut t), Some(9999u64 * 9999));
+        assert_eq!(v.len(), 9_999);
+        v.free();
+        t.exit();
+    }
+
+    #[test]
+    fn svec_fold_walks_linked() {
+        let (m, s, mut t) = rig();
+        let mut v: SVec<u32> = SVec::with_capacity(&s, 16);
+        for _ in 0..8192 {
+            v.push(&mut t, 1);
+        }
+        let s0 = m.stats.snapshot();
+        let total = v.fold(&mut t, 0u64, |acc, x| acc + x as u64);
+        assert_eq!(total, 8192);
+        let d = m.stats.snapshot() - s0;
+        // The linked walk performs roughly one link per page, not one
+        // per element.
+        let pages = (8192 * 4) / 4096;
+        assert!(
+            d.suvm_minor_faults + d.suvm_major_faults <= 2 * pages + 4,
+            "too many translations: {} for {} pages",
+            d.suvm_minor_faults + d.suvm_major_faults,
+            pages
+        );
+        v.free();
+        t.exit();
+    }
+
+    #[test]
+    fn svec_empty_pop() {
+        let (_m, s, mut t) = rig();
+        let mut v: SVec<u64> = SVec::with_capacity(&s, 8);
+        assert!(v.is_empty());
+        assert_eq!(v.pop(&mut t), None);
+        v.free();
+        t.exit();
+    }
+
+    #[test]
+    fn shashmap_insert_get_remove() {
+        let (_m, s, mut t) = rig();
+        let mut map = SHashMap::new(&s, &mut t, 2000);
+        for i in 0..1000u32 {
+            let prev = map.insert(
+                &mut t,
+                format!("key-{i}").as_bytes(),
+                &vec![(i % 251) as u8; 50 + (i as usize % 100)],
+            );
+            assert!(prev.is_none());
+        }
+        assert_eq!(map.len(), 1000);
+        for i in (0..1000u32).step_by(7) {
+            let v = map.get(&mut t, format!("key-{i}").as_bytes()).unwrap();
+            assert_eq!(v, vec![(i % 251) as u8; 50 + (i as usize % 100)]);
+        }
+        // Replace.
+        let old = map.insert(&mut t, b"key-5", b"new").unwrap();
+        assert_eq!(old, vec![5u8; 55]);
+        assert_eq!(map.get(&mut t, b"key-5").unwrap(), b"new");
+        assert_eq!(map.len(), 1000);
+        // Remove + tombstone probing.
+        assert_eq!(map.remove(&mut t, b"key-7").unwrap(), vec![7u8; 57]);
+        assert!(!map.contains(&mut t, b"key-7"));
+        assert_eq!(map.len(), 999);
+        assert!(map.get(&mut t, b"key-8").is_some(), "probe past tombstone");
+        // Reinsert into the tombstone.
+        assert!(map.insert(&mut t, b"key-7", b"back").is_none());
+        assert_eq!(map.get(&mut t, b"key-7").unwrap(), b"back");
+        t.exit();
+    }
+
+    #[test]
+    fn shashmap_missing_keys() {
+        let (_m, s, mut t) = rig();
+        let mut map = SHashMap::new(&s, &mut t, 64);
+        assert!(map.get(&mut t, b"nope").is_none());
+        assert!(map.remove(&mut t, b"nope").is_none());
+        map.insert(&mut t, b"a", b"1");
+        assert!(map.get(&mut t, b"b").is_none());
+        t.exit();
+    }
+
+    #[test]
+    fn shashmap_grows_past_initial_capacity() {
+        let (_m, s, mut t) = rig();
+        let mut map = SHashMap::new(&s, &mut t, 8); // 16 slots initially
+        for i in 0..500u32 {
+            map.insert(&mut t, format!("grow-{i}").as_bytes(), &i.to_le_bytes());
+        }
+        assert_eq!(map.len(), 500);
+        for i in (0..500u32).step_by(11) {
+            assert_eq!(
+                map.get(&mut t, format!("grow-{i}").as_bytes()).unwrap(),
+                i.to_le_bytes()
+            );
+        }
+        // Iteration sees every entry exactly once.
+        let mut seen = std::collections::HashSet::new();
+        map.for_each(&mut t, |k, _| {
+            assert!(seen.insert(k.to_vec()), "duplicate key in iteration");
+        });
+        assert_eq!(seen.len(), 500);
+        t.exit();
+    }
+
+    #[test]
+    fn containers_survive_total_eviction() {
+        let (_m, s, mut t) = rig();
+        let mut map = SHashMap::new(&s, &mut t, 500);
+        for i in 0..300u32 {
+            map.insert(&mut t, &i.to_le_bytes(), &[i as u8; 200]);
+        }
+        while s.evict_one(&mut t) {}
+        assert_eq!(s.resident_pages(), 0);
+        for i in (0..300u32).step_by(13) {
+            assert_eq!(map.get(&mut t, &i.to_le_bytes()).unwrap(), [i as u8; 200]);
+        }
+        t.exit();
+    }
+}

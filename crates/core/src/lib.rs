@@ -1,0 +1,59 @@
+//! **Eleos** — ExitLess OS services for SGX enclaves.
+//!
+//! This crate is the paper's primary contribution (Orenbach et al.,
+//! EuroSys 2017): **Secure User-managed Virtual Memory (SUVM)**, an
+//! application-level paging system that runs entirely inside the
+//! enclave, eliminating the enclave exits that dominate the cost of
+//! SGX hardware paging. Together with the exit-less RPC of `eleos-rpc`
+//! it removes both classes of exits that §2 of the paper identifies as
+//! the root cause of in-enclave slowdowns.
+//!
+//! - [`Suvm`] — the runtime: `suvm_malloc`/`suvm_free`
+//!   ([`Suvm::malloc`]/[`Suvm::free`]), bulk
+//!   `memcpy`/`memset`/`memcmp`, the in-enclave fault path, CLOCK
+//!   eviction with clean-page write-back elision, and direct sub-page
+//!   access to the backing store (§3.2.4);
+//! - [`spointer::SPtr`] — secure active pointers with software address
+//!   translation cached per page (§3.2.2);
+//! - [`swapper::Swapper`] — the periodic free-pool/ballooning thread
+//!   (§3.3);
+//! - [`config::SuvmConfig`] — the expert tuning surface.
+//!
+//! # Examples
+//!
+//! ```
+//! use eleos_core::{Suvm, SuvmConfig};
+//! use eleos_core::spointer::SPtr;
+//! use eleos_enclave::machine::{MachineConfig, SgxMachine};
+//! use eleos_enclave::thread::ThreadCtx;
+//!
+//! let machine = SgxMachine::new(MachineConfig::tiny());
+//! let enclave = machine.driver.create_enclave(&machine, 96 * 4096);
+//! let mut t = ThreadCtx::for_enclave(&machine, &enclave, 0);
+//! let suvm = Suvm::new(&t, SuvmConfig::tiny());
+//!
+//! t.enter();
+//! let sva = suvm.malloc(4096);
+//! let p: SPtr<u64> = SPtr::new(&suvm, sva);
+//! p.set(&mut t, 0xfeed);
+//! assert_eq!(p.get(&mut t), 0xfeed);
+//! suvm.free(sva);
+//! t.exit();
+//! ```
+
+pub mod config;
+pub mod containers;
+pub mod raw;
+pub mod runtime;
+pub mod shared;
+pub mod spointer;
+pub mod suvm;
+pub mod swapper;
+pub mod table;
+
+pub use config::{EvictPolicy, SuvmConfig};
+pub use containers::{SBox, SHashMap, SVec};
+pub use spointer::{Plain, SPtr};
+pub use suvm::{Suvm, Sva};
+pub use runtime::{Eleos, EleosBuilder};
+pub use swapper::Swapper;

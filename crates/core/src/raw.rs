@@ -1,0 +1,181 @@
+//! The C-style SUVM interface (paper §3.2.3).
+//!
+//! "For applications written in C, we provide a lower level API for
+//! operating on the spointer data type" — the memcached port uses it
+//! because C cannot instantiate the C++ spointer template. This module
+//! mirrors that interface: a plain-old-data [`RawSPtr`] handle plus
+//! free functions (`suvm_malloc`, `suvm_free`, `sptr_deref_*`,
+//! `sptr_add`, …) operating on it. The handle carries no link state —
+//! every dereference goes through the page table, the paper's
+//! "requires more effort to adapt" trade-off (§5).
+
+use std::sync::Arc;
+
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::suvm::{Suvm, Sva};
+
+/// A plain-old-data secure pointer: just an address, freely copyable
+/// and storable inside other (clear or secure) structures — exactly
+/// what a C `suvm_ptr_t` would be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct RawSPtr(pub Sva);
+
+impl RawSPtr {
+    /// The null secure pointer.
+    pub const NULL: RawSPtr = RawSPtr(u64::MAX);
+
+    /// Whether this is [`Self::NULL`].
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+}
+
+/// `suvm_malloc(3)`: allocates `len` bytes of secure memory.
+#[must_use]
+pub fn suvm_malloc(suvm: &Arc<Suvm>, len: usize) -> RawSPtr {
+    RawSPtr(suvm.malloc(len))
+}
+
+/// `suvm_free(3)`.
+///
+/// # Panics
+/// Panics on a pointer that is null or not an allocation start.
+pub fn suvm_free(suvm: &Arc<Suvm>, p: RawSPtr) {
+    assert!(!p.is_null(), "suvm_free(NULL)");
+    suvm.free(p.0);
+}
+
+/// `sptr_add`: pointer arithmetic in bytes.
+#[must_use]
+pub fn sptr_add(p: RawSPtr, bytes: u64) -> RawSPtr {
+    RawSPtr(p.0 + bytes)
+}
+
+/// `sptr_read`: copies out of secure memory.
+pub fn sptr_read(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, p: RawSPtr, buf: &mut [u8]) {
+    assert!(!p.is_null(), "deref of NULL secure pointer");
+    suvm.read(ctx, p.0, buf);
+}
+
+/// `sptr_write`: copies into secure memory.
+pub fn sptr_write(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, p: RawSPtr, data: &[u8]) {
+    assert!(!p.is_null(), "deref of NULL secure pointer");
+    suvm.write(ctx, p.0, data);
+}
+
+/// `sptr_deref_u64` — the get macro of §3.2.4.
+#[must_use]
+pub fn sptr_deref_u64(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, p: RawSPtr) -> u64 {
+    let mut b = [0u8; 8];
+    sptr_read(suvm, ctx, p, &mut b);
+    u64::from_le_bytes(b)
+}
+
+/// `sptr_set_u64` — the set macro of §3.2.4 (marks the page dirty).
+pub fn sptr_set_u64(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, p: RawSPtr, v: u64) {
+    sptr_write(suvm, ctx, p, &v.to_le_bytes());
+}
+
+/// `suvm_memcpy(3)` between secure regions.
+pub fn suvm_memcpy(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, dst: RawSPtr, src: RawSPtr, len: usize) {
+    suvm.memcpy(ctx, dst.0, src.0, len);
+}
+
+/// `suvm_memset(3)`.
+pub fn suvm_memset(suvm: &Arc<Suvm>, ctx: &mut ThreadCtx, p: RawSPtr, byte: u8, len: usize) {
+    suvm.memset(ctx, p.0, len, byte);
+}
+
+/// `suvm_memcmp(3)`.
+#[must_use]
+pub fn suvm_memcmp(
+    suvm: &Arc<Suvm>,
+    ctx: &mut ThreadCtx,
+    a: RawSPtr,
+    b: RawSPtr,
+    len: usize,
+) -> core::cmp::Ordering {
+    suvm.memcmp(ctx, a.0, b.0, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SuvmConfig;
+    use eleos_enclave::machine::{MachineConfig, SgxMachine};
+
+    fn rig() -> (Arc<Suvm>, ThreadCtx) {
+        let m = SgxMachine::new(MachineConfig::scaled(4));
+        let e = m.driver.create_enclave(&m, 4 << 20);
+        let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+        let s = Suvm::new(&t0, SuvmConfig::tiny());
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        (s, t)
+    }
+
+    #[test]
+    fn c_style_roundtrip() {
+        let (s, mut t) = rig();
+        let p = suvm_malloc(&s, 4096);
+        assert!(!p.is_null());
+        sptr_set_u64(&s, &mut t, p, 42);
+        let q = sptr_add(p, 8);
+        sptr_set_u64(&s, &mut t, q, 43);
+        assert_eq!(sptr_deref_u64(&s, &mut t, p), 42);
+        assert_eq!(sptr_deref_u64(&s, &mut t, q), 43);
+        suvm_free(&s, p);
+        t.exit();
+    }
+
+    #[test]
+    fn c_style_mem_ops() {
+        let (s, mut t) = rig();
+        let a = suvm_malloc(&s, 1024);
+        let b = suvm_malloc(&s, 1024);
+        suvm_memset(&s, &mut t, a, 0x77, 1024);
+        suvm_memcpy(&s, &mut t, b, a, 1024);
+        assert_eq!(
+            suvm_memcmp(&s, &mut t, a, b, 1024),
+            core::cmp::Ordering::Equal
+        );
+        sptr_write(&s, &mut t, sptr_add(b, 512), b"!");
+        assert_ne!(
+            suvm_memcmp(&s, &mut t, a, b, 1024),
+            core::cmp::Ordering::Equal
+        );
+        t.exit();
+    }
+
+    #[test]
+    fn raw_pointers_are_storable_pod() {
+        // A RawSPtr can live inside another SUVM allocation (a linked
+        // structure entirely in secure memory, built C-style).
+        let (s, mut t) = rig();
+        let node1 = suvm_malloc(&s, 16); // [value u64][next u64]
+        let node2 = suvm_malloc(&s, 16);
+        sptr_set_u64(&s, &mut t, node1, 100);
+        sptr_set_u64(&s, &mut t, sptr_add(node1, 8), node2.0);
+        sptr_set_u64(&s, &mut t, node2, 200);
+        sptr_set_u64(&s, &mut t, sptr_add(node2, 8), RawSPtr::NULL.0);
+        // Walk the list.
+        let mut cur = node1;
+        let mut values = Vec::new();
+        while !cur.is_null() {
+            values.push(sptr_deref_u64(&s, &mut t, cur));
+            cur = RawSPtr(sptr_deref_u64(&s, &mut t, sptr_add(cur, 8)));
+        }
+        assert_eq!(values, [100, 200]);
+        t.exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn null_deref_panics() {
+        let (s, mut t) = rig();
+        let _ = sptr_deref_u64(&s, &mut t, RawSPtr::NULL);
+    }
+}

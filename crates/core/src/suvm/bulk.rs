@@ -1,0 +1,102 @@
+//! SUVM bulk memory operations (suvm_memcpy and friends).
+use super::*;
+
+impl Suvm {
+    // ------------------------------------------------------------------
+    // Bulk operations (suvm_memcpy-style, §3.2.3).
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at `sva` (unlinked access: one
+    /// page-table lookup per page touched).
+    pub fn read(&self, ctx: &mut ThreadCtx, sva: Sva, buf: &mut [u8]) {
+        let ps = self.cfg.page_size;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let addr = sva + off as u64;
+            let page = self.page_of(addr);
+            let in_page = (addr % ps as u64) as usize;
+            let n = (ps - in_page).min(buf.len() - off);
+            let (frame, _) = self.fault_in_and_pin(ctx, page);
+            ctx.read_enclave(self.epcpp_vaddr(frame, in_page), &mut buf[off..off + n]);
+            self.unpin(frame);
+            off += n;
+        }
+    }
+
+    /// Writes `data` starting at `sva`, marking the touched pages dirty.
+    pub fn write(&self, ctx: &mut ThreadCtx, sva: Sva, data: &[u8]) {
+        let ps = self.cfg.page_size;
+        let mut off = 0usize;
+        while off < data.len() {
+            let addr = sva + off as u64;
+            let page = self.page_of(addr);
+            let in_page = (addr % ps as u64) as usize;
+            let n = (ps - in_page).min(data.len() - off);
+            let (frame, _) = self.fault_in_and_pin(ctx, page);
+            ctx.write_enclave(self.epcpp_vaddr(frame, in_page), &data[off..off + n]);
+            self.mark_dirty(frame);
+            self.unpin(frame);
+            off += n;
+        }
+    }
+
+    /// Prefetches `[sva, sva+len)` into EPC++ (up to the cache size),
+    /// so subsequent accesses start warm — the §6.1.2 microbenchmarks
+    /// pre-fault their arrays this way.
+    pub fn prefetch(&self, ctx: &mut ThreadCtx, sva: Sva, len: usize) {
+        let first = self.page_of(sva);
+        let last = self.page_of(sva + len.saturating_sub(1) as u64);
+        let budget = self.frame_limit().saturating_sub(self.cfg.free_watermark);
+        for (i, page) in (first..=last).enumerate() {
+            if i >= budget {
+                break;
+            }
+            let (frame, _) = self.fault_in_and_pin(ctx, page);
+            self.unpin(frame);
+        }
+    }
+
+    /// `suvm_memset`: fills `[sva, sva+len)` with `byte`.
+    pub fn memset(&self, ctx: &mut ThreadCtx, sva: Sva, len: usize, byte: u8) {
+        let chunk = vec![byte; self.cfg.page_size];
+        let mut off = 0usize;
+        while off < len {
+            let n = (len - off).min(self.cfg.page_size);
+            self.write(ctx, sva + off as u64, &chunk[..n]);
+            off += n;
+        }
+    }
+
+    /// `suvm_memcmp`: compares `[a, a+len)` with `[b, b+len)`.
+    #[must_use]
+    pub fn memcmp(&self, ctx: &mut ThreadCtx, a: Sva, b: Sva, len: usize) -> core::cmp::Ordering {
+        let ps = self.cfg.page_size;
+        let mut off = 0usize;
+        let mut ab = vec![0u8; ps];
+        let mut bb = vec![0u8; ps];
+        while off < len {
+            let n = (len - off).min(ps);
+            self.read(ctx, a + off as u64, &mut ab[..n]);
+            self.read(ctx, b + off as u64, &mut bb[..n]);
+            match ab[..n].cmp(&bb[..n]) {
+                core::cmp::Ordering::Equal => off += n,
+                other => return other,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+
+    /// `suvm_memcpy` within the secure space.
+    pub fn memcpy(&self, ctx: &mut ThreadCtx, dst: Sva, src: Sva, len: usize) {
+        let ps = self.cfg.page_size;
+        let mut buf = vec![0u8; ps];
+        let mut off = 0usize;
+        while off < len {
+            let n = (len - off).min(ps);
+            self.read(ctx, src + off as u64, &mut buf[..n]);
+            self.write(ctx, dst + off as u64, &buf[..n]);
+            off += n;
+        }
+    }
+
+}

@@ -1,0 +1,318 @@
+//! SUVM fault handling and eviction (split from the main module).
+use super::*;
+
+impl Suvm {
+    // ------------------------------------------------------------------
+    // Fault handling (§3.2.2): all in-enclave, no exits.
+    // ------------------------------------------------------------------
+
+    /// Looks up `page`, faulting it in if needed, and pins it. Returns
+    /// `(frame, was_resident)`.
+    pub(crate) fn fault_in_and_pin(&self, ctx: &mut ThreadCtx, page: u64) -> (u32, bool) {
+        assert!(ctx.in_enclave(), "SUVM runs inside the enclave");
+        let costs = &self.machine.cfg.costs;
+        ctx.compute(costs.suvm_lookup);
+        // Fast path: resident.
+        if let Some(frame) = self.try_pin(page) {
+            return (frame, true);
+        }
+        // Major fault: acquire a frame, load, then publish.
+        Stats::bump(&self.machine.stats.suvm_major_faults);
+        self.local.major_faults.fetch_add(1, Ordering::Relaxed);
+        self.charge_metadata_pressure(ctx);
+        self.machine.trace.record(
+            ctx.now(),
+            eleos_sim::trace::Event::SuvmFault {
+                core: ctx.core.id,
+                page,
+            },
+        );
+        loop {
+            let frame = self.acquire_frame(ctx);
+            if !self.load_page_in(ctx, page, frame) {
+                // Raced a concurrent re-seal of this page; retry.
+                self.push_free(frame);
+                if let Some(frame) = self.try_pin(page) {
+                    return (frame, true);
+                }
+                continue;
+            }
+            // Publish, unless somebody beat us to it.
+            let won = self.pt.with_bucket(page, |b| {
+                if b.iter().any(|(p, _)| *p == page) {
+                    return false;
+                }
+                let meta = &self.frames[frame as usize];
+                meta.page.store(page, Ordering::Release);
+                meta.pinned.store(1, Ordering::Release);
+                meta.dirty.store(false, Ordering::Release);
+                meta.referenced.store(true, Ordering::Release);
+                b.push((page, frame));
+                true
+            });
+            if won {
+                return (frame, false);
+            }
+            // Lost the race: recycle our frame and pin the winner's.
+            self.push_free(frame);
+            if let Some(frame) = self.try_pin(page) {
+                return (frame, true);
+            }
+            // The winner's frame was evicted already; try again.
+        }
+    }
+
+    /// The §4.1/§4.2 effect: SUVM metadata lives in EPC and is paged
+    /// by the hardware when it outgrows the enclave's headroom. Each
+    /// fault touches ~2 metadata entries at random; the expected
+    /// hardware-fault cost of those touches is charged here.
+    fn charge_metadata_pressure(&self, ctx: &mut ThreadCtx) {
+        if !self.cfg.model_metadata_pressure {
+            return;
+        }
+        // ~44 B per sealed page (nonce, tag, version, hash slot) plus
+        // 16 B per EPC++ frame mapping.
+        let meta = self.seals.live_entries() * 44 + self.frames.len() * 16;
+        let headroom = self.cfg.headroom_bytes.max(1);
+        if meta <= headroom {
+            return;
+        }
+        let miss_p = 1.0 - headroom as f64 / meta as f64;
+        let costs = &self.machine.cfg.costs;
+        let per_fault = (costs.exit_roundtrip()
+            + costs.hw_fault_dispatch
+            + (costs.hw_evict_page + costs.hw_load_page) / 2) as f64;
+        ctx.compute((miss_p * 2.0 * per_fault) as u64);
+    }
+
+    /// Pins `page`'s frame if resident. Pin 0→1 only happens under the
+    /// page's bucket lock, which is what makes eviction's
+    /// "unpinned ⇒ evictable" check race-free.
+    pub(super) fn try_pin(&self, page: u64) -> Option<u32> {
+        self.pt.with_bucket(page, |b| {
+            b.iter().find(|(p, _)| *p == page).map(|&(_, frame)| {
+                let meta = &self.frames[frame as usize];
+                meta.pinned.fetch_add(1, Ordering::AcqRel);
+                meta.referenced.store(true, Ordering::Release);
+                frame
+            })
+        })
+    }
+
+    /// Unpins a frame previously pinned by [`Self::fault_in_and_pin`].
+    pub(crate) fn unpin(&self, frame: u32) {
+        let old = self.frames[frame as usize].pinned.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(old > 0, "unpin of unpinned frame");
+    }
+
+    /// Marks a pinned frame dirty (write access).
+    pub(crate) fn mark_dirty(&self, frame: u32) {
+        self.frames[frame as usize].dirty.store(true, Ordering::Release);
+    }
+
+    fn acquire_frame(&self, ctx: &mut ThreadCtx) -> u32 {
+        loop {
+            if let Some(f) = self.free.lock().pop() {
+                if (f as usize) < self.limit.load(Ordering::Acquire) {
+                    return f;
+                }
+                continue; // Ballooned away; drop it.
+            }
+            assert!(
+                self.evict_one(ctx),
+                "EPC++ exhausted: every frame is pinned (too many live linked spointers)"
+            );
+        }
+    }
+
+    /// Evicts one page per the configured [`crate::EvictPolicy`],
+    /// sealing it
+    /// out if dirty. Scans *all* frames (including ballooned-away
+    /// ones, so a shrink eventually drains stragglers). Returns
+    /// `false` if nothing was evictable.
+    ///
+    /// Part of the expert tuning surface (§3): experiments use it to
+    /// drain EPC++ deterministically.
+    pub fn evict_one(&self, ctx: &mut ThreadCtx) -> bool {
+        let n = self.frames.len();
+        let max_steps = 2 * n + 1;
+        for step in 0..max_steps {
+            let idx = match self.cfg.policy {
+                crate::config::EvictPolicy::Clock | crate::config::EvictPolicy::Fifo => {
+                    let mut hand = self.hand.lock();
+                    let idx = *hand % n;
+                    *hand = (*hand + 1) % n;
+                    idx
+                }
+                crate::config::EvictPolicy::Random(seed) => {
+                    // Deterministic pseudo-random walk (splitmix-style
+                    // over a shared counter).
+                    let mut hand = self.hand.lock();
+                    *hand = hand.wrapping_add(1);
+                    let mut x = (*hand as u64)
+                        .wrapping_add(seed)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    x ^= x >> 31;
+                    (x as usize) % n
+                }
+            };
+            let meta = &self.frames[idx];
+            if meta.pinned.load(Ordering::Acquire) > 0 {
+                continue;
+            }
+            let page = meta.page.load(Ordering::Acquire);
+            if page == NO_PAGE {
+                continue;
+            }
+            // Second chance only under CLOCK — and only on the first
+            // lap (a full fruitless revolution must still evict).
+            if self.cfg.policy == crate::config::EvictPolicy::Clock
+                && step < n
+                && meta.referenced.swap(false, Ordering::AcqRel)
+            {
+                continue;
+            }
+            if self.try_evict_frame(ctx, idx as u32, page) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Unmaps `page` from `frame` and seals it out (or drops it when
+    /// clean). Returns `false` if the mapping changed or is pinned.
+    pub(super) fn try_evict_frame(&self, ctx: &mut ThreadCtx, frame: u32, page: u64) -> bool {
+        let meta = &self.frames[frame as usize];
+        let unmapped = self.pt.with_bucket(page, |b| {
+            let Some(idx) = b.iter().position(|(p, f)| *p == page && *f == frame) else {
+                return false;
+            };
+            if meta.pinned.load(Ordering::Acquire) > 0 {
+                return false;
+            }
+            b.swap_remove(idx);
+            true
+        });
+        if !unmapped {
+            return false;
+        }
+        let dirty = meta.dirty.swap(false, Ordering::AcqRel);
+        let has_copy = self.seals.get(page).has_copy();
+        if dirty || !has_copy || !self.cfg.clean_skip {
+            self.seal_page_out(ctx, page, frame);
+        } else {
+            // Clean page with a valid sealed copy: discard without the
+            // write-back (§3.2.4). SGX's EWB cannot do this.
+            Stats::bump(&self.machine.stats.suvm_clean_skips);
+            self.local.clean_skips.fetch_add(1, Ordering::Relaxed);
+        }
+        meta.page.store(NO_PAGE, Ordering::Release);
+        self.push_free(frame);
+        Stats::bump(&self.machine.stats.suvm_evictions);
+        self.local.evictions.fetch_add(1, Ordering::Relaxed);
+        self.machine.trace.record(
+            ctx.now(),
+            eleos_sim::trace::Event::SuvmEvict {
+                page,
+                clean_skip: !(dirty || !has_copy || !self.cfg.clean_skip),
+            },
+        );
+        true
+    }
+
+    /// Seals `frame`'s contents into the backing store as `page`.
+    ///
+    /// The crypto-metadata seqlock brackets the (ciphertext, metadata)
+    /// update so concurrent readers never mistake a torn pair for
+    /// tampering.
+    fn seal_page_out(&self, ctx: &mut ThreadCtx, page: u64, frame: u32) {
+        let ps = self.cfg.page_size;
+        let costs = &self.machine.cfg.costs;
+        let mut buf = vec![0u8; ps];
+        ctx.read_enclave_raw(self.epcpp_vaddr(frame, 0), &mut buf);
+        self.seals.begin_write(page);
+        let state = if self.cfg.seal_sub_pages {
+            let sp = self.cfg.sub_page_size;
+            let n_subs = ps / sp;
+            let mut meta = Vec::with_capacity(n_subs);
+            for s in 0..n_subs {
+                let nonce = self.next_nonce();
+                let tag = self
+                    .gcm
+                    .seal(&nonce, &Self::aad(page, s as u32), &mut buf[s * sp..(s + 1) * sp]);
+                meta.push((nonce, tag));
+                ctx.compute(costs.crypto_fixed);
+            }
+            ctx.compute((costs.crypto_cpb * ps as f64) as u64);
+            SealState::SubPages {
+                meta: meta.into_boxed_slice(),
+            }
+        } else {
+            let nonce = self.next_nonce();
+            let tag = self.gcm.seal(&nonce, &Self::aad(page, u32::MAX), &mut buf);
+            ctx.compute(costs.crypto(ps));
+            SealState::Page { nonce, tag }
+        };
+        ctx.write_untrusted_raw(self.bs_addr(page, 0), &buf);
+        self.seals.commit_write(page, state);
+        Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
+    }
+
+    /// Loads `page` into `frame` (not yet visible in the page table).
+    /// Returns `false` when the unseal raced a concurrent re-seal of
+    /// the same page and must be retried.
+    ///
+    /// # Panics
+    /// Panics when the sealed copy fails authentication at a *stable*
+    /// metadata version — genuine tampering with untrusted memory.
+    fn load_page_in(&self, ctx: &mut ThreadCtx, page: u64, frame: u32) -> bool {
+        let ps = self.cfg.page_size;
+        let costs = &self.machine.cfg.costs;
+        let (version, state) = self.seals.read(page);
+        match state {
+            SealState::Fresh => {
+                let zeros = vec![0u8; ps];
+                ctx.write_enclave_raw(self.epcpp_vaddr(frame, 0), &zeros);
+                // Fast zero-fill: ~32 bytes/cycle.
+                ctx.compute(ps as u64 / 32);
+                true
+            }
+            SealState::Page { nonce, tag } => {
+                let mut buf = vec![0u8; ps];
+                ctx.read_untrusted_raw(self.bs_addr(page, 0), &mut buf);
+                match self.gcm.open(&nonce, &Self::aad(page, u32::MAX), &mut buf, &tag) {
+                    Ok(()) => {
+                        ctx.compute(costs.crypto(ps));
+                        ctx.write_enclave_raw(self.epcpp_vaddr(frame, 0), &buf);
+                        Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
+                        true
+                    }
+                    Err(_) if !self.seals.check(page, version) => false,
+                    Err(_) => {
+                        panic!("SUVM page failed authentication: backing store tampered")
+                    }
+                }
+            }
+            SealState::SubPages { meta } => {
+                let sp = self.cfg.sub_page_size;
+                let mut buf = vec![0u8; ps];
+                ctx.read_untrusted_raw(self.bs_addr(page, 0), &mut buf);
+                for (s, (nonce, tag)) in meta.iter().enumerate() {
+                    let span = &mut buf[s * sp..(s + 1) * sp];
+                    if self.gcm.open(nonce, &Self::aad(page, s as u32), span, tag).is_err() {
+                        if !self.seals.check(page, version) {
+                            return false;
+                        }
+                        panic!("SUVM sub-page failed authentication: backing store tampered");
+                    }
+                    ctx.compute(costs.crypto_fixed);
+                }
+                ctx.compute((costs.crypto_cpb * ps as f64) as u64);
+                ctx.write_enclave_raw(self.epcpp_vaddr(frame, 0), &buf);
+                Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
+                true
+            }
+        }
+    }
+
+}

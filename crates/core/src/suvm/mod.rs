@@ -1,0 +1,300 @@
+//! The SUVM runtime: exit-less, application-level secure paging inside
+//! the enclave (Eleos §3.2).
+//!
+//! SUVM layers a second level of virtual memory on top of the enclave:
+//!
+//! - a **page cache** (*EPC++*) carved out of enclave-linear memory —
+//!   so the SGX driver can still evict its frames under PRM pressure,
+//!   which is exactly the multi-enclave hazard §3.3 coordinates around;
+//! - a **backing store** in untrusted memory, holding AES-GCM-sealed
+//!   page (or sub-page) images, allocated by a memsys5-style buddy
+//!   allocator;
+//! - the **inverse page table** and **crypto-metadata table** in
+//!   enclave memory (see [`crate::table`]);
+//! - a software fault path that runs *entirely inside the enclave*: no
+//!   EEXIT, no kernel, no IPIs.
+//!
+//! The two paper optimizations impossible under hardware paging are
+//! here: clean pages skip write-back on eviction, and direct sub-page
+//! access bypasses the page cache for locality-free workloads
+//! (§3.2.4).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eleos_crypto::gcm::AesGcm128;
+use eleos_enclave::enclave::Enclave;
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+use eleos_sim::alloc::BuddyAllocator;
+use eleos_sim::stats::Stats;
+
+use crate::config::SuvmConfig;
+use crate::table::{CryptoTable, InversePt, SealState, NO_PAGE};
+
+/// Per-EPC++-frame metadata.
+pub(crate) struct FrameMeta {
+    /// Backing-store page currently cached, or [`NO_PAGE`].
+    pub page: AtomicU64,
+    /// Number of linked spointers (and in-flight raw operations)
+    /// pinning the frame (§3.2.2).
+    pub pinned: AtomicU32,
+    /// Whether the cached copy diverged from the sealed copy.
+    pub dirty: AtomicBool,
+    /// CLOCK reference bit.
+    pub referenced: AtomicBool,
+}
+
+/// A SUVM virtual address (an offset into the instance's secure space).
+pub type Sva = u64;
+
+/// The Secure User-managed Virtual Memory runtime for one enclave.
+pub struct Suvm {
+    cfg: SuvmConfig,
+    machine: Arc<SgxMachine>,
+    enclave: Arc<Enclave>,
+    /// Enclave-linear base of the EPC++ frame pool.
+    epcpp_base: u64,
+    frames: Vec<FrameMeta>,
+    free: Mutex<Vec<u32>>,
+    /// Ballooning limit: only frames `0..limit` are usable (§3.3).
+    limit: AtomicUsize,
+    hand: Mutex<usize>,
+    pt: InversePt,
+    seals: CryptoTable,
+    /// Untrusted base of the backing store.
+    bs_base: u64,
+    bs_alloc: Mutex<BuddyAllocator>,
+    gcm: AesGcm128,
+    nonce_ctr: AtomicU64,
+    /// Per-instance counters (machine-wide stats aggregate across all
+    /// SUVM instances; multi-enclave experiments need them apart).
+    pub(super) local: LocalStats,
+}
+
+/// Per-instance SUVM counters.
+#[derive(Debug, Default)]
+pub struct LocalStats {
+    /// Major faults served by this instance.
+    pub major_faults: AtomicU64,
+    /// Evictions performed by this instance.
+    pub evictions: AtomicU64,
+    /// Evictions that skipped the write-back (clean pages).
+    pub clean_skips: AtomicU64,
+}
+
+/// A plain snapshot of [`LocalStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSnapshot {
+    /// Major faults.
+    pub major_faults: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Clean-page elisions.
+    pub clean_skips: u64,
+}
+
+impl Suvm {
+    /// Creates a SUVM instance for the enclave bound to `ctx`.
+    ///
+    /// Allocates the EPC++ pool from enclave-linear memory and the
+    /// backing store from untrusted memory. `ctx` may be outside the
+    /// enclave; no secure memory is touched yet.
+    #[must_use]
+    pub fn new(ctx: &ThreadCtx, cfg: SuvmConfig) -> Arc<Self> {
+        cfg.validate();
+        let enclave = Arc::clone(ctx.enclave().expect("SUVM requires an enclave-bound thread"));
+        let machine = Arc::clone(&ctx.machine);
+        let epcpp_base = enclave.alloc(cfg.epcpp_bytes.next_power_of_two());
+        assert_eq!(
+            epcpp_base % cfg.page_size as u64,
+            0,
+            "EPC++ pool must be page aligned"
+        );
+        let bs_base = machine.alloc_untrusted(cfg.backing_bytes);
+        let n = cfg.frames();
+        let mut frames = Vec::with_capacity(n);
+        frames.resize_with(n, || FrameMeta {
+            page: AtomicU64::new(NO_PAGE),
+            pinned: AtomicU32::new(0),
+            dirty: AtomicBool::new(false),
+            referenced: AtomicBool::new(false),
+        });
+        // Random per-application key stored in the EPC (§3.2.3);
+        // deterministic here for reproducible simulations.
+        let mut key = [0u8; 16];
+        key[..4].copy_from_slice(&enclave.id.to_le_bytes());
+        key[4..12].copy_from_slice(b"suvm-key");
+        Arc::new(Self {
+            pt: InversePt::new(n * 2),
+            seals: CryptoTable::new(64),
+            bs_alloc: Mutex::new(BuddyAllocator::new(cfg.backing_bytes as u64, 16)),
+            free: Mutex::new((0..n as u32).rev().collect()),
+            limit: AtomicUsize::new(n),
+            hand: Mutex::new(0),
+            gcm: AesGcm128::new(&key),
+            nonce_ctr: AtomicU64::new(1),
+            local: LocalStats::default(),
+            frames,
+            epcpp_base,
+            bs_base,
+            machine,
+            enclave,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SuvmConfig {
+        &self.cfg
+    }
+
+    /// The enclave this instance serves.
+    #[must_use]
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// Current EPC++ capacity in frames (after ballooning).
+    #[must_use]
+    pub fn frame_limit(&self) -> usize {
+        self.limit.load(Ordering::Acquire)
+    }
+
+    /// The enclave-linear span of the EPC++ frame pool — useful to
+    /// experiments needing a plain resident enclave region of the same
+    /// physical pages (e.g. the Fig 8 spointer-overhead baseline).
+    #[must_use]
+    pub fn epcpp_span(&self) -> (u64, usize) {
+        (self.epcpp_base, self.frames.len() * self.cfg.page_size)
+    }
+
+    /// Number of pages currently cached in EPC++.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pt.len()
+    }
+
+    /// Number of pages with seal metadata (diagnostics).
+    #[must_use]
+    pub fn debug_seal_entries(&self) -> usize {
+        self.seals.live_entries()
+    }
+
+    /// This instance's fault/eviction counters (machine-wide stats mix
+    /// all instances together).
+    #[must_use]
+    pub fn local_stats(&self) -> LocalSnapshot {
+        LocalSnapshot {
+            major_faults: self.local.major_faults.load(Ordering::Relaxed),
+            evictions: self.local.evictions.load(Ordering::Relaxed),
+            clean_skips: self.local.clean_skips.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation (suvm_malloc / suvm_free, §3.2.3).
+    // ------------------------------------------------------------------
+
+    /// Allocates `len` bytes of secure virtual memory.
+    ///
+    /// # Panics
+    /// Panics when the backing store is exhausted; use
+    /// [`Self::try_malloc`] for fallible allocation.
+    pub fn malloc(&self, len: usize) -> Sva {
+        self.try_malloc(len).expect("SUVM backing store exhausted")
+    }
+
+    /// Fallible [`Self::malloc`].
+    pub fn try_malloc(&self, len: usize) -> Result<Sva, eleos_sim::alloc::AllocError> {
+        self.bs_alloc.lock().alloc(len)
+    }
+
+    /// Frees an allocation, decommitting any fully covered pages.
+    pub fn free(&self, sva: Sva) {
+        let size = {
+            let mut a = self.bs_alloc.lock();
+            let size = a.size_of(sva).expect("suvm_free of non-allocated address");
+            a.free(sva).expect("suvm_free failed");
+            size
+        };
+        // Decommit whole pages covered by the block: drop cached frames
+        // (if unpinned) and forget seal state, so the space is really
+        // reclaimed.
+        let ps = self.cfg.page_size as u64;
+        let first = sva.div_ceil(ps);
+        let last = (sva + size) / ps;
+        for page in first..last {
+            self.pt.with_bucket(page, |b| {
+                if let Some(idx) = b.iter().position(|(p, _)| *p == page) {
+                    let frame = b[idx].1;
+                    let meta = &self.frames[frame as usize];
+                    if meta.pinned.load(Ordering::Acquire) == 0 {
+                        b.swap_remove(idx);
+                        meta.page.store(NO_PAGE, Ordering::Release);
+                        meta.dirty.store(false, Ordering::Release);
+                        self.push_free(frame);
+                    }
+                }
+            });
+            self.seals.clear(page);
+        }
+    }
+
+    /// Bytes currently allocated in the backing store.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> u64 {
+        self.bs_alloc.lock().used()
+    }
+
+    // ------------------------------------------------------------------
+    // Address helpers.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn page_of(&self, sva: Sva) -> u64 {
+        sva / self.cfg.page_size as u64
+    }
+
+    #[inline]
+    pub(crate) fn epcpp_vaddr(&self, frame: u32, in_page: usize) -> u64 {
+        self.epcpp_base + frame as u64 * self.cfg.page_size as u64 + in_page as u64
+    }
+
+    #[inline]
+    fn bs_addr(&self, page: u64, in_page: usize) -> u64 {
+        self.bs_base + page * self.cfg.page_size as u64 + in_page as u64
+    }
+
+    fn next_nonce(&self) -> [u8; 12] {
+        let v = self.nonce_ctr.fetch_add(1, Ordering::Relaxed);
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&v.to_le_bytes());
+        n[8..].copy_from_slice(b"suvm");
+        n
+    }
+
+    fn aad(page: u64, sub: u32) -> [u8; 12] {
+        let mut aad = [0u8; 12];
+        aad[..8].copy_from_slice(&page.to_le_bytes());
+        aad[8..].copy_from_slice(&sub.to_le_bytes());
+        aad
+    }
+
+    fn push_free(&self, frame: u32) {
+        if (frame as usize) < self.limit.load(Ordering::Acquire) {
+            self.free.lock().push(frame);
+        }
+    }
+}
+
+mod balloon;
+mod bulk;
+mod direct;
+mod fault;
+
+#[cfg(test)]
+mod tests;

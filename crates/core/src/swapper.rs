@@ -1,0 +1,72 @@
+//! The EPC++ swapper thread (§3.2.3 / §3.3).
+//!
+//! The untrusted runtime periodically invokes the swapper, which enters
+//! the enclave (an ECALL, with its usual cost), applies the driver's
+//! current ballooning target and tops up the EPC++ free-frame pool so
+//! the fault path rarely has to evict inline.
+//!
+//! [`Swapper::spawn`] runs ticks on a real background thread;
+//! deterministic experiments can instead call
+//! [`Suvm::swapper_tick`](crate::Suvm::swapper_tick) at chosen points.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::suvm::Suvm;
+
+/// Handle to a running swapper thread; stops it on drop.
+pub struct Swapper {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Swapper {
+    /// Spawns a swapper for `suvm` on `core_id`, ticking every
+    /// `interval`.
+    #[must_use]
+    pub fn spawn(
+        machine: &Arc<SgxMachine>,
+        suvm: &Arc<Suvm>,
+        core_id: usize,
+        interval: Duration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let machine = Arc::clone(machine);
+        let suvm = Arc::clone(suvm);
+        let thread = std::thread::spawn(move || {
+            let mut ctx = ThreadCtx::for_enclave(&machine, suvm.enclave(), core_id);
+            while !stop2.load(Ordering::Acquire) {
+                ctx.ecall(|ctx| suvm.swapper_tick(ctx));
+                std::thread::sleep(interval);
+            }
+        });
+        Self {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the thread and waits for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Swapper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

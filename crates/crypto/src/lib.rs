@@ -1,0 +1,95 @@
+//! From-scratch cryptographic primitives for the Eleos reproduction.
+//!
+//! The paper seals every page evicted from the SUVM page cache (EPC++)
+//! with AES-GCM — "just like the `EWB` SGX instruction" (§3.2.3) — and
+//! encrypts client requests with AES-CTR (§5). No crypto crates are
+//! available offline, so this crate implements:
+//!
+//! - [`aes`]: AES-128 and AES-256 block ciphers (FIPS-197),
+//! - [`ctr`]: CTR mode (NIST SP 800-38A),
+//! - [`ghash`]: the GHASH universal hash over GF(2^128),
+//! - [`gcm`]: AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! Functional behaviour is real — tampered ciphertexts genuinely fail
+//! authentication, which the SUVM integrity tests rely on. *Performance*
+//! is not: the simulator charges AES-NI-rate cycle costs for sealing
+//! (see `eleos_sim::costs`), so this implementation favours clarity over
+//! speed.
+//!
+//! # Examples
+//!
+//! ```
+//! use eleos_crypto::gcm::AesGcm128;
+//!
+//! let key = [7u8; 16];
+//! let gcm = AesGcm128::new(&key);
+//! let nonce = [1u8; 12];
+//! let mut buf = b"secret page contents".to_vec();
+//! let tag = gcm.seal(&nonce, b"page#42", &mut buf);
+//! assert!(gcm.open(&nonce, b"page#42", &mut buf, &tag).is_ok());
+//! assert_eq!(&buf, b"secret page contents");
+//! ```
+
+pub mod aes;
+pub mod ctr;
+pub mod gcm;
+pub mod ghash;
+
+/// Error returned when an authenticated decryption fails its tag check.
+///
+/// SUVM treats this as evidence of tampering with (or replay of) a page
+/// in the untrusted backing store and refuses to page the data in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl core::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Compares two byte slices in constant time (with respect to content).
+///
+/// Used for authentication-tag checks so that the comparison itself does
+/// not leak how many leading tag bytes matched.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_equal() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn ct_eq_unequal_content() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"xbc", b"abc"));
+    }
+
+    #[test]
+    fn ct_eq_unequal_length() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"abc", b""));
+    }
+
+    #[test]
+    fn auth_error_displays() {
+        assert_eq!(AuthError.to_string(), "authentication tag mismatch");
+    }
+}

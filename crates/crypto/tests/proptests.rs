@@ -1,0 +1,103 @@
+//! Property-based tests for the crypto substrate.
+
+use eleos_crypto::aes::Aes;
+use eleos_crypto::ctr::Ctr128;
+use eleos_crypto::gcm::{AesGcm128, AesGcm256};
+use eleos_crypto::ghash::gf128_mul;
+use proptest::prelude::*;
+
+proptest! {
+    /// AES decrypt inverts encrypt for any key/block (128-bit).
+    #[test]
+    fn aes128_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                        block in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes::new_128(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    /// AES decrypt inverts encrypt for any key/block (256-bit).
+    #[test]
+    fn aes256_roundtrip(key in prop::array::uniform32(any::<u8>()),
+                        block in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes::new_256(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    /// CTR applied twice is the identity, for any length.
+    #[test]
+    fn ctr_involution(key in prop::array::uniform16(any::<u8>()),
+                      nonce in prop::array::uniform12(any::<u8>()),
+                      data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let c = Ctr128::new(&key);
+        let mut buf = data.clone();
+        c.apply(&nonce, &mut buf);
+        c.apply(&nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// GCM open(seal(x)) == x for arbitrary data and AAD.
+    #[test]
+    fn gcm128_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                        nonce in prop::array::uniform12(any::<u8>()),
+                        aad in prop::collection::vec(any::<u8>(), 0..64),
+                        data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let gcm = AesGcm128::new(&key);
+        let mut buf = data.clone();
+        let tag = gcm.seal(&nonce, &aad, &mut buf);
+        prop_assert!(gcm.open(&nonce, &aad, &mut buf, &tag).is_ok());
+        prop_assert_eq!(buf, data);
+    }
+
+    /// GCM-256 roundtrip.
+    #[test]
+    fn gcm256_roundtrip(key in prop::array::uniform32(any::<u8>()),
+                        nonce in prop::array::uniform12(any::<u8>()),
+                        data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let gcm = AesGcm256::new(&key);
+        let mut buf = data.clone();
+        let tag = gcm.seal(&nonce, &[], &mut buf);
+        prop_assert!(gcm.open(&nonce, &[], &mut buf, &tag).is_ok());
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Any single-bit flip in the ciphertext is detected.
+    #[test]
+    fn gcm_detects_bit_flips(key in prop::array::uniform16(any::<u8>()),
+                             nonce in prop::array::uniform12(any::<u8>()),
+                             data in prop::collection::vec(any::<u8>(), 1..256),
+                             flip_byte in 0usize..256, flip_bit in 0u8..8) {
+        let gcm = AesGcm128::new(&key);
+        let mut buf = data.clone();
+        let tag = gcm.seal(&nonce, &[], &mut buf);
+        let idx = flip_byte % buf.len();
+        buf[idx] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&nonce, &[], &mut buf, &tag).is_err());
+    }
+
+    /// Any tag corruption is detected.
+    #[test]
+    fn gcm_detects_tag_flips(key in prop::array::uniform16(any::<u8>()),
+                             nonce in prop::array::uniform12(any::<u8>()),
+                             data in prop::collection::vec(any::<u8>(), 0..64),
+                             flip_byte in 0usize..16, flip_bit in 0u8..8) {
+        let gcm = AesGcm128::new(&key);
+        let mut buf = data;
+        let mut tag = gcm.seal(&nonce, &[], &mut buf);
+        tag[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&nonce, &[], &mut buf, &tag).is_err());
+    }
+
+    /// GF(2^128) multiplication is commutative and associative.
+    #[test]
+    fn gf128_algebra(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        prop_assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+        prop_assert_eq!(gf128_mul(gf128_mul(a, b), c), gf128_mul(a, gf128_mul(b, c)));
+        prop_assert_eq!(gf128_mul(a, b ^ c), gf128_mul(a, b) ^ gf128_mul(a, c));
+    }
+}

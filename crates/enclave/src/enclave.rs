@@ -1,0 +1,201 @@
+//! The enclave object: a linear address space of secure pages, its
+//! hardware page-table entries, heap allocator, sealing identity and
+//! swap area.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use eleos_crypto::gcm::{AesGcm128, Nonce, Tag};
+use eleos_sim::alloc::BuddyAllocator;
+use eleos_sim::clock::CoreSet;
+use eleos_sim::costs::PAGE_SIZE;
+
+use crate::epc::FrameIdx;
+
+/// A page sealed out to the enclave's swap area in untrusted memory.
+pub struct SealedPage {
+    /// AES-GCM ciphertext of the page.
+    pub ct: Box<[u8; PAGE_SIZE]>,
+    /// Per-eviction nonce.
+    pub nonce: Nonce,
+    /// Authentication tag (covers the enclave id and page number as
+    /// AAD, binding the ciphertext to its slot).
+    pub tag: Tag,
+}
+
+/// A hardware enclave.
+///
+/// Created via [`crate::driver::SgxDriver::create_enclave`]; destroyed
+/// via [`crate::driver::SgxDriver::destroy_enclave`], which releases its
+/// EPC frames and PRM share.
+pub struct Enclave {
+    /// Enclave id (also its TLB ASID).
+    pub id: u32,
+    linear_pages: usize,
+    /// Page-table entries: `0` = not resident, otherwise `frame + 1`.
+    ptes: Vec<AtomicU64>,
+    /// Heap allocator over the linear address space.
+    pub heap: Mutex<BuddyAllocator>,
+    /// Cores currently executing inside this enclave (ETRACK state).
+    pub core_set: CoreSet,
+    /// Per-enclave sealing key (the driver's EWB identity).
+    pub seal: AesGcm128,
+    nonce_ctr: AtomicU64,
+    /// Swapped-out pages, keyed by linear page number. Conceptually
+    /// this lives in untrusted memory; contents are AES-GCM sealed so
+    /// holding them in a host-side map leaks nothing the paper's threat
+    /// model does not already concede (the access pattern).
+    pub swap: Mutex<HashMap<u64, SealedPage>>,
+}
+
+impl Enclave {
+    pub(crate) fn new(id: u32, linear_bytes: usize) -> Self {
+        // Round the linear space up to a power of two so the buddy
+        // heap covers exactly the paged range.
+        let cap = (linear_bytes.max(PAGE_SIZE) as u64).next_power_of_two();
+        let linear_pages = (cap as usize) / PAGE_SIZE;
+        let mut ptes = Vec::with_capacity(linear_pages);
+        ptes.resize_with(linear_pages, || AtomicU64::new(0));
+        // Deterministic per-enclave key: reproducible simulations. A
+        // production enclave would draw this from RDRAND at init.
+        let mut key = [0u8; 16];
+        key[..4].copy_from_slice(&id.to_le_bytes());
+        key[4..8].copy_from_slice(&0xe1e0_5e1fu32.to_le_bytes());
+        Self {
+            id,
+            linear_pages,
+            ptes,
+            heap: Mutex::new(BuddyAllocator::new(cap.next_power_of_two(), 16)),
+            core_set: CoreSet::new(),
+            seal: AesGcm128::new(&key),
+            nonce_ctr: AtomicU64::new(1),
+            swap: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The TLB address-space id of this enclave (untrusted memory uses
+    /// ASID 0).
+    #[must_use]
+    pub fn asid(&self) -> u32 {
+        self.id
+    }
+
+    /// Size of the linear address space in pages.
+    #[must_use]
+    pub fn linear_pages(&self) -> usize {
+        self.linear_pages
+    }
+
+    /// Current resident frame for `page`, if any.
+    #[must_use]
+    pub fn pte(&self, page: u64) -> Option<FrameIdx> {
+        assert!(
+            (page as usize) < self.linear_pages,
+            "enclave {} page {page} beyond linear size",
+            self.id
+        );
+        match self.ptes[page as usize].load(Ordering::Acquire) {
+            0 => None,
+            v => Some((v - 1) as FrameIdx),
+        }
+    }
+
+    pub(crate) fn set_pte(&self, page: u64, frame: Option<FrameIdx>) {
+        let v = frame.map_or(0, |f| f as u64 + 1);
+        self.ptes[page as usize].store(v, Ordering::Release);
+    }
+
+    /// Number of currently resident pages (linear scan; diagnostics).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.ptes
+            .iter()
+            .filter(|p| p.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    /// Allocates `len` bytes of enclave-linear memory.
+    ///
+    /// # Panics
+    /// Panics when the enclave heap is exhausted — the simulation
+    /// equivalent of an in-enclave `malloc` returning NULL and the
+    /// application aborting.
+    pub fn alloc(&self, len: usize) -> u64 {
+        self.heap
+            .lock()
+            .alloc(len)
+            .expect("enclave linear memory exhausted")
+    }
+
+    /// Frees an allocation from [`Self::alloc`].
+    pub fn free(&self, vaddr: u64) {
+        self.heap.lock().free(vaddr).expect("bad enclave free");
+    }
+
+    /// Draws a fresh sealing nonce (never repeats for this enclave).
+    pub fn next_nonce(&self) -> Nonce {
+        let v = self.nonce_ctr.fetch_add(1, Ordering::Relaxed);
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&v.to_le_bytes());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_roundtrip() {
+        let e = Enclave::new(1, 4 * PAGE_SIZE);
+        assert_eq!(e.linear_pages(), 4);
+        assert_eq!(e.pte(2), None);
+        e.set_pte(2, Some(7));
+        assert_eq!(e.pte(2), Some(7));
+        assert_eq!(e.resident_pages(), 1);
+        e.set_pte(2, None);
+        assert_eq!(e.pte(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond linear size")]
+    fn pte_out_of_range() {
+        let e = Enclave::new(1, PAGE_SIZE);
+        let _ = e.pte(1);
+    }
+
+    #[test]
+    fn heap_allocations_fit_linear_space() {
+        let e = Enclave::new(1, 16 * PAGE_SIZE);
+        let a = e.alloc(PAGE_SIZE);
+        let b = e.alloc(PAGE_SIZE);
+        assert_ne!(a, b);
+        assert!(a < (16 * PAGE_SIZE) as u64);
+        e.free(a);
+        e.free(b);
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let e = Enclave::new(1, PAGE_SIZE);
+        let a = e.next_nonce();
+        let b = e.next_nonce();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_enclaves_have_distinct_keys() {
+        // Sealing the same page under two enclaves must produce
+        // different ciphertexts (different keys).
+        let e1 = Enclave::new(1, PAGE_SIZE);
+        let e2 = Enclave::new(2, PAGE_SIZE);
+        let nonce = [0u8; 12];
+        let mut a = [1u8; 32];
+        let mut b = [1u8; 32];
+        e1.seal.seal(&nonce, &[], &mut a);
+        e2.seal.seal(&nonce, &[], &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! The EPC frame pool — the physical pages of processor-reserved
+//! memory that all enclaves share.
+//!
+//! Frame *contents* and *ownership* live together under a per-frame
+//! `RwLock`, which gives the access path a simple TOCTOU-free protocol:
+//! translate, lock the frame, re-check ownership, copy. The driver takes
+//! the write lock for eviction/loading, so a page can never be read
+//! while it is being swapped.
+
+use parking_lot::RwLock;
+
+use eleos_sim::costs::{EPC_BASE, PAGE_SIZE};
+
+/// Index of a frame within the pool.
+pub type FrameIdx = u32;
+
+/// Ownership record + contents of one frame.
+pub struct FrameInner {
+    /// Owning `(enclave id, linear page number)` when mapped.
+    pub owner: Option<(u32, u64)>,
+    /// Page contents.
+    pub data: Box<[u8; PAGE_SIZE]>,
+}
+
+/// One 4 KiB EPC frame.
+pub struct Frame {
+    /// Guarded ownership + contents.
+    pub inner: RwLock<FrameInner>,
+}
+
+/// The machine-wide EPC.
+pub struct EpcPool {
+    frames: Vec<Frame>,
+}
+
+impl EpcPool {
+    /// Creates a pool of `n` zeroed, unowned frames.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "EPC must have at least one frame");
+        let mut frames = Vec::with_capacity(n);
+        frames.resize_with(n, || Frame {
+            inner: RwLock::new(FrameInner {
+                owner: None,
+                data: Box::new([0u8; PAGE_SIZE]),
+            }),
+        });
+        Self { frames }
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns frame `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn frame(&self, idx: FrameIdx) -> &Frame {
+        &self.frames[idx as usize]
+    }
+
+    /// Simulated physical address of the first byte of frame `idx`.
+    #[must_use]
+    pub fn paddr(idx: FrameIdx) -> u64 {
+        EPC_BASE + idx as u64 * PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_start_unowned_and_zeroed() {
+        let pool = EpcPool::new(4);
+        assert_eq!(pool.frame_count(), 4);
+        let g = pool.frame(3).inner.read();
+        assert_eq!(g.owner, None);
+        assert!(g.data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn paddr_is_in_epc_domain() {
+        use eleos_sim::costs::{domain_of, Domain};
+        assert_eq!(domain_of(EpcPool::paddr(0)), Domain::Epc);
+        assert_eq!(EpcPool::paddr(2) - EpcPool::paddr(1), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn ownership_can_be_claimed() {
+        let pool = EpcPool::new(2);
+        {
+            let mut g = pool.frame(0).inner.write();
+            g.owner = Some((7, 42));
+            g.data[0] = 0xaa;
+        }
+        let g = pool.frame(0).inner.read();
+        assert_eq!(g.owner, Some((7, 42)));
+        assert_eq!(g.data[0], 0xaa);
+    }
+}

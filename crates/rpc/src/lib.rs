@@ -1,0 +1,571 @@
+//! Exit-less RPC for enclaves (Eleos §3.1).
+//!
+//! Instead of OCALLing (8k cycles of direct cost plus a TLB flush and
+//! cache-state loss), the enclave writes a job descriptor into a shared
+//! ring in *untrusted* memory and spins on its completion flag; a pool
+//! of worker threads in the owner process polls the ring, executes the
+//! untrusted function (typically a system call) and posts the result
+//! back. The enclave never leaves trusted mode.
+//!
+//! Two refinements from the paper are implemented:
+//!
+//! - **Cache partitioning** (§3.1): with
+//!   [`SgxMachine::enable_cat`](eleos_enclave::machine::SgxMachine)
+//!   workers are fenced into 25% of the LLC ways, so their I/O buffers
+//!   stop evicting enclave state;
+//! - **OCALL fallback**: long-blocking calls (the paper's `poll()`)
+//!   should keep using OCALLs rather than burn a worker — see
+//!   [`ThreadCtx::ocall`](eleos_enclave::thread::ThreadCtx::ocall).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use eleos_enclave::machine::{MachineConfig, SgxMachine};
+//! use eleos_enclave::thread::ThreadCtx;
+//! use eleos_rpc::{RpcService, UntrustedFn};
+//!
+//! let machine = SgxMachine::new(MachineConfig::tiny());
+//! let svc = RpcService::builder(&machine)
+//!     .register(7, UntrustedFn::new(|_ctx, args| args[0] + args[1]))
+//!     .workers(1, &[3])
+//!     .build();
+//!
+//! let enclave = machine.driver.create_enclave(&machine, 64 * 4096);
+//! let mut t = ThreadCtx::for_enclave(&machine, &enclave, 0);
+//! t.enter();
+//! let sum = svc.call(&mut t, 7, [20, 22, 0, 0]);
+//! assert_eq!(sum, 42);
+//! t.exit();
+//! ```
+
+pub mod libos;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+use eleos_sim::stats::Stats;
+
+/// Slot layout (one 64-byte line, mirroring a real implementation):
+/// `[state][func][arg0..arg3][ret][worker_cycles]` as 8 `u64`s.
+const SLOT_BYTES: u64 = 64;
+const OFF_STATE: u64 = 0;
+const OFF_RET: u64 = 48;
+const OFF_CYCLES: u64 = 56;
+
+const STATE_FREE: u64 = 0;
+const STATE_POSTED: u64 = 1;
+const STATE_DONE: u64 = 2;
+
+/// The boxed calling convention of the shared ring: the worker's
+/// [`ThreadCtx`] plus four `u64` arguments, returning one `u64`.
+pub type RingFn = Box<dyn Fn(&mut ThreadCtx, [u64; 4]) -> u64 + Send + Sync>;
+
+/// An untrusted function callable through the RPC ring.
+///
+/// Receives the worker's [`ThreadCtx`] (so its memory traffic is
+/// charged to the RPC cache partition) and four `u64` arguments,
+/// returning one `u64`.
+pub struct UntrustedFn {
+    f: RingFn,
+}
+
+impl UntrustedFn {
+    /// Wraps a closure.
+    pub fn new(f: impl Fn(&mut ThreadCtx, [u64; 4]) -> u64 + Send + Sync + 'static) -> Self {
+        Self { f: Box::new(f) }
+    }
+}
+
+struct Shared {
+    machine: Arc<SgxMachine>,
+    registry: HashMap<u64, UntrustedFn>,
+    ring: u64,
+}
+
+/// The Eleos RPC service: a shared job ring plus a worker thread pool.
+pub struct RpcService {
+    shared: Arc<Shared>,
+    job_tx: Sender<Option<usize>>,
+    slot_tx: Sender<usize>,
+    slot_rx: Receiver<usize>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Builder for [`RpcService`].
+pub struct RpcBuilder {
+    machine: Arc<SgxMachine>,
+    registry: HashMap<u64, UntrustedFn>,
+    n_slots: usize,
+    worker_cores: Vec<usize>,
+}
+
+impl RpcBuilder {
+    /// Registers `func_id` to execute `f` on a worker.
+    #[must_use]
+    pub fn register(mut self, func_id: u64, f: UntrustedFn) -> Self {
+        self.registry.insert(func_id, f);
+        self
+    }
+
+    /// Spawns `n` workers pinned to the given cores (cycled if fewer
+    /// cores than workers are supplied).
+    #[must_use]
+    pub fn workers(mut self, n: usize, cores: &[usize]) -> Self {
+        assert!(!cores.is_empty());
+        self.worker_cores = (0..n).map(|i| cores[i % cores.len()]).collect();
+        self
+    }
+
+    /// Sets the number of ring slots (defaults to 16).
+    #[must_use]
+    pub fn slots(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.n_slots = n;
+        self
+    }
+
+    /// Builds the service and starts its workers.
+    #[must_use]
+    pub fn build(self) -> RpcService {
+        let ring = self
+            .machine
+            .alloc_untrusted(self.n_slots * SLOT_BYTES as usize);
+        self.machine
+            .untrusted
+            .fill(ring, self.n_slots * SLOT_BYTES as usize, 0);
+        let shared = Arc::new(Shared {
+            machine: Arc::clone(&self.machine),
+            registry: self.registry,
+            ring,
+        });
+        let (job_tx, job_rx) = unbounded::<Option<usize>>();
+        let (slot_tx, slot_rx) = unbounded::<usize>();
+        for i in 0..self.n_slots {
+            slot_tx.send(i).expect("fresh channel");
+        }
+        let mut workers = Vec::new();
+        for &core in &self.worker_cores {
+            let shared = Arc::clone(&shared);
+            let job_rx: Receiver<Option<usize>> = job_rx.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&shared, core, &job_rx);
+            }));
+        }
+        RpcService {
+            shared,
+            job_tx,
+            slot_tx,
+            slot_rx,
+            workers,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, core: usize, job_rx: &Receiver<Option<usize>>) {
+    let mut ctx = ThreadCtx::rpc_worker(&shared.machine, core);
+    while let Ok(Some(slot)) = job_rx.recv() {
+        let base = shared.ring + slot as u64 * SLOT_BYTES;
+        // The worker reads the descriptor from untrusted memory with
+        // charged accesses — this is the traffic CAT fences off.
+        let mut desc = [0u8; 48];
+        ctx.read_untrusted(base, &mut desc);
+        let word = |i: usize| u64::from_le_bytes(desc[i * 8..i * 8 + 8].try_into().unwrap());
+        debug_assert_eq!(word(0), STATE_POSTED);
+        let func = word(1);
+        let args = [word(2), word(3), word(4), word(5)];
+        let start = ctx.now();
+        let ret = match shared.registry.get(&func) {
+            Some(f) => (f.f)(&mut ctx, args),
+            None => panic!("RPC call to unregistered function {func}"),
+        };
+        let elapsed = ctx.now() - start;
+        ctx.write_untrusted(base + OFF_RET, &ret.to_le_bytes());
+        ctx.write_untrusted_raw(base + OFF_CYCLES, &elapsed.to_le_bytes());
+        // Publish completion last.
+        ctx.write_untrusted(base + OFF_STATE, &STATE_DONE.to_le_bytes());
+        Stats::bump(&shared.machine.stats.rpc_calls);
+        shared
+            .machine
+            .trace
+            .record(ctx.now(), eleos_sim::trace::Event::RpcCall { func });
+    }
+}
+
+impl RpcService {
+    /// Starts building a service on `machine`.
+    #[must_use]
+    pub fn builder(machine: &Arc<SgxMachine>) -> RpcBuilder {
+        RpcBuilder {
+            machine: Arc::clone(machine),
+            registry: HashMap::new(),
+            n_slots: 16,
+            worker_cores: vec![machine.core_count() - 1],
+        }
+    }
+
+    /// Invokes `func_id(args)` on a worker *without exiting the
+    /// enclave*, blocking (by polling) until the result is posted.
+    ///
+    /// The caller's clock advances by the enqueue/dequeue overhead plus
+    /// the worker's measured execution time — the enclave thread really
+    /// does wait out the call, it just never pays an exit.
+    ///
+    /// # Panics
+    /// Panics if called from untrusted mode (use the host API or an
+    /// OCALL there), or if `func_id` is unregistered.
+    pub fn call(&self, ctx: &mut ThreadCtx, func_id: u64, args: [u64; 4]) -> u64 {
+        assert!(
+            ctx.in_enclave(),
+            "exit-less RPC is for trusted code; call the host directly instead"
+        );
+        let slot = self.slot_rx.recv().expect("service alive");
+        let base = self.shared.ring + slot as u64 * SLOT_BYTES;
+
+        // Write the descriptor (charged: the enclave touches untrusted
+        // memory), then hand the slot to a worker.
+        let mut desc = [0u8; 48];
+        desc[0..8].copy_from_slice(&STATE_POSTED.to_le_bytes());
+        desc[8..16].copy_from_slice(&func_id.to_le_bytes());
+        for (i, a) in args.iter().enumerate() {
+            desc[16 + i * 8..24 + i * 8].copy_from_slice(&a.to_le_bytes());
+        }
+        ctx.write_untrusted(base + OFF_STATE, &desc);
+        ctx.compute(self.shared.machine.cfg.costs.rpc_roundtrip);
+        self.job_tx.send(Some(slot)).expect("workers alive");
+
+        // Spin until completion. The flag poll is a cached read in the
+        // steady state; the handoff cost is charged via `rpc_roundtrip`
+        // and the blocked time via the worker's measured cycles. The
+        // poll reads the flag directly (no LLC traffic) with backoff,
+        // so the spinning caller does not starve the worker of the
+        // simulator's locks.
+        let mut state = [0u8; 8];
+        let backoff = crossbeam::utils::Backoff::new();
+        loop {
+            self.shared.machine.untrusted.read(base + OFF_STATE, &mut state);
+            if u64::from_le_bytes(state) == STATE_DONE {
+                break;
+            }
+            backoff.snooze();
+        }
+        let mut ret = [0u8; 8];
+        ctx.read_untrusted(base + OFF_RET, &mut ret);
+        let mut cycles = [0u8; 8];
+        ctx.read_untrusted_raw(base + OFF_CYCLES, &mut cycles);
+        ctx.compute(u64::from_le_bytes(cycles));
+
+        // Recycle the slot.
+        ctx.write_untrusted_raw(base + OFF_STATE, &STATE_FREE.to_le_bytes());
+        self.slot_tx.send(slot).expect("service alive");
+        u64::from_le_bytes(ret)
+    }
+
+    /// The machine this service runs on.
+    #[must_use]
+    pub fn machine(&self) -> &Arc<SgxMachine> {
+        &self.shared.machine
+    }
+}
+
+impl Drop for RpcService {
+    fn drop(&mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.job_tx.send(None);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Well-known function ids for the host-OS syscalls; apps may register
+/// more from 100 upward.
+pub mod funcs {
+    /// `recv(fd, buf, max_len)` -> length or `u64::MAX` (would block).
+    pub const RECV: u64 = 1;
+    /// `send(fd, buf, len)` -> length.
+    pub const SEND: u64 = 2;
+    /// `open(path_addr, path_len)` -> file fd.
+    pub const OPEN: u64 = 3;
+    /// `close(fd)` -> 0 or `u64::MAX`.
+    pub const CLOSE: u64 = 4;
+    /// `read(fd, buf, len)` -> length or `u64::MAX`.
+    pub const READ: u64 = 5;
+    /// `write(fd, buf, len)` -> length or `u64::MAX`.
+    pub const WRITE: u64 = 6;
+    /// `seek(fd, offset)` -> 0 or `u64::MAX`.
+    pub const SEEK: u64 = 7;
+    /// `fsize(fd)` -> size or `u64::MAX`.
+    pub const FSIZE: u64 = 8;
+    /// `unlink(path_addr, path_len)` -> 0 or `u64::MAX`.
+    pub const UNLINK: u64 = 9;
+    /// `poll(fd)` -> 1 ready / 0 empty.
+    pub const POLL: u64 = 10;
+}
+
+/// Registers the standard socket syscalls ([`funcs`]) on a builder.
+#[must_use]
+pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
+    let m1 = Arc::clone(machine);
+    let m2 = Arc::clone(machine);
+    b.register(
+        funcs::RECV,
+        UntrustedFn::new(move |ctx, args| {
+            let fd = eleos_enclave::host::Fd(args[0] as u32);
+            m1.host
+                .recv(ctx, fd, args[1], args[2] as usize)
+                .map_or(u64::MAX, |n| n as u64)
+        }),
+    )
+    .register(
+        funcs::SEND,
+        UntrustedFn::new(move |ctx, args| {
+            let fd = eleos_enclave::host::Fd(args[0] as u32);
+            m2.host.send(ctx, fd, args[1], args[2] as usize) as u64
+        }),
+    )
+}
+
+/// Registers the filesystem syscalls ([`funcs::OPEN`]..[`funcs::UNLINK`])
+/// on a builder.
+#[must_use]
+pub fn with_fs(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
+    use eleos_enclave::fs::FileFd;
+    let r = |e: Result<usize, eleos_enclave::fs::FsError>| e.map_or(u64::MAX, |v| v as u64);
+    let m = Arc::clone(machine);
+    let b = b.register(
+        funcs::OPEN,
+        UntrustedFn::new(move |ctx, args| {
+            let mut path = vec![0u8; args[1] as usize];
+            ctx.read_untrusted(args[0], &mut path);
+            let path = String::from_utf8(path).expect("utf-8 path");
+            m.fs.open(ctx, &path).0 as u64
+        }),
+    );
+    let m = Arc::clone(machine);
+    let b = b.register(
+        funcs::CLOSE,
+        UntrustedFn::new(move |ctx, args| {
+            m.fs.close(ctx, FileFd(args[0] as u32)).map_or(u64::MAX, |()| 0)
+        }),
+    );
+    let m = Arc::clone(machine);
+    let b = b.register(
+        funcs::READ,
+        UntrustedFn::new(move |ctx, args| {
+            r(m.fs.read(ctx, FileFd(args[0] as u32), args[1], args[2] as usize))
+        }),
+    );
+    let m = Arc::clone(machine);
+    let b = b.register(
+        funcs::WRITE,
+        UntrustedFn::new(move |ctx, args| {
+            r(m.fs.write(ctx, FileFd(args[0] as u32), args[1], args[2] as usize))
+        }),
+    );
+    let m = Arc::clone(machine);
+    let b = b.register(
+        funcs::SEEK,
+        UntrustedFn::new(move |ctx, args| {
+            m.fs
+                .seek(ctx, FileFd(args[0] as u32), args[1] as usize)
+                .map_or(u64::MAX, |()| 0)
+        }),
+    );
+    let m = Arc::clone(machine);
+    let b = b.register(
+        funcs::FSIZE,
+        UntrustedFn::new(move |ctx, args| r(m.fs.size(ctx, FileFd(args[0] as u32)))),
+    );
+    let m = Arc::clone(machine);
+    b.register(
+        funcs::UNLINK,
+        UntrustedFn::new(move |ctx, args| {
+            let mut path = vec![0u8; args[1] as usize];
+            ctx.read_untrusted(args[0], &mut path);
+            let path = String::from_utf8(path).expect("utf-8 path");
+            m.fs.unlink(ctx, &path).map_or(u64::MAX, |()| 0)
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleos_enclave::machine::MachineConfig;
+
+    fn machine() -> Arc<SgxMachine> {
+        SgxMachine::new(MachineConfig::tiny())
+    }
+
+    #[test]
+    fn basic_call_returns_result() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, a| a[0] * a[1]))
+            .workers(2, &[2, 3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        assert_eq!(svc.call(&mut t, 10, [6, 7, 0, 0]), 42);
+        t.exit();
+        assert_eq!(m.stats.snapshot().rpc_calls, 1);
+    }
+
+    #[test]
+    fn rpc_does_not_exit_the_enclave() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, _a| 0))
+            .workers(1, &[3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let s0 = m.stats.snapshot();
+        for _ in 0..50 {
+            svc.call(&mut t, 10, [0; 4]);
+        }
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.enclave_exits, 0, "RPC must be exit-less");
+        assert_eq!(d.ocalls, 0);
+        assert_eq!(d.rpc_calls, 50);
+        t.exit();
+    }
+
+    #[test]
+    fn rpc_cheaper_than_ocall_for_short_calls() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, _a| 1))
+            .workers(1, &[3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        // Warm up.
+        svc.call(&mut t, 10, [0; 4]);
+        let c0 = t.now();
+        for _ in 0..20 {
+            svc.call(&mut t, 10, [0; 4]);
+        }
+        let rpc = (t.now() - c0) / 20;
+        let c1 = t.now();
+        for _ in 0..20 {
+            t.ocall(|_| 1u64);
+        }
+        let ocall = (t.now() - c1) / 20;
+        assert!(
+            rpc * 3 < ocall,
+            "rpc {rpc} should be several times cheaper than ocall {ocall}"
+        );
+        t.exit();
+    }
+
+    #[test]
+    fn syscalls_through_rpc() {
+        let m = machine();
+        let ut = ThreadCtx::untrusted(&m, 3);
+        let fd = m.host.socket(&ut, 16 << 10);
+        m.host.push_request(&ut, fd, b"ping");
+        let svc = with_syscalls(RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let buf = m.alloc_untrusted(256);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let n = svc.call(&mut t, funcs::RECV, [fd.0 as u64, buf, 256, 0]);
+        assert_eq!(n, 4);
+        let mut got = [0u8; 4];
+        t.read_untrusted(buf, &mut got);
+        assert_eq!(&got, b"ping");
+        // Empty queue: would-block sentinel.
+        let n = svc.call(&mut t, funcs::RECV, [fd.0 as u64, buf, 256, 0]);
+        assert_eq!(n, u64::MAX);
+        t.exit();
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let m = machine();
+        let svc = Arc::new(
+            RpcService::builder(&m)
+                .register(10, UntrustedFn::new(|_c, a| a[0] + 1))
+                .workers(2, &[2, 3])
+                .slots(8)
+                .build(),
+        );
+        let e = m.driver.create_enclave(&m, 64 * 4096);
+        let mut handles = Vec::new();
+        for core in 0..2usize {
+            let m = Arc::clone(&m);
+            let e = Arc::clone(&e);
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let mut t = ThreadCtx::for_enclave(&m, &e, core);
+                t.enter();
+                for i in 0..200u64 {
+                    assert_eq!(svc.call(&mut t, 10, [i, 0, 0, 0]), i + 1);
+                }
+                t.exit();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.stats.snapshot().rpc_calls, 400);
+    }
+
+    #[test]
+    fn file_io_through_rpc() {
+        let m = machine();
+        let svc = with_fs(RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let path_buf = m.alloc_untrusted(64);
+        let data_buf = m.alloc_untrusted(256);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        // Exit-lessly: open, write, seek, size, read back, close.
+        t.write_untrusted(path_buf, b"/tmp/sealed.log");
+        let fd = svc.call(&mut t, funcs::OPEN, [path_buf, 15, 0, 0]);
+        t.write_untrusted(data_buf, b"enclave wrote this");
+        assert_eq!(svc.call(&mut t, funcs::WRITE, [fd, data_buf, 18, 0]), 18);
+        assert_eq!(svc.call(&mut t, funcs::FSIZE, [fd, 0, 0, 0]), 18);
+        assert_eq!(svc.call(&mut t, funcs::SEEK, [fd, 8, 0, 0]), 0);
+        let n = svc.call(&mut t, funcs::READ, [fd, data_buf + 100, 64, 0]);
+        assert_eq!(n, 10);
+        let mut got = vec![0u8; 10];
+        t.read_untrusted(data_buf + 100, &mut got);
+        assert_eq!(&got, b"wrote this");
+        assert_eq!(svc.call(&mut t, funcs::CLOSE, [fd, 0, 0, 0]), 0);
+        assert_eq!(
+            svc.call(&mut t, funcs::CLOSE, [fd, 0, 0, 0]),
+            u64::MAX,
+            "double close rejected"
+        );
+        assert_eq!(m.stats.snapshot().enclave_exits, 0, "file I/O was exit-less");
+        t.exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "exit-less RPC is for trusted code")]
+    fn rejects_untrusted_callers() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, _a| 0))
+            .workers(1, &[3])
+            .build();
+        let mut t = ThreadCtx::untrusted(&m, 0);
+        svc.call(&mut t, 10, [0; 4]);
+    }
+}

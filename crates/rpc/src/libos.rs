@@ -1,0 +1,271 @@
+//! A Graphene-flavoured libOS shim: POSIX-ish calls from trusted code.
+//!
+//! Graphene "conveniently allows system call invocation from the
+//! enclave" (§5.1); Eleos integrates its RPC so the same calls go
+//! exit-less. This shim is that integration point as a reusable layer:
+//! every method takes plain Rust slices, does the SDK-style
+//! marshalling (bounce buffers in untrusted memory) internally, and
+//! routes the privileged half through either OCALLs
+//! ([`SyscallMode::Ocall`] — vanilla Graphene) or the exit-less RPC
+//! ring ([`SyscallMode::ExitLess`] — Graphene + Eleos).
+
+use std::sync::Arc;
+
+use eleos_enclave::fs::FileFd;
+use eleos_enclave::host::Fd;
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::{funcs, RpcService};
+
+/// How the shim reaches the host kernel.
+#[derive(Clone)]
+pub enum SyscallMode {
+    /// One enclave exit per syscall (vanilla Graphene / Intel SDK).
+    Ocall,
+    /// Through the Eleos RPC ring, never exiting.
+    ExitLess(Arc<RpcService>),
+}
+
+/// The shim: syscall surface + a bounce buffer for marshalling.
+pub struct LibOs {
+    machine: Arc<SgxMachine>,
+    mode: SyscallMode,
+    bounce: u64,
+    bounce_len: usize,
+}
+
+impl LibOs {
+    /// Creates a shim with a `bounce_len`-byte marshalling buffer.
+    #[must_use]
+    pub fn new(machine: &Arc<SgxMachine>, mode: SyscallMode, bounce_len: usize) -> Self {
+        Self {
+            bounce: machine.alloc_untrusted(bounce_len.max(4096)),
+            bounce_len: bounce_len.max(4096),
+            machine: Arc::clone(machine),
+            mode,
+        }
+    }
+
+    /// Which mode the shim routes through.
+    #[must_use]
+    pub fn mode_label(&self) -> &'static str {
+        match self.mode {
+            SyscallMode::Ocall => "ocall",
+            SyscallMode::ExitLess(_) => "exit-less",
+        }
+    }
+
+    fn call3(&self, ctx: &mut ThreadCtx, func: u64, a: u64, b: u64, c: u64) -> u64 {
+        match &self.mode {
+            SyscallMode::ExitLess(svc) => svc.call(ctx, func, [a, b, c, 0]),
+            SyscallMode::Ocall => {
+                let m = Arc::clone(&self.machine);
+                ctx.ocall(move |host_ctx| dispatch(&m, host_ctx, func, [a, b, c, 0]))
+            }
+        }
+    }
+
+    /// `open(2)` (creating if absent).
+    pub fn open(&self, ctx: &mut ThreadCtx, path: &str) -> FileFd {
+        assert!(path.len() <= self.bounce_len, "path exceeds bounce buffer");
+        ctx.write_untrusted(self.bounce, path.as_bytes());
+        FileFd(self.call3(ctx, funcs::OPEN, self.bounce, path.len() as u64, 0) as u32)
+    }
+
+    /// `close(2)`; returns whether the descriptor was valid.
+    pub fn close(&self, ctx: &mut ThreadCtx, fd: FileFd) -> bool {
+        self.call3(ctx, funcs::CLOSE, fd.0 as u64, 0, 0) == 0
+    }
+
+    /// `read(2)` into a trusted slice. Returns bytes read, or `None`
+    /// on a bad descriptor.
+    pub fn read(&self, ctx: &mut ThreadCtx, fd: FileFd, buf: &mut [u8]) -> Option<usize> {
+        let want = buf.len().min(self.bounce_len);
+        let r = self.call3(ctx, funcs::READ, fd.0 as u64, self.bounce, want as u64);
+        if r == u64::MAX {
+            return None;
+        }
+        let n = r as usize;
+        ctx.read_untrusted(self.bounce, &mut buf[..n]);
+        Some(n)
+    }
+
+    /// `write(2)` from a trusted slice. Returns bytes written, or
+    /// `None` on a bad descriptor.
+    pub fn write(&self, ctx: &mut ThreadCtx, fd: FileFd, data: &[u8]) -> Option<usize> {
+        assert!(data.len() <= self.bounce_len, "write exceeds bounce buffer");
+        ctx.write_untrusted(self.bounce, data);
+        let r = self.call3(ctx, funcs::WRITE, fd.0 as u64, self.bounce, data.len() as u64);
+        (r != u64::MAX).then_some(r as usize)
+    }
+
+    /// `lseek(2)` (`SEEK_SET`).
+    pub fn seek(&self, ctx: &mut ThreadCtx, fd: FileFd, offset: usize) -> bool {
+        self.call3(ctx, funcs::SEEK, fd.0 as u64, offset as u64, 0) == 0
+    }
+
+    /// File size, or `None` on a bad descriptor.
+    pub fn fsize(&self, ctx: &mut ThreadCtx, fd: FileFd) -> Option<usize> {
+        let r = self.call3(ctx, funcs::FSIZE, fd.0 as u64, 0, 0);
+        (r != u64::MAX).then_some(r as usize)
+    }
+
+    /// `unlink(2)`; returns whether the path existed.
+    pub fn unlink(&self, ctx: &mut ThreadCtx, path: &str) -> bool {
+        ctx.write_untrusted(self.bounce, path.as_bytes());
+        self.call3(ctx, funcs::UNLINK, self.bounce, path.len() as u64, 0) == 0
+    }
+
+    /// `recv(2)` into a trusted slice (`None` = would block).
+    pub fn recv(&self, ctx: &mut ThreadCtx, sock: Fd, buf: &mut [u8]) -> Option<usize> {
+        let want = buf.len().min(self.bounce_len);
+        let r = self.call3(ctx, funcs::RECV, sock.0 as u64, self.bounce, want as u64);
+        if r == u64::MAX {
+            return None;
+        }
+        let n = r as usize;
+        ctx.read_untrusted(self.bounce, &mut buf[..n]);
+        Some(n)
+    }
+
+    /// `send(2)` from a trusted slice.
+    pub fn send(&self, ctx: &mut ThreadCtx, sock: Fd, data: &[u8]) -> usize {
+        assert!(data.len() <= self.bounce_len, "send exceeds bounce buffer");
+        ctx.write_untrusted(self.bounce, data);
+        self.call3(ctx, funcs::SEND, sock.0 as u64, self.bounce, data.len() as u64) as usize
+    }
+
+    /// `poll(2)`-lite: always via OCALL — a long-blocking call should
+    /// not burn an RPC worker (§3.1).
+    pub fn poll(&self, ctx: &mut ThreadCtx, sock: Fd) -> bool {
+        ctx.ocall(move |host_ctx| {
+            let machine = Arc::clone(&host_ctx.machine);
+            machine.host.poll(host_ctx, sock)
+        })
+    }
+}
+
+/// The OCALL-side dispatcher: the same ABI the RPC workers implement,
+/// executed inline in untrusted mode.
+fn dispatch(m: &Arc<SgxMachine>, ctx: &mut ThreadCtx, func: u64, args: [u64; 4]) -> u64 {
+    let fs_err = |e: Result<usize, eleos_enclave::fs::FsError>| e.map_or(u64::MAX, |v| v as u64);
+    match func {
+        funcs::RECV => m
+            .host
+            .recv(ctx, Fd(args[0] as u32), args[1], args[2] as usize)
+            .map_or(u64::MAX, |n| n as u64),
+        funcs::SEND => m.host.send(ctx, Fd(args[0] as u32), args[1], args[2] as usize) as u64,
+        funcs::OPEN => {
+            let mut path = vec![0u8; args[1] as usize];
+            ctx.read_untrusted(args[0], &mut path);
+            let path = String::from_utf8(path).expect("utf-8 path");
+            m.fs.open(ctx, &path).0 as u64
+        }
+        funcs::CLOSE => m
+            .fs
+            .close(ctx, FileFd(args[0] as u32))
+            .map_or(u64::MAX, |()| 0),
+        funcs::READ => fs_err(m.fs.read(ctx, FileFd(args[0] as u32), args[1], args[2] as usize)),
+        funcs::WRITE => fs_err(m.fs.write(ctx, FileFd(args[0] as u32), args[1], args[2] as usize)),
+        funcs::SEEK => m
+            .fs
+            .seek(ctx, FileFd(args[0] as u32), args[1] as usize)
+            .map_or(u64::MAX, |()| 0),
+        funcs::FSIZE => fs_err(m.fs.size(ctx, FileFd(args[0] as u32))),
+        funcs::UNLINK => {
+            let mut path = vec![0u8; args[1] as usize];
+            ctx.read_untrusted(args[0], &mut path);
+            let path = String::from_utf8(path).expect("utf-8 path");
+            m.fs.unlink(ctx, &path).map_or(u64::MAX, |()| 0)
+        }
+        other => panic!("unknown libOS syscall {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{with_fs, with_syscalls};
+    use eleos_enclave::machine::MachineConfig;
+
+    fn shims() -> (Arc<SgxMachine>, LibOs, LibOs, ThreadCtx) {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let svc = Arc::new(
+            with_fs(with_syscalls(crate::RpcService::builder(&m), &m), &m)
+                .workers(1, &[3])
+                .build(),
+        );
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let ocall = LibOs::new(&m, SyscallMode::Ocall, 8192);
+        let exitless = LibOs::new(&m, SyscallMode::ExitLess(svc), 8192);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        (m, ocall, exitless, t)
+    }
+
+    #[test]
+    fn file_io_identical_in_both_modes() {
+        let (m, ocall, exitless, mut t) = shims();
+        for (shim, path) in [(&ocall, "/a"), (&exitless, "/b")] {
+            let fd = shim.open(&mut t, path);
+            assert_eq!(shim.write(&mut t, fd, b"libos payload"), Some(13));
+            assert_eq!(shim.fsize(&mut t, fd), Some(13));
+            assert!(shim.seek(&mut t, fd, 6));
+            let mut buf = [0u8; 16];
+            assert_eq!(shim.read(&mut t, fd, &mut buf), Some(7));
+            assert_eq!(&buf[..7], b"payload");
+            assert!(shim.close(&mut t, fd));
+            assert!(!shim.close(&mut t, fd), "double close");
+            assert!(shim.unlink(&mut t, path));
+            assert!(!shim.unlink(&mut t, path));
+        }
+        let _ = m;
+        t.exit();
+    }
+
+    #[test]
+    fn exit_less_mode_never_exits() {
+        let (m, _ocall, exitless, mut t) = shims();
+        m.stats.reset();
+        let fd = exitless.open(&mut t, "/quiet");
+        exitless.write(&mut t, fd, &[1u8; 4096]);
+        let mut buf = [0u8; 4096];
+        exitless.seek(&mut t, fd, 0);
+        exitless.read(&mut t, fd, &mut buf);
+        exitless.close(&mut t, fd);
+        let s = m.stats.snapshot();
+        assert_eq!(s.enclave_exits, 0);
+        assert!(s.rpc_calls >= 5);
+        t.exit();
+    }
+
+    #[test]
+    fn ocall_mode_exits_per_syscall() {
+        let (m, ocall, _exitless, mut t) = shims();
+        m.stats.reset();
+        let fd = ocall.open(&mut t, "/loud");
+        ocall.write(&mut t, fd, b"x");
+        ocall.close(&mut t, fd);
+        let s = m.stats.snapshot();
+        assert_eq!(s.enclave_exits, 3, "one exit per call");
+        assert_eq!(s.rpc_calls, 0);
+        t.exit();
+    }
+
+    #[test]
+    fn sockets_through_the_shim() {
+        let (m, _ocall, exitless, mut t) = shims();
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let sock = m.host.socket(&ut, 16 << 10);
+        m.host.push_request(&ut, sock, b"inbound");
+        let mut buf = [0u8; 32];
+        assert_eq!(exitless.recv(&mut t, sock, &mut buf), Some(7));
+        assert_eq!(&buf[..7], b"inbound");
+        assert_eq!(exitless.recv(&mut t, sock, &mut buf), None, "drained");
+        assert_eq!(exitless.send(&mut t, sock, b"outbound"), 8);
+        assert_eq!(m.host.pop_response(sock).unwrap(), b"outbound");
+        assert!(!exitless.poll(&mut t, sock));
+        t.exit();
+    }
+}

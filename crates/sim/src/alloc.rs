@@ -1,0 +1,251 @@
+//! A buddy allocator in the style of SQLite's memsys5.
+//!
+//! The paper's backing store uses "a slab memory allocator from the
+//! SQLite project \[which\] implements the standard buddy system to
+//! reduce fragmentation, with a minimum allocation of 16 bytes" (§4.1).
+//! This is that allocator, managing *offsets* into a region whose bytes
+//! live elsewhere (a [`crate::mem::PagedMem`] in practice).
+//!
+//! Allocation picks the lowest-addressed free block of the smallest
+//! sufficient order, so placement is deterministic — important for
+//! reproducible simulation results.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Errors from [`BuddyAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free block large enough.
+    OutOfMemory,
+    /// `free` called with an address that is not an allocation start.
+    BadFree(u64),
+    /// Requested size zero or larger than the region.
+    BadSize(usize),
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "out of backing-store memory"),
+            AllocError::BadFree(a) => write!(f, "free of non-allocated address {a:#x}"),
+            AllocError::BadSize(s) => write!(f, "invalid allocation size {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A binary-buddy allocator over `[0, capacity)`.
+pub struct BuddyAllocator {
+    min_block: u64,
+    capacity: u64,
+    /// Free blocks per order (block size = `min_block << order`).
+    free: Vec<BTreeSet<u64>>,
+    /// Live allocations: start offset -> order.
+    live: HashMap<u64, u8>,
+    used: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over a power-of-two `capacity` with
+    /// power-of-two `min_block` (the paper uses 16 bytes).
+    ///
+    /// # Panics
+    /// Panics if either argument is not a power of two or if
+    /// `capacity < min_block`.
+    #[must_use]
+    pub fn new(capacity: u64, min_block: u64) -> Self {
+        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(min_block.is_power_of_two(), "min_block must be a power of two");
+        assert!(capacity >= min_block);
+        let max_order = (capacity / min_block).trailing_zeros() as usize;
+        let mut free = vec![BTreeSet::new(); max_order + 1];
+        free[max_order].insert(0);
+        Self {
+            min_block,
+            capacity,
+            free,
+            live: HashMap::new(),
+            used: 0,
+        }
+    }
+
+    /// Total managed bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently handed out (rounded to block sizes).
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of live allocations.
+    #[must_use]
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    fn order_for(&self, len: usize) -> Result<u8, AllocError> {
+        if len == 0 || len as u64 > self.capacity {
+            return Err(AllocError::BadSize(len));
+        }
+        let blocks = (len as u64).div_ceil(self.min_block);
+        Ok(blocks.next_power_of_two().trailing_zeros() as u8)
+    }
+
+    /// Size in bytes of the block that would serve a request of `len`.
+    #[must_use]
+    pub fn block_size(&self, len: usize) -> usize {
+        match self.order_for(len) {
+            Ok(o) => (self.min_block << o) as usize,
+            Err(_) => 0,
+        }
+    }
+
+    /// Allocates at least `len` bytes, returning the region offset.
+    pub fn alloc(&mut self, len: usize) -> Result<u64, AllocError> {
+        let order = self.order_for(len)? as usize;
+        // Find the smallest order with a free block.
+        let mut o = order;
+        while o < self.free.len() && self.free[o].is_empty() {
+            o += 1;
+        }
+        if o >= self.free.len() {
+            return Err(AllocError::OutOfMemory);
+        }
+        let offset = *self.free[o].iter().next().expect("non-empty");
+        self.free[o].remove(&offset);
+        // Split down to the target order, returning high halves to the
+        // free lists.
+        while o > order {
+            o -= 1;
+            let half = self.min_block << o;
+            self.free[o].insert(offset + half);
+        }
+        self.live.insert(offset, order as u8);
+        self.used += self.min_block << order;
+        Ok(offset)
+    }
+
+    /// Frees an allocation made by [`Self::alloc`], returning the block
+    /// size released.
+    pub fn free(&mut self, offset: u64) -> Result<u64, AllocError> {
+        let order = self.live.remove(&offset).ok_or(AllocError::BadFree(offset))?;
+        let mut order = order as usize;
+        let size = self.min_block << order;
+        self.used -= size;
+        let mut offset = offset;
+        // Coalesce with the buddy while it is free.
+        while order + 1 < self.free.len() {
+            let block = self.min_block << order;
+            let buddy = offset ^ block;
+            if !self.free[order].remove(&buddy) {
+                break;
+            }
+            offset = offset.min(buddy);
+            order += 1;
+        }
+        self.free[order].insert(offset);
+        Ok(size)
+    }
+
+    /// Size of the block backing the live allocation at `offset`.
+    #[must_use]
+    pub fn size_of(&self, offset: u64) -> Option<u64> {
+        self.live.get(&offset).map(|&o| self.min_block << o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut a = BuddyAllocator::new(1024, 16);
+        let x = a.alloc(100).unwrap();
+        assert_eq!(a.size_of(x), Some(128));
+        assert_eq!(a.used(), 128);
+        assert_eq!(a.free(x).unwrap(), 128);
+        assert_eq!(a.used(), 0);
+        // After freeing everything the full region coalesces back.
+        let whole = a.alloc(1024).unwrap();
+        assert_eq!(whole, 0);
+    }
+
+    #[test]
+    fn min_block_rounding() {
+        let mut a = BuddyAllocator::new(1024, 16);
+        let x = a.alloc(1).unwrap();
+        assert_eq!(a.size_of(x), Some(16));
+        assert_eq!(a.block_size(17), 32);
+        assert_eq!(a.block_size(16), 16);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut a = BuddyAllocator::new(4096, 16);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for len in [100usize, 16, 700, 32, 48, 1024, 20] {
+            let off = a.alloc(len).unwrap();
+            let size = a.size_of(off).unwrap();
+            for &(o, s) in &spans {
+                assert!(off + size <= o || o + s <= off, "overlap at {off:#x}");
+            }
+            spans.push((off, size));
+        }
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut a = BuddyAllocator::new(256, 16);
+        let _x = a.alloc(256).unwrap();
+        assert_eq!(a.alloc(16), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn bad_free_detected() {
+        let mut a = BuddyAllocator::new(256, 16);
+        let x = a.alloc(64).unwrap();
+        assert_eq!(a.free(x + 16), Err(AllocError::BadFree(x + 16)));
+        a.free(x).unwrap();
+        assert_eq!(a.free(x), Err(AllocError::BadFree(x)));
+    }
+
+    #[test]
+    fn bad_sizes_rejected() {
+        let mut a = BuddyAllocator::new(256, 16);
+        assert_eq!(a.alloc(0), Err(AllocError::BadSize(0)));
+        assert_eq!(a.alloc(512), Err(AllocError::BadSize(512)));
+    }
+
+    #[test]
+    fn coalescing_survives_interleaved_frees() {
+        let mut a = BuddyAllocator::new(1024, 16);
+        let offs: Vec<u64> = (0..64).map(|_| a.alloc(16).unwrap()).collect();
+        assert_eq!(a.alloc(16), Err(AllocError::OutOfMemory));
+        // Free in a scrambled order.
+        for i in (0..64).step_by(2) {
+            a.free(offs[i]).unwrap();
+        }
+        for i in (1..64).step_by(2) {
+            a.free(offs[i]).unwrap();
+        }
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.alloc(1024).unwrap(), 0, "region fully coalesced");
+    }
+
+    #[test]
+    fn deterministic_lowest_address_first() {
+        let mut a = BuddyAllocator::new(1024, 16);
+        let x = a.alloc(16).unwrap();
+        let y = a.alloc(16).unwrap();
+        assert_eq!(x, 0);
+        assert_eq!(y, 16);
+        a.free(x).unwrap();
+        assert_eq!(a.alloc(16).unwrap(), 0, "reuses the lowest free block");
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-core simulated cycle counters.
+//!
+//! Each simulated core owns a monotonically increasing cycle counter.
+//! The counter is atomic so that *other* threads can charge cycles to a
+//! core remotely — the SGX driver does exactly that when a TLB shootdown
+//! IPI forces an asynchronous enclave exit (AEX) on a victim core
+//! (paper §3.2.3).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, atomically updated cycle counter for one simulated core,
+/// plus the core's pending-interrupt line.
+#[derive(Debug, Default)]
+pub struct CoreClock {
+    cycles: AtomicU64,
+    pending_ipi: AtomicBool,
+}
+
+impl CoreClock {
+    /// Creates a clock at cycle zero.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Advances the clock by `cycles`.
+    pub fn advance(&self, cycles: u64) {
+        self.cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Resets the clock to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.cycles.store(0, Ordering::Relaxed);
+    }
+
+    /// Raises the core's interrupt line (driver-side half of an IPI).
+    ///
+    /// The owning thread observes it at its next simulated memory access
+    /// and performs an asynchronous enclave exit: TLB flush plus the
+    /// `aex_resume` cycle charge.
+    pub fn post_interrupt(&self) {
+        self.pending_ipi.store(true, Ordering::Release);
+    }
+
+    /// Consumes a pending interrupt, returning whether one was pending.
+    pub fn take_interrupt(&self) -> bool {
+        // Fast path: avoid the RMW when the line is quiet.
+        if !self.pending_ipi.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.pending_ipi.swap(false, Ordering::Acquire)
+    }
+}
+
+/// Registry of the clocks of all cores currently executing inside a
+/// given enclave, so the driver can deliver IPIs to exactly those cores
+/// (the `ETRACK` flow).
+#[derive(Debug, Default)]
+pub struct CoreSet {
+    clocks: parking_lot::Mutex<Vec<(usize, Arc<CoreClock>)>>,
+}
+
+impl CoreSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a core as executing in the tracked domain.
+    pub fn join(&self, core_id: usize, clock: Arc<CoreClock>) {
+        let mut g = self.clocks.lock();
+        if !g.iter().any(|(id, _)| *id == core_id) {
+            g.push((core_id, clock));
+        }
+    }
+
+    /// Removes a core.
+    pub fn leave(&self, core_id: usize) {
+        self.clocks.lock().retain(|(id, _)| *id != core_id);
+    }
+
+    /// Number of registered cores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clocks.lock().len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Invokes `f` with every registered core except `except`, returning
+    /// how many cores were visited. Used to charge IPI/AEX costs.
+    pub fn for_others(&self, except: usize, mut f: impl FnMut(usize, &CoreClock)) -> usize {
+        let g = self.clocks.lock();
+        let mut n = 0;
+        for (id, clock) in g.iter() {
+            if *id != except {
+                f(*id, clock);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let c = CoreClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(100);
+        c.advance(50);
+        assert_eq!(c.now(), 150);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn remote_charge_is_visible() {
+        let c = CoreClock::new();
+        let c2 = Arc::clone(&c);
+        std::thread::spawn(move || c2.advance(42)).join().unwrap();
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn interrupt_line() {
+        let c = CoreClock::new();
+        assert!(!c.take_interrupt());
+        c.post_interrupt();
+        assert!(c.take_interrupt());
+        assert!(!c.take_interrupt(), "interrupt must be consumed");
+    }
+
+    #[test]
+    fn core_set_membership() {
+        let s = CoreSet::new();
+        let a = CoreClock::new();
+        let b = CoreClock::new();
+        s.join(0, Arc::clone(&a));
+        s.join(1, Arc::clone(&b));
+        s.join(0, Arc::clone(&a)); // idempotent
+        assert_eq!(s.len(), 2);
+        let visited = s.for_others(0, |_, clock| clock.advance(10));
+        assert_eq!(visited, 1);
+        assert_eq!(a.now(), 0);
+        assert_eq!(b.now(), 10);
+        s.leave(1);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Backing byte storage for simulated memory regions.
+//!
+//! [`PagedMem`] holds the *contents* of a memory region (untrusted RAM,
+//! or an enclave's swap area) in lazily allocated 4 KiB chunks, each
+//! behind its own `RwLock` so concurrent threads touching different
+//! pages do not serialize. This layer moves bytes only; cycle accounting
+//! happens in the access layers that call it.
+
+use parking_lot::RwLock;
+
+use crate::costs::PAGE_SIZE;
+
+/// Lazily allocated, lock-sharded byte storage.
+pub struct PagedMem {
+    chunks: Vec<RwLock<Option<Box<[u8; PAGE_SIZE]>>>>,
+    size: usize,
+}
+
+impl PagedMem {
+    /// Creates a zero-initialized region of `size` bytes (rounded up to
+    /// whole pages). Chunks materialize on first write.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        let pages = size.div_ceil(PAGE_SIZE);
+        let mut chunks = Vec::with_capacity(pages);
+        chunks.resize_with(pages, || RwLock::new(None));
+        Self {
+            chunks,
+            size: pages * PAGE_SIZE,
+        }
+    }
+
+    /// Region size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check(&self, addr: u64, len: usize) {
+        let end = addr
+            .checked_add(len as u64)
+            .unwrap_or_else(|| panic!("simulated access overflows: {addr:#x}+{len}"));
+        assert!(
+            end <= self.size as u64,
+            "simulated segfault: [{addr:#x}, {end:#x}) beyond region of {} bytes",
+            self.size
+        );
+    }
+
+    /// Copies `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access (a simulation bug, analogous to a
+    /// segfault).
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr as usize + off;
+            let page = cur / PAGE_SIZE;
+            let in_page = cur % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            let guard = self.chunks[page].read();
+            match guard.as_ref() {
+                Some(data) => buf[off..off + n].copy_from_slice(&data[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access.
+    pub fn write(&self, addr: u64, buf: &[u8]) {
+        self.check(addr, buf.len());
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr as usize + off;
+            let page = cur / PAGE_SIZE;
+            let in_page = cur % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            let mut guard = self.chunks[page].write();
+            let data = guard.get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            data[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Fills `[addr, addr+len)` with `byte`.
+    pub fn fill(&self, addr: u64, len: usize, byte: u8) {
+        self.check(addr, len);
+        let mut off = 0usize;
+        while off < len {
+            let cur = addr as usize + off;
+            let page = cur / PAGE_SIZE;
+            let in_page = cur % PAGE_SIZE;
+            let n = (PAGE_SIZE - in_page).min(len - off);
+            if byte == 0 && in_page == 0 && n == PAGE_SIZE {
+                // Whole-page zero fill: drop the chunk back to lazy-zero.
+                *self.chunks[page].write() = None;
+            } else {
+                let mut guard = self.chunks[page].write();
+                let data = guard.get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                data[in_page..in_page + n].fill(byte);
+            }
+            off += n;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = PagedMem::new(8192);
+        let mut buf = [0xffu8; 16];
+        m.read(100, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_pages() {
+        let m = PagedMem::new(3 * PAGE_SIZE);
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        m.write(3000, &data); // spans pages 0..=1 and into 2
+        let mut out = vec![0u8; data.len()];
+        m.read(3000, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fill_and_whole_page_zero() {
+        let m = PagedMem::new(2 * PAGE_SIZE);
+        m.fill(0, 2 * PAGE_SIZE, 0xab);
+        let mut b = [0u8; 4];
+        m.read(PAGE_SIZE as u64, &mut b);
+        assert_eq!(b, [0xab; 4]);
+        m.fill(0, PAGE_SIZE, 0);
+        m.read(0, &mut b);
+        assert_eq!(b, [0; 4]);
+        m.read(PAGE_SIZE as u64, &mut b);
+        assert_eq!(b, [0xab; 4]);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let m = PagedMem::new(PAGE_SIZE);
+        m.write_u64(40, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(40), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn out_of_bounds_read_panics() {
+        let m = PagedMem::new(PAGE_SIZE);
+        let mut b = [0u8; 8];
+        m.read(PAGE_SIZE as u64 - 4, &mut b);
+    }
+
+    #[test]
+    fn size_rounds_up() {
+        let m = PagedMem::new(PAGE_SIZE + 1);
+        assert_eq!(m.size(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn concurrent_disjoint_pages() {
+        use std::sync::Arc;
+        let m = Arc::new(PagedMem::new(64 * PAGE_SIZE));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let addr = t * 8 * PAGE_SIZE as u64;
+                let data = vec![t as u8 + 1; PAGE_SIZE * 2];
+                for _ in 0..50 {
+                    m.write(addr, &data);
+                    let mut out = vec![0u8; data.len()];
+                    m.read(addr, &mut out);
+                    assert_eq!(out, data);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

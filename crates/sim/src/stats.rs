@@ -1,0 +1,194 @@
+//! Shared event counters for the simulated machine.
+//!
+//! A single [`Stats`] instance hangs off the machine; all components
+//! (LLC, TLBs, driver, SUVM, RPC) increment it with relaxed atomics.
+//! Experiments take [`Stats::snapshot`]s before and after a phase and
+//! subtract them — this is how the harness reports fault and IPI counts
+//! (e.g. Table 2 of the paper).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! stats {
+    ($(#[$doc:meta] $name:ident),+ $(,)?) => {
+        /// Live, atomically updated counters.
+        #[derive(Debug, Default)]
+        pub struct Stats {
+            $(#[$doc] pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`Stats`].
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $(#[$doc] pub $name: u64,)+
+        }
+
+        impl Stats {
+            /// Copies all counters.
+            #[must_use]
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Resets all counters to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl core::ops::Sub for StatsSnapshot {
+            type Output = StatsSnapshot;
+            fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.wrapping_sub(rhs.$name),)+
+                }
+            }
+        }
+    };
+}
+
+stats! {
+    /// LLC hits.
+    llc_hits,
+    /// LLC misses.
+    llc_misses,
+    /// LLC misses whose target was EPC.
+    llc_misses_epc,
+    /// Dirty-line write-backs out of the LLC.
+    llc_writebacks,
+    /// TLB hits.
+    tlb_hits,
+    /// TLB misses (page walks).
+    tlb_misses,
+    /// Full TLB flushes (enclave exits, AEX).
+    tlb_flushes,
+    /// Synchronous enclave exits (EEXIT executed).
+    enclave_exits,
+    /// Enclave (re-)entries.
+    enclave_enters,
+    /// OCALLs performed through the SDK path.
+    ocalls,
+    /// System calls executed by the host OS.
+    syscalls,
+    /// Asynchronous enclave exits caused by IPIs.
+    aex,
+    /// Inter-processor interrupts sent by the driver.
+    ipis,
+    /// Hardware EPC page faults handled by the driver.
+    hw_faults,
+    /// EPC pages evicted by the driver (EWB).
+    hw_evictions,
+    /// EPC pages loaded by the driver (ELDU).
+    hw_loads,
+    /// SUVM major faults (page not in EPC++).
+    suvm_major_faults,
+    /// SUVM minor faults (page resident, spointer unlinked).
+    suvm_minor_faults,
+    /// SUVM page evictions from EPC++.
+    suvm_evictions,
+    /// SUVM evictions skipped because the page was clean.
+    suvm_clean_skips,
+    /// SUVM direct (sub-page) backing-store accesses.
+    suvm_direct_accesses,
+    /// RPC calls served exit-lessly.
+    rpc_calls,
+    /// Bytes moved by seal/unseal operations.
+    sealed_bytes,
+}
+
+impl Stats {
+    /// Convenience relaxed increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience relaxed add.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// A compact human-readable summary of the non-zero counters,
+    /// grouped the way the experiments discuss them.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut put = |name: &str, v: u64| {
+            if v > 0 {
+                parts.push(format!("{name}={v}"));
+            }
+        };
+        put("exits", self.enclave_exits);
+        put("ocalls", self.ocalls);
+        put("rpc", self.rpc_calls);
+        put("syscalls", self.syscalls);
+        put("hw_faults", self.hw_faults);
+        put("hw_evictions", self.hw_evictions);
+        put("ipis", self.ipis);
+        put("aex", self.aex);
+        put("suvm_major", self.suvm_major_faults);
+        put("suvm_minor", self.suvm_minor_faults);
+        put("suvm_evict", self.suvm_evictions);
+        put("clean_skips", self.suvm_clean_skips);
+        put("direct", self.suvm_direct_accesses);
+        put("tlb_flushes", self.tlb_flushes);
+        put("llc_miss", self.llc_misses);
+        if parts.is_empty() {
+            "(idle)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+impl core::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = Stats::default();
+        Stats::bump(&s.llc_hits);
+        Stats::add(&s.llc_misses, 5);
+        let a = s.snapshot();
+        Stats::add(&s.llc_misses, 2);
+        Stats::bump(&s.hw_faults);
+        let b = s.snapshot();
+        let d = b - a;
+        assert_eq!(d.llc_hits, 0);
+        assert_eq!(d.llc_misses, 2);
+        assert_eq!(d.hw_faults, 1);
+        assert_eq!(b.llc_misses, 7);
+    }
+
+    #[test]
+    fn summary_shows_only_nonzero() {
+        let s = Stats::default();
+        assert_eq!(s.snapshot().summary(), "(idle)");
+        Stats::add(&s.enclave_exits, 3);
+        Stats::bump(&s.hw_faults);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("exits=3"));
+        assert!(text.contains("hw_faults=1"));
+        assert!(!text.contains("ipis"));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = Stats::default();
+        Stats::bump(&s.ipis);
+        Stats::bump(&s.aex);
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.ipis, 0);
+        assert_eq!(snap.aex, 0);
+    }
+}

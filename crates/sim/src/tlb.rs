@@ -1,0 +1,178 @@
+//! A per-core TLB model.
+//!
+//! SGX flushes the TLB on every enclave exit (synchronous or AEX), which
+//! is one of the two indirect costs the paper quantifies (§2.2.1,
+//! Fig 2b): pointer-chasing workloads re-walk the page tables after
+//! every exit. The TLB is owned by its core's thread — the driver never
+//! touches it directly; shootdowns arrive as interrupts via
+//! [`crate::clock::CoreClock::post_interrupt`].
+
+/// A fully associative, LRU-replaced translation cache.
+#[derive(Debug)]
+pub struct Tlb {
+    /// `(asid, vpn, tick)` triples.
+    entries: Vec<(u32, u64, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    flushes: u64,
+}
+
+/// Default number of entries (Skylake L2 STLB order of magnitude is
+/// 1536; we default lower so flush effects show at microbench scale
+/// while remaining configurable).
+pub const DEFAULT_TLB_ENTRIES: usize = 512;
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::new(DEFAULT_TLB_ENTRIES)
+    }
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Looks up `(asid, vpn)`; on a miss the translation is inserted
+    /// (the page walk is assumed to succeed — residency faults are
+    /// raised by the page-table layer before the walk completes).
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, asid: u32, vpn: u64) -> bool {
+        self.tick += 1;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(a, v, _)| *a == asid && *v == vpn)
+        {
+            e.2 = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .expect("non-empty");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((asid, vpn, self.tick));
+        false
+    }
+
+    /// Checks membership without altering LRU state.
+    #[must_use]
+    pub fn contains(&self, asid: u32, vpn: u64) -> bool {
+        self.entries.iter().any(|(a, v, _)| *a == asid && *v == vpn)
+    }
+
+    /// Drops everything (enclave exit, AEX).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.flushes += 1;
+    }
+
+    /// Drops one translation (single-page shootdown).
+    pub fn flush_page(&mut self, asid: u32, vpn: u64) {
+        self.entries.retain(|(a, v, _)| !(*a == asid && *v == vpn));
+    }
+
+    /// Drops all translations of one address space — what `EEXIT`/AEX do
+    /// to the enclave's mappings while untrusted mappings survive.
+    pub fn flush_asid(&mut self, asid: u32) {
+        self.entries.retain(|(a, _, _)| *a != asid);
+        self.flushes += 1;
+    }
+
+    /// Current number of cached translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, flushes)` counters for this core.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.flushes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(1, 100));
+        assert!(t.access(1, 100));
+        assert!(!t.access(2, 100), "asid must disambiguate");
+        assert_eq!(t.counters(), (1, 2, 0));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(0, 1);
+        t.access(0, 2);
+        t.access(0, 1); // refresh 1; LRU is now 2
+        t.access(0, 3); // evicts 2
+        assert!(t.contains(0, 1));
+        assert!(!t.contains(0, 2));
+        assert!(t.contains(0, 3));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = Tlb::new(8);
+        t.access(0, 1);
+        t.access(0, 2);
+        t.flush();
+        assert!(t.is_empty());
+        assert!(!t.access(0, 1), "post-flush access misses");
+        assert_eq!(t.counters().2, 1);
+    }
+
+    #[test]
+    fn flush_asid_is_selective() {
+        let mut t = Tlb::new(8);
+        t.access(1, 10);
+        t.access(2, 20);
+        t.access(1, 30);
+        t.flush_asid(1);
+        assert!(!t.contains(1, 10));
+        assert!(!t.contains(1, 30));
+        assert!(t.contains(2, 20));
+    }
+
+    #[test]
+    fn flush_single_page() {
+        let mut t = Tlb::new(8);
+        t.access(7, 1);
+        t.access(7, 2);
+        t.flush_page(7, 1);
+        assert!(!t.contains(7, 1));
+        assert!(t.contains(7, 2));
+        assert_eq!(t.len(), 1);
+    }
+}

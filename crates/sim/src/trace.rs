@@ -1,0 +1,323 @@
+//! Event tracing for the simulated machine.
+//!
+//! When enabled, components append timestamped [`Event`]s to a bounded
+//! ring: enclave transitions, hardware and SUVM faults, evictions,
+//! shootdowns and RPCs. Disabled (the default) the overhead is one
+//! relaxed atomic load per would-be event. Experiments use traces to
+//! explain *why* a configuration behaves as it does (e.g. watching the
+//! driver evict another enclave's EPC++ in the Fig 9 thrashing runs).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// EENTER on a core.
+    EnclaveEnter {
+        /// Acting core.
+        core: usize,
+        /// Enclave id.
+        enclave: u32,
+    },
+    /// EEXIT on a core.
+    EnclaveExit {
+        /// Acting core.
+        core: usize,
+        /// Enclave id.
+        enclave: u32,
+    },
+    /// Hardware EPC fault.
+    HwFault {
+        /// Faulting core.
+        core: usize,
+        /// Enclave id.
+        enclave: u32,
+        /// Linear page number.
+        page: u64,
+    },
+    /// Driver evicted a page (EWB).
+    HwEvict {
+        /// Victim enclave.
+        enclave: u32,
+        /// Linear page number.
+        page: u64,
+    },
+    /// IPI delivered for a TLB shootdown.
+    Ipi {
+        /// Target core.
+        target: usize,
+    },
+    /// SUVM software major fault.
+    SuvmFault {
+        /// Faulting core.
+        core: usize,
+        /// Backing-store page.
+        page: u64,
+    },
+    /// SUVM eviction (sealed unless the clean-page elision applied).
+    SuvmEvict {
+        /// Backing-store page.
+        page: u64,
+        /// Whether the write-back was skipped.
+        clean_skip: bool,
+    },
+    /// Exit-less RPC served.
+    RpcCall {
+        /// Registered function id.
+        func: u64,
+    },
+}
+
+/// A `(cycles, event)` record; cycles are the acting core's clock.
+pub type Record = (u64, Event);
+
+/// The bounded trace ring.
+pub struct Trace {
+    enabled: AtomicBool,
+    ring: Mutex<VecDeque<Record>>,
+    capacity: usize,
+    dropped: Mutex<u64>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new(1 << 16)
+    }
+}
+
+impl Trace {
+    /// Creates a disabled trace with room for `capacity` records.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 20))),
+            capacity,
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops recording (records are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether recording is on (cheap; called on every event site).
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Appends a record if enabled; the oldest record is dropped when
+    /// the ring is full.
+    #[inline]
+    pub fn record(&self, cycles: u64, event: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            *self.dropped.lock() += 1;
+        }
+        ring.push_back((cycles, event));
+    }
+
+    /// Drains and returns all records (oldest first).
+    #[must_use]
+    pub fn take(&self) -> Vec<Record> {
+        self.ring.lock().drain(..).collect()
+    }
+
+    /// Records dropped because the ring overflowed.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Counts records per event kind — a quick profile of a phase.
+    #[must_use]
+    pub fn histogram(&self) -> TraceHistogram {
+        let ring = self.ring.lock();
+        let mut h = TraceHistogram::default();
+        for (_, e) in ring.iter() {
+            match e {
+                Event::EnclaveEnter { .. } => h.enters += 1,
+                Event::EnclaveExit { .. } => h.exits += 1,
+                Event::HwFault { .. } => h.hw_faults += 1,
+                Event::HwEvict { .. } => h.hw_evicts += 1,
+                Event::Ipi { .. } => h.ipis += 1,
+                Event::SuvmFault { .. } => h.suvm_faults += 1,
+                Event::SuvmEvict { .. } => h.suvm_evicts += 1,
+                Event::RpcCall { .. } => h.rpc_calls += 1,
+            }
+        }
+        h
+    }
+}
+
+impl Event {
+    fn name(&self) -> &'static str {
+        match self {
+            Event::EnclaveEnter { .. } => "eenter",
+            Event::EnclaveExit { .. } => "eexit",
+            Event::HwFault { .. } => "hw_fault",
+            Event::HwEvict { .. } => "hw_evict",
+            Event::Ipi { .. } => "ipi",
+            Event::SuvmFault { .. } => "suvm_fault",
+            Event::SuvmEvict { .. } => "suvm_evict",
+            Event::RpcCall { .. } => "rpc",
+        }
+    }
+
+    fn lane(&self) -> usize {
+        match self {
+            Event::EnclaveEnter { core, .. }
+            | Event::EnclaveExit { core, .. }
+            | Event::HwFault { core, .. }
+            | Event::SuvmFault { core, .. } => *core,
+            Event::Ipi { target } => *target,
+            // Driver-side and worker-side events get a synthetic lane.
+            Event::HwEvict { .. } | Event::SuvmEvict { .. } | Event::RpcCall { .. } => 99,
+        }
+    }
+}
+
+impl Trace {
+    /// Renders the retained records as Chrome trace-event JSON
+    /// (loadable in `chrome://tracing` / Perfetto): one instant event
+    /// per record, `tid` = core, timestamps in simulated microseconds
+    /// at 3.4 GHz.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::from("[");
+        for (i, (cycles, ev)) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let us = *cycles as f64 / (crate::costs::CPU_HZ / 1e6);
+            let args = match ev {
+                Event::EnclaveEnter { enclave, .. } | Event::EnclaveExit { enclave, .. } => {
+                    format!("{{\"enclave\":{enclave}}}")
+                }
+                Event::HwFault { enclave, page, .. } => {
+                    format!("{{\"enclave\":{enclave},\"page\":{page}}}")
+                }
+                Event::HwEvict { enclave, page } => {
+                    format!("{{\"enclave\":{enclave},\"page\":{page}}}")
+                }
+                Event::Ipi { target } => format!("{{\"target\":{target}}}"),
+                Event::SuvmFault { page, .. } => format!("{{\"page\":{page}}}"),
+                Event::SuvmEvict { page, clean_skip } => {
+                    format!("{{\"page\":{page},\"clean_skip\":{clean_skip}}}")
+                }
+                Event::RpcCall { func } => format!("{{\"func\":{func}}}"),
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{us:.3},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{args}}}",
+                ev.name(),
+                ev.lane()
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Per-kind record counts from [`Trace::histogram`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHistogram {
+    /// EENTERs.
+    pub enters: u64,
+    /// EEXITs.
+    pub exits: u64,
+    /// Hardware faults.
+    pub hw_faults: u64,
+    /// Hardware evictions.
+    pub hw_evicts: u64,
+    /// IPIs.
+    pub ipis: u64,
+    /// SUVM major faults.
+    pub suvm_faults: u64,
+    /// SUVM evictions.
+    pub suvm_evicts: u64,
+    /// RPC calls.
+    pub rpc_calls: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Trace::new(8);
+        t.record(1, Event::Ipi { target: 0 });
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_records_in_order() {
+        let t = Trace::new(8);
+        t.enable();
+        t.record(10, Event::EnclaveEnter { core: 0, enclave: 1 });
+        t.record(20, Event::EnclaveExit { core: 0, enclave: 1 });
+        let r = t.take();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, 10);
+        assert!(matches!(r[1].1, Event::EnclaveExit { .. }));
+        assert!(t.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let t = Trace::new(4);
+        t.enable();
+        for i in 0..10u64 {
+            t.record(i, Event::Ipi { target: i as usize });
+        }
+        assert_eq!(t.dropped(), 6);
+        let r = t.take();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].0, 6, "oldest surviving record");
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed() {
+        let t = Trace::new(8);
+        t.enable();
+        t.record(3_400, Event::EnclaveEnter { core: 2, enclave: 5 });
+        t.record(6_800, Event::SuvmEvict { page: 7, clean_skip: true });
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"eenter\""));
+        assert!(json.contains("\"tid\":2"));
+        // 3,400 cycles at 3.4 GHz = 1 microsecond.
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"clean_skip\":true"));
+        assert_eq!(json.matches("{\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let t = Trace::new(16);
+        t.enable();
+        t.record(1, Event::HwFault { core: 0, enclave: 1, page: 2 });
+        t.record(2, Event::HwFault { core: 0, enclave: 1, page: 3 });
+        t.record(3, Event::SuvmEvict { page: 9, clean_skip: true });
+        let h = t.histogram();
+        assert_eq!(h.hw_faults, 2);
+        assert_eq!(h.suvm_evicts, 1);
+        assert_eq!(h.rpc_calls, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the machine-model substrate.
+
+use eleos_sim::alloc::BuddyAllocator;
+use eleos_sim::costs::{AccessKind, PAGE_SIZE};
+use eleos_sim::llc::{CacheCtx, Llc, LlcConfig};
+use eleos_sim::mem::PagedMem;
+use eleos_sim::tlb::Tlb;
+use proptest::prelude::*;
+
+proptest! {
+    /// Live buddy allocations never overlap and never exceed capacity,
+    /// under an arbitrary interleaving of allocs and frees.
+    #[test]
+    fn buddy_no_overlap(ops in prop::collection::vec((any::<bool>(), 1usize..600), 1..120)) {
+        let mut a = BuddyAllocator::new(8192, 16);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (is_alloc, len) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(off) = a.alloc(len) {
+                    let size = a.size_of(off).unwrap();
+                    prop_assert!(off + size <= a.capacity());
+                    for &(o, s) in &live {
+                        prop_assert!(off + size <= o || o + s <= off,
+                                     "overlap: [{off},+{size}) vs [{o},+{s})");
+                    }
+                    live.push((off, size));
+                }
+            } else {
+                let idx = len % live.len();
+                let (off, size) = live.swap_remove(idx);
+                prop_assert_eq!(a.free(off).unwrap(), size);
+            }
+        }
+        prop_assert_eq!(a.live_allocations(), live.len());
+    }
+
+    /// Freeing everything restores a fully coalesced region.
+    #[test]
+    fn buddy_full_coalesce(lens in prop::collection::vec(1usize..700, 1..60)) {
+        let mut a = BuddyAllocator::new(16384, 16);
+        let offs: Vec<u64> = lens.iter().filter_map(|&l| a.alloc(l).ok()).collect();
+        for off in offs {
+            a.free(off).unwrap();
+        }
+        prop_assert_eq!(a.used(), 0);
+        prop_assert_eq!(a.alloc(16384).unwrap(), 0);
+    }
+
+    /// PagedMem read-after-write returns what was written, even with
+    /// overlapping writes (last write wins).
+    #[test]
+    fn pagedmem_last_write_wins(writes in prop::collection::vec(
+        (0u64..(3 * PAGE_SIZE as u64), prop::collection::vec(any::<u8>(), 1..300)), 1..20)) {
+        let m = PagedMem::new(4 * PAGE_SIZE);
+        let mut shadow = vec![0u8; 4 * PAGE_SIZE];
+        for (addr, data) in &writes {
+            let addr = (*addr).min((4 * PAGE_SIZE - data.len()) as u64);
+            m.write(addr, data);
+            shadow[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        }
+        let mut out = vec![0u8; 4 * PAGE_SIZE];
+        m.read(0, &mut out);
+        prop_assert_eq!(out, shadow);
+    }
+
+    /// Immediately re-accessing any line after an access always hits.
+    #[test]
+    fn llc_immediate_reaccess_hits(addrs in prop::collection::vec(0u64..(1 << 22), 1..200)) {
+        let mut c = Llc::new(&LlcConfig { size: 64 << 10, ways: 4 });
+        for addr in addrs {
+            c.access_line(CacheCtx::Other, addr, AccessKind::Read);
+            let again = c.access_line(CacheCtx::Other, addr, AccessKind::Read);
+            prop_assert!(again.hit);
+        }
+    }
+
+    /// A working set that fits within one context's partition never
+    /// misses after the first pass, regardless of other-context traffic.
+    #[test]
+    fn llc_partition_protects_working_set(noise in prop::collection::vec(0u64..(1 << 24), 0..400)) {
+        let mut c = Llc::new(&LlcConfig { size: 64 << 10, ways: 8 });
+        c.set_partition(CacheCtx::Enclave, 0b0000_1111);
+        c.set_partition(CacheCtx::Rpc, 0b1111_0000);
+        // Enclave working set: 2 lines per set in a 4-way slice.
+        let sets = c.sets() as u64;
+        let ws: Vec<u64> = (0..2 * sets).map(|i| i * 64).collect();
+        for &a in &ws {
+            c.access_line(CacheCtx::Enclave, a, AccessKind::Write);
+        }
+        for a in noise {
+            c.access_line(CacheCtx::Rpc, a, AccessKind::Write);
+        }
+        for &a in &ws {
+            prop_assert!(c.access_line(CacheCtx::Enclave, a, AccessKind::Read).hit);
+        }
+    }
+
+    /// The TLB never exceeds its capacity and a flush empties it.
+    #[test]
+    fn tlb_capacity_and_flush(vpns in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut t = Tlb::new(64);
+        for &v in &vpns {
+            t.access(1, v);
+            prop_assert!(t.len() <= 64);
+            prop_assert!(t.contains(1, v), "just-inserted entry present");
+        }
+        t.flush();
+        prop_assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Multi-enclave ballooning (§3.3): two enclaves share the PRM, and
+//! the SUVM swapper coordinates each one's EPC++ size with the SGX
+//! driver so neither thrashes the other.
+//!
+//! Run with: `cargo run --release --example multi_enclave`
+
+use std::sync::Arc;
+
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::suvm::{Suvm, SuvmConfig};
+
+fn main() {
+    let machine = SgxMachine::new(MachineConfig {
+        epc_bytes: 24 << 20,
+        ..MachineConfig::default()
+    });
+    println!(
+        "machine: {} MiB EPC shared by whoever comes",
+        machine.cfg.epc_bytes >> 20
+    );
+
+    // Enclave A starts alone and sizes its EPC++ greedily.
+    let e1 = machine.driver.create_enclave(&machine, 64 << 20);
+    let t0 = ThreadCtx::for_enclave(&machine, &e1, 0);
+    let suvm1 = Suvm::new(
+        &t0,
+        SuvmConfig {
+            epcpp_bytes: 16 << 20,
+            backing_bytes: 64 << 20,
+            headroom_bytes: 2 << 20,
+            ..SuvmConfig::default()
+        },
+    );
+    let mut t1 = ThreadCtx::for_enclave(&machine, &e1, 0);
+    t1.enter();
+    let a = suvm1.malloc(16 << 20);
+    for page in 0..4096u64 {
+        suvm1.write(&mut t1, a + page * 4096, &[1u8; 64]);
+    }
+    println!(
+        "enclave A alone: driver share {} frames, EPC++ {} frames resident {}",
+        machine.driver.available_epc_for(e1.id),
+        suvm1.frame_limit(),
+        suvm1.resident_pages()
+    );
+
+    // Enclave B arrives: the fair share halves.
+    let e2 = machine.driver.create_enclave(&machine, 64 << 20);
+    println!(
+        "enclave B arrives: driver share drops to {} frames each",
+        machine.driver.available_epc_for(e1.id)
+    );
+
+    // A's swapper tick applies the new share (what the background
+    // `Swapper` thread does periodically).
+    suvm1.swapper_tick(&mut t1);
+    println!(
+        "after A's swapper tick: EPC++ limit {} frames ({} MiB), resident {}",
+        suvm1.frame_limit(),
+        (suvm1.frame_limit() * 4096) >> 20,
+        suvm1.resident_pages()
+    );
+
+    // B can now run its own working set without evicting A's EPC++
+    // through the hardware.
+    let t0b = ThreadCtx::for_enclave(&machine, &e2, 1);
+    let suvm2 = Suvm::new(
+        &t0b,
+        SuvmConfig {
+            epcpp_bytes: 8 << 20,
+            backing_bytes: 64 << 20,
+            headroom_bytes: 2 << 20,
+            ..SuvmConfig::default()
+        },
+    );
+    let mut t2 = ThreadCtx::for_enclave(&machine, &e2, 1);
+    t2.enter();
+    let b = suvm2.malloc(16 << 20);
+    let before = machine.stats.snapshot();
+    for page in 0..4096u64 {
+        suvm2.write(&mut t2, b + page * 4096, &[2u8; 64]);
+    }
+    suvm2.swapper_tick(&mut t2);
+    let delta = machine.stats.snapshot() - before;
+    println!(
+        "enclave B worked through 16 MiB: {} SUVM faults, {} hardware faults",
+        delta.suvm_major_faults, delta.hw_faults
+    );
+
+    // Data both sides is intact.
+    let mut buf = [0u8; 64];
+    suvm1.read(&mut t1, a + 1234 * 4096, &mut buf);
+    assert_eq!(buf, [1u8; 64]);
+    suvm2.read(&mut t2, b + 1234 * 4096, &mut buf);
+    assert_eq!(buf, [2u8; 64]);
+    println!("both enclaves' data intact under shared PRM.");
+
+    t1.exit();
+    t2.exit();
+    machine.driver.destroy_enclave(&machine, &e1);
+    machine.driver.destroy_enclave(&machine, &e2);
+    let _ = Arc::strong_count(&machine);
+}

@@ -1,0 +1,130 @@
+//! Warm restarts with sealed snapshots: a KVS running in one enclave
+//! serializes its state, seals it, and writes it to the (untrusted)
+//! host filesystem through exit-less file syscalls; a second enclave
+//! "process" restores it. Tampering with the file is detected.
+//!
+//! Run with: `cargo run --release --example sealed_snapshot`
+
+use std::sync::Arc;
+
+use eleos::apps::kvs::Kvs;
+use eleos::apps::space::DataSpace;
+use eleos::crypto::gcm::AesGcm128;
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{funcs, with_fs, RpcService};
+use eleos::suvm::{Suvm, SuvmConfig};
+
+fn suvm_for(machine: &Arc<SgxMachine>, e: &Arc<eleos::enclave::Enclave>) -> Arc<Suvm> {
+    let t = ThreadCtx::for_enclave(machine, e, 0);
+    Suvm::new(
+        &t,
+        SuvmConfig {
+            epcpp_bytes: 4 << 20,
+            backing_bytes: 64 << 20,
+            ..SuvmConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let machine = SgxMachine::new(MachineConfig {
+        epc_bytes: 16 << 20,
+        ..MachineConfig::default()
+    });
+    let svc = Arc::new(
+        with_fs(RpcService::builder(&machine), &machine)
+            .workers(1, &[7])
+            .build(),
+    );
+    // The sealing key would come from SGX sealing (EGETKEY); it is the
+    // same for both "runs" of the application.
+    let seal_key = AesGcm128::new(&[0x5e; 16]);
+
+    // ---- Run 1: build state and snapshot it. ----
+    let e1 = machine.driver.create_enclave(&machine, 64 << 20);
+    let suvm1 = suvm_for(&machine, &e1);
+    let mut t1 = ThreadCtx::for_enclave(&machine, &e1, 0);
+    t1.enter();
+    let mut kvs = Kvs::new(
+        DataSpace::Untrusted(Arc::clone(&machine)),
+        DataSpace::suvm(&suvm1),
+        32 << 20,
+        4096,
+    );
+    kvs.init(&mut t1);
+    for i in 0..5_000u32 {
+        kvs.set(&mut t1, format!("session:{i}").as_bytes(), &vec![(i % 251) as u8; 256]);
+    }
+    println!("run 1: stored {} items in SUVM", kvs.len());
+
+    let blob = kvs.sealed_snapshot(&mut t1, &seal_key, &[1u8; 12]);
+    println!("snapshot sealed: {} KiB", blob.len() / 1024);
+
+    // Write it to /var/kvs.img through exit-less file syscalls.
+    let staging = machine.alloc_untrusted(blob.len().next_power_of_two());
+    t1.write_untrusted(staging, &blob);
+    let path = machine.alloc_untrusted(64);
+    t1.write_untrusted(path, b"/var/kvs.img");
+    let exits_before = machine.stats.snapshot().enclave_exits;
+    let fd = svc.call(&mut t1, funcs::OPEN, [path, 12, 0, 0]);
+    let wrote = svc.call(&mut t1, funcs::WRITE, [fd, staging, blob.len() as u64, 0]);
+    svc.call(&mut t1, funcs::CLOSE, [fd, 0, 0, 0]);
+    assert_eq!(wrote as usize, blob.len());
+    println!(
+        "snapshot written to the host FS without an enclave exit: {}",
+        machine.stats.snapshot().enclave_exits == exits_before
+    );
+    t1.exit();
+    drop(kvs);
+    machine.driver.destroy_enclave(&machine, &e1);
+
+    // ---- Run 2: a fresh enclave restores it. ----
+    let e2 = machine.driver.create_enclave(&machine, 64 << 20);
+    let suvm2 = suvm_for(&machine, &e2);
+    let mut t2 = ThreadCtx::for_enclave(&machine, &e2, 0);
+    t2.enter();
+    let fd = svc.call(&mut t2, funcs::OPEN, [path, 12, 0, 0]);
+    let size = svc.call(&mut t2, funcs::FSIZE, [fd, 0, 0, 0]) as usize;
+    let n = svc.call(&mut t2, funcs::READ, [fd, staging, size as u64, 0]) as usize;
+    assert_eq!(n, size);
+    let mut reread = vec![0u8; n];
+    t2.read_untrusted(staging, &mut reread);
+
+    let mut kvs2 = Kvs::new(
+        DataSpace::Untrusted(Arc::clone(&machine)),
+        DataSpace::suvm(&suvm2),
+        32 << 20,
+        4096,
+    );
+    kvs2.init(&mut t2);
+    let restored = kvs2.restore_snapshot(&mut t2, &seal_key, &reread);
+    println!("run 2: restored {restored} items");
+    assert_eq!(
+        kvs2.get(&mut t2, b"session:1234").as_deref(),
+        Some(&vec![(1234 % 251) as u8; 256][..])
+    );
+
+    // ---- An attacker edits the file: restore fails closed. ----
+    let mut bad = reread.clone();
+    bad[1000] ^= 0xff;
+    let mut kvs3 = Kvs::new(
+        DataSpace::Untrusted(Arc::clone(&machine)),
+        DataSpace::suvm(&suvm2),
+        32 << 20,
+        4096,
+    );
+    kvs3.init(&mut t2);
+    let quiet: Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Send + Sync> = Box::new(|_| {});
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(quiet);
+    let tampered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        kvs3.restore_snapshot(&mut t2, &seal_key, &bad)
+    }));
+    std::panic::set_hook(prev);
+    println!(
+        "tampered snapshot rejected: {}",
+        tampered.is_err()
+    );
+    t2.exit();
+}

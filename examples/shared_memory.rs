@@ -1,0 +1,90 @@
+//! Inter-enclave shared secure memory (the paper's §8 extension): two
+//! enclaves exchange a stream of sealed records through untrusted
+//! memory, with the host unable to read, modify, or replay them.
+//!
+//! Run with: `cargo run --release --example shared_memory`
+
+use std::sync::Arc;
+
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::suvm::shared::SharedRegion;
+
+fn main() {
+    let machine = SgxMachine::new(MachineConfig {
+        epc_bytes: 16 << 20,
+        ..MachineConfig::default()
+    });
+    let producer_enclave = machine.driver.create_enclave(&machine, 8 << 20);
+    let consumer_enclave = machine.driver.create_enclave(&machine, 8 << 20);
+    // The region key would come from local attestation between the two
+    // enclaves; the host never sees it.
+    let region = SharedRegion::establish(&machine, 8 << 20, [0xAA; 16]);
+    let tok_p = region.join(&producer_enclave);
+    let tok_c = region.join(&consumer_enclave);
+
+    // Ring protocol in shared memory: [head u64][records 64 x 128B].
+    let ring = tok_p.alloc(8 + 64 * 128);
+    let n_records = 200u64;
+
+    let producer = {
+        let machine = Arc::clone(&machine);
+        let e = Arc::clone(&producer_enclave);
+        std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&machine, &e, 0);
+            t.enter();
+            for i in 1..=n_records {
+                let mut record = [0u8; 120];
+                record[..8].copy_from_slice(&(i * 1000).to_le_bytes());
+                record[8..16].copy_from_slice(&i.to_le_bytes());
+                let slot = ring + 8 + (i % 64) * 128;
+                tok_p.write(&mut t, slot, &record);
+                tok_p.write_u64(&mut t, ring, i); // publish head
+                std::thread::yield_now(); // let the consumer keep pace
+            }
+            t.exit();
+        })
+    };
+    let consumer = {
+        let machine = Arc::clone(&machine);
+        let e = Arc::clone(&consumer_enclave);
+        std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&machine, &e, 1);
+            t.enter();
+            let mut seen = 0u64;
+            let mut checked = 0u32;
+            while seen < n_records {
+                let head = tok_c.read_u64(&mut t, ring);
+                if head > seen {
+                    seen = head;
+                    let mut record = [0u8; 120];
+                    tok_c.read(&mut t, ring + 8 + (seen % 64) * 128, &mut record);
+                    let value = u64::from_le_bytes(record[..8].try_into().unwrap());
+                    let idx = u64::from_le_bytes(record[8..16].try_into().unwrap());
+                    assert_eq!(value, idx * 1000, "record integrity");
+                    checked += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            t.exit();
+            checked
+        })
+    };
+    producer.join().unwrap();
+    let checked = consumer.join().unwrap();
+    println!("consumer verified {checked} of {n_records} sealed records (lossy latest-value ring)");
+
+    // The host sees only ciphertext: scan untrusted memory for a known
+    // record payload.
+    let marker = (7u64 * 1000).to_le_bytes();
+    let mut raw = vec![0u8; 16 << 20];
+    machine.untrusted.read(0, &mut raw);
+    let leaked = raw.windows(16).any(|w| w[..8] == marker && w[8..16] == 7u64.to_le_bytes());
+    println!("plaintext visible to the host: {leaked}");
+    assert!(!leaked);
+    println!(
+        "sealed traffic: {} KiB moved through the shared region",
+        machine.stats.snapshot().sealed_bytes / 1024
+    );
+}

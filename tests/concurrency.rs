@@ -1,0 +1,188 @@
+//! Concurrency stress across the stack: application threads, the
+//! background swapper, driver pressure from a second enclave, and the
+//! exit-less RPC pool, all at once.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{RpcService, UntrustedFn};
+use eleos::suvm::{Suvm, Swapper, SuvmConfig};
+
+#[test]
+fn suvm_under_full_pressure() {
+    // Tight EPC so the driver, the SUVM evictor and the swapper are
+    // all active while four app threads hammer disjoint regions.
+    let m = SgxMachine::new(MachineConfig {
+        epc_bytes: 6 << 20,
+        cores: 8,
+        ..MachineConfig::tiny()
+    });
+    let e = m.driver.create_enclave(&m, 64 << 20);
+    let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+    let suvm = Suvm::new(
+        &t0,
+        SuvmConfig {
+            epcpp_bytes: 2 << 20,
+            backing_bytes: 32 << 20,
+            ..SuvmConfig::tiny()
+        },
+    );
+    // A second enclave churns hardware paging in the background.
+    let e2 = m.driver.create_enclave(&m, 16 << 20);
+    let churn = {
+        let m = Arc::clone(&m);
+        let e2 = Arc::clone(&e2);
+        std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&m, &e2, 5);
+            t.enter();
+            let base = e2.alloc(8 << 20);
+            for round in 0..4u64 {
+                for page in 0..2048u64 {
+                    t.write_enclave(base + page * 4096, &[round as u8; 16]);
+                }
+            }
+            t.exit();
+        })
+    };
+    let swapper = Swapper::spawn(&m, &suvm, 6, Duration::from_millis(1));
+
+    let region = suvm.malloc(16 << 20);
+    let mut handles = Vec::new();
+    for th in 0..4u64 {
+        let m = Arc::clone(&m);
+        let e = Arc::clone(&e);
+        let s = Arc::clone(&suvm);
+        handles.push(std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&m, &e, th as usize);
+            t.enter();
+            let base = region + th * (4 << 20);
+            for round in 0..6u64 {
+                for page in 0..1024u64 {
+                    let tag = [(th * 100 + page % 90 + round) as u8; 24];
+                    s.write(&mut t, base + page * 4096, &tag);
+                }
+                for page in 0..1024u64 {
+                    let mut b = [0u8; 24];
+                    s.read(&mut t, base + page * 4096, &mut b);
+                    assert_eq!(
+                        b,
+                        [(th * 100 + page % 90 + round) as u8; 24],
+                        "thread {th} round {round} page {page}"
+                    );
+                }
+            }
+            t.exit();
+        }));
+    }
+    for h in handles {
+        h.join().expect("app thread");
+    }
+    churn.join().expect("churn thread");
+    swapper.stop();
+
+    let s = m.stats.snapshot();
+    assert!(s.suvm_evictions > 0);
+    assert!(s.hw_faults > 0, "the churn enclave must have paged");
+}
+
+#[test]
+fn rpc_pool_saturated_from_many_threads() {
+    let m = SgxMachine::new(MachineConfig::tiny());
+    let svc = Arc::new(
+        RpcService::builder(&m)
+            .register(
+                1,
+                UntrustedFn::new(|ctx, a| {
+                    // A worker that also touches untrusted memory.
+                    let scratch = ctx.machine.alloc_untrusted(256);
+                    ctx.write_untrusted(scratch, &a[0].to_le_bytes());
+                    let mut b = [0u8; 8];
+                    ctx.read_untrusted(scratch, &mut b);
+                    ctx.machine.free_untrusted(scratch);
+                    u64::from_le_bytes(b).wrapping_mul(3)
+                }),
+            )
+            .workers(2, &[2, 3])
+            .slots(4)
+            .build(),
+    );
+    let e = m.driver.create_enclave(&m, 8 << 20);
+    let mut handles = Vec::new();
+    for th in 0..2usize {
+        let m = Arc::clone(&m);
+        let e = Arc::clone(&e);
+        let svc = Arc::clone(&svc);
+        handles.push(std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&m, &e, th);
+            t.enter();
+            for i in 0..500u64 {
+                assert_eq!(svc.call(&mut t, 1, [i, 0, 0, 0]), i.wrapping_mul(3));
+            }
+            t.exit();
+        }));
+    }
+    for h in handles {
+        h.join().expect("caller thread");
+    }
+    assert_eq!(m.stats.snapshot().rpc_calls, 1000);
+}
+
+#[test]
+fn ballooning_between_two_live_suvm_enclaves() {
+    let m = SgxMachine::new(MachineConfig {
+        epc_bytes: 8 << 20,
+        ..MachineConfig::tiny()
+    });
+    let mk = |core: usize| {
+        let e = m.driver.create_enclave(&m, 32 << 20);
+        let t0 = ThreadCtx::for_enclave(&m, &e, core);
+        let s = Suvm::new(
+            &t0,
+            SuvmConfig {
+                epcpp_bytes: 6 << 20, // oversubscribed once both exist
+                backing_bytes: 16 << 20,
+                headroom_bytes: 512 << 10,
+                ..SuvmConfig::tiny()
+            },
+        );
+        (e, s)
+    };
+    let (e1, s1) = mk(0);
+    let (e2, s2) = mk(1);
+    let mut handles = Vec::new();
+    for (idx, (e, s)) in [(0usize, (e1, s1)), (1, (e2, s2))] {
+        let m = Arc::clone(&m);
+        handles.push(std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&m, &e, idx);
+            t.enter();
+            let a = s.malloc(8 << 20);
+            for round in 0..3u64 {
+                for page in 0..2048u64 {
+                    s.write(&mut t, a + page * 4096, &[(idx as u8 + 1) * 7; 16]);
+                    if page % 256 == 0 {
+                        s.swapper_tick(&mut t);
+                    }
+                }
+                for page in (0..2048u64).step_by(3) {
+                    let mut b = [0u8; 16];
+                    s.read(&mut t, a + page * 4096, &mut b);
+                    assert_eq!(b, [(idx as u8 + 1) * 7; 16], "enclave {idx} round {round}");
+                }
+            }
+            // After ballooning, each EPC++ respects its share.
+            let share_bytes = m.driver.available_epc_for(e.id) * 4096;
+            assert!(
+                s.frame_limit() * 4096 <= share_bytes,
+                "EPC++ {} frames exceeds share {} bytes",
+                s.frame_limit(),
+                share_bytes
+            );
+            t.exit();
+        }));
+    }
+    for h in handles {
+        h.join().expect("enclave thread");
+    }
+}

@@ -1,0 +1,285 @@
+//! Cross-crate integration tests: the full server stack (wire crypto →
+//! sockets → syscall path → data space) behaves identically in every
+//! configuration the paper compares.
+
+use std::sync::Arc;
+
+use eleos::apps::io::{IoPath, ServerIo};
+use eleos::apps::kvs::{build_get, build_set, Kvs};
+use eleos::apps::loadgen::{KvsLoad, ParamLoad};
+use eleos::apps::param_server::{ParamServer, TableKind};
+use eleos::apps::space::DataSpace;
+use eleos::apps::wire::Wire;
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{with_syscalls, RpcService};
+use eleos::suvm::{Suvm, SuvmConfig};
+
+struct Stack {
+    machine: Arc<SgxMachine>,
+    space: DataSpace,
+    path: IoPath,
+    ctx: ThreadCtx,
+    wire: Arc<Wire>,
+    fd: eleos::enclave::host::Fd,
+    _rpc: Option<Arc<RpcService>>,
+}
+
+fn stack(mode: &str) -> Stack {
+    let machine = SgxMachine::new(MachineConfig {
+        epc_bytes: 8 << 20,
+        untrusted_bytes: 256 << 20,
+        ..MachineConfig::tiny()
+    });
+    let wire = Arc::new(Wire::new([1u8; 16]));
+    let ut = ThreadCtx::untrusted(&machine, 0);
+    let fd = machine.host.socket(&ut, 1 << 20);
+    match mode {
+        "native" => Stack {
+            space: DataSpace::Untrusted(Arc::clone(&machine)),
+            path: IoPath::Native,
+            ctx: ThreadCtx::untrusted(&machine, 0),
+            machine,
+            wire,
+            fd,
+            _rpc: None,
+        },
+        "sgx" => {
+            let e = machine.driver.create_enclave(&machine, 64 << 20);
+            let mut ctx = ThreadCtx::for_enclave(&machine, &e, 0);
+            ctx.enter();
+            Stack {
+                space: DataSpace::Enclave(e),
+                path: IoPath::Ocall,
+                ctx,
+                machine,
+                wire,
+                fd,
+                _rpc: None,
+            }
+        }
+        "eleos" | "eleos-direct" => {
+            let e = machine.driver.create_enclave(&machine, 64 << 20);
+            let rpc = Arc::new(
+                with_syscalls(RpcService::builder(&machine), &machine)
+                    .workers(1, &[3])
+                    .build(),
+            );
+            let t0 = ThreadCtx::for_enclave(&machine, &e, 0);
+            let suvm = Suvm::new(
+                &t0,
+                SuvmConfig {
+                    epcpp_bytes: 1 << 20,
+                    backing_bytes: 32 << 20,
+                    seal_sub_pages: mode == "eleos-direct",
+                    ..SuvmConfig::default()
+                },
+            );
+            let mut ctx = ThreadCtx::for_enclave(&machine, &e, 0);
+            ctx.enter();
+            Stack {
+                space: if mode == "eleos-direct" {
+                    DataSpace::suvm_direct(&suvm)
+                } else {
+                    DataSpace::suvm(&suvm)
+                },
+                path: IoPath::Rpc(Arc::clone(&rpc)),
+                ctx,
+                machine,
+                wire,
+                fd,
+                _rpc: Some(rpc),
+            }
+        }
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+/// Runs the parameter server through the wire in one mode and returns
+/// the final values of a set of probe keys.
+fn param_server_run(mode: &str) -> Vec<u64> {
+    let mut s = stack(mode);
+    let n_keys = 50_000u64;
+    let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, n_keys);
+    server.init(&mut s.ctx);
+    server.populate_bulk(&mut s.ctx, n_keys);
+    let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+    let ut = ThreadCtx::untrusted(&s.machine, 1);
+    let mut load = ParamLoad::new(42, n_keys, 8, None);
+    for _ in 0..200 {
+        s.machine
+            .host
+            .push_request(&ut, s.fd, &s.wire.encrypt(&load.next_plain()));
+        server.handle_request(&mut s.ctx, &io).expect("queued");
+    }
+    let out = (1..=32u64)
+        .map(|k| server.get(&mut s.ctx, k * 997).expect("populated key"))
+        .collect();
+    if s.ctx.in_enclave() {
+        s.ctx.exit();
+    }
+    out
+}
+
+#[test]
+fn param_server_agrees_across_all_modes() {
+    let native = param_server_run("native");
+    for mode in ["sgx", "eleos", "eleos-direct"] {
+        assert_eq!(param_server_run(mode), native, "mode {mode} diverged");
+    }
+}
+
+#[test]
+fn eleos_mode_never_exits_the_enclave() {
+    let mut s = stack("eleos");
+    let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, 10_000);
+    server.init(&mut s.ctx);
+    server.populate_bulk(&mut s.ctx, 10_000);
+    let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+    let ut = ThreadCtx::untrusted(&s.machine, 1);
+    s.machine.reset_counters();
+    let mut load = ParamLoad::new(1, 10_000, 4, None);
+    for _ in 0..100 {
+        s.machine
+            .host
+            .push_request(&ut, s.fd, &s.wire.encrypt(&load.next_plain()));
+        server.handle_request(&mut s.ctx, &io).expect("queued");
+    }
+    let st = s.machine.stats.snapshot();
+    assert_eq!(st.enclave_exits, 0, "request handling must be exit-less");
+    assert_eq!(st.ocalls, 0);
+    assert!(st.rpc_calls >= 200, "recv+send per request over RPC");
+    s.ctx.exit();
+}
+
+#[test]
+fn sgx_mode_pays_exits_and_faults() {
+    let mut s = stack("sgx");
+    // 16 MiB of parameters on an 8 MiB-EPC machine.
+    let n_keys = (16 << 20) / 32u64;
+    let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, n_keys);
+    server.init(&mut s.ctx);
+    server.populate_bulk(&mut s.ctx, n_keys);
+    let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+    let ut = ThreadCtx::untrusted(&s.machine, 1);
+    s.machine.reset_counters();
+    let mut load = ParamLoad::new(1, n_keys, 4, None);
+    for _ in 0..100 {
+        s.machine
+            .host
+            .push_request(&ut, s.fd, &s.wire.encrypt(&load.next_plain()));
+        server.handle_request(&mut s.ctx, &io).expect("queued");
+    }
+    let st = s.machine.stats.snapshot();
+    assert_eq!(st.enclave_exits, 200, "one OCALL per recv and per send");
+    assert!(st.hw_faults > 50, "out-of-EPC table must fault");
+    assert!(st.tlb_flushes >= 200, "every exit flushes the TLB");
+    s.ctx.exit();
+}
+
+#[test]
+fn kvs_full_protocol_all_modes() {
+    for mode in ["native", "sgx", "eleos", "eleos-direct"] {
+        let mut s = stack(mode);
+        let meta_space = DataSpace::Untrusted(Arc::clone(&s.machine));
+        let mut kvs = Kvs::new(meta_space, s.space.clone(), 16 << 20, 2048);
+        kvs.init(&mut s.ctx);
+        let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+        let ut = ThreadCtx::untrusted(&s.machine, 1);
+        let load = KvsLoad::new(5, 500, 20, 800);
+        for i in 0..load.n_items {
+            s.machine
+                .host
+                .push_request(&ut, s.fd, &s.wire.encrypt(&load.set_plain(i)));
+            assert!(kvs.handle_request(&mut s.ctx, &io), "{mode}: SET {i}");
+            let resp = s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("ack"));
+            assert_eq!(resp, &[1u8], "{mode}: SET ack");
+        }
+        for i in (0..load.n_items).step_by(17) {
+            s.machine
+                .host
+                .push_request(&ut, s.fd, &s.wire.encrypt(&build_get(&load.key(i))));
+            assert!(kvs.handle_request(&mut s.ctx, &io));
+            let resp = s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
+            assert_eq!(resp[0], 1, "{mode}: GET {i} hit");
+            assert_eq!(&resp[5..], load.value(i), "{mode}: GET {i} value");
+        }
+        // Overwrite and delete through the protocol.
+        s.machine
+            .host
+            .push_request(&ut, s.fd, &s.wire.encrypt(&build_set(&load.key(3), b"tiny")));
+        assert!(kvs.handle_request(&mut s.ctx, &io));
+        let _ = s.machine.host.pop_response(s.fd);
+        s.machine
+            .host
+            .push_request(&ut, s.fd, &s.wire.encrypt(&build_get(&load.key(3))));
+        assert!(kvs.handle_request(&mut s.ctx, &io));
+        let resp = s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
+        assert_eq!(&resp[5..], b"tiny", "{mode}: overwrite");
+        if s.ctx.in_enclave() {
+            s.ctx.exit();
+        }
+    }
+}
+
+#[test]
+fn face_pipeline_in_enclave() {
+    use eleos::apps::face::{build_verify_request, lbp_histogram, synth_capture, synth_image,
+                            FaceDb, FaceServer};
+    let mut s = stack("eleos");
+    let side = 64usize;
+    let mut db = FaceDb::new(s.space.clone(), side, 8);
+    db.init(&mut s.ctx);
+    for id in 1..=8u64 {
+        db.enroll(&mut s.ctx, id, &lbp_histogram(&synth_image(id, side), side));
+    }
+    let enrolled = db.fetch(&mut s.ctx, 2).expect("enrolled");
+    let genuine = eleos::apps::face::chi_square(
+        &lbp_histogram(&synth_capture(2, side, 9), side),
+        &enrolled,
+    );
+    let impostor = eleos::apps::face::chi_square(
+        &lbp_histogram(&synth_image(7, side), side),
+        &enrolled,
+    );
+    let mut server = FaceServer::new(db, (genuine + impostor) / 2.0);
+    let io = ServerIo::new(&s.ctx, s.fd, side * side + 4096, s.path.clone(), Arc::clone(&s.wire));
+    let ut = ThreadCtx::untrusted(&s.machine, 1);
+
+    // Genuine accepted.
+    let img = synth_capture(2, side, 33);
+    s.machine.host.push_request(
+        &ut,
+        s.fd,
+        &s.wire.encrypt(&build_verify_request(2, side, &img)),
+    );
+    assert!(server.handle_request(&mut s.ctx, &io));
+    assert_eq!(
+        s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
+        &[1u8]
+    );
+    // Impostor rejected.
+    let img = synth_image(5, side);
+    s.machine.host.push_request(
+        &ut,
+        s.fd,
+        &s.wire.encrypt(&build_verify_request(2, side, &img)),
+    );
+    assert!(server.handle_request(&mut s.ctx, &io));
+    assert_eq!(
+        s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
+        &[0u8]
+    );
+    // Unknown identity.
+    s.machine.host.push_request(
+        &ut,
+        s.fd,
+        &s.wire.encrypt(&build_verify_request(99, side, &synth_image(1, side))),
+    );
+    assert!(server.handle_request(&mut s.ctx, &io));
+    assert_eq!(
+        s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
+        &[2u8]
+    );
+    s.ctx.exit();
+}

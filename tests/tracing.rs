@@ -1,0 +1,72 @@
+//! The event trace reflects what actually happened across the stack.
+
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{RpcService, UntrustedFn};
+use eleos::sim::trace::Event;
+use eleos::suvm::{Suvm, SuvmConfig};
+
+#[test]
+fn trace_matches_stats_across_a_workload() {
+    let m = SgxMachine::new(MachineConfig {
+        epc_bytes: 2 << 20,
+        ..MachineConfig::tiny()
+    });
+    let e = m.driver.create_enclave(&m, 16 << 20);
+    let svc = RpcService::builder(&m)
+        .register(9, UntrustedFn::new(|_c, a| a[0]))
+        .workers(1, &[3])
+        .build();
+    let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+    let suvm = Suvm::new(
+        &t0,
+        SuvmConfig {
+            epcpp_bytes: 64 << 10,
+            backing_bytes: 4 << 20,
+            ..SuvmConfig::tiny()
+        },
+    );
+    m.trace.enable();
+    let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+    t.enter();
+    let a = suvm.malloc(1 << 20);
+    for page in 0..256u64 {
+        suvm.write(&mut t, a + page * 4096, &[1u8; 16]);
+    }
+    for _ in 0..5 {
+        svc.call(&mut t, 9, [1, 0, 0, 0]);
+    }
+    // Hardware paging pressure from plain enclave memory.
+    let hw = e.alloc(4 << 20);
+    for page in 0..1024u64 {
+        t.write_enclave(hw + page * 4096, &[2u8; 8]);
+    }
+    t.exit();
+    m.trace.disable();
+
+    let stats = m.stats.snapshot();
+    let hist = m.trace.histogram();
+    assert_eq!(hist.rpc_calls, 5);
+    assert_eq!(hist.enters, stats.enclave_enters);
+    assert_eq!(hist.exits, stats.enclave_exits);
+    assert!(hist.suvm_faults > 0);
+    assert!(hist.hw_faults > 0);
+    // Ring may have wrapped; histogram counts only retained records.
+    assert!(hist.hw_faults <= stats.hw_faults);
+
+    // Records are time-ordered per core and carry plausible payloads.
+    let records = m.trace.take();
+    assert!(!records.is_empty());
+    let mut last_core0 = 0u64;
+    for (cycles, ev) in &records {
+        if let Event::EnclaveEnter { core: 0, .. }
+        | Event::EnclaveExit { core: 0, .. }
+        | Event::HwFault { core: 0, .. }
+        | Event::SuvmFault { core: 0, .. } = ev
+        {
+            assert!(*cycles >= last_core0, "core-0 records out of order");
+            last_core0 = *cycles;
+        }
+    }
+    assert!(m.trace.take().is_empty(), "take drains the ring");
+}
