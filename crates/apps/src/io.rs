@@ -128,6 +128,82 @@ impl ServerIo {
         }
     }
 
+    /// Receives and decrypts up to `max` requests at once.
+    ///
+    /// On the RPC path all `recv` jobs are posted to the ring
+    /// back-to-back as one batch (amortizing the handoff cost) into
+    /// per-message stripes of the receive buffer; empty-queue slots
+    /// are filtered out. On the native/OCALL paths this degrades to a
+    /// sequential loop that stops at the first would-block.
+    pub fn recv_batch(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
+        assert!(max > 0);
+        let svc = match &self.path {
+            IoPath::Rpc(svc) => svc,
+            _ => {
+                let mut out = Vec::new();
+                while out.len() < max {
+                    match self.recv_msg(ctx) {
+                        Some(msg) => out.push(msg),
+                        None => break,
+                    }
+                }
+                return out;
+            }
+        };
+        let stripe = self.buf_len / max;
+        assert!(stripe > 0, "batch too large for the receive buffer");
+        let reqs: Vec<(u64, [u64; 4])> = (0..max)
+            .map(|i| {
+                let addr = self.rx_buf + (i * stripe) as u64;
+                (funcs::RECV, [self.fd.0 as u64, addr, stripe as u64, 0])
+            })
+            .collect();
+        let rets = svc.submit_batch(ctx, &reqs).wait_all(ctx);
+        let mut out = Vec::new();
+        for (i, r) in rets.into_iter().enumerate() {
+            if r == u64::MAX {
+                continue;
+            }
+            let mut msg = vec![0u8; r as usize];
+            ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
+            out.push(self.wire.decrypt_in_enclave(ctx, &msg));
+        }
+        out
+    }
+
+    /// Encrypts and sends a batch of responses.
+    ///
+    /// On the RPC path the `send` jobs go out as one batched
+    /// submission from per-message stripes of the transmit buffer; on
+    /// the other paths responses are sent one by one.
+    pub fn send_batch(&self, ctx: &mut ThreadCtx, replies: &[Vec<u8>]) {
+        if replies.is_empty() {
+            return;
+        }
+        let svc = match &self.path {
+            IoPath::Rpc(svc) => svc,
+            _ => {
+                for r in replies {
+                    self.send_msg(ctx, r);
+                }
+                return;
+            }
+        };
+        let stripe = self.buf_len / replies.len();
+        let mut reqs = Vec::with_capacity(replies.len());
+        for (i, plain) in replies.iter().enumerate() {
+            let msg = self.wire.encrypt_in_enclave(ctx, plain);
+            assert!(
+                msg.len() <= stripe,
+                "batched response exceeds its tx stripe"
+            );
+            let addr = self.tx_buf + (i * stripe) as u64;
+            ctx.write_untrusted(addr, &msg);
+            reqs.push((funcs::SEND, [self.fd.0 as u64, addr, msg.len() as u64, 0]));
+        }
+        svc.submit_batch(ctx, &reqs).wait_all(ctx);
+    }
+
     /// Encrypts and sends one response.
     pub fn send_msg(&self, ctx: &mut ThreadCtx, plain: &[u8]) {
         let msg = self.wire.encrypt_in_enclave(ctx, plain);

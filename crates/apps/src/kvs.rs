@@ -202,9 +202,11 @@ impl Kvs {
 
     fn lru_push_front(&mut self, ctx: &mut ThreadCtx, node: u64) {
         self.meta_space.write_u64(ctx, node + M_LRU_PREV, NIL);
-        self.meta_space.write_u64(ctx, node + M_LRU_NEXT, self.lru_head);
+        self.meta_space
+            .write_u64(ctx, node + M_LRU_NEXT, self.lru_head);
         if self.lru_head != NIL {
-            self.meta_space.write_u64(ctx, self.lru_head + M_LRU_PREV, node);
+            self.meta_space
+                .write_u64(ctx, self.lru_head + M_LRU_PREV, node);
         }
         self.lru_head = node;
         if self.lru_tail == NIL {
@@ -298,7 +300,8 @@ impl Kvs {
         let head = self.meta_space.read_u64(ctx, bucket);
         self.meta_space.write_u64(ctx, node + M_NEXT, head);
         self.meta_space.write_u64(ctx, node + M_KV_ADDR, kv);
-        self.meta_space.write_u32(ctx, node + M_KV_CLASS, class as u32);
+        self.meta_space
+            .write_u32(ctx, node + M_KV_CLASS, class as u32);
         self.meta_space.write_u32(ctx, node + M_EXPIRY, expiry);
         self.meta_space.write_u64(ctx, bucket, node);
         self.lru_push_front(ctx, node);
@@ -368,7 +371,9 @@ impl Kvs {
                 let mut key = vec![0u8; klen];
                 self.slab.space().read(ctx, kv + 8, &mut key);
                 let mut value = vec![0u8; vlen];
-                self.slab.space().read(ctx, kv + 8 + klen as u64, &mut value);
+                self.slab
+                    .space()
+                    .read(ctx, kv + 8 + klen as u64, &mut value);
                 f(&key, &value);
                 node = self.meta_space.read_u64(ctx, node + M_NEXT);
             }
@@ -425,8 +430,7 @@ impl Kvs {
         let count = u64::from_le_bytes(plain[..8].try_into().expect("count"));
         let mut off = 8usize;
         for _ in 0..count {
-            let klen =
-                u32::from_le_bytes(plain[off..off + 4].try_into().expect("klen")) as usize;
+            let klen = u32::from_le_bytes(plain[off..off + 4].try_into().expect("klen")) as usize;
             let vlen =
                 u32::from_le_bytes(plain[off + 4..off + 8].try_into().expect("vlen")) as usize;
             off += 8;
@@ -449,6 +453,29 @@ impl Kvs {
         let Some(plain) = io.recv_msg(ctx) else {
             return false;
         };
+        let resp = self.process(ctx, &plain);
+        io.send_msg(ctx, &resp);
+        true
+    }
+
+    /// Handles up to `max` protocol requests as one pipelined batch:
+    /// receives posted together, lookups run back-to-back, responses
+    /// sent together — on the RPC path each I/O stage is a single
+    /// amortized ring submission instead of `2 * max` handoffs.
+    /// Returns the number of requests handled.
+    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo, max: usize) -> usize {
+        let requests = io.recv_batch(ctx, max);
+        let replies: Vec<Vec<u8>> = requests
+            .iter()
+            .map(|plain| self.process(ctx, plain))
+            .collect();
+        io.send_batch(ctx, &replies);
+        requests.len()
+    }
+
+    /// Executes one decrypted binary-protocol request, returning the
+    /// response plaintext.
+    fn process(&mut self, ctx: &mut ThreadCtx, plain: &[u8]) -> Vec<u8> {
         let op = plain[0];
         let klen = u16::from_le_bytes(plain[1..3].try_into().expect("short header")) as usize;
         let vlen = u32::from_le_bytes(plain[3..7].try_into().expect("short header")) as usize;
@@ -460,18 +487,17 @@ impl Kvs {
                     resp.push(1u8);
                     resp.extend_from_slice(&(value.len() as u32).to_le_bytes());
                     resp.extend_from_slice(&value);
-                    io.send_msg(ctx, &resp);
+                    resp
                 }
-                None => io.send_msg(ctx, &[0u8]),
+                None => vec![0u8],
             },
             1 => {
                 let value = &plain[7 + klen..7 + klen + vlen];
                 self.set(ctx, key, value);
-                io.send_msg(ctx, &[1u8]);
+                vec![1u8]
             }
             other => panic!("unknown KVS opcode {other}"),
         }
-        true
     }
 }
 
@@ -601,7 +627,11 @@ mod tests {
         kvs.init(&mut t);
         // Working set (8 MiB) >> EPC++ (1 MiB): SUVM pages for us.
         for i in 0..1500u32 {
-            kvs.set(&mut t, format!("key-{i}").as_bytes(), &vec![(i % 250) as u8; 4096]);
+            kvs.set(
+                &mut t,
+                format!("key-{i}").as_bytes(),
+                &vec![(i % 250) as u8; 4096],
+            );
         }
         for i in (0..1500u32).step_by(97) {
             assert_eq!(
@@ -641,7 +671,11 @@ mod tests {
         let (mut kvs, mut t) = untrusted_kvs(8 << 20);
         kvs.init(&mut t);
         for i in 0..200u32 {
-            kvs.set(&mut t, format!("snap-{i}").as_bytes(), &vec![i as u8; 64 + i as usize]);
+            kvs.set(
+                &mut t,
+                format!("snap-{i}").as_bytes(),
+                &vec![i as u8; 64 + i as usize],
+            );
         }
         let cipher = AesGcm128::new(&[0x51u8; 16]);
         let blob = kvs.sealed_snapshot(&mut t, &cipher, &[7u8; 12]);
@@ -655,7 +689,10 @@ mod tests {
         let fd = m.fs.open(&mut ut, "/var/kvs.snapshot");
         let staging = m.alloc_untrusted(blob.len().next_power_of_two());
         ut.write_untrusted(staging, &blob);
-        assert_eq!(m.fs.write(&mut ut, fd, staging, blob.len()).unwrap(), blob.len());
+        assert_eq!(
+            m.fs.write(&mut ut, fd, staging, blob.len()).unwrap(),
+            blob.len()
+        );
         m.fs.seek(&mut ut, fd, 0).unwrap();
         let n = m.fs.read(&mut ut, fd, staging, blob.len()).unwrap();
         assert_eq!(n, blob.len());
@@ -698,9 +735,17 @@ mod tests {
         let m = Arc::clone(&t.machine);
         let wire = Arc::new(crate::wire::Wire::new([3u8; 16]));
         let fd = m.host.socket(&t, 64 << 10);
-        let io = crate::io::ServerIo::new(&t, fd, 32 << 10, crate::io::IoPath::Ocall, Arc::clone(&wire));
-        m.host.push_request(&t, fd, &wire.encrypt(&build_set(b"alpha", b"beta")));
-        m.host.push_request(&t, fd, &wire.encrypt(&build_get(b"alpha")));
+        let io = crate::io::ServerIo::new(
+            &t,
+            fd,
+            32 << 10,
+            crate::io::IoPath::Ocall,
+            Arc::clone(&wire),
+        );
+        m.host
+            .push_request(&t, fd, &wire.encrypt(&build_set(b"alpha", b"beta")));
+        m.host
+            .push_request(&t, fd, &wire.encrypt(&build_get(b"alpha")));
         assert!(kvs.handle_request(&mut t, &io));
         assert!(kvs.handle_request(&mut t, &io));
         assert!(!kvs.handle_request(&mut t, &io), "queue drained");

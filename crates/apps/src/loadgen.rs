@@ -190,7 +190,9 @@ pub fn fill_socket(
     mut next_plain: impl FnMut() -> Vec<u8>,
 ) {
     for _ in 0..n {
-        machine.host.push_request(ctx, fd, &wire.encrypt(&next_plain()));
+        machine
+            .host
+            .push_request(ctx, fd, &wire.encrypt(&next_plain()));
     }
 }
 
@@ -243,7 +245,12 @@ mod tests {
             counts[i] += 1;
         }
         // Item 0 dominates and the tail is thin.
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
         let head: u32 = counts[..100].iter().sum();
         let tail: u32 = counts[900..].iter().sum();
         assert!(head > tail * 10);

@@ -75,7 +75,10 @@ impl DataSpace {
         match self {
             DataSpace::Untrusted(_) => ctx.read_untrusted(addr, buf),
             DataSpace::Enclave(_) => ctx.read_enclave(addr, buf),
-            DataSpace::Suvm { suvm, direct: false } => suvm.read(ctx, addr, buf),
+            DataSpace::Suvm {
+                suvm,
+                direct: false,
+            } => suvm.read(ctx, addr, buf),
             DataSpace::Suvm { suvm, direct: true } => suvm.read_direct(ctx, addr, buf),
         }
     }
@@ -85,7 +88,10 @@ impl DataSpace {
         match self {
             DataSpace::Untrusted(_) => ctx.write_untrusted(addr, data),
             DataSpace::Enclave(_) => ctx.write_enclave(addr, data),
-            DataSpace::Suvm { suvm, direct: false } => suvm.write(ctx, addr, data),
+            DataSpace::Suvm {
+                suvm,
+                direct: false,
+            } => suvm.write(ctx, addr, data),
             DataSpace::Suvm { suvm, direct: true } => suvm.write_direct(ctx, addr, data),
         }
     }

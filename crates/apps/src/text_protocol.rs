@@ -73,7 +73,7 @@ pub fn parse(msg: &[u8]) -> Result<Command, ParseError> {
             let flags: u32 = parse_num(parts.next().ok_or(ParseError("set needs flags"))?)?;
             let exptime: u32 = parse_num(parts.next().ok_or(ParseError("set needs exptime"))?)?;
             let bytes: usize =
-                parse_num(parts.next().ok_or(ParseError("set needs a byte count"))? )? as usize;
+                parse_num(parts.next().ok_or(ParseError("set needs a byte count"))?)? as usize;
             if rest.len() < bytes + 2 || &rest[bytes..bytes + 2] != b"\r\n" {
                 return Err(ParseError("bad data line"));
             }
@@ -139,8 +139,30 @@ pub fn handle_text_request(kvs: &mut Kvs, ctx: &mut ThreadCtx, io: &ServerIo) ->
     let Some(msg) = io.recv_msg(ctx) else {
         return false;
     };
+    let resp = process_text(kvs, ctx, &msg);
+    io.send_msg(ctx, &resp);
+    true
+}
+
+/// Serves up to `max` ASCII-protocol requests as one pipelined batch
+/// (receives posted together, sends posted together — one amortized
+/// ring submission per stage on the RPC path). Returns the number of
+/// requests handled.
+pub fn handle_text_batch(kvs: &mut Kvs, ctx: &mut ThreadCtx, io: &ServerIo, max: usize) -> usize {
+    let requests = io.recv_batch(ctx, max);
+    let replies: Vec<Vec<u8>> = requests
+        .iter()
+        .map(|msg| process_text(kvs, ctx, msg))
+        .collect();
+    io.send_batch(ctx, &replies);
+    requests.len()
+}
+
+/// Parses and executes one ASCII command, returning the response
+/// plaintext.
+fn process_text(kvs: &mut Kvs, ctx: &mut ThreadCtx, msg: &[u8]) -> Vec<u8> {
     ctx.compute(PARSE_CYCLES);
-    let resp: Vec<u8> = match parse(&msg) {
+    match parse(msg) {
         Ok(Command::Get { keys }) => {
             let mut r = Vec::new();
             for key in keys {
@@ -172,9 +194,7 @@ pub fn handle_text_request(kvs: &mut Kvs, ctx: &mut ThreadCtx, io: &ServerIo) ->
             }
         }
         Err(_) => b"ERROR\r\n".to_vec(),
-    };
-    io.send_msg(ctx, &resp);
-    true
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +235,9 @@ mod tests {
     fn parses_get_set_delete() {
         assert_eq!(
             parse(b"get user:1\r\n").unwrap(),
-            Command::Get { keys: vec![b"user:1".to_vec()] }
+            Command::Get {
+                keys: vec![b"user:1".to_vec()]
+            }
         );
         assert_eq!(
             parse(b"get a bb ccc\r\n").unwrap(),
@@ -251,7 +273,12 @@ mod tests {
     fn format_parse_roundtrip() {
         let m = format_set(b"key-9", 3, 120, b"payload bytes");
         match parse(&m).unwrap() {
-            Command::Set { key, flags, exptime, value } => {
+            Command::Set {
+                key,
+                flags,
+                exptime,
+                value,
+            } => {
                 assert_eq!(key, b"key-9");
                 assert_eq!(flags, 3);
                 assert_eq!(exptime, 120);
@@ -259,8 +286,14 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
-        assert!(matches!(parse(&format_get(b"k")).unwrap(), Command::Get { .. }));
-        assert!(matches!(parse(&format_delete(b"k")).unwrap(), Command::Delete { .. }));
+        assert!(matches!(
+            parse(&format_get(b"k")).unwrap(),
+            Command::Get { .. }
+        ));
+        assert!(matches!(
+            parse(&format_delete(b"k")).unwrap(),
+            Command::Delete { .. }
+        ));
     }
 
     #[test]
@@ -295,7 +328,10 @@ mod tests {
         let io = ServerIo::new(&t, fd, 32 << 10, IoPath::Ocall, Arc::clone(&wire));
 
         let session = [
-            (format_set(b"greeting", 0, 0, b"hello"), b"STORED\r\n".to_vec()),
+            (
+                format_set(b"greeting", 0, 0, b"hello"),
+                b"STORED\r\n".to_vec(),
+            ),
             (
                 format_get(b"greeting"),
                 b"VALUE greeting 0 5\r\nhello\r\nEND\r\n".to_vec(),
@@ -319,6 +355,56 @@ mod tests {
             assert!(handle_text_request(&mut kvs, &mut t, &io));
             let resp = wire.decrypt(&m.host.pop_response(fd).expect("response"));
             assert_eq!(resp, expect, "request {:?}", String::from_utf8_lossy(&req));
+        }
+        t.exit();
+    }
+
+    #[test]
+    fn batched_text_session_over_rpc_is_exitless() {
+        use crate::io::{IoPath, ServerIo};
+        use crate::space::DataSpace;
+        use crate::wire::Wire;
+        use eleos_enclave::machine::{MachineConfig, SgxMachine};
+        use eleos_enclave::thread::ThreadCtx;
+        use eleos_rpc::{with_syscalls, RpcService};
+        use std::sync::Arc;
+
+        let m = SgxMachine::new(MachineConfig::scaled(8));
+        let e = m.driver.create_enclave(&m, 8 << 20);
+        let svc = Arc::new(
+            with_syscalls(RpcService::builder(&m), &m)
+                .workers(1, &[3])
+                .build(),
+        );
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let mut kvs = Kvs::new(space.clone(), space, 8 << 20, 1024);
+        let wire = Arc::new(Wire::new([6u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        kvs.init(&mut t);
+        let io = ServerIo::new(&t, fd, 32 << 10, IoPath::Rpc(svc), Arc::clone(&wire));
+
+        let session = [
+            (format_set(b"a", 0, 0, b"1"), b"STORED\r\n".to_vec()),
+            (format_set(b"b", 0, 0, b"22"), b"STORED\r\n".to_vec()),
+            (format_get(b"a"), b"VALUE a 0 1\r\n1\r\nEND\r\n".to_vec()),
+            (format_get(b"b"), b"VALUE b 0 2\r\n22\r\nEND\r\n".to_vec()),
+        ];
+        for (req, _) in &session {
+            m.host.push_request(&ut, fd, &wire.encrypt(req));
+        }
+        let s0 = m.stats.snapshot();
+        assert_eq!(handle_text_batch(&mut kvs, &mut t, &io, session.len()), 4);
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.enclave_exits, 0, "batched serving must not exit");
+        assert_eq!(d.ocalls, 0);
+        // One amortized ring submission per I/O stage: recv + send.
+        assert_eq!(d.rpc_batches, 2);
+        for (req, expect) in &session {
+            let resp = wire.decrypt(&m.host.pop_response(fd).expect("response"));
+            assert_eq!(&resp, expect, "request {:?}", String::from_utf8_lossy(req));
         }
         t.exit();
     }

@@ -1,0 +1,65 @@
+//! Criterion benchmark of the exit-less RPC ring's real throughput:
+//! wall time per operation for synchronous `call()` vs batched
+//! `submit_batch()` at increasing in-flight depth, driven through the
+//! actual lock-free polling ring (enclave caller thread posting, a
+//! dedicated worker thread polling).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use eleos_enclave::machine::{MachineConfig, SgxMachine};
+use eleos_enclave::thread::ThreadCtx;
+use eleos_rpc::{RpcService, UntrustedFn};
+
+const NOP: u64 = 100;
+
+fn rig(workers: usize) -> (Arc<SgxMachine>, RpcService, ThreadCtx) {
+    let m = SgxMachine::new(MachineConfig::scaled(8));
+    let cores: Vec<usize> = (0..workers).map(|w| 3 + w).collect();
+    let svc = RpcService::builder(&m)
+        .register(NOP, UntrustedFn::new(|_c, a| a[0]))
+        .workers(workers, &cores)
+        .build();
+    let e = m.driver.create_enclave(&m, 1 << 20);
+    let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+    t.enter();
+    (m, svc, t)
+}
+
+fn bench_rpc_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc_throughput");
+
+    {
+        let (_m, svc, mut t) = rig(1);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("sync_call", |b| {
+            b.iter(|| black_box(svc.call(&mut t, NOP, [7, 0, 0, 0])));
+        });
+    }
+
+    for depth in [4usize, 16, 64] {
+        let (_m, svc, mut t) = rig(1);
+        let reqs = vec![(NOP, [7u64, 0, 0, 0]); depth];
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_function(&format!("batch_{depth}"), |b| {
+            b.iter(|| black_box(svc.submit_batch(&mut t, &reqs).wait_all(&mut t)));
+        });
+    }
+
+    // Two polling workers draining the same ring.
+    {
+        let depth = 64usize;
+        let (_m, svc, mut t) = rig(2);
+        let reqs = vec![(NOP, [7u64, 0, 0, 0]); depth];
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_function("batch_64_2workers", |b| {
+            b.iter(|| black_box(svc.submit_batch(&mut t, &reqs).wait_all(&mut t)));
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc_throughput);
+criterion_main!(benches);

@@ -107,7 +107,11 @@ pub fn run_subpage_sweep(scale: Scale) {
             let off = rng.random_range(0..(buf as u64 - 16) / 16) * 16;
             s.read_direct(&mut ctx, base + off, &mut buf16);
         }
-        println!("   {:<10} {:>14.0}", sub, (ctx.now() - c0) as f64 / ops as f64);
+        println!(
+            "   {:<10} {:>14.0}",
+            sub,
+            (ctx.now() - c0) as f64 / ops as f64
+        );
         ctx.exit();
     }
 }
@@ -165,7 +169,12 @@ pub fn run_zipf_sweep(scale: Scale) {
         println!(
             "   {:<14} {:>12} {:>12} {:>9.0}%",
             name,
-            kops(throughput(ops as u64, ctx.now() - c0, PAGE_SIZE as u64, None)),
+            kops(throughput(
+                ops as u64,
+                ctx.now() - c0,
+                PAGE_SIZE as u64,
+                None
+            )),
             d.suvm_major_faults,
             100.0 * d.suvm_major_faults as f64 / ops as f64
         );
@@ -234,7 +243,12 @@ pub fn run_policy_sweep(scale: Scale) {
         println!(
             "   {:<12} {:>12} {:>12}",
             name,
-            kops(throughput(ops as u64, ctx.now() - c0, PAGE_SIZE as u64, None)),
+            kops(throughput(
+                ops as u64,
+                ctx.now() - c0,
+                PAGE_SIZE as u64,
+                None
+            )),
             d.suvm_major_faults
         );
         ctx.exit();
@@ -252,7 +266,10 @@ pub fn run_pagesize_sweep(scale: Scale) {
     );
     let buf = scale.bytes(100 << 20);
     let ops = scale.ops(20_000);
-    println!("   {:<10} {:>14} {:>12}", "page size", "cycles/access", "faults");
+    println!(
+        "   {:<10} {:>14} {:>12}",
+        "page size", "cycles/access", "faults"
+    );
     for page_size in [1024usize, 2048, 4096, 8192, 16384] {
         let m = paper_machine(scale);
         let cfg = SuvmConfig {

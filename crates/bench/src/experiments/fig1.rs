@@ -27,7 +27,12 @@ pub fn run(scale: Scale) {
     for (label, bytes) in sizes {
         let n_keys = (bytes / 32) as u64;
         let mut per_mode = Vec::new();
-        for mode in [Mode::Native, Mode::SgxOcall, Mode::EleosRpc, Mode::EleosSuvm] {
+        for mode in [
+            Mode::Native,
+            Mode::SgxOcall,
+            Mode::EleosRpc,
+            Mode::EleosSuvm,
+        ] {
             let cat = mode == Mode::EleosSuvm;
             let rig = Rig::new(scale, mode, bytes, cat);
             let mut load = ParamLoad::new(7, n_keys, 1, None);

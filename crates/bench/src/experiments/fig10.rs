@@ -56,7 +56,13 @@ fn build(scale: Scale, mode: Mode, hists: &[Vec<u32>]) -> FaceRig {
     }
 }
 
-fn phase(fr: &FaceRig, scale: Scale, threads: usize, reqs_per_thread: usize, wires: &[Vec<u8>]) -> f64 {
+fn phase(
+    fr: &FaceRig,
+    scale: Scale,
+    threads: usize,
+    reqs_per_thread: usize,
+    wires: &[Vec<u8>],
+) -> f64 {
     fr.rig.machine.reset_counters();
     let bytes_per_op = (12 + fr.side * fr.side + 64) as u64;
     let mut handles = Vec::new();
@@ -85,7 +91,9 @@ fn phase(fr: &FaceRig, scale: Scale, threads: usize, reqs_per_thread: usize, wir
             while served < reqs_per_thread {
                 let batch = (reqs_per_thread - served).min(8);
                 for _ in 0..batch {
-                    machine.host.push_request(&ut, fd, &wires[next % wires.len()]);
+                    machine
+                        .host
+                        .push_request(&ut, fd, &wires[next % wires.len()]);
                     next += 1;
                 }
                 for _ in 0..batch {
@@ -100,7 +108,10 @@ fn phase(fr: &FaceRig, scale: Scale, threads: usize, reqs_per_thread: usize, wir
             ctx.now()
         }));
     }
-    let cycles: Vec<u64> = handles.into_iter().map(|h| h.join().expect("server thread")).collect();
+    let cycles: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("server thread"))
+        .collect();
     let max = cycles.into_iter().max().unwrap_or(1);
     throughput(
         (threads * reqs_per_thread) as u64,
@@ -135,7 +146,12 @@ pub fn run(scale: Scale) {
         "   {:<14} {:>10} {:>10} {:>10}",
         "config", "1 thread", "2 threads", "4 threads"
     );
-    for mode in [Mode::Native, Mode::SgxOcall, Mode::EleosRpc, Mode::EleosSuvm] {
+    for mode in [
+        Mode::Native,
+        Mode::SgxOcall,
+        Mode::EleosRpc,
+        Mode::EleosSuvm,
+    ] {
         let fr = build(scale, mode, &hists);
         // A pool of pre-encrypted genuine requests large enough that
         // the stream sweeps well past the EPC (no artificial hot set).

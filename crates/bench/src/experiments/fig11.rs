@@ -103,7 +103,10 @@ fn get_phase(kr: &KvsRig, threads: usize, gets_per_thread: usize, value_len: usi
             ctx.now()
         }));
     }
-    let cycles: Vec<u64> = handles.into_iter().map(|h| h.join().expect("kvs thread")).collect();
+    let cycles: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("kvs thread"))
+        .collect();
     let max = cycles.into_iter().max().unwrap_or(1);
     throughput(
         (threads * gets_per_thread) as u64,
@@ -135,7 +138,13 @@ pub fn run_fig11(scale: Scale) {
             rows.push((mode.label().to_string(), get_phase(&kr, 1, gets, value_len)));
         }
         // Page-fault-free upper bound: a 20MB dataset under Graphene.
-        let small = build(scale, Mode::SgxOcall, value_len, scale.bytes(20 << 20), false);
+        let small = build(
+            scale,
+            Mode::SgxOcall,
+            value_len,
+            scale.bytes(20 << 20),
+            false,
+        );
         rows.push((
             "sgx-small-20MB".to_string(),
             get_phase(&small, 1, gets, value_len),

@@ -50,11 +50,30 @@ pub fn run_2a(scale: Scale) {
     let data = scale.bytes(64 << 20);
     let hot = Some(scale.bytes(2 << 20)); // fits the enclave LLC partition (see EXPERIMENTS.md)
     let n = scale.ops(100_000);
-    println!("   {:<10} {:>14} {:>14} {:>10}", "keys/req", "enclave c/key", "native c/key", "ratio");
+    println!(
+        "   {:<10} {:>14} {:>14} {:>10}",
+        "keys/req", "enclave c/key", "native c/key", "ratio"
+    );
     for keys in KEY_COUNTS {
         let n_req = (n / keys).max(64);
-        let e = inner_per_key(scale, Mode::SgxOcall, TableKind::OpenAddressing, data, hot, keys, n_req);
-        let u = inner_per_key(scale, Mode::Native, TableKind::OpenAddressing, data, hot, keys, n_req);
+        let e = inner_per_key(
+            scale,
+            Mode::SgxOcall,
+            TableKind::OpenAddressing,
+            data,
+            hot,
+            keys,
+            n_req,
+        );
+        let u = inner_per_key(
+            scale,
+            Mode::Native,
+            TableKind::OpenAddressing,
+            data,
+            hot,
+            keys,
+            n_req,
+        );
         println!("   {:<10} {:>14.0} {:>14.0} {:>10}", keys, e, u, x(e / u));
     }
 }
@@ -75,7 +94,15 @@ pub fn run_2b(scale: Scale) {
     for keys in [1usize, 2, 4, 8, 16, 32] {
         let n_req = (n / keys).max(64);
         let chain = keys as f64
-            * inner_per_key(scale, Mode::SgxOcall, TableKind::Chaining, data, None, keys, n_req);
+            * inner_per_key(
+                scale,
+                Mode::SgxOcall,
+                TableKind::Chaining,
+                data,
+                None,
+                keys,
+                n_req,
+            );
         let open = keys as f64
             * inner_per_key(
                 scale,
@@ -86,6 +113,12 @@ pub fn run_2b(scale: Scale) {
                 keys,
                 n_req,
             );
-        println!("   {:<10} {:>14.0} {:>14.0} {:>10}", keys, chain, open, x(chain / open));
+        println!(
+            "   {:<10} {:>14.0} {:>14.0} {:>10}",
+            keys,
+            chain,
+            open,
+            x(chain / open)
+        );
     }
 }

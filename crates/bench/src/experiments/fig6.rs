@@ -5,7 +5,7 @@
 use eleos_apps::loadgen::ParamLoad;
 use eleos_apps::param_server::TableKind;
 
-use crate::harness::{header, run_param_server, x, Mode, Rig, Scale};
+use crate::harness::{header, run_param_server, run_param_server_batched, x, Mode, Rig, Scale};
 
 /// End-to-end cycles per request for one mode.
 fn e2e_per_req(
@@ -24,6 +24,30 @@ fn e2e_per_req(
         n_keys,
         n_requests,
         n_requests / 10,
+        move || load.next_plain(),
+    );
+    run.e2e_cycles as f64 / run.ops as f64
+}
+
+/// End-to-end cycles per request when the server pipelines requests
+/// in batches of `batch` over real batched ring submission.
+fn e2e_per_req_batched(
+    scale: Scale,
+    mode: Mode,
+    data_bytes: usize,
+    batch: usize,
+    n_requests: usize,
+) -> f64 {
+    let rig = Rig::new(scale, mode, data_bytes, false);
+    let n_keys = (data_bytes / 32) as u64;
+    let mut load = ParamLoad::new(13, n_keys, 1, None);
+    let run = run_param_server_batched(
+        &rig,
+        TableKind::OpenAddressing,
+        n_keys,
+        n_requests,
+        n_requests / 10,
+        batch,
         move || load.next_plain(),
     );
     run.e2e_cycles as f64 / run.ops as f64
@@ -54,6 +78,27 @@ pub fn run_6a(scale: Scale) {
             x(rpc / native),
             x(ocall / rpc)
         );
+    }
+
+    // Batched-submission sweep: the same 1-update requests, but the
+    // server pipelines recv/process/send in batches so each I/O stage
+    // is a single amortized ring submission. The sync row (batch 1)
+    // pays a full rpc_roundtrip per syscall; deeper batches pay it
+    // once and rpc_post thereafter.
+    println!("   batched submission sweep (1 key/req, cycles/req):");
+    println!(
+        "   {:<10} {:>12} {:>12}",
+        "batch", "rpc c/req", "vs batch=1"
+    );
+    let n_req = n.max(256);
+    let sync = e2e_per_req_batched(scale, Mode::EleosRpc, data, 1, n_req);
+    for batch in [1usize, 4, 8, 16, 32, 64] {
+        let b = if batch == 1 {
+            sync
+        } else {
+            e2e_per_req_batched(scale, Mode::EleosRpc, data, batch, n_req)
+        };
+        println!("   {:<10} {:>12.0} {:>12}", batch, b, x(sync / b));
     }
 }
 

@@ -64,7 +64,10 @@ fn random_access(
                 ctx.now()
             }));
         }
-        let cycles: Vec<u64> = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+        let cycles: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect();
         RunOut {
             ops: (ops * threads) as u64,
             max_cycles: cycles.into_iter().max().unwrap_or(1),
@@ -112,7 +115,12 @@ fn populate(m: &Arc<SgxMachine>, backend: &Backend, buf_bytes: usize) {
     }
 }
 
-fn build_suvm(m: &Arc<SgxMachine>, scale: Scale, buf_bytes: usize, cfg: Option<SuvmConfig>) -> Backend {
+fn build_suvm(
+    m: &Arc<SgxMachine>,
+    scale: Scale,
+    buf_bytes: usize,
+    cfg: Option<SuvmConfig>,
+) -> Backend {
     // The enclave itself stays small: EPC++ plus headroom, so the
     // hardware never pages (that is SUVM's job).
     let cfg = cfg.unwrap_or_else(|| paper_suvm_config(scale, buf_bytes));

@@ -15,10 +15,7 @@ use crate::harness::{header, kops, paper_machine, paper_suvm_config, throughput,
 
 enum Cfg {
     Sgx,
-    Suvm {
-        epcpp_bytes: usize,
-        balloon: bool,
-    },
+    Suvm { epcpp_bytes: usize, balloon: bool },
 }
 
 /// Two enclaves, each with one thread doing 4 KiB random reads over
@@ -75,7 +72,10 @@ fn two_enclaves(scale: Scale, cfg: &Cfg, buf_bytes: usize, ops: usize) -> (f64, 
             }
         }));
     }
-    let results: Vec<(u64, u64)> = handles.into_iter().map(|h| h.join().expect("enclave thread")).collect();
+    let results: Vec<(u64, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("enclave thread"))
+        .collect();
     let max = results.iter().map(|r| r.0).max().unwrap_or(1);
     let _suvm_faults: u64 = results.iter().map(|r| r.1).sum();
     let hw_faults = m.stats.snapshot().hw_faults;

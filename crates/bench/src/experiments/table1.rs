@@ -65,7 +65,16 @@ fn sweep(
         }
     }
     let lines = (len / LINE) as u64;
-    lap(ctx, enclave_buf, untrusted_buf, lines, pat, op, 41, n / 2 + 1000);
+    lap(
+        ctx,
+        enclave_buf,
+        untrusted_buf,
+        lines,
+        pat,
+        op,
+        41,
+        n / 2 + 1000,
+    );
     let c0 = ctx.now();
     lap(ctx, enclave_buf, untrusted_buf, lines, pat, op, 42, n);
     (ctx.now() - c0) as f64 / n as f64
@@ -116,12 +125,7 @@ pub fn run(scale: Scale) {
             let unt = sweep(&mut t, None, ubuf, len, &pat, &op, n);
             ratios.push(epc / unt);
         }
-        println!(
-            "   {:<16} {:>12} {:>12}",
-            name,
-            x(ratios[0]),
-            x(ratios[1])
-        );
+        println!("   {:<16} {:>12} {:>12}", name, x(ratios[0]), x(ratios[1]));
     }
     t.exit();
 }

@@ -15,7 +15,9 @@ const SIZES: [usize; 4] = [16, 256, 2048, 4096];
 
 fn one_mode(scale: Scale, buf_bytes: usize, size: usize, n: usize, direct: bool) -> f64 {
     let m = paper_machine(scale);
-    let e = m.driver.create_enclave(&m, scale.bytes(70 << 20) * 2 + (16 << 20));
+    let e = m
+        .driver
+        .create_enclave(&m, scale.bytes(70 << 20) * 2 + (16 << 20));
     let t0 = ThreadCtx::for_enclave(&m, &e, 0);
     // Only the direct-access instance seals sub-pages; the EPC++
     // baseline uses whole-page seals (one tag per page), as in the

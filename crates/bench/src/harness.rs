@@ -252,7 +252,13 @@ impl Rig {
     /// A `ServerIo` bound to this rig's socket.
     #[must_use]
     pub fn server_io(&self, ctx: &ThreadCtx, buf_len: usize) -> ServerIo {
-        ServerIo::new(ctx, self.fd, buf_len, self.io_path(), Arc::clone(&self.wire))
+        ServerIo::new(
+            ctx,
+            self.fd,
+            buf_len,
+            self.io_path(),
+            Arc::clone(&self.wire),
+        )
     }
 
     /// A second socket (for multi-threaded servers).
@@ -298,8 +304,12 @@ pub fn run_param_server(
     // Warm-up (paper: first ten invocations discarded).
     let ut = ThreadCtx::untrusted(&rig.machine, 0);
     for _ in 0..warmup {
-        rig.machine.host.push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
-        server.handle_request(&mut ctx, &io).expect("warmup request");
+        rig.machine
+            .host
+            .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+        server
+            .handle_request(&mut ctx, &io)
+            .expect("warmup request");
     }
 
     rig.machine.reset_counters();
@@ -311,12 +321,85 @@ pub fn run_param_server(
         // Keep the socket fed in batches without overrunning staging.
         let batch = (n_requests - served).min(256);
         for _ in 0..batch {
-            rig.machine.host.push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+            rig.machine
+                .host
+                .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
         }
         for _ in 0..batch {
-            inner += server.handle_request(&mut ctx, &io).expect("request queued");
+            inner += server
+                .handle_request(&mut ctx, &io)
+                .expect("request queued");
         }
         served += batch;
+    }
+    let run = PsRun {
+        ops: served as u64,
+        e2e_cycles: ctx.now() - c0,
+        inner_cycles: inner,
+        stats: rig.machine.stats.snapshot() - s0,
+    };
+    if ctx.in_enclave() {
+        ctx.exit();
+    }
+    run
+}
+
+/// Like [`run_param_server`], but serves requests in pipelined batches
+/// of `batch` via [`ParamServer::handle_batch`]: on the RPC path each
+/// recv/send stage is one amortized ring submission instead of a
+/// round-trip per request.
+pub fn run_param_server_batched(
+    rig: &Rig,
+    kind: TableKind,
+    n_keys: u64,
+    n_requests: usize,
+    warmup: usize,
+    batch: usize,
+    mut gen: impl FnMut() -> Vec<u8>,
+) -> PsRun {
+    assert!(batch > 0);
+    let mut ctx = rig.thread(0);
+    let mut server = ParamServer::new(rig.data_space(), kind, n_keys);
+    server.init(&mut ctx);
+    if kind == TableKind::OpenAddressing {
+        server.populate_bulk(&mut ctx, n_keys);
+    } else {
+        server.populate(&mut ctx, n_keys);
+    }
+    let io = rig.server_io(&ctx, 64 << 10);
+
+    let ut = ThreadCtx::untrusted(&rig.machine, 0);
+    for _ in 0..warmup {
+        rig.machine
+            .host
+            .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+        server
+            .handle_request(&mut ctx, &io)
+            .expect("warmup request");
+    }
+
+    rig.machine.reset_counters();
+    let s0 = rig.machine.stats.snapshot();
+    let c0 = ctx.now();
+    let mut inner = 0u64;
+    let mut served = 0usize;
+    while served < n_requests {
+        // Keep the socket fed in chunks without overrunning staging.
+        let chunk = (n_requests - served).min(256);
+        for _ in 0..chunk {
+            rig.machine
+                .host
+                .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+        }
+        let mut drained = 0usize;
+        while drained < chunk {
+            let want = (chunk - drained).min(batch);
+            let (n, ic) = server.handle_batch(&mut ctx, &io, want);
+            assert!(n > 0, "queued requests must be served");
+            inner += ic;
+            drained += n;
+        }
+        served += chunk;
     }
     let run = PsRun {
         ops: served as u64,

@@ -107,7 +107,8 @@ impl SuvmConfig {
     pub fn validate(&self) {
         assert!(self.page_size.is_power_of_two(), "page_size must be 2^n");
         assert!(
-            self.sub_page_size.is_power_of_two() && self.page_size.is_multiple_of(self.sub_page_size),
+            self.sub_page_size.is_power_of_two()
+                && self.page_size.is_multiple_of(self.sub_page_size),
             "sub_page_size must be a power of two dividing page_size"
         );
         assert!(

@@ -141,7 +141,11 @@ impl<T: Plain> SVec<T> {
     /// Panics when out of bounds.
     #[must_use]
     pub fn get(&self, ctx: &mut ThreadCtx, index: usize) -> T {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         SPtr::new(&self.suvm, self.slot(index)).get(ctx)
     }
 
@@ -150,7 +154,11 @@ impl<T: Plain> SVec<T> {
     /// # Panics
     /// Panics when out of bounds.
     pub fn set(&mut self, ctx: &mut ThreadCtx, index: usize, value: T) {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         SPtr::new(&self.suvm, self.slot(index)).set(ctx, value);
     }
 
@@ -314,12 +322,7 @@ impl SHashMap {
 
     /// Inserts or replaces `key`, returning the previous value if any.
     /// The table doubles (rehashes) past 50% load.
-    pub fn insert(
-        &mut self,
-        ctx: &mut ThreadCtx,
-        key: &[u8],
-        value: &[u8],
-    ) -> Option<Vec<u8>> {
+    pub fn insert(&mut self, ctx: &mut ThreadCtx, key: &[u8], value: &[u8]) -> Option<Vec<u8>> {
         if (self.len + 1) * 2 > self.slots {
             self.grow(ctx);
         }

@@ -53,7 +53,7 @@ pub mod table;
 
 pub use config::{EvictPolicy, SuvmConfig};
 pub use containers::{SBox, SHashMap, SVec};
+pub use runtime::{Eleos, EleosBuilder};
 pub use spointer::{Plain, SPtr};
 pub use suvm::{Suvm, Sva};
-pub use runtime::{Eleos, EleosBuilder};
 pub use swapper::Swapper;

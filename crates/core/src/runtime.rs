@@ -140,9 +140,9 @@ impl EleosBuilder {
         );
         let t0 = ThreadCtx::for_enclave(&machine, &enclave, 0);
         let suvm = Suvm::new(&t0, self.suvm_cfg);
-        let swapper = self.swapper_interval.map(|iv| {
-            Swapper::spawn(&machine, &suvm, machine.core_count() - 2, iv)
-        });
+        let swapper = self
+            .swapper_interval
+            .map(|iv| Swapper::spawn(&machine, &suvm, machine.core_count() - 2, iv));
         Eleos {
             machine,
             enclave,

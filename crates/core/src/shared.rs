@@ -84,7 +84,10 @@ impl SharedRegion {
     /// the attestation-derived shared sealing key.
     #[must_use]
     pub fn establish(machine: &Arc<SgxMachine>, bytes: usize, key: [u8; 16]) -> Arc<Self> {
-        assert!(bytes.is_power_of_two(), "region size must be a power of two");
+        assert!(
+            bytes.is_power_of_two(),
+            "region size must be a power of two"
+        );
         let page_size = 4096;
         Arc::new(Self {
             bs_base: machine.alloc_untrusted(bytes),
@@ -150,7 +153,11 @@ impl SharedToken {
 
     /// Frees a shared allocation.
     pub fn free(&self, addr: u64) {
-        self.region.alloc.lock().free(addr).expect("bad shared free");
+        self.region
+            .alloc
+            .lock()
+            .free(addr)
+            .expect("bad shared free");
     }
 
     /// Reads `buf.len()` bytes at `addr`, unsealing the covering pages
@@ -252,7 +259,12 @@ mod tests {
     use super::*;
     use eleos_enclave::machine::MachineConfig;
 
-    fn rig() -> (Arc<SgxMachine>, Arc<Enclave>, Arc<Enclave>, Arc<SharedRegion>) {
+    fn rig() -> (
+        Arc<SgxMachine>,
+        Arc<Enclave>,
+        Arc<Enclave>,
+        Arc<SharedRegion>,
+    ) {
         let m = SgxMachine::new(MachineConfig::tiny());
         let e1 = m.driver.create_enclave(&m, 4 << 20);
         let e2 = m.driver.create_enclave(&m, 4 << 20);

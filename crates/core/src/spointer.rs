@@ -361,7 +361,10 @@ mod tests {
         s.prefetch(&mut t, sva, 64 * 4096);
         let resident = s.resident_pages();
         assert!(resident > 0);
-        assert!(resident <= 16, "prefetch must not wrap the cache: {resident}");
+        assert!(
+            resident <= 16,
+            "prefetch must not wrap the cache: {resident}"
+        );
         t.exit();
     }
 

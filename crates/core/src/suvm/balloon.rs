@@ -63,5 +63,4 @@ impl Suvm {
             }
         }
     }
-
 }

@@ -98,5 +98,4 @@ impl Suvm {
             off += n;
         }
     }
-
 }

@@ -172,9 +172,9 @@ impl Suvm {
                 scratch[lo - s * sp..hi - s * sp]
                     .copy_from_slice(&data[off + (lo - in_page)..off + (hi - in_page)]);
                 let new_nonce = self.next_nonce();
-                let new_tag =
-                    self.gcm
-                        .seal(&new_nonce, &Self::aad(page, s as u32), &mut scratch);
+                let new_tag = self
+                    .gcm
+                    .seal(&new_nonce, &Self::aad(page, s as u32), &mut scratch);
                 ctx.write_untrusted(self.bs_addr(page, s * sp), &scratch);
                 meta[s] = (new_nonce, new_tag);
                 ctx.compute(2 * (costs_crypto_fixed + (cpb * sp as f64) as u64));
@@ -188,5 +188,4 @@ impl Suvm {
             off += n;
         }
     }
-
 }

@@ -101,13 +101,17 @@ impl Suvm {
 
     /// Unpins a frame previously pinned by [`Self::fault_in_and_pin`].
     pub(crate) fn unpin(&self, frame: u32) {
-        let old = self.frames[frame as usize].pinned.fetch_sub(1, Ordering::AcqRel);
+        let old = self.frames[frame as usize]
+            .pinned
+            .fetch_sub(1, Ordering::AcqRel);
         debug_assert!(old > 0, "unpin of unpinned frame");
     }
 
     /// Marks a pinned frame dirty (write access).
     pub(crate) fn mark_dirty(&self, frame: u32) {
-        self.frames[frame as usize].dirty.store(true, Ordering::Release);
+        self.frames[frame as usize]
+            .dirty
+            .store(true, Ordering::Release);
     }
 
     fn acquire_frame(&self, ctx: &mut ThreadCtx) -> u32 {
@@ -237,9 +241,11 @@ impl Suvm {
             let mut meta = Vec::with_capacity(n_subs);
             for s in 0..n_subs {
                 let nonce = self.next_nonce();
-                let tag = self
-                    .gcm
-                    .seal(&nonce, &Self::aad(page, s as u32), &mut buf[s * sp..(s + 1) * sp]);
+                let tag = self.gcm.seal(
+                    &nonce,
+                    &Self::aad(page, s as u32),
+                    &mut buf[s * sp..(s + 1) * sp],
+                );
                 meta.push((nonce, tag));
                 ctx.compute(costs.crypto_fixed);
             }
@@ -280,7 +286,10 @@ impl Suvm {
             SealState::Page { nonce, tag } => {
                 let mut buf = vec![0u8; ps];
                 ctx.read_untrusted_raw(self.bs_addr(page, 0), &mut buf);
-                match self.gcm.open(&nonce, &Self::aad(page, u32::MAX), &mut buf, &tag) {
+                match self
+                    .gcm
+                    .open(&nonce, &Self::aad(page, u32::MAX), &mut buf, &tag)
+                {
                     Ok(()) => {
                         ctx.compute(costs.crypto(ps));
                         ctx.write_enclave_raw(self.epcpp_vaddr(frame, 0), &buf);
@@ -299,7 +308,11 @@ impl Suvm {
                 ctx.read_untrusted_raw(self.bs_addr(page, 0), &mut buf);
                 for (s, (nonce, tag)) in meta.iter().enumerate() {
                     let span = &mut buf[s * sp..(s + 1) * sp];
-                    if self.gcm.open(nonce, &Self::aad(page, s as u32), span, tag).is_err() {
+                    if self
+                        .gcm
+                        .open(nonce, &Self::aad(page, s as u32), span, tag)
+                        .is_err()
+                    {
                         if !self.seals.check(page, version) {
                             return false;
                         }
@@ -314,5 +327,4 @@ impl Suvm {
             }
         }
     }
-
 }

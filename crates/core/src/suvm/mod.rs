@@ -105,7 +105,10 @@ impl Suvm {
     #[must_use]
     pub fn new(ctx: &ThreadCtx, cfg: SuvmConfig) -> Arc<Self> {
         cfg.validate();
-        let enclave = Arc::clone(ctx.enclave().expect("SUVM requires an enclave-bound thread"));
+        let enclave = Arc::clone(
+            ctx.enclave()
+                .expect("SUVM requires an enclave-bound thread"),
+        );
         let machine = Arc::clone(&ctx.machine);
         let epcpp_base = enclave.alloc(cfg.epcpp_bytes.next_power_of_two());
         assert_eq!(

@@ -1,407 +1,423 @@
 //! Unit tests for the SUVM runtime.
 
-    use super::*;
-    use eleos_enclave::machine::MachineConfig;
-    use eleos_sim::costs::PAGE_SIZE;
+use super::*;
+use eleos_enclave::machine::MachineConfig;
+use eleos_sim::costs::PAGE_SIZE;
 
-    fn setup(cfg: SuvmConfig) -> (Arc<SgxMachine>, Arc<Suvm>, ThreadCtx) {
-        let m = SgxMachine::new(MachineConfig::scaled(4));
-        let e = m.driver.create_enclave(&m, 2 * cfg.epcpp_bytes.max(1 << 20));
-        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
-        let suvm = Suvm::new(&t, cfg);
-        t.enter();
-        (m, suvm, t)
+fn setup(cfg: SuvmConfig) -> (Arc<SgxMachine>, Arc<Suvm>, ThreadCtx) {
+    let m = SgxMachine::new(MachineConfig::scaled(4));
+    let e = m
+        .driver
+        .create_enclave(&m, 2 * cfg.epcpp_bytes.max(1 << 20));
+    let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+    let suvm = Suvm::new(&t, cfg);
+    t.enter();
+    (m, suvm, t)
+}
+
+#[test]
+fn malloc_write_read_roundtrip() {
+    let (_m, s, mut t) = setup(SuvmConfig::tiny());
+    let a = s.malloc(10_000);
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    s.write(&mut t, a, &data);
+    let mut out = vec![0u8; data.len()];
+    s.read(&mut t, a, &mut out);
+    assert_eq!(out, data);
+    s.free(a);
+    t.exit();
+}
+
+#[test]
+fn working_set_larger_than_epcpp_survives_eviction() {
+    let (m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
+    let total = 64 * 4096; // 64 pages, 4x EPC++
+    let a = s.malloc(total);
+    for page in 0..64u64 {
+        let val = vec![page as u8 + 1; 128];
+        s.write(&mut t, a + page * 4096, &val);
     }
-
-    #[test]
-    fn malloc_write_read_roundtrip() {
-        let (_m, s, mut t) = setup(SuvmConfig::tiny());
-        let a = s.malloc(10_000);
-        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
-        s.write(&mut t, a, &data);
-        let mut out = vec![0u8; data.len()];
-        s.read(&mut t, a, &mut out);
-        assert_eq!(out, data);
-        s.free(a);
-        t.exit();
+    for page in 0..64u64 {
+        let mut buf = vec![0u8; 128];
+        s.read(&mut t, a + page * 4096, &mut buf);
+        assert_eq!(buf, vec![page as u8 + 1; 128], "page {page}");
     }
+    let st = m.stats.snapshot();
+    assert!(st.suvm_evictions > 0, "evictions must occur");
+    assert!(st.suvm_major_faults >= 64, "refaults expected");
+    assert_eq!(st.enclave_exits, 0, "SUVM paging must be exit-less");
+    assert_eq!(st.hw_faults + 1, st.hw_faults + 1); // touch field
+    t.exit();
+}
 
-    #[test]
-    fn working_set_larger_than_epcpp_survives_eviction() {
-        let (m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
-        let total = 64 * 4096; // 64 pages, 4x EPC++
-        let a = s.malloc(total);
-        for page in 0..64u64 {
-            let val = vec![page as u8 + 1; 128];
-            s.write(&mut t, a + page * 4096, &val);
-        }
-        for page in 0..64u64 {
-            let mut buf = vec![0u8; 128];
-            s.read(&mut t, a + page * 4096, &mut buf);
-            assert_eq!(buf, vec![page as u8 + 1; 128], "page {page}");
-        }
-        let st = m.stats.snapshot();
-        assert!(st.suvm_evictions > 0, "evictions must occur");
-        assert!(st.suvm_major_faults >= 64, "refaults expected");
-        assert_eq!(st.enclave_exits, 0, "SUVM paging must be exit-less");
-        assert_eq!(st.hw_faults + 1, st.hw_faults + 1); // touch field
-        t.exit();
-    }
-
-    #[test]
-    fn suvm_paging_causes_no_enclave_exits_but_hw_paging_does() {
-        // Same working set through SUVM vs plain enclave memory, with
-        // EPC smaller than the set: SUVM exits = 0, HW faults > 0.
-        let m = SgxMachine::new(MachineConfig {
-            epc_bytes: 32 * PAGE_SIZE,
-            ..MachineConfig::tiny()
-        });
-        let e = m.driver.create_enclave(&m, 256 * PAGE_SIZE);
-        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
-        let suvm = Suvm::new(
-            &t,
-            SuvmConfig {
-                epcpp_bytes: 8 * 4096,
-                backing_bytes: 1 << 20,
-                ..SuvmConfig::tiny()
-            },
-        );
-        t.enter();
-        let a = suvm.malloc(64 * 4096);
-        let s0 = m.stats.snapshot();
-        for page in 0..64u64 {
-            suvm.write(&mut t, a + page * 4096, &[1u8; 64]);
-        }
-        let d = m.stats.snapshot() - s0;
-        assert!(d.suvm_evictions > 0);
-        assert_eq!(d.enclave_exits, 0);
-        t.exit();
-    }
-
-    #[test]
-    fn clean_pages_skip_writeback() {
-        let (m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
-        let a = s.malloc(64 * 4096);
-        // Populate all pages (dirty), cycling through EPC++.
-        for page in 0..64u64 {
-            s.write(&mut t, a + page * 4096, &[3u8; 32]);
-        }
-        let s0 = m.stats.snapshot();
-        // Read-only sweep: evictions during this phase are of clean
-        // pages and must skip the write-back.
-        for _ in 0..2 {
-            for page in 0..64u64 {
-                let mut b = [0u8; 32];
-                s.read(&mut t, a + page * 4096, &mut b);
-                assert_eq!(b, [3u8; 32]);
-            }
-        }
-        let d = m.stats.snapshot() - s0;
-        assert!(d.suvm_clean_skips > 0, "clean evictions must skip seal");
-        t.exit();
-    }
-
-    #[test]
-    fn clean_skip_disabled_always_writes_back() {
-        let cfg = SuvmConfig {
-            clean_skip: false,
+#[test]
+fn suvm_paging_causes_no_enclave_exits_but_hw_paging_does() {
+    // Same working set through SUVM vs plain enclave memory, with
+    // EPC smaller than the set: SUVM exits = 0, HW faults > 0.
+    let m = SgxMachine::new(MachineConfig {
+        epc_bytes: 32 * PAGE_SIZE,
+        ..MachineConfig::tiny()
+    });
+    let e = m.driver.create_enclave(&m, 256 * PAGE_SIZE);
+    let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+    let suvm = Suvm::new(
+        &t,
+        SuvmConfig {
+            epcpp_bytes: 8 * 4096,
+            backing_bytes: 1 << 20,
             ..SuvmConfig::tiny()
-        };
-        let (m, s, mut t) = setup(cfg);
-        let a = s.malloc(64 * 4096);
-        for page in 0..64u64 {
-            s.write(&mut t, a + page * 4096, &[3u8; 32]);
-        }
-        let s0 = m.stats.snapshot();
+        },
+    );
+    t.enter();
+    let a = suvm.malloc(64 * 4096);
+    let s0 = m.stats.snapshot();
+    for page in 0..64u64 {
+        suvm.write(&mut t, a + page * 4096, &[1u8; 64]);
+    }
+    let d = m.stats.snapshot() - s0;
+    assert!(d.suvm_evictions > 0);
+    assert_eq!(d.enclave_exits, 0);
+    t.exit();
+}
+
+#[test]
+fn clean_pages_skip_writeback() {
+    let (m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
+    let a = s.malloc(64 * 4096);
+    // Populate all pages (dirty), cycling through EPC++.
+    for page in 0..64u64 {
+        s.write(&mut t, a + page * 4096, &[3u8; 32]);
+    }
+    let s0 = m.stats.snapshot();
+    // Read-only sweep: evictions during this phase are of clean
+    // pages and must skip the write-back.
+    for _ in 0..2 {
         for page in 0..64u64 {
             let mut b = [0u8; 32];
             s.read(&mut t, a + page * 4096, &mut b);
+            assert_eq!(b, [3u8; 32]);
         }
-        let d = m.stats.snapshot() - s0;
-        assert_eq!(d.suvm_clean_skips, 0);
-        t.exit();
     }
+    let d = m.stats.snapshot() - s0;
+    assert!(d.suvm_clean_skips > 0, "clean evictions must skip seal");
+    t.exit();
+}
 
-    #[test]
-    fn direct_read_matches_cached_read() {
-        let cfg = SuvmConfig {
-            seal_sub_pages: true,
+#[test]
+fn clean_skip_disabled_always_writes_back() {
+    let cfg = SuvmConfig {
+        clean_skip: false,
+        ..SuvmConfig::tiny()
+    };
+    let (m, s, mut t) = setup(cfg);
+    let a = s.malloc(64 * 4096);
+    for page in 0..64u64 {
+        s.write(&mut t, a + page * 4096, &[3u8; 32]);
+    }
+    let s0 = m.stats.snapshot();
+    for page in 0..64u64 {
+        let mut b = [0u8; 32];
+        s.read(&mut t, a + page * 4096, &mut b);
+    }
+    let d = m.stats.snapshot() - s0;
+    assert_eq!(d.suvm_clean_skips, 0);
+    t.exit();
+}
+
+#[test]
+fn direct_read_matches_cached_read() {
+    let cfg = SuvmConfig {
+        seal_sub_pages: true,
+        ..SuvmConfig::tiny()
+    };
+    let (_m, s, mut t) = setup(cfg);
+    let a = s.malloc(64 * 4096);
+    let data: Vec<u8> = (0..64 * 4096u32).map(|i| (i % 239) as u8).collect();
+    s.write(&mut t, a, &data);
+    // Force everything out of EPC++.
+    while s.evict_one(&mut t) {}
+    assert_eq!(s.resident_pages(), 0);
+    // Direct reads at various offsets/sizes, including misaligned
+    // spans across sub-pages (beyond the paper's prototype).
+    for &(off, len) in &[
+        (0usize, 16usize),
+        (100, 256),
+        (1000, 2048),
+        (4000, 200),
+        (5000, 9000),
+    ] {
+        let mut buf = vec![0u8; len];
+        s.read_direct(&mut t, a + off as u64, &mut buf);
+        assert_eq!(buf, &data[off..off + len], "off={off} len={len}");
+    }
+    assert_eq!(
+        s.resident_pages(),
+        0,
+        "direct reads must not populate EPC++"
+    );
+    t.exit();
+}
+
+#[test]
+fn direct_write_read_roundtrip() {
+    let cfg = SuvmConfig {
+        seal_sub_pages: true,
+        ..SuvmConfig::tiny()
+    };
+    let (_m, s, mut t) = setup(cfg);
+    let a = s.malloc(16 * 4096);
+    s.write(&mut t, a, &vec![9u8; 16 * 4096]);
+    while s.evict_one(&mut t) {}
+    // Misaligned direct write spanning two sub-pages.
+    s.write_direct(&mut t, a + 1000, b"direct-write-payload");
+    let mut buf = vec![0u8; 30];
+    s.read_direct(&mut t, a + 995, &mut buf);
+    assert_eq!(&buf[..5], &[9u8; 5]);
+    assert_eq!(&buf[5..25], b"direct-write-payload");
+    assert_eq!(&buf[25..], &[9u8; 5]);
+    // And the cached path agrees.
+    let mut buf2 = vec![0u8; 30];
+    s.read(&mut t, a + 995, &mut buf2);
+    assert_eq!(buf, buf2);
+    t.exit();
+}
+
+#[test]
+fn resize_shrink_and_grow() {
+    let (_m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
+    let a = s.malloc(16 * 4096);
+    for page in 0..16u64 {
+        s.write(&mut t, a + page * 4096, &[1u8; 16]);
+    }
+    s.resize(&mut t, 4);
+    assert_eq!(s.frame_limit(), 4);
+    assert!(s.resident_pages() <= 4, "shrink must evict");
+    // Data still correct through the smaller cache.
+    for page in 0..16u64 {
+        let mut b = [0u8; 16];
+        s.read(&mut t, a + page * 4096, &mut b);
+        assert_eq!(b, [1u8; 16]);
+    }
+    s.resize(&mut t, 16);
+    assert_eq!(s.frame_limit(), 16);
+    for page in 0..16u64 {
+        let mut b = [0u8; 16];
+        s.read(&mut t, a + page * 4096, &mut b);
+        assert_eq!(b, [1u8; 16]);
+    }
+    t.exit();
+}
+
+#[test]
+fn memset_memcmp_memcpy() {
+    let (_m, s, mut t) = setup(SuvmConfig::tiny());
+    let a = s.malloc(8192);
+    let b = s.malloc(8192);
+    s.memset(&mut t, a, 8192, 0x5a);
+    s.memcpy(&mut t, b, a, 8192);
+    assert_eq!(s.memcmp(&mut t, a, b, 8192), core::cmp::Ordering::Equal);
+    s.write(&mut t, b + 5000, &[0x5b]);
+    assert_eq!(s.memcmp(&mut t, a, b, 8192), core::cmp::Ordering::Less);
+    t.exit();
+}
+
+#[test]
+fn free_decommits_whole_pages() {
+    let (_m, s, mut t) = setup(SuvmConfig::tiny());
+    let a = s.malloc(4 * 4096);
+    s.write(&mut t, a, &[1u8; 4 * 4096]);
+    let resident_before = s.resident_pages();
+    assert!(resident_before >= 4);
+    s.free(a);
+    assert!(s.resident_pages() < resident_before);
+    t.exit();
+}
+
+#[test]
+fn fault_costs_match_paper() {
+    // Read faults ~8.5k cycles, write(evict-dirty)+load ~14k (§6.1.2).
+    let (m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
+    let a = s.malloc(64 * 4096);
+    // Populate (all dirty).
+    for page in 0..64u64 {
+        s.write(&mut t, a + page * 4096, &[1u8; 4096]);
+    }
+    // Read-only steady state: faults pay load only (victims clean
+    // after first lap).
+    for page in 0..64u64 {
+        let mut b = [0u8; 8];
+        s.read(&mut t, a + page * 4096, &mut b);
+    }
+    let s0 = m.stats.snapshot();
+    let c0 = t.now();
+    for page in 0..64u64 {
+        let mut b = [0u8; 8];
+        s.read(&mut t, a + page * 4096, &mut b);
+    }
+    let d = m.stats.snapshot() - s0;
+    let per_read_fault = (t.now() - c0) / d.suvm_major_faults.max(1);
+    assert!(
+        (6_000..=12_000).contains(&per_read_fault),
+        "read fault cost {per_read_fault}"
+    );
+
+    // Write steady state: fault pays evict(dirty)+load.
+    for page in 0..64u64 {
+        s.write(&mut t, a + page * 4096, &[2u8; 4096]);
+    }
+    let s0 = m.stats.snapshot();
+    let c0 = t.now();
+    for page in 0..64u64 {
+        s.write(&mut t, a + page * 4096, &[3u8; 8]);
+    }
+    let d = m.stats.snapshot() - s0;
+    let per_write_fault = (t.now() - c0) / d.suvm_major_faults.max(1);
+    assert!(
+        (11_000..=20_000).contains(&per_write_fault),
+        "write fault cost {per_write_fault}"
+    );
+    t.exit();
+}
+
+#[test]
+fn all_eviction_policies_preserve_data() {
+    use crate::config::EvictPolicy;
+    for policy in [
+        EvictPolicy::Clock,
+        EvictPolicy::Fifo,
+        EvictPolicy::Random(7),
+    ] {
+        let (m, s, mut t) = setup(SuvmConfig {
+            policy,
             ..SuvmConfig::tiny()
-        };
-        let (_m, s, mut t) = setup(cfg);
+        });
         let a = s.malloc(64 * 4096);
-        let data: Vec<u8> = (0..64 * 4096u32).map(|i| (i % 239) as u8).collect();
-        s.write(&mut t, a, &data);
-        // Force everything out of EPC++.
-        while s.evict_one(&mut t) {}
-        assert_eq!(s.resident_pages(), 0);
-        // Direct reads at various offsets/sizes, including misaligned
-        // spans across sub-pages (beyond the paper's prototype).
-        for &(off, len) in &[(0usize, 16usize), (100, 256), (1000, 2048), (4000, 200), (5000, 9000)] {
-            let mut buf = vec![0u8; len];
-            s.read_direct(&mut t, a + off as u64, &mut buf);
-            assert_eq!(buf, &data[off..off + len], "off={off} len={len}");
+        for page in 0..64u64 {
+            s.write(&mut t, a + page * 4096, &[page as u8 + 1; 64]);
         }
-        assert_eq!(s.resident_pages(), 0, "direct reads must not populate EPC++");
+        for page in 0..64u64 {
+            let mut b = [0u8; 64];
+            s.read(&mut t, a + page * 4096, &mut b);
+            assert_eq!(b, [page as u8 + 1; 64], "{policy:?} page {page}");
+        }
+        assert!(m.stats.snapshot().suvm_evictions > 0, "{policy:?}");
         t.exit();
     }
+}
 
-    #[test]
-    fn direct_write_read_roundtrip() {
-        let cfg = SuvmConfig {
-            seal_sub_pages: true,
+#[test]
+fn clock_keeps_hot_pages_over_fifo() {
+    use crate::config::EvictPolicy;
+    // A hot page touched between every cold access: CLOCK's second
+    // chance should retain it far more often than FIFO.
+    let faults_on_hot = |policy| {
+        let (m, s, mut t) = setup(SuvmConfig {
+            policy,
+            ..SuvmConfig::tiny() // 16 frames
+        });
+        let a = s.malloc(64 * 4096);
+        s.memset(&mut t, a, 64 * 4096, 1);
+        let s0 = m.stats.snapshot();
+        let mut hot_faults = 0u64;
+        for i in 0..400u64 {
+            // Hot page 0.
+            let before = m.stats.snapshot().suvm_major_faults;
+            let mut b = [0u8; 8];
+            s.read(&mut t, a, &mut b);
+            hot_faults += m.stats.snapshot().suvm_major_faults - before;
+            // Cold sweep.
+            let cold = 1 + (i % 63);
+            s.read(&mut t, a + cold * 4096, &mut b);
+        }
+        let _ = s0;
+        t.exit();
+        hot_faults
+    };
+    let clock = faults_on_hot(EvictPolicy::Clock);
+    let fifo = faults_on_hot(EvictPolicy::Fifo);
+    assert!(
+        clock < fifo,
+        "CLOCK ({clock} hot faults) must beat FIFO ({fifo})"
+    );
+}
+
+#[test]
+fn tampered_backing_store_detected() {
+    let (m, s, mut t) = setup(SuvmConfig::tiny());
+    let a = s.malloc(32 * 4096);
+    for page in 0..32u64 {
+        s.write(&mut t, a + page * 4096, &[7u8; 64]);
+    }
+    // Find a sealed page and flip a ciphertext byte in the
+    // untrusted backing store.
+    let mut tampered = false;
+    for page in 0..32u64 {
+        if s.seals.get(page + s.page_of(a)).has_copy() {
+            let addr = s.bs_addr(s.page_of(a) + page, 100);
+            let mut b = [0u8; 1];
+            m.untrusted.read(addr, &mut b);
+            m.untrusted.write(addr, &[b[0] ^ 0xff]);
+            tampered = true;
+            break;
+        }
+    }
+    assert!(tampered, "no sealed page found to tamper with");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for page in 0..32u64 {
+            let mut b = [0u8; 1];
+            s.read(&mut t, a + page * 4096, &mut b);
+        }
+    }));
+    assert!(result.is_err(), "tampering must be detected");
+}
+
+#[test]
+fn multithreaded_suvm_consistency() {
+    let m = SgxMachine::new(MachineConfig::scaled(4));
+    let e = m.driver.create_enclave(&m, 4 << 20);
+    let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+    let s = Suvm::new(
+        &t0,
+        SuvmConfig {
+            epcpp_bytes: 8 * 4096,
+            backing_bytes: 1 << 20,
             ..SuvmConfig::tiny()
-        };
-        let (_m, s, mut t) = setup(cfg);
-        let a = s.malloc(16 * 4096);
-        s.write(&mut t, a, &vec![9u8; 16 * 4096]);
-        while s.evict_one(&mut t) {}
-        // Misaligned direct write spanning two sub-pages.
-        s.write_direct(&mut t, a + 1000, b"direct-write-payload");
-        let mut buf = vec![0u8; 30];
-        s.read_direct(&mut t, a + 995, &mut buf);
-        assert_eq!(&buf[..5], &[9u8; 5]);
-        assert_eq!(&buf[5..25], b"direct-write-payload");
-        assert_eq!(&buf[25..], &[9u8; 5]);
-        // And the cached path agrees.
-        let mut buf2 = vec![0u8; 30];
-        s.read(&mut t, a + 995, &mut buf2);
-        assert_eq!(buf, buf2);
-        t.exit();
-    }
-
-    #[test]
-    fn resize_shrink_and_grow() {
-        let (_m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
-        let a = s.malloc(16 * 4096);
-        for page in 0..16u64 {
-            s.write(&mut t, a + page * 4096, &[1u8; 16]);
-        }
-        s.resize(&mut t, 4);
-        assert_eq!(s.frame_limit(), 4);
-        assert!(s.resident_pages() <= 4, "shrink must evict");
-        // Data still correct through the smaller cache.
-        for page in 0..16u64 {
-            let mut b = [0u8; 16];
-            s.read(&mut t, a + page * 4096, &mut b);
-            assert_eq!(b, [1u8; 16]);
-        }
-        s.resize(&mut t, 16);
-        assert_eq!(s.frame_limit(), 16);
-        for page in 0..16u64 {
-            let mut b = [0u8; 16];
-            s.read(&mut t, a + page * 4096, &mut b);
-            assert_eq!(b, [1u8; 16]);
-        }
-        t.exit();
-    }
-
-    #[test]
-    fn memset_memcmp_memcpy() {
-        let (_m, s, mut t) = setup(SuvmConfig::tiny());
-        let a = s.malloc(8192);
-        let b = s.malloc(8192);
-        s.memset(&mut t, a, 8192, 0x5a);
-        s.memcpy(&mut t, b, a, 8192);
-        assert_eq!(s.memcmp(&mut t, a, b, 8192), core::cmp::Ordering::Equal);
-        s.write(&mut t, b + 5000, &[0x5b]);
-        assert_eq!(s.memcmp(&mut t, a, b, 8192), core::cmp::Ordering::Less);
-        t.exit();
-    }
-
-    #[test]
-    fn free_decommits_whole_pages() {
-        let (_m, s, mut t) = setup(SuvmConfig::tiny());
-        let a = s.malloc(4 * 4096);
-        s.write(&mut t, a, &[1u8; 4 * 4096]);
-        let resident_before = s.resident_pages();
-        assert!(resident_before >= 4);
-        s.free(a);
-        assert!(s.resident_pages() < resident_before);
-        t.exit();
-    }
-
-    #[test]
-    fn fault_costs_match_paper() {
-        // Read faults ~8.5k cycles, write(evict-dirty)+load ~14k (§6.1.2).
-        let (m, s, mut t) = setup(SuvmConfig::tiny()); // 16 frames
-        let a = s.malloc(64 * 4096);
-        // Populate (all dirty).
-        for page in 0..64u64 {
-            s.write(&mut t, a + page * 4096, &[1u8; 4096]);
-        }
-        // Read-only steady state: faults pay load only (victims clean
-        // after first lap).
-        for page in 0..64u64 {
-            let mut b = [0u8; 8];
-            s.read(&mut t, a + page * 4096, &mut b);
-        }
-        let s0 = m.stats.snapshot();
-        let c0 = t.now();
-        for page in 0..64u64 {
-            let mut b = [0u8; 8];
-            s.read(&mut t, a + page * 4096, &mut b);
-        }
-        let d = m.stats.snapshot() - s0;
-        let per_read_fault = (t.now() - c0) / d.suvm_major_faults.max(1);
-        assert!(
-            (6_000..=12_000).contains(&per_read_fault),
-            "read fault cost {per_read_fault}"
-        );
-
-        // Write steady state: fault pays evict(dirty)+load.
-        for page in 0..64u64 {
-            s.write(&mut t, a + page * 4096, &[2u8; 4096]);
-        }
-        let s0 = m.stats.snapshot();
-        let c0 = t.now();
-        for page in 0..64u64 {
-            s.write(&mut t, a + page * 4096, &[3u8; 8]);
-        }
-        let d = m.stats.snapshot() - s0;
-        let per_write_fault = (t.now() - c0) / d.suvm_major_faults.max(1);
-        assert!(
-            (11_000..=20_000).contains(&per_write_fault),
-            "write fault cost {per_write_fault}"
-        );
-        t.exit();
-    }
-
-    #[test]
-    fn all_eviction_policies_preserve_data() {
-        use crate::config::EvictPolicy;
-        for policy in [EvictPolicy::Clock, EvictPolicy::Fifo, EvictPolicy::Random(7)] {
-            let (m, s, mut t) = setup(SuvmConfig {
-                policy,
-                ..SuvmConfig::tiny()
-            });
-            let a = s.malloc(64 * 4096);
-            for page in 0..64u64 {
-                s.write(&mut t, a + page * 4096, &[page as u8 + 1; 64]);
-            }
-            for page in 0..64u64 {
-                let mut b = [0u8; 64];
-                s.read(&mut t, a + page * 4096, &mut b);
-                assert_eq!(b, [page as u8 + 1; 64], "{policy:?} page {page}");
-            }
-            assert!(m.stats.snapshot().suvm_evictions > 0, "{policy:?}");
-            t.exit();
-        }
-    }
-
-    #[test]
-    fn clock_keeps_hot_pages_over_fifo() {
-        use crate::config::EvictPolicy;
-        // A hot page touched between every cold access: CLOCK's second
-        // chance should retain it far more often than FIFO.
-        let faults_on_hot = |policy| {
-            let (m, s, mut t) = setup(SuvmConfig {
-                policy,
-                ..SuvmConfig::tiny() // 16 frames
-            });
-            let a = s.malloc(64 * 4096);
-            s.memset(&mut t, a, 64 * 4096, 1);
-            let s0 = m.stats.snapshot();
-            let mut hot_faults = 0u64;
-            for i in 0..400u64 {
-                // Hot page 0.
-                let before = m.stats.snapshot().suvm_major_faults;
-                let mut b = [0u8; 8];
-                s.read(&mut t, a, &mut b);
-                hot_faults += m.stats.snapshot().suvm_major_faults - before;
-                // Cold sweep.
-                let cold = 1 + (i % 63);
-                s.read(&mut t, a + cold * 4096, &mut b);
-            }
-            let _ = s0;
-            t.exit();
-            hot_faults
-        };
-        let clock = faults_on_hot(EvictPolicy::Clock);
-        let fifo = faults_on_hot(EvictPolicy::Fifo);
-        assert!(
-            clock < fifo,
-            "CLOCK ({clock} hot faults) must beat FIFO ({fifo})"
-        );
-    }
-
-    #[test]
-    fn tampered_backing_store_detected() {
-        let (m, s, mut t) = setup(SuvmConfig::tiny());
-        let a = s.malloc(32 * 4096);
-        for page in 0..32u64 {
-            s.write(&mut t, a + page * 4096, &[7u8; 64]);
-        }
-        // Find a sealed page and flip a ciphertext byte in the
-        // untrusted backing store.
-        let mut tampered = false;
-        for page in 0..32u64 {
-            if s.seals.get(page + s.page_of(a)).has_copy() {
-                let addr = s.bs_addr(s.page_of(a) + page, 100);
-                let mut b = [0u8; 1];
-                m.untrusted.read(addr, &mut b);
-                m.untrusted.write(addr, &[b[0] ^ 0xff]);
-                tampered = true;
-                break;
-            }
-        }
-        assert!(tampered, "no sealed page found to tamper with");
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            for page in 0..32u64 {
-                let mut b = [0u8; 1];
-                s.read(&mut t, a + page * 4096, &mut b);
-            }
-        }));
-        assert!(result.is_err(), "tampering must be detected");
-    }
-
-    #[test]
-    fn multithreaded_suvm_consistency() {
-        let m = SgxMachine::new(MachineConfig::scaled(4));
-        let e = m.driver.create_enclave(&m, 4 << 20);
-        let t0 = ThreadCtx::for_enclave(&m, &e, 0);
-        let s = Suvm::new(
-            &t0,
-            SuvmConfig {
-                epcpp_bytes: 8 * 4096,
-                backing_bytes: 1 << 20,
-                ..SuvmConfig::tiny()
-            },
-        );
-        // 4 threads, each owns a disjoint 16-page region, hammering
-        // through an 8-frame cache.
-        let region = s.malloc(64 * 4096);
-        let mut handles = Vec::new();
-        for thread in 0..4u64 {
-            let m = Arc::clone(&m);
-            let e = Arc::clone(&e);
-            let s = Arc::clone(&s);
-            handles.push(std::thread::spawn(move || {
-                let mut t = ThreadCtx::for_enclave(&m, &e, thread as usize);
-                t.enter();
-                let base = region + thread * 16 * 4096;
-                for round in 0..8u64 {
-                    for page in 0..16u64 {
-                        let val = [(thread * 31 + page + round) as u8; 32];
-                        s.write(&mut t, base + page * 4096, &val);
-                    }
-                    for page in 0..16u64 {
-                        let mut b = [0u8; 32];
-                        s.read(&mut t, base + page * 4096, &mut b);
-                        assert_eq!(
-                            b,
-                            [(thread * 31 + page + round) as u8; 32],
-                            "thread {thread} page {page} round {round}"
-                        );
-                    }
+        },
+    );
+    // 4 threads, each owns a disjoint 16-page region, hammering
+    // through an 8-frame cache.
+    let region = s.malloc(64 * 4096);
+    let mut handles = Vec::new();
+    for thread in 0..4u64 {
+        let m = Arc::clone(&m);
+        let e = Arc::clone(&e);
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let mut t = ThreadCtx::for_enclave(&m, &e, thread as usize);
+            t.enter();
+            let base = region + thread * 16 * 4096;
+            for round in 0..8u64 {
+                for page in 0..16u64 {
+                    let val = [(thread * 31 + page + round) as u8; 32];
+                    s.write(&mut t, base + page * 4096, &val);
                 }
-                t.exit();
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
+                for page in 0..16u64 {
+                    let mut b = [0u8; 32];
+                    s.read(&mut t, base + page * 4096, &mut b);
+                    assert_eq!(
+                        b,
+                        [(thread * 31 + page + round) as u8; 32],
+                        "thread {thread} page {page} round {round}"
+                    );
+                }
+            }
+            t.exit();
+        }));
     }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
 
 #[test]
 fn metadata_pressure_slows_faults_when_over_headroom() {

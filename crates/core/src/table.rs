@@ -277,9 +277,7 @@ mod tests {
     fn with_bucket_mutation() {
         let pt = InversePt::new(16);
         pt.insert(7, 1);
-        let found = pt.with_bucket(7, |b| {
-            b.iter().any(|(p, _)| *p == 7)
-        });
+        let found = pt.with_bucket(7, |b| b.iter().any(|(p, _)| *p == 7));
         assert!(found);
     }
 
@@ -328,7 +326,13 @@ mod tests {
         ct.begin_write(5);
         // In-flight write: the stable version is gone.
         assert!(!ct.check(5, 0));
-        ct.commit_write(5, SealState::Page { nonce: [0; 12], tag: [0; 16] });
+        ct.commit_write(
+            5,
+            SealState::Page {
+                nonce: [0; 12],
+                tag: [0; 16],
+            },
+        );
         let (v1, s) = ct.read(5);
         assert_eq!(v1, 2);
         assert!(s.has_copy());

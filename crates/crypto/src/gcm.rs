@@ -159,22 +159,18 @@ mod tests {
     fn gcm_test_case_3() {
         let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
         let nonce: Nonce = hex("cafebabefacedbaddecaf888").try_into().unwrap();
-        let mut data = hex(
-            "d9313225f88406e5a55909c5aff5269a\
+        let mut data = hex("d9313225f88406e5a55909c5aff5269a\
              86a7a9531534f7da2e4c303d8a318a72\
              1c3c0c95956809532fcf0e2449a6b525\
-             b16aedf5aa0de657ba637b391aafd255",
-        );
+             b16aedf5aa0de657ba637b391aafd255");
         let gcm = AesGcm128::new(&key);
         let tag = gcm.seal(&nonce, &[], &mut data);
         assert_eq!(
             data,
-            hex(
-                "42831ec2217774244b7221b784d0d49c\
+            hex("42831ec2217774244b7221b784d0d49c\
                  e3aa212f2c02a4e035c17e2329aca12e\
                  21d514b25466931c7d8f6a5aac84aa05\
-                 1ba30b396a0aac973d58e091473f5985"
-            )
+                 1ba30b396a0aac973d58e091473f5985")
         );
         assert_eq!(tag.to_vec(), hex("4d5c2af327cd64a62cf35abd2ba6fab4"));
     }
@@ -185,22 +181,18 @@ mod tests {
         let key: [u8; 16] = hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
         let nonce: Nonce = hex("cafebabefacedbaddecaf888").try_into().unwrap();
         let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
-        let mut data = hex(
-            "d9313225f88406e5a55909c5aff5269a\
+        let mut data = hex("d9313225f88406e5a55909c5aff5269a\
              86a7a9531534f7da2e4c303d8a318a72\
              1c3c0c95956809532fcf0e2449a6b525\
-             b16aedf5aa0de657ba637b39",
-        );
+             b16aedf5aa0de657ba637b39");
         let gcm = AesGcm128::new(&key);
         let tag = gcm.seal(&nonce, &aad, &mut data);
         assert_eq!(
             data,
-            hex(
-                "42831ec2217774244b7221b784d0d49c\
+            hex("42831ec2217774244b7221b784d0d49c\
                  e3aa212f2c02a4e035c17e2329aca12e\
                  21d514b25466931c7d8f6a5aac84aa05\
-                 1ba30b396a0aac973d58e091"
-            )
+                 1ba30b396a0aac973d58e091")
         );
         assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
     }
@@ -218,10 +210,7 @@ mod tests {
         // Flipping one ciphertext bit must fail authentication.
         let mut tampered = buf.clone();
         tampered[100] ^= 1;
-        assert_eq!(
-            gcm.open(&nonce, aad, &mut tampered, &tag),
-            Err(AuthError)
-        );
+        assert_eq!(gcm.open(&nonce, aad, &mut tampered, &tag), Err(AuthError));
 
         // Wrong AAD must fail.
         let mut wrong_aad = buf.clone();

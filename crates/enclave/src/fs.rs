@@ -109,7 +109,11 @@ impl HostFs {
         assert!(!ctx.in_enclave(), "syscall from trusted mode");
         ctx.compute(ctx.machine.cfg.costs.syscall);
         Stats::bump(&ctx.machine.stats.syscalls);
-        self.open.lock().remove(&fd).map(|_| ()).ok_or(FsError::BadFd)
+        self.open
+            .lock()
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(FsError::BadFd)
     }
 
     /// `read(2)`: copies up to `len` bytes from the current offset

@@ -113,9 +113,7 @@ impl HostOs {
             s.write_pos = 0;
         }
         let off = s.write_pos;
-        ctx.machine
-            .untrusted
-            .write(s.staging + off as u64, msg);
+        ctx.machine.untrusted.write(s.staging + off as u64, msg);
         s.write_pos += msg.len();
         s.rx_queue.push_back((off, msg.len()));
     }
@@ -131,7 +129,13 @@ impl HostOs {
     /// the queue is empty (EWOULDBLOCK).
     ///
     /// Must be called from untrusted mode (via OCALL or an RPC worker).
-    pub fn recv(&self, ctx: &mut ThreadCtx, fd: Fd, buf_addr: u64, max_len: usize) -> Option<usize> {
+    pub fn recv(
+        &self,
+        ctx: &mut ThreadCtx,
+        fd: Fd,
+        buf_addr: u64,
+        max_len: usize,
+    ) -> Option<usize> {
         assert!(!ctx.in_enclave(), "syscall from trusted mode");
         ctx.compute(ctx.machine.cfg.costs.syscall);
         Stats::bump(&ctx.machine.stats.syscalls);
@@ -200,7 +204,10 @@ impl HostOs {
     /// Pops the oldest retained outbound message (test/loadgen side).
     #[must_use]
     pub fn pop_response(&self, fd: Fd) -> Option<Vec<u8>> {
-        self.sockets.lock().get_mut(&fd).and_then(|s| s.tx_log.pop_front())
+        self.sockets
+            .lock()
+            .get_mut(&fd)
+            .and_then(|s| s.tx_log.pop_front())
     }
 }
 

@@ -365,7 +365,13 @@ mod tests {
         let u = m.charge_mem(CacheCtx::Other, &mut seq, 0x10_0000, 64, AccessKind::Read);
         m.reset_measurement();
         let mut seq = u64::MAX - 1;
-        let e = m.charge_mem(CacheCtx::Other, &mut seq, EPC_BASE + 0x10_0000, 64, AccessKind::Read);
+        let e = m.charge_mem(
+            CacheCtx::Other,
+            &mut seq,
+            EPC_BASE + 0x10_0000,
+            64,
+            AccessKind::Read,
+        );
         assert!(e > 4 * u, "EPC miss {e} should dwarf untrusted {u}");
     }
 

@@ -541,7 +541,6 @@ mod tests {
         t.exit();
     }
 
-
     #[test]
     fn fill_enclave_sets_every_byte() {
         let (m, e) = setup();
@@ -599,7 +598,6 @@ mod tests {
         assert_eq!(t.now(), before, "raw ops must not charge cycles");
         t.exit();
     }
-
 
     #[test]
     fn tampered_swap_is_detected() {

@@ -2,10 +2,31 @@
 //!
 //! Instead of OCALLing (8k cycles of direct cost plus a TLB flush and
 //! cache-state loss), the enclave writes a job descriptor into a shared
-//! ring in *untrusted* memory and spins on its completion flag; a pool
+//! ring in *untrusted* memory and spins on its completion word; a pool
 //! of worker threads in the owner process polls the ring, executes the
 //! untrusted function (typically a system call) and posts the result
 //! back. The enclave never leaves trusted mode.
+//!
+//! The ring is a bounded lock-free MPMC queue (Vyukov-style): every
+//! slot carries a sequence number, enclave callers claim slots by
+//! compare-and-swapping the head cursor, and workers claim posted slots
+//! by compare-and-swapping the tail cursor — there is no channel, lock
+//! or condition variable anywhere on the hot path. Workers poll with a
+//! spin → yield → adaptive-sleep backoff so an idle pool costs little
+//! host CPU while a busy one never sleeps.
+//!
+//! On top of the blocking [`RpcService::call`] the service exposes an
+//! asynchronous API that amortizes the handoff cost across in-flight
+//! jobs:
+//!
+//! - [`RpcService::call_async`] posts one job and returns an
+//!   [`RpcFuture`] to redeem later;
+//! - [`RpcService::submit_batch`] posts many jobs back-to-back — the
+//!   first pays the full [`rpc_roundtrip`](eleos_sim::costs::CostModel)
+//!   handoff, each subsequent post only the incremental
+//!   [`rpc_post`](eleos_sim::costs::CostModel) — and
+//!   [`RpcBatch::wait_all`] overlaps the caller's wait across every
+//!   worker serving the batch.
 //!
 //! Two refinements from the paper are implemented:
 //!
@@ -34,33 +55,44 @@
 //! let enclave = machine.driver.create_enclave(&machine, 64 * 4096);
 //! let mut t = ThreadCtx::for_enclave(&machine, &enclave, 0);
 //! t.enter();
+//! // Blocking call:
 //! let sum = svc.call(&mut t, 7, [20, 22, 0, 0]);
 //! assert_eq!(sum, 42);
+//! // Batched: four adds in flight at once, one amortized handoff.
+//! let reqs: Vec<_> = (0..4u64).map(|i| (7, [i, 10, 0, 0])).collect();
+//! let rets = svc.submit_batch(&mut t, &reqs).wait_all(&mut t);
+//! assert_eq!(rets, vec![10, 11, 12, 13]);
 //! t.exit();
 //! ```
 
 pub mod libos;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use eleos_enclave::machine::SgxMachine;
 use eleos_enclave::thread::ThreadCtx;
 use eleos_sim::stats::Stats;
+use eleos_sim::trace::Event;
 
-/// Slot layout (one 64-byte line, mirroring a real implementation):
-/// `[state][func][arg0..arg3][ret][worker_cycles]` as 8 `u64`s.
+/// Simulated-memory slot layout (one 64-byte line, mirroring a real
+/// implementation): `[func][arg0..arg3][ret][worker_cycles][pad]`.
+/// The control word (the slot's sequence number) lives host-side in
+/// [`Slot::seq`]; its cache-line traffic is what `rpc_roundtrip` /
+/// `rpc_post` charge for.
 const SLOT_BYTES: u64 = 64;
-const OFF_STATE: u64 = 0;
-const OFF_RET: u64 = 48;
-const OFF_CYCLES: u64 = 56;
+const OFF_FUNC: u64 = 0;
+const OFF_RET: u64 = 40;
+const OFF_CYCLES: u64 = 48;
+const DESC_BYTES: usize = 40;
 
-const STATE_FREE: u64 = 0;
-const STATE_POSTED: u64 = 1;
-const STATE_DONE: u64 = 2;
+/// Returned by a worker when the requested `func_id` has no registered
+/// handler (also bumps the `rpc_errors` counter). Note the host syscall
+/// shims reuse `u64::MAX` as their would-block/error value; check
+/// `rpc_errors` to distinguish a routing failure from a syscall error.
+pub const ERR_UNREGISTERED: u64 = u64::MAX;
 
 /// The boxed calling convention of the shared ring: the worker's
 /// [`ThreadCtx`] plus four `u64` arguments, returning one `u64`.
@@ -82,18 +114,96 @@ impl UntrustedFn {
     }
 }
 
+/// Exponential spin → yield → sleep backoff for ring polling.
+///
+/// The first few rounds busy-spin (winning the common case where the
+/// peer is one cache-line transfer away), the next few yield the time
+/// slice, and from there on the poller sleeps with exponentially
+/// growing, capped intervals so an idle worker pool costs ~nothing.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+    const SLEEP_CAP_US: u64 = 64;
+
+    fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                core::hint::spin_loop();
+            }
+        } else if self.step <= Self::YIELD_LIMIT {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.step - Self::YIELD_LIMIT).min(6);
+            let us = (1u64 << exp).min(Self::SLEEP_CAP_US);
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+/// Host-side control word of one ring slot (see the Vyukov protocol in
+/// `docs/rpc-ring.md`). The sequence space is scaled by 4 so the three
+/// phases of a lap can never collide with the next lap's "free" value,
+/// even on a 1- or 2-slot ring: `seq == pos * 4` free,
+/// `pos * 4 + 1` posted, `pos * 4 + 2` done,
+/// `(pos + n_slots) * 4` freed for the next lap.
+struct Slot {
+    seq: AtomicU64,
+}
+
+/// Sequence value for "free, awaiting the producer of `pos`".
+const fn seq_free(pos: u64) -> u64 {
+    pos * 4
+}
+
+/// Sequence value for "descriptor posted at `pos`".
+const fn seq_posted(pos: u64) -> u64 {
+    pos * 4 + 1
+}
+
+/// Sequence value for "completion published for `pos`".
+const fn seq_done(pos: u64) -> u64 {
+    pos * 4 + 2
+}
+
 struct Shared {
     machine: Arc<SgxMachine>,
     registry: HashMap<u64, UntrustedFn>,
+    /// Base of the descriptor array in simulated untrusted memory.
     ring: u64,
+    /// Per-slot sequence words (the lock-free control plane).
+    slots: Vec<Slot>,
+    /// Enqueue cursor: the next position a caller will claim.
+    head: AtomicU64,
+    /// Dequeue cursor: the next position a worker will claim.
+    tail: AtomicU64,
+    /// Worker shutdown flag; workers drain posted jobs before exiting.
+    stop: AtomicBool,
+    n_workers: usize,
 }
 
-/// The Eleos RPC service: a shared job ring plus a worker thread pool.
+impl Shared {
+    fn slot_base(&self, pos: u64) -> u64 {
+        self.ring + (pos % self.slots.len() as u64) * SLOT_BYTES
+    }
+}
+
+/// The Eleos RPC service: a lock-free shared job ring plus a polling
+/// worker thread pool.
 pub struct RpcService {
     shared: Arc<Shared>,
-    job_tx: Sender<Option<usize>>,
-    slot_tx: Sender<usize>,
-    slot_rx: Receiver<usize>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -139,61 +249,244 @@ impl RpcBuilder {
         self.machine
             .untrusted
             .fill(ring, self.n_slots * SLOT_BYTES as usize, 0);
+        let slots = (0..self.n_slots as u64)
+            .map(|i| Slot {
+                seq: AtomicU64::new(seq_free(i)),
+            })
+            .collect();
         let shared = Arc::new(Shared {
             machine: Arc::clone(&self.machine),
             registry: self.registry,
             ring,
+            slots,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            n_workers: self.worker_cores.len(),
         });
-        let (job_tx, job_rx) = unbounded::<Option<usize>>();
-        let (slot_tx, slot_rx) = unbounded::<usize>();
-        for i in 0..self.n_slots {
-            slot_tx.send(i).expect("fresh channel");
-        }
-        let mut workers = Vec::new();
-        for &core in &self.worker_cores {
-            let shared = Arc::clone(&shared);
-            let job_rx: Receiver<Option<usize>> = job_rx.clone();
-            workers.push(std::thread::spawn(move || {
-                worker_loop(&shared, core, &job_rx);
-            }));
-        }
-        RpcService {
-            shared,
-            job_tx,
-            slot_tx,
-            slot_rx,
-            workers,
+        let workers = self
+            .worker_cores
+            .iter()
+            .map(|&core| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, core))
+            })
+            .collect();
+        RpcService { shared, workers }
+    }
+}
+
+/// Polls the ring for posted jobs and executes them until shutdown.
+fn worker_loop(shared: &Shared, core: usize) {
+    let mut ctx = ThreadCtx::rpc_worker(&shared.machine, core);
+    let n = shared.slots.len() as u64;
+    let mut backoff = Backoff::new();
+    loop {
+        let pos = shared.tail.load(Ordering::Acquire);
+        let slot = &shared.slots[(pos % n) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == seq_posted(pos) {
+            // A posted job: claim it by advancing the tail cursor.
+            if shared
+                .tail
+                .compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue; // another worker won the claim
+            }
+            backoff.reset();
+            execute_job(shared, &mut ctx, core, pos);
+        } else if seq == seq_free(pos) {
+            // Nothing posted at the tail yet.
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            Stats::bump(&shared.machine.stats.rpc_idle_polls);
+            backoff.snooze();
+        } else {
+            // Either the tail moved under us (reload resolves it) or
+            // the slot at the tail is done-but-unreaped from the
+            // previous lap — the ring is full of completions the
+            // caller has yet to collect, which can last a while, so
+            // back off rather than hot-spin (a raw spin here starves
+            // the reaping caller on a single-CPU host).
+            backoff.snooze();
         }
     }
 }
 
-fn worker_loop(shared: &Shared, core: usize, job_rx: &Receiver<Option<usize>>) {
-    let mut ctx = ThreadCtx::rpc_worker(&shared.machine, core);
-    while let Ok(Some(slot)) = job_rx.recv() {
-        let base = shared.ring + slot as u64 * SLOT_BYTES;
-        // The worker reads the descriptor from untrusted memory with
-        // charged accesses — this is the traffic CAT fences off.
-        let mut desc = [0u8; 48];
-        ctx.read_untrusted(base, &mut desc);
-        let word = |i: usize| u64::from_le_bytes(desc[i * 8..i * 8 + 8].try_into().unwrap());
-        debug_assert_eq!(word(0), STATE_POSTED);
-        let func = word(1);
-        let args = [word(2), word(3), word(4), word(5)];
-        let start = ctx.now();
-        let ret = match shared.registry.get(&func) {
-            Some(f) => (f.f)(&mut ctx, args),
-            None => panic!("RPC call to unregistered function {func}"),
-        };
-        let elapsed = ctx.now() - start;
-        ctx.write_untrusted(base + OFF_RET, &ret.to_le_bytes());
-        ctx.write_untrusted_raw(base + OFF_CYCLES, &elapsed.to_le_bytes());
-        // Publish completion last.
-        ctx.write_untrusted(base + OFF_STATE, &STATE_DONE.to_le_bytes());
-        Stats::bump(&shared.machine.stats.rpc_calls);
-        shared
-            .machine
-            .trace
-            .record(ctx.now(), eleos_sim::trace::Event::RpcCall { func });
+/// Runs the job in slot `pos % n` and publishes its completion.
+fn execute_job(shared: &Shared, ctx: &mut ThreadCtx, core: usize, pos: u64) {
+    let n = shared.slots.len() as u64;
+    let slot_idx = (pos % n) as usize;
+    let base = shared.slot_base(pos);
+    let trace = &shared.machine.trace;
+    if trace.is_enabled() {
+        trace.record(
+            ctx.now(),
+            Event::RpcClaim {
+                slot: slot_idx,
+                core,
+            },
+        );
+    }
+    // The worker reads the descriptor from untrusted memory with
+    // charged accesses — this is the traffic CAT fences off.
+    let mut desc = [0u8; DESC_BYTES];
+    ctx.read_untrusted(base + OFF_FUNC, &mut desc);
+    let word = |i: usize| u64::from_le_bytes(desc[i * 8..i * 8 + 8].try_into().unwrap());
+    let func = word(0);
+    let args = [word(1), word(2), word(3), word(4)];
+    let start = ctx.now();
+    let ret = match shared.registry.get(&func) {
+        Some(f) => (f.f)(ctx, args),
+        None => {
+            Stats::bump(&shared.machine.stats.rpc_errors);
+            ERR_UNREGISTERED
+        }
+    };
+    let elapsed = ctx.now() - start;
+    ctx.write_untrusted(base + OFF_RET, &ret.to_le_bytes());
+    ctx.write_untrusted_raw(base + OFF_CYCLES, &elapsed.to_le_bytes());
+    Stats::bump(&shared.machine.stats.rpc_calls);
+    // Publish completion last: the result bytes must be visible before
+    // the sequence word says "done".
+    shared.slots[slot_idx]
+        .seq
+        .store(seq_done(pos), Ordering::Release);
+    if trace.is_enabled() {
+        let now = ctx.now();
+        trace.record(now, Event::RpcCall { func });
+        trace.record(
+            now,
+            Event::RpcComplete {
+                slot: slot_idx,
+                func,
+            },
+        );
+    }
+}
+
+/// One in-flight exit-less RPC, redeemed with [`RpcFuture::wait`].
+///
+/// Dropping an unredeemed future blocks (host-side only, no simulated
+/// cycles) until the worker finishes, then recycles the slot — the ring
+/// never leaks capacity.
+pub struct RpcFuture {
+    shared: Arc<Shared>,
+    /// The ring position this job was posted at.
+    pos: u64,
+    reaped: bool,
+}
+
+impl RpcFuture {
+    /// Whether the worker has published this job's completion
+    /// (host-side peek; charges no simulated cycles).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        let n = self.shared.slots.len() as u64;
+        let seq = self.shared.slots[(self.pos % n) as usize]
+            .seq
+            .load(Ordering::Acquire);
+        seq == seq_done(self.pos)
+    }
+
+    /// Blocks (by polling) until completion, charges the caller for the
+    /// worker's measured execution time, and returns the result.
+    pub fn wait(mut self, ctx: &mut ThreadCtx) -> u64 {
+        let (ret, cycles) = self.reap(ctx);
+        ctx.compute(cycles);
+        ret
+    }
+
+    /// Waits for completion and collects `(ret, worker_cycles)` without
+    /// charging the worker time — [`RpcBatch::wait_all`] overlaps those
+    /// charges across the pool instead.
+    fn reap(&mut self, ctx: &mut ThreadCtx) -> (u64, u64) {
+        debug_assert!(!self.reaped);
+        let n = self.shared.slots.len() as u64;
+        let slot = &self.shared.slots[(self.pos % n) as usize];
+        let mut backoff = Backoff::new();
+        while slot.seq.load(Ordering::Acquire) != seq_done(self.pos) {
+            backoff.snooze();
+        }
+        let base = self.shared.slot_base(self.pos);
+        let mut ret = [0u8; 8];
+        ctx.read_untrusted(base + OFF_RET, &mut ret);
+        let mut cycles = [0u8; 8];
+        ctx.read_untrusted_raw(base + OFF_CYCLES, &mut cycles);
+        // Free the slot for the next lap.
+        slot.seq.store(seq_free(self.pos + n), Ordering::Release);
+        self.reaped = true;
+        (u64::from_le_bytes(ret), u64::from_le_bytes(cycles))
+    }
+}
+
+impl Drop for RpcFuture {
+    fn drop(&mut self) {
+        if self.reaped {
+            return;
+        }
+        let n = self.shared.slots.len() as u64;
+        let slot = &self.shared.slots[(self.pos % n) as usize];
+        let mut backoff = Backoff::new();
+        while slot.seq.load(Ordering::Acquire) != seq_done(self.pos) {
+            backoff.snooze();
+        }
+        slot.seq.store(seq_free(self.pos + n), Ordering::Release);
+    }
+}
+
+/// A set of in-flight RPCs posted by [`RpcService::submit_batch`].
+pub struct RpcBatch {
+    /// `(request index, future)` still in flight, in post order.
+    pending: Vec<(usize, RpcFuture)>,
+    /// Results by request index (filled as completions are reaped).
+    results: Vec<Option<u64>>,
+    /// Sum of the workers' measured cycles across reaped jobs.
+    worker_cycles: u64,
+    n_workers: usize,
+}
+
+impl RpcBatch {
+    /// Reaps every already-completed pending future; returns how many.
+    fn reap_ready(&mut self, ctx: &mut ThreadCtx) -> usize {
+        let mut reaped = 0;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].1.is_done() {
+                let (idx, mut fut) = self.pending.swap_remove(i);
+                let (ret, cycles) = fut.reap(ctx);
+                self.results[idx] = Some(ret);
+                self.worker_cycles += cycles;
+                reaped += 1;
+            } else {
+                i += 1;
+            }
+        }
+        reaped
+    }
+
+    /// Blocks until every job in the batch has completed, charging the
+    /// caller the pool-parallel wait time (total worker cycles divided
+    /// by the number of workers that could run concurrently), and
+    /// returns the results in request order.
+    pub fn wait_all(mut self, ctx: &mut ThreadCtx) -> Vec<u64> {
+        let n_jobs = self.results.len();
+        let mut backoff = Backoff::new();
+        while !self.pending.is_empty() {
+            if self.reap_ready(ctx) > 0 {
+                backoff.reset();
+            } else {
+                backoff.snooze();
+            }
+        }
+        let lanes = self.n_workers.min(n_jobs).max(1) as u64;
+        ctx.compute(self.worker_cycles / lanes);
+        self.results
+            .into_iter()
+            .map(|r| r.expect("all pending reaped"))
+            .collect()
     }
 }
 
@@ -209,61 +502,154 @@ impl RpcService {
         }
     }
 
+    /// Claims a ring slot, writes the descriptor and publishes it.
+    ///
+    /// Blocks (with backoff) while the ring is full; `on_full` is
+    /// called once per full-ring round so batch submission can drain
+    /// its own completions instead of deadlocking.
+    fn post(
+        &self,
+        ctx: &mut ThreadCtx,
+        func_id: u64,
+        args: [u64; 4],
+        charge: u64,
+        mut on_full: impl FnMut(&mut ThreadCtx),
+    ) -> RpcFuture {
+        assert!(
+            ctx.in_enclave(),
+            "exit-less RPC is for trusted code; call the host directly instead"
+        );
+        let shared = &self.shared;
+        let n = shared.slots.len() as u64;
+        let mut backoff = Backoff::new();
+        let pos = loop {
+            let pos = shared.head.load(Ordering::Acquire);
+            let seq = shared.slots[(pos % n) as usize].seq.load(Ordering::Acquire);
+            if seq == seq_free(pos) {
+                if shared
+                    .head
+                    .compare_exchange_weak(pos, pos + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    break pos;
+                }
+            } else if seq < seq_free(pos) {
+                // The slot is still held by a job from a previous lap:
+                // the ring is full.
+                Stats::bump(&shared.machine.stats.rpc_ring_full);
+                on_full(ctx);
+                backoff.snooze();
+            } else {
+                // Another producer claimed this position; reload.
+                core::hint::spin_loop();
+            }
+        };
+
+        // Write the descriptor (charged: the enclave touches untrusted
+        // memory), then publish the slot's sequence word — the store
+        // that a polling worker's Acquire load synchronizes with.
+        let base = shared.slot_base(pos);
+        let mut desc = [0u8; DESC_BYTES];
+        desc[0..8].copy_from_slice(&func_id.to_le_bytes());
+        for (i, a) in args.iter().enumerate() {
+            desc[8 + i * 8..16 + i * 8].copy_from_slice(&a.to_le_bytes());
+        }
+        ctx.write_untrusted(base + OFF_FUNC, &desc);
+        ctx.compute(charge);
+        let trace = &shared.machine.trace;
+        if trace.is_enabled() {
+            let slot = (pos % n) as usize;
+            trace.record(
+                ctx.now(),
+                Event::RpcPost {
+                    slot,
+                    func: func_id,
+                },
+            );
+        }
+        shared.slots[(pos % n) as usize]
+            .seq
+            .store(seq_posted(pos), Ordering::Release);
+        RpcFuture {
+            shared: Arc::clone(shared),
+            pos,
+            reaped: false,
+        }
+    }
+
     /// Invokes `func_id(args)` on a worker *without exiting the
     /// enclave*, blocking (by polling) until the result is posted.
     ///
     /// The caller's clock advances by the enqueue/dequeue overhead plus
     /// the worker's measured execution time — the enclave thread really
-    /// does wait out the call, it just never pays an exit.
+    /// does wait out the call, it just never pays an exit. Unregistered
+    /// ids return [`ERR_UNREGISTERED`] and bump `rpc_errors`.
     ///
     /// # Panics
     /// Panics if called from untrusted mode (use the host API or an
-    /// OCALL there), or if `func_id` is unregistered.
+    /// OCALL there).
     pub fn call(&self, ctx: &mut ThreadCtx, func_id: u64, args: [u64; 4]) -> u64 {
-        assert!(
-            ctx.in_enclave(),
-            "exit-less RPC is for trusted code; call the host directly instead"
-        );
-        let slot = self.slot_rx.recv().expect("service alive");
-        let base = self.shared.ring + slot as u64 * SLOT_BYTES;
+        self.call_async(ctx, func_id, args).wait(ctx)
+    }
 
-        // Write the descriptor (charged: the enclave touches untrusted
-        // memory), then hand the slot to a worker.
-        let mut desc = [0u8; 48];
-        desc[0..8].copy_from_slice(&STATE_POSTED.to_le_bytes());
-        desc[8..16].copy_from_slice(&func_id.to_le_bytes());
-        for (i, a) in args.iter().enumerate() {
-            desc[16 + i * 8..24 + i * 8].copy_from_slice(&a.to_le_bytes());
+    /// Posts `func_id(args)` and immediately returns an [`RpcFuture`];
+    /// the caller keeps executing in the enclave while the worker runs
+    /// the job.
+    ///
+    /// # Panics
+    /// Panics if called from untrusted mode.
+    pub fn call_async(&self, ctx: &mut ThreadCtx, func_id: u64, args: [u64; 4]) -> RpcFuture {
+        let charge = self.shared.machine.cfg.costs.rpc_roundtrip;
+        self.post(ctx, func_id, args, charge, |_| {})
+    }
+
+    /// Posts a batch of `(func_id, args)` jobs back-to-back and returns
+    /// an [`RpcBatch`] tracking them all.
+    ///
+    /// The first post pays the full `rpc_roundtrip` handoff; each
+    /// subsequent post only the incremental `rpc_post` (the worker pool
+    /// is already polling, so no fresh handoff stall is paid). Batches
+    /// larger than the ring are fine: submission reaps its own
+    /// completions whenever the ring fills.
+    ///
+    /// # Panics
+    /// Panics if called from untrusted mode.
+    pub fn submit_batch(&self, ctx: &mut ThreadCtx, reqs: &[(u64, [u64; 4])]) -> RpcBatch {
+        let costs = &self.shared.machine.cfg.costs;
+        let mut batch = RpcBatch {
+            pending: Vec::with_capacity(reqs.len().min(self.shared.slots.len())),
+            results: vec![None; reqs.len()],
+            worker_cycles: 0,
+            n_workers: self.shared.n_workers,
+        };
+        Stats::bump(&self.shared.machine.stats.rpc_batches);
+        for (idx, &(func_id, args)) in reqs.iter().enumerate() {
+            let charge = if idx == 0 {
+                costs.rpc_roundtrip
+            } else {
+                costs.rpc_post
+            };
+            // Split the borrow: `post` needs `&self`, the full-ring
+            // callback drains completions owned by the batch.
+            let pending = &mut batch.pending;
+            let results = &mut batch.results;
+            let worker_cycles = &mut batch.worker_cycles;
+            let fut = self.post(ctx, func_id, args, charge, |ctx| {
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].1.is_done() {
+                        let (done_idx, mut fut) = pending.swap_remove(i);
+                        let (ret, cycles) = fut.reap(ctx);
+                        results[done_idx] = Some(ret);
+                        *worker_cycles += cycles;
+                    } else {
+                        i += 1;
+                    }
+                }
+            });
+            batch.pending.push((idx, fut));
         }
-        ctx.write_untrusted(base + OFF_STATE, &desc);
-        ctx.compute(self.shared.machine.cfg.costs.rpc_roundtrip);
-        self.job_tx.send(Some(slot)).expect("workers alive");
-
-        // Spin until completion. The flag poll is a cached read in the
-        // steady state; the handoff cost is charged via `rpc_roundtrip`
-        // and the blocked time via the worker's measured cycles. The
-        // poll reads the flag directly (no LLC traffic) with backoff,
-        // so the spinning caller does not starve the worker of the
-        // simulator's locks.
-        let mut state = [0u8; 8];
-        let backoff = crossbeam::utils::Backoff::new();
-        loop {
-            self.shared.machine.untrusted.read(base + OFF_STATE, &mut state);
-            if u64::from_le_bytes(state) == STATE_DONE {
-                break;
-            }
-            backoff.snooze();
-        }
-        let mut ret = [0u8; 8];
-        ctx.read_untrusted(base + OFF_RET, &mut ret);
-        let mut cycles = [0u8; 8];
-        ctx.read_untrusted_raw(base + OFF_CYCLES, &mut cycles);
-        ctx.compute(u64::from_le_bytes(cycles));
-
-        // Recycle the slot.
-        ctx.write_untrusted_raw(base + OFF_STATE, &STATE_FREE.to_le_bytes());
-        self.slot_tx.send(slot).expect("service alive");
-        u64::from_le_bytes(ret)
+        batch
     }
 
     /// The machine this service runs on.
@@ -275,9 +661,7 @@ impl RpcService {
 
 impl Drop for RpcService {
     fn drop(&mut self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.job_tx.send(None);
-        }
+        self.shared.stop.store(true, Ordering::Release);
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -352,7 +736,8 @@ pub fn with_fs(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
     let b = b.register(
         funcs::CLOSE,
         UntrustedFn::new(move |ctx, args| {
-            m.fs.close(ctx, FileFd(args[0] as u32)).map_or(u64::MAX, |()| 0)
+            m.fs.close(ctx, FileFd(args[0] as u32))
+                .map_or(u64::MAX, |()| 0)
         }),
     );
     let m = Arc::clone(machine);
@@ -373,8 +758,7 @@ pub fn with_fs(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
     let b = b.register(
         funcs::SEEK,
         UntrustedFn::new(move |ctx, args| {
-            m.fs
-                .seek(ctx, FileFd(args[0] as u32), args[1] as usize)
+            m.fs.seek(ctx, FileFd(args[0] as u32), args[1] as usize)
                 .map_or(u64::MAX, |()| 0)
         }),
     );
@@ -441,6 +825,31 @@ mod tests {
     }
 
     #[test]
+    fn async_and_batched_paths_are_exitless_too() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, a| a[0]))
+            .workers(2, &[2, 3])
+            .slots(8)
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let s0 = m.stats.snapshot();
+        let f = svc.call_async(&mut t, 10, [7, 0, 0, 0]);
+        assert_eq!(f.wait(&mut t), 7);
+        let reqs: Vec<_> = (0..20u64).map(|i| (10, [i, 0, 0, 0])).collect();
+        let rets = svc.submit_batch(&mut t, &reqs).wait_all(&mut t);
+        assert_eq!(rets, (0..20).collect::<Vec<u64>>());
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.enclave_exits, 0, "async RPC must be exit-less");
+        assert_eq!(d.ocalls, 0);
+        assert_eq!(d.rpc_calls, 21);
+        assert_eq!(d.rpc_batches, 1);
+        t.exit();
+    }
+
+    #[test]
     fn rpc_cheaper_than_ocall_for_short_calls() {
         let m = machine();
         let svc = RpcService::builder(&m)
@@ -467,6 +876,82 @@ mod tests {
             "rpc {rpc} should be several times cheaper than ocall {ocall}"
         );
         t.exit();
+    }
+
+    #[test]
+    fn batched_strictly_cheaper_per_op_than_sequential() {
+        // The headline async win: 64 jobs posted in one batch cost the
+        // caller strictly fewer cycles per op than 64 sequential calls.
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(
+                10,
+                UntrustedFn::new(|c, a| {
+                    c.compute(200);
+                    a[0]
+                }),
+            )
+            .workers(2, &[2, 3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        svc.call(&mut t, 10, [0; 4]); // warm up
+
+        let c0 = t.now();
+        for i in 0..64u64 {
+            assert_eq!(svc.call(&mut t, 10, [i, 0, 0, 0]), i);
+        }
+        let seq = t.now() - c0;
+
+        let reqs: Vec<_> = (0..64u64).map(|i| (10, [i, 0, 0, 0])).collect();
+        let c1 = t.now();
+        let rets = svc.submit_batch(&mut t, &reqs).wait_all(&mut t);
+        let batched = t.now() - c1;
+
+        assert_eq!(rets, (0..64).collect::<Vec<u64>>());
+        assert!(
+            batched < seq,
+            "batched 64-in-flight ({batched} cycles) must beat 64 sequential calls ({seq} cycles)"
+        );
+        t.exit();
+    }
+
+    #[test]
+    fn unregistered_func_returns_error_sentinel() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, _a| 0))
+            .workers(1, &[3])
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        assert_eq!(svc.call(&mut t, 999, [0; 4]), ERR_UNREGISTERED);
+        // The service keeps working afterwards.
+        assert_eq!(svc.call(&mut t, 10, [0; 4]), 0);
+        t.exit();
+        let s = m.stats.snapshot();
+        assert_eq!(s.rpc_errors, 1);
+        assert_eq!(s.rpc_calls, 2, "the failed call still counts as served");
+    }
+
+    #[test]
+    fn batch_larger_than_ring_drains_itself() {
+        let m = machine();
+        let svc = RpcService::builder(&m)
+            .register(10, UntrustedFn::new(|_c, a| a[0] + 1))
+            .workers(2, &[2, 3])
+            .slots(4)
+            .build();
+        let e = m.driver.create_enclave(&m, 16 * 4096);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let reqs: Vec<_> = (0..50u64).map(|i| (10, [i, 0, 0, 0])).collect();
+        let rets = svc.submit_batch(&mut t, &reqs).wait_all(&mut t);
+        assert_eq!(rets, (1..=50).collect::<Vec<u64>>());
+        t.exit();
+        assert_eq!(m.stats.snapshot().rpc_calls, 50);
     }
 
     #[test]
@@ -525,6 +1010,66 @@ mod tests {
     }
 
     #[test]
+    fn ring_stress_no_lost_or_duplicated_completions() {
+        // Many callers × a deliberately tiny ring: every echoed payload
+        // must come back exactly once and the served-call counter must
+        // equal the number of submissions.
+        const CALLERS: usize = 4;
+        const CALLS: u64 = 150;
+        let mut cfg = MachineConfig::tiny();
+        cfg.cores = 8; // one per caller + dedicated worker cores
+        let m = SgxMachine::new(cfg);
+        let svc = Arc::new(
+            RpcService::builder(&m)
+                .register(10, UntrustedFn::new(|_c, a| a[0] ^ 0xdead_beef))
+                .workers(2, &[6, 7])
+                .slots(2)
+                .build(),
+        );
+        let e = m.driver.create_enclave(&m, 64 * 4096);
+        let mut handles = Vec::new();
+        for caller in 0..CALLERS {
+            let m = Arc::clone(&m);
+            let e = Arc::clone(&e);
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let mut t = ThreadCtx::for_enclave(&m, &e, caller);
+                t.enter();
+                // Mix sync calls, async singles and batches.
+                for i in 0..CALLS {
+                    let tag = (caller as u64) << 32 | i;
+                    match i % 3 {
+                        0 => {
+                            assert_eq!(svc.call(&mut t, 10, [tag, 0, 0, 0]), tag ^ 0xdead_beef);
+                        }
+                        1 => {
+                            let f = svc.call_async(&mut t, 10, [tag, 0, 0, 0]);
+                            assert_eq!(f.wait(&mut t), tag ^ 0xdead_beef);
+                        }
+                        _ => {
+                            let rets = svc
+                                .submit_batch(&mut t, &[(10, [tag, 0, 0, 0])])
+                                .wait_all(&mut t);
+                            assert_eq!(rets, vec![tag ^ 0xdead_beef]);
+                        }
+                    }
+                }
+                t.exit();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = m.stats.snapshot();
+        assert_eq!(
+            s.rpc_calls,
+            CALLERS as u64 * CALLS,
+            "every submission served exactly once"
+        );
+        assert_eq!(s.rpc_errors, 0);
+    }
+
+    #[test]
     fn file_io_through_rpc() {
         let m = machine();
         let svc = with_fs(RpcService::builder(&m), &m)
@@ -553,7 +1098,11 @@ mod tests {
             u64::MAX,
             "double close rejected"
         );
-        assert_eq!(m.stats.snapshot().enclave_exits, 0, "file I/O was exit-less");
+        assert_eq!(
+            m.stats.snapshot().enclave_exits,
+            0,
+            "file I/O was exit-less"
+        );
         t.exit();
     }
 

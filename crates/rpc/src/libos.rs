@@ -96,8 +96,103 @@ impl LibOs {
     pub fn write(&self, ctx: &mut ThreadCtx, fd: FileFd, data: &[u8]) -> Option<usize> {
         assert!(data.len() <= self.bounce_len, "write exceeds bounce buffer");
         ctx.write_untrusted(self.bounce, data);
-        let r = self.call3(ctx, funcs::WRITE, fd.0 as u64, self.bounce, data.len() as u64);
+        let r = self.call3(
+            ctx,
+            funcs::WRITE,
+            fd.0 as u64,
+            self.bounce,
+            data.len() as u64,
+        );
         (r != u64::MAX).then_some(r as usize)
+    }
+
+    /// `readv(2)`: scatter a read across several trusted slices with a
+    /// *single* syscall round trip — the segments are coalesced into
+    /// one bounce-buffer read and scattered inside the enclave.
+    /// Returns total bytes read, or `None` on a bad descriptor.
+    pub fn readv(&self, ctx: &mut ThreadCtx, fd: FileFd, bufs: &mut [&mut [u8]]) -> Option<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        assert!(total <= self.bounce_len, "readv exceeds bounce buffer");
+        let r = self.call3(ctx, funcs::READ, fd.0 as u64, self.bounce, total as u64);
+        if r == u64::MAX {
+            return None;
+        }
+        let n = r as usize;
+        let mut off = 0;
+        for buf in bufs.iter_mut() {
+            if off >= n {
+                break;
+            }
+            let take = buf.len().min(n - off);
+            ctx.read_untrusted(self.bounce + off as u64, &mut buf[..take]);
+            off += take;
+        }
+        Some(n)
+    }
+
+    /// `writev(2)`: gather several trusted slices into one syscall
+    /// round trip. Returns total bytes written, or `None` on a bad
+    /// descriptor.
+    pub fn writev(&self, ctx: &mut ThreadCtx, fd: FileFd, bufs: &[&[u8]]) -> Option<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        assert!(total <= self.bounce_len, "writev exceeds bounce buffer");
+        let mut off = 0u64;
+        for buf in bufs {
+            ctx.write_untrusted(self.bounce + off, buf);
+            off += buf.len() as u64;
+        }
+        let r = self.call3(ctx, funcs::WRITE, fd.0 as u64, self.bounce, total as u64);
+        (r != u64::MAX).then_some(r as usize)
+    }
+
+    /// Receives up to `bufs.len()` messages in one *batched* exit-less
+    /// submission: all `recv` jobs are posted to the ring back-to-back
+    /// (amortizing the handoff) and their completions reaped together.
+    /// Each message lands in its own bounce-buffer stripe, so workers
+    /// can serve the jobs concurrently. In OCALL mode this degrades to
+    /// one exit per message.
+    ///
+    /// Returns one entry per buffer: `Some(len)` for a received
+    /// message, `None` for would-block.
+    pub fn recv_many(
+        &self,
+        ctx: &mut ThreadCtx,
+        sock: Fd,
+        bufs: &mut [&mut [u8]],
+    ) -> Vec<Option<usize>> {
+        let svc = match &self.mode {
+            SyscallMode::ExitLess(svc) => svc,
+            SyscallMode::Ocall => {
+                return bufs.iter_mut().map(|b| self.recv(ctx, sock, b)).collect();
+            }
+        };
+        if bufs.is_empty() {
+            return Vec::new();
+        }
+        let stripe = self.bounce_len / bufs.len();
+        assert!(stripe > 0, "more recv buffers than bounce-buffer bytes");
+        let reqs: Vec<(u64, [u64; 4])> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, buf)| {
+                let addr = self.bounce + (i * stripe) as u64;
+                let want = buf.len().min(stripe) as u64;
+                (funcs::RECV, [sock.0 as u64, addr, want, 0])
+            })
+            .collect();
+        let rets = svc.submit_batch(ctx, &reqs).wait_all(ctx);
+        rets.into_iter()
+            .zip(bufs.iter_mut())
+            .enumerate()
+            .map(|(i, (r, buf))| {
+                if r == u64::MAX {
+                    return None;
+                }
+                let n = r as usize;
+                ctx.read_untrusted(self.bounce + (i * stripe) as u64, &mut buf[..n]);
+                Some(n)
+            })
+            .collect()
     }
 
     /// `lseek(2)` (`SEEK_SET`).
@@ -133,7 +228,13 @@ impl LibOs {
     pub fn send(&self, ctx: &mut ThreadCtx, sock: Fd, data: &[u8]) -> usize {
         assert!(data.len() <= self.bounce_len, "send exceeds bounce buffer");
         ctx.write_untrusted(self.bounce, data);
-        self.call3(ctx, funcs::SEND, sock.0 as u64, self.bounce, data.len() as u64) as usize
+        self.call3(
+            ctx,
+            funcs::SEND,
+            sock.0 as u64,
+            self.bounce,
+            data.len() as u64,
+        ) as usize
     }
 
     /// `poll(2)`-lite: always via OCALL — a long-blocking call should
@@ -155,23 +256,25 @@ fn dispatch(m: &Arc<SgxMachine>, ctx: &mut ThreadCtx, func: u64, args: [u64; 4])
             .host
             .recv(ctx, Fd(args[0] as u32), args[1], args[2] as usize)
             .map_or(u64::MAX, |n| n as u64),
-        funcs::SEND => m.host.send(ctx, Fd(args[0] as u32), args[1], args[2] as usize) as u64,
+        funcs::SEND => m
+            .host
+            .send(ctx, Fd(args[0] as u32), args[1], args[2] as usize) as u64,
         funcs::OPEN => {
             let mut path = vec![0u8; args[1] as usize];
             ctx.read_untrusted(args[0], &mut path);
             let path = String::from_utf8(path).expect("utf-8 path");
             m.fs.open(ctx, &path).0 as u64
         }
-        funcs::CLOSE => m
-            .fs
-            .close(ctx, FileFd(args[0] as u32))
-            .map_or(u64::MAX, |()| 0),
+        funcs::CLOSE => {
+            m.fs.close(ctx, FileFd(args[0] as u32))
+                .map_or(u64::MAX, |()| 0)
+        }
         funcs::READ => fs_err(m.fs.read(ctx, FileFd(args[0] as u32), args[1], args[2] as usize)),
         funcs::WRITE => fs_err(m.fs.write(ctx, FileFd(args[0] as u32), args[1], args[2] as usize)),
-        funcs::SEEK => m
-            .fs
-            .seek(ctx, FileFd(args[0] as u32), args[1] as usize)
-            .map_or(u64::MAX, |()| 0),
+        funcs::SEEK => {
+            m.fs.seek(ctx, FileFd(args[0] as u32), args[1] as usize)
+                .map_or(u64::MAX, |()| 0)
+        }
         funcs::FSIZE => fs_err(m.fs.size(ctx, FileFd(args[0] as u32))),
         funcs::UNLINK => {
             let mut path = vec![0u8; args[1] as usize];
@@ -250,6 +353,50 @@ mod tests {
         let s = m.stats.snapshot();
         assert_eq!(s.enclave_exits, 3, "one exit per call");
         assert_eq!(s.rpc_calls, 0);
+        t.exit();
+    }
+
+    #[test]
+    fn vectored_file_io_both_modes() {
+        let (m, ocall, exitless, mut t) = shims();
+        for (shim, path) in [(&ocall, "/va"), (&exitless, "/vb")] {
+            let fd = shim.open(&mut t, path);
+            assert_eq!(
+                shim.writev(&mut t, fd, &[b"head|", b"body|", b"tail"]),
+                Some(14)
+            );
+            assert!(shim.seek(&mut t, fd, 0));
+            let (mut a, mut b) = ([0u8; 5], [0u8; 9]);
+            let mut bufs: [&mut [u8]; 2] = [&mut a, &mut b];
+            assert_eq!(shim.readv(&mut t, fd, &mut bufs), Some(14));
+            assert_eq!(&a, b"head|");
+            assert_eq!(&b, b"body|tail");
+            assert!(shim.close(&mut t, fd));
+        }
+        let _ = m;
+        t.exit();
+    }
+
+    #[test]
+    fn recv_many_batches_without_exits() {
+        let (m, _ocall, exitless, mut t) = shims();
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let sock = m.host.socket(&ut, 16 << 10);
+        for i in 0..3u8 {
+            m.host.push_request(&ut, sock, &[b'm', b'0' + i]);
+        }
+        m.stats.reset();
+        let mut b: Vec<[u8; 8]> = vec![[0; 8]; 4];
+        let mut bufs: Vec<&mut [u8]> = b.iter_mut().map(|x| &mut x[..]).collect();
+        let lens = exitless.recv_many(&mut t, sock, &mut bufs);
+        assert_eq!(lens, vec![Some(2), Some(2), Some(2), None]);
+        for (i, buf) in b.iter().take(3).enumerate() {
+            assert_eq!(&buf[..2], &[b'm', b'0' + i as u8]);
+        }
+        let s = m.stats.snapshot();
+        assert_eq!(s.enclave_exits, 0, "batched recv stays exit-less");
+        assert_eq!(s.rpc_calls, 4);
+        assert_eq!(s.rpc_batches, 1);
         t.exit();
     }
 

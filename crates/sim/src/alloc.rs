@@ -55,8 +55,14 @@ impl BuddyAllocator {
     /// `capacity < min_block`.
     #[must_use]
     pub fn new(capacity: u64, min_block: u64) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
-        assert!(min_block.is_power_of_two(), "min_block must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        assert!(
+            min_block.is_power_of_two(),
+            "min_block must be a power of two"
+        );
         assert!(capacity >= min_block);
         let max_order = (capacity / min_block).trailing_zeros() as usize;
         let mut free = vec![BTreeSet::new(); max_order + 1];
@@ -133,7 +139,10 @@ impl BuddyAllocator {
     /// Frees an allocation made by [`Self::alloc`], returning the block
     /// size released.
     pub fn free(&mut self, offset: u64) -> Result<u64, AllocError> {
-        let order = self.live.remove(&offset).ok_or(AllocError::BadFree(offset))?;
+        let order = self
+            .live
+            .remove(&offset)
+            .ok_or(AllocError::BadFree(offset))?;
         let mut order = order as usize;
         let size = self.min_block << order;
         self.used -= size;

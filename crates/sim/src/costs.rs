@@ -100,6 +100,11 @@ pub struct CostModel {
     /// Enqueue + polling handoff of one RPC job (cache-line transfers
     /// between the enclave thread and the worker thread).
     pub rpc_roundtrip: u64,
+    /// Incremental cost of posting one *additional* in-flight job from
+    /// the same caller: the slot claim and descriptor store, without a
+    /// fresh handoff stall (the worker is already polling, and line
+    /// transfers for back-to-back posts pipeline).
+    pub rpc_post: u64,
 }
 
 impl Default for CostModel {
@@ -136,6 +141,7 @@ impl Default for CostModel {
             spointer_link: 120,
 
             rpc_roundtrip: 600,
+            rpc_post: 150,
         }
     }
 }

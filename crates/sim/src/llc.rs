@@ -286,13 +286,22 @@ mod tests {
         // 4-way set 0: lines at stride sets*64 = 4096.
         let stride = 64 * 64;
         for i in 0..4u64 {
-            assert!(!c.access_line(CacheCtx::Other, i * stride, AccessKind::Read).hit);
+            assert!(
+                !c.access_line(CacheCtx::Other, i * stride, AccessKind::Read)
+                    .hit
+            );
         }
         for i in 0..4u64 {
-            assert!(c.access_line(CacheCtx::Other, i * stride, AccessKind::Read).hit);
+            assert!(
+                c.access_line(CacheCtx::Other, i * stride, AccessKind::Read)
+                    .hit
+            );
         }
         // Fifth line evicts the LRU (line 0).
-        assert!(!c.access_line(CacheCtx::Other, 4 * stride, AccessKind::Read).hit);
+        assert!(
+            !c.access_line(CacheCtx::Other, 4 * stride, AccessKind::Read)
+                .hit
+        );
         assert!(!c.access_line(CacheCtx::Other, 0, AccessKind::Read).hit);
     }
 
@@ -325,7 +334,8 @@ mod tests {
         // ...without evicting the enclave's lines.
         for i in 0..3u64 {
             assert!(
-                c.access_line(CacheCtx::Enclave, i * stride, AccessKind::Read).hit,
+                c.access_line(CacheCtx::Enclave, i * stride, AccessKind::Read)
+                    .hit,
                 "enclave line {i} was evicted through the partition"
             );
         }
@@ -342,7 +352,10 @@ mod tests {
             c.access_line(CacheCtx::Rpc, i * stride, AccessKind::Read);
         }
         let hits = (0..4u64)
-            .filter(|i| c.access_line(CacheCtx::Enclave, i * stride, AccessKind::Read).hit)
+            .filter(|i| {
+                c.access_line(CacheCtx::Enclave, i * stride, AccessKind::Read)
+                    .hit
+            })
             .count();
         assert_eq!(hits, 0, "shared cache must show pollution");
     }

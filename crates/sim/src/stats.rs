@@ -93,6 +93,14 @@ stats! {
     suvm_direct_accesses,
     /// RPC calls served exit-lessly.
     rpc_calls,
+    /// RPC batches submitted (a `submit_batch`/`wait_all` round trip).
+    rpc_batches,
+    /// RPC posts that found the ring full and had to back off.
+    rpc_ring_full,
+    /// RPC worker poll sweeps that found no posted job.
+    rpc_idle_polls,
+    /// RPC calls to unregistered function ids (error sentinel returned).
+    rpc_errors,
     /// Bytes moved by seal/unseal operations.
     sealed_bytes,
 }
@@ -123,6 +131,9 @@ impl StatsSnapshot {
         put("exits", self.enclave_exits);
         put("ocalls", self.ocalls);
         put("rpc", self.rpc_calls);
+        put("rpc_batches", self.rpc_batches);
+        put("rpc_ring_full", self.rpc_ring_full);
+        put("rpc_errors", self.rpc_errors);
         put("syscalls", self.syscalls);
         put("hw_faults", self.hw_faults);
         put("hw_evictions", self.hw_evictions);

@@ -69,6 +69,27 @@ pub enum Event {
         /// Registered function id.
         func: u64,
     },
+    /// Caller posted a job descriptor into a ring slot.
+    RpcPost {
+        /// Ring slot index.
+        slot: usize,
+        /// Registered function id.
+        func: u64,
+    },
+    /// Worker claimed a posted slot for execution.
+    RpcClaim {
+        /// Ring slot index.
+        slot: usize,
+        /// Worker core.
+        core: usize,
+    },
+    /// Worker published a completion into a slot.
+    RpcComplete {
+        /// Ring slot index.
+        slot: usize,
+        /// Registered function id.
+        func: u64,
+    },
 }
 
 /// A `(cycles, event)` record; cycles are the acting core's clock.
@@ -159,6 +180,9 @@ impl Trace {
                 Event::SuvmFault { .. } => h.suvm_faults += 1,
                 Event::SuvmEvict { .. } => h.suvm_evicts += 1,
                 Event::RpcCall { .. } => h.rpc_calls += 1,
+                Event::RpcPost { .. } => h.rpc_posts += 1,
+                Event::RpcClaim { .. } => h.rpc_claims += 1,
+                Event::RpcComplete { .. } => h.rpc_completes += 1,
             }
         }
         h
@@ -176,6 +200,9 @@ impl Event {
             Event::SuvmFault { .. } => "suvm_fault",
             Event::SuvmEvict { .. } => "suvm_evict",
             Event::RpcCall { .. } => "rpc",
+            Event::RpcPost { .. } => "rpc_post",
+            Event::RpcClaim { .. } => "rpc_claim",
+            Event::RpcComplete { .. } => "rpc_complete",
         }
     }
 
@@ -186,8 +213,13 @@ impl Event {
             | Event::HwFault { core, .. }
             | Event::SuvmFault { core, .. } => *core,
             Event::Ipi { target } => *target,
+            Event::RpcClaim { core, .. } => *core,
             // Driver-side and worker-side events get a synthetic lane.
-            Event::HwEvict { .. } | Event::SuvmEvict { .. } | Event::RpcCall { .. } => 99,
+            Event::HwEvict { .. }
+            | Event::SuvmEvict { .. }
+            | Event::RpcCall { .. }
+            | Event::RpcPost { .. }
+            | Event::RpcComplete { .. } => 99,
         }
     }
 }
@@ -222,6 +254,12 @@ impl Trace {
                     format!("{{\"page\":{page},\"clean_skip\":{clean_skip}}}")
                 }
                 Event::RpcCall { func } => format!("{{\"func\":{func}}}"),
+                Event::RpcPost { slot, func } | Event::RpcComplete { slot, func } => {
+                    format!("{{\"slot\":{slot},\"func\":{func}}}")
+                }
+                Event::RpcClaim { slot, core } => {
+                    format!("{{\"slot\":{slot},\"core\":{core}}}")
+                }
             };
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{us:.3},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{args}}}",
@@ -253,6 +291,12 @@ pub struct TraceHistogram {
     pub suvm_evicts: u64,
     /// RPC calls.
     pub rpc_calls: u64,
+    /// RPC ring posts.
+    pub rpc_posts: u64,
+    /// RPC worker slot claims.
+    pub rpc_claims: u64,
+    /// RPC completions published.
+    pub rpc_completes: u64,
 }
 
 #[cfg(test)]
@@ -270,8 +314,20 @@ mod tests {
     fn enabled_records_in_order() {
         let t = Trace::new(8);
         t.enable();
-        t.record(10, Event::EnclaveEnter { core: 0, enclave: 1 });
-        t.record(20, Event::EnclaveExit { core: 0, enclave: 1 });
+        t.record(
+            10,
+            Event::EnclaveEnter {
+                core: 0,
+                enclave: 1,
+            },
+        );
+        t.record(
+            20,
+            Event::EnclaveExit {
+                core: 0,
+                enclave: 1,
+            },
+        );
         let r = t.take();
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].0, 10);
@@ -296,8 +352,20 @@ mod tests {
     fn chrome_json_is_wellformed() {
         let t = Trace::new(8);
         t.enable();
-        t.record(3_400, Event::EnclaveEnter { core: 2, enclave: 5 });
-        t.record(6_800, Event::SuvmEvict { page: 7, clean_skip: true });
+        t.record(
+            3_400,
+            Event::EnclaveEnter {
+                core: 2,
+                enclave: 5,
+            },
+        );
+        t.record(
+            6_800,
+            Event::SuvmEvict {
+                page: 7,
+                clean_skip: true,
+            },
+        );
         let json = t.to_chrome_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"name\":\"eenter\""));
@@ -312,9 +380,29 @@ mod tests {
     fn histogram_counts_kinds() {
         let t = Trace::new(16);
         t.enable();
-        t.record(1, Event::HwFault { core: 0, enclave: 1, page: 2 });
-        t.record(2, Event::HwFault { core: 0, enclave: 1, page: 3 });
-        t.record(3, Event::SuvmEvict { page: 9, clean_skip: true });
+        t.record(
+            1,
+            Event::HwFault {
+                core: 0,
+                enclave: 1,
+                page: 2,
+            },
+        );
+        t.record(
+            2,
+            Event::HwFault {
+                core: 0,
+                enclave: 1,
+                page: 3,
+            },
+        );
+        t.record(
+            3,
+            Event::SuvmEvict {
+                page: 9,
+                clean_skip: true,
+            },
+        );
         let h = t.histogram();
         assert_eq!(h.hw_faults, 2);
         assert_eq!(h.suvm_evicts, 1);

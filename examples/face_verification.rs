@@ -7,8 +7,7 @@
 use std::sync::Arc;
 
 use eleos::apps::face::{
-    build_verify_request, chi_square, lbp_histogram, synth_capture, synth_image, FaceDb,
-    FaceServer,
+    build_verify_request, chi_square, lbp_histogram, synth_capture, synth_image, FaceDb, FaceServer,
 };
 use eleos::apps::io::{IoPath, ServerIo};
 use eleos::apps::space::DataSpace;
@@ -46,15 +45,20 @@ fn main() {
     ctx.enter();
     let mut db = FaceDb::new(DataSpace::suvm(&suvm), SIDE, IDS);
     db.init(&mut ctx);
-    println!("enrolling {IDS} identities ({} KiB of histograms each)...",
-             eleos::apps::face::hist_bytes(SIDE) / 1024);
+    println!(
+        "enrolling {IDS} identities ({} KiB of histograms each)...",
+        eleos::apps::face::hist_bytes(SIDE) / 1024
+    );
     for id in 1..=IDS {
         db.enroll(&mut ctx, id, &lbp_histogram(&synth_image(id, SIDE), SIDE));
     }
 
     // Pick a decision threshold from genuine/impostor score samples.
     let enrolled = db.fetch(&mut ctx, 1).expect("id 1 enrolled");
-    let genuine = chi_square(&lbp_histogram(&synth_capture(1, SIDE, 1000), SIDE), &enrolled);
+    let genuine = chi_square(
+        &lbp_histogram(&synth_capture(1, SIDE, 1000), SIDE),
+        &enrolled,
+    );
     let impostor = chi_square(&lbp_histogram(&synth_image(2, SIDE), SIDE), &enrolled);
     println!("score calibration: genuine {genuine:.0} vs impostor {impostor:.0}");
     let mut server = FaceServer::new(db, (genuine + impostor) / 2.0);
@@ -62,7 +66,13 @@ fn main() {
     let wire = Arc::new(Wire::new([5u8; 16]));
     let ut = ThreadCtx::untrusted(&machine, 0);
     let fd = machine.host.socket(&ut, 4 << 20);
-    let io = ServerIo::new(&ctx, fd, (SIDE * SIDE) + 4096, IoPath::Rpc(rpc), Arc::clone(&wire));
+    let io = ServerIo::new(
+        &ctx,
+        fd,
+        (SIDE * SIDE) + 4096,
+        IoPath::Rpc(rpc),
+        Arc::clone(&wire),
+    );
 
     // A mixed request stream: genuine captures and impostor attempts.
     let mut correct = 0;

@@ -8,8 +8,8 @@ use std::sync::Arc;
 
 use eleos::apps::io::{IoPath, ServerIo};
 use eleos::apps::kvs::Kvs;
-use eleos::apps::text_protocol::{format_get, format_set, handle_text_request};
 use eleos::apps::space::DataSpace;
+use eleos::apps::text_protocol::{format_get, format_set, handle_text_request};
 use eleos::apps::wire::Wire;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
@@ -53,7 +53,13 @@ fn main() {
     let mut ctx = ThreadCtx::for_enclave(&machine, &enclave, 0);
     ctx.enter();
     kvs.init(&mut ctx);
-    let io = ServerIo::new(&ctx, fd, 64 << 10, IoPath::Rpc(Arc::clone(&rpc)), Arc::clone(&wire));
+    let io = ServerIo::new(
+        &ctx,
+        fd,
+        64 << 10,
+        IoPath::Rpc(Arc::clone(&rpc)),
+        Arc::clone(&wire),
+    );
 
     // "memaslap" session: SETs filling 32 MiB (4x the EPC++), then GETs.
     let n_items = 32_000u32;
@@ -61,9 +67,11 @@ fn main() {
     for i in 0..n_items {
         let key = format!("user:{i:08}");
         let value = vec![(i % 251) as u8; 1024];
-        machine
-            .host
-            .push_request(&ut, fd, &wire.encrypt(&format_set(key.as_bytes(), 0, 0, &value)));
+        machine.host.push_request(
+            &ut,
+            fd,
+            &wire.encrypt(&format_set(key.as_bytes(), 0, 0, &value)),
+        );
         assert!(handle_text_request(&mut kvs, &mut ctx, &io));
         let ack = wire.decrypt(&machine.host.pop_response(fd).expect("ack"));
         assert_eq!(ack, b"STORED\r\n");

@@ -78,10 +78,14 @@ fn run(mode: &str) -> f64 {
     while served < REQUESTS {
         let batch = (REQUESTS - served).min(256);
         for _ in 0..batch {
-            machine.host.push_request(&ut, fd, &wire.encrypt(&load.next_plain()));
+            machine
+                .host
+                .push_request(&ut, fd, &wire.encrypt(&load.next_plain()));
         }
         for _ in 0..batch {
-            server.handle_request(&mut ctx, &io).expect("request queued");
+            server
+                .handle_request(&mut ctx, &io)
+                .expect("request queued");
         }
         served += batch;
     }

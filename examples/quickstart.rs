@@ -48,7 +48,7 @@ fn main() {
     let suvm = Suvm::new(
         &t,
         SuvmConfig {
-            epcpp_bytes: 2 << 20,  // 2 MiB page cache...
+            epcpp_bytes: 2 << 20, // 2 MiB page cache...
             backing_bytes: 64 << 20,
             ..SuvmConfig::default()
         },
@@ -73,7 +73,10 @@ fn main() {
         stats.suvm_evictions,
         stats.enclave_exits - exits_before
     );
-    assert_eq!(stats.enclave_exits, exits_before, "SUVM paging is exit-less");
+    assert_eq!(
+        stats.enclave_exits, exits_before,
+        "SUVM paging is exit-less"
+    );
 
     t.exit();
     drop(rpc);

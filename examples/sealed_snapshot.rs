@@ -54,7 +54,11 @@ fn main() {
     );
     kvs.init(&mut t1);
     for i in 0..5_000u32 {
-        kvs.set(&mut t1, format!("session:{i}").as_bytes(), &vec![(i % 251) as u8; 256]);
+        kvs.set(
+            &mut t1,
+            format!("session:{i}").as_bytes(),
+            &vec![(i % 251) as u8; 256],
+        );
     }
     println!("run 1: stored {} items in SUVM", kvs.len());
 
@@ -122,9 +126,6 @@ fn main() {
         kvs3.restore_snapshot(&mut t2, &seal_key, &bad)
     }));
     std::panic::set_hook(prev);
-    println!(
-        "tampered snapshot rejected: {}",
-        tampered.is_err()
-    );
+    println!("tampered snapshot rejected: {}", tampered.is_err());
     t2.exit();
 }

@@ -80,7 +80,9 @@ fn main() {
     let marker = (7u64 * 1000).to_le_bytes();
     let mut raw = vec![0u8; 16 << 20];
     machine.untrusted.read(0, &mut raw);
-    let leaked = raw.windows(16).any(|w| w[..8] == marker && w[8..16] == 7u64.to_le_bytes());
+    let leaked = raw
+        .windows(16)
+        .any(|w| w[..8] == marker && w[8..16] == 7u64.to_le_bytes());
     println!("plaintext visible to the host: {leaked}");
     assert!(!leaked);
     println!(

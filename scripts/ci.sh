@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus style/lint checks, fully offline (all dependencies
+# are vendored under vendor/). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release)"
+cargo build --release --workspace --offline
+
+echo "== tests"
+cargo test --workspace --offline -q
+
+echo "== fmt"
+cargo fmt --all --check
+
+echo "== clippy"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

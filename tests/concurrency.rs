@@ -8,7 +8,7 @@ use std::time::Duration;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
 use eleos::rpc::{RpcService, UntrustedFn};
-use eleos::suvm::{Suvm, Swapper, SuvmConfig};
+use eleos::suvm::{Suvm, SuvmConfig, Swapper};
 
 #[test]
 fn suvm_under_full_pressure() {

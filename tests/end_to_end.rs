@@ -192,7 +192,9 @@ fn kvs_full_protocol_all_modes() {
                 .host
                 .push_request(&ut, s.fd, &s.wire.encrypt(&load.set_plain(i)));
             assert!(kvs.handle_request(&mut s.ctx, &io), "{mode}: SET {i}");
-            let resp = s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("ack"));
+            let resp = s
+                .wire
+                .decrypt(&s.machine.host.pop_response(s.fd).expect("ack"));
             assert_eq!(resp, &[1u8], "{mode}: SET ack");
         }
         for i in (0..load.n_items).step_by(17) {
@@ -200,21 +202,27 @@ fn kvs_full_protocol_all_modes() {
                 .host
                 .push_request(&ut, s.fd, &s.wire.encrypt(&build_get(&load.key(i))));
             assert!(kvs.handle_request(&mut s.ctx, &io));
-            let resp = s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
+            let resp = s
+                .wire
+                .decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
             assert_eq!(resp[0], 1, "{mode}: GET {i} hit");
             assert_eq!(&resp[5..], load.value(i), "{mode}: GET {i} value");
         }
         // Overwrite and delete through the protocol.
-        s.machine
-            .host
-            .push_request(&ut, s.fd, &s.wire.encrypt(&build_set(&load.key(3), b"tiny")));
+        s.machine.host.push_request(
+            &ut,
+            s.fd,
+            &s.wire.encrypt(&build_set(&load.key(3), b"tiny")),
+        );
         assert!(kvs.handle_request(&mut s.ctx, &io));
         let _ = s.machine.host.pop_response(s.fd);
         s.machine
             .host
             .push_request(&ut, s.fd, &s.wire.encrypt(&build_get(&load.key(3))));
         assert!(kvs.handle_request(&mut s.ctx, &io));
-        let resp = s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
+        let resp = s
+            .wire
+            .decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
         assert_eq!(&resp[5..], b"tiny", "{mode}: overwrite");
         if s.ctx.in_enclave() {
             s.ctx.exit();
@@ -224,8 +232,9 @@ fn kvs_full_protocol_all_modes() {
 
 #[test]
 fn face_pipeline_in_enclave() {
-    use eleos::apps::face::{build_verify_request, lbp_histogram, synth_capture, synth_image,
-                            FaceDb, FaceServer};
+    use eleos::apps::face::{
+        build_verify_request, lbp_histogram, synth_capture, synth_image, FaceDb, FaceServer,
+    };
     let mut s = stack("eleos");
     let side = 64usize;
     let mut db = FaceDb::new(s.space.clone(), side, 8);
@@ -234,16 +243,18 @@ fn face_pipeline_in_enclave() {
         db.enroll(&mut s.ctx, id, &lbp_histogram(&synth_image(id, side), side));
     }
     let enrolled = db.fetch(&mut s.ctx, 2).expect("enrolled");
-    let genuine = eleos::apps::face::chi_square(
-        &lbp_histogram(&synth_capture(2, side, 9), side),
-        &enrolled,
-    );
-    let impostor = eleos::apps::face::chi_square(
-        &lbp_histogram(&synth_image(7, side), side),
-        &enrolled,
-    );
+    let genuine =
+        eleos::apps::face::chi_square(&lbp_histogram(&synth_capture(2, side, 9), side), &enrolled);
+    let impostor =
+        eleos::apps::face::chi_square(&lbp_histogram(&synth_image(7, side), side), &enrolled);
     let mut server = FaceServer::new(db, (genuine + impostor) / 2.0);
-    let io = ServerIo::new(&s.ctx, s.fd, side * side + 4096, s.path.clone(), Arc::clone(&s.wire));
+    let io = ServerIo::new(
+        &s.ctx,
+        s.fd,
+        side * side + 4096,
+        s.path.clone(),
+        Arc::clone(&s.wire),
+    );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
 
     // Genuine accepted.
@@ -255,7 +266,8 @@ fn face_pipeline_in_enclave() {
     );
     assert!(server.handle_request(&mut s.ctx, &io));
     assert_eq!(
-        s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
+        s.wire
+            .decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
         &[1u8]
     );
     // Impostor rejected.
@@ -267,18 +279,21 @@ fn face_pipeline_in_enclave() {
     );
     assert!(server.handle_request(&mut s.ctx, &io));
     assert_eq!(
-        s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
+        s.wire
+            .decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
         &[0u8]
     );
     // Unknown identity.
     s.machine.host.push_request(
         &ut,
         s.fd,
-        &s.wire.encrypt(&build_verify_request(99, side, &synth_image(1, side))),
+        &s.wire
+            .encrypt(&build_verify_request(99, side, &synth_image(1, side))),
     );
     assert!(server.handle_request(&mut s.ctx, &io));
     assert_eq!(
-        s.wire.decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
+        s.wire
+            .decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
         &[2u8]
     );
     s.ctx.exit();

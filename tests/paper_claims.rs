@@ -58,11 +58,7 @@ fn random_reads_suvm(s: &Arc<Suvm>, t: &mut ThreadCtx, base: u64, pages: u64, op
     (t.now() - c0) as f64 / ops as f64
 }
 
-fn random_reads_hw(
-    m: &Arc<SgxMachine>,
-    pages: u64,
-    ops: usize,
-) -> f64 {
+fn random_reads_hw(m: &Arc<SgxMachine>, pages: u64, ops: usize) -> f64 {
     let e = m
         .driver
         .create_enclave(m, (pages as usize) * PAGE_SIZE + (4 << 20));
@@ -97,7 +93,11 @@ fn claim_suvm_beats_hardware_paging_out_of_core() {
     let pages = (m.cfg.epc_bytes / PAGE_SIZE) as u64 * 17 / 5;
     let hw = random_reads_hw(&m, pages, 1500);
 
-    let (s, mut t) = suvm_on(&m, m.cfg.epc_bytes * 6 / 10, (pages as usize) * PAGE_SIZE * 2);
+    let (s, mut t) = suvm_on(
+        &m,
+        m.cfg.epc_bytes * 6 / 10,
+        (pages as usize) * PAGE_SIZE * 2,
+    );
     let base = s.malloc((pages as usize) * PAGE_SIZE);
     for p in 0..pages {
         s.write(&mut t, base + p * PAGE_SIZE as u64, &[1u8; PAGE_SIZE]);

@@ -42,10 +42,8 @@ enum Op {
 
 fn op_strategy(span: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..span, prop::collection::vec(any::<u8>(), 1..300)).prop_map(|(at, data)| Op::Write {
-            at,
-            data
-        }),
+        (0..span, prop::collection::vec(any::<u8>(), 1..300))
+            .prop_map(|(at, data)| Op::Write { at, data }),
         (0..span, 1usize..300).prop_map(|(at, len)| Op::Read { at, len }),
         (0..span, 1usize..300).prop_map(|(at, len)| Op::ReadDirect { at, len }),
         (0..span, prop::collection::vec(any::<u8>(), 1..200))

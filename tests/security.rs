@@ -223,5 +223,8 @@ fn untrusted_thread_cannot_touch_enclave_memory() {
         let mut b = [0u8; 7];
         t.read_enclave(addr, &mut b);
     }));
-    assert!(denied.is_err(), "untrusted read of enclave memory succeeded");
+    assert!(
+        denied.is_err(),
+        "untrusted read of enclave memory succeeded"
+    );
 }

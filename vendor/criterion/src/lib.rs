@@ -1,0 +1,204 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`throughput`/`bench_function`/`finish`,
+//! [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (the benches run
+//! with `harness = false`, so `criterion_main!` supplies `fn main`).
+//!
+//! Statistics are intentionally simple: each benchmark runs a short
+//! warmup, then a fixed number of timed samples, and reports the
+//! median per-iteration time (plus derived throughput when set).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times a closure over a batch of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warmup + calibration: grow the batch until one sample takes ~2ms,
+    // so per-iteration noise stays bounded without criterion's full
+    // linear-regression machinery.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            format!(
+                "  {:>10.1} MiB/s",
+                bytes as f64 / median * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Melem/s", n as f64 / median * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<48} {median:>12.1} ns/iter{rate}");
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("memcpy64", |b| {
+            let src = [7u8; 64];
+            b.iter(|| src)
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, tiny);
+
+    #[test]
+    fn group_runs_to_completion() {
+        smoke();
+    }
+}
