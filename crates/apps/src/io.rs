@@ -128,13 +128,18 @@ impl ServerIo {
         }
     }
 
-    /// Receives and decrypts up to `max` requests at once.
+    /// Receives and decrypts up to `max` requests at once, in the
+    /// socket's arrival order.
     ///
     /// On the RPC path all `recv` jobs are posted to the ring
     /// back-to-back as one batch (amortizing the handoff cost) into
     /// per-message stripes of the receive buffer; empty-queue slots
-    /// are filtered out. On the native/OCALL paths this degrades to a
-    /// sequential loop that stops at the first would-block.
+    /// are filtered out. With more than one RPC worker the jobs may
+    /// *execute* out of submission order, so each descriptor carries
+    /// the socket's dequeue sequence number (`RECV_TAGGED`) and the
+    /// reap sorts by it before decrypting. On the native/OCALL paths
+    /// this degrades to a sequential loop that stops at the first
+    /// would-block.
     pub fn recv_batch(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
         assert!(max > 0);
         let svc = match &self.path {
@@ -155,16 +160,24 @@ impl ServerIo {
         let reqs: Vec<(u64, [u64; 4])> = (0..max)
             .map(|i| {
                 let addr = self.rx_buf + (i * stripe) as u64;
-                (funcs::RECV, [self.fd.0 as u64, addr, stripe as u64, 0])
+                (
+                    funcs::RECV_TAGGED,
+                    [self.fd.0 as u64, addr, stripe as u64, 0],
+                )
             })
             .collect();
         let rets = svc.submit_batch(ctx, &reqs).wait_all(ctx);
-        let mut out = Vec::new();
-        for (i, r) in rets.into_iter().enumerate() {
-            if r == u64::MAX {
-                continue;
-            }
-            let mut msg = vec![0u8; r as usize];
+        // (seq, stripe index, len) for every slot that got a message.
+        let mut got: Vec<(u64, usize, usize)> = rets
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, r)| r != u64::MAX)
+            .map(|(i, r)| (r >> 32, i, (r & 0xffff_ffff) as usize))
+            .collect();
+        got.sort_unstable_by_key(|&(seq, _, _)| seq);
+        let mut out = Vec::with_capacity(got.len());
+        for (_seq, i, n) in got {
+            let mut msg = vec![0u8; n];
             ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
             out.push(self.wire.decrypt_in_enclave(ctx, &msg));
         }
@@ -268,5 +281,39 @@ mod tests {
         assert!(d.ocalls >= 1, "blocking wait must OCALL-poll");
         t.exit();
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_batch_preserves_order_with_two_workers() {
+        // Two RPC workers reap the batch concurrently, so the recv
+        // jobs complete out of submission order; the sequence tags
+        // must restore the socket's arrival order.
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([5u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(2, &[2, 3])
+            .build();
+        let io = ServerIo::new(&ut, fd, 8192, IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        for round in 0..4 {
+            for i in 0..8u8 {
+                let body = [round * 8 + i; 24];
+                m.host.push_request(&ut, fd, &wire.encrypt(&body));
+            }
+            let msgs = io.recv_batch(&mut t, 8);
+            assert_eq!(msgs.len(), 8);
+            for (i, msg) in msgs.iter().enumerate() {
+                assert_eq!(
+                    msg,
+                    &vec![round * 8 + i as u8; 24],
+                    "message {i} of round {round} out of order"
+                );
+            }
+        }
+        t.exit();
     }
 }

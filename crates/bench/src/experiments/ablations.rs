@@ -190,7 +190,7 @@ pub fn run_policy_sweep(scale: Scale) {
     header(
         "ablate_policy",
         "EPC++ eviction policy on a 60/40 hot/cold random-read mix",
-        "CLOCK's second chance retains the hot set; FIFO and Random churn it",
+        "recency-aware policies (CLOCK/LRU/SLRU) retain the hot set; FIFO and Random churn it",
     );
     let buf = scale.bytes(200 << 20);
     let ops = scale.ops(40_000);
@@ -202,6 +202,8 @@ pub fn run_policy_sweep(scale: Scale) {
         ("clock", EvictPolicy::Clock),
         ("fifo", EvictPolicy::Fifo),
         ("random", EvictPolicy::Random(5)),
+        ("lru", EvictPolicy::LruApprox(5)),
+        ("slru", EvictPolicy::Slru),
     ] {
         let m = paper_machine(scale);
         let cfg = SuvmConfig {

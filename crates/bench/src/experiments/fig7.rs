@@ -134,9 +134,13 @@ fn build_suvm(
 /// Runs Figure 7a (1 thread) or 7b (4 threads).
 pub fn run_fig7(scale: Scale, threads: usize) {
     let id = if threads == 1 { "fig7a" } else { "fig7b" };
+    let policy = SuvmConfig::default().policy.label();
     header(
         id,
-        &format!("SUVM speedup over SGX paging, 4K random accesses, {threads} thread(s)"),
+        &format!(
+            "SUVM speedup over SGX paging, 4K random accesses, {threads} thread(s), \
+             {policy} eviction"
+        ),
         "reads up to ~5.5x, writes ~3x; speedup higher with 4 threads (no shootdowns)",
     );
     let sizes_mb = [60usize, 100, 200, 400, 800, 1600];

@@ -87,9 +87,10 @@ fn two_enclaves(scale: Scale, cfg: &Cfg, buf_bytes: usize, ops: usize) -> (f64, 
 
 /// Runs Figure 9.
 pub fn run(scale: Scale) {
+    let policy = SuvmConfig::default().policy.label();
     header(
         "fig9",
-        "two enclaves: EPC++ sizing vs PRM share (93MB total)",
+        &format!("two enclaves: EPC++ sizing vs PRM share (93MB total), {policy} eviction"),
         "misconfigured EPC++ (50MB each) up to 3.4x slower than correct (30MB each); \
          ballooning (our swapper) recovers the correct size automatically",
     );

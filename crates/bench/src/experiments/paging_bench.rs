@@ -1,0 +1,206 @@
+//! Paging microbenchmark for the pluggable SUVM architecture: eviction
+//! policy x backing store x write-back batch size, on a dirty-heavy
+//! random access mix over a working set ~4x EPC++. Emits
+//! `BENCH_paging.json` for machine consumption.
+//!
+//! The serving thread's cycles/op is the figure of merit: with
+//! `wb_batch = 0` every fault seals its victim inline (full GCM setup
+//! per page); with `wb_batch >= 1` faults only detach victims onto the
+//! write-back queue and the drain — here driven deterministically from
+//! a second thread context on another core, standing in for the
+//! swapper — seals them in batches that amortize the GCM setup.
+
+use eleos_core::{EvictPolicy, StoreKind, Suvm, SuvmConfig};
+use eleos_enclave::thread::ThreadCtx;
+use eleos_sim::costs::PAGE_SIZE;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::harness::{header, paper_machine, x, Scale};
+
+/// Serving-thread ops between swapper ticks (batched configs only).
+const TICK_EVERY: usize = 64;
+
+/// One measured cell of the sweep.
+struct Cell {
+    policy: &'static str,
+    store: &'static str,
+    batch: usize,
+    cycles_per_op: f64,
+    major_faults: u64,
+    evictions: u64,
+    clean_skips: u64,
+    wb_batches: u64,
+    wb_pages: u64,
+    wb_rescues: u64,
+    wb_queue_peak: u64,
+}
+
+/// Runs one policy/store/batch configuration and measures the serving
+/// core. The working set is allocated in stripe-safe chunks so the
+/// same layout works on both the monolithic and the striped store.
+fn run_cell(scale: Scale, policy: EvictPolicy, store: StoreKind, batch: usize, ops: usize) -> Cell {
+    let epcpp = scale.bytes(24 << 20).next_power_of_two();
+    let chunk = epcpp / 2;
+    let buf = chunk * 8; // ~4x EPC++
+    let cfg = SuvmConfig {
+        epcpp_bytes: epcpp,
+        backing_bytes: buf * 2,
+        policy,
+        store,
+        wb_batch: batch,
+        ..SuvmConfig::default()
+    };
+    let m = paper_machine(scale);
+    let e = m.driver.create_enclave(&m, cfg.epcpp_bytes * 2 + (8 << 20));
+    let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+    let s = Suvm::new(&t0, cfg);
+    let mut ctx = ThreadCtx::for_enclave(&m, &e, 0);
+    ctx.enter();
+    // The swapper's context lives on another core: drain cycles land on
+    // its counter, not the serving thread's.
+    let mut sw = ThreadCtx::for_enclave(&m, &e, 1);
+    sw.enter();
+    let bases: Vec<u64> = (0..8).map(|_| s.malloc(chunk)).collect();
+    let chunk_pages = (chunk / PAGE_SIZE) as u64;
+    let pages = chunk_pages * bases.len() as u64;
+    let addr_of = |p: u64| bases[(p / chunk_pages) as usize] + (p % chunk_pages) * PAGE_SIZE as u64;
+
+    let page = vec![0xabu8; PAGE_SIZE];
+    for p in 0..pages {
+        s.write(&mut ctx, addr_of(p), &page);
+    }
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut buf4k = vec![0u8; PAGE_SIZE];
+    // 60/40 write/read mix: dirty victims keep the write-back path hot.
+    let mut access = |s: &Suvm, ctx: &mut ThreadCtx, rng: &mut StdRng| {
+        let p = rng.random_range(0..pages);
+        if rng.random_range(0..10) < 6 {
+            s.write(ctx, addr_of(p), &page);
+        } else {
+            s.read(ctx, addr_of(p), &mut buf4k);
+        }
+    };
+    for _ in 0..ops / 4 {
+        access(&s, &mut ctx, &mut rng);
+    }
+    if batch > 0 {
+        s.swapper_tick(&mut sw);
+    }
+    m.reset_counters();
+    let s0 = m.stats.snapshot();
+    let c0 = ctx.now();
+    for i in 0..ops {
+        access(&s, &mut ctx, &mut rng);
+        if batch > 0 && i % TICK_EVERY == TICK_EVERY - 1 {
+            s.swapper_tick(&mut sw);
+        }
+    }
+    let cycles = ctx.now() - c0;
+    let d = m.stats.snapshot() - s0;
+    ctx.exit();
+    sw.exit();
+    Cell {
+        policy: policy.label(),
+        store: store.label(),
+        batch,
+        cycles_per_op: cycles as f64 / ops as f64,
+        major_faults: d.suvm_major_faults,
+        evictions: d.suvm_evictions,
+        clean_skips: d.suvm_clean_skips,
+        wb_batches: d.suvm_wb_batches,
+        wb_pages: d.suvm_wb_pages,
+        wb_rescues: d.suvm_wb_rescues,
+        wb_queue_peak: d.suvm_wb_queue_peak,
+    }
+}
+
+/// Runs the sweep, prints a table, and writes `BENCH_paging.json`.
+/// `quick` trims the batch axis for CI smoke runs.
+pub fn run(scale: Scale, quick: bool) {
+    header(
+        "paging_bench",
+        "eviction policy x backing store x write-back batch, dirty-heavy 4x EPC++",
+        "batched async write-back amortizes GCM setup: batch>=8 beats inline eviction",
+    );
+    let policies = [
+        EvictPolicy::Clock,
+        EvictPolicy::Fifo,
+        EvictPolicy::Random(5),
+        EvictPolicy::LruApprox(9),
+        EvictPolicy::Slru,
+    ];
+    let stores = [StoreKind::Buddy, StoreKind::Striped { stripes: 8 }];
+    let batches: &[usize] = if quick { &[0, 8] } else { &[0, 4, 8, 16] };
+    let ops = scale.ops(if quick { 8_000 } else { 20_000 });
+    println!(
+        "   {:<7} {:<8} {:>5} {:>12} {:>9} {:>8} {:>8} {:>9} {:>8} {:>9}",
+        "policy",
+        "store",
+        "batch",
+        "cycles/op",
+        "vs inl.",
+        "faults",
+        "evict",
+        "wb_pages",
+        "rescue",
+        "wb_peak"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for policy in policies {
+        for store in stores {
+            let mut inline_cpo = 0.0f64;
+            for &batch in batches {
+                let c = run_cell(scale, policy, store, batch, ops);
+                if batch == 0 {
+                    inline_cpo = c.cycles_per_op;
+                }
+                println!(
+                    "   {:<7} {:<8} {:>5} {:>12.0} {:>9} {:>8} {:>8} {:>9} {:>8} {:>9}",
+                    c.policy,
+                    c.store,
+                    c.batch,
+                    c.cycles_per_op,
+                    x(inline_cpo / c.cycles_per_op),
+                    c.major_faults,
+                    c.evictions,
+                    c.wb_pages,
+                    c.wb_rescues,
+                    c.wb_queue_peak
+                );
+                cells.push(c);
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"suvm_paging\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", scale.0));
+    json.push_str(&format!("  \"ops\": {ops},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"policy\": \"{}\", \"store\": \"{}\", \"batch\": {}, \
+             \"cycles_per_op\": {:.1}, \"major_faults\": {}, \"evictions\": {}, \
+             \"clean_skips\": {}, \"wb_batches\": {}, \"wb_pages\": {}, \
+             \"wb_rescues\": {}, \"wb_queue_peak\": {} }}{}\n",
+            c.policy,
+            c.store,
+            c.batch,
+            c.cycles_per_op,
+            c.major_faults,
+            c.evictions,
+            c.clean_skips,
+            c.wb_batches,
+            c.wb_pages,
+            c.wb_rescues,
+            c.wb_queue_peak,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_paging.json";
+    std::fs::write(path, &json).expect("write BENCH_paging.json");
+    println!("   wrote {path}");
+}

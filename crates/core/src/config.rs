@@ -14,6 +14,52 @@ pub enum EvictPolicy {
     Fifo,
     /// Deterministic pseudo-random victim selection (seeded).
     Random(u64),
+    /// Sampled LRU approximation: stamp frames on access, evict the
+    /// oldest of a small seeded random sample.
+    LruApprox(u64),
+    /// Pin-aware segmented LRU: re-pinned frames are promoted to a
+    /// protected class that the sweep demotes before evicting.
+    Slru,
+}
+
+impl EvictPolicy {
+    /// Short label used in experiment headers and JSON output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictPolicy::Clock => "clock",
+            EvictPolicy::Fifo => "fifo",
+            EvictPolicy::Random(_) => "random",
+            EvictPolicy::LruApprox(_) => "lru",
+            EvictPolicy::Slru => "slru",
+        }
+    }
+}
+
+/// Backing-store layout for the sealed page images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// One untrusted region, one buddy allocator, one crypto table —
+    /// the paper's memsys5 setup (default).
+    Buddy,
+    /// The region, allocator and crypto-table shards split into
+    /// `stripes` independent columns to cut lock contention. A single
+    /// allocation cannot exceed `backing_bytes / stripes`.
+    Striped {
+        /// Number of stripes (power of two).
+        stripes: usize,
+    },
+}
+
+impl StoreKind {
+    /// Short label used in experiment headers and JSON output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreKind::Buddy => "buddy",
+            StoreKind::Striped { .. } => "striped",
+        }
+    }
 }
 
 /// Configuration of one [`crate::Suvm`] instance.
@@ -50,6 +96,15 @@ pub struct SuvmConfig {
     pub headroom_bytes: usize,
     /// EPC++ eviction policy.
     pub policy: EvictPolicy,
+    /// Backing-store layout.
+    pub store: StoreKind,
+    /// Batched asynchronous write-back. `0` (default) keeps the
+    /// classic inline seal-on-evict fault path. A positive value makes
+    /// the fault path only *detach* victims onto a write-back queue;
+    /// the swapper (or a synchronous fallback when the free pool runs
+    /// dry) drains the queue in batches of this size, sealing with the
+    /// GCM key schedule amortized across the batch.
+    pub wb_batch: usize,
     /// Model the EPC pressure of SUVM's own metadata: the paper's
     /// prototype keeps page tables and crypto metadata in EPC and lets
     /// native paging evict them under pressure (§4.1/§4.2, visible as
@@ -71,6 +126,8 @@ impl Default for SuvmConfig {
             free_watermark: 8,
             headroom_bytes: 4 << 20,
             policy: EvictPolicy::Clock,
+            store: StoreKind::Buddy,
+            wb_batch: 0,
             model_metadata_pressure: true,
         }
     }
@@ -90,6 +147,8 @@ impl SuvmConfig {
             free_watermark: 2,
             headroom_bytes: 64 << 10,
             policy: EvictPolicy::Clock,
+            store: StoreKind::Buddy,
+            wb_batch: 0,
             model_metadata_pressure: true,
         }
     }
@@ -124,6 +183,16 @@ impl SuvmConfig {
             "backing_bytes must be page aligned"
         );
         assert!(self.frames() >= 2, "need at least two EPC++ frames");
+        if let StoreKind::Striped { stripes } = self.store {
+            assert!(
+                stripes.is_power_of_two(),
+                "striped store needs a power-of-two stripe count"
+            );
+            assert!(
+                self.backing_bytes / stripes >= self.page_size,
+                "each stripe must hold at least one page"
+            );
+        }
     }
 }
 

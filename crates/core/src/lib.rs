@@ -10,9 +10,11 @@
 //!
 //! - [`Suvm`] — the runtime: `suvm_malloc`/`suvm_free`
 //!   ([`Suvm::malloc`]/[`Suvm::free`]), bulk
-//!   `memcpy`/`memset`/`memcmp`, the in-enclave fault path, CLOCK
-//!   eviction with clean-page write-back elision, and direct sub-page
-//!   access to the backing store (§3.2.4);
+//!   `memcpy`/`memset`/`memcmp`, the in-enclave fault path, pluggable
+//!   eviction policies ([`suvm::policy`]) and backing stores
+//!   ([`suvm::store`]) with clean-page write-back elision, optional
+//!   batched asynchronous write-back, and direct sub-page access to
+//!   the backing store (§3.2.4);
 //! - [`spointer::SPtr`] — secure active pointers with software address
 //!   translation cached per page (§3.2.2);
 //! - [`swapper::Swapper`] — the periodic free-pool/ballooning thread
@@ -51,7 +53,7 @@ pub mod suvm;
 pub mod swapper;
 pub mod table;
 
-pub use config::{EvictPolicy, SuvmConfig};
+pub use config::{EvictPolicy, StoreKind, SuvmConfig};
 pub use containers::{SBox, SHashMap, SVec};
 pub use runtime::{Eleos, EleosBuilder};
 pub use spointer::{Plain, SPtr};

@@ -36,7 +36,7 @@ impl Suvm {
             }
             Stats::bump(&self.machine.stats.suvm_direct_accesses);
             'retry: loop {
-                let (version, state) = self.seals.read(page);
+                let (version, state) = self.seals().read(page);
                 match state {
                     SealState::Fresh => buf[off..off + n].fill(0),
                     SealState::SubPages { meta } => {
@@ -51,7 +51,7 @@ impl Suvm {
                                 .open(nonce, &Self::aad(page, s as u32), &mut scratch, tag)
                                 .is_err()
                             {
-                                if !self.seals.check(page, version) {
+                                if !self.seals().check(page, version) {
                                     continue 'retry; // torn by a concurrent re-seal
                                 }
                                 panic!("SUVM sub-page failed authentication");
@@ -74,7 +74,7 @@ impl Suvm {
                             .open(&nonce, &Self::aad(page, u32::MAX), &mut scratch, &tag)
                             .is_err()
                         {
-                            if !self.seals.check(page, version) {
+                            if !self.seals().check(page, version) {
                                 continue 'retry;
                             }
                             panic!("SUVM page failed authentication");
@@ -115,9 +115,9 @@ impl Suvm {
             Stats::bump(&self.machine.stats.suvm_direct_accesses);
             // Exclusive writer for this page's sealed image from here
             // to the commit.
-            self.seals.begin_write(page);
+            self.seals().begin_write(page);
             // Bring the page's seal state to sub-page form.
-            let mut meta = match self.seals.get_unchecked(page) {
+            let mut meta = match self.seals().get_unchecked(page) {
                 SealState::SubPages { meta } => meta.into_vec(),
                 SealState::Fresh => {
                     // Materialize a zero page as sealed sub-pages.
@@ -179,7 +179,7 @@ impl Suvm {
                 meta[s] = (new_nonce, new_tag);
                 ctx.compute(2 * (costs_crypto_fixed + (cpb * sp as f64) as u64));
             }
-            self.seals.commit_write(
+            self.seals().commit_write(
                 page,
                 SealState::SubPages {
                     meta: meta.into_boxed_slice(),

@@ -43,10 +43,14 @@ impl Suvm {
                     return false;
                 }
                 let meta = &self.frames[frame as usize];
+                debug_assert!(
+                    !meta.queued.load(Ordering::Acquire),
+                    "free frame still on the write-back queue"
+                );
                 meta.page.store(page, Ordering::Release);
                 meta.pinned.store(1, Ordering::Release);
                 meta.dirty.store(false, Ordering::Release);
-                meta.referenced.store(true, Ordering::Release);
+                self.policy.on_insert(frame);
                 b.push((page, frame));
                 true
             });
@@ -72,7 +76,7 @@ impl Suvm {
         }
         // ~44 B per sealed page (nonce, tag, version, hash slot) plus
         // 16 B per EPC++ frame mapping.
-        let meta = self.seals.live_entries() * 44 + self.frames.len() * 16;
+        let meta = self.seals().live_entries() * 44 + self.frames.len() * 16;
         let headroom = self.cfg.headroom_bytes.max(1);
         if meta <= headroom {
             return;
@@ -88,12 +92,28 @@ impl Suvm {
     /// Pins `page`'s frame if resident. Pin 0→1 only happens under the
     /// page's bucket lock, which is what makes eviction's
     /// "unpinned ⇒ evictable" check race-free.
+    ///
+    /// A pin also *rescues* a frame parked on the write-back queue:
+    /// clearing `queued` here (under the same bucket lock the drain
+    /// validates under) guarantees a drain never seals a frame that
+    /// was re-pinned — and possibly re-written — after detach.
     pub(super) fn try_pin(&self, page: u64) -> Option<u32> {
         self.pt.with_bucket(page, |b| {
             b.iter().find(|(p, _)| *p == page).map(|&(_, frame)| {
                 let meta = &self.frames[frame as usize];
                 meta.pinned.fetch_add(1, Ordering::AcqRel);
-                meta.referenced.store(true, Ordering::Release);
+                if meta.queued.swap(false, Ordering::AcqRel) {
+                    Stats::bump(&self.machine.stats.suvm_wb_rescues);
+                }
+                match self.policy.class_of(frame) {
+                    super::policy::VictimClass::Protected => {
+                        Stats::bump(&self.machine.stats.suvm_hits_protected);
+                    }
+                    super::policy::VictimClass::Probation => {
+                        Stats::bump(&self.machine.stats.suvm_hits_probation);
+                    }
+                }
+                self.policy.on_access(frame);
                 frame
             })
         })
@@ -122,6 +142,20 @@ impl Suvm {
                 }
                 continue; // Ballooned away; drop it.
             }
+            if self.cfg.wb_batch > 0 {
+                // Batched mode: detaching is cheap on this path —
+                // clean victims are freed outright, dirty ones only
+                // parked on the write-back queue. When detaching frees
+                // nothing the queue holds everything evictable, so
+                // fall back to a synchronous batched drain.
+                let (freed, _queued) = self.detach_victims(ctx, self.cfg.wb_batch);
+                if freed > 0 {
+                    continue;
+                }
+                if self.drain_writeback(ctx, self.cfg.wb_batch) > 0 {
+                    continue;
+                }
+            }
             assert!(
                 self.evict_one(ctx),
                 "EPC++ exhausted: every frame is pinned (too many live linked spointers)"
@@ -130,36 +164,19 @@ impl Suvm {
     }
 
     /// Evicts one page per the configured [`crate::EvictPolicy`],
-    /// sealing it
-    /// out if dirty. Scans *all* frames (including ballooned-away
-    /// ones, so a shrink eventually drains stragglers). Returns
-    /// `false` if nothing was evictable.
+    /// sealing it out inline if dirty. Scans *all* frames (including
+    /// ballooned-away ones, so a shrink eventually drains stragglers).
+    /// Returns `false` if nothing was evictable.
     ///
     /// Part of the expert tuning surface (§3): experiments use it to
-    /// drain EPC++ deterministically.
+    /// drain EPC++ deterministically. Under batched write-back this is
+    /// the deterministic drain tool — it happily evicts queued frames
+    /// too (the stale queue entry is skipped at drain time).
     pub fn evict_one(&self, ctx: &mut ThreadCtx) -> bool {
         let n = self.frames.len();
         let max_steps = 2 * n + 1;
         for step in 0..max_steps {
-            let idx = match self.cfg.policy {
-                crate::config::EvictPolicy::Clock | crate::config::EvictPolicy::Fifo => {
-                    let mut hand = self.hand.lock();
-                    let idx = *hand % n;
-                    *hand = (*hand + 1) % n;
-                    idx
-                }
-                crate::config::EvictPolicy::Random(seed) => {
-                    // Deterministic pseudo-random walk (splitmix-style
-                    // over a shared counter).
-                    let mut hand = self.hand.lock();
-                    *hand = hand.wrapping_add(1);
-                    let mut x = (*hand as u64)
-                        .wrapping_add(seed)
-                        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                    x ^= x >> 31;
-                    (x as usize) % n
-                }
-            };
+            let idx = self.policy.next_candidate(step, n);
             let meta = &self.frames[idx];
             if meta.pinned.load(Ordering::Acquire) > 0 {
                 continue;
@@ -168,12 +185,9 @@ impl Suvm {
             if page == NO_PAGE {
                 continue;
             }
-            // Second chance only under CLOCK — and only on the first
-            // lap (a full fruitless revolution must still evict).
-            if self.cfg.policy == crate::config::EvictPolicy::Clock
-                && step < n
-                && meta.referenced.swap(false, Ordering::AcqRel)
-            {
+            // Second chance only on the first lap (a full fruitless
+            // revolution must still evict).
+            if step < n && self.policy.second_chance(idx as u32) {
                 continue;
             }
             if self.try_evict_frame(ctx, idx as u32, page) {
@@ -200,10 +214,11 @@ impl Suvm {
         if !unmapped {
             return false;
         }
+        self.count_eviction_class(frame);
         let dirty = meta.dirty.swap(false, Ordering::AcqRel);
-        let has_copy = self.seals.get(page).has_copy();
+        let has_copy = self.seals().get(page).has_copy();
         if dirty || !has_copy || !self.cfg.clean_skip {
-            self.seal_page_out(ctx, page, frame);
+            self.seal_page_out(ctx, page, frame, self.machine.cfg.costs.crypto_fixed);
         } else {
             // Clean page with a valid sealed copy: discard without the
             // write-back (§3.2.4). SGX's EWB cannot do this.
@@ -211,6 +226,8 @@ impl Suvm {
             self.local.clean_skips.fetch_add(1, Ordering::Relaxed);
         }
         meta.page.store(NO_PAGE, Ordering::Release);
+        meta.queued.store(false, Ordering::Release);
+        self.policy.on_remove(frame);
         self.push_free(frame);
         Stats::bump(&self.machine.stats.suvm_evictions);
         self.local.evictions.fetch_add(1, Ordering::Relaxed);
@@ -224,17 +241,33 @@ impl Suvm {
         true
     }
 
-    /// Seals `frame`'s contents into the backing store as `page`.
+    /// Bumps the per-class eviction counter for `frame` (called before
+    /// the policy forgets the frame).
+    pub(super) fn count_eviction_class(&self, frame: u32) {
+        match self.policy.class_of(frame) {
+            super::policy::VictimClass::Protected => {
+                Stats::bump(&self.machine.stats.suvm_evictions_protected);
+            }
+            super::policy::VictimClass::Probation => {
+                Stats::bump(&self.machine.stats.suvm_evictions_probation);
+            }
+        }
+    }
+
+    /// Seals `frame`'s contents into the backing store as `page`,
+    /// charging `fixed` cycles of per-seal GCM setup (inline callers
+    /// pass the full `crypto_fixed`; batched drains amortize the key
+    /// schedule across the batch and pass less for follow-on pages).
     ///
     /// The crypto-metadata seqlock brackets the (ciphertext, metadata)
     /// update so concurrent readers never mistake a torn pair for
     /// tampering.
-    fn seal_page_out(&self, ctx: &mut ThreadCtx, page: u64, frame: u32) {
+    pub(super) fn seal_page_out(&self, ctx: &mut ThreadCtx, page: u64, frame: u32, fixed: u64) {
         let ps = self.cfg.page_size;
         let costs = &self.machine.cfg.costs;
         let mut buf = vec![0u8; ps];
         ctx.read_enclave_raw(self.epcpp_vaddr(frame, 0), &mut buf);
-        self.seals.begin_write(page);
+        self.seals().begin_write(page);
         let state = if self.cfg.seal_sub_pages {
             let sp = self.cfg.sub_page_size;
             let n_subs = ps / sp;
@@ -247,7 +280,7 @@ impl Suvm {
                     &mut buf[s * sp..(s + 1) * sp],
                 );
                 meta.push((nonce, tag));
-                ctx.compute(costs.crypto_fixed);
+                ctx.compute(fixed);
             }
             ctx.compute((costs.crypto_cpb * ps as f64) as u64);
             SealState::SubPages {
@@ -256,11 +289,11 @@ impl Suvm {
         } else {
             let nonce = self.next_nonce();
             let tag = self.gcm.seal(&nonce, &Self::aad(page, u32::MAX), &mut buf);
-            ctx.compute(costs.crypto(ps));
+            ctx.compute(fixed + (costs.crypto_cpb * ps as f64) as u64);
             SealState::Page { nonce, tag }
         };
         ctx.write_untrusted_raw(self.bs_addr(page, 0), &buf);
-        self.seals.commit_write(page, state);
+        self.seals().commit_write(page, state);
         Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
     }
 
@@ -274,7 +307,7 @@ impl Suvm {
     fn load_page_in(&self, ctx: &mut ThreadCtx, page: u64, frame: u32) -> bool {
         let ps = self.cfg.page_size;
         let costs = &self.machine.cfg.costs;
-        let (version, state) = self.seals.read(page);
+        let (version, state) = self.seals().read(page);
         match state {
             SealState::Fresh => {
                 let zeros = vec![0u8; ps];
@@ -296,7 +329,7 @@ impl Suvm {
                         Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
                         true
                     }
-                    Err(_) if !self.seals.check(page, version) => false,
+                    Err(_) if !self.seals().check(page, version) => false,
                     Err(_) => {
                         panic!("SUVM page failed authentication: backing store tampered")
                     }
@@ -313,7 +346,7 @@ impl Suvm {
                         .open(nonce, &Self::aad(page, s as u32), span, tag)
                         .is_err()
                     {
-                        if !self.seals.check(page, version) {
+                        if !self.seals().check(page, version) {
                             return false;
                         }
                         panic!("SUVM sub-page failed authentication: backing store tampered");

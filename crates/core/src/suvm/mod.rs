@@ -19,6 +19,7 @@
 //! access bypasses the page cache for locality-free workloads
 //! (§3.2.4).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -28,11 +29,13 @@ use eleos_crypto::gcm::AesGcm128;
 use eleos_enclave::enclave::Enclave;
 use eleos_enclave::machine::SgxMachine;
 use eleos_enclave::thread::ThreadCtx;
-use eleos_sim::alloc::BuddyAllocator;
 use eleos_sim::stats::Stats;
 
 use crate::config::SuvmConfig;
 use crate::table::{CryptoTable, InversePt, SealState, NO_PAGE};
+
+use self::policy::EvictionPolicy;
+use self::store::BackingStore;
 
 /// Per-EPC++-frame metadata.
 pub(crate) struct FrameMeta {
@@ -43,8 +46,10 @@ pub(crate) struct FrameMeta {
     pub pinned: AtomicU32,
     /// Whether the cached copy diverged from the sealed copy.
     pub dirty: AtomicBool,
-    /// CLOCK reference bit.
-    pub referenced: AtomicBool,
+    /// Whether the frame sits on the write-back queue (batched mode).
+    /// Only flipped under the page's bucket lock, so a pin rescuing
+    /// the frame and a drain claiming it cannot both win.
+    pub queued: AtomicBool,
 }
 
 /// A SUVM virtual address (an offset into the instance's secure space).
@@ -61,12 +66,14 @@ pub struct Suvm {
     free: Mutex<Vec<u32>>,
     /// Ballooning limit: only frames `0..limit` are usable (§3.3).
     limit: AtomicUsize,
-    hand: Mutex<usize>,
     pt: InversePt,
-    seals: CryptoTable,
-    /// Untrusted base of the backing store.
-    bs_base: u64,
-    bs_alloc: Mutex<BuddyAllocator>,
+    /// Victim selection (trait object; see [`policy`]).
+    policy: Box<dyn EvictionPolicy>,
+    /// Sealed page images + crypto table (trait object; see [`store`]).
+    store: Box<dyn BackingStore>,
+    /// Detached-but-not-yet-sealed victims awaiting a batched drain
+    /// (`(frame, page)`; see [`writeback`]).
+    wb: Mutex<VecDeque<(u32, u64)>>,
     gcm: AesGcm128,
     nonce_ctr: AtomicU64,
     /// Per-instance counters (machine-wide stats aggregate across all
@@ -116,14 +123,13 @@ impl Suvm {
             0,
             "EPC++ pool must be page aligned"
         );
-        let bs_base = machine.alloc_untrusted(cfg.backing_bytes);
         let n = cfg.frames();
         let mut frames = Vec::with_capacity(n);
         frames.resize_with(n, || FrameMeta {
             page: AtomicU64::new(NO_PAGE),
             pinned: AtomicU32::new(0),
             dirty: AtomicBool::new(false),
-            referenced: AtomicBool::new(false),
+            queued: AtomicBool::new(false),
         });
         // Random per-application key stored in the EPC (§3.2.3);
         // deterministic here for reproducible simulations.
@@ -132,17 +138,16 @@ impl Suvm {
         key[4..12].copy_from_slice(b"suvm-key");
         Arc::new(Self {
             pt: InversePt::new(n * 2),
-            seals: CryptoTable::new(64),
-            bs_alloc: Mutex::new(BuddyAllocator::new(cfg.backing_bytes as u64, 16)),
+            policy: policy::build_policy(cfg.policy, n),
+            store: store::build_store(cfg.store, &machine, cfg.backing_bytes, cfg.page_size),
+            wb: Mutex::new(VecDeque::new()),
             free: Mutex::new((0..n as u32).rev().collect()),
             limit: AtomicUsize::new(n),
-            hand: Mutex::new(0),
             gcm: AesGcm128::new(&key),
             nonce_ctr: AtomicU64::new(1),
             local: LocalStats::default(),
             frames,
             epcpp_base,
-            bs_base,
             machine,
             enclave,
             cfg,
@@ -184,7 +189,13 @@ impl Suvm {
     /// Number of pages with seal metadata (diagnostics).
     #[must_use]
     pub fn debug_seal_entries(&self) -> usize {
-        self.seals.live_entries()
+        self.seals().live_entries()
+    }
+
+    /// Detached victims waiting for a batched write-back drain.
+    #[must_use]
+    pub fn writeback_queue_len(&self) -> usize {
+        self.wb.lock().len()
     }
 
     /// This instance's fault/eviction counters (machine-wide stats mix
@@ -213,17 +224,15 @@ impl Suvm {
 
     /// Fallible [`Self::malloc`].
     pub fn try_malloc(&self, len: usize) -> Result<Sva, eleos_sim::alloc::AllocError> {
-        self.bs_alloc.lock().alloc(len)
+        self.store.alloc(len)
     }
 
     /// Frees an allocation, decommitting any fully covered pages.
     pub fn free(&self, sva: Sva) {
-        let size = {
-            let mut a = self.bs_alloc.lock();
-            let size = a.size_of(sva).expect("suvm_free of non-allocated address");
-            a.free(sva).expect("suvm_free failed");
-            size
-        };
+        self.store
+            .size_of(sva)
+            .expect("suvm_free of non-allocated address");
+        let size = self.store.free(sva).expect("suvm_free failed");
         // Decommit whole pages covered by the block: drop cached frames
         // (if unpinned) and forget seal state, so the space is really
         // reclaimed.
@@ -239,18 +248,20 @@ impl Suvm {
                         b.swap_remove(idx);
                         meta.page.store(NO_PAGE, Ordering::Release);
                         meta.dirty.store(false, Ordering::Release);
+                        meta.queued.store(false, Ordering::Release);
+                        self.policy.on_remove(frame);
                         self.push_free(frame);
                     }
                 }
             });
-            self.seals.clear(page);
+            self.seals().clear(page);
         }
     }
 
     /// Bytes currently allocated in the backing store.
     #[must_use]
     pub fn allocated_bytes(&self) -> u64 {
-        self.bs_alloc.lock().used()
+        self.store.used()
     }
 
     // ------------------------------------------------------------------
@@ -269,7 +280,13 @@ impl Suvm {
 
     #[inline]
     fn bs_addr(&self, page: u64, in_page: usize) -> u64 {
-        self.bs_base + page * self.cfg.page_size as u64 + in_page as u64
+        self.store.addr_of(page, in_page)
+    }
+
+    /// The crypto-metadata table (owned by the backing store).
+    #[inline]
+    pub(crate) fn seals(&self) -> &CryptoTable {
+        self.store.crypto()
     }
 
     fn next_nonce(&self) -> [u8; 12] {
@@ -292,12 +309,69 @@ impl Suvm {
             self.free.lock().push(frame);
         }
     }
+
+    /// Checks the structural invariants between the inverse page
+    /// table, the frame metadata, the free list and the write-back
+    /// queue. Intended for tests at quiescent points (no concurrent
+    /// mutators).
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    pub fn check_consistency(&self) {
+        let mut mapped = 0usize;
+        for (frame, meta) in self.frames.iter().enumerate() {
+            let page = meta.page.load(Ordering::Acquire);
+            if page == NO_PAGE {
+                assert!(
+                    !meta.queued.load(Ordering::Acquire),
+                    "unmapped frame {frame} sits on the write-back queue"
+                );
+                continue;
+            }
+            mapped += 1;
+            assert_eq!(
+                self.pt.lookup(page),
+                Some(frame as u32),
+                "frame {frame} claims page {page} but the inverse PT disagrees"
+            );
+        }
+        assert_eq!(
+            self.pt.len(),
+            mapped,
+            "inverse PT holds entries no frame claims"
+        );
+        let free = self.free.lock();
+        let mut seen = std::collections::HashSet::new();
+        for &f in free.iter() {
+            assert!(seen.insert(f), "frame {f} is on the free list twice");
+            assert_eq!(
+                self.frames[f as usize].page.load(Ordering::Acquire),
+                NO_PAGE,
+                "free frame {f} is still mapped"
+            );
+        }
+        for &(frame, page) in self.wb.lock().iter() {
+            // Stale entries (rescued or decommitted since detach) are
+            // legal — drains skip them — but a *live* entry must point
+            // at a still-mapped, genuinely queued frame.
+            if self.frames[frame as usize].queued.load(Ordering::Acquire) {
+                assert_eq!(
+                    self.frames[frame as usize].page.load(Ordering::Acquire),
+                    page,
+                    "queued frame {frame} no longer holds page {page}"
+                );
+            }
+        }
+    }
 }
 
 mod balloon;
 mod bulk;
 mod direct;
 mod fault;
+pub mod policy;
+pub mod store;
+mod writeback;
 
 #[cfg(test)]
 mod tests;

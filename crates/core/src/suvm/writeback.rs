@@ -1,0 +1,179 @@
+//! Batched asynchronous write-back (the `wb_batch > 0` fault path).
+//!
+//! Inline eviction pays the full AES-GCM seal on the serving core, on
+//! every fault that needs a frame. In batched mode the fault path only
+//! *detaches* victims: clean pages are freed outright (the §3.2.4
+//! elision), dirty ones are flagged `queued` and parked — still mapped
+//! — on a FIFO write-back queue. The swapper drains the queue off the
+//! serving core in batches, reusing one GCM key schedule across the
+//! batch (the first page pays the full `crypto_fixed` setup, follow-on
+//! pages a quarter of it). When the free pool runs dry before the
+//! swapper gets there, [`Suvm::drain_writeback`] doubles as the
+//! synchronous fallback.
+//!
+//! ## Queue entry lifecycle
+//!
+//! A queue entry `(frame, page)` is a *hint*, not ownership. The drain
+//! re-validates under the page's bucket lock: the mapping must still be
+//! `(page, frame)`, the frame unpinned, and `queued.swap(false)` must
+//! return `true`. Any pin in between rescues the frame —
+//! [`Suvm::try_pin`] clears `queued` under the same bucket lock — so a
+//! successful swap proves no access (hence no write) happened since
+//! detach and the drain's seal captures the right bytes. Entries
+//! invalidated by a rescue, a `free()` decommit, a balloon resize or an
+//! inline `evict_one` simply fail validation and are skipped.
+
+use super::*;
+
+impl Suvm {
+    /// Scans for up to `max` victims on the fault path, freeing clean
+    /// ones immediately and parking dirty ones on the write-back
+    /// queue. Returns `(freed, queued)`.
+    pub(super) fn detach_victims(&self, ctx: &mut ThreadCtx, max: usize) -> (usize, usize) {
+        let n = self.frames.len();
+        let max_steps = 2 * n + 1;
+        let (mut freed, mut queued) = (0usize, 0usize);
+        for step in 0..max_steps {
+            if freed + queued >= max {
+                break;
+            }
+            let idx = self.policy.next_candidate(step, n);
+            let meta = &self.frames[idx];
+            if meta.pinned.load(Ordering::Acquire) > 0 || meta.queued.load(Ordering::Acquire) {
+                continue;
+            }
+            let page = meta.page.load(Ordering::Acquire);
+            if page == NO_PAGE {
+                continue;
+            }
+            if step < n && self.policy.second_chance(idx as u32) {
+                continue;
+            }
+            match self.detach_frame(ctx, idx as u32, page) {
+                Detached::Freed => freed += 1,
+                Detached::Queued => queued += 1,
+                Detached::Lost => {}
+            }
+        }
+        (freed, queued)
+    }
+
+    /// Detaches one victim: frees it when clean (with a sealed copy),
+    /// otherwise parks it on the write-back queue.
+    fn detach_frame(&self, ctx: &mut ThreadCtx, frame: u32, page: u64) -> Detached {
+        let meta = &self.frames[frame as usize];
+        // Clean pages short-circuit: same unmap-and-discard as inline
+        // eviction, no queue round-trip.
+        let clean = !meta.dirty.load(Ordering::Acquire)
+            && self.cfg.clean_skip
+            && self.seals().get(page).has_copy();
+        if clean {
+            return if self.try_evict_frame(ctx, frame, page) {
+                Detached::Freed
+            } else {
+                Detached::Lost
+            };
+        }
+        let parked = self.pt.with_bucket(page, |b| {
+            if !b.iter().any(|(p, f)| *p == page && *f == frame) {
+                return false;
+            }
+            if meta.pinned.load(Ordering::Acquire) > 0 {
+                return false;
+            }
+            // Still mapped: a reader hitting the page before the drain
+            // rescues it instead of re-faulting.
+            !meta.queued.swap(true, Ordering::AcqRel)
+        });
+        if !parked {
+            return Detached::Lost;
+        }
+        let depth = {
+            let mut wb = self.wb.lock();
+            wb.push_back((frame, page));
+            wb.len() as u64
+        };
+        Stats::bump(&self.machine.stats.suvm_wb_queued);
+        Stats::peak(&self.machine.stats.suvm_wb_queue_peak, depth);
+        Detached::Queued
+    }
+
+    /// Drains up to `max` queued victims in one batch, sealing each
+    /// still-valid entry and freeing its frame. Returns the number of
+    /// pages sealed.
+    ///
+    /// Called by the swapper (off the serving core) and, as the
+    /// synchronous fallback, by the fault path when the free pool is
+    /// empty. The GCM key schedule is set up once per batch: the first
+    /// sealed page pays the full `crypto_fixed`, follow-on pages a
+    /// quarter.
+    pub fn drain_writeback(&self, ctx: &mut ThreadCtx, max: usize) -> usize {
+        let batch: Vec<(u32, u64)> = {
+            let mut wb = self.wb.lock();
+            let take = wb.len().min(max.max(1));
+            wb.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+        let full_fixed = self.machine.cfg.costs.crypto_fixed;
+        let mut sealed = 0usize;
+        for (frame, page) in batch {
+            let meta = &self.frames[frame as usize];
+            let claimed = self.pt.with_bucket(page, |b| {
+                let Some(idx) = b.iter().position(|(p, f)| *p == page && *f == frame) else {
+                    return false;
+                };
+                if meta.pinned.load(Ordering::Acquire) > 0 {
+                    return false;
+                }
+                if !meta.queued.swap(false, Ordering::AcqRel) {
+                    // Rescued (and possibly re-parked later — that
+                    // newer entry is still in the queue).
+                    return false;
+                }
+                b.swap_remove(idx);
+                true
+            });
+            if !claimed {
+                continue;
+            }
+            self.count_eviction_class(frame);
+            meta.dirty.store(false, Ordering::Release);
+            let fixed = if sealed == 0 {
+                full_fixed
+            } else {
+                full_fixed / 4
+            };
+            self.seal_page_out(ctx, page, frame, fixed);
+            meta.page.store(NO_PAGE, Ordering::Release);
+            self.policy.on_remove(frame);
+            self.push_free(frame);
+            sealed += 1;
+            Stats::bump(&self.machine.stats.suvm_evictions);
+            self.local.evictions.fetch_add(1, Ordering::Relaxed);
+            self.machine.trace.record(
+                ctx.now(),
+                eleos_sim::trace::Event::SuvmEvict {
+                    page,
+                    clean_skip: false,
+                },
+            );
+        }
+        if sealed > 0 {
+            Stats::bump(&self.machine.stats.suvm_wb_batches);
+            Stats::add(&self.machine.stats.suvm_wb_pages, sealed as u64);
+        }
+        sealed
+    }
+}
+
+/// Outcome of [`Suvm::detach_frame`].
+enum Detached {
+    /// Clean victim, unmapped and freed immediately.
+    Freed,
+    /// Dirty victim parked on the write-back queue.
+    Queued,
+    /// The frame was pinned/remapped concurrently; nothing happened.
+    Lost,
+}

@@ -3,14 +3,15 @@
 //! The untrusted runtime periodically invokes the swapper, which enters
 //! the enclave (an ECALL, with its usual cost), applies the driver's
 //! current ballooning target and tops up the EPC++ free-frame pool so
-//! the fault path rarely has to evict inline.
+//! the fault path rarely has to evict inline. Under batched write-back
+//! (`SuvmConfig::wb_batch > 0`) each tick also drains the write-back
+//! queue, which is what moves the sealing work off the serving core.
 //!
 //! [`Swapper::spawn`] runs ticks on a real background thread;
 //! deterministic experiments can instead call
 //! [`Suvm::swapper_tick`](crate::Suvm::swapper_tick) at chosen points.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -21,13 +22,15 @@ use crate::suvm::Suvm;
 
 /// Handle to a running swapper thread; stops it on drop.
 pub struct Swapper {
-    stop: Arc<AtomicBool>,
+    state: Arc<(Mutex<bool>, Condvar)>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Swapper {
     /// Spawns a swapper for `suvm` on `core_id`, ticking every
-    /// `interval`.
+    /// `interval`. The inter-tick sleep is a condvar wait, so dropping
+    /// the handle stops the thread promptly rather than after up to a
+    /// full interval.
     #[must_use]
     pub fn spawn(
         machine: &Arc<SgxMachine>,
@@ -35,19 +38,29 @@ impl Swapper {
         core_id: usize,
         interval: Duration,
     ) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
         let machine = Arc::clone(machine);
         let suvm = Arc::clone(suvm);
         let thread = std::thread::spawn(move || {
             let mut ctx = ThreadCtx::for_enclave(&machine, suvm.enclave(), core_id);
-            while !stop2.load(Ordering::Acquire) {
+            let (stop, wake) = &*state2;
+            loop {
+                if *stop.lock().unwrap() {
+                    return;
+                }
                 ctx.ecall(|ctx| suvm.swapper_tick(ctx));
-                std::thread::sleep(interval);
+                let guard = stop.lock().unwrap();
+                let (guard, _) = wake
+                    .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                    .unwrap();
+                if *guard {
+                    return;
+                }
             }
         });
         Self {
-            stop,
+            state,
             thread: Some(thread),
         }
     }
@@ -58,7 +71,9 @@ impl Swapper {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        let (stop, wake) = &*self.state;
+        *stop.lock().unwrap() = true;
+        wake.notify_all();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

@@ -37,6 +37,9 @@ struct Socket {
     write_pos: usize,
     /// Queued inbound messages: (staging offset, len).
     rx_queue: VecDeque<(usize, usize)>,
+    /// Monotonic dequeue counter; tags each popped message so
+    /// concurrent receivers can restore arrival order at reap time.
+    pop_seq: u64,
     /// Kernel metadata area address.
     meta: u64,
     rx_bytes: u64,
@@ -84,6 +87,7 @@ impl HostOs {
                 staging_cap,
                 write_pos: 0,
                 rx_queue: VecDeque::new(),
+                pop_seq: 0,
                 meta,
                 rx_bytes: 0,
                 tx_bytes: 0,
@@ -136,16 +140,32 @@ impl HostOs {
         buf_addr: u64,
         max_len: usize,
     ) -> Option<usize> {
+        self.recv_tagged(ctx, fd, buf_addr, max_len).map(|(_, n)| n)
+    }
+
+    /// [`Self::recv`] variant that also returns the socket's dequeue
+    /// sequence number. Messages popped concurrently by several RPC
+    /// workers complete out of order; sorting by this tag restores the
+    /// socket's arrival order.
+    pub fn recv_tagged(
+        &self,
+        ctx: &mut ThreadCtx,
+        fd: Fd,
+        buf_addr: u64,
+        max_len: usize,
+    ) -> Option<(u64, usize)> {
         assert!(!ctx.in_enclave(), "syscall from trusted mode");
         ctx.compute(ctx.machine.cfg.costs.syscall);
         Stats::bump(&ctx.machine.stats.syscalls);
-        let (staging_off, len, meta) = {
+        let (staging_off, len, meta, seq) = {
             let mut sockets = self.sockets.lock();
             let s = sockets.get_mut(&fd).expect("bad fd");
             let (off, len) = s.rx_queue.pop_front()?;
             let len = len.min(max_len);
             s.rx_bytes += len as u64;
-            (s.staging + off as u64, len, s.meta)
+            let seq = s.pop_seq;
+            s.pop_seq += 1;
+            (s.staging + off as u64, len, s.meta, seq)
         };
         // Kernel bookkeeping + the copy kernel->user, all polluting the
         // executor's cache partition.
@@ -154,7 +174,7 @@ impl HostOs {
         let mut payload = vec![0u8; len];
         ctx.read_untrusted(staging_off, &mut payload);
         ctx.write_untrusted(buf_addr, &payload);
-        Some(len)
+        Some((seq, len))
     }
 
     /// `send(2)`: transmits `len` bytes from untrusted memory.

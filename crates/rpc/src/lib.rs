@@ -691,6 +691,12 @@ pub mod funcs {
     pub const UNLINK: u64 = 9;
     /// `poll(fd)` -> 1 ready / 0 empty.
     pub const POLL: u64 = 10;
+    /// `recv_tagged(fd, buf, max_len)` -> `(seq << 32) | len` or
+    /// `u64::MAX` (would block). `seq` is the socket's dequeue
+    /// sequence number, for restoring arrival order when several
+    /// workers reap a batch out of order; `len` is capped well below
+    /// 2^32 by the staging ring so the sentinel is unambiguous.
+    pub const RECV_TAGGED: u64 = 11;
 }
 
 /// Registers the standard socket syscalls ([`funcs`]) on a builder.
@@ -698,6 +704,7 @@ pub mod funcs {
 pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
     let m1 = Arc::clone(machine);
     let m2 = Arc::clone(machine);
+    let m3 = Arc::clone(machine);
     b.register(
         funcs::RECV,
         UntrustedFn::new(move |ctx, args| {
@@ -712,6 +719,15 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
         UntrustedFn::new(move |ctx, args| {
             let fd = eleos_enclave::host::Fd(args[0] as u32);
             m2.host.send(ctx, fd, args[1], args[2] as usize) as u64
+        }),
+    )
+    .register(
+        funcs::RECV_TAGGED,
+        UntrustedFn::new(move |ctx, args| {
+            let fd = eleos_enclave::host::Fd(args[0] as u32);
+            m3.host
+                .recv_tagged(ctx, fd, args[1], args[2] as usize)
+                .map_or(u64::MAX, |(seq, n)| (seq << 32) | n as u64)
         }),
     )
 }

@@ -103,6 +103,24 @@ stats! {
     rpc_errors,
     /// Bytes moved by seal/unseal operations.
     sealed_bytes,
+    /// SUVM dirty victims parked on the write-back queue (batched mode).
+    suvm_wb_queued,
+    /// SUVM write-back drains that sealed at least one page.
+    suvm_wb_batches,
+    /// SUVM pages sealed by batched write-back drains.
+    suvm_wb_pages,
+    /// Queued SUVM victims rescued by a pin before write-back.
+    suvm_wb_rescues,
+    /// High-water mark of the SUVM write-back queue depth.
+    suvm_wb_queue_peak,
+    /// SUVM page-cache hits on probation-class frames.
+    suvm_hits_probation,
+    /// SUVM page-cache hits on protected-class frames.
+    suvm_hits_protected,
+    /// SUVM evictions of probation-class frames.
+    suvm_evictions_probation,
+    /// SUVM evictions of protected-class frames.
+    suvm_evictions_protected,
 }
 
 impl Stats {
@@ -114,6 +132,11 @@ impl Stats {
     /// Convenience relaxed add.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Convenience relaxed high-water mark update.
+    pub fn peak(counter: &AtomicU64, v: u64) {
+        counter.fetch_max(v, Ordering::Relaxed);
     }
 }
 
@@ -144,6 +167,15 @@ impl StatsSnapshot {
         put("suvm_evict", self.suvm_evictions);
         put("clean_skips", self.suvm_clean_skips);
         put("direct", self.suvm_direct_accesses);
+        put("wb_queued", self.suvm_wb_queued);
+        put("wb_batches", self.suvm_wb_batches);
+        put("wb_pages", self.suvm_wb_pages);
+        put("wb_rescues", self.suvm_wb_rescues);
+        put("wb_peak", self.suvm_wb_queue_peak);
+        put("hits_probation", self.suvm_hits_probation);
+        put("hits_protected", self.suvm_hits_protected);
+        put("evict_probation", self.suvm_evictions_probation);
+        put("evict_protected", self.suvm_evictions_protected);
         put("tlb_flushes", self.tlb_flushes);
         put("llc_miss", self.llc_misses);
         if parts.is_empty() {

@@ -10,6 +10,16 @@ cargo build --release --workspace --offline
 echo "== tests"
 cargo test --workspace --offline -q
 
+echo "== suvm paging proptests"
+cargo test --test suvm_paging --offline -q
+
+echo "== paging_bench smoke"
+cargo run --release -p eleos-bench --bin repro --offline -- paging_bench --quick --scale 16
+for label in clock fifo random lru slru buddy striped; do
+    grep -q "\"$label\"" BENCH_paging.json \
+        || { echo "BENCH_paging.json missing $label cells"; exit 1; }
+done
+
 echo "== fmt"
 cargo fmt --all --check
 
