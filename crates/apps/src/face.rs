@@ -328,12 +328,14 @@ impl FaceServer {
         true
     }
 
-    /// Handles up to `max` requests as one pipelined batch (receives
-    /// posted together, verifications run back-to-back, responses sent
-    /// together — on the RPC path each I/O stage is a single amortized
-    /// ring submission). Returns the number of requests handled.
-    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo, max: usize) -> usize {
-        let requests = io.recv_batch(ctx, max);
+    /// Handles up to `io.cfg.batch` requests as one pipelined batch
+    /// (receives posted together, the reap decrypted in one batched
+    /// crypto pass, verifications run back-to-back, responses
+    /// batch-encrypted and sent together — on the RPC path each I/O
+    /// stage is a single amortized ring submission). Returns the
+    /// number of requests handled.
+    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo) -> usize {
+        let requests = io.recv_batch(ctx);
         let replies: Vec<Vec<u8>> = requests
             .iter()
             .map(|plain| vec![self.process(ctx, plain)])

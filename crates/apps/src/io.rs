@@ -1,6 +1,19 @@
 //! Server-side network I/O over the three syscall paths the paper
 //! compares: direct (native), OCALL (vanilla SGX SDK / Graphene), and
 //! Eleos exit-less RPC.
+//!
+//! All receive entry points funnel through one reap/sort/decrypt
+//! helper: the path-specific code only collects *raw* wire messages in
+//! the socket's arrival order, and the whole batch is then decrypted in
+//! a single [`Wire::decrypt_batch_in_enclave`] pass (the batched crypto
+//! pipeline). `recv_msg` is literally a batch of one. Batch size and
+//! crypto amortization are session configuration ([`ServerIoConfig`]),
+//! not per-call arguments.
+//!
+//! On the RPC path a single-worker service reaps and sends with
+//! scatter-gather `recvmmsg`/`sendmmsg`-style jobs — one syscall and
+//! one kernel-metadata charge per batch — while multi-worker services
+//! keep per-message jobs that parallelize across workers.
 
 use std::sync::Arc;
 
@@ -34,6 +47,85 @@ impl IoPath {
     }
 }
 
+/// Session tunables for a [`ServerIo`] connection.
+#[derive(Clone, Debug)]
+pub struct ServerIoConfig {
+    /// Size of each untrusted staging buffer (receive and transmit).
+    pub buf_len: usize,
+    /// Messages reaped/sent per batch call; the receive buffer is
+    /// striped into this many slots, so `buf_len / batch` bounds the
+    /// message size.
+    pub batch: usize,
+    /// Amortize the cipher setup across each batch (the batched
+    /// crypto pipeline). `false` charges every message the full setup
+    /// — the per-message baseline `repro crypto_bench` compares
+    /// against. Wire bytes are identical either way.
+    pub batched_crypto: bool,
+    /// Defer reaping the scatter-gather send until the next batch
+    /// (double-buffered transmit): the worker executes the send while
+    /// the serving core receives and processes the following batch, so
+    /// the overlap-aware wait usually charges nothing. Responses still
+    /// go out in order (single worker, FIFO ring), but a caller that
+    /// stops serving must [`ServerIo::flush`] to reap the last one.
+    /// Only engages on the single-worker RPC scatter-gather path.
+    pub async_send: bool,
+}
+
+impl Default for ServerIoConfig {
+    fn default() -> Self {
+        Self {
+            buf_len: 64 << 10,
+            batch: 16,
+            batched_crypto: true,
+            async_send: false,
+        }
+    }
+}
+
+impl ServerIoConfig {
+    /// The default session config with a specific staging-buffer size.
+    #[must_use]
+    pub fn with_buf_len(buf_len: usize) -> Self {
+        Self {
+            buf_len,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-call batch size.
+    #[must_use]
+    pub fn batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be at least one");
+        self.batch = batch;
+        self
+    }
+
+    /// Enables or disables batch-amortized crypto setup.
+    #[must_use]
+    pub fn batched_crypto(mut self, on: bool) -> Self {
+        self.batched_crypto = on;
+        self
+    }
+
+    /// Enables or disables double-buffered (deferred-reap) sends.
+    #[must_use]
+    pub fn async_send(mut self, on: bool) -> Self {
+        self.async_send = on;
+        self
+    }
+
+    /// Label for experiment output (mirrors how the paging benches
+    /// name the eviction policy).
+    #[must_use]
+    pub fn crypto_label(&self) -> &'static str {
+        if self.batched_crypto {
+            "batched"
+        } else {
+            "per-msg"
+        }
+    }
+}
+
 /// One server connection: a socket plus untrusted staging buffers and
 /// the session cipher.
 pub struct ServerIo {
@@ -43,7 +135,16 @@ pub struct ServerIo {
     pub rx_buf: u64,
     /// Untrusted transmit buffer.
     pub tx_buf: u64,
-    buf_len: usize,
+    /// Untrusted length-descriptor array for scatter-gather receives
+    /// (`batch` little-endian `u32`s, like `recvmmsg`'s msgvec).
+    desc_rx: u64,
+    /// Untrusted length-descriptor array for scatter-gather sends.
+    desc_tx: u64,
+    /// The in-flight deferred send, when `cfg.async_send` is on: the
+    /// transmit buffer belongs to the worker until this is reaped.
+    pending_send: std::sync::Mutex<Option<eleos_rpc::RpcBatch>>,
+    /// Session tunables.
+    pub cfg: ServerIoConfig,
     /// Syscall mechanism.
     pub path: IoPath,
     /// Session cipher.
@@ -51,54 +152,167 @@ pub struct ServerIo {
 }
 
 impl ServerIo {
-    /// Allocates buffers of `buf_len` bytes and binds them to `fd`.
+    /// Allocates staging buffers per `cfg` and binds them to `fd`.
     #[must_use]
-    pub fn new(ctx: &ThreadCtx, fd: Fd, buf_len: usize, path: IoPath, wire: Arc<Wire>) -> Self {
+    pub fn new(
+        ctx: &ThreadCtx,
+        fd: Fd,
+        cfg: ServerIoConfig,
+        path: IoPath,
+        wire: Arc<Wire>,
+    ) -> Self {
+        let descs = cfg.batch * 4;
         Self {
             fd,
-            rx_buf: ctx.machine.alloc_untrusted(buf_len),
-            tx_buf: ctx.machine.alloc_untrusted(buf_len),
-            buf_len,
+            rx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
+            tx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
+            desc_rx: ctx.machine.alloc_untrusted(descs),
+            desc_tx: ctx.machine.alloc_untrusted(descs),
+            pending_send: std::sync::Mutex::new(None),
+            cfg,
             path,
             wire,
         }
     }
 
-    /// Receives and decrypts one request. Returns `None` when the
-    /// socket queue is empty.
+    /// Receives and decrypts one request: a batch of one over the
+    /// shared reap path. Returns `None` when the socket queue is
+    /// empty.
     pub fn recv_msg(&self, ctx: &mut ThreadCtx) -> Option<Vec<u8>> {
+        self.recv_up_to(ctx, 1).pop()
+    }
+
+    /// Receives and decrypts up to `cfg.batch` requests at once, in
+    /// the socket's arrival order, decrypting the whole reap in one
+    /// batched crypto pass.
+    pub fn recv_batch(&self, ctx: &mut ThreadCtx) -> Vec<Vec<u8>> {
+        self.recv_up_to(ctx, self.cfg.batch)
+    }
+
+    /// The shared reap/sort/decrypt path behind every receive entry
+    /// point: collect up to `max` raw messages in arrival order, then
+    /// decrypt them all in one [`Wire::decrypt_batch_in_enclave`]
+    /// pass.
+    ///
+    /// The paper's untrusted baseline also decrypts every request
+    /// (§2), so the crypto charge applies on all paths.
+    fn recv_up_to(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
+        assert!(max > 0);
+        let raw = self.reap_raw(ctx, max);
+        if raw.is_empty() {
+            return Vec::new();
+        }
+        let refs: Vec<&[u8]> = raw.iter().map(Vec::as_slice).collect();
+        self.wire
+            .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto)
+    }
+
+    /// Collects up to `max` raw wire messages in the socket's arrival
+    /// order, without decrypting.
+    ///
+    /// On the RPC path with a single worker the whole reap is one
+    /// scatter-gather `recvmmsg`-style job: one syscall and one
+    /// kernel-metadata charge cover the batch, and the worker fills
+    /// per-message stripes of the receive buffer plus a length
+    /// descriptor array (arrival order is the socket's dequeue order
+    /// by construction). With more than one worker the reap falls back
+    /// to per-message `RECV_TAGGED` jobs — they parallelize across
+    /// workers but may *execute* out of submission order, so each
+    /// descriptor carries the socket's dequeue sequence number and the
+    /// reap sorts by it. On the native/OCALL paths this degrades to a
+    /// sequential loop that stops at the first would-block.
+    fn reap_raw(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
+        let svc = match &self.path {
+            IoPath::Rpc(svc) => svc,
+            _ => {
+                let mut out = Vec::new();
+                while out.len() < max {
+                    match self.recv_raw(ctx) {
+                        Some(msg) => out.push(msg),
+                        None => break,
+                    }
+                }
+                return out;
+            }
+        };
+        let stripe = self.cfg.buf_len / max;
+        assert!(stripe > 0, "batch too large for the receive buffer");
+        if svc.worker_count() <= 1 {
+            let args = [
+                self.fd.0 as u64,
+                self.rx_buf,
+                ((stripe as u64) << 32) | max as u64,
+                self.desc_rx,
+            ];
+            let n = svc
+                .submit_batch(ctx, &[(funcs::RECV_MMSG, args)])
+                .wait_all(ctx)[0] as usize;
+            if n == 0 {
+                return Vec::new();
+            }
+            let mut descs = vec![0u8; n * 4];
+            ctx.read_untrusted(self.desc_rx, &mut descs);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let len = u32::from_le_bytes(descs[i * 4..i * 4 + 4].try_into().unwrap()) as usize;
+                let mut msg = vec![0u8; len];
+                ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
+                out.push(msg);
+            }
+            return out;
+        }
+        let reqs: Vec<(u64, [u64; 4])> = (0..max)
+            .map(|i| {
+                let addr = self.rx_buf + (i * stripe) as u64;
+                (
+                    funcs::RECV_TAGGED,
+                    [self.fd.0 as u64, addr, stripe as u64, 0],
+                )
+            })
+            .collect();
+        let rets = svc.submit_batch(ctx, &reqs).wait_all(ctx);
+        // (seq, stripe index, len) for every slot that got a message.
+        let mut got: Vec<(u64, usize, usize)> = rets
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, r)| r != u64::MAX)
+            .map(|(i, r)| (r >> 32, i, (r & 0xffff_ffff) as usize))
+            .collect();
+        got.sort_unstable_by_key(|&(seq, _, _)| seq);
+        let mut out = Vec::with_capacity(got.len());
+        for (_seq, i, n) in got {
+            let mut msg = vec![0u8; n];
+            ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
+            out.push(msg);
+        }
+        out
+    }
+
+    /// One raw receive on the non-RPC paths. Returns `None` when the
+    /// socket queue is empty.
+    fn recv_raw(&self, ctx: &mut ThreadCtx) -> Option<Vec<u8>> {
         let machine = Arc::clone(&ctx.machine);
         let n = match &self.path {
             IoPath::Native => {
                 assert!(!ctx.in_enclave(), "native path runs untrusted");
-                machine.host.recv(ctx, self.fd, self.rx_buf, self.buf_len)?
+                machine
+                    .host
+                    .recv(ctx, self.fd, self.rx_buf, self.cfg.buf_len)?
             }
             IoPath::Ocall => {
                 let fd = self.fd;
-                let (rx, len) = (self.rx_buf, self.buf_len);
+                let (rx, len) = (self.rx_buf, self.cfg.buf_len);
                 let r = ctx.ocall(|c| {
                     let m = Arc::clone(&c.machine);
                     m.host.recv(c, fd, rx, len)
                 });
                 r?
             }
-            IoPath::Rpc(svc) => {
-                let r = svc.call(
-                    ctx,
-                    funcs::RECV,
-                    [self.fd.0 as u64, self.rx_buf, self.buf_len as u64, 0],
-                );
-                if r == u64::MAX {
-                    return None;
-                }
-                r as usize
-            }
+            IoPath::Rpc(_) => unreachable!("the RPC path reaps through the ring"),
         };
         let mut msg = vec![0u8; n];
         ctx.read_untrusted(self.rx_buf, &mut msg);
-        // The paper's untrusted baseline also decrypts every request
-        // (§2), so the crypto charge applies on all paths.
-        Some(self.wire.decrypt_in_enclave(ctx, &msg))
+        Some(msg)
     }
 
     /// Blocking receive: when the queue is empty, waits via repeated
@@ -128,119 +342,108 @@ impl ServerIo {
         }
     }
 
-    /// Receives and decrypts up to `max` requests at once, in the
-    /// socket's arrival order.
-    ///
-    /// On the RPC path all `recv` jobs are posted to the ring
-    /// back-to-back as one batch (amortizing the handoff cost) into
-    /// per-message stripes of the receive buffer; empty-queue slots
-    /// are filtered out. With more than one RPC worker the jobs may
-    /// *execute* out of submission order, so each descriptor carries
-    /// the socket's dequeue sequence number (`RECV_TAGGED`) and the
-    /// reap sorts by it before decrypting. On the native/OCALL paths
-    /// this degrades to a sequential loop that stops at the first
-    /// would-block.
-    pub fn recv_batch(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
-        assert!(max > 0);
-        let svc = match &self.path {
-            IoPath::Rpc(svc) => svc,
-            _ => {
-                let mut out = Vec::new();
-                while out.len() < max {
-                    match self.recv_msg(ctx) {
-                        Some(msg) => out.push(msg),
-                        None => break,
-                    }
-                }
-                return out;
-            }
-        };
-        let stripe = self.buf_len / max;
-        assert!(stripe > 0, "batch too large for the receive buffer");
-        let reqs: Vec<(u64, [u64; 4])> = (0..max)
-            .map(|i| {
-                let addr = self.rx_buf + (i * stripe) as u64;
-                (
-                    funcs::RECV_TAGGED,
-                    [self.fd.0 as u64, addr, stripe as u64, 0],
-                )
-            })
-            .collect();
-        let rets = svc.submit_batch(ctx, &reqs).wait_all(ctx);
-        // (seq, stripe index, len) for every slot that got a message.
-        let mut got: Vec<(u64, usize, usize)> = rets
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, r)| r != u64::MAX)
-            .map(|(i, r)| (r >> 32, i, (r & 0xffff_ffff) as usize))
-            .collect();
-        got.sort_unstable_by_key(|&(seq, _, _)| seq);
-        let mut out = Vec::with_capacity(got.len());
-        for (_seq, i, n) in got {
-            let mut msg = vec![0u8; n];
-            ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
-            out.push(self.wire.decrypt_in_enclave(ctx, &msg));
-        }
-        out
-    }
-
-    /// Encrypts and sends a batch of responses.
+    /// Encrypts and sends a batch of responses, sealing them all in
+    /// one batched crypto pass.
     ///
     /// On the RPC path the `send` jobs go out as one batched
     /// submission from per-message stripes of the transmit buffer; on
-    /// the other paths responses are sent one by one.
+    /// the other paths responses are sent one by one (but still
+    /// encrypted as a batch).
     pub fn send_batch(&self, ctx: &mut ThreadCtx, replies: &[Vec<u8>]) {
+        let refs: Vec<&[u8]> = replies.iter().map(Vec::as_slice).collect();
+        self.send_all(ctx, &refs);
+    }
+
+    /// Encrypts and sends one response: a batch of one.
+    pub fn send_msg(&self, ctx: &mut ThreadCtx, plain: &[u8]) {
+        self.send_all(ctx, &[plain]);
+    }
+
+    /// Reaps the deferred send, if one is in flight. The overlap-aware
+    /// wait charges only worker time the serving core has not already
+    /// covered with its own progress — in steady state, nothing.
+    pub fn flush(&self, ctx: &mut ThreadCtx) {
+        if let Some(batch) = self.pending_send.lock().expect("pending send").take() {
+            batch.wait_all(ctx);
+        }
+    }
+
+    /// The shared encrypt/stage/send path behind every send entry
+    /// point.
+    fn send_all(&self, ctx: &mut ThreadCtx, replies: &[&[u8]]) {
         if replies.is_empty() {
             return;
         }
-        let svc = match &self.path {
-            IoPath::Rpc(svc) => svc,
-            _ => {
-                for r in replies {
-                    self.send_msg(ctx, r);
+        let msgs = self
+            .wire
+            .encrypt_batch_in_enclave(ctx, replies, self.cfg.batched_crypto);
+        let stripe = self.cfg.buf_len / msgs.len();
+        if let IoPath::Rpc(svc) = &self.path {
+            // The transmit buffer may still belong to a deferred send.
+            self.flush(ctx);
+            // Mirror of the receive side: a single worker gets one
+            // sendmmsg-style scatter-gather job (one syscall and one
+            // kernel-metadata charge for the batch); multiple workers
+            // get per-message jobs they can execute in parallel.
+            if svc.worker_count() <= 1 && msgs.len() <= self.cfg.batch {
+                let mut descs = Vec::with_capacity(msgs.len() * 4);
+                for (i, msg) in msgs.iter().enumerate() {
+                    assert!(
+                        msg.len() <= stripe,
+                        "batched response exceeds its tx stripe"
+                    );
+                    ctx.write_untrusted(self.tx_buf + (i * stripe) as u64, msg);
+                    descs.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                }
+                ctx.write_untrusted(self.desc_tx, &descs);
+                let args = [
+                    self.fd.0 as u64,
+                    self.tx_buf,
+                    ((stripe as u64) << 32) | msgs.len() as u64,
+                    self.desc_tx,
+                ];
+                let batch = svc.submit_batch(ctx, &[(funcs::SEND_MMSG, args)]);
+                if self.cfg.async_send {
+                    *self.pending_send.lock().expect("pending send") = Some(batch);
+                } else {
+                    batch.wait_all(ctx);
                 }
                 return;
             }
-        };
-        let stripe = self.buf_len / replies.len();
-        let mut reqs = Vec::with_capacity(replies.len());
-        for (i, plain) in replies.iter().enumerate() {
-            let msg = self.wire.encrypt_in_enclave(ctx, plain);
+            let mut reqs = Vec::with_capacity(msgs.len());
+            for (i, msg) in msgs.iter().enumerate() {
+                assert!(
+                    msg.len() <= stripe,
+                    "batched response exceeds its tx stripe"
+                );
+                let addr = self.tx_buf + (i * stripe) as u64;
+                ctx.write_untrusted(addr, msg);
+                reqs.push((funcs::SEND, [self.fd.0 as u64, addr, msg.len() as u64, 0]));
+            }
+            svc.submit_batch(ctx, &reqs).wait_all(ctx);
+            return;
+        }
+        let machine = Arc::clone(&ctx.machine);
+        for (i, msg) in msgs.iter().enumerate() {
             assert!(
                 msg.len() <= stripe,
                 "batched response exceeds its tx stripe"
             );
             let addr = self.tx_buf + (i * stripe) as u64;
-            ctx.write_untrusted(addr, &msg);
-            reqs.push((funcs::SEND, [self.fd.0 as u64, addr, msg.len() as u64, 0]));
-        }
-        svc.submit_batch(ctx, &reqs).wait_all(ctx);
-    }
-
-    /// Encrypts and sends one response.
-    pub fn send_msg(&self, ctx: &mut ThreadCtx, plain: &[u8]) {
-        let msg = self.wire.encrypt_in_enclave(ctx, plain);
-        assert!(msg.len() <= self.buf_len, "response exceeds tx buffer");
-        ctx.write_untrusted(self.tx_buf, &msg);
-        let machine = Arc::clone(&ctx.machine);
-        match &self.path {
-            IoPath::Native => {
-                machine.host.send(ctx, self.fd, self.tx_buf, msg.len());
-            }
-            IoPath::Ocall => {
-                let fd = self.fd;
-                let (tx, len) = (self.tx_buf, msg.len());
-                ctx.ocall(|c| {
-                    let m = Arc::clone(&c.machine);
-                    m.host.send(c, fd, tx, len)
-                });
-            }
-            IoPath::Rpc(svc) => {
-                svc.call(
-                    ctx,
-                    funcs::SEND,
-                    [self.fd.0 as u64, self.tx_buf, msg.len() as u64, 0],
-                );
+            ctx.write_untrusted(addr, msg);
+            match &self.path {
+                IoPath::Native => {
+                    machine.host.send(ctx, self.fd, addr, msg.len());
+                }
+                IoPath::Ocall => {
+                    let fd = self.fd;
+                    let len = msg.len();
+                    ctx.ocall(move |c| {
+                        let m = Arc::clone(&c.machine);
+                        m.host.send(c, fd, addr, len)
+                    });
+                }
+                IoPath::Rpc(_) => unreachable!("handled above"),
             }
         }
     }
@@ -259,7 +462,13 @@ mod tests {
         let wire = Arc::new(Wire::new([2u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 1);
         let fd = m.host.socket(&ut, 64 << 10);
-        let io = ServerIo::new(&ut, fd, 4096, IoPath::Ocall, Arc::clone(&wire));
+        let io = ServerIo::new(
+            &ut,
+            fd,
+            ServerIoConfig::with_buf_len(4096),
+            IoPath::Ocall,
+            Arc::clone(&wire),
+        );
 
         // A producer that delivers after a delay.
         let producer = {
@@ -287,7 +496,8 @@ mod tests {
     fn recv_batch_preserves_order_with_two_workers() {
         // Two RPC workers reap the batch concurrently, so the recv
         // jobs complete out of submission order; the sequence tags
-        // must restore the socket's arrival order.
+        // must restore the socket's arrival order through the shared
+        // reap/sort/decrypt path.
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
         let wire = Arc::new(Wire::new([5u8; 16]));
@@ -296,7 +506,13 @@ mod tests {
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(2, &[2, 3])
             .build();
-        let io = ServerIo::new(&ut, fd, 8192, IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
+        let io = ServerIo::new(
+            &ut,
+            fd,
+            ServerIoConfig::with_buf_len(8192).batch(8),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         for round in 0..4 {
@@ -304,7 +520,7 @@ mod tests {
                 let body = [round * 8 + i; 24];
                 m.host.push_request(&ut, fd, &wire.encrypt(&body));
             }
-            let msgs = io.recv_batch(&mut t, 8);
+            let msgs = io.recv_batch(&mut t);
             assert_eq!(msgs.len(), 8);
             for (i, msg) in msgs.iter().enumerate() {
                 assert_eq!(
@@ -315,5 +531,106 @@ mod tests {
             }
         }
         t.exit();
+    }
+
+    #[test]
+    fn batched_crypto_saves_serving_cycles_for_the_same_bytes() {
+        // The same reap costs fewer serving-core cycles with the
+        // batched crypto pipeline, and the plaintexts are identical.
+        let run = |batched: bool| {
+            // A fresh machine per mode so cache state from the first
+            // run cannot skew the second.
+            let m = SgxMachine::new(MachineConfig::tiny());
+            let e = m.driver.create_enclave(&m, 1 << 20);
+            let wire = Arc::new(Wire::new([6u8; 16]));
+            let ut = ThreadCtx::untrusted(&m, 2);
+            let fd = m.host.socket(&ut, 64 << 10);
+            let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+                .workers(1, &[3])
+                .build();
+            let io = ServerIo::new(
+                &ut,
+                fd,
+                ServerIoConfig::with_buf_len(8192)
+                    .batch(8)
+                    .batched_crypto(batched),
+                IoPath::Rpc(Arc::new(svc)),
+                Arc::clone(&wire),
+            );
+            let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+            t.enter();
+            for i in 0..8u8 {
+                m.host.push_request(&ut, fd, &wire.encrypt(&[i; 24]));
+            }
+            let c0 = t.now();
+            let msgs = io.recv_batch(&mut t);
+            let cycles = t.now() - c0;
+            t.exit();
+            (msgs, cycles)
+        };
+        let (per_msg, c_per) = run(false);
+        let (batched, c_batched) = run(true);
+        assert_eq!(per_msg, batched, "crypto mode must not change bytes");
+        let full = MachineConfig::tiny().costs.crypto_fixed;
+        assert_eq!(c_per - c_batched, 7 * (full - full / 4));
+    }
+
+    #[test]
+    fn deferred_send_keeps_order_and_hides_the_executor() {
+        // With `async_send` the scatter-gather send is reaped on the
+        // *next* batch: the bytes must still reach the socket in
+        // order, and the serving core must pay less than a
+        // synchronous echo loop — the worker's syscall executor runs
+        // under the next batch's receive and process time.
+        let run = |deferred: bool| {
+            let m = SgxMachine::new(MachineConfig::tiny());
+            let e = m.driver.create_enclave(&m, 1 << 20);
+            let wire = Arc::new(Wire::new([7u8; 16]));
+            let ut = ThreadCtx::untrusted(&m, 2);
+            let fd = m.host.socket(&ut, 64 << 10);
+            let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+                .workers(1, &[3])
+                .build();
+            let io = ServerIo::new(
+                &ut,
+                fd,
+                ServerIoConfig::with_buf_len(8192)
+                    .batch(4)
+                    .async_send(deferred),
+                IoPath::Rpc(Arc::new(svc)),
+                Arc::clone(&wire),
+            );
+            let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+            t.enter();
+            let c0 = t.now();
+            for round in 0..4u8 {
+                for i in 0..4u8 {
+                    let body = [round * 4 + i; 24];
+                    m.host.push_request(&ut, fd, &wire.encrypt(&body));
+                }
+                let msgs = io.recv_batch(&mut t);
+                assert_eq!(msgs.len(), 4);
+                io.send_batch(&mut t, &msgs);
+            }
+            io.flush(&mut t);
+            let cycles = t.now() - c0;
+            t.exit();
+            let mut echoed = Vec::new();
+            while let Some(resp) = m.host.pop_response(fd) {
+                echoed.push(wire.decrypt(&resp));
+            }
+            (echoed, cycles)
+        };
+        let (sync_out, c_sync) = run(false);
+        let (deferred_out, c_deferred) = run(true);
+        assert_eq!(sync_out.len(), 16, "every echo must reach the socket");
+        assert_eq!(sync_out, deferred_out, "deferred sends must stay in order");
+        for (i, msg) in deferred_out.iter().enumerate() {
+            assert_eq!(msg, &vec![i as u8; 24]);
+        }
+        assert!(
+            c_deferred < c_sync,
+            "deferred reap must hide executor time ({c_deferred} !< {c_sync})"
+        );
     }
 }

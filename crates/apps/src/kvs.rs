@@ -14,6 +14,7 @@
 //! - kv record (secure): `key_len u32, val_len u32, key bytes, value
 //!   bytes`.
 
+use eleos_crypto::Sealer;
 use eleos_enclave::thread::ThreadCtx;
 
 use crate::io::ServerIo;
@@ -458,13 +459,14 @@ impl Kvs {
         true
     }
 
-    /// Handles up to `max` protocol requests as one pipelined batch:
-    /// receives posted together, lookups run back-to-back, responses
-    /// sent together — on the RPC path each I/O stage is a single
-    /// amortized ring submission instead of `2 * max` handoffs.
-    /// Returns the number of requests handled.
-    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo, max: usize) -> usize {
-        let requests = io.recv_batch(ctx, max);
+    /// Handles up to `io.cfg.batch` protocol requests as one
+    /// pipelined batch: receives posted together, the whole reap
+    /// decrypted in one batched crypto pass, lookups run back-to-back,
+    /// responses batch-encrypted and sent together — on the RPC path
+    /// each I/O stage is a single amortized ring submission instead of
+    /// per-message handoffs. Returns the number of requests handled.
+    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo) -> usize {
+        let requests = io.recv_batch(ctx);
         let replies: Vec<Vec<u8>> = requests
             .iter()
             .map(|plain| self.process(ctx, plain))
@@ -738,7 +740,7 @@ mod tests {
         let io = crate::io::ServerIo::new(
             &t,
             fd,
-            32 << 10,
+            crate::io::ServerIoConfig::with_buf_len(32 << 10),
             crate::io::IoPath::Ocall,
             Arc::clone(&wire),
         );

@@ -264,15 +264,16 @@ impl ParamServer {
         Some(inner)
     }
 
-    /// Handles up to `max` requests as one pipelined batch: all
-    /// receives are posted together, processed back-to-back, and the
-    /// responses sent together — on the RPC path each of the three
-    /// stages is a single amortized ring submission instead of
-    /// `2 * max` individual handoffs. Returns `(requests handled,
-    /// total in-enclave processing cycles)`; handles zero requests
-    /// when the socket is drained.
-    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo, max: usize) -> (usize, u64) {
-        let requests = io.recv_batch(ctx, max);
+    /// Handles up to `io.cfg.batch` requests as one pipelined batch:
+    /// all receives are posted together, the reap decrypted in one
+    /// batched crypto pass, processed back-to-back, and the responses
+    /// batch-encrypted and sent together — on the RPC path each I/O
+    /// stage is a single amortized ring submission instead of
+    /// per-message handoffs. Returns `(requests handled, total
+    /// in-enclave processing cycles)`; handles zero requests when the
+    /// socket is drained.
+    pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo) -> (usize, u64) {
+        let requests = io.recv_batch(ctx);
         let mut inner_total = 0;
         let mut replies = Vec::with_capacity(requests.len());
         for plain in &requests {
@@ -432,7 +433,7 @@ mod tests {
 
     #[test]
     fn update_and_read_through_the_wire() {
-        use crate::io::{IoPath, ServerIo};
+        use crate::io::{IoPath, ServerIo, ServerIoConfig};
         use crate::wire::Wire;
         use std::sync::Arc;
         let (_m2, space, mut t) = harness();
@@ -441,7 +442,13 @@ mod tests {
         ps.init(&mut t);
         let wire = Arc::new(Wire::new([4u8; 16]));
         let fd = m.host.socket(&t, 64 << 10);
-        let io = ServerIo::new(&t, fd, 32 << 10, IoPath::Ocall, Arc::clone(&wire));
+        let io = ServerIo::new(
+            &t,
+            fd,
+            ServerIoConfig::with_buf_len(32 << 10),
+            IoPath::Ocall,
+            Arc::clone(&wire),
+        );
 
         // Two updates then a read of three keys (one missing).
         m.host.push_request(

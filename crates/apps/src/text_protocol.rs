@@ -144,12 +144,13 @@ pub fn handle_text_request(kvs: &mut Kvs, ctx: &mut ThreadCtx, io: &ServerIo) ->
     true
 }
 
-/// Serves up to `max` ASCII-protocol requests as one pipelined batch
-/// (receives posted together, sends posted together — one amortized
-/// ring submission per stage on the RPC path). Returns the number of
-/// requests handled.
-pub fn handle_text_batch(kvs: &mut Kvs, ctx: &mut ThreadCtx, io: &ServerIo, max: usize) -> usize {
-    let requests = io.recv_batch(ctx, max);
+/// Serves up to `io.cfg.batch` ASCII-protocol requests as one
+/// pipelined batch (receives posted together, the reap decrypted in
+/// one batched crypto pass, replies batch-encrypted and sent together
+/// — one amortized ring submission per stage on the RPC path).
+/// Returns the number of requests handled.
+pub fn handle_text_batch(kvs: &mut Kvs, ctx: &mut ThreadCtx, io: &ServerIo) -> usize {
+    let requests = io.recv_batch(ctx);
     let replies: Vec<Vec<u8>> = requests
         .iter()
         .map(|msg| process_text(kvs, ctx, msg))
@@ -325,7 +326,13 @@ mod tests {
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         kvs.init(&mut t);
-        let io = ServerIo::new(&t, fd, 32 << 10, IoPath::Ocall, Arc::clone(&wire));
+        let io = ServerIo::new(
+            &t,
+            fd,
+            crate::io::ServerIoConfig::with_buf_len(32 << 10),
+            IoPath::Ocall,
+            Arc::clone(&wire),
+        );
 
         let session = [
             (
@@ -384,7 +391,13 @@ mod tests {
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         kvs.init(&mut t);
-        let io = ServerIo::new(&t, fd, 32 << 10, IoPath::Rpc(svc), Arc::clone(&wire));
+        let io = ServerIo::new(
+            &t,
+            fd,
+            crate::io::ServerIoConfig::with_buf_len(32 << 10).batch(4),
+            IoPath::Rpc(svc),
+            Arc::clone(&wire),
+        );
 
         let session = [
             (format_set(b"a", 0, 0, b"1"), b"STORED\r\n".to_vec()),
@@ -396,7 +409,7 @@ mod tests {
             m.host.push_request(&ut, fd, &wire.encrypt(req));
         }
         let s0 = m.stats.snapshot();
-        assert_eq!(handle_text_batch(&mut kvs, &mut t, &io, session.len()), 4);
+        assert_eq!(handle_text_batch(&mut kvs, &mut t, &io), 4);
         let d = m.stats.snapshot() - s0;
         assert_eq!(d.enclave_exits, 0, "batched serving must not exit");
         assert_eq!(d.ocalls, 0);

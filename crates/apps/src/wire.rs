@@ -6,9 +6,25 @@
 //! `nonce (12) || ciphertext`; the CTR pass is performed for real (the
 //! tests check confidentiality end to end) and its cycle cost is
 //! charged at AES-NI rates through the cost model.
+//!
+//! The serving path works in *batches*: [`Wire::decrypt_batch_in_enclave`]
+//! opens a whole sorted reap in one [`Sealer::open_batch`] pass and
+//! [`Wire::encrypt_batch_in_enclave`] seals all responses in one
+//! [`Sealer::seal_batch`] pass. With `amortize` set, the cipher setup is
+//! charged once per batch — the leader pays the full `crypto_fixed`,
+//! follow-ons a quarter (`CostModel::crypto_batched`, the same contract
+//! the SUVM write-back drain uses) — which is where the batched crypto
+//! pipeline's cycles/op win comes from on a single serving core. The
+//! single-message `decrypt_in_enclave`/`encrypt_in_enclave` are thin
+//! compatibility wrappers over batches of one.
+
+use std::sync::Arc;
 
 use eleos_crypto::ctr::Ctr128;
+use eleos_crypto::gcm::Tag;
+use eleos_crypto::{BatchAuthError, OpenJob, SealJob, Sealer};
 use eleos_enclave::thread::ThreadCtx;
+use eleos_sim::stats::Stats;
 
 /// Length of the nonce prefix on every message.
 pub const NONCE_LEN: usize = 12;
@@ -30,15 +46,21 @@ impl Wire {
         }
     }
 
-    /// Client side: encrypts `plain` into a wire message. Runs outside
-    /// the measured cores, so no cycles are charged.
-    #[must_use]
-    pub fn encrypt(&self, plain: &[u8]) -> Vec<u8> {
+    /// Draws the next wire nonce (a session-unique counter).
+    fn next_nonce(&self) -> [u8; NONCE_LEN] {
         let n = self
             .counter
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut nonce = [0u8; NONCE_LEN];
         nonce[..8].copy_from_slice(&n.to_le_bytes());
+        nonce
+    }
+
+    /// Client side: encrypts `plain` into a wire message. Runs outside
+    /// the measured cores, so no cycles are charged.
+    #[must_use]
+    pub fn encrypt(&self, plain: &[u8]) -> Vec<u8> {
+        let nonce = self.next_nonce();
         let mut msg = Vec::with_capacity(NONCE_LEN + plain.len());
         msg.extend_from_slice(&nonce);
         msg.extend_from_slice(plain);
@@ -46,23 +68,132 @@ impl Wire {
         msg
     }
 
-    /// Server side: decrypts a wire message in place (strips the
-    /// nonce), charging the AES cost to `ctx`.
-    #[must_use]
-    pub fn decrypt_in_enclave(&self, ctx: &mut ThreadCtx, msg: &[u8]) -> Vec<u8> {
-        assert!(msg.len() >= NONCE_LEN, "short wire message");
-        let nonce: [u8; NONCE_LEN] = msg[..NONCE_LEN].try_into().expect("len checked");
-        let mut plain = msg[NONCE_LEN..].to_vec();
-        self.ctr.apply(&nonce, &mut plain);
-        ctx.compute(ctx.machine.cfg.costs.crypto(plain.len()));
-        plain
+    /// Charges the cost model for a batch of crypto passes over
+    /// messages of the given lengths and bumps the pipeline stats.
+    ///
+    /// With `amortize` the batch leader pays the full `crypto_fixed`
+    /// setup and follow-ons a quarter; without it every message pays
+    /// the full setup — the per-message baseline `repro crypto_bench`
+    /// compares against.
+    fn charge_batch(&self, ctx: &mut ThreadCtx, lens: impl Iterator<Item = usize>, amortize: bool) {
+        let machine = Arc::clone(&ctx.machine);
+        let costs = &machine.cfg.costs;
+        let (mut n, mut setup) = (0u64, 0u64);
+        for (i, len) in lens.enumerate() {
+            let fixed = if amortize {
+                costs.crypto_batch_fixed(i)
+            } else {
+                costs.crypto_fixed
+            };
+            setup += fixed;
+            ctx.compute(fixed + (costs.crypto_cpb * len as f64) as u64);
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        Stats::bump(&machine.stats.crypto_batches);
+        Stats::add(&machine.stats.crypto_msgs, n);
+        Stats::add(&machine.stats.crypto_setup_cycles, setup);
     }
 
-    /// Server side: encrypts a response, charging `ctx`.
+    /// Server side: decrypts a sorted batch of wire messages in one
+    /// [`Sealer::open_batch`] pass, charging `ctx` per message (with
+    /// the setup amortized across the batch when `amortize` is set).
+    ///
+    /// # Panics
+    /// Panics on a message shorter than the nonce prefix.
+    #[must_use]
+    pub fn decrypt_batch_in_enclave(
+        &self,
+        ctx: &mut ThreadCtx,
+        msgs: &[&[u8]],
+        amortize: bool,
+    ) -> Vec<Vec<u8>> {
+        if msgs.is_empty() {
+            return Vec::new();
+        }
+        let mut plains: Vec<Vec<u8>> = msgs
+            .iter()
+            .map(|m| {
+                assert!(m.len() >= NONCE_LEN, "short wire message");
+                m[NONCE_LEN..].to_vec()
+            })
+            .collect();
+        let mut jobs: Vec<OpenJob<'_>> = msgs
+            .iter()
+            .zip(plains.iter_mut())
+            .map(|(m, p)| OpenJob {
+                nonce: m[..NONCE_LEN].try_into().expect("len checked"),
+                aad: &[],
+                data: p.as_mut_slice(),
+                tag: [0u8; 16],
+            })
+            .collect();
+        self.open_batch(&mut jobs)
+            .expect("CTR wire decrypt is unauthenticated");
+        drop(jobs);
+        self.charge_batch(ctx, plains.iter().map(Vec::len), amortize);
+        plains
+    }
+
+    /// Server side: encrypts a batch of responses in one
+    /// [`Sealer::seal_batch`] pass, charging `ctx` per message (with
+    /// the setup amortized across the batch when `amortize` is set).
+    #[must_use]
+    pub fn encrypt_batch_in_enclave(
+        &self,
+        ctx: &mut ThreadCtx,
+        plains: &[&[u8]],
+        amortize: bool,
+    ) -> Vec<Vec<u8>> {
+        if plains.is_empty() {
+            return Vec::new();
+        }
+        self.charge_batch(ctx, plains.iter().map(|p| p.len()), amortize);
+        let mut msgs: Vec<Vec<u8>> = plains
+            .iter()
+            .map(|p| {
+                let nonce = self.next_nonce();
+                let mut msg = Vec::with_capacity(NONCE_LEN + p.len());
+                msg.extend_from_slice(&nonce);
+                msg.extend_from_slice(p);
+                msg
+            })
+            .collect();
+        let mut jobs: Vec<SealJob<'_>> = msgs
+            .iter_mut()
+            .map(|m| {
+                let (nonce, body) = m.split_at_mut(NONCE_LEN);
+                SealJob {
+                    nonce: (&*nonce).try_into().expect("nonce prefix"),
+                    aad: &[],
+                    data: body,
+                }
+            })
+            .collect();
+        let _zero_tags = self.seal_batch(&mut jobs);
+        drop(jobs);
+        msgs
+    }
+
+    /// Server side: decrypts a wire message in place (strips the
+    /// nonce), charging the AES cost to `ctx`. A thin wrapper over a
+    /// batch of one.
+    #[must_use]
+    pub fn decrypt_in_enclave(&self, ctx: &mut ThreadCtx, msg: &[u8]) -> Vec<u8> {
+        self.decrypt_batch_in_enclave(ctx, &[msg], false)
+            .pop()
+            .expect("a batch of one yields one message")
+    }
+
+    /// Server side: encrypts a response, charging `ctx`. A thin
+    /// wrapper over a batch of one.
     #[must_use]
     pub fn encrypt_in_enclave(&self, ctx: &mut ThreadCtx, plain: &[u8]) -> Vec<u8> {
-        ctx.compute(ctx.machine.cfg.costs.crypto(plain.len()));
-        self.encrypt(plain)
+        self.encrypt_batch_in_enclave(ctx, &[plain], false)
+            .pop()
+            .expect("a batch of one yields one message")
     }
 
     /// Client side: decrypts a response.
@@ -73,6 +204,23 @@ impl Wire {
         let mut plain = msg[NONCE_LEN..].to_vec();
         self.ctr.apply(&nonce, &mut plain);
         plain
+    }
+}
+
+/// The wire codec *is* a sealer: the session's CTR cipher, batched.
+/// Unauthenticated (§5 wire crypto carries no tag); SUVM page sealing
+/// uses the GCM sealers for integrity instead.
+impl Sealer for Wire {
+    fn name(&self) -> &'static str {
+        "wire-ctr"
+    }
+
+    fn seal_batch(&self, jobs: &mut [SealJob<'_>]) -> Vec<Tag> {
+        self.ctr.seal_batch(jobs)
+    }
+
+    fn open_batch(&self, jobs: &mut [OpenJob<'_>]) -> Result<(), BatchAuthError> {
+        self.ctr.open_batch(jobs)
     }
 }
 
@@ -109,6 +257,69 @@ mod tests {
         let plain = w.decrypt_in_enclave(&mut t, &msg);
         assert!(t.now() - c0 >= m.cfg.costs.crypto(4096));
         assert_eq!(plain, vec![5u8; 4096]);
+        t.exit();
+    }
+
+    #[test]
+    fn batched_decrypt_matches_per_message() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let mut t = eleos_enclave::thread::ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let w = Wire::new([3u8; 16]);
+        let plains: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 40 + i as usize]).collect();
+        let msgs: Vec<Vec<u8>> = plains.iter().map(|p| w.encrypt(p)).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let out = w.decrypt_batch_in_enclave(&mut t, &refs, true);
+        assert_eq!(out, plains);
+        t.exit();
+    }
+
+    #[test]
+    fn amortized_batch_charges_less_and_counts_stats() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let mut t = eleos_enclave::thread::ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let w = Wire::new([7u8; 16]);
+        let msgs: Vec<Vec<u8>> = (0..8).map(|_| w.encrypt(&[0xabu8; 64])).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+
+        let s0 = m.stats.snapshot();
+        let c0 = t.now();
+        let _ = w.decrypt_batch_in_enclave(&mut t, &refs, false);
+        let per_msg = t.now() - c0;
+
+        let c1 = t.now();
+        let _ = w.decrypt_batch_in_enclave(&mut t, &refs, true);
+        let amortized = t.now() - c1;
+        let d = m.stats.snapshot() - s0;
+
+        // 8 messages: per-message pays 8 full setups, amortized pays
+        // 1 full + 7 quarters.
+        let full = m.cfg.costs.crypto_fixed;
+        assert_eq!(per_msg - amortized, 7 * (full - full / 4));
+        assert_eq!(d.crypto_batches, 2);
+        assert_eq!(d.crypto_msgs, 16);
+        assert_eq!(d.crypto_setup_cycles, 8 * full + full + 7 * (full / 4));
+        t.exit();
+    }
+
+    #[test]
+    fn batched_encrypt_decrypts_on_the_client() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let mut t = eleos_enclave::thread::ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let w = Wire::new([5u8; 16]);
+        let plains: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i ^ 0x5a; 33]).collect();
+        let refs: Vec<&[u8]> = plains.iter().map(Vec::as_slice).collect();
+        let msgs = w.encrypt_batch_in_enclave(&mut t, &refs, true);
+        assert_eq!(msgs.len(), plains.len());
+        for (msg, plain) in msgs.iter().zip(plains.iter()) {
+            assert!(!msg[NONCE_LEN..].windows(8).any(|s| s == &plain[..8]));
+            assert_eq!(&w.decrypt(msg), plain);
+        }
         t.exit();
     }
 }

@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use eleos_core::{SPtr, Suvm, SuvmConfig};
 use eleos_crypto::gcm::AesGcm128;
+use eleos_crypto::Sealer;
 use eleos_enclave::machine::{MachineConfig, SgxMachine};
 use eleos_enclave::thread::ThreadCtx;
 use eleos_rpc::{RpcService, UntrustedFn};

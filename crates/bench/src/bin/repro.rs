@@ -5,14 +5,14 @@
 //! repro <id>... [--scale N | --full]
 //!
 //!   ids: all, costs, table1, fig1, fig2a, fig2b, fig6a, fig6b, fig6c,
-//!        rpc_bench, paging_bench, fig7a, fig7b, table2, fig8a, fig8b,
-//!        table3, fig9, fig10, fig11, table4, meta_ablation,
-//!        ablate_clean, ablate_subpage, ablate_epcpp, ablate_pagesize,
-//!        ablate_policy, pf_latency
+//!        rpc_bench, paging_bench, crypto_bench, fig7a, fig7b, table2,
+//!        fig8a, fig8b, table3, fig9, fig10, fig11, table4,
+//!        meta_ablation, ablate_clean, ablate_subpage, ablate_epcpp,
+//!        ablate_pagesize, ablate_policy, pf_latency
 //!
 //!   --scale N   divide capacities/datasets by N (default 4)
 //!   --full      the paper's scale (93MB PRM, 500MB datasets; slow)
-//!   --quick     trim the paging_bench batch axis (CI smoke)
+//!   --quick     trim the paging_bench/crypto_bench axes (CI smoke)
 //! ```
 
 use eleos_bench::experiments as exp;
@@ -38,6 +38,7 @@ fn main() {
             "fig6c",
             "rpc_bench",
             "paging_bench",
+            "crypto_bench",
             "fig7a",
             "fig7b",
             "table2",
@@ -80,6 +81,9 @@ fn main() {
             "rpc_bench" => exp::rpc_bench::run(scale),
             "paging_bench" => {
                 exp::paging_bench::run(scale, args.iter().any(|a| a == "--quick"));
+            }
+            "crypto_bench" => {
+                exp::crypto_bench::run(scale, args.iter().any(|a| a == "--quick"));
             }
             "fig7a" => exp::fig7::run_fig7(scale, 1),
             "fig7b" => exp::fig7::run_fig7(scale, 4),

@@ -1,0 +1,239 @@
+//! Serving-path crypto microbenchmark: server x batch depth x crypto
+//! mode, on cache-resident tables so the wire crypto dominates the
+//! serving core. Emits `BENCH_crypto.json` for machine consumption.
+//!
+//! The serving thread's cycles/op is the figure of merit: per-message
+//! crypto pays the full GCM/CTR key-schedule setup (`crypto_fixed`)
+//! for every request and response; the batched pipeline pays it once
+//! per reap and a quarter for each follow-on message — the same
+//! amortization contract `suvm/writeback.rs` uses for sealed
+//! evictions (`Costs::crypto_batch_fixed`). Both modes ride the same
+//! batched ring submission, so the delta isolates the crypto.
+
+use std::sync::Arc;
+
+use eleos_apps::io::ServerIoConfig;
+use eleos_apps::kvs::Kvs;
+use eleos_apps::loadgen::KvsLoad;
+use eleos_apps::param_server::TableKind;
+use eleos_apps::text_protocol::{format_get, handle_text_batch};
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::harness::{header, run_param_server_batched, x, Mode, Rig, Scale};
+
+/// Items in the KVS/text tables: small enough to stay cache-resident
+/// so crypto, not memory, dominates the serving core.
+const N_ITEMS: u64 = 512;
+/// Socket feed chunk: a multiple of every swept batch depth, so each
+/// reap is exactly `batch` messages.
+const CHUNK: usize = 256;
+
+/// One measured cell of the sweep.
+struct Cell {
+    server: &'static str,
+    crypto: &'static str,
+    batch: usize,
+    cycles_per_op: f64,
+    crypto_batches: u64,
+    crypto_msgs: u64,
+    crypto_setup: u64,
+    rpc_batches: u64,
+}
+
+/// Feeds `n_requests` encrypted requests through `handle` in socket
+/// chunks and returns the serving-core cycles across the measured
+/// phase. `push` enqueues one request; `handle` drains one batch.
+fn serve(
+    rig: &Rig,
+    ctx: &mut ThreadCtx,
+    n_requests: usize,
+    warmup: usize,
+    push: &mut dyn FnMut(&ThreadCtx),
+    handle: &mut dyn FnMut(&mut ThreadCtx) -> usize,
+) -> u64 {
+    // The load generator lives on another core: its push cycles must
+    // not land on the serving core's clock.
+    let ut = ThreadCtx::untrusted(&rig.machine, 2);
+    let mut feed = |ctx: &mut ThreadCtx, n: usize| {
+        let mut drained = 0usize;
+        while drained < n {
+            if drained == 0 {
+                for _ in 0..n {
+                    push(&ut);
+                }
+            }
+            let got = handle(ctx);
+            assert!(got > 0, "queued requests must be served");
+            drained += got;
+        }
+    };
+    let mut left = warmup;
+    while left > 0 {
+        let n = left.min(CHUNK);
+        feed(ctx, n);
+        left -= n;
+    }
+    rig.machine.reset_counters();
+    let c0 = ctx.now();
+    let mut served = 0usize;
+    while served < n_requests {
+        let n = (n_requests - served).min(CHUNK);
+        feed(ctx, n);
+        served += n;
+    }
+    ctx.now() - c0
+}
+
+/// Runs one KVS (binary protocol) or text (memcached ASCII) cell.
+fn kvs_cell(scale: Scale, text: bool, batch: usize, batched: bool, ops: usize) -> Cell {
+    let rig = Rig::new(scale, Mode::EleosRpc, 4 << 20, false);
+    let mut ctx = rig.thread(0);
+    let mut kvs = Kvs::new(rig.data_space(), rig.data_space(), 64 << 20, 1 << 10);
+    kvs.init(&mut ctx);
+    let mut load = KvsLoad::new(29, N_ITEMS, 16, 32);
+    for i in 0..N_ITEMS {
+        kvs.set(&mut ctx, &load.key(i), &load.value(i));
+    }
+    let io = rig.server_io_cfg(
+        &ctx,
+        ServerIoConfig::with_buf_len(64 << 10)
+            .batch(batch)
+            .batched_crypto(batched)
+            .async_send(true),
+    );
+    let wire = Arc::clone(&rig.wire);
+    let fd = rig.fd;
+    let machine = Arc::clone(&rig.machine);
+    let mut push = move |ut: &ThreadCtx| {
+        let (i, plain) = load.get_plain();
+        let plain = if text {
+            format_get(&load.key(i))
+        } else {
+            plain
+        };
+        machine.host.push_request(ut, fd, &wire.encrypt(&plain));
+    };
+    let mut handle = |ctx: &mut ThreadCtx| {
+        if text {
+            handle_text_batch(&mut kvs, ctx, &io)
+        } else {
+            kvs.handle_batch(ctx, &io)
+        }
+    };
+    let cycles = serve(&rig, &mut ctx, ops, CHUNK, &mut push, &mut handle);
+    io.flush(&mut ctx);
+    let d = rig.machine.stats.snapshot();
+    ctx.exit();
+    Cell {
+        server: if text { "text" } else { "kvs" },
+        crypto: if batched { "batched" } else { "per-msg" },
+        batch,
+        cycles_per_op: cycles as f64 / ops as f64,
+        crypto_batches: d.crypto_batches,
+        crypto_msgs: d.crypto_msgs,
+        crypto_setup: d.crypto_setup_cycles,
+        rpc_batches: d.rpc_batches,
+    }
+}
+
+/// Runs one parameter-server cell (1-update requests, 2 MiB table).
+fn param_cell(scale: Scale, batch: usize, batched: bool, ops: usize) -> Cell {
+    let data = scale.bytes(2 << 20);
+    let rig = Rig::new(scale, Mode::EleosRpc, data, false);
+    let n_keys = (data / 32) as u64;
+    let mut load = eleos_apps::loadgen::ParamLoad::new(13, n_keys, 1, None);
+    let run = run_param_server_batched(
+        &rig,
+        TableKind::OpenAddressing,
+        n_keys,
+        ops,
+        ops / 10,
+        batch,
+        batched,
+        move || load.next_plain(),
+    );
+    Cell {
+        server: "param",
+        crypto: if batched { "batched" } else { "per-msg" },
+        batch,
+        cycles_per_op: run.e2e_cycles as f64 / run.ops as f64,
+        crypto_batches: run.stats.crypto_batches,
+        crypto_msgs: run.stats.crypto_msgs,
+        crypto_setup: run.stats.crypto_setup_cycles,
+        rpc_batches: run.stats.rpc_batches,
+    }
+}
+
+/// Runs the sweep, prints a table, and writes `BENCH_crypto.json`.
+/// `quick` trims the batch axis for CI smoke runs.
+pub fn run(scale: Scale, quick: bool) {
+    header(
+        "crypto_bench",
+        "server x batch depth x crypto mode, cache-resident tables",
+        "batched pipeline amortizes GCM/CTR setup: >=1.2x serving cycles/op at batch >= 8",
+    );
+    let batches: &[usize] = if quick {
+        &[1, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    // A multiple of CHUNK so every reap is exactly `batch` deep.
+    let ops = (scale.ops(if quick { 8_000 } else { 20_000 }) / CHUNK).max(1) * CHUNK;
+    let servers: &[&str] = &["kvs", "text", "param"];
+    println!(
+        "   {:<7} {:>5} {:>14} {:>14} {:>12} {:>10} {:>10}",
+        "server", "batch", "per-msg c/op", "batched c/op", "crypto gain", "c.batches", "c.msgs"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for &server in servers {
+        for &batch in batches {
+            let run_one = |batched: bool| match server {
+                "kvs" => kvs_cell(scale, false, batch, batched, ops),
+                "text" => kvs_cell(scale, true, batch, batched, ops),
+                "param" => param_cell(scale, batch, batched, ops),
+                other => panic!("unknown server {other}"),
+            };
+            let per_msg = run_one(false);
+            let batched = run_one(true);
+            println!(
+                "   {:<7} {:>5} {:>14.0} {:>14.0} {:>12} {:>10} {:>10}",
+                server,
+                batch,
+                per_msg.cycles_per_op,
+                batched.cycles_per_op,
+                x(per_msg.cycles_per_op / batched.cycles_per_op),
+                batched.crypto_batches,
+                batched.crypto_msgs
+            );
+            cells.push(per_msg);
+            cells.push(batched);
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serving_crypto\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", scale.0));
+    json.push_str(&format!("  \"ops\": {ops},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"server\": \"{}\", \"crypto\": \"{}\", \"batch\": {}, \
+             \"cycles_per_op\": {:.1}, \"crypto_batches\": {}, \"crypto_msgs\": {}, \
+             \"crypto_setup_cycles\": {}, \"rpc_batches\": {} }}{}\n",
+            c.server,
+            c.crypto,
+            c.batch,
+            c.cycles_per_op,
+            c.crypto_batches,
+            c.crypto_msgs,
+            c.crypto_setup,
+            c.rpc_batches,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_crypto.json";
+    std::fs::write(path, &json).expect("write BENCH_crypto.json");
+    println!("   wrote {path}");
+}

@@ -82,7 +82,13 @@ fn phase(
             };
             let ut = ThreadCtx::untrusted(&machine, th);
             let fd = machine.host.socket(&ut, 8 << 20);
-            let io = eleos_apps::io::ServerIo::new(&ut, fd, buf_len, path, wire);
+            let io = eleos_apps::io::ServerIo::new(
+                &ut,
+                fd,
+                eleos_apps::io::ServerIoConfig::with_buf_len(buf_len),
+                path,
+                wire,
+            );
             if enclaved {
                 ctx.enter();
             }

@@ -80,7 +80,13 @@ fn get_phase(kr: &KvsRig, threads: usize, gets_per_thread: usize, value_len: usi
             };
             let ut = ThreadCtx::untrusted(&machine, th);
             let fd = machine.host.socket(&ut, 2 << 20);
-            let io = eleos_apps::io::ServerIo::new(&ut, fd, 64 << 10, path, wire.clone());
+            let io = eleos_apps::io::ServerIo::new(
+                &ut,
+                fd,
+                eleos_apps::io::ServerIoConfig::with_buf_len(64 << 10),
+                path,
+                wire.clone(),
+            );
             if enclaved {
                 ctx.enter();
             }

@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod costs;
+pub mod crypto_bench;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use eleos_apps::io::{IoPath, ServerIo};
+use eleos_apps::io::{IoPath, ServerIo, ServerIoConfig};
 use eleos_apps::param_server::{ParamServer, TableKind};
 use eleos_apps::space::DataSpace;
 use eleos_apps::wire::Wire;
@@ -249,16 +249,17 @@ impl Rig {
         t
     }
 
-    /// A `ServerIo` bound to this rig's socket.
+    /// A `ServerIo` bound to this rig's socket with default batching.
     #[must_use]
     pub fn server_io(&self, ctx: &ThreadCtx, buf_len: usize) -> ServerIo {
-        ServerIo::new(
-            ctx,
-            self.fd,
-            buf_len,
-            self.io_path(),
-            Arc::clone(&self.wire),
-        )
+        self.server_io_cfg(ctx, ServerIoConfig::with_buf_len(buf_len))
+    }
+
+    /// A `ServerIo` bound to this rig's socket with an explicit config
+    /// (batch depth, crypto mode).
+    #[must_use]
+    pub fn server_io_cfg(&self, ctx: &ThreadCtx, cfg: ServerIoConfig) -> ServerIo {
+        ServerIo::new(ctx, self.fd, cfg, self.io_path(), Arc::clone(&self.wire))
     }
 
     /// A second socket (for multi-threaded servers).
@@ -348,6 +349,7 @@ pub fn run_param_server(
 /// of `batch` via [`ParamServer::handle_batch`]: on the RPC path each
 /// recv/send stage is one amortized ring submission instead of a
 /// round-trip per request.
+#[allow(clippy::too_many_arguments)]
 pub fn run_param_server_batched(
     rig: &Rig,
     kind: TableKind,
@@ -355,6 +357,7 @@ pub fn run_param_server_batched(
     n_requests: usize,
     warmup: usize,
     batch: usize,
+    batched_crypto: bool,
     mut gen: impl FnMut() -> Vec<u8>,
 ) -> PsRun {
     assert!(batch > 0);
@@ -366,7 +369,13 @@ pub fn run_param_server_batched(
     } else {
         server.populate(&mut ctx, n_keys);
     }
-    let io = rig.server_io(&ctx, 64 << 10);
+    let io = rig.server_io_cfg(
+        &ctx,
+        ServerIoConfig::with_buf_len(64 << 10)
+            .batch(batch)
+            .batched_crypto(batched_crypto)
+            .async_send(true),
+    );
 
     let ut = ThreadCtx::untrusted(&rig.machine, 0);
     for _ in 0..warmup {
@@ -393,14 +402,14 @@ pub fn run_param_server_batched(
         }
         let mut drained = 0usize;
         while drained < chunk {
-            let want = (chunk - drained).min(batch);
-            let (n, ic) = server.handle_batch(&mut ctx, &io, want);
+            let (n, ic) = server.handle_batch(&mut ctx, &io);
             assert!(n > 0, "queued requests must be served");
             inner += ic;
             drained += n;
         }
         served += chunk;
     }
+    io.flush(&mut ctx);
     let run = PsRun {
         ops: served as u64,
         e2e_cycles: ctx.now() - c0,

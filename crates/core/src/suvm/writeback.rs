@@ -116,7 +116,6 @@ impl Suvm {
         if batch.is_empty() {
             return 0;
         }
-        let full_fixed = self.machine.cfg.costs.crypto_fixed;
         let mut sealed = 0usize;
         for (frame, page) in batch {
             let meta = &self.frames[frame as usize];
@@ -140,11 +139,9 @@ impl Suvm {
             }
             self.count_eviction_class(frame);
             meta.dirty.store(false, Ordering::Release);
-            let fixed = if sealed == 0 {
-                full_fixed
-            } else {
-                full_fixed / 4
-            };
+            // Shared amortization contract with the wire pipeline: the
+            // batch leader pays the full setup, follow-ons a quarter.
+            let fixed = self.machine.cfg.costs.crypto_batch_fixed(sealed);
             self.seal_page_out(ctx, page, frame, fixed);
             meta.page.store(NO_PAGE, Ordering::Release);
             self.policy.on_remove(frame);

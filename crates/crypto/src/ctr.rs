@@ -5,6 +5,8 @@
 //! inside [`crate::gcm`].
 
 use crate::aes::{Aes, Block, BLOCK_SIZE};
+use crate::gcm::Tag;
+use crate::sealer::{BatchAuthError, OpenJob, SealJob, Sealer, ZERO_TAG};
 
 /// Applies the AES-CTR keystream to `data` in place.
 ///
@@ -58,6 +60,35 @@ impl Ctr128 {
         counter[..12].copy_from_slice(nonce);
         counter[15] = 1;
         ctr_xor(&self.aes, &counter, data);
+    }
+}
+
+/// The *unauthenticated* sealer behind the §5 wire protocol: CTR has
+/// no tag, so `seal_batch` returns [`ZERO_TAG`]s, `open_batch` never
+/// fails, and `aad` is ignored. Callers that need integrity must use a
+/// GCM sealer instead.
+impl Sealer for Ctr128 {
+    fn name(&self) -> &'static str {
+        "aes128-ctr"
+    }
+
+    fn seal_batch(&self, jobs: &mut [SealJob<'_>]) -> Vec<Tag> {
+        self.setup();
+        jobs.iter_mut()
+            .map(|j| {
+                self.apply(&j.nonce, j.data);
+                ZERO_TAG
+            })
+            .collect()
+    }
+
+    fn open_batch(&self, jobs: &mut [OpenJob<'_>]) -> Result<(), BatchAuthError> {
+        self.setup();
+        for j in jobs.iter_mut() {
+            // CTR is an involution: the same keystream pass decrypts.
+            self.apply(&j.nonce, j.data);
+        }
+        Ok(())
     }
 }
 

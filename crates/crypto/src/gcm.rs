@@ -10,6 +10,7 @@
 use crate::aes::{Aes, Block};
 use crate::ctr::{ctr_xor, inc32};
 use crate::ghash::{Ghash, GhashKey};
+use crate::sealer::{BatchAuthError, OpenJob, SealJob, Sealer};
 use crate::{ct_eq, AuthError};
 
 /// The GCM authentication tag length used throughout Eleos (full 128-bit
@@ -87,42 +88,45 @@ fn open_impl(
 }
 
 macro_rules! impl_gcm {
-    ($name:ident, $ctor:ident, $keylen:expr) => {
+    ($name:ident, $ctor:ident, $keylen:expr, $label:expr) => {
         impl $name {
-            /// Creates a GCM instance from a raw key.
+            /// Creates a GCM instance, precomputing the AES key
+            /// schedule and the GHASH table (the state a batch
+            /// [`Sealer::setup`] amortizes).
             #[must_use]
             pub fn new(key: &[u8; $keylen]) -> Self {
                 let aes = Aes::$ctor(key);
                 let h = GhashKey::new(&aes.encrypt(&[0u8; 16]));
                 Self { aes, h }
             }
+        }
 
-            /// Encrypts `data` in place and returns the authentication
-            /// tag over `aad || ciphertext`.
-            pub fn seal(&self, nonce: &Nonce, aad: &[u8], data: &mut [u8]) -> Tag {
-                seal_impl(&self.aes, &self.h, nonce, aad, data)
+        impl Sealer for $name {
+            fn name(&self) -> &'static str {
+                $label
             }
 
-            /// Verifies `tag` and, on success, decrypts `data` in place.
-            ///
-            /// On failure `data` is left as the (unauthenticated)
-            /// ciphertext and [`AuthError`] is returned; callers must not
-            /// use the buffer contents in that case.
-            pub fn open(
-                &self,
-                nonce: &Nonce,
-                aad: &[u8],
-                data: &mut [u8],
-                tag: &Tag,
-            ) -> Result<(), AuthError> {
-                open_impl(&self.aes, &self.h, nonce, aad, data, tag)
+            fn seal_batch(&self, jobs: &mut [SealJob<'_>]) -> Vec<Tag> {
+                self.setup();
+                jobs.iter_mut()
+                    .map(|j| seal_impl(&self.aes, &self.h, &j.nonce, j.aad, j.data))
+                    .collect()
+            }
+
+            fn open_batch(&self, jobs: &mut [OpenJob<'_>]) -> Result<(), BatchAuthError> {
+                self.setup();
+                for (index, j) in jobs.iter_mut().enumerate() {
+                    open_impl(&self.aes, &self.h, &j.nonce, j.aad, j.data, &j.tag)
+                        .map_err(|AuthError| BatchAuthError { index })?;
+                }
+                Ok(())
             }
         }
     };
 }
 
-impl_gcm!(AesGcm128, new_128, 16);
-impl_gcm!(AesGcm256, new_256, 32);
+impl_gcm!(AesGcm128, new_128, 16, "aes128-gcm");
+impl_gcm!(AesGcm256, new_256, 32, "aes256-gcm");
 
 #[cfg(test)]
 mod tests {

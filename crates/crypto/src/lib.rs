@@ -8,7 +8,14 @@
 //! - [`aes`]: AES-128 and AES-256 block ciphers (FIPS-197),
 //! - [`ctr`]: CTR mode (NIST SP 800-38A),
 //! - [`ghash`]: the GHASH universal hash over GF(2^128),
-//! - [`gcm`]: AES-GCM authenticated encryption (NIST SP 800-38D).
+//! - [`gcm`]: AES-GCM authenticated encryption (NIST SP 800-38D),
+//! - [`sealer`]: the [`Sealer`] batch contract every cipher implements.
+//!
+//! All sealing goes through the [`Sealer`] trait: single-message
+//! `seal`/`open` are provided as batches of one, and the batch entry
+//! points (`seal_batch`/`open_batch`) are what the SUVM write-back
+//! drain and the server request pipeline use to amortize the per-key
+//! setup across a scatter-gather batch.
 //!
 //! Functional behaviour is real — tampered ciphertexts genuinely fail
 //! authentication, which the SUVM integrity tests rely on. *Performance*
@@ -20,6 +27,7 @@
 //!
 //! ```
 //! use eleos_crypto::gcm::AesGcm128;
+//! use eleos_crypto::Sealer;
 //!
 //! let key = [7u8; 16];
 //! let gcm = AesGcm128::new(&key);
@@ -34,6 +42,9 @@ pub mod aes;
 pub mod ctr;
 pub mod gcm;
 pub mod ghash;
+pub mod sealer;
+
+pub use sealer::{BatchAuthError, OpenJob, SealJob, Sealer};
 
 /// Error returned when an authenticated decryption fails its tag check.
 ///

@@ -2,9 +2,17 @@
 
 use eleos_crypto::aes::Aes;
 use eleos_crypto::ctr::Ctr128;
-use eleos_crypto::gcm::{AesGcm128, AesGcm256};
+use eleos_crypto::gcm::{AesGcm128, AesGcm256, Nonce, Tag};
 use eleos_crypto::ghash::gf128_mul;
+use eleos_crypto::{OpenJob, SealJob, Sealer};
 use proptest::prelude::*;
+
+/// Deterministic distinct nonce for message `i` of a batch.
+fn nonce_for(i: usize) -> Nonce {
+    let mut n = [0u8; 12];
+    n[..8].copy_from_slice(&(i as u64).to_le_bytes());
+    n
+}
 
 proptest! {
     /// AES decrypt inverts encrypt for any key/block (128-bit).
@@ -91,6 +99,103 @@ proptest! {
         let mut tag = gcm.seal(&nonce, &[], &mut buf);
         tag[flip_byte] ^= 1 << flip_bit;
         prop_assert!(gcm.open(&nonce, &[], &mut buf, &tag).is_err());
+    }
+
+    /// `seal_batch` is byte-equivalent to sealing each message alone,
+    /// for any batch size (including empty and single-message batches)
+    /// and any message lengths: same ciphertexts, same tags.
+    #[test]
+    fn gcm_seal_batch_equals_sequential(
+        key in prop::array::uniform16(any::<u8>()),
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..160), 0..9),
+        aad in prop::collection::vec(any::<u8>(), 0..32)) {
+        let gcm = AesGcm128::new(&key);
+        // Sequential reference: one seal per message.
+        let mut seq: Vec<Vec<u8>> = msgs.clone();
+        let seq_tags: Vec<Tag> = seq
+            .iter_mut()
+            .enumerate()
+            .map(|(i, m)| gcm.seal(&nonce_for(i), &aad, m))
+            .collect();
+        // One scatter-gather batch over the same messages.
+        let mut batched: Vec<Vec<u8>> = msgs.clone();
+        let mut jobs: Vec<SealJob<'_>> = batched
+            .iter_mut()
+            .enumerate()
+            .map(|(i, m)| SealJob { nonce: nonce_for(i), aad: &aad, data: m })
+            .collect();
+        let batch_tags = gcm.seal_batch(&mut jobs);
+        prop_assert_eq!(&batched, &seq);
+        prop_assert_eq!(&batch_tags, &seq_tags);
+        // And the batch opens back to the plaintexts in one pass.
+        let mut jobs: Vec<OpenJob<'_>> = batched
+            .iter_mut()
+            .zip(batch_tags.iter())
+            .enumerate()
+            .map(|(i, (m, tag))| OpenJob { nonce: nonce_for(i), aad: &aad, data: m, tag: *tag })
+            .collect();
+        prop_assert!(gcm.open_batch(&mut jobs).is_ok());
+        prop_assert_eq!(&batched, &msgs);
+    }
+
+    /// `open_batch` is byte-equivalent to opening each message alone.
+    #[test]
+    fn gcm_open_batch_equals_sequential(
+        key in prop::array::uniform16(any::<u8>()),
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..160), 0..9)) {
+        let gcm = AesGcm128::new(&key);
+        let mut sealed: Vec<Vec<u8>> = msgs.clone();
+        let tags: Vec<Tag> = sealed
+            .iter_mut()
+            .enumerate()
+            .map(|(i, m)| gcm.seal(&nonce_for(i), &[], m))
+            .collect();
+        // Sequential reference opens.
+        let mut seq = sealed.clone();
+        for (i, m) in seq.iter_mut().enumerate() {
+            prop_assert!(gcm.open(&nonce_for(i), &[], m, &tags[i]).is_ok());
+        }
+        // Batched open of the same ciphertexts.
+        let mut batched = sealed.clone();
+        let mut jobs: Vec<OpenJob<'_>> = batched
+            .iter_mut()
+            .zip(tags.iter())
+            .enumerate()
+            .map(|(i, (m, tag))| OpenJob { nonce: nonce_for(i), aad: &[], data: m, tag: *tag })
+            .collect();
+        prop_assert!(gcm.open_batch(&mut jobs).is_ok());
+        prop_assert_eq!(&batched, &seq);
+        prop_assert_eq!(&batched, &msgs);
+    }
+
+    /// The CTR sealer's batch path matches per-message `apply` and the
+    /// involution still holds through the trait.
+    #[test]
+    fn ctr_seal_batch_equals_sequential(
+        key in prop::array::uniform16(any::<u8>()),
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..160), 0..9)) {
+        let ctr = Ctr128::new(&key);
+        let mut seq: Vec<Vec<u8>> = msgs.clone();
+        for (i, m) in seq.iter_mut().enumerate() {
+            ctr.apply(&nonce_for(i), m);
+        }
+        let mut batched: Vec<Vec<u8>> = msgs.clone();
+        let mut jobs: Vec<SealJob<'_>> = batched
+            .iter_mut()
+            .enumerate()
+            .map(|(i, m)| SealJob { nonce: nonce_for(i), aad: &[], data: m })
+            .collect();
+        let tags = ctr.seal_batch(&mut jobs);
+        prop_assert!(tags.iter().all(|t| *t == [0u8; 16]), "CTR tags are zero");
+        prop_assert_eq!(&batched, &seq);
+        // open_batch is the inverse pass (and never fails: no tags).
+        let mut jobs: Vec<OpenJob<'_>> = batched
+            .iter_mut()
+            .enumerate()
+            .map(|(i, m)| OpenJob { nonce: nonce_for(i), aad: &[], data: m, tag: [0u8; 16] })
+            .collect();
+        prop_assert!(ctr.open_batch(&mut jobs).is_ok());
+        prop_assert_eq!(&batched, &msgs);
     }
 
     /// GF(2^128) multiplication is commutative and associative.

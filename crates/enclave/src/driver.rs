@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use eleos_crypto::Sealer;
 use eleos_sim::costs::PAGE_SIZE;
 use eleos_sim::stats::Stats;
 

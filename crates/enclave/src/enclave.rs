@@ -146,6 +146,7 @@ impl Enclave {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eleos_crypto::Sealer;
 
     #[test]
     fn pte_roundtrip() {

@@ -177,6 +177,106 @@ impl HostOs {
         Some((seq, len))
     }
 
+    /// `recvmmsg(2)`-style scatter-gather receive: dequeues up to
+    /// `max_msgs` messages, in arrival order, into consecutive
+    /// `stripe`-byte slots starting at `buf_addr`, and writes each
+    /// message's length as a little-endian `u32` into the descriptor
+    /// array at `desc_addr`. Returns the number of messages received.
+    ///
+    /// The whole batch pays the trap/return and kernel-bookkeeping
+    /// footprint **once** — that is the point of the syscall: the
+    /// kernel walks the socket queue a single time, so per-message
+    /// cost degenerates to the user copies.
+    pub fn recv_mmsg(
+        &self,
+        ctx: &mut ThreadCtx,
+        fd: Fd,
+        buf_addr: u64,
+        stripe: usize,
+        max_msgs: usize,
+        desc_addr: u64,
+    ) -> usize {
+        assert!(!ctx.in_enclave(), "syscall from trusted mode");
+        assert!(max_msgs > 0);
+        ctx.compute(ctx.machine.cfg.costs.syscall);
+        Stats::bump(&ctx.machine.stats.syscalls);
+        // One queue walk under one lock hold: the batch is atomic, so
+        // slot order *is* arrival order and no reorder tag is needed.
+        let (popped, meta) = {
+            let mut sockets = self.sockets.lock();
+            let s = sockets.get_mut(&fd).expect("bad fd");
+            let mut popped = Vec::with_capacity(max_msgs.min(s.rx_queue.len()));
+            while popped.len() < max_msgs {
+                let Some((off, len)) = s.rx_queue.pop_front() else {
+                    break;
+                };
+                let len = len.min(stripe);
+                s.rx_bytes += len as u64;
+                s.pop_seq += 1;
+                popped.push((s.staging + off as u64, len));
+            }
+            (popped, s.meta)
+        };
+        if popped.is_empty() {
+            return 0;
+        }
+        // Kernel bookkeeping once per batch, then the copies
+        // kernel->user per message.
+        let mut scratch = vec![0u8; KERNEL_META_BYTES];
+        ctx.read_untrusted(meta, &mut scratch);
+        let mut descs = Vec::with_capacity(popped.len() * 4);
+        for (i, &(staging_off, len)) in popped.iter().enumerate() {
+            let mut payload = vec![0u8; len];
+            ctx.read_untrusted(staging_off, &mut payload);
+            ctx.write_untrusted(buf_addr + (i * stripe) as u64, &payload);
+            descs.extend_from_slice(&(len as u32).to_le_bytes());
+        }
+        ctx.write_untrusted(desc_addr, &descs);
+        popped.len()
+    }
+
+    /// `sendmmsg(2)`-style scatter-gather send: transmits `n_msgs`
+    /// messages from consecutive `stripe`-byte slots at `buf_addr`,
+    /// taking each message's length from the little-endian `u32`
+    /// descriptor array at `desc_addr`. Pays the trap/return and
+    /// kernel bookkeeping once per batch. Returns `n_msgs`.
+    pub fn send_mmsg(
+        &self,
+        ctx: &mut ThreadCtx,
+        fd: Fd,
+        buf_addr: u64,
+        stripe: usize,
+        n_msgs: usize,
+        desc_addr: u64,
+    ) -> usize {
+        assert!(!ctx.in_enclave(), "syscall from trusted mode");
+        ctx.compute(ctx.machine.cfg.costs.syscall);
+        Stats::bump(&ctx.machine.stats.syscalls);
+        let meta = {
+            let sockets = self.sockets.lock();
+            sockets.get(&fd).expect("bad fd").meta
+        };
+        let mut scratch = vec![0u8; KERNEL_META_BYTES];
+        ctx.read_untrusted(meta, &mut scratch);
+        let mut descs = vec![0u8; n_msgs * 4];
+        ctx.read_untrusted(desc_addr, &mut descs);
+        for i in 0..n_msgs {
+            let len =
+                u32::from_le_bytes(descs[i * 4..i * 4 + 4].try_into().expect("desc")) as usize;
+            assert!(len <= stripe, "descriptor exceeds its stripe");
+            let mut payload = vec![0u8; len];
+            ctx.read_untrusted(buf_addr + (i * stripe) as u64, &mut payload);
+            let mut sockets = self.sockets.lock();
+            let s = sockets.get_mut(&fd).expect("bad fd");
+            s.tx_bytes += len as u64;
+            s.tx_log.push_back(payload);
+            if s.tx_log.len() > TX_LOG_CAP {
+                s.tx_log.pop_front();
+            }
+        }
+        n_msgs
+    }
+
     /// `send(2)`: transmits `len` bytes from untrusted memory.
     pub fn send(&self, ctx: &mut ThreadCtx, fd: Fd, buf_addr: u64, len: usize) -> usize {
         assert!(!ctx.in_enclave(), "syscall from trusted mode");
@@ -255,6 +355,41 @@ mod tests {
         m.host.send(&mut t, fd, buf, 9);
         assert_eq!(m.host.byte_counts(fd), (12, 9));
         assert_eq!(m.host.pop_response(fd).unwrap(), b"response!");
+    }
+
+    #[test]
+    fn mmsg_batches_pay_one_syscall() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let mut t = ThreadCtx::untrusted(&m, 0);
+        let fd = m.host.socket(&t, 64 << 10);
+        for i in 0..5u8 {
+            m.host.push_request(&t, fd, &[i; 10]);
+        }
+        let buf = m.alloc_untrusted(4096);
+        let desc = m.alloc_untrusted(64);
+        let s0 = m.stats.snapshot();
+        // Asks for 8, gets the 5 queued, in arrival order.
+        let n = m.host.recv_mmsg(&mut t, fd, buf, 512, 8, desc);
+        assert_eq!(n, 5);
+        assert_eq!((m.stats.snapshot() - s0).syscalls, 1);
+        let mut descs = vec![0u8; n * 4];
+        t.read_untrusted(desc, &mut descs);
+        for i in 0..n {
+            let len = u32::from_le_bytes(descs[i * 4..i * 4 + 4].try_into().unwrap()) as usize;
+            assert_eq!(len, 10);
+            let mut msg = vec![0u8; len];
+            t.read_untrusted(buf + (i * 512) as u64, &mut msg);
+            assert_eq!(msg, vec![i as u8; 10]);
+        }
+
+        // Echo all five back with one sendmmsg.
+        let s1 = m.stats.snapshot();
+        assert_eq!(m.host.send_mmsg(&mut t, fd, buf, 512, n, desc), 5);
+        assert_eq!((m.stats.snapshot() - s1).syscalls, 1);
+        for i in 0..n {
+            assert_eq!(m.host.pop_response(fd).unwrap(), vec![i as u8; 10]);
+        }
+        assert_eq!(m.host.byte_counts(fd), (50, 50));
     }
 
     #[test]

@@ -446,6 +446,10 @@ pub struct RpcBatch {
     /// Sum of the workers' measured cycles across reaped jobs.
     worker_cycles: u64,
     n_workers: usize,
+    /// Caller's clock when submission finished; [`RpcBatch::wait_all`]
+    /// only charges worker time not already covered by the caller's
+    /// own progress since then.
+    submitted_at: u64,
 }
 
 impl RpcBatch {
@@ -471,6 +475,12 @@ impl RpcBatch {
     /// caller the pool-parallel wait time (total worker cycles divided
     /// by the number of workers that could run concurrently), and
     /// returns the results in request order.
+    ///
+    /// The charge is overlap-aware: workers execute concurrently with
+    /// the enclave from the moment of submission, so any cycles the
+    /// caller has already spent computing since then come off the
+    /// wait. A caller that defers the wait past enough of its own work
+    /// (the paper's asynchronous exit-less calls, §3.1) pays nothing.
     pub fn wait_all(mut self, ctx: &mut ThreadCtx) -> Vec<u64> {
         let n_jobs = self.results.len();
         let mut backoff = Backoff::new();
@@ -482,7 +492,8 @@ impl RpcBatch {
             }
         }
         let lanes = self.n_workers.min(n_jobs).max(1) as u64;
-        ctx.compute(self.worker_cycles / lanes);
+        let overlapped = ctx.now().saturating_sub(self.submitted_at);
+        ctx.compute((self.worker_cycles / lanes).saturating_sub(overlapped));
         self.results
             .into_iter()
             .map(|r| r.expect("all pending reaped"))
@@ -491,6 +502,15 @@ impl RpcBatch {
 }
 
 impl RpcService {
+    /// Number of worker threads polling the ring. Callers use this to
+    /// pick a submission shape: per-message jobs parallelize across
+    /// workers, while a single-worker service is better served by one
+    /// scatter-gather job.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shared.n_workers
+    }
+
     /// Starts building a service on `machine`.
     #[must_use]
     pub fn builder(machine: &Arc<SgxMachine>) -> RpcBuilder {
@@ -621,6 +641,7 @@ impl RpcService {
             results: vec![None; reqs.len()],
             worker_cycles: 0,
             n_workers: self.shared.n_workers,
+            submitted_at: 0,
         };
         Stats::bump(&self.shared.machine.stats.rpc_batches);
         for (idx, &(func_id, args)) in reqs.iter().enumerate() {
@@ -649,6 +670,7 @@ impl RpcService {
             });
             batch.pending.push((idx, fut));
         }
+        batch.submitted_at = ctx.now();
         batch
     }
 
@@ -697,6 +719,14 @@ pub mod funcs {
     /// workers reap a batch out of order; `len` is capped well below
     /// 2^32 by the staging ring so the sentinel is unambiguous.
     pub const RECV_TAGGED: u64 = 11;
+    /// `recv_mmsg(fd, buf, (stripe << 32) | max_msgs, desc)` ->
+    /// message count. Scatter-gather receive into `stripe`-byte slots
+    /// at `buf`, message lengths written as `u32`s at `desc`; one
+    /// kernel crossing for the whole batch.
+    pub const RECV_MMSG: u64 = 12;
+    /// `send_mmsg(fd, buf, (stripe << 32) | n_msgs, desc)` -> count.
+    /// Scatter-gather counterpart of [`RECV_MMSG`] for transmit.
+    pub const SEND_MMSG: u64 = 13;
 }
 
 /// Registers the standard socket syscalls ([`funcs`]) on a builder.
@@ -705,6 +735,8 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
     let m1 = Arc::clone(machine);
     let m2 = Arc::clone(machine);
     let m3 = Arc::clone(machine);
+    let m4 = Arc::clone(machine);
+    let m5 = Arc::clone(machine);
     b.register(
         funcs::RECV,
         UntrustedFn::new(move |ctx, args| {
@@ -728,6 +760,22 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
             m3.host
                 .recv_tagged(ctx, fd, args[1], args[2] as usize)
                 .map_or(u64::MAX, |(seq, n)| (seq << 32) | n as u64)
+        }),
+    )
+    .register(
+        funcs::RECV_MMSG,
+        UntrustedFn::new(move |ctx, args| {
+            let fd = eleos_enclave::host::Fd(args[0] as u32);
+            let (stripe, max) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
+            m4.host.recv_mmsg(ctx, fd, args[1], stripe, max, args[3]) as u64
+        }),
+    )
+    .register(
+        funcs::SEND_MMSG,
+        UntrustedFn::new(move |ctx, args| {
+            let fd = eleos_enclave::host::Fd(args[0] as u32);
+            let (stripe, n) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
+            m5.host.send_mmsg(ctx, fd, args[1], stripe, n, args[3]) as u64
         }),
     )
 }

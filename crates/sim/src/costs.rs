@@ -160,10 +160,35 @@ impl CostModel {
     }
 
     /// Cycles to seal or unseal `bytes` bytes with AES-GCM at AES-NI
-    /// rates.
+    /// rates, as a standalone operation (a batch of one:
+    /// `crypto_batched(0, bytes)`).
     #[must_use]
     pub fn crypto(&self, bytes: usize) -> u64 {
-        self.crypto_fixed + (self.crypto_cpb * bytes as f64) as u64
+        self.crypto_batched(0, bytes)
+    }
+
+    /// Fixed setup cycles for message `index` of a setup-amortized
+    /// batch: the first message pays the full `crypto_fixed` (key
+    /// schedule + GHASH table), follow-ons a quarter of it (the state
+    /// is already hot).
+    ///
+    /// This is the one shared amortization contract: the SUVM
+    /// write-back drain and the wire codec's batch entry points both
+    /// charge through it.
+    #[must_use]
+    pub fn crypto_batch_fixed(&self, index: usize) -> u64 {
+        if index == 0 {
+            self.crypto_fixed
+        } else {
+            self.crypto_fixed / 4
+        }
+    }
+
+    /// Cycles to seal or unseal `bytes` bytes as message `index` of a
+    /// setup-amortized batch.
+    #[must_use]
+    pub fn crypto_batched(&self, index: usize, bytes: usize) -> u64 {
+        self.crypto_batch_fixed(index) + (self.crypto_cpb * bytes as f64) as u64
     }
 
     /// LLC miss penalty for the given target and access.
@@ -253,6 +278,23 @@ mod tests {
         // A 4 KiB unseal should land near the paper's 8.5k-cycle
         // read-fault cost (the fault also pays lookup + copies).
         assert!((6_000..=9_000).contains(&page), "page crypto = {page}");
+    }
+
+    #[test]
+    fn batched_crypto_amortizes_setup() {
+        let c = CostModel::default();
+        // A batch of one is exactly the standalone cost.
+        assert_eq!(c.crypto_batched(0, 4096), c.crypto(4096));
+        assert_eq!(c.crypto_batch_fixed(0), c.crypto_fixed);
+        // Follow-on messages pay a quarter of the setup.
+        assert_eq!(c.crypto_batch_fixed(1), c.crypto_fixed / 4);
+        assert_eq!(c.crypto_batch_fixed(63), c.crypto_fixed / 4);
+        assert!(c.crypto_batched(1, 4096) < c.crypto(4096));
+        // The per-byte cost is unaffected by batching.
+        assert_eq!(
+            c.crypto_batched(1, 4096) - c.crypto_batch_fixed(1),
+            c.crypto(4096) - c.crypto_fixed
+        );
     }
 
     #[test]

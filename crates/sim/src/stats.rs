@@ -103,6 +103,12 @@ stats! {
     rpc_errors,
     /// Bytes moved by seal/unseal operations.
     sealed_bytes,
+    /// Wire-crypto batches processed (one setup amortized per batch).
+    crypto_batches,
+    /// Wire messages sealed/opened through the batch pipeline.
+    crypto_msgs,
+    /// Fixed setup cycles charged by the wire-crypto pipeline (full for batch leaders, a quarter for follow-ons).
+    crypto_setup_cycles,
     /// SUVM dirty victims parked on the write-back queue (batched mode).
     suvm_wb_queued,
     /// SUVM write-back drains that sealed at least one page.
@@ -158,6 +164,9 @@ impl StatsSnapshot {
         put("rpc_ring_full", self.rpc_ring_full);
         put("rpc_errors", self.rpc_errors);
         put("syscalls", self.syscalls);
+        put("crypto_batches", self.crypto_batches);
+        put("crypto_msgs", self.crypto_msgs);
+        put("crypto_setup", self.crypto_setup_cycles);
         put("hw_faults", self.hw_faults);
         put("hw_evictions", self.hw_evictions);
         put("ipis", self.ipis);

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use eleos::apps::face::{
     build_verify_request, chi_square, lbp_histogram, synth_capture, synth_image, FaceDb, FaceServer,
 };
-use eleos::apps::io::{IoPath, ServerIo};
+use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
 use eleos::apps::space::DataSpace;
 use eleos::apps::wire::Wire;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
@@ -69,7 +69,7 @@ fn main() {
     let io = ServerIo::new(
         &ctx,
         fd,
-        (SIDE * SIDE) + 4096,
+        ServerIoConfig::with_buf_len((SIDE * SIDE) + 4096),
         IoPath::Rpc(rpc),
         Arc::clone(&wire),
     );

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use eleos::apps::io::{IoPath, ServerIo};
+use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
 use eleos::apps::kvs::Kvs;
 use eleos::apps::space::DataSpace;
 use eleos::apps::text_protocol::{format_get, format_set, handle_text_request};
@@ -56,7 +56,7 @@ fn main() {
     let io = ServerIo::new(
         &ctx,
         fd,
-        64 << 10,
+        ServerIoConfig::with_buf_len(64 << 10),
         IoPath::Rpc(Arc::clone(&rpc)),
         Arc::clone(&wire),
     );

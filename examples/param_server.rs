@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use eleos::apps::io::{IoPath, ServerIo};
+use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
 use eleos::apps::loadgen::ParamLoad;
 use eleos::apps::param_server::{ParamServer, TableKind};
 use eleos::apps::space::DataSpace;
@@ -70,7 +70,13 @@ fn run(mode: &str) -> f64 {
     server.init(&mut ctx);
     server.populate_bulk(&mut ctx, n_keys);
 
-    let io = ServerIo::new(&ctx, fd, 64 << 10, path, Arc::clone(&wire));
+    let io = ServerIo::new(
+        &ctx,
+        fd,
+        ServerIoConfig::with_buf_len(64 << 10),
+        path,
+        Arc::clone(&wire),
+    );
     let mut load = ParamLoad::new(3, n_keys, 4, None);
     machine.reset_counters();
     let c0 = ctx.now();

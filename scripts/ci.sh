@@ -20,6 +20,32 @@ for label in clock fifo random lru slru buddy striped; do
         || { echo "BENCH_paging.json missing $label cells"; exit 1; }
 done
 
+echo "== crypto batch-equivalence proptests"
+cargo test -p eleos-crypto --offline -q
+
+echo "== crypto_bench smoke"
+cargo run --release -p eleos-bench --bin repro --offline -- crypto_bench --quick --scale 16
+python3 - <<'EOF'
+import itertools, json, sys
+
+cells = json.load(open("BENCH_crypto.json"))["cells"]
+by_series = {}
+for c in cells:
+    by_series.setdefault((c["server"], c["crypto"]), {})[c["batch"]] = c["cycles_per_op"]
+for server, crypto in itertools.product(
+    ("kvs", "text", "param"), ("per-msg", "batched")
+):
+    series = by_series.get((server, crypto))
+    if not series or sorted(series) != [1, 8]:
+        sys.exit(f"BENCH_crypto.json missing cells for ({server}, {crypto})")
+    if series[8] > series[1]:
+        sys.exit(
+            f"({server}, {crypto}) cycles/op not monotone nonincreasing: "
+            f"batch 1 = {series[1]}, batch 8 = {series[8]}"
+        )
+print(f"   {len(cells)} cells, every series monotone nonincreasing")
+EOF
+
 echo "== fmt"
 cargo fmt --all --check
 

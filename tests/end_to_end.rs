@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use eleos::apps::io::{IoPath, ServerIo};
+use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
 use eleos::apps::kvs::{build_get, build_set, Kvs};
 use eleos::apps::loadgen::{KvsLoad, ParamLoad};
 use eleos::apps::param_server::{ParamServer, TableKind};
@@ -103,7 +103,13 @@ fn param_server_run(mode: &str) -> Vec<u64> {
     let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, n_keys);
     server.init(&mut s.ctx);
     server.populate_bulk(&mut s.ctx, n_keys);
-    let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+    let io = ServerIo::new(
+        &s.ctx,
+        s.fd,
+        ServerIoConfig::with_buf_len(64 << 10),
+        s.path.clone(),
+        Arc::clone(&s.wire),
+    );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
     let mut load = ParamLoad::new(42, n_keys, 8, None);
     for _ in 0..200 {
@@ -135,7 +141,13 @@ fn eleos_mode_never_exits_the_enclave() {
     let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, 10_000);
     server.init(&mut s.ctx);
     server.populate_bulk(&mut s.ctx, 10_000);
-    let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+    let io = ServerIo::new(
+        &s.ctx,
+        s.fd,
+        ServerIoConfig::with_buf_len(64 << 10),
+        s.path.clone(),
+        Arc::clone(&s.wire),
+    );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
     s.machine.reset_counters();
     let mut load = ParamLoad::new(1, 10_000, 4, None);
@@ -160,7 +172,13 @@ fn sgx_mode_pays_exits_and_faults() {
     let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, n_keys);
     server.init(&mut s.ctx);
     server.populate_bulk(&mut s.ctx, n_keys);
-    let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+    let io = ServerIo::new(
+        &s.ctx,
+        s.fd,
+        ServerIoConfig::with_buf_len(64 << 10),
+        s.path.clone(),
+        Arc::clone(&s.wire),
+    );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
     s.machine.reset_counters();
     let mut load = ParamLoad::new(1, n_keys, 4, None);
@@ -184,7 +202,13 @@ fn kvs_full_protocol_all_modes() {
         let meta_space = DataSpace::Untrusted(Arc::clone(&s.machine));
         let mut kvs = Kvs::new(meta_space, s.space.clone(), 16 << 20, 2048);
         kvs.init(&mut s.ctx);
-        let io = ServerIo::new(&s.ctx, s.fd, 64 << 10, s.path.clone(), Arc::clone(&s.wire));
+        let io = ServerIo::new(
+            &s.ctx,
+            s.fd,
+            ServerIoConfig::with_buf_len(64 << 10),
+            s.path.clone(),
+            Arc::clone(&s.wire),
+        );
         let ut = ThreadCtx::untrusted(&s.machine, 1);
         let load = KvsLoad::new(5, 500, 20, 800);
         for i in 0..load.n_items {
@@ -251,7 +275,7 @@ fn face_pipeline_in_enclave() {
     let io = ServerIo::new(
         &s.ctx,
         s.fd,
-        side * side + 4096,
+        ServerIoConfig::with_buf_len(side * side + 4096),
         s.path.clone(),
         Arc::clone(&s.wire),
     );
