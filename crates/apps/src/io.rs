@@ -10,11 +10,18 @@
 //! crypto amortization are session configuration ([`ServerIoConfig`]),
 //! not per-call arguments.
 //!
-//! On the RPC path a single-worker service reaps and sends with
-//! scatter-gather `recvmmsg`/`sendmmsg`-style jobs — one syscall and
-//! one kernel-metadata charge per batch — while multi-worker services
-//! keep per-message jobs that parallelize across workers.
+//! On the RPC path the reap is split into one scatter-gather
+//! `recvmmsg`/`sendmmsg`-style *sub-batch* per worker — one syscall
+//! and one kernel-metadata charge per sub-batch instead of per
+//! message — and the sub-batches execute in parallel across the
+//! workers. Each descriptor carries the socket's dequeue sequence, so
+//! the reap merges the sub-batches back into global arrival order by
+//! a seq sort (the multi-worker generalization of the `RECV_TAGGED`
+//! merge). The per-message path survives behind
+//! [`ServerIoConfig::scatter_gather`]`(false)` as the baseline
+//! `repro crypto_bench` compares against.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eleos_enclave::host::Fd;
@@ -62,13 +69,20 @@ pub struct ServerIoConfig {
     /// against. Wire bytes are identical either way.
     pub batched_crypto: bool,
     /// Defer reaping the scatter-gather send until the next batch
-    /// (double-buffered transmit): the worker executes the send while
-    /// the serving core receives and processes the following batch, so
-    /// the overlap-aware wait usually charges nothing. Responses still
-    /// go out in order (single worker, FIFO ring), but a caller that
-    /// stops serving must [`ServerIo::flush`] to reap the last one.
-    /// Only engages on the single-worker RPC scatter-gather path.
+    /// (double-buffered transmit): the workers execute the send
+    /// sub-batches while the serving core receives and processes the
+    /// following batch, so the overlap-aware wait usually charges
+    /// nothing. Responses still go out in order (transmit sequences in
+    /// the descriptors commit through the kernel reorder buffer), but
+    /// a caller that stops serving must [`ServerIo::flush`] to reap
+    /// the last one. Only engages on the RPC scatter-gather path.
     pub async_send: bool,
+    /// Use scatter-gather `recv_mmsg`/`send_mmsg` sub-batches (one per
+    /// worker) on the RPC path — one syscall trap and one
+    /// kernel-metadata charge per sub-batch (default). `false` falls
+    /// back to per-message `RECV_TAGGED`/`SEND` jobs, the baseline
+    /// `repro crypto_bench`'s `io=per-msg` cells measure.
+    pub scatter_gather: bool,
 }
 
 impl Default for ServerIoConfig {
@@ -78,6 +92,7 @@ impl Default for ServerIoConfig {
             batch: 16,
             batched_crypto: true,
             async_send: false,
+            scatter_gather: true,
         }
     }
 }
@@ -114,6 +129,24 @@ impl ServerIoConfig {
         self
     }
 
+    /// Enables or disables scatter-gather sub-batch I/O on the RPC
+    /// path.
+    #[must_use]
+    pub fn scatter_gather(mut self, on: bool) -> Self {
+        self.scatter_gather = on;
+        self
+    }
+
+    /// Label for the I/O submission mode in experiment output.
+    #[must_use]
+    pub fn io_label(&self) -> &'static str {
+        if self.scatter_gather {
+            "sg"
+        } else {
+            "per-msg"
+        }
+    }
+
     /// Label for experiment output (mirrors how the paging benches
     /// name the eviction policy).
     #[must_use]
@@ -135,13 +168,20 @@ pub struct ServerIo {
     pub rx_buf: u64,
     /// Untrusted transmit buffer.
     pub tx_buf: u64,
-    /// Untrusted length-descriptor array for scatter-gather receives
-    /// (`batch` little-endian `u32`s, like `recvmmsg`'s msgvec).
+    /// Untrusted descriptor array for scatter-gather receives: `batch`
+    /// little-endian `u64`s of `(seq << 32) | len`, like `recvmmsg`'s
+    /// msgvec plus the socket's dequeue sequence.
     desc_rx: u64,
-    /// Untrusted length-descriptor array for scatter-gather sends.
+    /// Untrusted descriptor array for scatter-gather sends (same
+    /// `(seq << 32) | len` format; `seq` is the transmit sequence the
+    /// kernel reorder buffer commits in order).
     desc_tx: u64,
+    /// Next transmit sequence number for sequenced scatter-gather
+    /// sends. The host commits payloads to the wire strictly in this
+    /// order, so parallel send sub-batches cannot reorder responses.
+    tx_seq: AtomicU64,
     /// The in-flight deferred send, when `cfg.async_send` is on: the
-    /// transmit buffer belongs to the worker until this is reaped.
+    /// transmit buffer belongs to the workers until this is reaped.
     pending_send: std::sync::Mutex<Option<eleos_rpc::RpcBatch>>,
     /// Session tunables.
     pub cfg: ServerIoConfig,
@@ -161,13 +201,14 @@ impl ServerIo {
         path: IoPath,
         wire: Arc<Wire>,
     ) -> Self {
-        let descs = cfg.batch * 4;
+        let descs = cfg.batch * 8;
         Self {
             fd,
             rx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
             tx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
             desc_rx: ctx.machine.alloc_untrusted(descs),
             desc_tx: ctx.machine.alloc_untrusted(descs),
+            tx_seq: AtomicU64::new(0),
             pending_send: std::sync::Mutex::new(None),
             cfg,
             path,
@@ -210,16 +251,18 @@ impl ServerIo {
     /// Collects up to `max` raw wire messages in the socket's arrival
     /// order, without decrypting.
     ///
-    /// On the RPC path with a single worker the whole reap is one
-    /// scatter-gather `recvmmsg`-style job: one syscall and one
-    /// kernel-metadata charge cover the batch, and the worker fills
-    /// per-message stripes of the receive buffer plus a length
-    /// descriptor array (arrival order is the socket's dequeue order
-    /// by construction). With more than one worker the reap falls back
-    /// to per-message `RECV_TAGGED` jobs — they parallelize across
-    /// workers but may *execute* out of submission order, so each
-    /// descriptor carries the socket's dequeue sequence number and the
-    /// reap sorts by it. On the native/OCALL paths this degrades to a
+    /// On the RPC scatter-gather path the reap is split into one
+    /// `recvmmsg`-style sub-batch per worker — contiguous stripe
+    /// ranges of the receive buffer, submitted together as one RPC
+    /// batch. Each sub-batch costs one syscall and one kernel-metadata
+    /// charge regardless of how many messages it pops, and the
+    /// sub-batches drain the socket concurrently, so their slots
+    /// interleave; every descriptor carries the socket's dequeue
+    /// sequence and the reap merges by a global seq sort. A single
+    /// worker degenerates to the one-job scatter-gather reap. With
+    /// `scatter_gather` off the reap falls back to per-message
+    /// `RECV_TAGGED` jobs (same seq-sorted merge, one syscall *per
+    /// message*). On the native/OCALL paths this degrades to a
     /// sequential loop that stops at the first would-block.
     fn reap_raw(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
         let svc = match &self.path {
@@ -237,26 +280,44 @@ impl ServerIo {
         };
         let stripe = self.cfg.buf_len / max;
         assert!(stripe > 0, "batch too large for the receive buffer");
-        if svc.worker_count() <= 1 {
-            let args = [
-                self.fd.0 as u64,
-                self.rx_buf,
-                ((stripe as u64) << 32) | max as u64,
-                self.desc_rx,
-            ];
-            let n = svc
-                .submit_batch(ctx, &[(funcs::RECV_MMSG, args)])
-                .wait_all(ctx)[0] as usize;
-            if n == 0 {
-                return Vec::new();
+        if self.cfg.scatter_gather {
+            let ranges = split_ranges(max, svc.worker_count().max(1));
+            let reqs: Vec<(u64, [u64; 4])> = ranges
+                .iter()
+                .map(|&(start, count)| {
+                    (
+                        funcs::RECV_MMSG,
+                        [
+                            self.fd.0 as u64,
+                            self.rx_buf + (start * stripe) as u64,
+                            ((stripe as u64) << 32) | count as u64,
+                            self.desc_rx + (start * 8) as u64,
+                        ],
+                    )
+                })
+                .collect();
+            let counts = svc.submit_batch(ctx, &reqs).wait_all(ctx);
+            // (seq, slot, len) across all sub-batches: sub-batches pop
+            // concurrently, so arrival order is reconstructed from the
+            // dequeue sequences, not the slot layout.
+            let mut got: Vec<(u64, usize, usize)> = Vec::new();
+            for (&(start, _), &n) in ranges.iter().zip(counts.iter()) {
+                let n = n as usize;
+                if n == 0 {
+                    continue;
+                }
+                let mut descs = vec![0u8; n * 8];
+                ctx.read_untrusted(self.desc_rx + (start * 8) as u64, &mut descs);
+                for i in 0..n {
+                    let d = u64::from_le_bytes(descs[i * 8..i * 8 + 8].try_into().unwrap());
+                    got.push((d >> 32, start + i, (d & 0xffff_ffff) as usize));
+                }
             }
-            let mut descs = vec![0u8; n * 4];
-            ctx.read_untrusted(self.desc_rx, &mut descs);
-            let mut out = Vec::with_capacity(n);
-            for i in 0..n {
-                let len = u32::from_le_bytes(descs[i * 4..i * 4 + 4].try_into().unwrap()) as usize;
-                let mut msg = vec![0u8; len];
-                ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
+            got.sort_unstable_by_key(|&(seq, _, _)| seq);
+            let mut out = Vec::with_capacity(got.len());
+            for (_seq, slot, n) in got {
+                let mut msg = vec![0u8; n];
+                ctx.read_untrusted(self.rx_buf + (slot * stripe) as u64, &mut msg);
                 out.push(msg);
             }
             return out;
@@ -381,28 +442,41 @@ impl ServerIo {
         if let IoPath::Rpc(svc) = &self.path {
             // The transmit buffer may still belong to a deferred send.
             self.flush(ctx);
-            // Mirror of the receive side: a single worker gets one
-            // sendmmsg-style scatter-gather job (one syscall and one
-            // kernel-metadata charge for the batch); multiple workers
-            // get per-message jobs they can execute in parallel.
-            if svc.worker_count() <= 1 && msgs.len() <= self.cfg.batch {
-                let mut descs = Vec::with_capacity(msgs.len() * 4);
+            // Mirror of the receive side: one sendmmsg-style
+            // scatter-gather sub-batch per worker (one syscall and one
+            // kernel-metadata charge each), executing in parallel. The
+            // descriptors carry transmit sequences, so the kernel
+            // reorder buffer commits the responses to the wire in
+            // order no matter which worker runs which sub-batch.
+            if self.cfg.scatter_gather && msgs.len() <= self.cfg.batch {
+                let seq0 = self.tx_seq.fetch_add(msgs.len() as u64, Ordering::Relaxed);
+                let mut descs = Vec::with_capacity(msgs.len() * 8);
                 for (i, msg) in msgs.iter().enumerate() {
                     assert!(
                         msg.len() <= stripe,
                         "batched response exceeds its tx stripe"
                     );
                     ctx.write_untrusted(self.tx_buf + (i * stripe) as u64, msg);
-                    descs.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                    let d = ((seq0 + i as u64) << 32) | msg.len() as u64;
+                    descs.extend_from_slice(&d.to_le_bytes());
                 }
                 ctx.write_untrusted(self.desc_tx, &descs);
-                let args = [
-                    self.fd.0 as u64,
-                    self.tx_buf,
-                    ((stripe as u64) << 32) | msgs.len() as u64,
-                    self.desc_tx,
-                ];
-                let batch = svc.submit_batch(ctx, &[(funcs::SEND_MMSG, args)]);
+                let ranges = split_ranges(msgs.len(), svc.worker_count().max(1));
+                let reqs: Vec<(u64, [u64; 4])> = ranges
+                    .iter()
+                    .map(|&(start, count)| {
+                        (
+                            funcs::SEND_MMSG,
+                            [
+                                self.fd.0 as u64,
+                                self.tx_buf + (start * stripe) as u64,
+                                ((stripe as u64) << 32) | count as u64,
+                                self.desc_tx + (start * 8) as u64,
+                            ],
+                        )
+                    })
+                    .collect();
+                let batch = svc.submit_batch(ctx, &reqs);
                 if self.cfg.async_send {
                     *self.pending_send.lock().expect("pending send") = Some(batch);
                 } else {
@@ -449,11 +523,51 @@ impl ServerIo {
     }
 }
 
+/// Splits `total` slots into up to `parts` contiguous `(start, count)`
+/// ranges — one scatter-gather sub-batch per worker. The first
+/// `total % parts` ranges take the extra slot, so sub-batch sizes
+/// differ by at most one and every slot is covered exactly once.
+fn split_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, total.max(1));
+    let (base, rem) = (total / parts, total % parts);
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for j in 0..parts {
+        let count = base + usize::from(j < rem);
+        if count == 0 {
+            break;
+        }
+        ranges.push((start, count));
+        start += count;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use eleos_enclave::machine::{MachineConfig, SgxMachine};
     use eleos_enclave::thread::ThreadCtx;
+
+    #[test]
+    fn split_ranges_covers_every_slot_once() {
+        for total in 1..=65usize {
+            for parts in 1..=8usize {
+                let ranges = split_ranges(total, parts);
+                assert!(ranges.len() <= parts);
+                let mut next = 0;
+                for &(start, count) in &ranges {
+                    assert_eq!(start, next, "ranges must be contiguous");
+                    assert!(count > 0);
+                    next += count;
+                }
+                assert_eq!(next, total, "every slot covered exactly once");
+                let max = ranges.iter().map(|r| r.1).max().unwrap();
+                let min = ranges.iter().map(|r| r.1).min().unwrap();
+                assert!(max - min <= 1, "sub-batches differ by at most one");
+            }
+        }
+    }
 
     #[test]
     fn blocking_recv_waits_for_a_producer() {

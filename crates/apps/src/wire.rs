@@ -18,13 +18,10 @@
 //! single-message `decrypt_in_enclave`/`encrypt_in_enclave` are thin
 //! compatibility wrappers over batches of one.
 
-use std::sync::Arc;
-
 use eleos_crypto::ctr::Ctr128;
 use eleos_crypto::gcm::Tag;
 use eleos_crypto::{BatchAuthError, OpenJob, SealJob, Sealer};
 use eleos_enclave::thread::ThreadCtx;
-use eleos_sim::stats::Stats;
 
 /// Length of the nonce prefix on every message.
 pub const NONCE_LEN: usize = 12;
@@ -74,27 +71,12 @@ impl Wire {
     /// With `amortize` the batch leader pays the full `crypto_fixed`
     /// setup and follow-ons a quarter; without it every message pays
     /// the full setup — the per-message baseline `repro crypto_bench`
-    /// compares against.
+    /// compares against. Delegates to
+    /// [`ThreadCtx::charge_crypto_batch`], the single owner of the
+    /// `Costs::crypto_batch_fixed` amortization contract (shared with
+    /// the SUVM write-back drain).
     fn charge_batch(&self, ctx: &mut ThreadCtx, lens: impl Iterator<Item = usize>, amortize: bool) {
-        let machine = Arc::clone(&ctx.machine);
-        let costs = &machine.cfg.costs;
-        let (mut n, mut setup) = (0u64, 0u64);
-        for (i, len) in lens.enumerate() {
-            let fixed = if amortize {
-                costs.crypto_batch_fixed(i)
-            } else {
-                costs.crypto_fixed
-            };
-            setup += fixed;
-            ctx.compute(fixed + (costs.crypto_cpb * len as f64) as u64);
-            n += 1;
-        }
-        if n == 0 {
-            return;
-        }
-        Stats::bump(&machine.stats.crypto_batches);
-        Stats::add(&machine.stats.crypto_msgs, n);
-        Stats::add(&machine.stats.crypto_setup_cycles, setup);
+        ctx.charge_crypto_batch(lens, amortize);
     }
 
     /// Server side: decrypts a sorted batch of wire messages in one

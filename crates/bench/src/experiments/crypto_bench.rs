@@ -7,8 +7,14 @@
 //! for every request and response; the batched pipeline pays it once
 //! per reap and a quarter for each follow-on message — the same
 //! amortization contract `suvm/writeback.rs` uses for sealed
-//! evictions (`Costs::crypto_batch_fixed`). Both modes ride the same
+//! evictions (both now charge through the one
+//! `ThreadCtx::charge_crypto_batch` site). Both modes ride the same
 //! batched ring submission, so the delta isolates the crypto.
+//!
+//! A second sweep adds the **workers** dimension: with two RPC
+//! workers, scatter-gather sub-batch I/O (one `recv_mmsg`/`send_mmsg`
+//! job per worker) is compared against the per-message
+//! `RECV_TAGGED`/`SEND` baseline on the same two workers.
 
 use std::sync::Arc;
 
@@ -32,6 +38,11 @@ const CHUNK: usize = 256;
 struct Cell {
     server: &'static str,
     crypto: &'static str,
+    /// I/O submission mode: `sg` (scatter-gather sub-batches, one per
+    /// worker) or `per-msg` (one `RECV_TAGGED`/`SEND` job per message).
+    io: &'static str,
+    /// RPC worker threads serving the ring.
+    workers: usize,
     batch: usize,
     cycles_per_op: f64,
     crypto_batches: u64,
@@ -85,8 +96,17 @@ fn serve(
 }
 
 /// Runs one KVS (binary protocol) or text (memcached ASCII) cell.
-fn kvs_cell(scale: Scale, text: bool, batch: usize, batched: bool, ops: usize) -> Cell {
-    let rig = Rig::new(scale, Mode::EleosRpc, 4 << 20, false);
+/// `sg` selects scatter-gather sub-batch I/O versus per-message jobs.
+fn kvs_cell(
+    scale: Scale,
+    text: bool,
+    batch: usize,
+    batched: bool,
+    ops: usize,
+    workers: usize,
+    sg: bool,
+) -> Cell {
+    let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, workers);
     let mut ctx = rig.thread(0);
     let mut kvs = Kvs::new(rig.data_space(), rig.data_space(), 64 << 20, 1 << 10);
     kvs.init(&mut ctx);
@@ -94,13 +114,13 @@ fn kvs_cell(scale: Scale, text: bool, batch: usize, batched: bool, ops: usize) -
     for i in 0..N_ITEMS {
         kvs.set(&mut ctx, &load.key(i), &load.value(i));
     }
-    let io = rig.server_io_cfg(
-        &ctx,
-        ServerIoConfig::with_buf_len(64 << 10)
-            .batch(batch)
-            .batched_crypto(batched)
-            .async_send(true),
-    );
+    let io_cfg = ServerIoConfig::with_buf_len(64 << 10)
+        .batch(batch)
+        .batched_crypto(batched)
+        .async_send(true)
+        .scatter_gather(sg);
+    let io_label = io_cfg.io_label();
+    let io = rig.server_io_cfg(&ctx, io_cfg);
     let wire = Arc::clone(&rig.wire);
     let fd = rig.fd;
     let machine = Arc::clone(&rig.machine);
@@ -127,6 +147,8 @@ fn kvs_cell(scale: Scale, text: bool, batch: usize, batched: bool, ops: usize) -
     Cell {
         server: if text { "text" } else { "kvs" },
         crypto: if batched { "batched" } else { "per-msg" },
+        io: io_label,
+        workers,
         batch,
         cycles_per_op: cycles as f64 / ops as f64,
         crypto_batches: d.crypto_batches,
@@ -155,6 +177,8 @@ fn param_cell(scale: Scale, batch: usize, batched: bool, ops: usize) -> Cell {
     Cell {
         server: "param",
         crypto: if batched { "batched" } else { "per-msg" },
+        io: "sg",
+        workers: 1,
         batch,
         cycles_per_op: run.e2e_cycles as f64 / run.ops as f64,
         crypto_batches: run.stats.crypto_batches,
@@ -188,8 +212,8 @@ pub fn run(scale: Scale, quick: bool) {
     for &server in servers {
         for &batch in batches {
             let run_one = |batched: bool| match server {
-                "kvs" => kvs_cell(scale, false, batch, batched, ops),
-                "text" => kvs_cell(scale, true, batch, batched, ops),
+                "kvs" => kvs_cell(scale, false, batch, batched, ops, 1, true),
+                "text" => kvs_cell(scale, true, batch, batched, ops, 1, true),
                 "param" => param_cell(scale, batch, batched, ops),
                 other => panic!("unknown server {other}"),
             };
@@ -210,6 +234,32 @@ pub fn run(scale: Scale, quick: bool) {
         }
     }
 
+    // Multi-worker sweep: with two RPC workers, the scatter-gather
+    // reap splits into one recv_mmsg/send_mmsg sub-batch per worker
+    // (one syscall trap + one kernel-metadata charge each) versus the
+    // per-message RECV_TAGGED/SEND baseline the same two workers run.
+    println!(
+        "   {:<7} {:>5} {:>14} {:>14} {:>12}  (workers=2, batched crypto)",
+        "server", "batch", "per-msg c/op", "sg c/op", "io gain"
+    );
+    for &server in &["kvs", "text"] {
+        for &batch in batches {
+            let text = server == "text";
+            let per_msg = kvs_cell(scale, text, batch, true, ops, 2, false);
+            let sg = kvs_cell(scale, text, batch, true, ops, 2, true);
+            println!(
+                "   {:<7} {:>5} {:>14.0} {:>14.0} {:>12}",
+                server,
+                batch,
+                per_msg.cycles_per_op,
+                sg.cycles_per_op,
+                x(per_msg.cycles_per_op / sg.cycles_per_op),
+            );
+            cells.push(per_msg);
+            cells.push(sg);
+        }
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"serving_crypto\",\n");
     json.push_str(&format!("  \"scale\": {},\n", scale.0));
@@ -218,11 +268,14 @@ pub fn run(scale: Scale, quick: bool) {
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"server\": \"{}\", \"crypto\": \"{}\", \"batch\": {}, \
+            "    {{ \"server\": \"{}\", \"crypto\": \"{}\", \"io\": \"{}\", \
+             \"workers\": {}, \"batch\": {}, \
              \"cycles_per_op\": {:.1}, \"crypto_batches\": {}, \"crypto_msgs\": {}, \
              \"crypto_setup_cycles\": {}, \"rpc_batches\": {} }}{}\n",
             c.server,
             c.crypto,
+            c.io,
+            c.workers,
             c.batch,
             c.cycles_per_op,
             c.crypto_batches,

@@ -160,15 +160,37 @@ pub struct Rig {
 /// Worker core for RPC threads (the paper dedicates a core to the
 /// worker, §3.1).
 pub const RPC_CORE: usize = 7;
+/// Cores handed to RPC workers, in assignment order (the paper's
+/// topology dedicates the high cores to the untrusted side).
+pub const RPC_WORKER_CORES: [usize; 4] = [RPC_CORE, 6, 5, 4];
 /// Socket staging capacity.
 pub const SOCKET_STAGING: usize = 4 << 20;
 
 impl Rig {
-    /// Builds a rig for `mode`. `data_bytes` sizes the enclave linear
-    /// space and SUVM backing store; `cat` applies the 75/25 LLC
-    /// partition.
+    /// Builds a rig for `mode` with a single RPC worker. `data_bytes`
+    /// sizes the enclave linear space and SUVM backing store; `cat`
+    /// applies the 75/25 LLC partition.
     #[must_use]
     pub fn new(scale: Scale, mode: Mode, data_bytes: usize, cat: bool) -> Rig {
+        Rig::with_workers(scale, mode, data_bytes, cat, 1)
+    }
+
+    /// Builds a rig for `mode` with `workers` RPC worker threads (each
+    /// on its own core, so scatter-gather sub-batches genuinely run in
+    /// parallel).
+    #[must_use]
+    pub fn with_workers(
+        scale: Scale,
+        mode: Mode,
+        data_bytes: usize,
+        cat: bool,
+        workers: usize,
+    ) -> Rig {
+        assert!(
+            (1..=RPC_WORKER_CORES.len()).contains(&workers),
+            "workers must be 1..={}",
+            RPC_WORKER_CORES.len()
+        );
         let machine = paper_machine(scale);
         if cat {
             machine.enable_cat();
@@ -193,7 +215,7 @@ impl Rig {
         let rpc = match mode {
             Mode::EleosRpc | Mode::EleosSuvm | Mode::EleosSuvmDirect => Some(Arc::new(
                 with_syscalls(RpcService::builder(&machine), &machine)
-                    .workers(1, &[RPC_CORE])
+                    .workers(workers, &RPC_WORKER_CORES[..workers])
                     .build(),
             )),
             _ => None,
@@ -494,6 +516,12 @@ mod tests {
                 t.exit();
             }
         }
+    }
+
+    #[test]
+    fn rig_with_workers_spins_up_the_pool() {
+        let rig = Rig::with_workers(Scale(16), Mode::EleosRpc, 1 << 20, false, 2);
+        assert_eq!(rig.rpc.as_ref().expect("rpc mode").worker_count(), 2);
     }
 
     #[test]

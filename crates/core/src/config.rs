@@ -1,5 +1,53 @@
 //! SUVM configuration.
 
+use std::sync::Arc;
+
+use eleos_crypto::Sealer;
+
+/// Which [`Sealer`] a SUVM instance seals its backing store with.
+///
+/// The paper stores "a random per-application key" in the EPC (§3.2.3);
+/// [`SealerConfig::PerDomain`] models that default. Deployments that
+/// want one key-management domain across subsystems — e.g. the SUVM
+/// swapper sealing with the same cipher instance the serving path
+/// already manages — inject it with [`SealerConfig::Shared`]. Either
+/// way, every seal flows through the one [`Sealer`] trait, so the
+/// setup-amortization contract (`Costs::crypto_batch_fixed`) has a
+/// single owner.
+#[derive(Clone, Default)]
+pub enum SealerConfig {
+    /// Derive a per-domain AES-GCM-128 key from the enclave id
+    /// (deterministic stand-in for the paper's random per-application
+    /// key). The default.
+    #[default]
+    PerDomain,
+    /// Seal with an existing, externally managed sealer instance.
+    /// SUVM keeps nonces disjoint across instances by scoping them
+    /// with the enclave id, so sharing one keyed cipher between
+    /// domains is safe.
+    Shared(Arc<dyn Sealer>),
+}
+
+impl core::fmt::Debug for SealerConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SealerConfig::PerDomain => f.write_str("per-domain"),
+            SealerConfig::Shared(s) => write!(f, "shared({})", s.name()),
+        }
+    }
+}
+
+impl SealerConfig {
+    /// Short label used in experiment headers and JSON output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SealerConfig::PerDomain => "per-domain",
+            SealerConfig::Shared(_) => "shared",
+        }
+    }
+}
+
 /// EPC++ eviction policy.
 ///
 /// §3.2.2: "user code has full control over the spointer's page table,
@@ -112,6 +160,9 @@ pub struct SuvmConfig {
     /// footprint exceeds `headroom_bytes`, fault paths are charged the
     /// amortized hardware faults those metadata accesses would take.
     pub model_metadata_pressure: bool,
+    /// The cipher the backing store is sealed with: a per-domain key
+    /// (default) or a shared, externally managed [`Sealer`] instance.
+    pub sealer: SealerConfig,
 }
 
 impl Default for SuvmConfig {
@@ -129,6 +180,7 @@ impl Default for SuvmConfig {
             store: StoreKind::Buddy,
             wb_batch: 0,
             model_metadata_pressure: true,
+            sealer: SealerConfig::PerDomain,
         }
     }
 }
@@ -150,6 +202,7 @@ impl SuvmConfig {
             store: StoreKind::Buddy,
             wb_batch: 0,
             model_metadata_pressure: true,
+            sealer: SealerConfig::PerDomain,
         }
     }
 
@@ -205,6 +258,25 @@ mod tests {
         SuvmConfig::default().validate();
         SuvmConfig::tiny().validate();
         assert_eq!(SuvmConfig::tiny().frames(), 16);
+    }
+
+    #[test]
+    fn sealer_config_labels_and_debug() {
+        use eleos_crypto::gcm::AesGcm128;
+        let per = SealerConfig::PerDomain;
+        assert_eq!(per.label(), "per-domain");
+        assert_eq!(format!("{per:?}"), "per-domain");
+        let shared = SealerConfig::Shared(Arc::new(AesGcm128::new(&[1u8; 16])));
+        assert_eq!(shared.label(), "shared");
+        assert_eq!(format!("{shared:?}"), "shared(aes128-gcm)");
+        // Cloning a shared config aliases the same instance.
+        let SealerConfig::Shared(a) = shared.clone() else {
+            panic!("clone changed the variant");
+        };
+        let SealerConfig::Shared(b) = shared else {
+            panic!("original variant consumed");
+        };
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod suvm;
 pub mod swapper;
 pub mod table;
 
-pub use config::{EvictPolicy, StoreKind, SuvmConfig};
+pub use config::{EvictPolicy, SealerConfig, StoreKind, SuvmConfig};
 pub use containers::{SBox, SHashMap, SVec};
 pub use runtime::{Eleos, EleosBuilder};
 pub use spointer::{Plain, SPtr};

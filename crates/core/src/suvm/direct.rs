@@ -47,7 +47,7 @@ impl Suvm {
                             ctx.read_untrusted(self.bs_addr(page, s * sp), &mut scratch);
                             let (nonce, tag) = &meta[s];
                             if self
-                                .gcm
+                                .sealer
                                 .open(nonce, &Self::aad(page, s as u32), &mut scratch, tag)
                                 .is_err()
                             {
@@ -70,7 +70,7 @@ impl Suvm {
                         let mut scratch = vec![0u8; ps];
                         ctx.read_untrusted(self.bs_addr(page, 0), &mut scratch);
                         if self
-                            .gcm
+                            .sealer
                             .open(&nonce, &Self::aad(page, u32::MAX), &mut scratch, &tag)
                             .is_err()
                         {
@@ -125,7 +125,7 @@ impl Suvm {
                     let mut meta = Vec::with_capacity(ps / sp);
                     for s in 0..ps / sp {
                         let nonce = self.next_nonce();
-                        let tag = self.gcm.seal(
+                        let tag = self.sealer.seal(
                             &nonce,
                             &Self::aad(page, s as u32),
                             &mut zeros[s * sp..(s + 1) * sp],
@@ -139,14 +139,14 @@ impl Suvm {
                     // Re-seal the whole page as sub-pages first.
                     let mut buf = vec![0u8; ps];
                     ctx.read_untrusted_raw(self.bs_addr(page, 0), &mut buf);
-                    self.gcm
+                    self.sealer
                         .open(&nonce, &Self::aad(page, u32::MAX), &mut buf, &tag)
                         .expect("SUVM page failed authentication");
                     ctx.compute(self.machine.cfg.costs.crypto(ps));
                     let mut meta = Vec::with_capacity(ps / sp);
                     for s in 0..ps / sp {
                         let nonce = self.next_nonce();
-                        let tag = self.gcm.seal(
+                        let tag = self.sealer.seal(
                             &nonce,
                             &Self::aad(page, s as u32),
                             &mut buf[s * sp..(s + 1) * sp],
@@ -164,7 +164,7 @@ impl Suvm {
             for s in first_sub..=last_sub {
                 let (nonce, tag) = meta[s];
                 ctx.read_untrusted(self.bs_addr(page, s * sp), &mut scratch);
-                self.gcm
+                self.sealer
                     .open(&nonce, &Self::aad(page, s as u32), &mut scratch, &tag)
                     .expect("SUVM sub-page failed authentication");
                 let lo = in_page.max(s * sp);
@@ -172,9 +172,9 @@ impl Suvm {
                 scratch[lo - s * sp..hi - s * sp]
                     .copy_from_slice(&data[off + (lo - in_page)..off + (hi - in_page)]);
                 let new_nonce = self.next_nonce();
-                let new_tag = self
-                    .gcm
-                    .seal(&new_nonce, &Self::aad(page, s as u32), &mut scratch);
+                let new_tag =
+                    self.sealer
+                        .seal(&new_nonce, &Self::aad(page, s as u32), &mut scratch);
                 ctx.write_untrusted(self.bs_addr(page, s * sp), &scratch);
                 meta[s] = (new_nonce, new_tag);
                 ctx.compute(2 * (costs_crypto_fixed + (cpb * sp as f64) as u64));

@@ -218,7 +218,10 @@ impl Suvm {
         let dirty = meta.dirty.swap(false, Ordering::AcqRel);
         let has_copy = self.seals().get(page).has_copy();
         if dirty || !has_copy || !self.cfg.clean_skip {
-            self.seal_page_out(ctx, page, frame, self.machine.cfg.costs.crypto_fixed);
+            // Inline eviction is a batch of one: every seal op pays the
+            // full setup.
+            let lens = self.seal_page_raw(ctx, page, frame);
+            ctx.charge_crypto_batch(lens, false);
         } else {
             // Clean page with a valid sealed copy: discard without the
             // write-back (§3.2.4). SGX's EWB cannot do this.
@@ -254,47 +257,56 @@ impl Suvm {
         }
     }
 
-    /// Seals `frame`'s contents into the backing store as `page`,
-    /// charging `fixed` cycles of per-seal GCM setup (inline callers
-    /// pass the full `crypto_fixed`; batched drains amortize the key
-    /// schedule across the batch and pass less for follow-on pages).
+    /// Seals `frame`'s contents into the backing store as `page`
+    /// through the configured [`eleos_crypto::Sealer`], and returns the
+    /// byte length of each seal operation performed (one page, or one
+    /// entry per sub-page).
+    ///
+    /// This is the *functional* half of an eviction: no crypto cycles
+    /// are charged here. Callers feed the returned lengths to
+    /// [`ThreadCtx::charge_crypto_batch`] — inline evictions as a batch
+    /// of one, the write-back drain as one amortized batch across all
+    /// the pages it sealed — so `Costs::crypto_batch_fixed` is billed
+    /// from exactly one place.
     ///
     /// The crypto-metadata seqlock brackets the (ciphertext, metadata)
     /// update so concurrent readers never mistake a torn pair for
     /// tampering.
-    pub(super) fn seal_page_out(&self, ctx: &mut ThreadCtx, page: u64, frame: u32, fixed: u64) {
+    pub(super) fn seal_page_raw(&self, ctx: &mut ThreadCtx, page: u64, frame: u32) -> Vec<usize> {
         let ps = self.cfg.page_size;
-        let costs = &self.machine.cfg.costs;
         let mut buf = vec![0u8; ps];
         ctx.read_enclave_raw(self.epcpp_vaddr(frame, 0), &mut buf);
         self.seals().begin_write(page);
-        let state = if self.cfg.seal_sub_pages {
+        let (state, lens) = if self.cfg.seal_sub_pages {
             let sp = self.cfg.sub_page_size;
             let n_subs = ps / sp;
             let mut meta = Vec::with_capacity(n_subs);
             for s in 0..n_subs {
                 let nonce = self.next_nonce();
-                let tag = self.gcm.seal(
+                let tag = self.sealer.seal(
                     &nonce,
                     &Self::aad(page, s as u32),
                     &mut buf[s * sp..(s + 1) * sp],
                 );
                 meta.push((nonce, tag));
-                ctx.compute(fixed);
             }
-            ctx.compute((costs.crypto_cpb * ps as f64) as u64);
-            SealState::SubPages {
-                meta: meta.into_boxed_slice(),
-            }
+            (
+                SealState::SubPages {
+                    meta: meta.into_boxed_slice(),
+                },
+                vec![sp; n_subs],
+            )
         } else {
             let nonce = self.next_nonce();
-            let tag = self.gcm.seal(&nonce, &Self::aad(page, u32::MAX), &mut buf);
-            ctx.compute(fixed + (costs.crypto_cpb * ps as f64) as u64);
-            SealState::Page { nonce, tag }
+            let tag = self
+                .sealer
+                .seal(&nonce, &Self::aad(page, u32::MAX), &mut buf);
+            (SealState::Page { nonce, tag }, vec![ps])
         };
         ctx.write_untrusted_raw(self.bs_addr(page, 0), &buf);
         self.seals().commit_write(page, state);
         Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
+        lens
     }
 
     /// Loads `page` into `frame` (not yet visible in the page table).
@@ -306,7 +318,6 @@ impl Suvm {
     /// metadata version — genuine tampering with untrusted memory.
     fn load_page_in(&self, ctx: &mut ThreadCtx, page: u64, frame: u32) -> bool {
         let ps = self.cfg.page_size;
-        let costs = &self.machine.cfg.costs;
         let (version, state) = self.seals().read(page);
         match state {
             SealState::Fresh => {
@@ -320,11 +331,11 @@ impl Suvm {
                 let mut buf = vec![0u8; ps];
                 ctx.read_untrusted_raw(self.bs_addr(page, 0), &mut buf);
                 match self
-                    .gcm
+                    .sealer
                     .open(&nonce, &Self::aad(page, u32::MAX), &mut buf, &tag)
                 {
                     Ok(()) => {
-                        ctx.compute(costs.crypto(ps));
+                        ctx.charge_crypto_batch([ps], false);
                         ctx.write_enclave_raw(self.epcpp_vaddr(frame, 0), &buf);
                         Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
                         true
@@ -342,7 +353,7 @@ impl Suvm {
                 for (s, (nonce, tag)) in meta.iter().enumerate() {
                     let span = &mut buf[s * sp..(s + 1) * sp];
                     if self
-                        .gcm
+                        .sealer
                         .open(nonce, &Self::aad(page, s as u32), span, tag)
                         .is_err()
                     {
@@ -351,9 +362,8 @@ impl Suvm {
                         }
                         panic!("SUVM sub-page failed authentication: backing store tampered");
                     }
-                    ctx.compute(costs.crypto_fixed);
                 }
-                ctx.compute((costs.crypto_cpb * ps as f64) as u64);
+                ctx.charge_crypto_batch(vec![sp; meta.len()], false);
                 ctx.write_enclave_raw(self.epcpp_vaddr(frame, 0), &buf);
                 Stats::add(&self.machine.stats.sealed_bytes, ps as u64);
                 true

@@ -32,7 +32,7 @@ use eleos_enclave::machine::SgxMachine;
 use eleos_enclave::thread::ThreadCtx;
 use eleos_sim::stats::Stats;
 
-use crate::config::SuvmConfig;
+use crate::config::{SealerConfig, SuvmConfig};
 use crate::table::{CryptoTable, InversePt, SealState, NO_PAGE};
 
 use self::policy::EvictionPolicy;
@@ -75,7 +75,10 @@ pub struct Suvm {
     /// Detached-but-not-yet-sealed victims awaiting a batched drain
     /// (`(frame, page)`; see [`writeback`]).
     wb: Mutex<VecDeque<(u32, u64)>>,
-    gcm: AesGcm128,
+    /// The cipher every backing-store seal/open flows through —
+    /// per-domain GCM by default, or an externally shared instance
+    /// ([`SealerConfig::Shared`]) for unified key management.
+    sealer: Arc<dyn Sealer>,
     nonce_ctr: AtomicU64,
     /// Per-instance counters (machine-wide stats aggregate across all
     /// SUVM instances; multi-enclave experiments need them apart).
@@ -132,11 +135,17 @@ impl Suvm {
             dirty: AtomicBool::new(false),
             queued: AtomicBool::new(false),
         });
-        // Random per-application key stored in the EPC (§3.2.3);
-        // deterministic here for reproducible simulations.
-        let mut key = [0u8; 16];
-        key[..4].copy_from_slice(&enclave.id.to_le_bytes());
-        key[4..12].copy_from_slice(b"suvm-key");
+        let sealer: Arc<dyn Sealer> = match &cfg.sealer {
+            SealerConfig::PerDomain => {
+                // Random per-application key stored in the EPC (§3.2.3);
+                // deterministic here for reproducible simulations.
+                let mut key = [0u8; 16];
+                key[..4].copy_from_slice(&enclave.id.to_le_bytes());
+                key[4..12].copy_from_slice(b"suvm-key");
+                Arc::new(AesGcm128::new(&key))
+            }
+            SealerConfig::Shared(s) => Arc::clone(s),
+        };
         Arc::new(Self {
             pt: InversePt::new(n * 2),
             policy: policy::build_policy(cfg.policy, n),
@@ -144,7 +153,7 @@ impl Suvm {
             wb: Mutex::new(VecDeque::new()),
             free: Mutex::new((0..n as u32).rev().collect()),
             limit: AtomicUsize::new(n),
-            gcm: AesGcm128::new(&key),
+            sealer,
             nonce_ctr: AtomicU64::new(1),
             local: LocalStats::default(),
             frames,
@@ -191,6 +200,12 @@ impl Suvm {
     #[must_use]
     pub fn debug_seal_entries(&self) -> usize {
         self.seals().live_entries()
+    }
+
+    /// Label of the sealer the backing store is sealed with.
+    #[must_use]
+    pub fn sealer_name(&self) -> &'static str {
+        self.sealer.name()
     }
 
     /// Detached victims waiting for a batched write-back drain.
@@ -290,11 +305,15 @@ impl Suvm {
         self.store.crypto()
     }
 
+    /// Draws the next seal nonce. The enclave id scopes the nonce so
+    /// that several SUVM instances sharing one keyed sealer
+    /// ([`SealerConfig::Shared`]) can never repeat a (key, nonce) pair
+    /// across domains.
     fn next_nonce(&self) -> [u8; 12] {
         let v = self.nonce_ctr.fetch_add(1, Ordering::Relaxed);
         let mut n = [0u8; 12];
         n[..8].copy_from_slice(&v.to_le_bytes());
-        n[8..].copy_from_slice(b"suvm");
+        n[8..].copy_from_slice(&self.enclave.id.to_le_bytes());
         n
     }
 

@@ -1,15 +1,18 @@
 //! Batched asynchronous write-back (the `wb_batch > 0` fault path).
 //!
-//! Inline eviction pays the full AES-GCM seal on the serving core, on
-//! every fault that needs a frame. In batched mode the fault path only
+//! Inline eviction pays the full seal on the serving core, on every
+//! fault that needs a frame. In batched mode the fault path only
 //! *detaches* victims: clean pages are freed outright (the §3.2.4
 //! elision), dirty ones are flagged `queued` and parked — still mapped
 //! — on a FIFO write-back queue. The swapper drains the queue off the
-//! serving core in batches, reusing one GCM key schedule across the
-//! batch (the first page pays the full `crypto_fixed` setup, follow-on
-//! pages a quarter of it). When the free pool runs dry before the
-//! swapper gets there, [`Suvm::drain_writeback`] doubles as the
-//! synchronous fallback.
+//! serving core in batches; every seal flows through the configured
+//! [`eleos_crypto::Sealer`] and the whole drain is charged as **one**
+//! batch via `ThreadCtx::charge_crypto_batch` — the same amortization
+//! contract the wire pipeline uses (the first seal op pays the full
+//! `crypto_fixed` setup, follow-ons a quarter; no private amortization
+//! lives here). When the free pool runs dry before the swapper gets
+//! there, [`Suvm::drain_writeback`] doubles as the synchronous
+//! fallback.
 //!
 //! ## Queue entry lifecycle
 //!
@@ -117,6 +120,7 @@ impl Suvm {
             return 0;
         }
         let mut sealed = 0usize;
+        let mut seal_lens: Vec<usize> = Vec::new();
         for (frame, page) in batch {
             let meta = &self.frames[frame as usize];
             let claimed = self.pt.with_bucket(page, |b| {
@@ -139,10 +143,7 @@ impl Suvm {
             }
             self.count_eviction_class(frame);
             meta.dirty.store(false, Ordering::Release);
-            // Shared amortization contract with the wire pipeline: the
-            // batch leader pays the full setup, follow-ons a quarter.
-            let fixed = self.machine.cfg.costs.crypto_batch_fixed(sealed);
-            self.seal_page_out(ctx, page, frame, fixed);
+            seal_lens.extend(self.seal_page_raw(ctx, page, frame));
             meta.page.store(NO_PAGE, Ordering::Release);
             self.policy.on_remove(frame);
             self.push_free(frame);
@@ -157,6 +158,11 @@ impl Suvm {
                 },
             );
         }
+        // One amortized charge for the whole drain, through the same
+        // `ThreadCtx::charge_crypto_batch` contract the wire pipeline
+        // uses: the batch leader pays the full setup, follow-ons a
+        // quarter.
+        ctx.charge_crypto_batch(seal_lens, true);
         if sealed > 0 {
             Stats::bump(&self.machine.stats.suvm_wb_batches);
             Stats::add(&self.machine.stats.suvm_wb_pages, sealed as u64);

@@ -12,7 +12,7 @@
 //!    NIC-bound) — sockets count rx/tx bytes and the harness converts
 //!    them to a 10 Gb/s bound.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use parking_lot::Mutex;
 
@@ -46,6 +46,29 @@ struct Socket {
     tx_bytes: u64,
     /// Recent outbound messages, for verification by tests/loadgens.
     tx_log: VecDeque<Vec<u8>>,
+    /// Next transmit sequence number to commit to `tx_log`. Sequenced
+    /// sends (`send_mmsg`) carry their seq in the descriptor; commits
+    /// are held in `tx_pending` until the in-order prefix is complete,
+    /// so concurrent sub-batches on several RPC workers cannot
+    /// interleave the wire order.
+    tx_next_commit: u64,
+    /// Out-of-order sequenced sends waiting for their predecessors.
+    tx_pending: BTreeMap<u64, Vec<u8>>,
+}
+
+impl Socket {
+    /// Commits a sequenced outbound message, draining the in-order
+    /// prefix of the pending reorder buffer into `tx_log`.
+    fn commit_tx(&mut self, seq: u64, payload: Vec<u8>) {
+        self.tx_pending.insert(seq, payload);
+        while let Some(payload) = self.tx_pending.remove(&self.tx_next_commit) {
+            self.tx_next_commit += 1;
+            self.tx_log.push_back(payload);
+            if self.tx_log.len() > TX_LOG_CAP {
+                self.tx_log.pop_front();
+            }
+        }
+    }
 }
 
 /// The host OS.
@@ -92,6 +115,8 @@ impl HostOs {
                 rx_bytes: 0,
                 tx_bytes: 0,
                 tx_log: VecDeque::new(),
+                tx_next_commit: 0,
+                tx_pending: BTreeMap::new(),
             },
         );
         fd
@@ -169,6 +194,7 @@ impl HostOs {
         };
         // Kernel bookkeeping + the copy kernel->user, all polluting the
         // executor's cache partition.
+        Stats::bump(&ctx.machine.stats.kernel_meta_reads);
         let mut scratch = vec![0u8; KERNEL_META_BYTES];
         ctx.read_untrusted(meta, &mut scratch);
         let mut payload = vec![0u8; len];
@@ -179,9 +205,15 @@ impl HostOs {
 
     /// `recvmmsg(2)`-style scatter-gather receive: dequeues up to
     /// `max_msgs` messages, in arrival order, into consecutive
-    /// `stripe`-byte slots starting at `buf_addr`, and writes each
-    /// message's length as a little-endian `u32` into the descriptor
-    /// array at `desc_addr`. Returns the number of messages received.
+    /// `stripe`-byte slots starting at `buf_addr`, and writes one
+    /// little-endian `u64` descriptor per message —
+    /// `(dequeue_seq << 32) | len` — into the array at `desc_addr`.
+    /// Returns the number of messages received.
+    ///
+    /// The dequeue sequence in the descriptor's high word lets several
+    /// sub-batches, issued concurrently on different RPC workers,
+    /// merge back into the socket's global arrival order at reap time
+    /// (the multi-worker generalization of `recv_tagged`'s tag).
     ///
     /// The whole batch pays the trap/return and kernel-bookkeeping
     /// footprint **once** — that is the point of the syscall: the
@@ -201,7 +233,9 @@ impl HostOs {
         ctx.compute(ctx.machine.cfg.costs.syscall);
         Stats::bump(&ctx.machine.stats.syscalls);
         // One queue walk under one lock hold: the batch is atomic, so
-        // slot order *is* arrival order and no reorder tag is needed.
+        // slot order *is* arrival order within the batch; the dequeue
+        // seq recorded per message orders it against concurrent
+        // sub-batches.
         let (popped, meta) = {
             let mut sockets = self.sockets.lock();
             let s = sockets.get_mut(&fd).expect("bad fd");
@@ -212,8 +246,9 @@ impl HostOs {
                 };
                 let len = len.min(stripe);
                 s.rx_bytes += len as u64;
+                let seq = s.pop_seq;
                 s.pop_seq += 1;
-                popped.push((s.staging + off as u64, len));
+                popped.push((s.staging + off as u64, len, seq));
             }
             (popped, s.meta)
         };
@@ -222,14 +257,15 @@ impl HostOs {
         }
         // Kernel bookkeeping once per batch, then the copies
         // kernel->user per message.
+        Stats::bump(&ctx.machine.stats.kernel_meta_reads);
         let mut scratch = vec![0u8; KERNEL_META_BYTES];
         ctx.read_untrusted(meta, &mut scratch);
-        let mut descs = Vec::with_capacity(popped.len() * 4);
-        for (i, &(staging_off, len)) in popped.iter().enumerate() {
+        let mut descs = Vec::with_capacity(popped.len() * 8);
+        for (i, &(staging_off, len, seq)) in popped.iter().enumerate() {
             let mut payload = vec![0u8; len];
             ctx.read_untrusted(staging_off, &mut payload);
             ctx.write_untrusted(buf_addr + (i * stripe) as u64, &payload);
-            descs.extend_from_slice(&(len as u32).to_le_bytes());
+            descs.extend_from_slice(&((seq << 32) | len as u64).to_le_bytes());
         }
         ctx.write_untrusted(desc_addr, &descs);
         popped.len()
@@ -237,9 +273,19 @@ impl HostOs {
 
     /// `sendmmsg(2)`-style scatter-gather send: transmits `n_msgs`
     /// messages from consecutive `stripe`-byte slots at `buf_addr`,
-    /// taking each message's length from the little-endian `u32`
-    /// descriptor array at `desc_addr`. Pays the trap/return and
-    /// kernel bookkeeping once per batch. Returns `n_msgs`.
+    /// taking each message's transmit sequence and length from the
+    /// little-endian `u64` descriptor array at `desc_addr`
+    /// (`(tx_seq << 32) | len`, matching `recv_mmsg`'s layout). Pays
+    /// the trap/return and kernel bookkeeping once per batch. Returns
+    /// `n_msgs`.
+    ///
+    /// The transmit sequence orders commits across concurrent
+    /// sub-batches: a message is held in a kernel reorder buffer until
+    /// every lower-sequenced message has been committed, so the wire
+    /// order equals the sender's sequence allocation order no matter
+    /// which RPC worker runs which sub-batch. Senders must allocate
+    /// sequences contiguously from 0 per socket (the plain [`Self::send`]
+    /// path bypasses sequencing entirely).
     pub fn send_mmsg(
         &self,
         ctx: &mut ThreadCtx,
@@ -256,23 +302,21 @@ impl HostOs {
             let sockets = self.sockets.lock();
             sockets.get(&fd).expect("bad fd").meta
         };
+        Stats::bump(&ctx.machine.stats.kernel_meta_reads);
         let mut scratch = vec![0u8; KERNEL_META_BYTES];
         ctx.read_untrusted(meta, &mut scratch);
-        let mut descs = vec![0u8; n_msgs * 4];
+        let mut descs = vec![0u8; n_msgs * 8];
         ctx.read_untrusted(desc_addr, &mut descs);
         for i in 0..n_msgs {
-            let len =
-                u32::from_le_bytes(descs[i * 4..i * 4 + 4].try_into().expect("desc")) as usize;
+            let d = u64::from_le_bytes(descs[i * 8..i * 8 + 8].try_into().expect("desc"));
+            let (seq, len) = (d >> 32, (d & 0xffff_ffff) as usize);
             assert!(len <= stripe, "descriptor exceeds its stripe");
             let mut payload = vec![0u8; len];
             ctx.read_untrusted(buf_addr + (i * stripe) as u64, &mut payload);
             let mut sockets = self.sockets.lock();
             let s = sockets.get_mut(&fd).expect("bad fd");
             s.tx_bytes += len as u64;
-            s.tx_log.push_back(payload);
-            if s.tx_log.len() > TX_LOG_CAP {
-                s.tx_log.pop_front();
-            }
+            s.commit_tx(seq, payload);
         }
         n_msgs
     }
@@ -286,6 +330,7 @@ impl HostOs {
             let sockets = self.sockets.lock();
             sockets.get(&fd).expect("bad fd").meta
         };
+        Stats::bump(&ctx.machine.stats.kernel_meta_reads);
         let mut scratch = vec![0u8; KERNEL_META_BYTES];
         ctx.read_untrusted(meta, &mut scratch);
         let mut payload = vec![0u8; len];
@@ -371,25 +416,53 @@ mod tests {
         // Asks for 8, gets the 5 queued, in arrival order.
         let n = m.host.recv_mmsg(&mut t, fd, buf, 512, 8, desc);
         assert_eq!(n, 5);
-        assert_eq!((m.stats.snapshot() - s0).syscalls, 1);
-        let mut descs = vec![0u8; n * 4];
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.syscalls, 1);
+        assert_eq!(d.kernel_meta_reads, 1);
+        let mut descs = vec![0u8; n * 8];
         t.read_untrusted(desc, &mut descs);
         for i in 0..n {
-            let len = u32::from_le_bytes(descs[i * 4..i * 4 + 4].try_into().unwrap()) as usize;
+            let d = u64::from_le_bytes(descs[i * 8..i * 8 + 8].try_into().unwrap());
+            assert_eq!(d >> 32, i as u64, "descriptor carries the dequeue seq");
+            let len = (d & 0xffff_ffff) as usize;
             assert_eq!(len, 10);
             let mut msg = vec![0u8; len];
             t.read_untrusted(buf + (i * 512) as u64, &mut msg);
             assert_eq!(msg, vec![i as u8; 10]);
         }
 
-        // Echo all five back with one sendmmsg.
+        // Echo all five back with one sendmmsg; the dequeue seqs 0..5
+        // double as contiguous transmit seqs.
         let s1 = m.stats.snapshot();
         assert_eq!(m.host.send_mmsg(&mut t, fd, buf, 512, n, desc), 5);
-        assert_eq!((m.stats.snapshot() - s1).syscalls, 1);
+        let d = m.stats.snapshot() - s1;
+        assert_eq!(d.syscalls, 1);
+        assert_eq!(d.kernel_meta_reads, 1);
         for i in 0..n {
             assert_eq!(m.host.pop_response(fd).unwrap(), vec![i as u8; 10]);
         }
         assert_eq!(m.host.byte_counts(fd), (50, 50));
+    }
+
+    #[test]
+    fn sequenced_sends_commit_in_seq_order() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let mut t = ThreadCtx::untrusted(&m, 0);
+        let fd = m.host.socket(&t, 4096);
+        let buf = m.alloc_untrusted(1024);
+        let desc = m.alloc_untrusted(64);
+        // Stage "b" then "a" in slot order, but sequence them 1 then 0:
+        // the second sub-batch completes first, yet the wire order must
+        // follow the sequence numbers.
+        t.write_untrusted(buf, b"b");
+        t.write_untrusted(buf + 256, b"a");
+        t.write_untrusted(desc, &((1u64 << 32) | 1).to_le_bytes());
+        assert_eq!(m.host.send_mmsg(&mut t, fd, buf, 256, 1, desc), 1);
+        assert_eq!(m.host.pop_response(fd), None, "seq 1 waits for seq 0");
+        t.write_untrusted(desc, &1u64.to_le_bytes());
+        assert_eq!(m.host.send_mmsg(&mut t, fd, buf + 256, 256, 1, desc), 1);
+        assert_eq!(m.host.pop_response(fd).unwrap(), b"a");
+        assert_eq!(m.host.pop_response(fd).unwrap(), b"b");
     }
 
     #[test]

@@ -98,6 +98,40 @@ impl ThreadCtx {
         self.core.clock.advance(cycles);
     }
 
+    /// Charges the cycle cost of one crypto batch — the **single**
+    /// place `Costs::crypto_batch_fixed` is billed from, shared by the
+    /// wire codec's seal/open pipeline and SUVM's write-back drain.
+    ///
+    /// `lens` is the byte length of each sealed/opened message. With
+    /// `amortize`, the first message pays the full `crypto_fixed` setup
+    /// (key schedule, GHASH table) and follow-ons a quarter of it;
+    /// without, every message pays the full setup, which is the
+    /// per-message baseline (and the cost of an inline single-page
+    /// eviction). Also bumps the `crypto_batches` / `crypto_msgs` /
+    /// `crypto_setup_cycles` stats so experiments can report the
+    /// amortization.
+    pub fn charge_crypto_batch(&mut self, lens: impl IntoIterator<Item = usize>, amortize: bool) {
+        let machine = Arc::clone(&self.machine);
+        let costs = &machine.cfg.costs;
+        let (mut n, mut setup) = (0u64, 0u64);
+        for (i, len) in lens.into_iter().enumerate() {
+            let fixed = if amortize {
+                costs.crypto_batch_fixed(i)
+            } else {
+                costs.crypto_fixed
+            };
+            setup += fixed;
+            self.compute(fixed + (costs.crypto_cpb * len as f64) as u64);
+            n += 1;
+        }
+        if n == 0 {
+            return;
+        }
+        Stats::bump(&machine.stats.crypto_batches);
+        Stats::add(&machine.stats.crypto_msgs, n);
+        Stats::add(&machine.stats.crypto_setup_cycles, setup);
+    }
+
     /// EENTER: transitions to trusted execution.
     ///
     /// # Panics

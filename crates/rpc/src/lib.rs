@@ -721,11 +721,20 @@ pub mod funcs {
     pub const RECV_TAGGED: u64 = 11;
     /// `recv_mmsg(fd, buf, (stripe << 32) | max_msgs, desc)` ->
     /// message count. Scatter-gather receive into `stripe`-byte slots
-    /// at `buf`, message lengths written as `u32`s at `desc`; one
-    /// kernel crossing for the whole batch.
+    /// at `buf`; per-message `(seq << 32) | len` written as
+    /// little-endian `u64`s at `desc`, where `seq` is the socket's
+    /// dequeue sequence (so several sub-batches reaped by different
+    /// workers can be merged back into arrival order); one kernel
+    /// crossing and one kernel-metadata charge for the whole
+    /// sub-batch.
     pub const RECV_MMSG: u64 = 12;
     /// `send_mmsg(fd, buf, (stripe << 32) | n_msgs, desc)` -> count.
-    /// Scatter-gather counterpart of [`RECV_MMSG`] for transmit.
+    /// Scatter-gather counterpart of [`RECV_MMSG`] for transmit:
+    /// `desc` holds `(seq << 32) | len` `u64`s where `seq` is the
+    /// transmit sequence; the host commits payloads to the wire
+    /// strictly in `seq` order (a reorder buffer holds early
+    /// arrivals), so parallel send sub-batches cannot reorder
+    /// responses.
     pub const SEND_MMSG: u64 = 13;
 }
 

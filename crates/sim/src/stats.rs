@@ -71,6 +71,8 @@ stats! {
     ocalls,
     /// System calls executed by the host OS.
     syscalls,
+    /// Kernel-metadata scratch walks performed by host syscalls (one per trap that touches socket state, regardless of batch size).
+    kernel_meta_reads,
     /// Asynchronous enclave exits caused by IPIs.
     aex,
     /// Inter-processor interrupts sent by the driver.
@@ -164,6 +166,7 @@ impl StatsSnapshot {
         put("rpc_ring_full", self.rpc_ring_full);
         put("rpc_errors", self.rpc_errors);
         put("syscalls", self.syscalls);
+        put("kernel_meta", self.kernel_meta_reads);
         put("crypto_batches", self.crypto_batches);
         put("crypto_msgs", self.crypto_msgs);
         put("crypto_setup", self.crypto_setup_cycles);

@@ -23,6 +23,9 @@ done
 echo "== crypto batch-equivalence proptests"
 cargo test -p eleos-crypto --offline -q
 
+echo "== scatter-gather / unified-sealer equivalence suite"
+cargo test --test batch_equivalence --offline -q
+
 echo "== crypto_bench smoke"
 cargo run --release -p eleos-bench --bin repro --offline -- crypto_bench --quick --scale 16
 python3 - <<'EOF'
@@ -31,11 +34,15 @@ import itertools, json, sys
 cells = json.load(open("BENCH_crypto.json"))["cells"]
 by_series = {}
 for c in cells:
-    by_series.setdefault((c["server"], c["crypto"]), {})[c["batch"]] = c["cycles_per_op"]
+    key = (c["server"], c["crypto"], c["workers"], c["io"])
+    by_series.setdefault(key, {})[c["batch"]] = c["cycles_per_op"]
+
+# Single-worker sweep: batched crypto beats or matches per-message at
+# every depth, monotone nonincreasing in batch.
 for server, crypto in itertools.product(
     ("kvs", "text", "param"), ("per-msg", "batched")
 ):
-    series = by_series.get((server, crypto))
+    series = by_series.get((server, crypto, 1, "sg"))
     if not series or sorted(series) != [1, 8]:
         sys.exit(f"BENCH_crypto.json missing cells for ({server}, {crypto})")
     if series[8] > series[1]:
@@ -43,7 +50,25 @@ for server, crypto in itertools.product(
             f"({server}, {crypto}) cycles/op not monotone nonincreasing: "
             f"batch 1 = {series[1]}, batch 8 = {series[8]}"
         )
-print(f"   {len(cells)} cells, every series monotone nonincreasing")
+
+# Multi-worker sweep: with two workers, scatter-gather sub-batches must
+# beat the per-message I/O baseline at batch 8 and stay monotone.
+for server in ("kvs", "text"):
+    sg = by_series.get((server, "batched", 2, "sg"))
+    per_msg = by_series.get((server, "batched", 2, "per-msg"))
+    if not sg or not per_msg or sorted(sg) != [1, 8] or sorted(per_msg) != [1, 8]:
+        sys.exit(f"BENCH_crypto.json missing workers=2 cells for {server}")
+    if sg[8] >= per_msg[8]:
+        sys.exit(
+            f"({server}, workers=2) sub-batches must beat per-message at "
+            f"batch 8: sg = {sg[8]}, per-msg = {per_msg[8]}"
+        )
+    if sg[8] > sg[1]:
+        sys.exit(
+            f"({server}, workers=2, sg) cycles/op not monotone nonincreasing: "
+            f"batch 1 = {sg[1]}, batch 8 = {sg[8]}"
+        )
+print(f"   {len(cells)} cells, workers=2 sub-batches beat per-message")
 EOF
 
 echo "== fmt"

@@ -1,0 +1,467 @@
+//! Equivalence suite for the multi-worker scatter-gather I/O path and
+//! the unified `Sealer` key management:
+//!
+//! - a multi-worker scatter-gather reap (one `recv_mmsg` sub-batch per
+//!   worker) yields byte-identical decrypted payloads in identical
+//!   order to the single-worker per-message path;
+//! - SUVM write-back through a shared [`eleos::crypto::Sealer`]
+//!   round-trips (seal -> evict -> fault -> open) identically to the
+//!   per-domain key path, and the clean-never-resealed /
+//!   pinned-never-evicted invariants hold either way;
+//! - `async_send` double-buffering composes with multi-worker
+//!   sub-batches (the pending batch is fully reaped before the
+//!   transmit buffer is reused), and a sub-batch that fills the ring
+//!   falls back without dropping or reordering;
+//! - cost accounting: exactly one syscall trap and one kernel-metadata
+//!   charge per sub-batch, and `crypto_setup_cycles` only ever charged
+//!   through the unified `ThreadCtx::charge_crypto_batch` path.
+
+use std::sync::Arc;
+
+use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
+use eleos::apps::wire::Wire;
+use eleos::crypto::gcm::AesGcm128;
+use eleos::crypto::Sealer;
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{with_syscalls, RpcService};
+use eleos::suvm::spointer::SPtr;
+use eleos::suvm::{SealerConfig, Suvm, SuvmConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Shared server-side harness
+// ---------------------------------------------------------------------
+
+/// One wired echo server: machine, enclave, socket, RPC service with
+/// `workers` worker threads, and a `ServerIo` built from `cfg`.
+struct EchoRig {
+    m: Arc<SgxMachine>,
+    e: Arc<eleos::enclave::enclave::Enclave>,
+    wire: Arc<Wire>,
+    fd: eleos::enclave::host::Fd,
+    io: ServerIo,
+}
+
+impl EchoRig {
+    fn new(workers: usize, cfg: ServerIoConfig) -> EchoRig {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([9u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let fd = m.host.socket(&ut, 256 << 10);
+        // The tiny machine has four cores; workers share 2 and 3 (the
+        // core clocks are atomic, and none of these tests assert
+        // per-core cycle counts for shared cores).
+        let svc = with_syscalls(RpcService::builder(&m), &m)
+            .workers(workers, &[2, 3])
+            .build();
+        let io = ServerIo::new(&ut, fd, cfg, IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
+        EchoRig { m, e, wire, fd, io }
+    }
+
+    fn push(&self, plain: &[u8]) {
+        let ut = ThreadCtx::untrusted(&self.m, 1);
+        self.m
+            .host
+            .push_request(&ut, self.fd, &self.wire.encrypt(plain));
+    }
+
+    fn thread(&self) -> ThreadCtx {
+        let mut t = ThreadCtx::for_enclave(&self.m, &self.e, 0);
+        t.enter();
+        t
+    }
+}
+
+/// Pushes `payloads`, reaps them in one `recv_batch`, and returns the
+/// decrypted plaintexts in reap order.
+fn reap_once(payloads: &[Vec<u8>], workers: usize, sg: bool) -> Vec<Vec<u8>> {
+    let rig = EchoRig::new(
+        workers,
+        ServerIoConfig::with_buf_len(16 << 10)
+            .batch(payloads.len().max(1))
+            .scatter_gather(sg),
+    );
+    for p in payloads {
+        rig.push(p);
+    }
+    let mut t = rig.thread();
+    let out = rig.io.recv_batch(&mut t);
+    t.exit();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: multi-worker scatter-gather reap == per-message path
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For every worker count x batch depth, the scatter-gather
+    /// sub-batch reap returns byte-identical decrypted payloads in
+    /// identical order to the single-worker per-message reference.
+    #[test]
+    fn scatter_gather_reap_matches_per_message_reference(
+        seed in prop::collection::vec(any::<u8>(), 64..65),
+    ) {
+        for workers in 1usize..=4 {
+            for depth in [1usize, 2, 8, 64] {
+                // Distinct, random-looking payloads of varying length,
+                // derived from the proptest seed bytes.
+                let payloads: Vec<Vec<u8>> = (0..depth)
+                    .map(|i| {
+                        let len = 1 + (seed[i % 64] as usize + i) % 180;
+                        (0..len)
+                            .map(|j| seed[(i + j) % 64].wrapping_add((i * 31 + j) as u8))
+                            .collect()
+                    })
+                    .collect();
+                let reference = reap_once(&payloads, 1, false);
+                prop_assert_eq!(&reference, &payloads, "reference path must echo the queue");
+                let got = reap_once(&payloads, workers, true);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "scatter-gather reap diverged (workers={}, depth={})",
+                    workers, depth
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: SUVM write-back through a shared Sealer
+// ---------------------------------------------------------------------
+
+/// Working-set span: 16 pages through an 8-frame EPC++.
+const SPAN: usize = 64 << 10;
+
+fn suvm_rig(sealer: SealerConfig) -> (Arc<SgxMachine>, Arc<Suvm>, ThreadCtx) {
+    let m = SgxMachine::new(MachineConfig {
+        epc_bytes: 2 << 20,
+        ..MachineConfig::tiny()
+    });
+    let e = m.driver.create_enclave(&m, 16 << 20);
+    let t0 = ThreadCtx::for_enclave(&m, &e, 0);
+    let s = Suvm::new(
+        &t0,
+        SuvmConfig {
+            epcpp_bytes: 8 * 4096,
+            backing_bytes: 1 << 20,
+            wb_batch: 8,
+            sealer,
+            ..SuvmConfig::tiny()
+        },
+    );
+    let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+    t.enter();
+    (m, s, t)
+}
+
+/// Runs a write/read/evict/drain workload and returns
+/// `(final contents, sealed entry count)` after a full quiesce.
+fn run_suvm_workload(sealer: SealerConfig, ops: &[(usize, Vec<u8>)]) -> (Vec<u8>, usize) {
+    let (m, s, mut t) = suvm_rig(sealer);
+    let sva = s.malloc(SPAN);
+    let fill = vec![0x5au8; SPAN];
+    s.write(&mut t, sva, &fill);
+    let mut shadow = fill;
+    for (i, (at, data)) in ops.iter().enumerate() {
+        let at = (*at).min(SPAN - data.len());
+        s.write(&mut t, sva + at as u64, data);
+        shadow[at..at + data.len()].copy_from_slice(data);
+        match i % 3 {
+            0 => {
+                s.evict_one(&mut t);
+            }
+            1 => {
+                s.drain_writeback(&mut t, 4);
+            }
+            _ => {
+                let mut buf = vec![0u8; data.len()];
+                s.read(&mut t, sva + at as u64, &mut buf);
+                prop_assert_eq!(&buf, &shadow[at..at + data.len()]);
+            }
+        }
+        s.check_consistency();
+    }
+    // Pinned pages must survive a full eviction sweep un-evicted.
+    let pin_at = 0usize;
+    let p = SPtr::<u64>::new(&s, sva + pin_at as u64);
+    let want = u64::from_le_bytes(shadow[pin_at..pin_at + 8].try_into().unwrap());
+    prop_assert_eq!(p.get(&mut t), want);
+    let faults_before = s.local_stats().major_faults;
+    while s.evict_one(&mut t) {}
+    while s.writeback_queue_len() > 0 {
+        s.drain_writeback(&mut t, 8);
+    }
+    prop_assert_eq!(p.get(&mut t), want, "pinned page corrupted");
+    prop_assert_eq!(
+        s.local_stats().major_faults,
+        faults_before,
+        "pinned page was evicted"
+    );
+    drop(p);
+    // Quiesce everything and fault it all back in: seal -> evict ->
+    // fault -> open for every page.
+    while s.evict_one(&mut t) {}
+    while s.writeback_queue_len() > 0 {
+        s.drain_writeback(&mut t, 8);
+    }
+    s.check_consistency();
+    let mut back = vec![0u8; SPAN];
+    s.read(&mut t, sva, &mut back);
+    prop_assert_eq!(&back, &shadow, "sealed round-trip corrupted the contents");
+    // Everything is clean with a valid sealed copy now: a second full
+    // eviction must elide every re-seal, shared key or not.
+    let s0 = m.stats.snapshot();
+    while s.evict_one(&mut t) {}
+    let d = m.stats.snapshot() - s0;
+    prop_assert_eq!(
+        d.suvm_evictions,
+        d.suvm_clean_skips,
+        "clean pages must never be re-sealed"
+    );
+    prop_assert_eq!(d.suvm_wb_pages, 0, "clean pages must never be queued");
+    (back, s.debug_seal_entries())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same workload through a per-domain sealer and through a
+    /// shared `Sealer` leaves identical contents and an identical
+    /// sealed population, and both uphold the paging invariants.
+    #[test]
+    fn shared_sealer_roundtrips_like_per_domain(
+        ops in prop::collection::vec(
+            (0..SPAN, prop::collection::vec(any::<u8>(), 1..200)),
+            4..20,
+        ),
+    ) {
+        let per_domain = run_suvm_workload(SealerConfig::PerDomain, &ops);
+        let shared: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x77u8; 16]));
+        let via_shared = run_suvm_workload(SealerConfig::Shared(shared), &ops);
+        prop_assert_eq!(per_domain.0, via_shared.0, "contents diverge across key management");
+        prop_assert_eq!(
+            per_domain.1, via_shared.1,
+            "sealed population diverges across key management"
+        );
+    }
+}
+
+/// The configured sealer is observable: per-domain builds a private
+/// GCM, shared uses the caller's instance.
+#[test]
+fn sealer_config_selects_the_instance() {
+    let (_m, s, mut t) = suvm_rig(SealerConfig::PerDomain);
+    assert_eq!(s.sealer_name(), "aes128-gcm");
+    let shared: Arc<dyn Sealer> = Arc::new(eleos::crypto::ctr::Ctr128::new(&[1u8; 16]));
+    let (_m2, s2, mut t2) = suvm_rig(SealerConfig::Shared(shared));
+    assert_eq!(s2.sealer_name(), "aes128-ctr");
+    // Both still page correctly.
+    for (s, t) in [(&s, &mut t), (&s2, &mut t2)] {
+        let sva = s.malloc(SPAN);
+        s.write(t, sva + 40_000, b"keyed either way");
+        while s.evict_one(t) {}
+        let mut buf = [0u8; 16];
+        s.read(t, sva + 40_000, &mut buf);
+        assert_eq!(&buf, b"keyed either way");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: async_send composition and ring-full fallback
+// ---------------------------------------------------------------------
+
+/// Deferred sends with multi-worker sub-batches: every response
+/// reaches the socket in order, and the pending batch is fully reaped
+/// before the transmit buffer is reused for the next round.
+#[test]
+fn deferred_multi_worker_sends_stay_in_order() {
+    let rig = EchoRig::new(
+        2,
+        ServerIoConfig::with_buf_len(8192).batch(4).async_send(true),
+    );
+    let mut t = rig.thread();
+    for round in 0..6u8 {
+        for i in 0..4u8 {
+            rig.push(&[round * 4 + i; 24]);
+        }
+        let msgs = rig.io.recv_batch(&mut t);
+        assert_eq!(msgs.len(), 4);
+        rig.io.send_batch(&mut t, &msgs);
+    }
+    rig.io.flush(&mut t);
+    t.exit();
+    let mut echoed = Vec::new();
+    while let Some(resp) = rig.m.host.pop_response(rig.fd) {
+        echoed.push(rig.wire.decrypt(&resp));
+    }
+    assert_eq!(echoed.len(), 24, "every echo must reach the socket");
+    for (i, msg) in echoed.iter().enumerate() {
+        assert_eq!(msg, &vec![i as u8; 24], "response {i} out of order");
+    }
+}
+
+/// Sub-batches that fill the ring back off and retry without dropping
+/// or reordering messages: a one-slot ring forces `rpc_ring_full` on
+/// every multi-job submission, yet the echo stream stays intact.
+#[test]
+fn ring_full_sub_batches_fall_back_without_reordering() {
+    let m = SgxMachine::new(MachineConfig::tiny());
+    let e = m.driver.create_enclave(&m, 1 << 20);
+    let wire = Arc::new(Wire::new([3u8; 16]));
+    let ut = ThreadCtx::untrusted(&m, 1);
+    let fd = m.host.socket(&ut, 256 << 10);
+    let svc = with_syscalls(RpcService::builder(&m), &m)
+        .workers(2, &[2, 3])
+        .slots(1)
+        .build();
+    let io = ServerIo::new(
+        &ut,
+        fd,
+        ServerIoConfig::with_buf_len(8192).batch(8),
+        IoPath::Rpc(Arc::new(svc)),
+        Arc::clone(&wire),
+    );
+    let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+    t.enter();
+    for round in 0..3u8 {
+        for i in 0..8u8 {
+            m.host
+                .push_request(&ut, fd, &wire.encrypt(&[round * 8 + i; 20]));
+        }
+        let msgs = io.recv_batch(&mut t);
+        assert_eq!(msgs.len(), 8, "ring pressure must not drop messages");
+        for (i, msg) in msgs.iter().enumerate() {
+            assert_eq!(
+                msg,
+                &vec![round * 8 + i as u8; 20],
+                "ring pressure must not reorder messages"
+            );
+        }
+        io.send_batch(&mut t, &msgs);
+    }
+    t.exit();
+    let d = m.stats.snapshot();
+    assert!(
+        d.rpc_ring_full > 0,
+        "a one-slot ring must report back-pressure"
+    );
+    let mut echoed = 0usize;
+    let mut next = 0u8;
+    while let Some(resp) = m.host.pop_response(fd) {
+        assert_eq!(wire.decrypt(&resp), vec![next; 20]);
+        next += 1;
+        echoed += 1;
+    }
+    assert_eq!(echoed, 24, "ring pressure must not drop responses");
+}
+
+// ---------------------------------------------------------------------
+// Satellite 4: cost accounting
+// ---------------------------------------------------------------------
+
+/// Each scatter-gather sub-batch costs exactly one syscall trap and
+/// one kernel-metadata charge, for 1, 2 and 4 workers, on both the
+/// receive and the transmit leg.
+#[test]
+fn one_trap_and_one_meta_charge_per_sub_batch() {
+    for workers in [1usize, 2, 4] {
+        let rig = EchoRig::new(workers, ServerIoConfig::with_buf_len(8192).batch(8));
+        let mut t = rig.thread();
+        for i in 0..8u8 {
+            rig.push(&[i; 24]);
+        }
+        let s0 = rig.m.stats.snapshot();
+        let msgs = rig.io.recv_batch(&mut t);
+        assert_eq!(msgs.len(), 8);
+        let d = rig.m.stats.snapshot() - s0;
+        assert_eq!(d.syscalls, workers as u64, "one trap per recv sub-batch");
+        assert_eq!(
+            d.kernel_meta_reads, workers as u64,
+            "one kernel-metadata walk per recv sub-batch"
+        );
+        let s0 = rig.m.stats.snapshot();
+        rig.io.send_batch(&mut t, &msgs);
+        let d = rig.m.stats.snapshot() - s0;
+        assert_eq!(d.syscalls, workers as u64, "one trap per send sub-batch");
+        assert_eq!(
+            d.kernel_meta_reads, workers as u64,
+            "one kernel-metadata walk per send sub-batch"
+        );
+        t.exit();
+    }
+}
+
+/// Wire crypto setup is charged through the one unified
+/// `charge_crypto_batch` site: a batch-of-8 amortized decrypt bills
+/// the leader the full setup and each follow-on a quarter.
+#[test]
+fn wire_setup_cycles_follow_the_unified_formula() {
+    let rig = EchoRig::new(2, ServerIoConfig::with_buf_len(8192).batch(8));
+    let mut t = rig.thread();
+    for i in 0..8u8 {
+        rig.push(&[i; 24]);
+    }
+    let s0 = rig.m.stats.snapshot();
+    let msgs = rig.io.recv_batch(&mut t);
+    assert_eq!(msgs.len(), 8);
+    let d = rig.m.stats.snapshot() - s0;
+    let full = MachineConfig::tiny().costs.crypto_fixed;
+    assert_eq!(d.crypto_batches, 1);
+    assert_eq!(d.crypto_msgs, 8);
+    assert_eq!(d.crypto_setup_cycles, full + 7 * (full / 4));
+    t.exit();
+}
+
+/// SUVM write-back drains charge their setup through the same unified
+/// path: one crypto batch per drain, leader at full setup, follow-ons
+/// at a quarter — no private amortization in `writeback.rs`.
+#[test]
+fn drain_setup_cycles_follow_the_unified_formula() {
+    let (m, s, mut t) = suvm_rig(SealerConfig::PerDomain);
+    let sva = s.malloc(SPAN);
+    let fill = vec![0xa1u8; SPAN];
+    s.write(&mut t, sva, &fill);
+    // Quiesce: every page sealed, cache empty.
+    while s.evict_one(&mut t) {}
+    while s.writeback_queue_len() > 0 {
+        s.drain_writeback(&mut t, 8);
+    }
+    // Fault eight pages back in (clean, valid sealed copies), then
+    // dirty half of them.
+    let mut probe = [0u8; 1];
+    for page in 0..8u64 {
+        s.read(&mut t, sva + page * 4096, &mut probe);
+    }
+    for page in 0..4u64 {
+        s.write(&mut t, sva + page * 4096 + 9, &[0x33; 8]);
+    }
+    // Three more faults: the detach pass frees clean victims outright
+    // and parks the dirty ones on the write-back queue, so the queue
+    // fills without a synchronous fallback drain.
+    for page in 8..11u64 {
+        s.read(&mut t, sva + page * 4096, &mut probe);
+    }
+    assert!(
+        s.writeback_queue_len() >= 2,
+        "the workload must queue at least one drainable batch"
+    );
+    let full = m.cfg.costs.crypto_fixed;
+    let s0 = m.stats.snapshot();
+    let sealed = s.drain_writeback(&mut t, 4);
+    let d = m.stats.snapshot() - s0;
+    assert!(sealed >= 2, "the drain must seal a batch");
+    assert_eq!(d.crypto_batches, 1, "one unified charge per drain");
+    assert_eq!(d.crypto_msgs, sealed as u64);
+    assert_eq!(
+        d.crypto_setup_cycles,
+        full + (sealed as u64 - 1) * (full / 4),
+        "drain leader pays full setup, follow-ons a quarter"
+    );
+    t.exit();
+}
