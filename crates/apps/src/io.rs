@@ -20,15 +20,46 @@
 //! merge). The per-message path survives behind
 //! [`ServerIoConfig::scatter_gather`]`(false)` as the baseline
 //! `repro crypto_bench` compares against.
+//!
+//! # Sharded multi-socket serving
+//!
+//! A [`ServerIo`] built over a socket *set* ([`ServerIo::sharded`],
+//! one socket per shard, SO_REUSEPORT style) runs one
+//! reap→decrypt→serve→seal→send pipeline per shard instead. Because
+//! the load generator pins each client connection to one shard
+//! ([`crate::loadgen::shard_for`]), per-shard slot order *is* arrival
+//! order: the sharded reap skips the global seq-sort merge (and its
+//! [`reap_merge`](eleos_sim::costs::CostModel::reap_merge) charge) and
+//! the sharded send uses unsequenced `send_mmsg`, skipping the kernel
+//! transmit reorder buffer (and its
+//! [`tx_reorder`](eleos_sim::costs::CostModel::tx_reorder) charge).
+//! The single-socket path keeps both, unchanged — per-connection
+//! response order is the only contract, and one socket carries every
+//! connection.
+//!
+//! # Adaptive sub-batch sizing
+//!
+//! [`ServerIoConfig::adaptive`] replaces the fixed reap depth with a
+//! per-shard AIMD controller: grow the depth while the queue stays
+//! non-empty (burst → batch-`max` amortization), halve it on an empty
+//! reap, and otherwise track an EWMA of arrivals (trickle →
+//! batch-`min` latency). Every scatter-gather descriptor carries the
+//! op's enqueue timestamp, and the reap records each op's
+//! cycles-of-sojourn into the [`sojourn`](eleos_sim::stats::Stats)
+//! histogram, so `repro serving_bench` can report p50/p95/p99 latency
+//! next to throughput.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use eleos_enclave::host::Fd;
+use eleos_enclave::host::{Fd, DESC_STRIDE};
 use eleos_enclave::thread::ThreadCtx;
 use eleos_rpc::{funcs, RpcService};
 
 use crate::wire::Wire;
+
+/// Fixed-point scale for the per-shard arrival-rate EWMA.
+const EWMA_SCALE: u64 = 16;
 
 /// How the server reaches the host OS.
 #[derive(Clone)]
@@ -61,8 +92,17 @@ pub struct ServerIoConfig {
     pub buf_len: usize,
     /// Messages reaped/sent per batch call; the receive buffer is
     /// striped into this many slots, so `buf_len / batch` bounds the
-    /// message size.
+    /// message size. With [`Self::adaptive`] this is the *initial*
+    /// depth and the controller moves within
+    /// `[batch_min, batch_max]`.
     pub batch: usize,
+    /// Lower bound for the adaptive sub-batch controller. Equal to
+    /// `batch_max` (and `batch`) when the depth is fixed.
+    pub batch_min: usize,
+    /// Upper bound for the adaptive sub-batch controller; also sizes
+    /// the descriptor staging and the sharded stripe. Equal to
+    /// `batch_min` when the depth is fixed.
+    pub batch_max: usize,
     /// Amortize the cipher setup across each batch (the batched
     /// crypto pipeline). `false` charges every message the full setup
     /// — the per-message baseline `repro crypto_bench` compares
@@ -90,6 +130,8 @@ impl Default for ServerIoConfig {
         Self {
             buf_len: 64 << 10,
             batch: 16,
+            batch_min: 16,
+            batch_max: 16,
             batched_crypto: true,
             async_send: false,
             scatter_gather: true,
@@ -107,12 +149,53 @@ impl ServerIoConfig {
         }
     }
 
-    /// Sets the per-call batch size.
+    /// Sets a fixed per-call batch size (`batch_min == batch_max`, no
+    /// adaptation).
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero — a zero depth would divide the
+    /// staging buffer by zero deep in the reap path.
     #[must_use]
     pub fn batch(mut self, batch: usize) -> Self {
-        assert!(batch > 0, "batch must be at least one");
+        assert!(
+            batch > 0,
+            "batch(0): a reap needs at least one slot (the stripe size is buf_len / batch)"
+        );
         self.batch = batch;
+        self.batch_min = batch;
+        self.batch_max = batch;
         self
+    }
+
+    /// Enables the adaptive sub-batch controller: each reap picks the
+    /// next depth in `[min, max]` from the shard's observed queue
+    /// depth (AIMD: grow while the queue stays non-empty, halve on an
+    /// empty reap, otherwise track the arrival EWMA). `min == max`
+    /// degenerates to a fixed depth.
+    ///
+    /// # Panics
+    /// Panics if `min` is zero or `min > max`.
+    #[must_use]
+    pub fn adaptive(mut self, min: usize, max: usize) -> Self {
+        assert!(
+            min > 0,
+            "adaptive({min}, {max}): batch_min must be at least one"
+        );
+        assert!(
+            min <= max,
+            "adaptive({min}, {max}): batch_min must not exceed batch_max"
+        );
+        self.batch = min;
+        self.batch_min = min;
+        self.batch_max = max;
+        self
+    }
+
+    /// Whether the sub-batch depth adapts (i.e. `batch_min !=
+    /// batch_max`).
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        self.batch_min != self.batch_max
     }
 
     /// Enables or disables batch-amortized crypto setup.
@@ -147,6 +230,17 @@ impl ServerIoConfig {
         }
     }
 
+    /// Label for the sub-batch sizing policy in experiment output:
+    /// `adaptive` or `fixed-N`.
+    #[must_use]
+    pub fn policy_label(&self) -> String {
+        if self.is_adaptive() {
+            "adaptive".to_owned()
+        } else {
+            format!("fixed-{}", self.batch_max)
+        }
+    }
+
     /// Label for experiment output (mirrors how the paging benches
     /// name the eviction policy).
     #[must_use]
@@ -159,29 +253,53 @@ impl ServerIoConfig {
     }
 }
 
-/// One server connection: a socket plus untrusted staging buffers and
-/// the session cipher.
-pub struct ServerIo {
-    /// The socket.
-    pub fd: Fd,
+/// One serving pipeline: a socket plus its own untrusted staging
+/// buffers, descriptor arrays, and adaptive-depth state.
+struct Shard {
+    /// The shard's socket.
+    fd: Fd,
     /// Untrusted receive buffer.
-    pub rx_buf: u64,
+    rx_buf: u64,
     /// Untrusted transmit buffer.
-    pub tx_buf: u64,
-    /// Untrusted descriptor array for scatter-gather receives: `batch`
-    /// little-endian `u64`s of `(seq << 32) | len`, like `recvmmsg`'s
-    /// msgvec plus the socket's dequeue sequence.
+    tx_buf: u64,
+    /// Untrusted descriptor array for scatter-gather receives:
+    /// `batch_max` 16-byte entries (two little-endian `u64` words:
+    /// `(seq << 32) | len`, then the enqueue timestamp), like
+    /// `recvmmsg`'s msgvec plus the socket's dequeue sequence and
+    /// arrival stamp.
     desc_rx: u64,
     /// Untrusted descriptor array for scatter-gather sends (same
-    /// `(seq << 32) | len` format; `seq` is the transmit sequence the
-    /// kernel reorder buffer commits in order).
+    /// 16-byte entries; the timestamp word is ignored and the `seq`
+    /// word only matters to the sequenced single-socket path).
     desc_tx: u64,
+    /// The controller's current sub-batch depth (messages per reap).
+    /// Constant at `cfg.batch` when the depth is fixed.
+    depth: AtomicU64,
+    /// Fixed-point ([`EWMA_SCALE`]) EWMA of messages per reap — the
+    /// shard's observed arrival rate, which the controller shrinks
+    /// toward when the queue drains.
+    ewma: AtomicU64,
+}
+
+/// One server session: a socket set (one socket per shard — one for
+/// the classic single-socket server), untrusted staging buffers, and
+/// the session cipher.
+pub struct ServerIo {
+    /// Shard 0's socket — *the* socket of a single-socket server.
+    pub fd: Fd,
+    /// The serving pipelines, one per socket.
+    shards: Vec<Shard>,
+    /// `(shard, count)` split of the last sharded reap, so the
+    /// matching send can route each reply back out the socket its
+    /// request arrived on.
+    last_reap: std::sync::Mutex<Vec<(usize, usize)>>,
     /// Next transmit sequence number for sequenced scatter-gather
-    /// sends. The host commits payloads to the wire strictly in this
-    /// order, so parallel send sub-batches cannot reorder responses.
+    /// sends (single-socket path only). The host commits payloads to
+    /// the wire strictly in this order, so parallel send sub-batches
+    /// cannot reorder responses.
     tx_seq: AtomicU64,
     /// The in-flight deferred send, when `cfg.async_send` is on: the
-    /// transmit buffer belongs to the workers until this is reaped.
+    /// transmit buffers belong to the workers until this is reaped.
     pending_send: std::sync::Mutex<Option<eleos_rpc::RpcBatch>>,
     /// Session tunables.
     pub cfg: ServerIoConfig,
@@ -192,7 +310,9 @@ pub struct ServerIo {
 }
 
 impl ServerIo {
-    /// Allocates staging buffers per `cfg` and binds them to `fd`.
+    /// Allocates staging buffers per `cfg` and binds them to `fd` — a
+    /// classic single-socket server ([`Self::sharded`] with one
+    /// shard).
     #[must_use]
     pub fn new(
         ctx: &ThreadCtx,
@@ -201,13 +321,68 @@ impl ServerIo {
         path: IoPath,
         wire: Arc<Wire>,
     ) -> Self {
-        let descs = cfg.batch * 8;
+        Self::sharded(ctx, &[fd], cfg, path, wire)
+    }
+
+    /// Binds one serving pipeline (staging buffers + descriptor
+    /// arrays + adaptive-depth state) to each socket of a shard set.
+    /// With more than one shard the reap/send skip the arrival-order
+    /// merge and the transmit reorder buffer — per-shard FIFO is
+    /// enough, because the load generator pins every connection to
+    /// one shard.
+    ///
+    /// # Panics
+    /// Panics if `fds` is empty, if the config's `batch_max` does not
+    /// fit the staging buffer, or if more than one shard is combined
+    /// with a non-RPC path or per-message I/O (sharding rides the RPC
+    /// scatter-gather path).
+    #[must_use]
+    pub fn sharded(
+        ctx: &ThreadCtx,
+        fds: &[Fd],
+        cfg: ServerIoConfig,
+        path: IoPath,
+        wire: Arc<Wire>,
+    ) -> Self {
+        assert!(!fds.is_empty(), "a server needs at least one socket");
+        assert!(
+            cfg.buf_len / cfg.batch_max > 0,
+            "batch_max {} too large for a {}-byte staging buffer",
+            cfg.batch_max,
+            cfg.buf_len
+        );
+        if fds.len() > 1 {
+            assert!(
+                matches!(path, IoPath::Rpc(_)),
+                "sharded serving rides the RPC path"
+            );
+            assert!(
+                cfg.scatter_gather,
+                "sharded serving needs scatter-gather sub-batches"
+            );
+        }
+        let depth0 = if cfg.is_adaptive() {
+            cfg.batch_min
+        } else {
+            cfg.batch
+        } as u64;
+        let descs = cfg.batch_max * DESC_STRIDE;
+        let shards = fds
+            .iter()
+            .map(|&fd| Shard {
+                fd,
+                rx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
+                tx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
+                desc_rx: ctx.machine.alloc_untrusted(descs),
+                desc_tx: ctx.machine.alloc_untrusted(descs),
+                depth: AtomicU64::new(depth0),
+                ewma: AtomicU64::new(depth0 * EWMA_SCALE),
+            })
+            .collect();
         Self {
-            fd,
-            rx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
-            tx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
-            desc_rx: ctx.machine.alloc_untrusted(descs),
-            desc_tx: ctx.machine.alloc_untrusted(descs),
+            fd: fds[0],
+            shards,
+            last_reap: std::sync::Mutex::new(Vec::new()),
             tx_seq: AtomicU64::new(0),
             pending_send: std::sync::Mutex::new(None),
             cfg,
@@ -216,18 +391,73 @@ impl ServerIo {
         }
     }
 
+    /// Number of serving pipelines (sockets).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `idx`'s current sub-batch depth (the fixed `cfg.batch`
+    /// unless the config is adaptive).
+    #[must_use]
+    pub fn shard_depth(&self, idx: usize) -> usize {
+        self.shards[idx].depth.load(Ordering::Relaxed) as usize
+    }
+
+    /// One AIMD step for a shard's sub-batch depth, fed by the reap
+    /// it just completed: `got` messages popped, `backlog` still
+    /// queued. Empty reap → halve (we are polling faster than
+    /// arrivals); backlog left behind → grow at least to the backlog
+    /// (the burst needs deeper amortization); drained exactly →
+    /// shrink toward the arrival EWMA.
+    fn adapt(&self, shard: &Shard, got: usize, backlog: usize) {
+        if !self.cfg.is_adaptive() {
+            return;
+        }
+        let (min, max) = (self.cfg.batch_min as u64, self.cfg.batch_max as u64);
+        let ewma = (3 * shard.ewma.load(Ordering::Relaxed) + got as u64 * EWMA_SCALE) / 4;
+        shard.ewma.store(ewma, Ordering::Relaxed);
+        let depth = shard.depth.load(Ordering::Relaxed);
+        let next = if got == 0 {
+            depth / 2
+        } else if backlog > 0 {
+            (depth + 1).max(backlog as u64)
+        } else {
+            depth.min(ewma.div_ceil(EWMA_SCALE))
+        };
+        shard.depth.store(next.clamp(min, max), Ordering::Relaxed);
+    }
+
     /// Receives and decrypts one request: a batch of one over the
     /// shared reap path. Returns `None` when the socket queue is
-    /// empty.
+    /// empty. Single-socket servers only — a sharded server reaps
+    /// whole sub-batches per shard.
     pub fn recv_msg(&self, ctx: &mut ThreadCtx) -> Option<Vec<u8>> {
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "single-message receive is a single-socket affair; use recv_batch on a sharded server"
+        );
         self.recv_up_to(ctx, 1).pop()
     }
 
-    /// Receives and decrypts up to `cfg.batch` requests at once, in
-    /// the socket's arrival order, decrypting the whole reap in one
-    /// batched crypto pass.
+    /// Receives and decrypts up to one sub-batch of requests, in the
+    /// socket's arrival order, decrypting the whole reap in one
+    /// batched crypto pass. The sub-batch depth is `cfg.batch`, or
+    /// the controller's current depth under [`ServerIoConfig::adaptive`];
+    /// a sharded server reaps one sub-batch per shard, concatenated
+    /// shard by shard.
     pub fn recv_batch(&self, ctx: &mut ThreadCtx) -> Vec<Vec<u8>> {
-        self.recv_up_to(ctx, self.cfg.batch)
+        if self.shards.len() > 1 {
+            return self.recv_sharded(ctx);
+        }
+        let depth = self.shard_depth(0);
+        let out = self.recv_up_to(ctx, depth);
+        if self.cfg.is_adaptive() {
+            let backlog = ctx.machine.host.rx_pending(self.fd);
+            self.adapt(&self.shards[0], out.len(), backlog);
+        }
+        out
     }
 
     /// The shared reap/sort/decrypt path behind every receive entry
@@ -248,6 +478,67 @@ impl ServerIo {
             .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto)
     }
 
+    /// The sharded reap: one `recv_mmsg` sub-batch per shard (each at
+    /// its shard's controller depth), submitted together as one RPC
+    /// batch. Per-shard slot order *is* arrival order — connections
+    /// never span shards — so there is no seq-sort merge and no
+    /// `reap_merge` charge; messages come back concatenated shard by
+    /// shard and the `(shard, count)` split is recorded for the
+    /// matching [`Self::send_batch`] to route replies home.
+    fn recv_sharded(&self, ctx: &mut ThreadCtx) -> Vec<Vec<u8>> {
+        let IoPath::Rpc(svc) = &self.path else {
+            unreachable!("sharded serving rides the RPC path (checked at construction)");
+        };
+        let stripe = self.cfg.buf_len / self.cfg.batch_max;
+        let reqs: Vec<(u64, [u64; 4])> = self
+            .shards
+            .iter()
+            .map(|sh| {
+                (
+                    funcs::RECV_MMSG,
+                    [
+                        sh.fd.0 as u64,
+                        sh.rx_buf,
+                        ((stripe as u64) << 32) | sh.depth.load(Ordering::Relaxed),
+                        sh.desc_rx,
+                    ],
+                )
+            })
+            .collect();
+        let counts = svc.submit_batch(ctx, &reqs).wait_all(ctx);
+        let now = ctx.now();
+        let mut raw: Vec<Vec<u8>> = Vec::new();
+        let mut reap = Vec::with_capacity(self.shards.len());
+        for (idx, (sh, &n)) in self.shards.iter().zip(counts.iter()).enumerate() {
+            let n = n as usize;
+            reap.push((idx, n));
+            if n > 0 {
+                let mut descs = vec![0u8; n * DESC_STRIDE];
+                ctx.read_untrusted(sh.desc_rx, &mut descs);
+                for i in 0..n {
+                    let at = i * DESC_STRIDE;
+                    let w0 = u64::from_le_bytes(descs[at..at + 8].try_into().unwrap());
+                    let enq = u64::from_le_bytes(descs[at + 8..at + 16].try_into().unwrap());
+                    ctx.machine.stats.sojourn.record(now.saturating_sub(enq));
+                    let mut msg = vec![0u8; (w0 & 0xffff_ffff) as usize];
+                    ctx.read_untrusted(sh.rx_buf + (i * stripe) as u64, &mut msg);
+                    raw.push(msg);
+                }
+            }
+            if self.cfg.is_adaptive() {
+                let backlog = ctx.machine.host.rx_pending(sh.fd);
+                self.adapt(sh, n, backlog);
+            }
+        }
+        *self.last_reap.lock().expect("last reap") = reap;
+        if raw.is_empty() {
+            return Vec::new();
+        }
+        let refs: Vec<&[u8]> = raw.iter().map(Vec::as_slice).collect();
+        self.wire
+            .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto)
+    }
+
     /// Collects up to `max` raw wire messages in the socket's arrival
     /// order, without decrypting.
     ///
@@ -258,13 +549,16 @@ impl ServerIo {
     /// charge regardless of how many messages it pops, and the
     /// sub-batches drain the socket concurrently, so their slots
     /// interleave; every descriptor carries the socket's dequeue
-    /// sequence and the reap merges by a global seq sort. A single
-    /// worker degenerates to the one-job scatter-gather reap. With
-    /// `scatter_gather` off the reap falls back to per-message
-    /// `RECV_TAGGED` jobs (same seq-sorted merge, one syscall *per
-    /// message*). On the native/OCALL paths this degrades to a
-    /// sequential loop that stops at the first would-block.
+    /// sequence and the reap merges by a global seq sort (paying
+    /// `reap_merge` per message when more than one sub-batch
+    /// interleaves). A single worker degenerates to the one-job
+    /// scatter-gather reap. With `scatter_gather` off the reap falls
+    /// back to per-message `RECV_TAGGED` jobs (same seq-sorted merge,
+    /// one syscall *per message*). On the native/OCALL paths this
+    /// degrades to a sequential loop that stops at the first
+    /// would-block.
     fn reap_raw(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
+        let sh = &self.shards[0];
         let svc = match &self.path {
             IoPath::Rpc(svc) => svc,
             _ => {
@@ -280,6 +574,7 @@ impl ServerIo {
         };
         let stripe = self.cfg.buf_len / max;
         assert!(stripe > 0, "batch too large for the receive buffer");
+        let lanes = svc.worker_count().max(1).min(max);
         if self.cfg.scatter_gather {
             let ranges = split_ranges(max, svc.worker_count().max(1));
             let reqs: Vec<(u64, [u64; 4])> = ranges
@@ -288,47 +583,55 @@ impl ServerIo {
                     (
                         funcs::RECV_MMSG,
                         [
-                            self.fd.0 as u64,
-                            self.rx_buf + (start * stripe) as u64,
+                            sh.fd.0 as u64,
+                            sh.rx_buf + (start * stripe) as u64,
                             ((stripe as u64) << 32) | count as u64,
-                            self.desc_rx + (start * 8) as u64,
+                            sh.desc_rx + (start * DESC_STRIDE) as u64,
                         ],
                     )
                 })
                 .collect();
             let counts = svc.submit_batch(ctx, &reqs).wait_all(ctx);
-            // (seq, slot, len) across all sub-batches: sub-batches pop
-            // concurrently, so arrival order is reconstructed from the
-            // dequeue sequences, not the slot layout.
-            let mut got: Vec<(u64, usize, usize)> = Vec::new();
+            let now = ctx.now();
+            // (seq, slot, len, enqueue stamp) across all sub-batches:
+            // sub-batches pop concurrently, so arrival order is
+            // reconstructed from the dequeue sequences, not the slot
+            // layout.
+            let mut got: Vec<(u64, usize, usize, u64)> = Vec::new();
             for (&(start, _), &n) in ranges.iter().zip(counts.iter()) {
                 let n = n as usize;
                 if n == 0 {
                     continue;
                 }
-                let mut descs = vec![0u8; n * 8];
-                ctx.read_untrusted(self.desc_rx + (start * 8) as u64, &mut descs);
+                let mut descs = vec![0u8; n * DESC_STRIDE];
+                ctx.read_untrusted(sh.desc_rx + (start * DESC_STRIDE) as u64, &mut descs);
                 for i in 0..n {
-                    let d = u64::from_le_bytes(descs[i * 8..i * 8 + 8].try_into().unwrap());
-                    got.push((d >> 32, start + i, (d & 0xffff_ffff) as usize));
+                    let at = i * DESC_STRIDE;
+                    let w0 = u64::from_le_bytes(descs[at..at + 8].try_into().unwrap());
+                    let enq = u64::from_le_bytes(descs[at + 8..at + 16].try_into().unwrap());
+                    got.push((w0 >> 32, start + i, (w0 & 0xffff_ffff) as usize, enq));
                 }
             }
-            got.sort_unstable_by_key(|&(seq, _, _)| seq);
+            got.sort_unstable_by_key(|&(seq, _, _, _)| seq);
+            // More than one sub-batch interleaved: pay the per-message
+            // merge (the sharded path skips this — per-shard slot
+            // order is already arrival order).
+            if lanes > 1 && got.len() > 1 {
+                ctx.compute(ctx.machine.cfg.costs.reap_merge * got.len() as u64);
+            }
             let mut out = Vec::with_capacity(got.len());
-            for (_seq, slot, n) in got {
+            for (_seq, slot, n, enq) in got {
+                ctx.machine.stats.sojourn.record(now.saturating_sub(enq));
                 let mut msg = vec![0u8; n];
-                ctx.read_untrusted(self.rx_buf + (slot * stripe) as u64, &mut msg);
+                ctx.read_untrusted(sh.rx_buf + (slot * stripe) as u64, &mut msg);
                 out.push(msg);
             }
             return out;
         }
         let reqs: Vec<(u64, [u64; 4])> = (0..max)
             .map(|i| {
-                let addr = self.rx_buf + (i * stripe) as u64;
-                (
-                    funcs::RECV_TAGGED,
-                    [self.fd.0 as u64, addr, stripe as u64, 0],
-                )
+                let addr = sh.rx_buf + (i * stripe) as u64;
+                (funcs::RECV_TAGGED, [sh.fd.0 as u64, addr, stripe as u64, 0])
             })
             .collect();
         let rets = svc.submit_batch(ctx, &reqs).wait_all(ctx);
@@ -340,10 +643,15 @@ impl ServerIo {
             .map(|(i, r)| (r >> 32, i, (r & 0xffff_ffff) as usize))
             .collect();
         got.sort_unstable_by_key(|&(seq, _, _)| seq);
+        // Same merge charge as the scatter-gather reap: the jobs ran
+        // across `lanes` workers and completed interleaved.
+        if lanes > 1 && got.len() > 1 {
+            ctx.compute(ctx.machine.cfg.costs.reap_merge * got.len() as u64);
+        }
         let mut out = Vec::with_capacity(got.len());
         for (_seq, i, n) in got {
             let mut msg = vec![0u8; n];
-            ctx.read_untrusted(self.rx_buf + (i * stripe) as u64, &mut msg);
+            ctx.read_untrusted(sh.rx_buf + (i * stripe) as u64, &mut msg);
             out.push(msg);
         }
         out
@@ -353,16 +661,15 @@ impl ServerIo {
     /// socket queue is empty.
     fn recv_raw(&self, ctx: &mut ThreadCtx) -> Option<Vec<u8>> {
         let machine = Arc::clone(&ctx.machine);
+        let sh = &self.shards[0];
         let n = match &self.path {
             IoPath::Native => {
                 assert!(!ctx.in_enclave(), "native path runs untrusted");
-                machine
-                    .host
-                    .recv(ctx, self.fd, self.rx_buf, self.cfg.buf_len)?
+                machine.host.recv(ctx, sh.fd, sh.rx_buf, self.cfg.buf_len)?
             }
             IoPath::Ocall => {
-                let fd = self.fd;
-                let (rx, len) = (self.rx_buf, self.cfg.buf_len);
+                let fd = sh.fd;
+                let (rx, len) = (sh.rx_buf, self.cfg.buf_len);
                 let r = ctx.ocall(|c| {
                     let m = Arc::clone(&c.machine);
                     m.host.recv(c, fd, rx, len)
@@ -372,7 +679,7 @@ impl ServerIo {
             IoPath::Rpc(_) => unreachable!("the RPC path reaps through the ring"),
         };
         let mut msg = vec![0u8; n];
-        ctx.read_untrusted(self.rx_buf, &mut msg);
+        ctx.read_untrusted(sh.rx_buf, &mut msg);
         Some(msg)
     }
 
@@ -380,6 +687,7 @@ impl ServerIo {
     /// `poll()` OCALLs (the paper's split: short calls go exit-less,
     /// long blocking waits take the naive exit, §3.1) and then
     /// receives. On the native path it simply spins on `poll`.
+    /// Single-socket servers only.
     pub fn recv_msg_blocking(&self, ctx: &mut ThreadCtx) -> Vec<u8> {
         loop {
             if let Some(msg) = self.recv_msg(ctx) {
@@ -409,14 +717,26 @@ impl ServerIo {
     /// On the RPC path the `send` jobs go out as one batched
     /// submission from per-message stripes of the transmit buffer; on
     /// the other paths responses are sent one by one (but still
-    /// encrypted as a batch).
+    /// encrypted as a batch). A sharded server routes each reply back
+    /// out the shard its request arrived on (replies must answer the
+    /// last reap 1:1, in order — the serve loop's natural shape).
     pub fn send_batch(&self, ctx: &mut ThreadCtx, replies: &[Vec<u8>]) {
+        if self.shards.len() > 1 {
+            self.send_sharded(ctx, replies);
+            return;
+        }
         let refs: Vec<&[u8]> = replies.iter().map(Vec::as_slice).collect();
         self.send_all(ctx, &refs);
     }
 
-    /// Encrypts and sends one response: a batch of one.
+    /// Encrypts and sends one response: a batch of one. Single-socket
+    /// servers only.
     pub fn send_msg(&self, ctx: &mut ThreadCtx, plain: &[u8]) {
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "single-message send is a single-socket affair; use send_batch on a sharded server"
+        );
         self.send_all(ctx, &[plain]);
     }
 
@@ -429,12 +749,76 @@ impl ServerIo {
         }
     }
 
-    /// The shared encrypt/stage/send path behind every send entry
-    /// point.
+    /// The sharded send: splits `replies` by the last reap's
+    /// `(shard, count)` record and sends each slice as one
+    /// *unsequenced* `send_mmsg` sub-batch out its shard's socket —
+    /// slot order is per-shard arrival order, so the kernel transmit
+    /// reorder buffer (and its `tx_reorder` charge) is skipped.
+    fn send_sharded(&self, ctx: &mut ThreadCtx, replies: &[Vec<u8>]) {
+        if replies.is_empty() {
+            return;
+        }
+        let IoPath::Rpc(svc) = &self.path else {
+            unreachable!("sharded serving rides the RPC path (checked at construction)");
+        };
+        // The transmit buffers may still belong to a deferred send.
+        self.flush(ctx);
+        let refs: Vec<&[u8]> = replies.iter().map(Vec::as_slice).collect();
+        let msgs = self
+            .wire
+            .encrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto);
+        let reap = self.last_reap.lock().expect("last reap").clone();
+        let total: usize = reap.iter().map(|&(_, n)| n).sum();
+        assert_eq!(
+            msgs.len(),
+            total,
+            "sharded send must answer the last reap 1:1"
+        );
+        let stripe = self.cfg.buf_len / self.cfg.batch_max;
+        let mut reqs = Vec::new();
+        let mut off = 0;
+        for &(idx, n) in &reap {
+            if n == 0 {
+                continue;
+            }
+            let sh = &self.shards[idx];
+            let mut descs = Vec::with_capacity(n * DESC_STRIDE);
+            for (i, msg) in msgs[off..off + n].iter().enumerate() {
+                assert!(
+                    msg.len() <= stripe,
+                    "batched response exceeds its tx stripe"
+                );
+                ctx.write_untrusted(sh.tx_buf + (i * stripe) as u64, msg);
+                descs.extend_from_slice(&(msg.len() as u64).to_le_bytes());
+                descs.extend_from_slice(&0u64.to_le_bytes());
+            }
+            ctx.write_untrusted(sh.desc_tx, &descs);
+            reqs.push((
+                funcs::SEND_MMSG_UNSEQ,
+                [
+                    sh.fd.0 as u64,
+                    sh.tx_buf,
+                    ((stripe as u64) << 32) | n as u64,
+                    sh.desc_tx,
+                ],
+            ));
+            off += n;
+        }
+        let batch = svc.submit_batch(ctx, &reqs);
+        if self.cfg.async_send {
+            *self.pending_send.lock().expect("pending send") = Some(batch);
+        } else {
+            batch.wait_all(ctx);
+        }
+    }
+
+    /// The shared encrypt/stage/send path behind every single-socket
+    /// send entry point.
     fn send_all(&self, ctx: &mut ThreadCtx, replies: &[&[u8]]) {
         if replies.is_empty() {
             return;
         }
+        let sh = &self.shards[0];
         let msgs = self
             .wire
             .encrypt_batch_in_enclave(ctx, replies, self.cfg.batched_crypto);
@@ -448,19 +832,20 @@ impl ServerIo {
             // descriptors carry transmit sequences, so the kernel
             // reorder buffer commits the responses to the wire in
             // order no matter which worker runs which sub-batch.
-            if self.cfg.scatter_gather && msgs.len() <= self.cfg.batch {
+            if self.cfg.scatter_gather && msgs.len() <= self.cfg.batch_max {
                 let seq0 = self.tx_seq.fetch_add(msgs.len() as u64, Ordering::Relaxed);
-                let mut descs = Vec::with_capacity(msgs.len() * 8);
+                let mut descs = Vec::with_capacity(msgs.len() * DESC_STRIDE);
                 for (i, msg) in msgs.iter().enumerate() {
                     assert!(
                         msg.len() <= stripe,
                         "batched response exceeds its tx stripe"
                     );
-                    ctx.write_untrusted(self.tx_buf + (i * stripe) as u64, msg);
+                    ctx.write_untrusted(sh.tx_buf + (i * stripe) as u64, msg);
                     let d = ((seq0 + i as u64) << 32) | msg.len() as u64;
                     descs.extend_from_slice(&d.to_le_bytes());
+                    descs.extend_from_slice(&0u64.to_le_bytes());
                 }
-                ctx.write_untrusted(self.desc_tx, &descs);
+                ctx.write_untrusted(sh.desc_tx, &descs);
                 let ranges = split_ranges(msgs.len(), svc.worker_count().max(1));
                 let reqs: Vec<(u64, [u64; 4])> = ranges
                     .iter()
@@ -468,10 +853,10 @@ impl ServerIo {
                         (
                             funcs::SEND_MMSG,
                             [
-                                self.fd.0 as u64,
-                                self.tx_buf + (start * stripe) as u64,
+                                sh.fd.0 as u64,
+                                sh.tx_buf + (start * stripe) as u64,
                                 ((stripe as u64) << 32) | count as u64,
-                                self.desc_tx + (start * 8) as u64,
+                                sh.desc_tx + (start * DESC_STRIDE) as u64,
                             ],
                         )
                     })
@@ -490,9 +875,9 @@ impl ServerIo {
                     msg.len() <= stripe,
                     "batched response exceeds its tx stripe"
                 );
-                let addr = self.tx_buf + (i * stripe) as u64;
+                let addr = sh.tx_buf + (i * stripe) as u64;
                 ctx.write_untrusted(addr, msg);
-                reqs.push((funcs::SEND, [self.fd.0 as u64, addr, msg.len() as u64, 0]));
+                reqs.push((funcs::SEND, [sh.fd.0 as u64, addr, msg.len() as u64, 0]));
             }
             svc.submit_batch(ctx, &reqs).wait_all(ctx);
             return;
@@ -503,14 +888,14 @@ impl ServerIo {
                 msg.len() <= stripe,
                 "batched response exceeds its tx stripe"
             );
-            let addr = self.tx_buf + (i * stripe) as u64;
+            let addr = sh.tx_buf + (i * stripe) as u64;
             ctx.write_untrusted(addr, msg);
             match &self.path {
                 IoPath::Native => {
-                    machine.host.send(ctx, self.fd, addr, msg.len());
+                    machine.host.send(ctx, sh.fd, addr, msg.len());
                 }
                 IoPath::Ocall => {
-                    let fd = self.fd;
+                    let fd = sh.fd;
                     let len = msg.len();
                     ctx.ocall(move |c| {
                         let m = Arc::clone(&c.machine);
@@ -567,6 +952,37 @@ mod tests {
                 assert!(max - min <= 1, "sub-batches differ by at most one");
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch(0)")]
+    fn zero_batch_fails_fast() {
+        let _ = ServerIoConfig::default().batch(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_min must not exceed batch_max")]
+    fn inverted_adaptive_bounds_fail_fast() {
+        let _ = ServerIoConfig::default().adaptive(8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_min must be at least one")]
+    fn zero_adaptive_floor_fails_fast() {
+        let _ = ServerIoConfig::default().adaptive(0, 4);
+    }
+
+    #[test]
+    fn policy_labels_name_the_depth_rule() {
+        assert_eq!(ServerIoConfig::default().batch(8).policy_label(), "fixed-8");
+        assert_eq!(
+            ServerIoConfig::default().adaptive(1, 32).policy_label(),
+            "adaptive"
+        );
+        assert!(!ServerIoConfig::default().batch(8).is_adaptive());
+        assert!(ServerIoConfig::default().adaptive(1, 32).is_adaptive());
+        // Degenerate adaptive range is just a fixed depth.
+        assert!(!ServerIoConfig::default().adaptive(4, 4).is_adaptive());
     }
 
     #[test]
@@ -746,5 +1162,131 @@ mod tests {
             c_deferred < c_sync,
             "deferred reap must hide executor time ({c_deferred} !< {c_sync})"
         );
+    }
+
+    #[test]
+    fn sharded_echo_routes_replies_back_per_shard() {
+        // Requests pushed to distinct shards come back out the same
+        // shard's socket, in per-shard arrival order, even though the
+        // serve loop sees one concatenated batch.
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([9u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fds = m.host.socket_set(&ut, 3, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(2, &[2, 3])
+            .build();
+        let io = ServerIo::sharded(
+            &ut,
+            &fds,
+            ServerIoConfig::with_buf_len(8192).batch(4),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        // Shard 0: 2 msgs, shard 1: 0 msgs, shard 2: 3 msgs.
+        for i in 0..2u8 {
+            m.host.push_request(&ut, fds[0], &wire.encrypt(&[i; 24]));
+        }
+        for i in 0..3u8 {
+            m.host
+                .push_request(&ut, fds[2], &wire.encrypt(&[0x40 + i; 24]));
+        }
+        let msgs = io.recv_batch(&mut t);
+        assert_eq!(msgs.len(), 5, "both non-empty shards reaped");
+        io.send_batch(&mut t, &msgs);
+        t.exit();
+        let drain = |fd| {
+            let mut out = Vec::new();
+            while let Some(resp) = m.host.pop_response(fd) {
+                out.push(wire.decrypt(&resp));
+            }
+            out
+        };
+        assert_eq!(drain(fds[0]), vec![vec![0u8; 24], vec![1u8; 24]]);
+        assert_eq!(drain(fds[1]), Vec::<Vec<u8>>::new());
+        assert_eq!(
+            drain(fds[2]),
+            vec![vec![0x40u8; 24], vec![0x41u8; 24], vec![0x42u8; 24]]
+        );
+    }
+
+    #[test]
+    fn adaptive_depth_grows_on_backlog_and_halves_when_idle() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([11u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let io = ServerIo::new(
+            &ut,
+            fd,
+            ServerIoConfig::with_buf_len(32 << 10).adaptive(1, 16),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
+        assert_eq!(io.shard_depth(0), 1, "adaptive depth starts at the floor");
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        // A standing burst: every reap leaves a backlog, so the depth
+        // must climb toward the ceiling.
+        for _ in 0..40 {
+            m.host.push_request(&ut, fd, &wire.encrypt(&[1u8; 16]));
+        }
+        let mut seen = 0;
+        while seen < 40 {
+            let got = io.recv_batch(&mut t).len();
+            assert!(got > 0, "burst reaps must make progress");
+            seen += got;
+        }
+        assert!(
+            io.shard_depth(0) >= 8,
+            "backlog must grow the depth (got {})",
+            io.shard_depth(0)
+        );
+        // Idle polls: empty reaps halve the depth back to the floor.
+        for _ in 0..8 {
+            assert!(io.recv_batch(&mut t).is_empty());
+        }
+        assert_eq!(io.shard_depth(0), 1, "empty reaps must shrink to the floor");
+        t.exit();
+    }
+
+    #[test]
+    fn sojourn_histogram_records_every_scatter_gather_reap() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([13u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let io = ServerIo::new(
+            &ut,
+            fd,
+            ServerIoConfig::with_buf_len(8192).batch(4),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let s0 = m.stats.snapshot();
+        for i in 0..4u8 {
+            // Stamp arrivals on the serving core's clock so the
+            // sojourn is measured on one timebase.
+            m.host
+                .push_request_at(&ut, fd, &wire.encrypt(&[i; 24]), t.now());
+        }
+        assert_eq!(io.recv_batch(&mut t).len(), 4);
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.sojourn.count(), 4, "one sojourn sample per reaped op");
+        assert!(d.sojourn.p99() > 0, "reap happens after the arrivals");
+        t.exit();
     }
 }

@@ -196,6 +196,40 @@ pub fn fill_socket(
     }
 }
 
+/// Hashes a client connection id onto one shard of an `n_shards`-wide
+/// socket set — the load-generator half of SO_REUSEPORT: every message
+/// of a connection lands on the same shard, so per-shard FIFO order is
+/// per-connection order. Fibonacci (multiplicative) hashing keeps
+/// sequential connection ids well spread.
+#[must_use]
+pub fn shard_for(conn: u64, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "a socket set needs at least one shard");
+    (conn.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % n_shards
+}
+
+/// Pushes `n` encrypted requests onto a shard set: `req_of(i)` names
+/// request `i`'s `(connection, enqueue timestamp)` — the request lands
+/// on `fds[shard_for(conn, fds.len())]` and carries the explicit
+/// stamp (in the serving core's timebase) so the reap can histogram
+/// cycles of sojourn.
+pub fn fill_socket_set(
+    machine: &SgxMachine,
+    ctx: &ThreadCtx,
+    fds: &[Fd],
+    wire: &Wire,
+    n: usize,
+    mut req_of: impl FnMut(usize) -> (u64, u64),
+    mut next_plain: impl FnMut() -> Vec<u8>,
+) {
+    for i in 0..n {
+        let (conn, stamp) = req_of(i);
+        let fd = fds[shard_for(conn, fds.len())];
+        machine
+            .host
+            .push_request_at(ctx, fd, &wire.encrypt(&next_plain()), stamp);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +301,23 @@ mod tests {
         let min = *counts.iter().min().unwrap();
         let max = *counts.iter().max().unwrap();
         assert!(max / min.max(1) < 3, "min {min} max {max}");
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_covers_every_shard() {
+        for n_shards in 1..=4usize {
+            let mut hit = vec![false; n_shards];
+            for conn in 0..64u64 {
+                let s = shard_for(conn, n_shards);
+                assert!(s < n_shards);
+                assert_eq!(s, shard_for(conn, n_shards), "hash must be stable");
+                hit[s] = true;
+            }
+            assert!(
+                hit.iter().all(|&h| h),
+                "64 connections cover {n_shards} shards"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! repro <id>... [--scale N | --full]
 //!
 //!   ids: all, costs, table1, fig1, fig2a, fig2b, fig6a, fig6b, fig6c,
-//!        rpc_bench, paging_bench, crypto_bench, fig7a, fig7b, table2,
+//!        rpc_bench, paging_bench, crypto_bench, serving_bench,
+//!        fig7a, fig7b, table2,
 //!        fig8a, fig8b, table3, fig9, fig10, fig11, table4,
 //!        meta_ablation, ablate_clean, ablate_subpage, ablate_epcpp,
 //!        ablate_pagesize, ablate_policy, pf_latency
@@ -39,6 +40,7 @@ fn main() {
             "rpc_bench",
             "paging_bench",
             "crypto_bench",
+            "serving_bench",
             "fig7a",
             "fig7b",
             "table2",
@@ -84,6 +86,9 @@ fn main() {
             }
             "crypto_bench" => {
                 exp::crypto_bench::run(scale, args.iter().any(|a| a == "--quick"));
+            }
+            "serving_bench" => {
+                exp::serving_bench::run(scale, args.iter().any(|a| a == "--quick"));
             }
             "fig7a" => exp::fig7::run_fig7(scale, 1),
             "fig7b" => exp::fig7::run_fig7(scale, 4),

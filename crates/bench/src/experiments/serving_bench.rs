@@ -1,0 +1,300 @@
+//! Sharded-serving benchmark: shards x sub-batch policy x load shape,
+//! on a cache-resident KVS GET workload so the serving pipeline (reap,
+//! crypto, send), not memory, dominates. Emits `BENCH_serving.json`.
+//!
+//! Two figures of merit per cell:
+//!
+//! - **busy cycles/op** on the serving core — total measured cycles
+//!   minus the idle fast-forwards the load shape inserts between
+//!   arrivals, so trickle cells are not billed for waiting on the
+//!   load generator.
+//! - **p50/p95/p99 cycles of sojourn** — per-op enqueue-to-reap
+//!   latency from the timestamps the wire descriptors carry, read out
+//!   of the [`sojourn`](eleos_sim::stats::Stats) histogram.
+//!
+//! The sweep crosses shards ∈ {1, 2, 4} (single-socket merge path vs
+//! per-shard pipelines), sub-batch policy ∈ {fixed-1, fixed-8,
+//! fixed-32, adaptive} and load shape ∈ {steady, bursty, trickle}:
+//!
+//! - **steady** keeps a standing backlog (throughput regime: deep
+//!   batches amortize, adaptive should ride the ceiling).
+//! - **bursty** alternates 64-request bursts with quiet gaps
+//!   (adaptive must grow into the burst and decay after it).
+//! - **trickle** spaces arrivals a fixed gap apart; a fixed-depth
+//!   server waits out a full batch before reaping (the clock
+//!   fast-forwards to the last arrival of each group), while adaptive
+//!   serves each arrival as it lands — the latency half of the
+//!   batching trade-off.
+
+use std::sync::Arc;
+
+use eleos_apps::io::ServerIoConfig;
+use eleos_apps::kvs::Kvs;
+use eleos_apps::loadgen::{shard_for, KvsLoad};
+use eleos_enclave::thread::ThreadCtx;
+
+use crate::harness::{header, kops, secs, Mode, Rig, Scale};
+
+/// Items in the KVS table: small enough to stay cache-resident.
+const N_ITEMS: u64 = 512;
+/// RPC worker threads, constant across cells so the shards axis is
+/// the only thing moving.
+const WORKERS: usize = 4;
+/// Client connections the load generator multiplexes (each pinned to
+/// one shard by [`shard_for`]).
+const N_CONNS: u64 = 64;
+/// Ceiling of the adaptive controller and the deepest fixed policy.
+const BATCH_MAX: usize = 32;
+/// Steady-load feed chunk (a multiple of every fixed depth).
+const CHUNK: usize = 256;
+/// Bursty-load burst size.
+const BURST: usize = 64;
+/// Quiet cycles between bursts.
+const BURST_QUIET: u64 = 100_000;
+/// Cycles between trickle arrivals.
+const TRICKLE_GAP: u64 = 20_000;
+
+/// One measured cell of the sweep.
+struct Cell {
+    shards: usize,
+    policy: String,
+    load: &'static str,
+    ops: usize,
+    busy_cycles_per_op: f64,
+    throughput_ops_s: f64,
+    sojourn_p50: u64,
+    sojourn_p95: u64,
+    sojourn_p99: u64,
+    sojourn_count: u64,
+    rpc_batches: u64,
+}
+
+/// The sub-batch sizing policies under test.
+fn policies() -> Vec<(String, ServerIoConfig)> {
+    let base = || ServerIoConfig::with_buf_len(64 << 10).async_send(false);
+    let mut out: Vec<(String, ServerIoConfig)> = [1usize, 8, BATCH_MAX]
+        .iter()
+        .map(|&b| (format!("fixed-{b}"), base().batch(b)))
+        .collect();
+    out.push(("adaptive".to_owned(), base().adaptive(1, BATCH_MAX)));
+    out
+}
+
+/// Runs one (shards, policy, load) cell.
+fn cell(
+    scale: Scale,
+    shards: usize,
+    policy: &str,
+    cfg: ServerIoConfig,
+    load: &'static str,
+    quick: bool,
+) -> Cell {
+    let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, WORKERS);
+    let mut ctx = rig.thread(0);
+    let mut kvs = Kvs::new(rig.data_space(), rig.data_space(), 64 << 20, 1 << 10);
+    kvs.init(&mut ctx);
+    let mut gen = KvsLoad::new(31, N_ITEMS, 16, 32);
+    for i in 0..N_ITEMS {
+        kvs.set(&mut ctx, &gen.key(i), &gen.value(i));
+    }
+    let fds = rig.socket_set(shards);
+    let io = rig.server_io_sharded(&ctx, &fds, cfg);
+
+    // The load generator lives on another core; arrivals are stamped
+    // on the serving core's timebase so sojourn is one clock.
+    let ut = ThreadCtx::untrusted(&rig.machine, 2);
+    let machine = Arc::clone(&rig.machine);
+    let wire = Arc::clone(&rig.wire);
+    let mut conn = 0u64;
+    let mut push = |stamp: u64| {
+        let (_, plain) = gen.get_plain();
+        let fd = fds[shard_for(conn % N_CONNS, fds.len())];
+        conn += 1;
+        machine
+            .host
+            .push_request_at(&ut, fd, &wire.encrypt(&plain), stamp);
+    };
+    let ops = match load {
+        "steady" => scale.ops(if quick { 512 } else { 2048 }) / CHUNK * CHUNK,
+        "bursty" => scale.ops(if quick { 256 } else { 1024 }) / BURST * BURST,
+        "trickle" => scale.ops(if quick { 128 } else { 512 }) / BATCH_MAX * BATCH_MAX,
+        other => panic!("unknown load shape {other}"),
+    }
+    .max(CHUNK);
+    // A fixed-depth server waits out a full batch before reaping; the
+    // adaptive (and fixed-1) server reaps every arrival as it lands.
+    let group = cfg_group(&io);
+
+    // One shape iteration serving `n` ops; returns idle fast-forward
+    // cycles inserted (waiting on arrivals, not work).
+    let mut run_shape = |ctx: &mut ThreadCtx, n: usize| -> u64 {
+        // Drains `q` queued requests through the server.
+        let drain = |ctx: &mut ThreadCtx, kvs: &mut Kvs, q: usize| {
+            let mut done = 0usize;
+            while done < q {
+                let got = kvs.handle_batch(ctx, &io);
+                assert!(got > 0, "queued requests must be served");
+                done += got;
+            }
+        };
+        match load {
+            "steady" => {
+                let mut served = 0usize;
+                while served < n {
+                    let c = (n - served).min(CHUNK);
+                    let now = ctx.now();
+                    for _ in 0..c {
+                        push(now);
+                    }
+                    drain(ctx, &mut kvs, c);
+                    served += c;
+                }
+                0
+            }
+            "bursty" => {
+                let mut idle = 0u64;
+                let mut served = 0usize;
+                while served < n {
+                    let c = (n - served).min(BURST);
+                    let now = ctx.now();
+                    for _ in 0..c {
+                        push(now);
+                    }
+                    drain(ctx, &mut kvs, c);
+                    // Quiet gap: the server keeps polling (empty
+                    // reaps decay the adaptive depth) while the
+                    // clock idles forward.
+                    for _ in 0..2 {
+                        let ff = BURST_QUIET / 2;
+                        ctx.compute(ff);
+                        idle += ff;
+                        assert_eq!(kvs.handle_batch(ctx, &io), 0, "quiet gap is quiet");
+                    }
+                    served += c;
+                }
+                idle
+            }
+            "trickle" => {
+                let mut idle = 0u64;
+                let mut served = 0usize;
+                while served < n {
+                    let g = group.min(n - served);
+                    let base = ctx.now();
+                    for j in 0..g {
+                        push(base + (j as u64 + 1) * TRICKLE_GAP);
+                    }
+                    // Wait out the arrivals: a full group for the
+                    // fixed depths, one gap for adaptive.
+                    let ff = (base + g as u64 * TRICKLE_GAP).saturating_sub(ctx.now());
+                    ctx.compute(ff);
+                    idle += ff;
+                    drain(ctx, &mut kvs, g);
+                    served += g;
+                }
+                idle
+            }
+            other => panic!("unknown load shape {other}"),
+        }
+    };
+
+    // Warm-up (fills caches, settles the adaptive depth), then the
+    // measured phase.
+    run_shape(&mut ctx, CHUNK);
+    rig.machine.reset_counters();
+    let c0 = ctx.now();
+    let idle = run_shape(&mut ctx, ops);
+    let busy = (ctx.now() - c0).saturating_sub(idle);
+    io.flush(&mut ctx);
+    let d = rig.machine.stats.snapshot();
+    ctx.exit();
+    Cell {
+        shards,
+        policy: policy.to_owned(),
+        load,
+        ops,
+        busy_cycles_per_op: busy as f64 / ops as f64,
+        throughput_ops_s: ops as f64 / secs(busy.max(1)),
+        sojourn_p50: d.sojourn.p50(),
+        sojourn_p95: d.sojourn.p95(),
+        sojourn_p99: d.sojourn.p99(),
+        sojourn_count: d.sojourn.count(),
+        rpc_batches: d.rpc_batches,
+    }
+}
+
+/// The group size a fixed-depth server batches arrivals into (its
+/// fixed depth), or 1 for the adaptive policy.
+fn cfg_group(io: &eleos_apps::io::ServerIo) -> usize {
+    if io.cfg.is_adaptive() {
+        1
+    } else {
+        io.cfg.batch
+    }
+}
+
+/// Runs the sweep, prints a table per load shape, and writes
+/// `BENCH_serving.json`. `quick` trims the op counts for CI smoke
+/// runs.
+pub fn run(scale: Scale, quick: bool) {
+    header(
+        "serving_bench",
+        "shards x sub-batch policy x load shape, cache-resident KVS GETs",
+        "sharding drops the merge/reorder tax; adaptive depth rides the throughput \
+         ceiling on steady load and the latency floor on trickle load",
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for load in ["steady", "bursty", "trickle"] {
+        println!(
+            "   {:<8} {:<8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "load", "policy", "shards", "busy c/op", "ops/s", "p50", "p95", "p99"
+        );
+        for (policy, cfg) in policies() {
+            for shards in [1usize, 2, 4] {
+                let c = cell(scale, shards, &policy, cfg.clone(), load, quick);
+                println!(
+                    "   {:<8} {:<8} {:>6} {:>12.0} {:>10} {:>10} {:>10} {:>10}",
+                    c.load,
+                    c.policy,
+                    c.shards,
+                    c.busy_cycles_per_op,
+                    kops(c.throughput_ops_s),
+                    c.sojourn_p50,
+                    c.sojourn_p95,
+                    c.sojourn_p99,
+                );
+                cells.push(c);
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serving_sharded\",\n");
+    json.push_str(&format!("  \"scale\": {},\n", scale.0));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"load\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \"ops\": {}, \
+             \"busy_cycles_per_op\": {:.1}, \"throughput_ops_s\": {:.1}, \
+             \"sojourn_p50\": {}, \"sojourn_p95\": {}, \"sojourn_p99\": {}, \
+             \"sojourn_count\": {}, \"rpc_batches\": {} }}{}\n",
+            c.load,
+            c.policy,
+            c.shards,
+            c.ops,
+            c.busy_cycles_per_op,
+            c.throughput_ops_s,
+            c.sojourn_p50,
+            c.sojourn_p95,
+            c.sojourn_p99,
+            c.sojourn_count,
+            c.rpc_batches,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_serving.json";
+    std::fs::write(path, &json).expect("write BENCH_serving.json");
+    println!("   wrote {path}");
+}

@@ -290,6 +290,24 @@ impl Rig {
         let ut = ThreadCtx::untrusted(&self.machine, 0);
         self.machine.host.socket(&ut, SOCKET_STAGING)
     }
+
+    /// A shard set of `n` fresh sockets (one per serving pipeline).
+    /// Shard 0 reuses the rig's main socket so single-shard sets are
+    /// the classic rig.
+    #[must_use]
+    pub fn socket_set(&self, n: usize) -> Vec<Fd> {
+        assert!(n > 0, "a socket set needs at least one shard");
+        let mut fds = vec![self.fd];
+        fds.extend((1..n).map(|_| self.extra_socket()));
+        fds
+    }
+
+    /// A sharded `ServerIo` over a socket set (see
+    /// [`ServerIo::sharded`]) with an explicit config.
+    #[must_use]
+    pub fn server_io_sharded(&self, ctx: &ThreadCtx, fds: &[Fd], cfg: ServerIoConfig) -> ServerIo {
+        ServerIo::sharded(ctx, fds, cfg, self.io_path(), Arc::clone(&self.wire))
+    }
 }
 
 /// Result of a parameter-server measurement run.

@@ -30,13 +30,32 @@ pub struct Fd(pub u32);
 /// syscall; 4 KiB models that footprint.
 const KERNEL_META_BYTES: usize = 4096;
 
+/// Bytes per `recv_mmsg`/`send_mmsg` descriptor entry: two little-endian
+/// `u64` words — `(seq << 32) | len`, then the enqueue timestamp in
+/// cycles (receive side; ignored by sends).
+pub const DESC_STRIDE: usize = 16;
+
+/// Transmit-ordering contract of a [`HostOs::send_mmsg`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Commit through the kernel reorder buffer in descriptor-sequence
+    /// order (shared-socket servers whose sub-batches race on several
+    /// RPC workers). Pays `Costs::tx_reorder` per message.
+    Sequenced,
+    /// Commit in slot order with no sequencing (sharded servers: one
+    /// socket per pipeline, intra-shard order is arrival order).
+    Unsequenced,
+}
+
 struct Socket {
     /// Untrusted address of the kernel staging ring.
     staging: u64,
     staging_cap: usize,
     write_pos: usize,
-    /// Queued inbound messages: (staging offset, len).
-    rx_queue: VecDeque<(usize, usize)>,
+    /// Queued inbound messages: (staging offset, len, enqueue cycles).
+    /// The enqueue timestamp rides the wire descriptors out of
+    /// `recv_mmsg` so the serving path can compute per-op sojourn.
+    rx_queue: VecDeque<(usize, usize, u64)>,
     /// Monotonic dequeue counter; tags each popped message so
     /// concurrent receivers can restore arrival order at reap time.
     pop_seq: u64,
@@ -122,18 +141,39 @@ impl HostOs {
         fd
     }
 
+    /// Opens `n` sockets sharing one staging capacity — the shard set
+    /// of a multi-socket server, one socket per serving pipeline (SO_REUSEPORT
+    /// style: the "kernel" — here the load generator's shard hash —
+    /// spreads connections across them).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn socket_set(&self, ctx: &ThreadCtx, n: usize, staging_cap: usize) -> Vec<Fd> {
+        assert!(n > 0, "a socket set needs at least one shard");
+        (0..n).map(|_| self.socket(ctx, staging_cap)).collect()
+    }
+
     /// Load-generator side: enqueues an inbound message. Bytes land in
     /// the staging ring via DMA (uncharged — NIC traffic does not pass
-    /// through the core being measured).
+    /// through the core being measured). The message is stamped with
+    /// the pushing core's current cycle count.
     ///
     /// # Panics
     /// Panics if the message exceeds the staging capacity or the ring
     /// has no room (the load generator must not overrun the server).
     pub fn push_request(&self, ctx: &ThreadCtx, fd: Fd, msg: &[u8]) {
+        self.push_request_at(ctx, fd, msg, ctx.now());
+    }
+
+    /// [`Self::push_request`] with an explicit enqueue timestamp, for
+    /// load generators that model arrivals on a timebase other than
+    /// their own core clock (e.g. stamping arrivals against the serving
+    /// core so sojourn is measured on one clock).
+    pub fn push_request_at(&self, ctx: &ThreadCtx, fd: Fd, msg: &[u8], enqueued_at: u64) {
         let mut sockets = self.sockets.lock();
         let s = sockets.get_mut(&fd).expect("bad fd");
         assert!(msg.len() <= s.staging_cap, "message exceeds staging ring");
-        let queued: usize = s.rx_queue.iter().map(|&(_, l)| l).sum();
+        let queued: usize = s.rx_queue.iter().map(|&(_, l, _)| l).sum();
         assert!(
             queued + msg.len() <= s.staging_cap,
             "staging ring overrun: generator outpacing server"
@@ -144,7 +184,7 @@ impl HostOs {
         let off = s.write_pos;
         ctx.machine.untrusted.write(s.staging + off as u64, msg);
         s.write_pos += msg.len();
-        s.rx_queue.push_back((off, msg.len()));
+        s.rx_queue.push_back((off, msg.len(), enqueued_at));
     }
 
     /// Number of queued inbound messages.
@@ -185,7 +225,7 @@ impl HostOs {
         let (staging_off, len, meta, seq) = {
             let mut sockets = self.sockets.lock();
             let s = sockets.get_mut(&fd).expect("bad fd");
-            let (off, len) = s.rx_queue.pop_front()?;
+            let (off, len, _enq) = s.rx_queue.pop_front()?;
             let len = len.min(max_len);
             s.rx_bytes += len as u64;
             let seq = s.pop_seq;
@@ -206,14 +246,17 @@ impl HostOs {
     /// `recvmmsg(2)`-style scatter-gather receive: dequeues up to
     /// `max_msgs` messages, in arrival order, into consecutive
     /// `stripe`-byte slots starting at `buf_addr`, and writes one
-    /// little-endian `u64` descriptor per message —
-    /// `(dequeue_seq << 32) | len` — into the array at `desc_addr`.
-    /// Returns the number of messages received.
+    /// [`DESC_STRIDE`]-byte descriptor per message into the array at
+    /// `desc_addr`: two little-endian `u64` words,
+    /// `(dequeue_seq << 32) | len` followed by the message's enqueue
+    /// timestamp (cycles). Returns the number of messages received.
     ///
-    /// The dequeue sequence in the descriptor's high word lets several
+    /// The dequeue sequence in the first word's high half lets several
     /// sub-batches, issued concurrently on different RPC workers,
     /// merge back into the socket's global arrival order at reap time
-    /// (the multi-worker generalization of `recv_tagged`'s tag).
+    /// (the multi-worker generalization of `recv_tagged`'s tag); the
+    /// timestamp word lets the reaper compute per-op sojourn
+    /// (SO_TIMESTAMPING-style ancillary data).
     ///
     /// The whole batch pays the trap/return and kernel-bookkeeping
     /// footprint **once** — that is the point of the syscall: the
@@ -241,14 +284,14 @@ impl HostOs {
             let s = sockets.get_mut(&fd).expect("bad fd");
             let mut popped = Vec::with_capacity(max_msgs.min(s.rx_queue.len()));
             while popped.len() < max_msgs {
-                let Some((off, len)) = s.rx_queue.pop_front() else {
+                let Some((off, len, enq)) = s.rx_queue.pop_front() else {
                     break;
                 };
                 let len = len.min(stripe);
                 s.rx_bytes += len as u64;
                 let seq = s.pop_seq;
                 s.pop_seq += 1;
-                popped.push((s.staging + off as u64, len, seq));
+                popped.push((s.staging + off as u64, len, seq, enq));
             }
             (popped, s.meta)
         };
@@ -260,12 +303,13 @@ impl HostOs {
         Stats::bump(&ctx.machine.stats.kernel_meta_reads);
         let mut scratch = vec![0u8; KERNEL_META_BYTES];
         ctx.read_untrusted(meta, &mut scratch);
-        let mut descs = Vec::with_capacity(popped.len() * 8);
-        for (i, &(staging_off, len, seq)) in popped.iter().enumerate() {
+        let mut descs = Vec::with_capacity(popped.len() * DESC_STRIDE);
+        for (i, &(staging_off, len, seq, enq)) in popped.iter().enumerate() {
             let mut payload = vec![0u8; len];
             ctx.read_untrusted(staging_off, &mut payload);
             ctx.write_untrusted(buf_addr + (i * stripe) as u64, &payload);
             descs.extend_from_slice(&((seq << 32) | len as u64).to_le_bytes());
+            descs.extend_from_slice(&enq.to_le_bytes());
         }
         ctx.write_untrusted(desc_addr, &descs);
         popped.len()
@@ -274,18 +318,27 @@ impl HostOs {
     /// `sendmmsg(2)`-style scatter-gather send: transmits `n_msgs`
     /// messages from consecutive `stripe`-byte slots at `buf_addr`,
     /// taking each message's transmit sequence and length from the
-    /// little-endian `u64` descriptor array at `desc_addr`
-    /// (`(tx_seq << 32) | len`, matching `recv_mmsg`'s layout). Pays
-    /// the trap/return and kernel bookkeeping once per batch. Returns
-    /// `n_msgs`.
+    /// [`DESC_STRIDE`]-byte descriptor array at `desc_addr` (first
+    /// little-endian `u64` word `(tx_seq << 32) | len`, matching
+    /// `recv_mmsg`'s layout; the timestamp word is ignored on the send
+    /// side). Pays the trap/return and kernel bookkeeping once per
+    /// batch. Returns `n_msgs`.
     ///
-    /// The transmit sequence orders commits across concurrent
-    /// sub-batches: a message is held in a kernel reorder buffer until
-    /// every lower-sequenced message has been committed, so the wire
-    /// order equals the sender's sequence allocation order no matter
-    /// which RPC worker runs which sub-batch. Senders must allocate
-    /// sequences contiguously from 0 per socket (the plain [`Self::send`]
-    /// path bypasses sequencing entirely).
+    /// With [`SendMode::Sequenced`], the transmit sequence orders
+    /// commits across concurrent sub-batches: a message is held in a
+    /// kernel reorder buffer until every lower-sequenced message has
+    /// been committed, so the wire order equals the sender's sequence
+    /// allocation order no matter which RPC worker runs which
+    /// sub-batch. Senders must allocate sequences contiguously from 0
+    /// per socket. Each message pays the reorder-buffer bookkeeping
+    /// (`Costs::tx_reorder`).
+    ///
+    /// With [`SendMode::Unsequenced`], messages hit the wire in slot
+    /// order with no reorder-buffer charge — the mode a sharded server
+    /// uses, where each socket is owned by exactly one serving pipeline
+    /// and intra-shard order is already arrival order. The sequence
+    /// word is ignored. Do not mix the two modes on one socket.
+    #[allow(clippy::too_many_arguments)]
     pub fn send_mmsg(
         &self,
         ctx: &mut ThreadCtx,
@@ -294,6 +347,7 @@ impl HostOs {
         stripe: usize,
         n_msgs: usize,
         desc_addr: u64,
+        mode: SendMode,
     ) -> usize {
         assert!(!ctx.in_enclave(), "syscall from trusted mode");
         ctx.compute(ctx.machine.cfg.costs.syscall);
@@ -305,10 +359,11 @@ impl HostOs {
         Stats::bump(&ctx.machine.stats.kernel_meta_reads);
         let mut scratch = vec![0u8; KERNEL_META_BYTES];
         ctx.read_untrusted(meta, &mut scratch);
-        let mut descs = vec![0u8; n_msgs * 8];
+        let mut descs = vec![0u8; n_msgs * DESC_STRIDE];
         ctx.read_untrusted(desc_addr, &mut descs);
         for i in 0..n_msgs {
-            let d = u64::from_le_bytes(descs[i * 8..i * 8 + 8].try_into().expect("desc"));
+            let at = i * DESC_STRIDE;
+            let d = u64::from_le_bytes(descs[at..at + 8].try_into().expect("desc"));
             let (seq, len) = (d >> 32, (d & 0xffff_ffff) as usize);
             assert!(len <= stripe, "descriptor exceeds its stripe");
             let mut payload = vec![0u8; len];
@@ -316,7 +371,18 @@ impl HostOs {
             let mut sockets = self.sockets.lock();
             let s = sockets.get_mut(&fd).expect("bad fd");
             s.tx_bytes += len as u64;
-            s.commit_tx(seq, payload);
+            match mode {
+                SendMode::Sequenced => {
+                    ctx.compute(ctx.machine.cfg.costs.tx_reorder);
+                    s.commit_tx(seq, payload);
+                }
+                SendMode::Unsequenced => {
+                    s.tx_log.push_back(payload);
+                    if s.tx_log.len() > TX_LOG_CAP {
+                        s.tx_log.pop_front();
+                    }
+                }
+            }
         }
         n_msgs
     }
@@ -407,11 +473,12 @@ mod tests {
         let m = SgxMachine::new(MachineConfig::tiny());
         let mut t = ThreadCtx::untrusted(&m, 0);
         let fd = m.host.socket(&t, 64 << 10);
+        let push_start = t.now();
         for i in 0..5u8 {
             m.host.push_request(&t, fd, &[i; 10]);
         }
         let buf = m.alloc_untrusted(4096);
-        let desc = m.alloc_untrusted(64);
+        let desc = m.alloc_untrusted(8 * DESC_STRIDE);
         let s0 = m.stats.snapshot();
         // Asks for 8, gets the 5 queued, in arrival order.
         let n = m.host.recv_mmsg(&mut t, fd, buf, 512, 8, desc);
@@ -419,13 +486,16 @@ mod tests {
         let d = m.stats.snapshot() - s0;
         assert_eq!(d.syscalls, 1);
         assert_eq!(d.kernel_meta_reads, 1);
-        let mut descs = vec![0u8; n * 8];
+        let mut descs = vec![0u8; n * DESC_STRIDE];
         t.read_untrusted(desc, &mut descs);
         for i in 0..n {
-            let d = u64::from_le_bytes(descs[i * 8..i * 8 + 8].try_into().unwrap());
+            let at = i * DESC_STRIDE;
+            let d = u64::from_le_bytes(descs[at..at + 8].try_into().unwrap());
             assert_eq!(d >> 32, i as u64, "descriptor carries the dequeue seq");
             let len = (d & 0xffff_ffff) as usize;
             assert_eq!(len, 10);
+            let enq = u64::from_le_bytes(descs[at + 8..at + 16].try_into().unwrap());
+            assert_eq!(enq, push_start, "descriptor carries the enqueue stamp");
             let mut msg = vec![0u8; len];
             t.read_untrusted(buf + (i * 512) as u64, &mut msg);
             assert_eq!(msg, vec![i as u8; 10]);
@@ -434,7 +504,11 @@ mod tests {
         // Echo all five back with one sendmmsg; the dequeue seqs 0..5
         // double as contiguous transmit seqs.
         let s1 = m.stats.snapshot();
-        assert_eq!(m.host.send_mmsg(&mut t, fd, buf, 512, n, desc), 5);
+        assert_eq!(
+            m.host
+                .send_mmsg(&mut t, fd, buf, 512, n, desc, SendMode::Sequenced),
+            5
+        );
         let d = m.stats.snapshot() - s1;
         assert_eq!(d.syscalls, 1);
         assert_eq!(d.kernel_meta_reads, 1);
@@ -450,19 +524,99 @@ mod tests {
         let mut t = ThreadCtx::untrusted(&m, 0);
         let fd = m.host.socket(&t, 4096);
         let buf = m.alloc_untrusted(1024);
-        let desc = m.alloc_untrusted(64);
+        let desc = m.alloc_untrusted(DESC_STRIDE);
         // Stage "b" then "a" in slot order, but sequence them 1 then 0:
         // the second sub-batch completes first, yet the wire order must
         // follow the sequence numbers.
         t.write_untrusted(buf, b"b");
         t.write_untrusted(buf + 256, b"a");
         t.write_untrusted(desc, &((1u64 << 32) | 1).to_le_bytes());
-        assert_eq!(m.host.send_mmsg(&mut t, fd, buf, 256, 1, desc), 1);
+        assert_eq!(
+            m.host
+                .send_mmsg(&mut t, fd, buf, 256, 1, desc, SendMode::Sequenced),
+            1
+        );
         assert_eq!(m.host.pop_response(fd), None, "seq 1 waits for seq 0");
         t.write_untrusted(desc, &1u64.to_le_bytes());
-        assert_eq!(m.host.send_mmsg(&mut t, fd, buf + 256, 256, 1, desc), 1);
+        assert_eq!(
+            m.host
+                .send_mmsg(&mut t, fd, buf + 256, 256, 1, desc, SendMode::Sequenced),
+            1
+        );
         assert_eq!(m.host.pop_response(fd).unwrap(), b"a");
         assert_eq!(m.host.pop_response(fd).unwrap(), b"b");
+    }
+
+    #[test]
+    fn unsequenced_sends_skip_the_reorder_buffer() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let mut t = ThreadCtx::untrusted(&m, 0);
+        let fd = m.host.socket(&t, 4096);
+        let buf = m.alloc_untrusted(1024);
+        let desc = m.alloc_untrusted(2 * DESC_STRIDE);
+        t.write_untrusted(buf, b"x");
+        t.write_untrusted(buf + 256, b"y");
+        // Sequence words deliberately out of order and non-contiguous:
+        // unsequenced sends ignore them and commit in slot order.
+        let mut descs = Vec::new();
+        descs.extend_from_slice(&((9u64 << 32) | 1).to_le_bytes());
+        descs.extend_from_slice(&0u64.to_le_bytes());
+        descs.extend_from_slice(&((3u64 << 32) | 1).to_le_bytes());
+        descs.extend_from_slice(&0u64.to_le_bytes());
+        t.write_untrusted(desc, &descs);
+        let c0 = t.now();
+        assert_eq!(
+            m.host
+                .send_mmsg(&mut t, fd, buf, 256, 2, desc, SendMode::Unsequenced),
+            2
+        );
+        let unseq_cost = t.now() - c0;
+        assert_eq!(m.host.pop_response(fd).unwrap(), b"x");
+        assert_eq!(m.host.pop_response(fd).unwrap(), b"y");
+
+        // The sequenced path pays tx_reorder per message on top.
+        let fd2 = m.host.socket(&t, 4096);
+        let mut descs = Vec::new();
+        descs.extend_from_slice(&1u64.to_le_bytes());
+        descs.extend_from_slice(&0u64.to_le_bytes());
+        descs.extend_from_slice(&((1u64 << 32) | 1).to_le_bytes());
+        descs.extend_from_slice(&0u64.to_le_bytes());
+        t.write_untrusted(desc, &descs);
+        let c1 = t.now();
+        assert_eq!(
+            m.host
+                .send_mmsg(&mut t, fd2, buf, 256, 2, desc, SendMode::Sequenced),
+            2
+        );
+        let seq_cost = t.now() - c1;
+        assert_eq!(seq_cost - unseq_cost, 2 * m.cfg.costs.tx_reorder);
+    }
+
+    #[test]
+    fn socket_set_opens_independent_shards() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let t = ThreadCtx::untrusted(&m, 0);
+        let fds = m.host.socket_set(&t, 3, 4096);
+        assert_eq!(fds.len(), 3);
+        m.host.push_request(&t, fds[1], b"only shard 1");
+        assert_eq!(m.host.rx_pending(fds[0]), 0);
+        assert_eq!(m.host.rx_pending(fds[1]), 1);
+        assert_eq!(m.host.rx_pending(fds[2]), 0);
+    }
+
+    #[test]
+    fn explicit_enqueue_stamp_rides_the_descriptor() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let mut t = ThreadCtx::untrusted(&m, 0);
+        let fd = m.host.socket(&t, 4096);
+        m.host.push_request_at(&t, fd, b"stamped", 0xdead_beef);
+        let buf = m.alloc_untrusted(512);
+        let desc = m.alloc_untrusted(DESC_STRIDE);
+        assert_eq!(m.host.recv_mmsg(&mut t, fd, buf, 512, 1, desc), 1);
+        let mut descs = vec![0u8; DESC_STRIDE];
+        t.read_untrusted(desc, &mut descs);
+        let enq = u64::from_le_bytes(descs[8..16].try_into().unwrap());
+        assert_eq!(enq, 0xdead_beef);
     }
 
     #[test]

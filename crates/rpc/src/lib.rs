@@ -72,6 +72,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use eleos_enclave::host::SendMode;
 use eleos_enclave::machine::SgxMachine;
 use eleos_enclave::thread::ThreadCtx;
 use eleos_sim::stats::Stats;
@@ -123,6 +124,12 @@ impl UntrustedFn {
 struct Backoff {
     step: u32,
 }
+
+/// How many raw `spin_loop` polls a slot-claim attempt may burn before
+/// it must `yield_now` (counted in `rpc_idle_yields`). Small enough
+/// that a contended producer on a single-CPU host cedes the time slice
+/// quickly to whoever holds the claim.
+const CLAIM_SPIN_LIMIT: u32 = 32;
 
 impl Backoff {
     const SPIN_LIMIT: u32 = 6;
@@ -225,8 +232,16 @@ impl RpcBuilder {
 
     /// Spawns `n` workers pinned to the given cores (cycled if fewer
     /// cores than workers are supplied).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero (a ring nobody polls deadlocks the first
+    /// caller) or `cores` is empty.
     #[must_use]
     pub fn workers(mut self, n: usize, cores: &[usize]) -> Self {
+        assert!(
+            n > 0,
+            "an RPC service needs at least one worker: nothing would ever poll the ring"
+        );
         assert!(!cores.is_empty());
         self.worker_cores = (0..n).map(|i| cores[i % cores.len()]).collect();
         self
@@ -542,6 +557,7 @@ impl RpcService {
         let shared = &self.shared;
         let n = shared.slots.len() as u64;
         let mut backoff = Backoff::new();
+        let mut contended_polls = 0u32;
         let pos = loop {
             let pos = shared.head.load(Ordering::Acquire);
             let seq = shared.slots[(pos % n) as usize].seq.load(Ordering::Acquire);
@@ -560,8 +576,18 @@ impl RpcService {
                 on_full(ctx);
                 backoff.snooze();
             } else {
-                // Another producer claimed this position; reload.
-                core::hint::spin_loop();
+                // Another producer claimed this position; reload. The
+                // spin is bounded: on a 1-CPU host an unbounded hot
+                // spin here starves the very thread that would free
+                // the slot, so past a small threshold the claim
+                // attempt cedes the CPU instead.
+                contended_polls += 1;
+                if contended_polls > CLAIM_SPIN_LIMIT {
+                    Stats::bump(&shared.machine.stats.rpc_idle_yields);
+                    std::thread::yield_now();
+                } else {
+                    core::hint::spin_loop();
+                }
             }
         };
 
@@ -721,8 +747,9 @@ pub mod funcs {
     pub const RECV_TAGGED: u64 = 11;
     /// `recv_mmsg(fd, buf, (stripe << 32) | max_msgs, desc)` ->
     /// message count. Scatter-gather receive into `stripe`-byte slots
-    /// at `buf`; per-message `(seq << 32) | len` written as
-    /// little-endian `u64`s at `desc`, where `seq` is the socket's
+    /// at `buf`; one 16-byte descriptor per message written at `desc`
+    /// (two little-endian `u64` words: `(seq << 32) | len`, then the
+    /// enqueue timestamp in cycles), where `seq` is the socket's
     /// dequeue sequence (so several sub-batches reaped by different
     /// workers can be merged back into arrival order); one kernel
     /// crossing and one kernel-metadata charge for the whole
@@ -730,12 +757,19 @@ pub mod funcs {
     pub const RECV_MMSG: u64 = 12;
     /// `send_mmsg(fd, buf, (stripe << 32) | n_msgs, desc)` -> count.
     /// Scatter-gather counterpart of [`RECV_MMSG`] for transmit:
-    /// `desc` holds `(seq << 32) | len` `u64`s where `seq` is the
-    /// transmit sequence; the host commits payloads to the wire
-    /// strictly in `seq` order (a reorder buffer holds early
+    /// `desc` holds 16-byte entries whose first word is
+    /// `(seq << 32) | len` (the timestamp word is ignored), where
+    /// `seq` is the transmit sequence; the host commits payloads to
+    /// the wire strictly in `seq` order (a reorder buffer holds early
     /// arrivals), so parallel send sub-batches cannot reorder
     /// responses.
     pub const SEND_MMSG: u64 = 13;
+    /// [`SEND_MMSG`] without transmit sequencing: payloads hit the
+    /// wire in slot order and the descriptors' sequence words are
+    /// ignored, skipping the reorder-buffer bookkeeping. For sharded
+    /// servers where one pipeline owns the socket and slot order
+    /// already *is* arrival order.
+    pub const SEND_MMSG_UNSEQ: u64 = 14;
 }
 
 /// Registers the standard socket syscalls ([`funcs`]) on a builder.
@@ -746,6 +780,7 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
     let m3 = Arc::clone(machine);
     let m4 = Arc::clone(machine);
     let m5 = Arc::clone(machine);
+    let m6 = Arc::clone(machine);
     b.register(
         funcs::RECV,
         UntrustedFn::new(move |ctx, args| {
@@ -784,7 +819,19 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
         UntrustedFn::new(move |ctx, args| {
             let fd = eleos_enclave::host::Fd(args[0] as u32);
             let (stripe, n) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
-            m5.host.send_mmsg(ctx, fd, args[1], stripe, n, args[3]) as u64
+            m5.host
+                .send_mmsg(ctx, fd, args[1], stripe, n, args[3], SendMode::Sequenced)
+                as u64
+        }),
+    )
+    .register(
+        funcs::SEND_MMSG_UNSEQ,
+        UntrustedFn::new(move |ctx, args| {
+            let fd = eleos_enclave::host::Fd(args[0] as u32);
+            let (stripe, n) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
+            m6.host
+                .send_mmsg(ctx, fd, args[1], stripe, n, args[3], SendMode::Unsequenced)
+                as u64
         }),
     )
 }

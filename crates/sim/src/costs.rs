@@ -105,6 +105,22 @@ pub struct CostModel {
     /// fresh handoff stall (the worker is already polling, and line
     /// transfers for back-to-back posts pipeline).
     pub rpc_post: u64,
+
+    // --- Serving-path batching (multi-socket sharding) ---
+    /// Per-message cost, on the serving core, of merging concurrent
+    /// sub-batch reaps back into global arrival order: the descriptor
+    /// sort plus the gather of payload stripes in permuted (non-slot)
+    /// order. Charged only when a reap actually interleaves more than
+    /// one sub-batch over a shared socket; a sharded reap (one socket
+    /// per sub-batch) needs no merge and skips it.
+    pub reap_merge: u64,
+    /// Per-message kernel bookkeeping for a *sequenced* `sendmmsg`
+    /// commit: the transmit reorder buffer insert/drain that keeps
+    /// out-of-order sub-batches from reordering responses on a shared
+    /// socket. Sharded sends (one socket per pipeline, intra-shard
+    /// order preserved by construction) use the unsequenced mode and
+    /// skip it.
+    pub tx_reorder: u64,
 }
 
 impl Default for CostModel {
@@ -142,6 +158,9 @@ impl Default for CostModel {
 
             rpc_roundtrip: 600,
             rpc_post: 150,
+
+            reap_merge: 120,
+            tx_reorder: 80,
         }
     }
 }

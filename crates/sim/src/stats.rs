@@ -8,18 +8,173 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of buckets in the log-linear latency histogram: values 0–7
+/// map one-to-one, every power-of-two octave above that is split into
+/// 8 sub-buckets (HdrHistogram-style, ~12.5% worst-case resolution),
+/// up to the full `u64` range.
+pub const HIST_BUCKETS: usize = 496;
+
+fn hist_bucket(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as u64; // floor(log2 v), >= 3
+    (((exp - 2) * 8) + ((v >> (exp - 3)) - 8)) as usize
+}
+
+fn hist_value(bucket: usize) -> u64 {
+    if bucket < 8 {
+        return bucket as u64;
+    }
+    let group = (bucket / 8) as u64; // octave index, >= 1
+    let off = (bucket % 8) as u64;
+    (8 + off) << (group - 1)
+}
+
+/// A live, atomically updated log-linear histogram of `u64` samples
+/// (cycles of sojourn, in practice). Recording is a single relaxed
+/// `fetch_add`, so any core can stamp samples concurrently.
+pub struct Hist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Clears all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl core::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// A point-in-time copy of a [`Hist`], with percentile readout.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0u64; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the lower bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * count)`
+    /// (exact below 8, within ~12.5% above). Returns 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return hist_value(i);
+            }
+        }
+        hist_value(HIST_BUCKETS - 1)
+    }
+
+    /// Median sample value.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile sample value.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile sample value.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+impl core::ops::Sub for HistSnapshot {
+    type Output = HistSnapshot;
+    fn sub(self, rhs: HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_sub(rhs.buckets[i])),
+        }
+    }
+}
+
+impl core::fmt::Debug for HistSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Hist {{ count: {}, p50: {}, p95: {}, p99: {} }}",
+            self.count(),
+            self.p50(),
+            self.p95(),
+            self.p99()
+        )
+    }
+}
+
 macro_rules! stats {
     ($(#[$doc:meta] $name:ident),+ $(,)?) => {
         /// Live, atomically updated counters.
         #[derive(Debug, Default)]
         pub struct Stats {
             $(#[$doc] pub $name: AtomicU64,)+
+            /// Per-op sojourn (enqueue-to-reap latency) in simulated
+            /// cycles, stamped by the serving path's scatter-gather
+            /// reaps from the enqueue timestamps in the wire
+            /// descriptors.
+            pub sojourn: Hist,
         }
 
         /// A point-in-time copy of [`Stats`].
         #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
         pub struct StatsSnapshot {
             $(#[$doc] pub $name: u64,)+
+            /// Per-op sojourn histogram (cycles).
+            pub sojourn: HistSnapshot,
         }
 
         impl Stats {
@@ -28,12 +183,14 @@ macro_rules! stats {
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
                     $($name: self.$name.load(Ordering::Relaxed),)+
+                    sojourn: self.sojourn.snapshot(),
                 }
             }
 
             /// Resets all counters to zero.
             pub fn reset(&self) {
                 $(self.$name.store(0, Ordering::Relaxed);)+
+                self.sojourn.reset();
             }
         }
 
@@ -42,6 +199,7 @@ macro_rules! stats {
             fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
                     $($name: self.$name.wrapping_sub(rhs.$name),)+
+                    sojourn: self.sojourn - rhs.sojourn,
                 }
             }
         }
@@ -101,6 +259,8 @@ stats! {
     rpc_ring_full,
     /// RPC worker poll sweeps that found no posted job.
     rpc_idle_polls,
+    /// Bounded-spin yields: a claim attempt exceeded the idle-poll threshold and ceded the CPU with `thread::yield_now`.
+    rpc_idle_yields,
     /// RPC calls to unregistered function ids (error sentinel returned).
     rpc_errors,
     /// Bytes moved by seal/unseal operations.
@@ -164,6 +324,7 @@ impl StatsSnapshot {
         put("rpc", self.rpc_calls);
         put("rpc_batches", self.rpc_batches);
         put("rpc_ring_full", self.rpc_ring_full);
+        put("rpc_idle_yields", self.rpc_idle_yields);
         put("rpc_errors", self.rpc_errors);
         put("syscalls", self.syscalls);
         put("kernel_meta", self.kernel_meta_reads);
@@ -190,6 +351,14 @@ impl StatsSnapshot {
         put("evict_protected", self.suvm_evictions_protected);
         put("tlb_flushes", self.tlb_flushes);
         put("llc_miss", self.llc_misses);
+        if self.sojourn.count() > 0 {
+            parts.push(format!(
+                "sojourn_p50={} sojourn_p95={} sojourn_p99={}",
+                self.sojourn.p50(),
+                self.sojourn.p95(),
+                self.sojourn.p99()
+            ));
+        }
         if parts.is_empty() {
             "(idle)".to_string()
         } else {
@@ -241,9 +410,81 @@ mod tests {
         let s = Stats::default();
         Stats::bump(&s.ipis);
         Stats::bump(&s.aex);
+        s.sojourn.record(1234);
         s.reset();
         let snap = s.snapshot();
         assert_eq!(snap.ipis, 0);
         assert_eq!(snap.aex, 0);
+        assert_eq!(snap.sojourn.count(), 0);
+    }
+
+    #[test]
+    fn hist_buckets_are_exact_below_eight() {
+        let h = Hist::default();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.percentile(1.0 / 8.0), 0);
+        assert_eq!(s.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn hist_resolution_stays_within_one_eighth() {
+        // The log-linear scheme guarantees the reported bucket value is
+        // within 12.5% of any recorded sample.
+        for v in [8u64, 9, 100, 1_000, 123_456, 1 << 40, u64::MAX / 3] {
+            let h = Hist::default();
+            h.record(v);
+            let p = h.snapshot().percentile(1.0);
+            assert!(p <= v, "bucket value {p} above sample {v}");
+            assert!(
+                (v - p) as f64 <= v as f64 / 8.0 + 1.0,
+                "bucket value {p} too far below sample {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn hist_percentiles_and_delta() {
+        let h = Hist::default();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), hist_value(hist_bucket(100)));
+        assert_eq!(s.p95(), hist_value(hist_bucket(100)));
+        assert_eq!(s.p99(), hist_value(hist_bucket(100)));
+        assert_eq!(s.percentile(1.0), hist_value(hist_bucket(100_000)));
+        // Subtracting an earlier snapshot removes its samples.
+        h.record(100);
+        let d = h.snapshot() - s;
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.p99(), hist_value(hist_bucket(100)));
+    }
+
+    #[test]
+    fn hist_bucket_value_is_monotone_inverse() {
+        let mut last = None;
+        for b in 0..HIST_BUCKETS {
+            let v = hist_value(b);
+            assert_eq!(hist_bucket(v), b, "bucket {b} not a fixed point");
+            if let Some(prev) = last {
+                assert!(v > prev, "bucket values must be strictly increasing");
+            }
+            last = Some(v);
+        }
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn summary_includes_sojourn_percentiles() {
+        let s = Stats::default();
+        s.sojourn.record(64);
+        let text = s.snapshot().summary();
+        assert!(text.contains("sojourn_p50=64"), "{text}");
     }
 }

@@ -71,6 +71,54 @@ for server in ("kvs", "text"):
 print(f"   {len(cells)} cells, workers=2 sub-batches beat per-message")
 EOF
 
+echo "== sharded-serving equivalence suite"
+cargo test --test sharding_equivalence --offline -q
+
+echo "== serving_bench smoke"
+cargo run --release -p eleos-bench --bin repro --offline -- serving_bench --quick --scale 16
+python3 - <<'EOF'
+import itertools, json, sys
+
+cells = json.load(open("BENCH_serving.json"))["cells"]
+by_cell = {(c["load"], c["policy"], c["shards"]): c for c in cells}
+
+# Every (load, policy, shards) cell must be present, with percentiles.
+for load, policy, shards in itertools.product(
+    ("steady", "bursty", "trickle"),
+    ("fixed-1", "fixed-8", "fixed-32", "adaptive"),
+    (1, 2, 4),
+):
+    c = by_cell.get((load, policy, shards))
+    if c is None:
+        sys.exit(f"BENCH_serving.json missing cell ({load}, {policy}, {shards})")
+    if not (c["sojourn_p50"] <= c["sojourn_p95"] <= c["sojourn_p99"]):
+        sys.exit(f"({load}, {policy}, {shards}) percentiles not ordered")
+    if c["sojourn_count"] == 0:
+        sys.exit(f"({load}, {policy}, {shards}) recorded no sojourn samples")
+
+for shards in (1, 2, 4):
+    # Bursty load: the adaptive depth must grow into the burst and at
+    # least match the shallow fixed policy's throughput.
+    ad = by_cell[("bursty", "adaptive", shards)]
+    f1 = by_cell[("bursty", "fixed-1", shards)]
+    if ad["throughput_ops_s"] < f1["throughput_ops_s"]:
+        sys.exit(
+            f"bursty shards={shards}: adaptive throughput "
+            f"{ad['throughput_ops_s']:.0f} below fixed-1 {f1['throughput_ops_s']:.0f}"
+        )
+    # Trickle load: adaptive serves each arrival instead of waiting
+    # out a full fixed-32 batch, so its tail latency must not exceed
+    # the deep fixed policy's.
+    ad = by_cell[("trickle", "adaptive", shards)]
+    f32 = by_cell[("trickle", "fixed-32", shards)]
+    if ad["sojourn_p99"] > f32["sojourn_p99"]:
+        sys.exit(
+            f"trickle shards={shards}: adaptive p99 {ad['sojourn_p99']} "
+            f"exceeds fixed-32 p99 {f32['sojourn_p99']}"
+        )
+print(f"   {len(cells)} cells, adaptive rides burst throughput and trickle tail latency")
+EOF
+
 echo "== fmt"
 cargo fmt --all --check
 

@@ -1,0 +1,427 @@
+//! Equivalence suite for sharded multi-socket serving:
+//!
+//! - a sharded server (one reap→decrypt→serve→seal→send pipeline per
+//!   socket, connections pinned to shards by [`shard_for`]) returns
+//!   byte-identical replies *per connection* to the single-socket
+//!   baseline, for 1–4 shards, fixed and adaptive sub-batch depths,
+//!   and all four protocol servers (binary KVS, memcached-text KVS,
+//!   parameter server, face verification);
+//! - commutative updates land identically whatever the shard
+//!   interleaving (the parameter-server probe);
+//! - cost accounting: exactly one syscall trap and one
+//!   kernel-metadata charge per shard sub-batch on both legs, and an
+//!   empty shard's poll costs a trap but no metadata walk.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use eleos::apps::face::{
+    build_verify_request, chi_square, lbp_histogram, synth_capture, synth_image, FaceDb, FaceServer,
+};
+use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
+use eleos::apps::kvs::{build_get, Kvs};
+use eleos::apps::loadgen::{shard_for, KvsLoad};
+use eleos::apps::param_server::{build_read_request, build_update_request, ParamServer, TableKind};
+use eleos::apps::space::DataSpace;
+use eleos::apps::text_protocol::{format_get, handle_text_batch};
+use eleos::apps::wire::Wire;
+use eleos::enclave::host::Fd;
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{with_syscalls, RpcService};
+use proptest::prelude::*;
+
+/// Client connections the request streams multiplex.
+const N_CONNS: usize = 8;
+/// Requests per run.
+const N_REQS: usize = 24;
+
+// ---------------------------------------------------------------------
+// Shared sharded-server harness
+// ---------------------------------------------------------------------
+
+/// One wired server over a shard set: machine, enclave, `shards`
+/// sockets and a [`ServerIo`] with one pipeline per socket.
+struct ShardRig {
+    m: Arc<SgxMachine>,
+    e: Arc<eleos::enclave::enclave::Enclave>,
+    wire: Arc<Wire>,
+    fds: Vec<Fd>,
+    io: ServerIo,
+}
+
+impl ShardRig {
+    fn new(shards: usize, workers: usize, cfg: ServerIoConfig) -> ShardRig {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([9u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let fds: Vec<Fd> = (0..shards).map(|_| m.host.socket(&ut, 256 << 10)).collect();
+        let svc = with_syscalls(RpcService::builder(&m), &m)
+            .workers(workers, &[2, 3])
+            .build();
+        let io = ServerIo::sharded(
+            &ut,
+            &fds,
+            cfg,
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
+        ShardRig {
+            m,
+            e,
+            wire,
+            fds,
+            io,
+        }
+    }
+
+    /// Pushes one encrypted request from `conn`, landing on the shard
+    /// the load generator pins that connection to.
+    fn push(&self, conn: u64, plain: &[u8]) {
+        let ut = ThreadCtx::untrusted(&self.m, 1);
+        let fd = self.fds[shard_for(conn, self.fds.len())];
+        self.m.host.push_request(&ut, fd, &self.wire.encrypt(plain));
+    }
+
+    fn thread(&self) -> ThreadCtx {
+        let mut t = ThreadCtx::for_enclave(&self.m, &self.e, 0);
+        t.enter();
+        t
+    }
+}
+
+/// Keeps calling `step` until `n` requests have been served.
+fn serve_to_completion(t: &mut ThreadCtx, n: usize, mut step: impl FnMut(&mut ThreadCtx) -> usize) {
+    let mut done = 0usize;
+    while done < n {
+        let got = step(t);
+        assert!(got > 0, "queued requests must be served");
+        done += got;
+    }
+}
+
+/// Drains every shard's response queue and re-groups the decrypted
+/// replies by connection: per-shard FIFO order is per-connection
+/// order, so the `i`-th reply on a shard answers the `i`-th request
+/// that `pushed` pinned there. A sharded server that reorders within
+/// a shard mis-assigns replies here and fails the byte comparison.
+fn replies_by_conn(rig: &ShardRig, pushed: &[u64]) -> Vec<Vec<Vec<u8>>> {
+    let mut streams: Vec<VecDeque<Vec<u8>>> = rig
+        .fds
+        .iter()
+        .map(|&fd| {
+            let mut v = VecDeque::new();
+            while let Some(r) = rig.m.host.pop_response(fd) {
+                v.push_back(rig.wire.decrypt(&r));
+            }
+            v
+        })
+        .collect();
+    let mut out = vec![Vec::new(); N_CONNS];
+    for &conn in pushed {
+        let s = shard_for(conn, rig.fds.len());
+        let r = streams[s].pop_front().expect("a reply per request");
+        out[conn as usize].push(r);
+    }
+    assert!(
+        streams.iter().all(VecDeque::is_empty),
+        "no surplus replies on any shard"
+    );
+    out
+}
+
+/// The two sub-batch sizing policies the sweep crosses with the shard
+/// counts.
+fn policies() -> [ServerIoConfig; 2] {
+    [
+        ServerIoConfig::with_buf_len(16 << 10).batch(4),
+        ServerIoConfig::with_buf_len(16 << 10).adaptive(1, 8),
+    ]
+}
+
+/// Derives a connection id and a key id per request from proptest
+/// seed bytes.
+fn request_stream(seed: &[u8]) -> (Vec<u64>, Vec<u64>) {
+    let conns = (0..N_REQS)
+        .map(|i| (seed[i % seed.len()] as u64 + i as u64 * 5) % N_CONNS as u64)
+        .collect();
+    let keys = (0..N_REQS)
+        .map(|i| seed[(i * 7) % seed.len()] as u64 + i as u64)
+        .collect();
+    (conns, keys)
+}
+
+// ---------------------------------------------------------------------
+// Per-server runs
+// ---------------------------------------------------------------------
+
+/// Serves `N_REQS` KVS GETs (binary or memcached-text protocol) on a
+/// `shards`-wide socket set; returns the per-connection reply streams.
+fn run_kvs(
+    shards: usize,
+    cfg: ServerIoConfig,
+    conns: &[u64],
+    keys: &[u64],
+    text: bool,
+) -> Vec<Vec<Vec<u8>>> {
+    let rig = ShardRig::new(shards, 2, cfg);
+    let mut t = rig.thread();
+    let space = DataSpace::Untrusted(Arc::clone(&rig.m));
+    let mut kvs = Kvs::new(space.clone(), space, 8 << 20, 256);
+    kvs.init(&mut t);
+    let load = KvsLoad::new(7, 64, 16, 48);
+    for i in 0..load.n_items {
+        kvs.set(&mut t, &load.key(i), &load.value(i));
+    }
+    for (&c, &k) in conns.iter().zip(keys) {
+        let key = load.key(k % load.n_items);
+        let plain = if text {
+            format_get(&key)
+        } else {
+            build_get(&key)
+        };
+        rig.push(c, &plain);
+    }
+    let io = &rig.io;
+    serve_to_completion(&mut t, conns.len(), |t| {
+        if text {
+            handle_text_batch(&mut kvs, t, io)
+        } else {
+            kvs.handle_batch(t, io)
+        }
+    });
+    rig.io.flush(&mut t);
+    t.exit();
+    replies_by_conn(&rig, conns)
+}
+
+/// Serves a mixed read/update parameter-server stream; returns the
+/// per-connection reply streams plus a probe of each connection's
+/// private counter (updates are commutative, so the final counters
+/// must not depend on the shard interleaving).
+fn run_param(
+    shards: usize,
+    cfg: ServerIoConfig,
+    conns: &[u64],
+    keys: &[u64],
+) -> (Vec<Vec<Vec<u8>>>, Vec<u64>) {
+    const TABLE: u64 = 4096;
+    let rig = ShardRig::new(shards, 2, cfg);
+    let mut t = rig.thread();
+    let space = DataSpace::Untrusted(Arc::clone(&rig.m));
+    let mut srv = ParamServer::new(space, TableKind::OpenAddressing, TABLE);
+    srv.init(&mut t);
+    srv.populate_bulk(&mut t, TABLE);
+    for (i, (&c, &k)) in conns.iter().zip(keys).enumerate() {
+        // Even requests read populated (never-updated) keys; odd
+        // requests bump the connection's private counter.
+        let plain = if i % 2 == 0 {
+            build_read_request(&[N_CONNS as u64 + 1 + k % (TABLE - N_CONNS as u64 - 1)])
+        } else {
+            build_update_request(&[(1 + c, 1 + k % 9)])
+        };
+        rig.push(c, &plain);
+    }
+    let io = &rig.io;
+    serve_to_completion(&mut t, conns.len(), |t| srv.handle_batch(t, io).0);
+    rig.io.flush(&mut t);
+    let probes = (0..N_CONNS as u64)
+        .map(|c| srv.get(&mut t, 1 + c).expect("populated key"))
+        .collect();
+    t.exit();
+    (replies_by_conn(&rig, conns), probes)
+}
+
+/// Serves a genuine/impostor/unknown face-verification stream;
+/// returns the per-connection reply streams.
+fn run_face(shards: usize, cfg: ServerIoConfig, conns: &[u64], keys: &[u64]) -> Vec<Vec<Vec<u8>>> {
+    const SIDE: usize = 32;
+    let rig = ShardRig::new(shards, 2, cfg);
+    let mut t = rig.thread();
+    let space = DataSpace::Untrusted(Arc::clone(&rig.m));
+    let mut db = FaceDb::new(space, SIDE, 4);
+    db.init(&mut t);
+    for id in 1..=4u64 {
+        db.enroll(&mut t, id, &lbp_histogram(&synth_image(id, SIDE), SIDE));
+    }
+    let enrolled = db.fetch(&mut t, 2).expect("enrolled");
+    let genuine = chi_square(&lbp_histogram(&synth_capture(2, SIDE, 9), SIDE), &enrolled);
+    let impostor = chi_square(&lbp_histogram(&synth_image(4, SIDE), SIDE), &enrolled);
+    let mut srv = FaceServer::new(db, (genuine + impostor) / 2.0);
+    for (i, (&c, &k)) in conns.iter().zip(keys).enumerate() {
+        let id = 1 + k % 4;
+        let plain = match i % 3 {
+            0 => build_verify_request(id, SIDE, &synth_capture(id, SIDE, i as u64)),
+            1 => build_verify_request(id, SIDE, &synth_image(1 + (id % 4), SIDE)),
+            _ => build_verify_request(99, SIDE, &synth_image(id, SIDE)),
+        };
+        rig.push(c, &plain);
+    }
+    let io = &rig.io;
+    serve_to_completion(&mut t, conns.len(), |t| srv.handle_batch(t, io));
+    rig.io.flush(&mut t);
+    t.exit();
+    replies_by_conn(&rig, conns)
+}
+
+// ---------------------------------------------------------------------
+// Satellite: sharded == single-socket, per connection
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Binary-KVS GET replies are byte-identical per connection across
+    /// 1–4 shards and both sub-batch policies.
+    #[test]
+    fn sharded_kvs_matches_single_socket_per_connection(
+        seed in prop::collection::vec(any::<u8>(), 32..33),
+    ) {
+        let (conns, keys) = request_stream(&seed);
+        let reference = run_kvs(1, policies()[0].clone(), &conns, &keys, false);
+        for cfg in policies() {
+            for shards in 1..=4usize {
+                let got = run_kvs(shards, cfg.clone(), &conns, &keys, false);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "binary KVS diverged (shards={}, {})", shards, cfg.policy_label()
+                );
+            }
+        }
+    }
+
+    /// memcached-text GET replies are byte-identical per connection
+    /// across 1–4 shards and both sub-batch policies.
+    #[test]
+    fn sharded_text_kvs_matches_single_socket_per_connection(
+        seed in prop::collection::vec(any::<u8>(), 32..33),
+    ) {
+        let (conns, keys) = request_stream(&seed);
+        let reference = run_kvs(1, policies()[0].clone(), &conns, &keys, true);
+        for cfg in policies() {
+            for shards in 1..=4usize {
+                let got = run_kvs(shards, cfg.clone(), &conns, &keys, true);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "text KVS diverged (shards={}, {})", shards, cfg.policy_label()
+                );
+            }
+        }
+    }
+
+    /// Parameter-server read replies and the post-run counters are
+    /// identical across 1–4 shards and both sub-batch policies: reads
+    /// never race updates, and the updates commute.
+    #[test]
+    fn sharded_param_server_matches_single_socket_per_connection(
+        seed in prop::collection::vec(any::<u8>(), 32..33),
+    ) {
+        let (conns, keys) = request_stream(&seed);
+        let (ref_replies, ref_probes) = run_param(1, policies()[0].clone(), &conns, &keys);
+        for cfg in policies() {
+            for shards in 1..=4usize {
+                let (replies, probes) = run_param(shards, cfg.clone(), &conns, &keys);
+                prop_assert_eq!(
+                    &replies, &ref_replies,
+                    "param server replies diverged (shards={}, {})", shards, cfg.policy_label()
+                );
+                prop_assert_eq!(
+                    &probes, &ref_probes,
+                    "param server state diverged (shards={}, {})", shards, cfg.policy_label()
+                );
+            }
+        }
+    }
+
+    /// Face-verification verdicts are byte-identical per connection
+    /// across 1–4 shards and both sub-batch policies.
+    #[test]
+    fn sharded_face_server_matches_single_socket_per_connection(
+        seed in prop::collection::vec(any::<u8>(), 32..33),
+    ) {
+        let (conns, keys) = request_stream(&seed);
+        let reference = run_face(1, policies()[0].clone(), &conns, &keys);
+        for cfg in policies() {
+            for shards in 1..=4usize {
+                let got = run_face(shards, cfg.clone(), &conns, &keys);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "face server diverged (shards={}, {})", shards, cfg.policy_label()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: cost accounting on the sharded path
+// ---------------------------------------------------------------------
+
+/// With every shard non-empty, a sharded reap costs exactly one
+/// syscall trap and one kernel-metadata walk per shard on the receive
+/// leg, and the unsequenced send leg matches — independent of the RPC
+/// worker count (one sub-batch per *shard*, not per worker).
+#[test]
+fn one_trap_and_one_meta_charge_per_shard_sub_batch() {
+    for shards in [2usize, 4] {
+        let rig = ShardRig::new(shards, 2, ServerIoConfig::with_buf_len(8192).batch(8));
+        let mut t = rig.thread();
+        for s in 0..shards {
+            let conn = (0..64u64)
+                .find(|&c| shard_for(c, shards) == s)
+                .expect("a connection for every shard");
+            for i in 0..2u8 {
+                rig.push(conn, &[s as u8 * 8 + i; 24]);
+            }
+        }
+        let s0 = rig.m.stats.snapshot();
+        let msgs = rig.io.recv_batch(&mut t);
+        assert_eq!(msgs.len(), 2 * shards, "every queued message reaped");
+        let d = rig.m.stats.snapshot() - s0;
+        assert_eq!(d.syscalls, shards as u64, "one trap per shard sub-batch");
+        assert_eq!(
+            d.kernel_meta_reads, shards as u64,
+            "one kernel-metadata walk per shard sub-batch"
+        );
+        let s0 = rig.m.stats.snapshot();
+        rig.io.send_batch(&mut t, &msgs);
+        let d = rig.m.stats.snapshot() - s0;
+        assert_eq!(d.syscalls, shards as u64, "one trap per send sub-batch");
+        assert_eq!(
+            d.kernel_meta_reads, shards as u64,
+            "one kernel-metadata walk per send sub-batch"
+        );
+        t.exit();
+    }
+}
+
+/// An empty shard's poll pays the trap but skips the metadata walk
+/// (the queue check comes first), and the send leg skips the empty
+/// shard entirely.
+#[test]
+fn empty_shard_poll_costs_a_trap_but_no_meta_walk() {
+    let rig = ShardRig::new(2, 2, ServerIoConfig::with_buf_len(8192).batch(8));
+    let mut t = rig.thread();
+    let conn = (0..64u64)
+        .find(|&c| shard_for(c, 2) == 0)
+        .expect("a connection for shard 0");
+    for i in 0..3u8 {
+        rig.push(conn, &[i; 24]);
+    }
+    let s0 = rig.m.stats.snapshot();
+    let msgs = rig.io.recv_batch(&mut t);
+    assert_eq!(msgs.len(), 3, "shard 0's queue fully reaped");
+    let d = rig.m.stats.snapshot() - s0;
+    assert_eq!(d.syscalls, 2, "both shards were polled");
+    assert_eq!(
+        d.kernel_meta_reads, 1,
+        "the empty shard must skip the kernel-metadata walk"
+    );
+    let s0 = rig.m.stats.snapshot();
+    rig.io.send_batch(&mut t, &msgs);
+    let d = rig.m.stats.snapshot() - s0;
+    assert_eq!(d.syscalls, 1, "the empty shard sends nothing");
+    assert_eq!(d.kernel_meta_reads, 1);
+    t.exit();
+}
