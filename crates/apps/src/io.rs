@@ -48,6 +48,37 @@
 //! cycles-of-sojourn into the [`sojourn`](eleos_sim::stats::Stats)
 //! histogram, so `repro serving_bench` can report p50/p95/p99 latency
 //! next to throughput.
+//!
+//! # Shard balance (re-pinning and work stealing)
+//!
+//! Static connection pinning leaves sockets idle under skew: a Zipf
+//! load parks most arrivals on one shard while its siblings poll
+//! empty queues. [`ServerIo::sharded_balanced`] layers two remedies
+//! over the sharded pipeline, both operating only at *sub-batch
+//! boundaries* so per-connection arrival order stays a per-socket
+//! FIFO property:
+//!
+//! - **Hot-connection re-pinning** ([`BalanceConfig::repin`]): every
+//!   [`BalanceConfig::period`] reaps the server compares per-shard
+//!   residual backlog (falling back to the shard map's arrival
+//!   weights when every queue drained) and re-pins up to
+//!   [`BalanceConfig::max_moves`] of the hottest shard's heaviest
+//!   connections onto the coldest shard via the
+//!   [`crate::loadgen::ShardMap`] indirection. Only *future*
+//!   arrivals move; queued messages stay where the kernel has them.
+//! - **Sub-batch work stealing** ([`BalanceConfig::steal`]): a shard
+//!   whose reap came back empty steals one `recv_mmsg` sub-batch
+//!   from the sibling with the deepest residual backlog. `recv_mmsg`
+//!   pops the queue front atomically, so the stolen run is the
+//!   victim's *oldest contiguous* run; its replies are staged in the
+//!   thief's buffers but transmitted out the victim's socket, after
+//!   the victim's own replies (a second send wave), so the wire
+//!   order is untouched.
+//!
+//! Per-shard backlog/depth gauges, steal and migration counts, and
+//! per-shard sojourn histograms land in
+//! [`ShardStats`](eleos_sim::stats::ShardStats) for
+//! `repro serving_bench` to report.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,7 +86,9 @@ use std::sync::Arc;
 use eleos_enclave::host::{Fd, DESC_STRIDE};
 use eleos_enclave::thread::ThreadCtx;
 use eleos_rpc::{funcs, RpcService};
+use eleos_sim::stats::{Stats, MAX_SHARDS};
 
+use crate::loadgen::ShardMap;
 use crate::wire::Wire;
 
 /// Fixed-point scale for the per-shard arrival-rate EWMA.
@@ -81,6 +114,36 @@ impl IoPath {
             IoPath::Native => "native",
             IoPath::Ocall => "ocall",
             IoPath::Rpc(_) => "rpc",
+        }
+    }
+}
+
+/// Tunables for the shard balance layer (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct BalanceConfig {
+    /// Periodically re-pin the hottest shard's heaviest connections
+    /// onto the coldest shard (needs a
+    /// [`ShardMap`][crate::loadgen::ShardMap], i.e.
+    /// [`ServerIo::sharded_balanced`]).
+    pub repin: bool,
+    /// Let an idle shard steal one `recv_mmsg` sub-batch from the
+    /// sibling with the deepest residual backlog.
+    pub steal: bool,
+    /// Reaps between rebalance decisions. The fence between
+    /// decisions is what keeps migrations cheap: the map only
+    /// changes at sub-batch boundaries.
+    pub period: usize,
+    /// Connections re-pinned per rebalance decision.
+    pub max_moves: usize,
+}
+
+impl Default for BalanceConfig {
+    fn default() -> Self {
+        Self {
+            repin: true,
+            steal: true,
+            period: 4,
+            max_moves: 2,
         }
     }
 }
@@ -123,6 +186,12 @@ pub struct ServerIoConfig {
     /// back to per-message `RECV_TAGGED`/`SEND` jobs, the baseline
     /// `repro crypto_bench`'s `io=per-msg` cells measure.
     pub scatter_gather: bool,
+    /// Declared shard count, validated against the socket set at
+    /// construction ([`Self::shards`]). `None` accepts any set size.
+    pub shards: Option<usize>,
+    /// The shard balance layer ([`Self::balanced`]); `None` keeps the
+    /// static pipeline bit-for-bit.
+    pub balance: Option<BalanceConfig>,
 }
 
 impl Default for ServerIoConfig {
@@ -135,6 +204,8 @@ impl Default for ServerIoConfig {
             batched_crypto: true,
             async_send: false,
             scatter_gather: true,
+            shards: None,
+            balance: None,
         }
     }
 }
@@ -220,6 +291,51 @@ impl ServerIoConfig {
         self
     }
 
+    /// Declares the shard count this session expects.
+    /// [`ServerIo::sharded`] rejects a socket set of any other size —
+    /// a mismatch would silently mis-route the load generator's
+    /// pinning hash, so it fails fast instead.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "shards(0): a server needs at least one shard");
+        self.shards = Some(n);
+        self
+    }
+
+    /// Enables the shard balance layer (re-pinning and/or stealing
+    /// per `b`). Re-pinning additionally needs the
+    /// [`ShardMap`][crate::loadgen::ShardMap] wired through
+    /// [`ServerIo::sharded_balanced`].
+    ///
+    /// # Panics
+    /// Panics if `b.period` or `b.max_moves` is zero.
+    #[must_use]
+    pub fn balanced(mut self, b: BalanceConfig) -> Self {
+        assert!(
+            b.period > 0,
+            "balanced: the rebalance period is in reaps and must be at least one"
+        );
+        assert!(
+            b.max_moves > 0,
+            "balanced: a rebalance that may move nothing is a no-op; use repin: false"
+        );
+        self.balance = Some(b);
+        self
+    }
+
+    /// Label for the balance layer in experiment output.
+    #[must_use]
+    pub fn balance_label(&self) -> &'static str {
+        if self.balance.is_some() {
+            "balanced"
+        } else {
+            "static"
+        }
+    }
+
     /// Label for the I/O submission mode in experiment output.
     #[must_use]
     pub fn io_label(&self) -> &'static str {
@@ -289,10 +405,18 @@ pub struct ServerIo {
     pub fd: Fd,
     /// The serving pipelines, one per socket.
     shards: Vec<Shard>,
-    /// `(shard, count)` split of the last sharded reap, so the
+    /// `(socket, pipe, count)` split of the last sharded reap, so the
     /// matching send can route each reply back out the socket its
-    /// request arrived on.
-    last_reap: std::sync::Mutex<Vec<(usize, usize)>>,
+    /// request arrived on. `socket == pipe` for a shard's own reap; a
+    /// stolen run is staged in the thief's pipe (`pipe`) but belongs
+    /// to the victim's socket (`socket`).
+    last_reap: std::sync::Mutex<Vec<(usize, usize, usize)>>,
+    /// The balance layer's connection→shard indirection, when built
+    /// via [`Self::sharded_balanced`]. Consulted by the load
+    /// generator at push time; the rebalancer re-pins through it.
+    map: Option<Arc<ShardMap>>,
+    /// Sharded reaps completed — the rebalance period's clock.
+    reap_count: AtomicU64,
     /// Next transmit sequence number for sequenced scatter-gather
     /// sends (single-socket path only). The host commits payloads to
     /// the wire strictly in this order, so parallel send sub-batches
@@ -332,10 +456,11 @@ impl ServerIo {
     /// one shard.
     ///
     /// # Panics
-    /// Panics if `fds` is empty, if the config's `batch_max` does not
-    /// fit the staging buffer, or if more than one shard is combined
-    /// with a non-RPC path or per-message I/O (sharding rides the RPC
-    /// scatter-gather path).
+    /// Panics if `fds` is empty, if the set's size disagrees with a
+    /// declared [`ServerIoConfig::shards`] count, if the config's
+    /// `batch_max` does not fit the staging buffer, or if more than
+    /// one shard is combined with a non-RPC path or per-message I/O
+    /// (sharding rides the RPC scatter-gather path).
     #[must_use]
     pub fn sharded(
         ctx: &ThreadCtx,
@@ -345,6 +470,16 @@ impl ServerIo {
         wire: Arc<Wire>,
     ) -> Self {
         assert!(!fds.is_empty(), "a server needs at least one socket");
+        if let Some(n) = cfg.shards {
+            assert_eq!(
+                n,
+                fds.len(),
+                "config declares {n} shard(s) but the socket set has {}: \
+                 the pinning hash would route connections to sockets that \
+                 don't exist (or starve ones that do)",
+                fds.len()
+            );
+        }
         assert!(
             cfg.buf_len / cfg.batch_max > 0,
             "batch_max {} too large for a {}-byte staging buffer",
@@ -360,6 +495,17 @@ impl ServerIo {
                 cfg.scatter_gather,
                 "sharded serving needs scatter-gather sub-batches"
             );
+            assert!(
+                fds.len() <= MAX_SHARDS,
+                "{} shards exceed the {MAX_SHARDS} per-shard stat slots",
+                fds.len()
+            );
+            // Tag each socket with its shard class so the RPC workers'
+            // mmsg fills land in that shard's LLC slice when the
+            // machine partitions the RPC fence (`partition_shards`).
+            for (k, &fd) in fds.iter().enumerate() {
+                ctx.machine.set_shard_class(fd.0, k as u8);
+            }
         }
         let depth0 = if cfg.is_adaptive() {
             cfg.batch_min
@@ -385,10 +531,48 @@ impl ServerIo {
             last_reap: std::sync::Mutex::new(Vec::new()),
             tx_seq: AtomicU64::new(0),
             pending_send: std::sync::Mutex::new(None),
+            map: None,
+            reap_count: AtomicU64::new(0),
             cfg,
             path,
             wire,
         }
+    }
+
+    /// [`Self::sharded`] plus the balance layer's connection map: the
+    /// load generator routes arrivals through `map` and the periodic
+    /// rebalancer re-pins hot connections through the same map, so
+    /// both sides always agree on where a connection lives.
+    ///
+    /// # Panics
+    /// Panics if the map's shard count disagrees with the socket set,
+    /// plus everything [`Self::sharded`] panics on.
+    #[must_use]
+    pub fn sharded_balanced(
+        ctx: &ThreadCtx,
+        fds: &[Fd],
+        cfg: ServerIoConfig,
+        path: IoPath,
+        wire: Arc<Wire>,
+        map: Arc<ShardMap>,
+    ) -> Self {
+        assert_eq!(
+            map.n_shards(),
+            fds.len(),
+            "the shard map routes over {} shard(s) but the socket set has {}",
+            map.n_shards(),
+            fds.len()
+        );
+        let mut io = Self::sharded(ctx, fds, cfg, path, wire);
+        io.map = Some(map);
+        io
+    }
+
+    /// The balance layer's connection map, when this server was built
+    /// with [`Self::sharded_balanced`].
+    #[must_use]
+    pub fn shard_map(&self) -> Option<&Arc<ShardMap>> {
+        self.map.as_ref()
     }
 
     /// Number of serving pipelines (sockets).
@@ -453,10 +637,16 @@ impl ServerIo {
         }
         let depth = self.shard_depth(0);
         let out = self.recv_up_to(ctx, depth);
+        let backlog = ctx.machine.host.rx_pending(self.fd);
         if self.cfg.is_adaptive() {
-            let backlog = ctx.machine.host.rx_pending(self.fd);
             self.adapt(&self.shards[0], out.len(), backlog);
         }
+        let shard = &ctx.machine.stats.shard;
+        Stats::set(&shard.backlog[0], backlog as u64);
+        Stats::set(
+            &shard.depth[0],
+            self.shards[0].depth.load(Ordering::Relaxed),
+        );
         out
     }
 
@@ -483,8 +673,14 @@ impl ServerIo {
     /// batch. Per-shard slot order *is* arrival order — connections
     /// never span shards — so there is no seq-sort merge and no
     /// `reap_merge` charge; messages come back concatenated shard by
-    /// shard and the `(shard, count)` split is recorded for the
-    /// matching [`Self::send_batch`] to route replies home.
+    /// shard and the `(socket, pipe, count)` split is recorded for
+    /// the matching [`Self::send_batch`] to route replies home.
+    ///
+    /// With a [`BalanceConfig`] the reap grows a second wave: shards
+    /// that came back empty steal one sub-batch from the deepest
+    /// residual backlog (see the module docs), and every
+    /// [`BalanceConfig::period`] reaps the rebalancer re-pins hot
+    /// connections through the shard map.
     fn recv_sharded(&self, ctx: &mut ThreadCtx) -> Vec<Vec<u8>> {
         let IoPath::Rpc(svc) = &self.path else {
             unreachable!("sharded serving rides the RPC path (checked at construction)");
@@ -509,34 +705,205 @@ impl ServerIo {
         let now = ctx.now();
         let mut raw: Vec<Vec<u8>> = Vec::new();
         let mut reap = Vec::with_capacity(self.shards.len());
+        let mut backlog = vec![0usize; self.shards.len()];
         for (idx, (sh, &n)) in self.shards.iter().zip(counts.iter()).enumerate() {
             let n = n as usize;
-            reap.push((idx, n));
+            reap.push((idx, idx, n));
             if n > 0 {
-                let mut descs = vec![0u8; n * DESC_STRIDE];
-                ctx.read_untrusted(sh.desc_rx, &mut descs);
-                for i in 0..n {
-                    let at = i * DESC_STRIDE;
-                    let w0 = u64::from_le_bytes(descs[at..at + 8].try_into().unwrap());
-                    let enq = u64::from_le_bytes(descs[at + 8..at + 16].try_into().unwrap());
-                    ctx.machine.stats.sojourn.record(now.saturating_sub(enq));
-                    let mut msg = vec![0u8; (w0 & 0xffff_ffff) as usize];
-                    ctx.read_untrusted(sh.rx_buf + (i * stripe) as u64, &mut msg);
-                    raw.push(msg);
-                }
+                self.read_run(ctx, idx, n, idx, now, &mut raw);
             }
+            backlog[idx] = ctx.machine.host.rx_pending(sh.fd);
             if self.cfg.is_adaptive() {
-                let backlog = ctx.machine.host.rx_pending(sh.fd);
-                self.adapt(sh, n, backlog);
+                self.adapt(sh, n, backlog[idx]);
             }
         }
+        if self.cfg.balance.is_some_and(|b| b.steal) {
+            self.steal_pass(ctx, svc, &counts, &mut backlog, &mut reap, &mut raw);
+        }
+        for (k, (sh, &b)) in self.shards.iter().zip(backlog.iter()).enumerate() {
+            let shard = &ctx.machine.stats.shard;
+            Stats::set(&shard.backlog[k], b as u64);
+            Stats::set(&shard.depth[k], sh.depth.load(Ordering::Relaxed));
+        }
         *self.last_reap.lock().expect("last reap") = reap;
+        if let (Some(b), Some(map)) = (self.cfg.balance, self.map.as_ref()) {
+            let reaps = self.reap_count.fetch_add(1, Ordering::Relaxed) + 1;
+            if b.repin && reaps.is_multiple_of(b.period as u64) {
+                self.rebalance(ctx, map, b.max_moves);
+            }
+        }
         if raw.is_empty() {
             return Vec::new();
         }
         let refs: Vec<&[u8]> = raw.iter().map(Vec::as_slice).collect();
         self.wire
             .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto)
+    }
+
+    /// Reads one reaped sub-batch out of pipe `pipe`'s staging
+    /// buffers: records each op's sojourn (globally and against shard
+    /// `charge`'s histogram — the *socket* the op waited on, not the
+    /// pipe that drained it) and appends the raw payloads in slot
+    /// order.
+    fn read_run(
+        &self,
+        ctx: &mut ThreadCtx,
+        pipe: usize,
+        n: usize,
+        charge: usize,
+        now: u64,
+        raw: &mut Vec<Vec<u8>>,
+    ) {
+        let stripe = self.cfg.buf_len / self.cfg.batch_max;
+        let sh = &self.shards[pipe];
+        let mut descs = vec![0u8; n * DESC_STRIDE];
+        ctx.read_untrusted(sh.desc_rx, &mut descs);
+        for i in 0..n {
+            let at = i * DESC_STRIDE;
+            let w0 = u64::from_le_bytes(descs[at..at + 8].try_into().unwrap());
+            let enq = u64::from_le_bytes(descs[at + 8..at + 16].try_into().unwrap());
+            let wait = now.saturating_sub(enq);
+            ctx.machine.stats.sojourn.record(wait);
+            ctx.machine.stats.shard.sojourn[charge].record(wait);
+            let mut msg = vec![0u8; (w0 & 0xffff_ffff) as usize];
+            ctx.read_untrusted(sh.rx_buf + (i * stripe) as u64, &mut msg);
+            raw.push(msg);
+        }
+    }
+
+    /// The steal wave: every shard whose own reap came back empty
+    /// picks the un-claimed sibling with the deepest residual backlog
+    /// and reaps one extra `recv_mmsg` sub-batch from *that* socket
+    /// into its own (idle) staging buffers. At most one thief per
+    /// victim per reap: `recv_mmsg` pops the queue front under one
+    /// lock, so a single steal is the victim's oldest contiguous run,
+    /// but two concurrent steals of the same socket would interleave.
+    fn steal_pass(
+        &self,
+        ctx: &mut ThreadCtx,
+        svc: &Arc<RpcService>,
+        counts: &[u64],
+        backlog: &mut [usize],
+        reap: &mut Vec<(usize, usize, usize)>,
+        raw: &mut Vec<Vec<u8>>,
+    ) {
+        let stripe = self.cfg.buf_len / self.cfg.batch_max;
+        let mut claimed = vec![false; self.shards.len()];
+        let mut steals: Vec<(usize, usize)> = Vec::new();
+        for (t, &got) in counts.iter().enumerate() {
+            if got != 0 {
+                continue;
+            }
+            // A victim is only worth robbing when its residue
+            // outruns its own sub-batch depth — anything smaller the
+            // victim clears on its next (already amortized) reap, and
+            // the steal's extra trap would cost more than it saves.
+            let victim = (0..self.shards.len())
+                .filter(|&v| {
+                    v != t
+                        && !claimed[v]
+                        && backlog[v] > self.shards[v].depth.load(Ordering::Relaxed) as usize
+                })
+                .max_by_key(|&v| backlog[v]);
+            let Some(v) = victim else { continue };
+            claimed[v] = true;
+            steals.push((v, t));
+        }
+        if steals.is_empty() {
+            return;
+        }
+        let reqs: Vec<(u64, [u64; 4])> = steals
+            .iter()
+            .map(|&(v, t)| {
+                let th = &self.shards[t];
+                // Steal half the victim's residual backlog (the
+                // classic steal-half split), capped by the thief's
+                // staging capacity — NOT by the thief's AIMD depth,
+                // which has just decayed toward the floor precisely
+                // because its own queue is empty. A depth-sized steal
+                // would move one or two messages per extra trap and
+                // cost more than it saves.
+                let want = (backlog[v] / 2).clamp(1, self.cfg.batch_max) as u64;
+                (
+                    funcs::RECV_MMSG,
+                    [
+                        self.shards[v].fd.0 as u64,
+                        th.rx_buf,
+                        ((stripe as u64) << 32) | want,
+                        th.desc_rx,
+                    ],
+                )
+            })
+            .collect();
+        let got = svc.submit_batch(ctx, &reqs).wait_all(ctx);
+        let now = ctx.now();
+        for (&(v, t), &m) in steals.iter().zip(got.iter()) {
+            let m = m as usize;
+            if m == 0 {
+                continue;
+            }
+            reap.push((v, t, m));
+            self.read_run(ctx, t, m, v, now, raw);
+            let shard = &ctx.machine.stats.shard;
+            Stats::add(&shard.steals_taken[t], 1);
+            Stats::add(&shard.steals_given[v], 1);
+            backlog[v] = ctx.machine.host.rx_pending(self.shards[v].fd);
+        }
+    }
+
+    /// One rebalance decision at a sub-batch boundary: rank shards by
+    /// the map's recent *arrival weights*, and when the hottest
+    /// shard's intake exceeds the coldest's by at least a quarter of
+    /// its own, re-pin up to `max_moves` of its heaviest connections
+    /// onto the coldest.
+    ///
+    /// The ranking deliberately ignores residual socket backlog.
+    /// Queued messages never move across the fence, so backlog is a
+    /// lagging signal: it stays skewed for many reaps after a re-pin
+    /// already fixed the intake, and ranking by it keeps firing until
+    /// every connection has been shovelled to the other side — the
+    /// imbalance flips instead of closing. Arrival weights respond to
+    /// the actuator instantly (a re-pinned connection's weight moves
+    /// with it), so the loop converges. Each move is also guarded so
+    /// it cannot overshoot: moving a connection of weight `w` shrinks
+    /// the hot/cold gap only when `w` is smaller than the gap.
+    ///
+    /// Only future arrivals move — queued messages stay on the socket
+    /// the kernel already holds them in, so per-connection order is a
+    /// per-socket FIFO property on both sides of the fence.
+    fn rebalance(&self, ctx: &ThreadCtx, map: &Arc<ShardMap>, max_moves: usize) {
+        /// Weight gap below which a rebalance is noise, not signal
+        /// (decay shrinks stale weights toward zero between chunks).
+        const FLOOR: u64 = 8;
+        let w = map.shard_weights();
+        let hot = (0..w.len()).max_by_key(|&k| w[k]).unwrap_or(0);
+        let cold = (0..w.len()).min_by_key(|&k| w[k]).unwrap_or(0);
+        let mut gap = (w[hot] - w[cold]) as i64;
+        if hot != cold && gap as u64 >= FLOOR && gap as u64 * 4 >= w[hot] {
+            let mut moved = 0u64;
+            for (conn, cw) in map.hottest_conns(hot, max_moves) {
+                // Moving `cw` changes the gap to |gap - 2cw|; demand
+                // it at least halve, or the move trades one hot shard
+                // for another (a connection carrying most of the gap
+                // can't be split — leave it and move its lighter
+                // neighbours instead).
+                if 4 * cw as i64 > 3 * gap {
+                    continue;
+                }
+                map.repin(conn, cold);
+                moved += 1;
+                gap -= 2 * cw as i64;
+                if gap <= 0 {
+                    break;
+                }
+            }
+            if moved > 0 {
+                Stats::add(&ctx.machine.stats.shard.migrations[hot], moved);
+            }
+        }
+        // Halve the arrival weights each decision so the ranking
+        // tracks recent traffic, not all-time totals.
+        map.decay();
     }
 
     /// Collects up to `max` raw wire messages in the socket's arrival
@@ -621,7 +988,11 @@ impl ServerIo {
             }
             let mut out = Vec::with_capacity(got.len());
             for (_seq, slot, n, enq) in got {
-                ctx.machine.stats.sojourn.record(now.saturating_sub(enq));
+                let wait = now.saturating_sub(enq);
+                ctx.machine.stats.sojourn.record(wait);
+                // The single-socket server is shard 0 of a one-shard
+                // set, so its per-shard histogram mirrors the global.
+                ctx.machine.stats.shard.sojourn[0].record(wait);
                 let mut msg = vec![0u8; n];
                 ctx.read_untrusted(sh.rx_buf + (slot * stripe) as u64, &mut msg);
                 out.push(msg);
@@ -750,10 +1121,18 @@ impl ServerIo {
     }
 
     /// The sharded send: splits `replies` by the last reap's
-    /// `(shard, count)` record and sends each slice as one
-    /// *unsequenced* `send_mmsg` sub-batch out its shard's socket —
-    /// slot order is per-shard arrival order, so the kernel transmit
+    /// `(socket, pipe, count)` record and sends each slice as one
+    /// *unsequenced* `send_mmsg` sub-batch out its socket — slot
+    /// order is per-shard arrival order, so the kernel transmit
     /// reorder buffer (and its `tx_reorder` charge) is skipped.
+    ///
+    /// A stolen run's replies are staged in the thief's transmit
+    /// buffers but go out the *victim's* socket, strictly after the
+    /// victim's own sub-batch: two unsequenced jobs on one socket in
+    /// one submission could interleave across workers, so repeated
+    /// sockets are deferred to a second send wave behind a barrier
+    /// (and the send stays synchronous — a deferred second wave would
+    /// race the next reap for the thief's buffers).
     fn send_sharded(&self, ctx: &mut ThreadCtx, replies: &[Vec<u8>]) {
         if replies.is_empty() {
             return;
@@ -768,20 +1147,22 @@ impl ServerIo {
             .wire
             .encrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto);
         let reap = self.last_reap.lock().expect("last reap").clone();
-        let total: usize = reap.iter().map(|&(_, n)| n).sum();
+        let total: usize = reap.iter().map(|&(_, _, n)| n).sum();
         assert_eq!(
             msgs.len(),
             total,
             "sharded send must answer the last reap 1:1"
         );
         let stripe = self.cfg.buf_len / self.cfg.batch_max;
-        let mut reqs = Vec::new();
+        let mut seen = vec![false; self.shards.len()];
+        let mut wave1 = Vec::new();
+        let mut wave2 = Vec::new();
         let mut off = 0;
-        for &(idx, n) in &reap {
+        for &(socket, pipe, n) in &reap {
             if n == 0 {
                 continue;
             }
-            let sh = &self.shards[idx];
+            let sh = &self.shards[pipe];
             let mut descs = Vec::with_capacity(n * DESC_STRIDE);
             for (i, msg) in msgs[off..off + n].iter().enumerate() {
                 assert!(
@@ -793,22 +1174,33 @@ impl ServerIo {
                 descs.extend_from_slice(&0u64.to_le_bytes());
             }
             ctx.write_untrusted(sh.desc_tx, &descs);
-            reqs.push((
+            let req = (
                 funcs::SEND_MMSG_UNSEQ,
                 [
-                    sh.fd.0 as u64,
+                    self.shards[socket].fd.0 as u64,
                     sh.tx_buf,
                     ((stripe as u64) << 32) | n as u64,
                     sh.desc_tx,
                 ],
-            ));
+            );
+            if seen[socket] {
+                wave2.push(req);
+            } else {
+                seen[socket] = true;
+                wave1.push(req);
+            }
             off += n;
         }
-        let batch = svc.submit_batch(ctx, &reqs);
-        if self.cfg.async_send {
-            *self.pending_send.lock().expect("pending send") = Some(batch);
+        if wave2.is_empty() {
+            let batch = svc.submit_batch(ctx, &wave1);
+            if self.cfg.async_send {
+                *self.pending_send.lock().expect("pending send") = Some(batch);
+            } else {
+                batch.wait_all(ctx);
+            }
         } else {
-            batch.wait_all(ctx);
+            svc.submit_batch(ctx, &wave1).wait_all(ctx);
+            svc.submit_batch(ctx, &wave2).wait_all(ctx);
         }
     }
 
@@ -1287,6 +1679,187 @@ mod tests {
         let d = m.stats.snapshot() - s0;
         assert_eq!(d.sojourn.count(), 4, "one sojourn sample per reaped op");
         assert!(d.sojourn.p99() > 0, "reap happens after the arrivals");
+        t.exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "config declares 3 shard(s) but the socket set has 2")]
+    fn mismatched_shard_declaration_fails_fast() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fds = m.host.socket_set(&ut, 2, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let _ = ServerIo::sharded(
+            &ut,
+            &fds,
+            ServerIoConfig::with_buf_len(8192).batch(4).shards(3),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::new(Wire::new([1u8; 16])),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard map routes over 3 shard(s) but the socket set has 2")]
+    fn mismatched_shard_map_fails_fast() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fds = m.host.socket_set(&ut, 2, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let _ = ServerIo::sharded_balanced(
+            &ut,
+            &fds,
+            ServerIoConfig::with_buf_len(8192).batch(4),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::new(Wire::new([1u8; 16])),
+            crate::loadgen::ShardMap::new(3),
+        );
+    }
+
+    #[test]
+    fn idle_shard_steals_the_oldest_contiguous_run() {
+        // Shard 0 holds six queued messages at depth two; shard 1 is
+        // idle. The balanced reap must return shard 0's oldest run
+        // plus a stolen second run — four messages in arrival order —
+        // and every reply must still leave shard 0's socket, in order.
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([17u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fds = m.host.socket_set(&ut, 2, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(2, &[2, 3])
+            .build();
+        let io = ServerIo::sharded(
+            &ut,
+            &fds,
+            ServerIoConfig::with_buf_len(8192)
+                .batch(2)
+                .balanced(BalanceConfig {
+                    repin: false,
+                    steal: true,
+                    ..BalanceConfig::default()
+                }),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        for i in 0..6u8 {
+            m.host.push_request(&ut, fds[0], &wire.encrypt(&[i; 24]));
+        }
+        let s0 = m.stats.snapshot();
+        let msgs = io.recv_batch(&mut t);
+        assert_eq!(
+            msgs,
+            (0..4u8).map(|i| vec![i; 24]).collect::<Vec<_>>(),
+            "own run then the stolen run, both in arrival order"
+        );
+        io.send_batch(&mut t, &msgs);
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.shard.steals_taken, [0, 1, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(d.shard.steals_given, [1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            d.shard.sojourn[0].count(),
+            4,
+            "stolen sojourns credit the socket they waited on"
+        );
+        assert_eq!(d.shard.sojourn[1].count(), 0);
+        // The remaining two messages drain without a steal (the
+        // backlog fits shard 0's own reap exactly... at depth 2).
+        let rest = io.recv_batch(&mut t);
+        assert_eq!(rest.len(), 2);
+        io.send_batch(&mut t, &rest);
+        t.exit();
+        let mut out = Vec::new();
+        while let Some(resp) = m.host.pop_response(fds[0]) {
+            out.push(wire.decrypt(&resp));
+        }
+        assert_eq!(
+            out,
+            (0..6u8).map(|i| vec![i; 24]).collect::<Vec<_>>(),
+            "replies leave the victim's socket in arrival order"
+        );
+        assert!(
+            m.host.pop_response(fds[1]).is_none(),
+            "thief sends nothing home"
+        );
+    }
+
+    #[test]
+    fn rebalancer_repins_hot_connections_at_the_fence() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Wire::new([19u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fds = m.host.socket_set(&ut, 2, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(2, &[2, 3])
+            .build();
+        let map = crate::loadgen::ShardMap::new(2);
+        let io = ServerIo::sharded_balanced(
+            &ut,
+            &fds,
+            ServerIoConfig::with_buf_len(8192)
+                .batch(2)
+                .balanced(BalanceConfig {
+                    repin: true,
+                    steal: false,
+                    period: 1,
+                    max_moves: 1,
+                }),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+            Arc::clone(&map),
+        );
+        // One hot connection plus a lighter one on the same home
+        // shard, routed through the map like the load generator does.
+        // (The lighter sibling matters: with a single connection the
+        // whole weight would move at once, flipping the imbalance
+        // instead of closing it, and the overshoot guard refuses.)
+        let conn = 7u64;
+        let home = map.shard_of(conn);
+        let other = (0..64u64)
+            .find(|&c| c != conn && crate::loadgen::shard_for(c, 2) == home)
+            .unwrap();
+        for i in 0..8u8 {
+            let shard = map.route(conn);
+            assert_eq!(shard, home, "routing is stable before the fence");
+            m.host
+                .push_request(&ut, fds[shard], &wire.encrypt(&[i; 24]));
+        }
+        for i in 8..12u8 {
+            let shard = map.route(other);
+            assert_eq!(shard, home);
+            m.host
+                .push_request(&ut, fds[shard], &wire.encrypt(&[i; 24]));
+        }
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let s0 = m.stats.snapshot();
+        // A depth-2 reap leaves a 10-deep backlog on the home shard
+        // and nothing on its sibling; all 12 arrival weights sit on
+        // the home shard. The period-1 rebalancer must move the hot
+        // connection (weight 8, under the 12-weight gap) to the cold
+        // shard at the reap boundary — and only that one, since the
+        // move flips the gap negative.
+        let msgs = io.recv_batch(&mut t);
+        io.send_batch(&mut t, &msgs);
+        let d = m.stats.snapshot() - s0;
+        assert_ne!(map.shard_of(conn), home, "the hot connection moved");
+        assert_eq!(map.shard_of(other), home, "the light one stayed");
+        let mut want = [0u64; 8];
+        want[home] = 1;
+        assert_eq!(d.shard.migrations, want);
+        assert_eq!(d.shard.backlog[home], 10, "backlog gauge reads the residue");
+        // Future arrivals land on the new shard; queued ones drain
+        // from the old socket untouched.
+        let moved = map.route(conn);
+        assert_ne!(moved, home);
+        while !io.recv_batch(&mut t).is_empty() {}
         t.exit();
     }
 }

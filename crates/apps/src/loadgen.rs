@@ -207,6 +207,247 @@ pub fn shard_for(conn: u64, n_shards: usize) -> usize {
     (conn.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % n_shards
 }
 
+/// A shared connection→shard indirection over [`shard_for`]'s static
+/// Fibonacci pinning.
+///
+/// The load-generator side routes each arrival through
+/// [`ShardMap::route`]; the serving side's rebalancer reads the
+/// accumulated per-connection weights and [`ShardMap::repin`]s the
+/// heaviest connections off the hottest shard. Re-pins take effect for
+/// *future* arrivals only (a migration fence): messages already queued
+/// stay on the shard they arrived at, and the rebalancer only runs at
+/// sub-batch boundaries, so per-shard FIFO order remains per-connection
+/// order across a migration.
+pub struct ShardMap {
+    n_shards: usize,
+    inner: std::sync::Mutex<MapInner>,
+}
+
+#[derive(Default)]
+struct MapInner {
+    /// Rebalancer overrides; absent connections use [`shard_for`].
+    pins: std::collections::HashMap<u64, usize>,
+    /// Arrivals per connection since the last decay (EWMA-ish: halved
+    /// at every rebalance so stale hotness fades).
+    weights: std::collections::HashMap<u64, u64>,
+}
+
+impl ShardMap {
+    /// A map over `n_shards` shards with no pins (identical to
+    /// [`shard_for`] until the first [`Self::repin`]).
+    #[must_use]
+    pub fn new(n_shards: usize) -> std::sync::Arc<Self> {
+        assert!(n_shards > 0, "a shard map needs at least one shard");
+        std::sync::Arc::new(Self {
+            n_shards,
+            inner: std::sync::Mutex::new(MapInner::default()),
+        })
+    }
+
+    /// Number of shards the map routes onto.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard `conn` currently routes to.
+    #[must_use]
+    pub fn shard_of(&self, conn: u64) -> usize {
+        self.inner
+            .lock()
+            .expect("shard map poisoned")
+            .pins
+            .get(&conn)
+            .copied()
+            .unwrap_or_else(|| shard_for(conn, self.n_shards))
+    }
+
+    /// Routes one arrival: returns `conn`'s shard and counts the
+    /// arrival toward its hotness weight.
+    pub fn route(&self, conn: u64) -> usize {
+        let mut inner = self.inner.lock().expect("shard map poisoned");
+        *inner.weights.entry(conn).or_insert(0) += 1;
+        inner
+            .pins
+            .get(&conn)
+            .copied()
+            .unwrap_or_else(|| shard_for(conn, self.n_shards))
+    }
+
+    /// Pins `conn` to `shard` for all future arrivals.
+    pub fn repin(&self, conn: u64, shard: usize) {
+        assert!(shard < self.n_shards, "repin target out of range");
+        self.inner
+            .lock()
+            .expect("shard map poisoned")
+            .pins
+            .insert(conn, shard);
+    }
+
+    /// Total arrival weight currently routed to each shard.
+    #[must_use]
+    pub fn shard_weights(&self) -> Vec<u64> {
+        let inner = self.inner.lock().expect("shard map poisoned");
+        let mut w = vec![0u64; self.n_shards];
+        for (&conn, &weight) in &inner.weights {
+            let s = inner
+                .pins
+                .get(&conn)
+                .copied()
+                .unwrap_or_else(|| shard_for(conn, self.n_shards));
+            w[s] += weight;
+        }
+        w
+    }
+
+    /// The up-to-`k` heaviest connections currently routed to `shard`
+    /// with their arrival weights, hottest first — the rebalancer
+    /// needs the weights to judge whether a move shrinks the hot/cold
+    /// gap or overshoots it.
+    #[must_use]
+    pub fn hottest_conns(&self, shard: usize, k: usize) -> Vec<(u64, u64)> {
+        let inner = self.inner.lock().expect("shard map poisoned");
+        let mut on_shard: Vec<(u64, u64)> = inner
+            .weights
+            .iter()
+            .filter(|(&conn, _)| {
+                inner
+                    .pins
+                    .get(&conn)
+                    .copied()
+                    .unwrap_or_else(|| shard_for(conn, self.n_shards))
+                    == shard
+            })
+            .map(|(&conn, &w)| (conn, w))
+            .collect();
+        on_shard.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        on_shard.truncate(k);
+        on_shard
+    }
+
+    /// Halves every connection weight (dropping the ones that reach
+    /// zero) so hotness tracks the recent past, not the whole run.
+    pub fn decay(&self) {
+        let mut inner = self.inner.lock().expect("shard map poisoned");
+        inner.weights.retain(|_, w| {
+            *w /= 2;
+            *w > 0
+        });
+    }
+}
+
+/// Which connection the next request arrives on — the arrival-pattern
+/// half of the serving-bench load shapes (`loadgen` owns *who* sends;
+/// the bench owns *when*).
+pub struct ConnStream {
+    kind: StreamKind,
+}
+
+enum StreamKind {
+    RoundRobin {
+        n: u64,
+        next: u64,
+    },
+    Skewed {
+        zipf: Zipf,
+        rng: StdRng,
+    },
+    Churn {
+        zipf: Zipf,
+        rng: StdRng,
+        active: Vec<u64>,
+        next_id: u64,
+        epoch_len: usize,
+        until_churn: usize,
+    },
+}
+
+impl ConnStream {
+    /// Uniform round-robin over `n` connections (the PR-5 steady
+    /// pattern).
+    #[must_use]
+    pub fn round_robin(n: u64) -> Self {
+        assert!(n > 0);
+        Self {
+            kind: StreamKind::RoundRobin { n, next: 0 },
+        }
+    }
+
+    /// Zipf(α)-skewed arrivals over connections `0..n` (α ≈ 0.99 is
+    /// the classic web/KVS skew): connection 0 sends the bulk of the
+    /// traffic, so whichever shard it hashes to becomes hot under
+    /// static pinning.
+    #[must_use]
+    pub fn skewed(seed: u64, n: u64, alpha: f64) -> Self {
+        assert!(n > 0);
+        Self {
+            kind: StreamKind::Skewed {
+                zipf: Zipf::new(n as usize, alpha),
+                rng: StdRng::seed_from_u64(seed),
+            },
+        }
+    }
+
+    /// Connection churn: Zipf-skewed arrivals over an active set of
+    /// `n` connections whose hot half is retired and replaced with
+    /// fresh (monotonically increasing) connection ids every
+    /// `epoch_len` arrivals — the hot connection's *identity* rotates,
+    /// so a static pinning that was balanced last epoch strands a
+    /// different shard this epoch.
+    #[must_use]
+    pub fn churn(seed: u64, n: u64, epoch_len: usize) -> Self {
+        assert!(n > 0 && epoch_len > 0);
+        Self {
+            kind: StreamKind::Churn {
+                zipf: Zipf::new(n as usize, 0.99),
+                rng: StdRng::seed_from_u64(seed),
+                active: (0..n).collect(),
+                next_id: n,
+                epoch_len,
+                until_churn: epoch_len,
+            },
+        }
+    }
+
+    /// The connection the next request arrives on. (Deliberately
+    /// `next`-named like an iterator, but infinite and infallible —
+    /// a stream, not an `Iterator`.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        match &mut self.kind {
+            StreamKind::RoundRobin { n, next } => {
+                let c = *next;
+                *next = (*next + 1) % *n;
+                c
+            }
+            StreamKind::Skewed { zipf, rng } => zipf.sample(rng) as u64,
+            StreamKind::Churn {
+                zipf,
+                rng,
+                active,
+                next_id,
+                epoch_len,
+                until_churn,
+            } => {
+                if *until_churn == 0 {
+                    // Retire the hot half, admit fresh ids at the hot
+                    // end of the Zipf ranking.
+                    let retire = (active.len() / 2).max(1);
+                    let kept: Vec<u64> = active.iter().skip(retire).copied().collect();
+                    let fresh: Vec<u64> = (0..retire as u64).map(|i| *next_id + i).collect();
+                    *next_id += retire as u64;
+                    active.clear();
+                    active.extend(fresh);
+                    active.extend(kept);
+                    *until_churn = *epoch_len;
+                }
+                *until_churn -= 1;
+                active[zipf.sample(rng).min(active.len() - 1)]
+            }
+        }
+    }
+}
+
 /// Pushes `n` encrypted requests onto a shard set: `req_of(i)` names
 /// request `i`'s `(connection, enqueue timestamp)` — the request lands
 /// on `fds[shard_for(conn, fds.len())]` and carries the explicit
@@ -318,6 +559,96 @@ mod tests {
                 "64 connections cover {n_shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn shard_map_defaults_to_the_static_hash() {
+        let map = ShardMap::new(4);
+        for conn in 0..64u64 {
+            assert_eq!(map.shard_of(conn), shard_for(conn, 4));
+        }
+    }
+
+    #[test]
+    fn repin_overrides_future_routing_only() {
+        let map = ShardMap::new(4);
+        let conn = (0..64u64).find(|&c| shard_for(c, 4) == 0).unwrap();
+        let target = 3;
+        map.repin(conn, target);
+        assert_eq!(map.shard_of(conn), target);
+        assert_eq!(map.route(conn), target);
+        // Other connections keep their static placement.
+        let other = (0..64u64).find(|&c| shard_for(c, 4) == 1).unwrap();
+        assert_eq!(map.shard_of(other), 1);
+    }
+
+    #[test]
+    fn weights_track_arrivals_and_decay() {
+        let map = ShardMap::new(2);
+        let hot = (0..64u64).find(|&c| shard_for(c, 2) == 0).unwrap();
+        let cold = (0..64u64)
+            .find(|&c| c != hot && shard_for(c, 2) == 0)
+            .unwrap();
+        for _ in 0..8 {
+            map.route(hot);
+        }
+        map.route(cold);
+        assert_eq!(map.shard_weights()[0], 9);
+        assert_eq!(map.hottest_conns(0, 1), vec![(hot, 8)]);
+        assert_eq!(map.hottest_conns(0, 4), vec![(hot, 8), (cold, 1)]);
+        map.decay();
+        assert_eq!(map.shard_weights()[0], 4, "8/2 + 1/2 (dropped)");
+        // Re-pinning moves the weight to the new shard.
+        map.repin(hot, 1);
+        assert_eq!(map.shard_weights(), vec![0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repin target out of range")]
+    fn repin_out_of_range_fails_fast() {
+        ShardMap::new(2).repin(0, 2);
+    }
+
+    #[test]
+    fn round_robin_stream_cycles() {
+        let mut s = ConnStream::round_robin(3);
+        assert_eq!(
+            (0..7).map(|_| s.next()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn skewed_stream_concentrates_on_one_connection() {
+        let mut s = ConnStream::skewed(11, 64, 0.99);
+        let mut counts = vec![0u32; 64];
+        for _ in 0..4_000 {
+            counts[s.next() as usize] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap();
+        assert!(counts[0] == hottest, "conn 0 is the Zipf head");
+        assert!(
+            hottest as f64 > 4_000.0 * 0.10,
+            "head conn must dominate: {hottest}"
+        );
+    }
+
+    #[test]
+    fn churn_stream_rotates_the_hot_connection() {
+        let epoch = 256;
+        let mut s = ConnStream::churn(5, 16, epoch);
+        let hot_of = |s: &mut ConnStream| {
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..epoch {
+                *counts.entry(s.next()).or_insert(0u32) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, n)| n).unwrap().0
+        };
+        let h1 = hot_of(&mut s);
+        let h2 = hot_of(&mut s);
+        let h3 = hot_of(&mut s);
+        assert!(h1 < 16, "first epoch draws from the initial set");
+        assert!(h2 >= 16 && h3 > h2, "fresh ids take over each epoch");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Sharded-serving benchmark: shards x sub-batch policy x load shape,
-//! on a cache-resident KVS GET workload so the serving pipeline (reap,
+//! Sharded-serving benchmark: shards x sub-batch policy x load shape
+//! x placement (static pinning vs the balance layer), on a
+//! cache-resident KVS GET workload so the serving pipeline (reap,
 //! crypto, send), not memory, dominates. Emits `BENCH_serving.json`.
 //!
 //! Two figures of merit per cell:
@@ -14,10 +15,12 @@
 //!
 //! The sweep crosses shards ∈ {1, 2, 4} (single-socket merge path vs
 //! per-shard pipelines), sub-batch policy ∈ {fixed-1, fixed-8,
-//! fixed-32, adaptive} and load shape ∈ {steady, bursty, trickle}:
+//! fixed-32, adaptive} and load shape ∈ {steady, bursty, trickle,
+//! skewed, churn}:
 //!
-//! - **steady** keeps a standing backlog (throughput regime: deep
-//!   batches amortize, adaptive should ride the ceiling).
+//! - **steady** keeps a standing backlog across round-robin
+//!   connections (throughput regime: deep batches amortize, adaptive
+//!   should ride the ceiling).
 //! - **bursty** alternates 64-request bursts with quiet gaps
 //!   (adaptive must grow into the burst and decay after it).
 //! - **trickle** spaces arrivals a fixed gap apart; a fixed-depth
@@ -25,12 +28,26 @@
 //!   fast-forwards to the last arrival of each group), while adaptive
 //!   serves each arrival as it lands — the latency half of the
 //!   batching trade-off.
+//! - **skewed** draws connections from a Zipf(α=0.99) — most traffic
+//!   lands on a handful of connections, so static pinning floods one
+//!   shard while its siblings poll empty queues.
+//! - **churn** is the same Zipf over a rotating connection population:
+//!   the hot set retires every epoch and fresh connections take over,
+//!   so yesterday's balance is today's imbalance.
+//!
+//! The skewed and churn shapes additionally run **balanced** cells at
+//! 2 and 4 shards: [`ServerIo::sharded_balanced`] with the default
+//! [`BalanceConfig`] (hot-connection re-pinning through a
+//! [`ShardMap`] plus sub-batch work stealing). Every cell carries the
+//! per-shard gauges (backlog, AIMD depth, steals, migrations,
+//! per-shard sojourn p99) so the imbalance — and the balance layer
+//! eating it — is visible in the JSON.
 
 use std::sync::Arc;
 
-use eleos_apps::io::ServerIoConfig;
+use eleos_apps::io::{BalanceConfig, ServerIo, ServerIoConfig};
 use eleos_apps::kvs::Kvs;
-use eleos_apps::loadgen::{shard_for, KvsLoad};
+use eleos_apps::loadgen::{shard_for, ConnStream, KvsLoad, ShardMap};
 use eleos_enclave::thread::ThreadCtx;
 
 use crate::harness::{header, kops, secs, Mode, Rig, Scale};
@@ -41,7 +58,8 @@ const N_ITEMS: u64 = 512;
 /// the only thing moving.
 const WORKERS: usize = 4;
 /// Client connections the load generator multiplexes (each pinned to
-/// one shard by [`shard_for`]).
+/// one shard by [`shard_for`], or routed by the balanced cells'
+/// [`ShardMap`]).
 const N_CONNS: u64 = 64;
 /// Ceiling of the adaptive controller and the deepest fixed policy.
 const BATCH_MAX: usize = 32;
@@ -53,12 +71,20 @@ const BURST: usize = 64;
 const BURST_QUIET: u64 = 100_000;
 /// Cycles between trickle arrivals.
 const TRICKLE_GAP: u64 = 20_000;
+/// Zipf exponent for the skewed and churn connection streams.
+const ZIPF_ALPHA: f64 = 0.99;
+/// Arrivals per churn epoch (the hot half of the connection
+/// population retires this often). Four feed chunks: long enough
+/// that adapting to the current hot set pays off, short enough that
+/// a run crosses several rotations.
+const CHURN_EPOCH: usize = 4 * CHUNK;
 
 /// One measured cell of the sweep.
 struct Cell {
     shards: usize,
     policy: String,
     load: &'static str,
+    balance: &'static str,
     ops: usize,
     busy_cycles_per_op: f64,
     throughput_ops_s: f64,
@@ -67,6 +93,13 @@ struct Cell {
     sojourn_p99: u64,
     sojourn_count: u64,
     rpc_batches: u64,
+    /// Per-shard gauges, `shards` entries each.
+    shard_backlog: Vec<u64>,
+    shard_depth: Vec<u64>,
+    steals_taken: Vec<u64>,
+    steals_given: Vec<u64>,
+    migrations: Vec<u64>,
+    shard_sojourn_p99: Vec<u64>,
 }
 
 /// The sub-batch sizing policies under test.
@@ -80,13 +113,23 @@ fn policies() -> Vec<(String, ServerIoConfig)> {
     out
 }
 
-/// Runs one (shards, policy, load) cell.
+/// The connection stream a load shape draws arrivals from.
+fn conn_stream(load: &str) -> ConnStream {
+    match load {
+        "skewed" => ConnStream::skewed(41, N_CONNS, ZIPF_ALPHA),
+        "churn" => ConnStream::churn(43, N_CONNS, CHURN_EPOCH),
+        _ => ConnStream::round_robin(N_CONNS),
+    }
+}
+
+/// Runs one (shards, policy, load, placement) cell.
 fn cell(
     scale: Scale,
     shards: usize,
     policy: &str,
     cfg: ServerIoConfig,
     load: &'static str,
+    balanced: bool,
     quick: bool,
 ) -> Cell {
     let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, WORKERS);
@@ -98,24 +141,45 @@ fn cell(
         kvs.set(&mut ctx, &gen.key(i), &gen.value(i));
     }
     let fds = rig.socket_set(shards);
-    let io = rig.server_io_sharded(&ctx, &fds, cfg);
+    let map = balanced.then(|| ShardMap::new(shards));
+    let io = match &map {
+        Some(m) => rig.server_io_balanced(
+            &ctx,
+            &fds,
+            cfg.clone()
+                .shards(shards)
+                .balanced(BalanceConfig::default()),
+            m,
+        ),
+        None => rig.server_io_sharded(&ctx, &fds, cfg.clone().shards(shards)),
+    };
 
     // The load generator lives on another core; arrivals are stamped
     // on the serving core's timebase so sojourn is one clock.
     let ut = ThreadCtx::untrusted(&rig.machine, 2);
     let machine = Arc::clone(&rig.machine);
     let wire = Arc::clone(&rig.wire);
-    let mut conn = 0u64;
+    let mut stream = conn_stream(load);
     let mut push = |stamp: u64| {
         let (_, plain) = gen.get_plain();
-        let fd = fds[shard_for(conn % N_CONNS, fds.len())];
-        conn += 1;
+        let conn = stream.next();
+        let s = match &map {
+            Some(m) => m.route(conn),
+            None => shard_for(conn, fds.len()),
+        };
         machine
             .host
-            .push_request_at(&ut, fd, &wire.encrypt(&plain), stamp);
+            .push_request_at(&ut, fds[s], &wire.encrypt(&plain), stamp);
     };
     let ops = match load {
         "steady" => scale.ops(if quick { 512 } else { 2048 }) / CHUNK * CHUNK,
+        // The skewed and churn shapes need several feed chunks per
+        // run: re-pinning moves only *future* arrivals, so its win
+        // shows up one chunk after the decision, and a one-chunk run
+        // would measure pure overhead.
+        "skewed" | "churn" => {
+            (scale.ops(if quick { 2048 } else { 8192 }) / CHUNK * CHUNK).max(2 * CHURN_EPOCH)
+        }
         "bursty" => scale.ops(if quick { 256 } else { 1024 }) / BURST * BURST,
         "trickle" => scale.ops(if quick { 128 } else { 512 }) / BATCH_MAX * BATCH_MAX,
         other => panic!("unknown load shape {other}"),
@@ -138,7 +202,10 @@ fn cell(
             }
         };
         match load {
-            "steady" => {
+            // Throughput regime: a standing backlog per feed chunk.
+            // The skewed and churn shapes differ only in which
+            // connections (and therefore shards) the chunk lands on.
+            "steady" | "skewed" | "churn" => {
                 let mut served = 0usize;
                 while served < n {
                     let c = (n - served).min(CHUNK);
@@ -211,6 +278,7 @@ fn cell(
         shards,
         policy: policy.to_owned(),
         load,
+        balance: if balanced { "balanced" } else { "static" },
         ops,
         busy_cycles_per_op: busy as f64 / ops as f64,
         throughput_ops_s: ops as f64 / secs(busy.max(1)),
@@ -219,17 +287,29 @@ fn cell(
         sojourn_p99: d.sojourn.p99(),
         sojourn_count: d.sojourn.count(),
         rpc_batches: d.rpc_batches,
+        shard_backlog: d.shard.backlog[..shards].to_vec(),
+        shard_depth: d.shard.depth[..shards].to_vec(),
+        steals_taken: d.shard.steals_taken[..shards].to_vec(),
+        steals_given: d.shard.steals_given[..shards].to_vec(),
+        migrations: d.shard.migrations[..shards].to_vec(),
+        shard_sojourn_p99: d.shard.sojourn[..shards].iter().map(|h| h.p99()).collect(),
     }
 }
 
 /// The group size a fixed-depth server batches arrivals into (its
 /// fixed depth), or 1 for the adaptive policy.
-fn cfg_group(io: &eleos_apps::io::ServerIo) -> usize {
+fn cfg_group(io: &ServerIo) -> usize {
     if io.cfg.is_adaptive() {
         1
     } else {
         io.cfg.batch
     }
+}
+
+/// Renders a `[a, b, c]` JSON array of numbers.
+fn json_array(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
 }
 
 /// Runs the sweep, prints a table per load shape, and writes
@@ -238,24 +318,38 @@ fn cfg_group(io: &eleos_apps::io::ServerIo) -> usize {
 pub fn run(scale: Scale, quick: bool) {
     header(
         "serving_bench",
-        "shards x sub-batch policy x load shape, cache-resident KVS GETs",
+        "shards x sub-batch policy x load shape x placement, cache-resident KVS GETs",
         "sharding drops the merge/reorder tax; adaptive depth rides the throughput \
-         ceiling on steady load and the latency floor on trickle load",
+         ceiling on steady load and the latency floor on trickle load; re-pinning \
+         and stealing keep every shard productive under skewed and churning load",
     );
     let mut cells: Vec<Cell> = Vec::new();
-    for load in ["steady", "bursty", "trickle"] {
+    for load in ["steady", "bursty", "trickle", "skewed", "churn"] {
         println!(
-            "   {:<8} {:<8} {:>6} {:>12} {:>10} {:>10} {:>10} {:>10}",
-            "load", "policy", "shards", "busy c/op", "ops/s", "p50", "p95", "p99"
+            "   {:<8} {:<8} {:>6} {:>9} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "load", "policy", "shards", "balance", "busy c/op", "ops/s", "p50", "p95", "p99"
         );
+        // The balance layer only matters (and only engages its steal
+        // and re-pin machinery) on multi-shard skew, so the balanced
+        // leg runs on the two shapes built to produce it.
+        let balanced_shards: &[usize] = if matches!(load, "skewed" | "churn") {
+            &[2, 4]
+        } else {
+            &[]
+        };
         for (policy, cfg) in policies() {
-            for shards in [1usize, 2, 4] {
-                let c = cell(scale, shards, &policy, cfg.clone(), load, quick);
+            for (shards, balanced) in [1usize, 2, 4]
+                .iter()
+                .map(|&s| (s, false))
+                .chain(balanced_shards.iter().map(|&s| (s, true)))
+            {
+                let c = cell(scale, shards, &policy, cfg.clone(), load, balanced, quick);
                 println!(
-                    "   {:<8} {:<8} {:>6} {:>12.0} {:>10} {:>10} {:>10} {:>10}",
+                    "   {:<8} {:<8} {:>6} {:>9} {:>12.0} {:>10} {:>10} {:>10} {:>10}",
                     c.load,
                     c.policy,
                     c.shards,
+                    c.balance,
                     c.busy_cycles_per_op,
                     kops(c.throughput_ops_s),
                     c.sojourn_p50,
@@ -275,13 +369,18 @@ pub fn run(scale: Scale, quick: bool) {
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"load\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \"ops\": {}, \
+            "    {{ \"load\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \
+             \"balance\": \"{}\", \"ops\": {}, \
              \"busy_cycles_per_op\": {:.1}, \"throughput_ops_s\": {:.1}, \
              \"sojourn_p50\": {}, \"sojourn_p95\": {}, \"sojourn_p99\": {}, \
-             \"sojourn_count\": {}, \"rpc_batches\": {} }}{}\n",
+             \"sojourn_count\": {}, \"rpc_batches\": {}, \
+             \"shard_backlog\": {}, \"shard_depth\": {}, \
+             \"steals_taken\": {}, \"steals_given\": {}, \
+             \"migrations\": {}, \"shard_sojourn_p99\": {} }}{}\n",
             c.load,
             c.policy,
             c.shards,
+            c.balance,
             c.ops,
             c.busy_cycles_per_op,
             c.throughput_ops_s,
@@ -290,6 +389,12 @@ pub fn run(scale: Scale, quick: bool) {
             c.sojourn_p99,
             c.sojourn_count,
             c.rpc_batches,
+            json_array(&c.shard_backlog),
+            json_array(&c.shard_depth),
+            json_array(&c.steals_taken),
+            json_array(&c.steals_given),
+            json_array(&c.migrations),
+            json_array(&c.shard_sojourn_p99),
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use eleos_apps::io::{IoPath, ServerIo, ServerIoConfig};
+use eleos_apps::loadgen::ShardMap;
 use eleos_apps::param_server::{ParamServer, TableKind};
 use eleos_apps::space::DataSpace;
 use eleos_apps::wire::Wire;
@@ -307,6 +308,27 @@ impl Rig {
     #[must_use]
     pub fn server_io_sharded(&self, ctx: &ThreadCtx, fds: &[Fd], cfg: ServerIoConfig) -> ServerIo {
         ServerIo::sharded(ctx, fds, cfg, self.io_path(), Arc::clone(&self.wire))
+    }
+
+    /// A balance-layered sharded `ServerIo` (see
+    /// [`ServerIo::sharded_balanced`]); the load generator must route
+    /// arrivals through the same `map`.
+    #[must_use]
+    pub fn server_io_balanced(
+        &self,
+        ctx: &ThreadCtx,
+        fds: &[Fd],
+        cfg: ServerIoConfig,
+        map: &Arc<ShardMap>,
+    ) -> ServerIo {
+        ServerIo::sharded_balanced(
+            ctx,
+            fds,
+            cfg,
+            self.io_path(),
+            Arc::clone(&self.wire),
+            Arc::clone(map),
+        )
     }
 }
 

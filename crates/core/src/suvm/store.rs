@@ -152,8 +152,14 @@ impl StripedStore {
         );
         let mut bases = Vec::with_capacity(stripes);
         let mut allocs = Vec::with_capacity(stripes);
-        for _ in 0..stripes {
-            bases.push(machine.alloc_untrusted(stripe_bytes as usize));
+        let nodes = machine.cfg.numa_nodes;
+        for s in 0..stripes {
+            let base = machine.alloc_untrusted(stripe_bytes as usize);
+            // Stripes interleave round-robin across NUMA nodes, so a
+            // shard pinned near node `s % nodes` faults against local
+            // DRAM (a no-op bind on single-node machines).
+            machine.bind_numa(base, stripe_bytes as usize, s % nodes);
+            bases.push(base);
             allocs.push(Mutex::new(BuddyAllocator::new(stripe_bytes, 16)));
         }
         Self {

@@ -230,9 +230,10 @@ impl ThreadCtx {
                 }
             }
         }
-        cycles += self
-            .machine
-            .charge_mem(self.cache_ctx, &mut self.seq_line, addr, len, kind);
+        let node = self.machine.core_node(self.core.id);
+        cycles +=
+            self.machine
+                .charge_mem(self.cache_ctx, &mut self.seq_line, addr, len, kind, node);
         self.core.clock.advance(cycles);
     }
 
@@ -374,12 +375,14 @@ impl ThreadCtx {
                 Some(frame) => {
                     let paddr = EpcPool::paddr(frame) + in_page as u64;
                     if charged {
+                        let node = self.machine.core_node(self.core.id);
                         let cycles = self.machine.charge_mem(
                             self.cache_ctx,
                             &mut self.seq_line,
                             paddr,
                             n,
                             kind,
+                            node,
                         );
                         self.core.clock.advance(cycles);
                     } else {

@@ -772,6 +772,29 @@ pub mod funcs {
     pub const SEND_MMSG_UNSEQ: u64 = 14;
 }
 
+/// Runs `f` with the worker's cache context switched to the LLC shard
+/// class registered for `fd` (if any): a sharded server registers each
+/// shard's socket via `SgxMachine::set_shard_class`, so its kernel
+/// traffic fills that shard's carved way slice instead of the common
+/// RPC ways — two shards' socket streams stop evicting each other.
+fn with_shard_class<R>(
+    m: &SgxMachine,
+    ctx: &mut ThreadCtx,
+    fd: eleos_enclave::host::Fd,
+    f: impl FnOnce(&mut ThreadCtx) -> R,
+) -> R {
+    match m.shard_class_of(fd.0) {
+        Some(class) => {
+            let prev = ctx.cache_ctx;
+            ctx.cache_ctx = eleos_sim::llc::CacheCtx::Shard(class);
+            let r = f(ctx);
+            ctx.cache_ctx = prev;
+            r
+        }
+        None => f(ctx),
+    }
+}
+
 /// Registers the standard socket syscalls ([`funcs`]) on a builder.
 #[must_use]
 pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
@@ -811,7 +834,9 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
         UntrustedFn::new(move |ctx, args| {
             let fd = eleos_enclave::host::Fd(args[0] as u32);
             let (stripe, max) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
-            m4.host.recv_mmsg(ctx, fd, args[1], stripe, max, args[3]) as u64
+            with_shard_class(&m4, ctx, fd, |ctx| {
+                m4.host.recv_mmsg(ctx, fd, args[1], stripe, max, args[3]) as u64
+            })
         }),
     )
     .register(
@@ -819,9 +844,11 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
         UntrustedFn::new(move |ctx, args| {
             let fd = eleos_enclave::host::Fd(args[0] as u32);
             let (stripe, n) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
-            m5.host
-                .send_mmsg(ctx, fd, args[1], stripe, n, args[3], SendMode::Sequenced)
-                as u64
+            with_shard_class(&m5, ctx, fd, |ctx| {
+                m5.host
+                    .send_mmsg(ctx, fd, args[1], stripe, n, args[3], SendMode::Sequenced)
+                    as u64
+            })
         }),
     )
     .register(
@@ -829,9 +856,11 @@ pub fn with_syscalls(b: RpcBuilder, machine: &Arc<SgxMachine>) -> RpcBuilder {
         UntrustedFn::new(move |ctx, args| {
             let fd = eleos_enclave::host::Fd(args[0] as u32);
             let (stripe, n) = ((args[2] >> 32) as usize, (args[2] & 0xffff_ffff) as usize);
-            m6.host
-                .send_mmsg(ctx, fd, args[1], stripe, n, args[3], SendMode::Unsequenced)
-                as u64
+            with_shard_class(&m6, ctx, fd, |ctx| {
+                m6.host
+                    .send_mmsg(ctx, fd, args[1], stripe, n, args[3], SendMode::Unsequenced)
+                    as u64
+            })
         }),
     )
 }

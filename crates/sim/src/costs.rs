@@ -121,6 +121,12 @@ pub struct CostModel {
     /// order preserved by construction) use the unsequenced mode and
     /// skip it.
     pub tx_reorder: u64,
+    /// Additional per-line penalty when an LLC miss is served from a
+    /// *remote* NUMA node's DRAM (QPI/UPI hop). Charged only when
+    /// `MachineConfig::numa_nodes > 1` and the accessing core and the
+    /// target range live on different nodes; shard-local buffer and
+    /// stripe placement exists to avoid it.
+    pub numa_remote: u64,
 }
 
 impl Default for CostModel {
@@ -161,6 +167,7 @@ impl Default for CostModel {
 
             reap_merge: 120,
             tx_reorder: 80,
+            numa_remote: 60,
         }
     }
 }

@@ -156,6 +156,95 @@ impl core::fmt::Debug for HistSnapshot {
     }
 }
 
+/// Maximum number of serving shards tracked by the per-shard gauges
+/// (mirrors `llc::MAX_SHARD_CLASSES`).
+pub const MAX_SHARDS: usize = 8;
+
+/// Live per-shard serving telemetry. Slots beyond the active shard
+/// count stay zero. `backlog` and `depth` are *gauges* (last observed
+/// value, written with a relaxed store); the rest are counters.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Last observed kernel-ring backlog behind each shard's socket.
+    pub backlog: [AtomicU64; MAX_SHARDS],
+    /// Each shard's current AIMD reap depth.
+    pub depth: [AtomicU64; MAX_SHARDS],
+    /// Sub-batch runs this shard stole from a loaded sibling.
+    pub steals_taken: [AtomicU64; MAX_SHARDS],
+    /// Sub-batch runs stolen *from* this shard by an idle sibling.
+    pub steals_given: [AtomicU64; MAX_SHARDS],
+    /// Connections the rebalancer migrated *off* this shard.
+    pub migrations: [AtomicU64; MAX_SHARDS],
+    /// Per-shard sojourn histograms (stolen messages are credited to
+    /// the shard whose socket they waited on).
+    pub sojourn: [Hist; MAX_SHARDS],
+}
+
+impl ShardStats {
+    /// Copies all per-shard slots.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            backlog: std::array::from_fn(|i| self.backlog[i].load(Ordering::Relaxed)),
+            depth: std::array::from_fn(|i| self.depth[i].load(Ordering::Relaxed)),
+            steals_taken: std::array::from_fn(|i| self.steals_taken[i].load(Ordering::Relaxed)),
+            steals_given: std::array::from_fn(|i| self.steals_given[i].load(Ordering::Relaxed)),
+            migrations: std::array::from_fn(|i| self.migrations[i].load(Ordering::Relaxed)),
+            sojourn: std::array::from_fn(|i| self.sojourn[i].snapshot()),
+        }
+    }
+
+    /// Resets every slot to zero.
+    pub fn reset(&self) {
+        for i in 0..MAX_SHARDS {
+            self.backlog[i].store(0, Ordering::Relaxed);
+            self.depth[i].store(0, Ordering::Relaxed);
+            self.steals_taken[i].store(0, Ordering::Relaxed);
+            self.steals_given[i].store(0, Ordering::Relaxed);
+            self.migrations[i].store(0, Ordering::Relaxed);
+            self.sojourn[i].reset();
+        }
+    }
+}
+
+/// A point-in-time copy of [`ShardStats`]. Subtraction treats the
+/// counter slots as deltas; the gauges (`backlog`, `depth`) come out as
+/// final-minus-initial, which after a `reset_counters` baseline is
+/// simply the last observed value.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Last observed kernel-ring backlog per shard (gauge).
+    pub backlog: [u64; MAX_SHARDS],
+    /// Current AIMD reap depth per shard (gauge).
+    pub depth: [u64; MAX_SHARDS],
+    /// Steals taken per shard.
+    pub steals_taken: [u64; MAX_SHARDS],
+    /// Steals given per shard.
+    pub steals_given: [u64; MAX_SHARDS],
+    /// Migrations off each shard.
+    pub migrations: [u64; MAX_SHARDS],
+    /// Per-shard sojourn histograms.
+    pub sojourn: [HistSnapshot; MAX_SHARDS],
+}
+
+impl core::ops::Sub for ShardStatsSnapshot {
+    type Output = ShardStatsSnapshot;
+    fn sub(self, rhs: ShardStatsSnapshot) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            backlog: std::array::from_fn(|i| self.backlog[i].wrapping_sub(rhs.backlog[i])),
+            depth: std::array::from_fn(|i| self.depth[i].wrapping_sub(rhs.depth[i])),
+            steals_taken: std::array::from_fn(|i| {
+                self.steals_taken[i].wrapping_sub(rhs.steals_taken[i])
+            }),
+            steals_given: std::array::from_fn(|i| {
+                self.steals_given[i].wrapping_sub(rhs.steals_given[i])
+            }),
+            migrations: std::array::from_fn(|i| self.migrations[i].wrapping_sub(rhs.migrations[i])),
+            sojourn: std::array::from_fn(|i| self.sojourn[i] - rhs.sojourn[i]),
+        }
+    }
+}
+
 macro_rules! stats {
     ($(#[$doc:meta] $name:ident),+ $(,)?) => {
         /// Live, atomically updated counters.
@@ -167,6 +256,9 @@ macro_rules! stats {
             /// reaps from the enqueue timestamps in the wire
             /// descriptors.
             pub sojourn: Hist,
+            /// Per-shard serving gauges (backlog, AIMD depth, steals,
+            /// migrations, per-shard sojourn).
+            pub shard: ShardStats,
         }
 
         /// A point-in-time copy of [`Stats`].
@@ -175,6 +267,8 @@ macro_rules! stats {
             $(#[$doc] pub $name: u64,)+
             /// Per-op sojourn histogram (cycles).
             pub sojourn: HistSnapshot,
+            /// Per-shard serving gauges.
+            pub shard: ShardStatsSnapshot,
         }
 
         impl Stats {
@@ -184,6 +278,7 @@ macro_rules! stats {
                 StatsSnapshot {
                     $($name: self.$name.load(Ordering::Relaxed),)+
                     sojourn: self.sojourn.snapshot(),
+                    shard: self.shard.snapshot(),
                 }
             }
 
@@ -191,6 +286,7 @@ macro_rules! stats {
             pub fn reset(&self) {
                 $(self.$name.store(0, Ordering::Relaxed);)+
                 self.sojourn.reset();
+                self.shard.reset();
             }
         }
 
@@ -200,6 +296,7 @@ macro_rules! stats {
                 StatsSnapshot {
                     $($name: self.$name.wrapping_sub(rhs.$name),)+
                     sojourn: self.sojourn - rhs.sojourn,
+                    shard: self.shard - rhs.shard,
                 }
             }
         }
@@ -215,6 +312,8 @@ stats! {
     llc_misses_epc,
     /// Dirty-line write-backs out of the LLC.
     llc_writebacks,
+    /// LLC misses served from a remote NUMA node's DRAM (each paid the `numa_remote` hop; always zero on a single-node machine).
+    numa_remote_misses,
     /// TLB hits.
     tlb_hits,
     /// TLB misses (page walks).
@@ -306,6 +405,11 @@ impl Stats {
     pub fn peak(counter: &AtomicU64, v: u64) {
         counter.fetch_max(v, Ordering::Relaxed);
     }
+
+    /// Convenience relaxed gauge store (for the per-shard gauges).
+    pub fn set(counter: &AtomicU64, v: u64) {
+        counter.store(v, Ordering::Relaxed);
+    }
 }
 
 impl StatsSnapshot {
@@ -351,6 +455,8 @@ impl StatsSnapshot {
         put("evict_protected", self.suvm_evictions_protected);
         put("tlb_flushes", self.tlb_flushes);
         put("llc_miss", self.llc_misses);
+        put("steals", self.shard.steals_taken.iter().sum());
+        put("migrations", self.shard.migrations.iter().sum());
         if self.sojourn.count() > 0 {
             parts.push(format!(
                 "sojourn_p50={} sojourn_p95={} sojourn_p99={}",
@@ -478,6 +584,31 @@ mod tests {
             last = Some(v);
         }
         assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn shard_gauges_snapshot_and_delta() {
+        let s = Stats::default();
+        Stats::set(&s.shard.backlog[1], 7);
+        Stats::set(&s.shard.depth[1], 4);
+        Stats::bump(&s.shard.steals_taken[0]);
+        Stats::bump(&s.shard.steals_given[1]);
+        Stats::add(&s.shard.migrations[1], 2);
+        s.shard.sojourn[1].record(100);
+        let base = ShardStatsSnapshot::default();
+        let d = s.snapshot().shard - base;
+        assert_eq!(d.backlog[1], 7);
+        assert_eq!(d.depth[1], 4);
+        assert_eq!(d.steals_taken[0], 1);
+        assert_eq!(d.steals_given[1], 1);
+        assert_eq!(d.migrations[1], 2);
+        assert_eq!(d.sojourn[1].count(), 1);
+        assert_eq!(d.sojourn[0].count(), 0);
+        let text = s.snapshot().summary();
+        assert!(text.contains("steals=1"), "{text}");
+        assert!(text.contains("migrations=2"), "{text}");
+        s.reset();
+        assert_eq!(s.snapshot().shard, ShardStatsSnapshot::default());
     }
 
     #[test]

