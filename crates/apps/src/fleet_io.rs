@@ -1,0 +1,735 @@
+//! The replicated serving tier: a fleet of enclave replicas behind
+//! the shard router.
+//!
+//! PR 6 sharded serving *within* one enclave: one reap→decrypt→serve→
+//! seal→send pipeline per socket, connections pinned to shards. This
+//! module lifts the same structure one level: a [`FleetKvs`] owns a
+//! [`Fleet`] of N enclave replicas, and the
+//! [`ShardMap`] router gains a third hop — connection → shard →
+//! **owning replica**. Each replica runs the full pipeline over only
+//! its owned slice of the shared socket set
+//! ([`ServerIo::recv_batch_on`]), so per-connection FIFO order is a
+//! per-shard property exactly as before, just with shards partitioned
+//! across enclaves instead of merged into one.
+//!
+//! # Failover (kill at a fence)
+//!
+//! Replica death is modeled at sub-batch fences — the only points
+//! where the pipeline holds no half-served requests. [`FleetKvs::kill`]
+//! runs the fence protocol:
+//!
+//! 1. the victim flushes pending sends and (when SUVM-backed)
+//!    [`quiesces`](Suvm::quiesce) its secure memory — every reply it
+//!    ever reaped is on the wire, every dirty page sealed home;
+//! 2. it seals a portable [`Snapshot`] of its store under the
+//!    fleet-shared [`Sealer`] and stages it (preceded by its key
+//!    epoch) on the exit-less [`EnclaveChannel`] — ciphertext through
+//!    untrusted memory, no host round-trip;
+//! 3. the enclave dies: the driver reclaims its EPC frames and sealed
+//!    swap;
+//! 4. the heir receives and restores the snapshot **before** its next
+//!    reap, then the router reassigns the victim's shards to it.
+//!
+//! Nothing is lost because host-side socket queues outlive the
+//! enclave: requests the victim never reaped are still queued, and
+//! the heir reaps them — in arrival order — once it owns the shards.
+//! Replies stay byte-identical to an unkilled run because the restore
+//! merges the victim's items before the heir serves the victim's
+//! connections.
+//!
+//! # Rejoin
+//!
+//! [`FleetKvs::respawn`] brings a dead slot back as a **fresh**
+//! enclave (new sealing identity — which is why snapshots are sealed
+//! under the shared fleet key, not per-enclave identities). The
+//! current owner of the slot's original shards donates a snapshot
+//! over the channel; the cold replica restores it, is marked serving,
+//! and takes its original (round-robin) shard slice back at the
+//! fence. Donating from the owner — not an arbitrary survivor — is
+//! what makes arbitrary kill/respawn schedules safe: the owner's
+//! store is the one that has been serving those connections, so it
+//! supersets everything the rejoining replica must know.
+//!
+//! # Versioned merges
+//!
+//! Snapshots are whole-store images, so after a rejoin a donor still
+//! carries copies of keys it no longer serves; if that donor is later
+//! killed, its snapshot holds *stale* values for those keys. Every
+//! restore therefore merges last-writer-wins on a per-item write stamp
+//! ([`Kvs::set_write_version`]): stores advance to stamp `epoch + 1`
+//! after every fence, a fence-`epoch` snapshot carries stamps at most
+//! `epoch`, and a re-imported stale copy can never clobber the value a
+//! fresher interval wrote (the kill A → respawn A → kill B schedule
+//! exercises exactly this).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use eleos_core::{Snapshot, Suvm, SuvmConfig};
+use eleos_crypto::Sealer;
+use eleos_enclave::fleet::{Fleet, ReplicaState};
+use eleos_enclave::host::Fd;
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+use eleos_rpc::EnclaveChannel;
+use eleos_sim::stats::Stats;
+
+use crate::io::{IoPath, ServerIo, ServerIoConfig};
+use crate::kvs::Kvs;
+use crate::loadgen::ShardMap;
+use crate::space::DataSpace;
+use crate::wire::Wire;
+
+/// Channel message kind: a session-key epoch announcement (8 LE
+/// bytes), sent ahead of the snapshot it covers.
+pub const MSG_EPOCH: u8 = 1;
+/// Channel message kind: a serialized sealed [`Snapshot`].
+pub const MSG_SNAPSHOT: u8 = 2;
+
+/// Fleet-level tunables.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Number of replica slots.
+    pub replicas: usize,
+    /// Linear EPC bytes per replica enclave.
+    pub linear_bytes: usize,
+    /// Cross-enclave channel ring capacity (must hold the largest
+    /// snapshot plus its epoch message).
+    pub channel_cap: usize,
+    /// Per-replica KVS value-pool limit.
+    pub mem_limit: u64,
+    /// Per-replica KVS hash buckets.
+    pub buckets: u64,
+    /// When set, each replica's kv data lives in its own SUVM
+    /// instance (metadata stays clear, §5.1) and the replicas contend
+    /// on the global EPC allocator; when `None`, kv data lives in
+    /// enclave-linear memory.
+    pub suvm: Option<SuvmConfig>,
+    /// Serving cores: replica `r` runs on `cores[r % cores.len()]`.
+    /// The default (`[0]`) time-multiplexes every replica over one
+    /// serving core — deterministic, and directly comparable to the
+    /// single-enclave pipeline. A real fleet gives each replica its
+    /// own core; pair that with [`FleetKvs::sync_clocks`] barriers so
+    /// per-op timestamps stay on one timebase.
+    pub cores: Vec<usize>,
+}
+
+impl FleetConfig {
+    /// A small fleet sized for tests and benches: enclave-linear kv
+    /// data, 1 MiB enclaves, a 4 MiB channel, every replica
+    /// multiplexed on core 0.
+    #[must_use]
+    pub fn small(replicas: usize) -> Self {
+        Self {
+            replicas,
+            linear_bytes: 1 << 20,
+            channel_cap: 4 << 20,
+            mem_limit: 8 << 20,
+            buckets: 1024,
+            suvm: None,
+            cores: vec![0],
+        }
+    }
+
+    /// Pins replica serving loops to `cores` (round-robin when fewer
+    /// cores than replicas).
+    ///
+    /// # Panics
+    /// Panics when `cores` is empty.
+    #[must_use]
+    pub fn on_cores(mut self, cores: &[usize]) -> Self {
+        assert!(!cores.is_empty(), "a fleet needs at least one serving core");
+        self.cores = cores.to_vec();
+        self
+    }
+}
+
+/// What one failover cost.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverReport {
+    /// The surviving replica that inherited the victim's shards.
+    pub heir: usize,
+    /// Shards reassigned at the fence.
+    pub shards_moved: usize,
+    /// Serialized snapshot size carried over the channel.
+    pub snapshot_bytes: usize,
+    /// Serving-core cycles from fence entry to the heir owning the
+    /// shards with the restore complete.
+    pub cycles: u64,
+}
+
+/// What one rejoin cost.
+#[derive(Debug, Clone, Copy)]
+pub struct RejoinReport {
+    /// The serving replica that donated its state.
+    pub donor: usize,
+    /// Shards the rejoined replica took back.
+    pub shards_taken: usize,
+    /// Serialized snapshot size carried over the channel.
+    pub snapshot_bytes: usize,
+    /// Serving-core cycles from fence entry to the replica serving.
+    pub cycles: u64,
+}
+
+/// One live replica's serving state: its enclave-entered thread, its
+/// pipelines over the shared socket set, and its store.
+struct Replica {
+    ctx: ThreadCtx,
+    io: ServerIo,
+    kvs: Kvs,
+    suvm: Option<Arc<Suvm>>,
+}
+
+/// A KVS served by a fleet of enclave replicas (see the module docs).
+pub struct FleetKvs {
+    machine: Arc<SgxMachine>,
+    fleet: Fleet,
+    map: Arc<ShardMap>,
+    chan: Arc<EnclaveChannel>,
+    sealer: Arc<dyn Sealer>,
+    cfg: FleetConfig,
+    io_cfg: ServerIoConfig,
+    path: IoPath,
+    wire: Arc<Wire>,
+    fds: Vec<Fd>,
+    /// One slot per replica index; `None` while Cold/Dead.
+    slots: Vec<Mutex<Option<Replica>>>,
+    /// Session-key epoch: bumped at every snapshot fence, announced
+    /// replica→replica over the channel ahead of the snapshot.
+    epoch: AtomicU64,
+    /// Highest epoch any receiver has accepted (monotonicity check).
+    seen_epoch: AtomicU64,
+}
+
+impl FleetKvs {
+    /// Builds the fleet: `cfg.replicas` enclaves, each with its own
+    /// [`ServerIo`] over the **same** socket set `fds` (reaping only
+    /// owned shards) and its own [`Kvs`] seeded identically by
+    /// `seed`. All replicas start serving; shard ownership starts
+    /// round-robin ([`ShardMap::with_replicas`]).
+    ///
+    /// # Panics
+    /// Panics when `cfg.replicas` is zero, exceeds the per-replica
+    /// stat gauges, or the config/socket-set combination violates the
+    /// [`ServerIo::sharded`] invariants.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        machine: &Arc<SgxMachine>,
+        fds: &[Fd],
+        io_cfg: ServerIoConfig,
+        path: IoPath,
+        wire: Arc<Wire>,
+        sealer: Arc<dyn Sealer>,
+        cfg: FleetConfig,
+        mut seed: impl FnMut(&mut ThreadCtx, &mut Kvs),
+    ) -> Self {
+        assert!(cfg.replicas > 0, "a fleet needs at least one replica");
+        let fleet = Fleet::new(machine, cfg.replicas, cfg.linear_bytes);
+        let map = ShardMap::with_replicas(fds.len(), cfg.replicas);
+        let chan = EnclaveChannel::new(machine, cfg.channel_cap);
+        let this = Self {
+            machine: Arc::clone(machine),
+            fleet,
+            map,
+            chan,
+            sealer,
+            cfg,
+            io_cfg,
+            path,
+            wire,
+            fds: fds.to_vec(),
+            slots: Vec::new(),
+            epoch: AtomicU64::new(0),
+            seen_epoch: AtomicU64::new(0),
+        };
+        let mut slots = Vec::with_capacity(this.cfg.replicas);
+        for r in 0..this.cfg.replicas {
+            let mut rep = this.wire_replica(r);
+            seed(&mut rep.ctx, &mut rep.kvs);
+            // Seed items carry stamp 0 (identical in every replica);
+            // serving-interval writes start at 1 so the versioned
+            // restore merge can tell them apart.
+            rep.kvs.set_write_version(1);
+            this.fleet.mark_serving(r);
+            slots.push(Mutex::new(Some(rep)));
+        }
+        Self { slots, ..this }
+    }
+
+    /// The core replica `r` serves on.
+    fn core_of(&self, r: usize) -> usize {
+        self.cfg.cores[r % self.cfg.cores.len()]
+    }
+
+    /// Wires replica `r`'s runtime onto its (Restoring) enclave: an
+    /// entered thread on the replica's serving core, a store, and
+    /// pipelines over the full socket set tagged with the replica's
+    /// gauge slot.
+    fn wire_replica(&self, r: usize) -> Replica {
+        let enclave = self.fleet.enclave(r);
+        let mut ctx = ThreadCtx::for_enclave(&self.machine, &enclave, self.core_of(r));
+        ctx.enter();
+        let (data, suvm) = match &self.cfg.suvm {
+            Some(suvm_cfg) => {
+                let suvm = Suvm::new(&ctx, suvm_cfg.clone());
+                (DataSpace::suvm(&suvm), Some(suvm))
+            }
+            None => (DataSpace::Enclave(Arc::clone(&enclave)), None),
+        };
+        let meta = DataSpace::Untrusted(Arc::clone(&self.machine));
+        let kvs = Kvs::new(meta, data, self.cfg.mem_limit, self.cfg.buckets);
+        kvs.init(&mut ctx);
+        let cfg = self.io_cfg.clone().replica(r);
+        let io = if cfg.balance.is_some() {
+            ServerIo::sharded_balanced(
+                &ctx,
+                &self.fds,
+                cfg,
+                self.path.clone(),
+                Arc::clone(&self.wire),
+                Arc::clone(&self.map),
+            )
+        } else {
+            ServerIo::sharded(
+                &ctx,
+                &self.fds,
+                cfg,
+                self.path.clone(),
+                Arc::clone(&self.wire),
+            )
+        };
+        Replica { ctx, io, kvs, suvm }
+    }
+
+    /// The router (connection → shard → replica) shared with the load
+    /// generator.
+    #[must_use]
+    pub fn map(&self) -> &Arc<ShardMap> {
+        &self.map
+    }
+
+    /// The underlying fleet (membership and lifecycle states).
+    #[must_use]
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The current session-key epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Runs one serving round: every serving replica reaps its owned
+    /// shards, serves the batch, and sends the replies. Returns the
+    /// number of requests handled across the fleet.
+    pub fn pump(&self) -> usize {
+        let mut total = 0;
+        for r in 0..self.slots.len() {
+            total += self.pump_replica(r);
+        }
+        total
+    }
+
+    /// One serving round for replica `r` alone (0 when it is not
+    /// serving or owns no shards).
+    pub fn pump_replica(&self, r: usize) -> usize {
+        if self.fleet.state(r) != ReplicaState::Serving {
+            return 0;
+        }
+        let owned = self.map.shards_of(r);
+        if owned.is_empty() {
+            return 0;
+        }
+        let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+        let rep = slot.as_mut().expect("serving replica must be wired");
+        rep.kvs.handle_batch_on(&mut rep.ctx, &rep.io, &owned)
+    }
+
+    /// Flushes every serving replica's pending (double-buffered)
+    /// sends — the end-of-run fence.
+    pub fn flush(&self) {
+        for r in self.fleet.serving() {
+            let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+            if let Some(rep) = slot.as_mut() {
+                rep.io.flush(&mut rep.ctx);
+            }
+        }
+    }
+
+    /// Kills `victim` at a fence: snapshot out over the channel, EPC
+    /// reclaimed, shards drained to the heir (see the module docs for
+    /// the protocol and why no reply is lost).
+    ///
+    /// # Panics
+    /// Panics when `victim` is not serving or no other replica is.
+    pub fn kill(&self, victim: usize) -> FailoverReport {
+        let serving = self.fleet.serving();
+        assert!(
+            serving.contains(&victim),
+            "kill target {victim} is not serving"
+        );
+        let heir = *serving
+            .iter()
+            .find(|&&r| r != victim)
+            .expect("failover needs a surviving replica");
+        let (snapshot_bytes, snap_cycles) = self.snapshot_over_channel(victim);
+        {
+            let mut slot = self.slots[victim].lock().expect("fleet slot poisoned");
+            let mut rep = slot.take().expect("serving replica must be wired");
+            rep.ctx.exit();
+        }
+        self.fleet.kill(victim);
+        Stats::bump(&self.machine.stats.fleet_failovers);
+        // The heir restores before its next reap of the acquired
+        // shards — the restore-then-own ordering is the failover
+        // correctness invariant.
+        let restore_cycles = self.restore_from_channel(heir);
+        let moved = self.map.shards_of(victim);
+        for &s in &moved {
+            self.map.reassign(s, heir);
+        }
+        self.advance_write_versions();
+        FailoverReport {
+            heir,
+            shards_moved: moved.len(),
+            snapshot_bytes,
+            cycles: snap_cycles + restore_cycles,
+        }
+    }
+
+    /// Respawns dead slot `idx` as a fresh enclave that restores the
+    /// shard-owner's donated snapshot and takes its original shard
+    /// slice back (see the module docs).
+    ///
+    /// # Panics
+    /// Panics when `idx` is not dead or no donor is serving.
+    pub fn respawn(&self, idx: usize) -> RejoinReport {
+        // The donor must be the current owner of the slot's original
+        // shards: its store is the one serving those connections, so
+        // it supersets everything the rejoining replica needs. (All
+        // shards of one residue class always move together, so one
+        // probe suffices; an empty class falls back to any server.)
+        let donor = (0..self.fds.len())
+            .find(|&s| s % self.cfg.replicas == idx)
+            .map_or_else(
+                || *self.fleet.serving().first().expect("rejoin needs a donor"),
+                |s| self.map.replica_of(s),
+            );
+        assert_eq!(
+            self.fleet.state(donor),
+            ReplicaState::Serving,
+            "rejoin donor {donor} must be serving"
+        );
+        self.fleet.respawn(idx);
+        let (snapshot_bytes, snap_cycles) = self.snapshot_over_channel(donor);
+        let t0 = self.machine.core(self.core_of(idx)).clock.now();
+        let mut rep = self.wire_replica(idx);
+        self.recv_restore(&mut rep);
+        let wire_cycles = rep.ctx.now() - t0;
+        *self.slots[idx].lock().expect("fleet slot poisoned") = Some(rep);
+        self.fleet.mark_serving(idx);
+        let mut taken = 0;
+        for s in 0..self.fds.len() {
+            if s % self.cfg.replicas == idx {
+                self.map.reassign(s, idx);
+                taken += 1;
+            }
+        }
+        self.advance_write_versions();
+        RejoinReport {
+            donor,
+            shards_taken: taken,
+            snapshot_bytes,
+            cycles: snap_cycles + wire_cycles,
+        }
+    }
+
+    /// Fence protocol, sender half: flush, quiesce, seal, stage the
+    /// epoch announcement and snapshot on the channel. Returns the
+    /// serialized snapshot size and the cycles the sender's core
+    /// spent.
+    fn snapshot_over_channel(&self, r: usize) -> (usize, u64) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let enclave_id = self.fleet.enclave(r).id;
+        let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+        let rep = slot.as_mut().expect("serving replica must be wired");
+        let t0 = rep.ctx.now();
+        rep.io.flush(&mut rep.ctx);
+        if let Some(suvm) = &rep.suvm {
+            suvm.quiesce(&mut rep.ctx);
+        }
+        let snap = rep
+            .kvs
+            .snapshot(&mut rep.ctx, self.sealer.as_ref(), enclave_id, epoch);
+        let bytes = snap.to_bytes();
+        self.chan
+            .send(&mut rep.ctx, MSG_EPOCH, &epoch.to_le_bytes());
+        self.chan.send(&mut rep.ctx, MSG_SNAPSHOT, &bytes);
+        Stats::bump(&self.machine.stats.fleet_snapshots);
+        (bytes.len(), rep.ctx.now() - t0)
+    }
+
+    /// Fence protocol, receiver half for an already-wired replica.
+    /// Returns the cycles the receiver's core spent.
+    fn restore_from_channel(&self, r: usize) -> u64 {
+        let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+        let rep = slot.as_mut().expect("serving replica must be wired");
+        let t0 = rep.ctx.now();
+        self.recv_restore(rep);
+        rep.ctx.now() - t0
+    }
+
+    /// Reaps the epoch announcement + snapshot pair off the channel
+    /// and restores it into `rep`'s store.
+    fn recv_restore(&self, rep: &mut Replica) {
+        let (kind, eb) = self
+            .chan
+            .recv(&mut rep.ctx)
+            .expect("fence protocol: epoch message staged");
+        assert_eq!(kind, MSG_EPOCH, "fence protocol: epoch precedes snapshot");
+        let epoch = u64::from_le_bytes(eb.try_into().expect("8-byte epoch"));
+        let last = self.seen_epoch.swap(epoch, Ordering::Relaxed);
+        assert!(
+            epoch > last,
+            "session-key epoch went backwards: {epoch} after {last}"
+        );
+        let (kind, bytes) = self
+            .chan
+            .recv(&mut rep.ctx)
+            .expect("fence protocol: snapshot staged");
+        assert_eq!(kind, MSG_SNAPSHOT);
+        let snap = Snapshot::from_bytes(&bytes);
+        assert_eq!(snap.epoch(), epoch, "snapshot epoch mismatch");
+        rep.kvs.restore(&mut rep.ctx, self.sealer.as_ref(), &snap);
+        Stats::bump(&self.machine.stats.fleet_restores);
+    }
+
+    /// Moves every live replica's store into the post-fence write
+    /// interval: writes stamped `epoch + 1` supersede everything a
+    /// fence-`epoch` snapshot carries, which is what keeps the
+    /// versioned restore merge last-writer-wins when a store's state
+    /// bounces through several replicas (kill A, respawn A, kill B).
+    fn advance_write_versions(&self) {
+        let interval = self.epoch() + 1;
+        for slot in &self.slots {
+            let mut slot = slot.lock().expect("fleet slot poisoned");
+            if let Some(rep) = slot.as_mut() {
+                rep.kvs.set_write_version(interval);
+            }
+        }
+    }
+
+    /// Advances every serving core's clock (plus core `cores[0]`, the
+    /// fleet timebase) to the furthest one — the idle wait at a
+    /// barrier where all replicas have drained their chunk and the
+    /// load generator stamps the next one. A no-op for a multiplexed
+    /// fleet (one core). Returns the barrier time.
+    pub fn sync_clocks(&self) -> u64 {
+        let mut cores: Vec<usize> = self
+            .fleet
+            .serving()
+            .iter()
+            .map(|&r| self.core_of(r))
+            .collect();
+        cores.push(self.cfg.cores[0]);
+        cores.sort_unstable();
+        cores.dedup();
+        let target = cores
+            .iter()
+            .map(|&c| self.machine.core(c).clock.now())
+            .max()
+            .unwrap_or(0);
+        for &c in &cores {
+            let clock = &self.machine.core(c).clock;
+            clock.advance(target - clock.now());
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleos_crypto::gcm::AesGcm128;
+    use eleos_enclave::machine::MachineConfig;
+    use eleos_rpc::{with_syscalls, RpcService};
+
+    use crate::kvs::{build_get, build_set};
+    use crate::loadgen::shard_for;
+
+    const SHARDS: usize = 4;
+
+    fn fleet(replicas: usize) -> (Arc<SgxMachine>, Arc<Wire>, Vec<Fd>, FleetKvs) {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let fds: Vec<Fd> = (0..SHARDS).map(|_| m.host.socket(&ut, 256 << 10)).collect();
+        let svc = with_syscalls(RpcService::builder(&m), &m)
+            .workers(2, &[2, 3])
+            .build();
+        let wire = Arc::new(Wire::new([9u8; 16]));
+        let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x44u8; 16]));
+        let fk = FleetKvs::new(
+            &m,
+            &fds,
+            ServerIoConfig::with_buf_len(16 << 10)
+                .batch(4)
+                .shards(SHARDS),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+            sealer,
+            FleetConfig::small(replicas),
+            |ctx, kvs| {
+                for i in 0..32u32 {
+                    kvs.set(ctx, format!("seed-{i}").as_bytes(), &[i as u8; 48]);
+                }
+            },
+        );
+        (m, wire, fds, fk)
+    }
+
+    #[test]
+    fn fleet_serves_seeded_gets_across_replicas() {
+        let (m, wire, fds, fk) = fleet(2);
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let mut pushed = [0usize; SHARDS];
+        for conn in 0..8u64 {
+            let s = shard_for(conn, SHARDS);
+            let key = format!("seed-{}", conn % 32);
+            m.host
+                .push_request(&ut, fds[s], &wire.encrypt(&build_get(key.as_bytes())));
+            pushed[s] += 1;
+        }
+        let mut served = 0;
+        for _ in 0..32 {
+            served += fk.pump();
+            if served == 8 {
+                break;
+            }
+        }
+        fk.flush();
+        assert_eq!(served, 8);
+        for (s, &n) in pushed.iter().enumerate() {
+            let mut got = 0;
+            while let Some(resp) = m.host.pop_response(fds[s]) {
+                let plain = wire.decrypt(&resp);
+                assert_eq!(plain[0], 1, "seeded key must be found");
+                got += 1;
+            }
+            assert_eq!(got, n, "shard {s} answers everything it queued");
+        }
+        // Both replicas did work (each owns half the shard set), and
+        // each credited only its own gauge slot.
+        let st = m.stats.snapshot();
+        for r in 0..2 {
+            let handled: u64 = (0..SHARDS)
+                .map(|s| st.shard.replica[r].sojourn[s].count())
+                .sum();
+            assert!(handled > 0, "replica {r} must have reaped");
+        }
+    }
+
+    #[test]
+    fn kill_drains_shards_to_the_heir_with_state() {
+        let (m, wire, fds, fk) = fleet(2);
+        let ut = ThreadCtx::untrusted(&m, 1);
+        // A SET routed to a replica-1 shard, then a kill, then a GET of
+        // the same key: the heir must serve it from the restored state.
+        let conn = (0..64u64).find(|&c| shard_for(c, SHARDS) % 2 == 1).unwrap();
+        let s = shard_for(conn, SHARDS);
+        assert_eq!(fk.map().replica_of(s), 1);
+        m.host
+            .push_request(&ut, fds[s], &wire.encrypt(&build_set(b"fresh", &[7u8; 32])));
+        while fk.pump() == 0 {}
+        fk.flush();
+        assert_eq!(wire.decrypt(&m.host.pop_response(fds[s]).unwrap()), [1u8]);
+
+        let report = fk.kill(1);
+        assert_eq!(report.heir, 0);
+        assert_eq!(report.shards_moved, 2);
+        assert!(report.snapshot_bytes > 0);
+        assert!(report.cycles > 0);
+        assert_eq!(fk.fleet().state(1), ReplicaState::Dead);
+        assert_eq!(fk.map().shards_of(0), vec![0, 1, 2, 3]);
+
+        m.host
+            .push_request(&ut, fds[s], &wire.encrypt(&build_get(b"fresh")));
+        let mut served = 0;
+        while served == 0 {
+            served = fk.pump();
+        }
+        fk.flush();
+        let plain = wire.decrypt(&m.host.pop_response(fds[s]).unwrap());
+        assert_eq!(plain[0], 1, "heir must hold the victim's item");
+        assert_eq!(&plain[5..], [7u8; 32]);
+        let st = m.stats.snapshot();
+        assert_eq!(st.fleet_failovers, 1);
+        assert_eq!(st.fleet_snapshots, 1);
+        assert_eq!(st.fleet_restores, 1);
+    }
+
+    #[test]
+    fn respawn_restores_from_the_shard_owner_and_takes_shards_back() {
+        let (m, wire, fds, fk) = fleet(3);
+        let ut = ThreadCtx::untrusted(&m, 1);
+        fk.kill(1);
+        // Post-kill load lands on the heir; the rejoining replica must
+        // see it, which is why the donor is the shard owner.
+        let conn = (0..64u64).find(|&c| shard_for(c, SHARDS) == 1).unwrap();
+        m.host.push_request(
+            &ut,
+            fds[1],
+            &wire.encrypt(&build_set(b"after-kill", &[9u8; 16])),
+        );
+        let _ = conn;
+        while fk.pump() == 0 {}
+        fk.flush();
+        while m.host.pop_response(fds[1]).is_some() {}
+
+        let report = fk.respawn(1);
+        assert_eq!(report.donor, 0, "shard 1's owner donates");
+        assert_eq!(
+            report.shards_taken, 1,
+            "4 shards over 3 replicas: class 1 = {{1}}"
+        );
+        assert!(report.cycles > 0);
+        assert_eq!(fk.fleet().state(1), ReplicaState::Serving);
+        assert_eq!(fk.map().replica_of(1), 1);
+
+        m.host
+            .push_request(&ut, fds[1], &wire.encrypt(&build_get(b"after-kill")));
+        let mut served = 0;
+        while served == 0 {
+            served = fk.pump();
+        }
+        fk.flush();
+        let plain = wire.decrypt(&m.host.pop_response(fds[1]).unwrap());
+        assert_eq!(plain[0], 1, "rejoined replica holds post-kill state");
+        let st = m.stats.snapshot();
+        assert_eq!(st.fleet_restores, 2);
+        assert!(
+            st.xchan_msgs >= 4,
+            "two fence protocols crossed the channel"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a surviving replica")]
+    fn kill_of_the_last_replica_fails_fast() {
+        let (_m, _wire, _fds, fk) = fleet(1);
+        fk.kill(0);
+    }
+
+    #[test]
+    fn epoch_advances_monotonically_across_fences() {
+        let (_m, _wire, _fds, fk) = fleet(3);
+        assert_eq!(fk.epoch(), 0);
+        fk.kill(2);
+        assert_eq!(fk.epoch(), 1);
+        fk.respawn(2);
+        assert_eq!(fk.epoch(), 2);
+        fk.kill(1);
+        assert_eq!(fk.epoch(), 3);
+    }
+}

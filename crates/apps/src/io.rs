@@ -86,7 +86,7 @@ use std::sync::Arc;
 use eleos_enclave::host::{Fd, DESC_STRIDE};
 use eleos_enclave::thread::ThreadCtx;
 use eleos_rpc::{funcs, RpcService};
-use eleos_sim::stats::{Stats, MAX_SHARDS};
+use eleos_sim::stats::{Stats, MAX_REPLICAS, MAX_SHARDS};
 
 use crate::loadgen::ShardMap;
 use crate::wire::Wire;
@@ -192,6 +192,11 @@ pub struct ServerIoConfig {
     /// The shard balance layer ([`Self::balanced`]); `None` keeps the
     /// static pipeline bit-for-bit.
     pub balance: Option<BalanceConfig>,
+    /// Which replica's per-shard stat gauges this session writes
+    /// ([`Self::replica`]). A fleet gives each replica's pipeline its
+    /// own slot so their backlog/steal/sojourn gauges stay apart;
+    /// single-enclave servers keep the default slot 0.
+    pub replica: usize,
 }
 
 impl Default for ServerIoConfig {
@@ -206,6 +211,7 @@ impl Default for ServerIoConfig {
             scatter_gather: true,
             shards: None,
             balance: None,
+            replica: 0,
         }
     }
 }
@@ -297,11 +303,38 @@ impl ServerIoConfig {
     /// pinning hash, so it fails fast instead.
     ///
     /// # Panics
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero, or if `n` exceeds [`MAX_SHARDS`] — the
+    /// per-shard stat gauges are fixed arrays, and a count past the
+    /// last slot would silently alias (or drop) gauge writes, so the
+    /// config fails fast at build time instead.
     #[must_use]
     pub fn shards(mut self, n: usize) -> Self {
         assert!(n > 0, "shards(0): a server needs at least one shard");
+        assert!(
+            n <= MAX_SHARDS,
+            "shards({n}): the per-shard stat gauges have {MAX_SHARDS} slots; \
+             raise MAX_SHARDS in eleos-sim to shard wider"
+        );
         self.shards = Some(n);
+        self
+    }
+
+    /// Selects which replica's slot of the fleet-indexed shard gauges
+    /// this session writes (a fleet runs one `ServerIo` per replica
+    /// over the same global [`Stats`]). Validated here, at config
+    /// build time, so a fleet that outgrows the gauge array fails
+    /// fast instead of aliasing a sibling replica's gauges.
+    ///
+    /// # Panics
+    /// Panics if `r` is not below [`MAX_REPLICAS`].
+    #[must_use]
+    pub fn replica(mut self, r: usize) -> Self {
+        assert!(
+            r < MAX_REPLICAS,
+            "replica({r}): the shard gauges have {MAX_REPLICAS} replica slots; \
+             raise MAX_REPLICAS in eleos-sim to run a larger fleet"
+        );
+        self.replica = r;
         self
     }
 
@@ -633,7 +666,8 @@ impl ServerIo {
     /// shard by shard.
     pub fn recv_batch(&self, ctx: &mut ThreadCtx) -> Vec<Vec<u8>> {
         if self.shards.len() > 1 {
-            return self.recv_sharded(ctx);
+            let all: Vec<usize> = (0..self.shards.len()).collect();
+            return self.recv_sharded(ctx, &all);
         }
         let depth = self.shard_depth(0);
         let out = self.recv_up_to(ctx, depth);
@@ -641,13 +675,43 @@ impl ServerIo {
         if self.cfg.is_adaptive() {
             self.adapt(&self.shards[0], out.len(), backlog);
         }
-        let shard = &ctx.machine.stats.shard;
+        let shard = &ctx.machine.stats.shard.replica[self.cfg.replica];
         Stats::set(&shard.backlog[0], backlog as u64);
         Stats::set(
             &shard.depth[0],
             self.shards[0].depth.load(Ordering::Relaxed),
         );
         out
+    }
+
+    /// The sharded reap restricted to an owned shard subset — the
+    /// fleet tier's entry point, where each replica's pipeline reaps
+    /// only the shards the router assigned to it. Steal and rebalance
+    /// stay scoped to the subset: a stolen run is served by the pipe
+    /// that drained it, and a re-pin moves a connection's state with
+    /// its replies, so neither may cross a replica boundary.
+    ///
+    /// # Panics
+    /// Panics if `active` is empty, not strictly increasing, or names
+    /// a shard this server does not have.
+    pub fn recv_batch_on(&self, ctx: &mut ThreadCtx, active: &[usize]) -> Vec<Vec<u8>> {
+        assert!(
+            !active.is_empty(),
+            "a replica with no shards has nothing to reap; drain it instead"
+        );
+        assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "the owned shard subset must be strictly increasing (got {active:?})"
+        );
+        assert!(
+            *active.last().unwrap() < self.shards.len(),
+            "shard subset {active:?} names shards past the {}-socket set",
+            self.shards.len()
+        );
+        if self.shards.len() == 1 {
+            return self.recv_batch(ctx);
+        }
+        self.recv_sharded(ctx, active)
     }
 
     /// The shared reap/sort/decrypt path behind every receive entry
@@ -681,15 +745,15 @@ impl ServerIo {
     /// residual backlog (see the module docs), and every
     /// [`BalanceConfig::period`] reaps the rebalancer re-pins hot
     /// connections through the shard map.
-    fn recv_sharded(&self, ctx: &mut ThreadCtx) -> Vec<Vec<u8>> {
+    fn recv_sharded(&self, ctx: &mut ThreadCtx, active: &[usize]) -> Vec<Vec<u8>> {
         let IoPath::Rpc(svc) = &self.path else {
             unreachable!("sharded serving rides the RPC path (checked at construction)");
         };
         let stripe = self.cfg.buf_len / self.cfg.batch_max;
-        let reqs: Vec<(u64, [u64; 4])> = self
-            .shards
+        let reqs: Vec<(u64, [u64; 4])> = active
             .iter()
-            .map(|sh| {
+            .map(|&k| {
+                let sh = &self.shards[k];
                 (
                     funcs::RECV_MMSG,
                     [
@@ -704,32 +768,35 @@ impl ServerIo {
         let counts = svc.submit_batch(ctx, &reqs).wait_all(ctx);
         let now = ctx.now();
         let mut raw: Vec<Vec<u8>> = Vec::new();
-        let mut reap = Vec::with_capacity(self.shards.len());
+        let mut reap = Vec::with_capacity(active.len());
         let mut backlog = vec![0usize; self.shards.len()];
-        for (idx, (sh, &n)) in self.shards.iter().zip(counts.iter()).enumerate() {
+        for (&idx, &n) in active.iter().zip(counts.iter()) {
             let n = n as usize;
             reap.push((idx, idx, n));
             if n > 0 {
                 self.read_run(ctx, idx, n, idx, now, &mut raw);
             }
-            backlog[idx] = ctx.machine.host.rx_pending(sh.fd);
+            backlog[idx] = ctx.machine.host.rx_pending(self.shards[idx].fd);
             if self.cfg.is_adaptive() {
-                self.adapt(sh, n, backlog[idx]);
+                self.adapt(&self.shards[idx], n, backlog[idx]);
             }
         }
         if self.cfg.balance.is_some_and(|b| b.steal) {
-            self.steal_pass(ctx, svc, &counts, &mut backlog, &mut reap, &mut raw);
+            self.steal_pass(ctx, svc, active, &counts, &mut backlog, &mut reap, &mut raw);
         }
-        for (k, (sh, &b)) in self.shards.iter().zip(backlog.iter()).enumerate() {
-            let shard = &ctx.machine.stats.shard;
-            Stats::set(&shard.backlog[k], b as u64);
-            Stats::set(&shard.depth[k], sh.depth.load(Ordering::Relaxed));
+        for &k in active {
+            let shard = &ctx.machine.stats.shard.replica[self.cfg.replica];
+            Stats::set(&shard.backlog[k], backlog[k] as u64);
+            Stats::set(
+                &shard.depth[k],
+                self.shards[k].depth.load(Ordering::Relaxed),
+            );
         }
         *self.last_reap.lock().expect("last reap") = reap;
         if let (Some(b), Some(map)) = (self.cfg.balance, self.map.as_ref()) {
             let reaps = self.reap_count.fetch_add(1, Ordering::Relaxed) + 1;
             if b.repin && reaps.is_multiple_of(b.period as u64) {
-                self.rebalance(ctx, map, b.max_moves);
+                self.rebalance(ctx, map, b.max_moves, active);
             }
         }
         if raw.is_empty() {
@@ -764,7 +831,7 @@ impl ServerIo {
             let enq = u64::from_le_bytes(descs[at + 8..at + 16].try_into().unwrap());
             let wait = now.saturating_sub(enq);
             ctx.machine.stats.sojourn.record(wait);
-            ctx.machine.stats.shard.sojourn[charge].record(wait);
+            ctx.machine.stats.shard.replica[self.cfg.replica].sojourn[charge].record(wait);
             let mut msg = vec![0u8; (w0 & 0xffff_ffff) as usize];
             ctx.read_untrusted(sh.rx_buf + (i * stripe) as u64, &mut msg);
             raw.push(msg);
@@ -778,10 +845,12 @@ impl ServerIo {
     /// victim per reap: `recv_mmsg` pops the queue front under one
     /// lock, so a single steal is the victim's oldest contiguous run,
     /// but two concurrent steals of the same socket would interleave.
+    #[allow(clippy::too_many_arguments)]
     fn steal_pass(
         &self,
         ctx: &mut ThreadCtx,
         svc: &Arc<RpcService>,
+        active: &[usize],
         counts: &[u64],
         backlog: &mut [usize],
         reap: &mut Vec<(usize, usize, usize)>,
@@ -790,7 +859,7 @@ impl ServerIo {
         let stripe = self.cfg.buf_len / self.cfg.batch_max;
         let mut claimed = vec![false; self.shards.len()];
         let mut steals: Vec<(usize, usize)> = Vec::new();
-        for (t, &got) in counts.iter().enumerate() {
+        for (&t, &got) in active.iter().zip(counts.iter()) {
             if got != 0 {
                 continue;
             }
@@ -798,7 +867,13 @@ impl ServerIo {
             // outruns its own sub-batch depth — anything smaller the
             // victim clears on its next (already amortized) reap, and
             // the steal's extra trap would cost more than it saves.
-            let victim = (0..self.shards.len())
+            // Victims come from the same owned subset: a steal serves
+            // the drained run on the thief's pipeline, and crossing a
+            // replica boundary would serve another replica's
+            // connections out of order with its own reaps.
+            let victim = active
+                .iter()
+                .copied()
                 .filter(|&v| {
                     v != t
                         && !claimed[v]
@@ -844,7 +919,7 @@ impl ServerIo {
             }
             reap.push((v, t, m));
             self.read_run(ctx, t, m, v, now, raw);
-            let shard = &ctx.machine.stats.shard;
+            let shard = &ctx.machine.stats.shard.replica[self.cfg.replica];
             Stats::add(&shard.steals_taken[t], 1);
             Stats::add(&shard.steals_given[v], 1);
             backlog[v] = ctx.machine.host.rx_pending(self.shards[v].fd);
@@ -871,13 +946,17 @@ impl ServerIo {
     /// Only future arrivals move — queued messages stay on the socket
     /// the kernel already holds them in, so per-connection order is a
     /// per-socket FIFO property on both sides of the fence.
-    fn rebalance(&self, ctx: &ThreadCtx, map: &Arc<ShardMap>, max_moves: usize) {
+    fn rebalance(&self, ctx: &ThreadCtx, map: &Arc<ShardMap>, max_moves: usize, active: &[usize]) {
         /// Weight gap below which a rebalance is noise, not signal
         /// (decay shrinks stale weights toward zero between chunks).
         const FLOOR: u64 = 8;
         let w = map.shard_weights();
-        let hot = (0..w.len()).max_by_key(|&k| w[k]).unwrap_or(0);
-        let cold = (0..w.len()).min_by_key(|&k| w[k]).unwrap_or(0);
+        // Hot and cold are ranked over the owned subset only: a re-pin
+        // moves a connection's future arrivals with its serving state,
+        // and state never crosses a replica boundary outside an
+        // explicit failover handoff.
+        let hot = active.iter().copied().max_by_key(|&k| w[k]).unwrap_or(0);
+        let cold = active.iter().copied().min_by_key(|&k| w[k]).unwrap_or(0);
         let mut gap = (w[hot] - w[cold]) as i64;
         if hot != cold && gap as u64 >= FLOOR && gap as u64 * 4 >= w[hot] {
             let mut moved = 0u64;
@@ -898,7 +977,10 @@ impl ServerIo {
                 }
             }
             if moved > 0 {
-                Stats::add(&ctx.machine.stats.shard.migrations[hot], moved);
+                Stats::add(
+                    &ctx.machine.stats.shard.replica[self.cfg.replica].migrations[hot],
+                    moved,
+                );
             }
         }
         // Halve the arrival weights each decision so the ranking
@@ -992,7 +1074,7 @@ impl ServerIo {
                 ctx.machine.stats.sojourn.record(wait);
                 // The single-socket server is shard 0 of a one-shard
                 // set, so its per-shard histogram mirrors the global.
-                ctx.machine.stats.shard.sojourn[0].record(wait);
+                ctx.machine.stats.shard.replica[self.cfg.replica].sojourn[0].record(wait);
                 let mut msg = vec![0u8; n];
                 ctx.read_untrusted(sh.rx_buf + (slot * stripe) as u64, &mut msg);
                 out.push(msg);
@@ -1760,14 +1842,14 @@ mod tests {
         );
         io.send_batch(&mut t, &msgs);
         let d = m.stats.snapshot() - s0;
-        assert_eq!(d.shard.steals_taken, [0, 1, 0, 0, 0, 0, 0, 0]);
-        assert_eq!(d.shard.steals_given, [1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(d.shard.replica[0].steals_taken, [0, 1, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(d.shard.replica[0].steals_given, [1, 0, 0, 0, 0, 0, 0, 0]);
         assert_eq!(
-            d.shard.sojourn[0].count(),
+            d.shard.replica[0].sojourn[0].count(),
             4,
             "stolen sojourns credit the socket they waited on"
         );
-        assert_eq!(d.shard.sojourn[1].count(), 0);
+        assert_eq!(d.shard.replica[0].sojourn[1].count(), 0);
         // The remaining two messages drain without a steal (the
         // backlog fits shard 0's own reap exactly... at depth 2).
         let rest = io.recv_batch(&mut t);
@@ -1853,8 +1935,11 @@ mod tests {
         assert_eq!(map.shard_of(other), home, "the light one stayed");
         let mut want = [0u64; 8];
         want[home] = 1;
-        assert_eq!(d.shard.migrations, want);
-        assert_eq!(d.shard.backlog[home], 10, "backlog gauge reads the residue");
+        assert_eq!(d.shard.replica[0].migrations, want);
+        assert_eq!(
+            d.shard.replica[0].backlog[home], 10,
+            "backlog gauge reads the residue"
+        );
         // Future arrivals land on the new shard; queued ones drain
         // from the old socket untouched.
         let moved = map.route(conn);

@@ -22,6 +22,7 @@
 //! - [`wire`] — AES-CTR request/response encryption (§5).
 
 pub mod face;
+pub mod fleet_io;
 pub mod io;
 pub mod kvs;
 pub mod loadgen;

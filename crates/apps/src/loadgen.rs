@@ -220,6 +220,7 @@ pub fn shard_for(conn: u64, n_shards: usize) -> usize {
 /// order across a migration.
 pub struct ShardMap {
     n_shards: usize,
+    n_replicas: usize,
     inner: std::sync::Mutex<MapInner>,
 }
 
@@ -230,17 +231,38 @@ struct MapInner {
     /// Arrivals per connection since the last decay (EWMA-ish: halved
     /// at every rebalance so stale hotness fades).
     weights: std::collections::HashMap<u64, u64>,
+    /// Which fleet replica currently owns each shard (all zero for
+    /// single-replica maps). Reassignments happen only at failover /
+    /// rejoin fences, never mid-batch.
+    owners: Vec<usize>,
 }
 
 impl ShardMap {
     /// A map over `n_shards` shards with no pins (identical to
-    /// [`shard_for`] until the first [`Self::repin`]).
+    /// [`shard_for`] until the first [`Self::repin`]), all owned by
+    /// replica 0.
     #[must_use]
     pub fn new(n_shards: usize) -> std::sync::Arc<Self> {
+        Self::with_replicas(n_shards, 1)
+    }
+
+    /// A map over `n_shards` shards spread round-robin across
+    /// `n_replicas` fleet replicas: shard `s` starts owned by replica
+    /// `s % n_replicas`, so every replica owns a contiguous-in-stride
+    /// slice and the assignment is deterministic (the respawn path
+    /// restores exactly this ownership, which keeps kill/respawn
+    /// schedules replayable).
+    #[must_use]
+    pub fn with_replicas(n_shards: usize, n_replicas: usize) -> std::sync::Arc<Self> {
         assert!(n_shards > 0, "a shard map needs at least one shard");
+        assert!(n_replicas > 0, "a shard map needs at least one replica");
         std::sync::Arc::new(Self {
             n_shards,
-            inner: std::sync::Mutex::new(MapInner::default()),
+            n_replicas,
+            inner: std::sync::Mutex::new(MapInner {
+                owners: (0..n_shards).map(|s| s % n_replicas).collect(),
+                ..MapInner::default()
+            }),
         })
     }
 
@@ -248,6 +270,54 @@ impl ShardMap {
     #[must_use]
     pub fn n_shards(&self) -> usize {
         self.n_shards
+    }
+
+    /// Number of fleet replicas the map knows about (1 for maps built
+    /// with [`Self::new`]).
+    #[must_use]
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// The replica that currently owns `shard`.
+    #[must_use]
+    pub fn replica_of(&self, shard: usize) -> usize {
+        assert!(shard < self.n_shards, "shard out of range");
+        self.inner.lock().expect("shard map poisoned").owners[shard]
+    }
+
+    /// The shards `replica` currently owns, in ascending order — the
+    /// exact subset that replica's `recv_batch_on` reaps.
+    #[must_use]
+    pub fn shards_of(&self, replica: usize) -> Vec<usize> {
+        assert!(replica < self.n_replicas, "replica out of range");
+        let inner = self.inner.lock().expect("shard map poisoned");
+        (0..self.n_shards)
+            .filter(|&s| inner.owners[s] == replica)
+            .collect()
+    }
+
+    /// Hands `shard` to `replica` — the failover / rejoin fence. Takes
+    /// effect at the new owner's next reap; the old owner must already
+    /// have answered everything it reaped (quiesced at the fence), so
+    /// per-connection FIFO order survives the handoff.
+    pub fn reassign(&self, shard: usize, replica: usize) {
+        assert!(shard < self.n_shards, "shard out of range");
+        assert!(replica < self.n_replicas, "reassign target out of range");
+        self.inner.lock().expect("shard map poisoned").owners[shard] = replica;
+    }
+
+    /// Routes one arrival all the way down: `conn` → shard → owning
+    /// replica. Counts the arrival toward `conn`'s hotness weight.
+    pub fn route_replica(&self, conn: u64) -> (usize, usize) {
+        let mut inner = self.inner.lock().expect("shard map poisoned");
+        *inner.weights.entry(conn).or_insert(0) += 1;
+        let s = inner
+            .pins
+            .get(&conn)
+            .copied()
+            .unwrap_or_else(|| shard_for(conn, self.n_shards));
+        (s, inner.owners[s])
     }
 
     /// The shard `conn` currently routes to.
@@ -333,6 +403,73 @@ impl ShardMap {
             *w /= 2;
             *w > 0
         });
+    }
+}
+
+/// One fleet-membership change in a chaos schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Kill replica `.0` at the fence (snapshot out, EPC reclaimed,
+    /// shards drain to a survivor).
+    Kill(usize),
+    /// Respawn slot `.0` as a cold replica that restores from the
+    /// latest snapshot and takes its original shards back.
+    Respawn(usize),
+}
+
+/// A deterministic kill/respawn schedule keyed to request-count
+/// fences: the driver asks [`ChaosPlan::take_due`] after each pushed
+/// chunk and applies whatever came due, so the same seed + plan always
+/// replays the same failure at the same point in the load — chaos that
+/// is reproducible enough to assert byte-identical replies against an
+/// unkilled baseline.
+pub struct ChaosPlan {
+    /// `(requests_pushed_fence, action)`, sorted by fence.
+    events: Vec<(usize, ChaosAction)>,
+    next: usize,
+}
+
+impl ChaosPlan {
+    /// A plan from explicit `(fence, action)` pairs (sorted
+    /// internally; ties fire in the given order).
+    #[must_use]
+    pub fn new(mut events: Vec<(usize, ChaosAction)>) -> Self {
+        events.sort_by_key(|&(at, _)| at);
+        Self { events, next: 0 }
+    }
+
+    /// The classic chaos cell: kill `victim` once `kill_at` requests
+    /// have been pushed, respawn it at `respawn_at`.
+    #[must_use]
+    pub fn kill_respawn(victim: usize, kill_at: usize, respawn_at: usize) -> Self {
+        assert!(kill_at < respawn_at, "a replica must die before it rejoins");
+        Self::new(vec![
+            (kill_at, ChaosAction::Kill(victim)),
+            (respawn_at, ChaosAction::Respawn(victim)),
+        ])
+    }
+
+    /// Kill-only (the replica stays dead for the rest of the run).
+    #[must_use]
+    pub fn kill_at(victim: usize, at: usize) -> Self {
+        Self::new(vec![(at, ChaosAction::Kill(victim))])
+    }
+
+    /// Actions whose fence is `<= pushed`, in schedule order; each is
+    /// returned exactly once.
+    pub fn take_due(&mut self, pushed: usize) -> Vec<ChaosAction> {
+        let mut due = Vec::new();
+        while self.next < self.events.len() && self.events[self.next].0 <= pushed {
+            due.push(self.events[self.next].1);
+            self.next += 1;
+        }
+        due
+    }
+
+    /// True once every scheduled action has fired.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.next == self.events.len()
     }
 }
 
@@ -607,6 +744,59 @@ mod tests {
     #[should_panic(expected = "repin target out of range")]
     fn repin_out_of_range_fails_fast() {
         ShardMap::new(2).repin(0, 2);
+    }
+
+    #[test]
+    fn replica_ownership_starts_round_robin() {
+        let map = ShardMap::with_replicas(5, 2);
+        assert_eq!(map.n_replicas(), 2);
+        assert_eq!(map.shards_of(0), vec![0, 2, 4]);
+        assert_eq!(map.shards_of(1), vec![1, 3]);
+        for s in 0..5 {
+            assert_eq!(map.replica_of(s), s % 2);
+        }
+        // Single-replica maps put everything on replica 0.
+        let solo = ShardMap::new(3);
+        assert_eq!(solo.n_replicas(), 1);
+        assert_eq!(solo.shards_of(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reassign_moves_ownership_at_the_fence() {
+        let map = ShardMap::with_replicas(4, 2);
+        map.reassign(1, 0);
+        map.reassign(3, 0);
+        assert_eq!(map.shards_of(0), vec![0, 1, 2, 3]);
+        assert!(map.shards_of(1).is_empty());
+        // Routing follows the new owner; shard placement is unchanged.
+        for conn in 0..16u64 {
+            let (s, r) = map.route_replica(conn);
+            assert_eq!(s, shard_for(conn, 4));
+            assert_eq!(r, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reassign target out of range")]
+    fn reassign_out_of_range_fails_fast() {
+        ShardMap::with_replicas(4, 2).reassign(0, 2);
+    }
+
+    #[test]
+    fn chaos_plan_fires_each_event_once_in_order() {
+        let mut plan = ChaosPlan::kill_respawn(1, 100, 200);
+        assert!(plan.take_due(99).is_empty());
+        assert_eq!(plan.take_due(150), vec![ChaosAction::Kill(1)]);
+        assert!(plan.take_due(150).is_empty(), "events fire exactly once");
+        assert!(!plan.exhausted());
+        assert_eq!(plan.take_due(500), vec![ChaosAction::Respawn(1)]);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    #[should_panic(expected = "die before it rejoins")]
+    fn chaos_plan_rejects_respawn_before_kill() {
+        let _ = ChaosPlan::kill_respawn(0, 200, 100);
     }
 
     #[test]

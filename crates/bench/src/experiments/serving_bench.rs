@@ -42,12 +42,30 @@
 //! per-shard gauges (backlog, AIMD depth, steals, migrations,
 //! per-shard sojourn p99) so the imbalance — and the balance layer
 //! eating it — is visible in the JSON.
+//!
+//! # Fleet cells
+//!
+//! A second sweep serves the same steady GET workload through a
+//! [`FleetKvs`] — N enclave replicas over one shared socket set, each
+//! reaping only its owned shards. The steady fleet cells (replicas ∈
+//! {1, 2}) gauge the replication tax: replicas=2 must stay within a
+//! few percent busy cycles/op of the single-enclave baseline, since
+//! the work is the same and only the ownership partition changed. The
+//! **chaos** cell (replicas = 3) kills one replica at 50% of the run
+//! and respawns it at 75%: the JSON carries `lost_replies` (must be
+//! zero — host sockets outlive the enclave and the heir restores the
+//! victim's sealed snapshot before reaping its shards),
+//! `failover_cycles` / `recovery_cycles` (the fence protocol's cost on
+//! the serving core), and per-replica served-op counts.
 
 use std::sync::Arc;
 
+use eleos_apps::fleet_io::{FleetConfig, FleetKvs};
 use eleos_apps::io::{BalanceConfig, ServerIo, ServerIoConfig};
 use eleos_apps::kvs::Kvs;
-use eleos_apps::loadgen::{shard_for, ConnStream, KvsLoad, ShardMap};
+use eleos_apps::loadgen::{shard_for, ChaosAction, ChaosPlan, ConnStream, KvsLoad, ShardMap};
+use eleos_crypto::gcm::AesGcm128;
+use eleos_crypto::Sealer;
 use eleos_enclave::thread::ThreadCtx;
 
 use crate::harness::{header, kops, secs, Mode, Rig, Scale};
@@ -79,12 +97,35 @@ const ZIPF_ALPHA: f64 = 0.99;
 /// a run crosses several rotations.
 const CHURN_EPOCH: usize = 4 * CHUNK;
 
+/// Shards the fleet cells run over (fixed so the replicas axis is the
+/// only thing moving, and equal to the widest single-enclave cell for
+/// the baseline comparison).
+const FLEET_SHARDS: usize = 4;
+/// Serving cores for the fleet cells: one per replica, avoiding the
+/// load-generator core (2) and the RPC worker cores (7..4).
+const FLEET_CORES: [usize; 3] = [0, 1, 3];
+
 /// One measured cell of the sweep.
 struct Cell {
     shards: usize,
     policy: String,
     load: &'static str,
     balance: &'static str,
+    /// Enclave replicas serving the cell (1 = the single-enclave
+    /// pipeline; >1 = the fleet tier).
+    replicas: usize,
+    /// `"none"` or the chaos schedule label.
+    chaos: &'static str,
+    /// Requests pushed minus replies received — must be zero even
+    /// across a kill/respawn.
+    lost_replies: u64,
+    /// Serving-core cycles spent in kill-fence failovers.
+    failover_cycles: u64,
+    /// Serving-core cycles from respawn to the rejoined replica
+    /// serving again.
+    recovery_cycles: u64,
+    /// Requests served per replica (empty for single-enclave cells).
+    replica_ops: Vec<u64>,
     ops: usize,
     busy_cycles_per_op: f64,
     throughput_ops_s: f64,
@@ -274,11 +315,18 @@ fn cell(
     io.flush(&mut ctx);
     let d = rig.machine.stats.snapshot();
     ctx.exit();
+    let sh = &d.shard.replica[0];
     Cell {
         shards,
         policy: policy.to_owned(),
         load,
         balance: if balanced { "balanced" } else { "static" },
+        replicas: 1,
+        chaos: "none",
+        lost_replies: 0,
+        failover_cycles: 0,
+        recovery_cycles: 0,
+        replica_ops: Vec::new(),
         ops,
         busy_cycles_per_op: busy as f64 / ops as f64,
         throughput_ops_s: ops as f64 / secs(busy.max(1)),
@@ -287,12 +335,151 @@ fn cell(
         sojourn_p99: d.sojourn.p99(),
         sojourn_count: d.sojourn.count(),
         rpc_batches: d.rpc_batches,
-        shard_backlog: d.shard.backlog[..shards].to_vec(),
-        shard_depth: d.shard.depth[..shards].to_vec(),
-        steals_taken: d.shard.steals_taken[..shards].to_vec(),
-        steals_given: d.shard.steals_given[..shards].to_vec(),
-        migrations: d.shard.migrations[..shards].to_vec(),
-        shard_sojourn_p99: d.shard.sojourn[..shards].iter().map(|h| h.p99()).collect(),
+        shard_backlog: sh.backlog[..shards].to_vec(),
+        shard_depth: sh.depth[..shards].to_vec(),
+        steals_taken: sh.steals_taken[..shards].to_vec(),
+        steals_given: sh.steals_given[..shards].to_vec(),
+        migrations: sh.migrations[..shards].to_vec(),
+        shard_sojourn_p99: sh.sojourn[..shards].iter().map(|h| h.p99()).collect(),
+    }
+}
+
+/// Runs one fleet cell: `replicas` enclaves over [`FLEET_SHARDS`]
+/// shared sockets on the steady load, optionally with the
+/// kill-at-50% / respawn-at-75% chaos schedule.
+fn fleet_cell(
+    scale: Scale,
+    replicas: usize,
+    policy: &str,
+    cfg: ServerIoConfig,
+    chaos: bool,
+    quick: bool,
+) -> Cell {
+    let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, WORKERS);
+    let fds = rig.socket_set(FLEET_SHARDS);
+    let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x2au8; 16]));
+    let fk = FleetKvs::new(
+        &rig.machine,
+        &fds,
+        cfg.shards(FLEET_SHARDS),
+        rig.io_path(),
+        Arc::clone(&rig.wire),
+        sealer,
+        FleetConfig::small(replicas).on_cores(&FLEET_CORES[..replicas]),
+        |ctx, kvs| {
+            let g = KvsLoad::new(31, N_ITEMS, 16, 32);
+            for i in 0..N_ITEMS {
+                kvs.set(ctx, &g.key(i), &g.value(i));
+            }
+        },
+    );
+    let mut gen = KvsLoad::new(31, N_ITEMS, 16, 32);
+    let mut stream = ConnStream::round_robin(N_CONNS);
+    let ut = ThreadCtx::untrusted(&rig.machine, 2);
+    let machine = Arc::clone(&rig.machine);
+    let wire = Arc::clone(&rig.wire);
+    let map = Arc::clone(fk.map());
+    let mut push = |stamp: u64| {
+        let (_, plain) = gen.get_plain();
+        let conn = stream.next();
+        let (s, _owner) = map.route_replica(conn);
+        machine
+            .host
+            .push_request_at(&ut, fds[s], &wire.encrypt(&plain), stamp);
+    };
+    let ops = (scale.ops(if quick { 512 } else { 2048 }) / CHUNK * CHUNK).max(4 * CHUNK);
+    let mut plan = chaos.then(|| ChaosPlan::kill_respawn(replicas - 1, ops / 2, ops * 3 / 4));
+    // Reaps every retained reply off the sockets (the host's tx log
+    // is a bounded ring, so the client must keep up) and checks each
+    // still authenticates — after a failover the heir serves under
+    // the same wire session.
+    let reap_replies = |count: &mut u64| {
+        for &fd in &fds {
+            while let Some(resp) = machine.host.pop_response(fd) {
+                let _ = wire.decrypt(&resp);
+                *count += 1;
+            }
+        }
+    };
+    // Each chunk starts at a clock barrier: all replica cores idle
+    // forward to the stamping core's time, so per-op sojourn stays on
+    // one timebase and the run's span is the bottleneck core's path
+    // (replicas serve their shard slices concurrently).
+    let mut run_chunk = |n: usize, replies: &mut u64| {
+        let now = fk.sync_clocks();
+        for _ in 0..n {
+            push(now);
+        }
+        let mut done = 0usize;
+        while done < n {
+            let got = fk.pump();
+            assert!(got > 0, "queued requests must be served");
+            done += got;
+            reap_replies(replies);
+        }
+    };
+    // Warm-up; its replies are reaped and discarded so the lost-reply
+    // count covers exactly the measured phase.
+    let mut warmup_replies = 0u64;
+    run_chunk(CHUNK, &mut warmup_replies);
+    fk.flush();
+    reap_replies(&mut warmup_replies);
+    rig.machine.reset_counters();
+    let t0 = fk.sync_clocks();
+    let (mut failover_cycles, mut recovery_cycles) = (0u64, 0u64);
+    let mut replies = 0u64;
+    let mut pushed = 0usize;
+    while pushed < ops {
+        let c = (ops - pushed).min(CHUNK);
+        run_chunk(c, &mut replies);
+        pushed += c;
+        if let Some(p) = &mut plan {
+            for action in p.take_due(pushed) {
+                match action {
+                    ChaosAction::Kill(v) => failover_cycles += fk.kill(v).cycles,
+                    ChaosAction::Respawn(v) => recovery_cycles += fk.respawn(v).cycles,
+                }
+            }
+        }
+    }
+    fk.flush();
+    reap_replies(&mut replies);
+    // Barrier again so busy covers the slowest replica's path: with
+    // per-replica cores the fleet's wall-clock is the bottleneck core.
+    let busy = fk.sync_clocks() - t0;
+    let d = rig.machine.stats.snapshot();
+    let sh = &d.shard.replica[0];
+    Cell {
+        shards: FLEET_SHARDS,
+        policy: policy.to_owned(),
+        load: "steady",
+        balance: "static",
+        replicas,
+        chaos: if chaos { "kill-respawn" } else { "none" },
+        lost_replies: ops as u64 - replies,
+        failover_cycles,
+        recovery_cycles,
+        replica_ops: (0..replicas)
+            .map(|r| {
+                (0..FLEET_SHARDS)
+                    .map(|s| d.shard.replica[r].sojourn[s].count())
+                    .sum()
+            })
+            .collect(),
+        ops,
+        busy_cycles_per_op: busy as f64 / ops as f64,
+        throughput_ops_s: ops as f64 / secs(busy.max(1)),
+        sojourn_p50: d.sojourn.p50(),
+        sojourn_p95: d.sojourn.p95(),
+        sojourn_p99: d.sojourn.p99(),
+        sojourn_count: d.sojourn.count(),
+        rpc_batches: d.rpc_batches,
+        shard_backlog: sh.backlog[..FLEET_SHARDS].to_vec(),
+        shard_depth: sh.depth[..FLEET_SHARDS].to_vec(),
+        steals_taken: sh.steals_taken[..FLEET_SHARDS].to_vec(),
+        steals_given: sh.steals_given[..FLEET_SHARDS].to_vec(),
+        migrations: sh.migrations[..FLEET_SHARDS].to_vec(),
+        shard_sojourn_p99: sh.sojourn[..FLEET_SHARDS].iter().map(|h| h.p99()).collect(),
     }
 }
 
@@ -361,6 +548,49 @@ pub fn run(scale: Scale, quick: bool) {
         }
     }
 
+    // Fleet sweep: the replicas axis on the steady load, plus the
+    // chaos cell.
+    println!(
+        "   {:<8} {:<8} {:>8} {:>14} {:>12} {:>10} {:>6} {:>10} {:>10}",
+        "fleet",
+        "policy",
+        "replicas",
+        "chaos",
+        "busy c/op",
+        "ops/s",
+        "lost",
+        "failover",
+        "recovery"
+    );
+    for (policy, cfg) in policies() {
+        if !matches!(policy.as_str(), "fixed-8" | "adaptive") {
+            continue;
+        }
+        for (replicas, chaos) in [(1usize, false), (2, false), (3, true)] {
+            if chaos && policy != "adaptive" {
+                continue;
+            }
+            let c = fleet_cell(scale, replicas, &policy, cfg.clone(), chaos, quick);
+            println!(
+                "   {:<8} {:<8} {:>8} {:>14} {:>12.0} {:>10} {:>6} {:>10} {:>10}",
+                "steady",
+                c.policy,
+                c.replicas,
+                c.chaos,
+                c.busy_cycles_per_op,
+                kops(c.throughput_ops_s),
+                c.lost_replies,
+                c.failover_cycles,
+                c.recovery_cycles,
+            );
+            assert_eq!(
+                c.lost_replies, 0,
+                "a fence-paced failover must not lose replies"
+            );
+            cells.push(c);
+        }
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"serving_sharded\",\n");
     json.push_str(&format!("  \"scale\": {},\n", scale.0));
@@ -370,8 +600,10 @@ pub fn run(scale: Scale, quick: bool) {
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{ \"load\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \
-             \"balance\": \"{}\", \"ops\": {}, \
+             \"balance\": \"{}\", \"replicas\": {}, \"chaos\": \"{}\", \"ops\": {}, \
              \"busy_cycles_per_op\": {:.1}, \"throughput_ops_s\": {:.1}, \
+             \"lost_replies\": {}, \"failover_cycles\": {}, \"recovery_cycles\": {}, \
+             \"replica_ops\": {}, \
              \"sojourn_p50\": {}, \"sojourn_p95\": {}, \"sojourn_p99\": {}, \
              \"sojourn_count\": {}, \"rpc_batches\": {}, \
              \"shard_backlog\": {}, \"shard_depth\": {}, \
@@ -381,9 +613,15 @@ pub fn run(scale: Scale, quick: bool) {
             c.policy,
             c.shards,
             c.balance,
+            c.replicas,
+            c.chaos,
             c.ops,
             c.busy_cycles_per_op,
             c.throughput_ops_s,
+            c.lost_replies,
+            c.failover_cycles,
+            c.recovery_cycles,
+            json_array(&c.replica_ops),
             c.sojourn_p50,
             c.sojourn_p95,
             c.sojourn_p99,

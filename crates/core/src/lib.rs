@@ -48,6 +48,7 @@ pub mod containers;
 pub mod raw;
 pub mod runtime;
 pub mod shared;
+pub mod snapshot;
 pub mod spointer;
 pub mod suvm;
 pub mod swapper;
@@ -56,6 +57,7 @@ pub mod table;
 pub use config::{EvictPolicy, SealerConfig, StoreKind, SuvmConfig};
 pub use containers::{SBox, SHashMap, SVec};
 pub use runtime::{Eleos, EleosBuilder};
+pub use snapshot::{Snapshot, SnapshotBuilder};
 pub use spointer::{Plain, SPtr};
 pub use suvm::{Suvm, Sva};
 pub use swapper::Swapper;

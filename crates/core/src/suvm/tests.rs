@@ -509,6 +509,41 @@ fn batched_writeback_detaches_then_drains() {
 }
 
 #[test]
+fn quiesce_seals_every_dirty_page_and_is_idempotent() {
+    // Regardless of write-back mode: after quiesce the backing store
+    // holds every write sealed, nothing is dirty, and the data
+    // survives refaulting (a snapshot fence for failover).
+    for wb_batch in [0usize, 4] {
+        let (_m, s, mut t) = setup(SuvmConfig {
+            wb_batch,
+            ..SuvmConfig::tiny()
+        });
+        let a = s.malloc(16 * 4096);
+        for page in 0..8u64 {
+            s.write(&mut t, a + page * 4096, &[page as u8 + 1; 64]);
+        }
+        let sealed = s.quiesce(&mut t);
+        assert_eq!(
+            sealed, 8,
+            "every dirty resident page sealed (wb_batch {wb_batch})"
+        );
+        assert_eq!(s.writeback_queue_len(), 0);
+        s.check_consistency();
+        assert_eq!(
+            s.quiesce(&mut t),
+            0,
+            "a quiesced instance has nothing dirty"
+        );
+        for page in 0..8u64 {
+            let mut b = [0u8; 64];
+            s.read(&mut t, a + page * 4096, &mut b);
+            assert_eq!(b, [page as u8 + 1; 64], "page {page}");
+        }
+        t.exit();
+    }
+}
+
+#[test]
 fn pin_rescues_queued_frame_before_drain() {
     let (m, s, mut t) = setup(SuvmConfig {
         wb_batch: 16,

@@ -169,6 +169,55 @@ impl Suvm {
         }
         sealed
     }
+
+    /// Quiesces the instance at a fence: parks every dirty resident
+    /// page on the write-back queue and drains the queue to the sealed
+    /// backing store. On return every page's authoritative copy lives
+    /// sealed in the backing store (the cache is cold — quiesce is a
+    /// snapshot fence, not a hot-path operation) and a state capture
+    /// reading through the store sees all writes. Returns the number
+    /// of pages sealed.
+    ///
+    /// # Panics
+    /// Panics when a dirty frame is still pinned — a fence means no
+    /// in-flight mutators, so a live pin is an orchestration bug.
+    pub fn quiesce(&self, ctx: &mut ThreadCtx) -> usize {
+        for (idx, meta) in self.frames.iter().enumerate() {
+            let frame = idx as u32;
+            let page = meta.page.load(Ordering::Acquire);
+            if page == NO_PAGE || !meta.dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            assert_eq!(
+                meta.pinned.load(Ordering::Acquire),
+                0,
+                "quiesce at a fence found a pinned dirty frame {frame} (page {page})"
+            );
+            // Same hint protocol as the detach path: park under the
+            // bucket lock so a concurrent rescue cannot race the flag.
+            let parked = self.pt.with_bucket(page, |b| {
+                b.iter().any(|(p, f)| *p == page && *f == frame)
+                    && !meta.queued.swap(true, Ordering::AcqRel)
+            });
+            if parked {
+                let depth = {
+                    let mut wb = self.wb.lock();
+                    wb.push_back((frame, page));
+                    wb.len() as u64
+                };
+                Stats::bump(&self.machine.stats.suvm_wb_queued);
+                Stats::peak(&self.machine.stats.suvm_wb_queue_peak, depth);
+            }
+        }
+        let mut sealed = 0;
+        loop {
+            let depth = self.wb.lock().len();
+            if depth == 0 {
+                return sealed;
+            }
+            sealed += self.drain_writeback(ctx, depth);
+        }
+    }
 }
 
 /// Outcome of [`Suvm::detach_frame`].

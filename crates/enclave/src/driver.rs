@@ -114,6 +114,18 @@ impl SgxDriver {
         self.inner.lock().free.len()
     }
 
+    /// EPC frames currently resident for `enclave_id` (zero once the
+    /// enclave is destroyed) — what the fleet's fair-share pressure
+    /// gauge and the contention proptests read.
+    #[must_use]
+    pub fn resident_frames(&self, enclave_id: u32) -> usize {
+        self.inner
+            .lock()
+            .resident
+            .get(&enclave_id)
+            .map_or(0, VecDeque::len)
+    }
+
     /// Handles a hardware EPC fault: `enclave` touched linear `page`
     /// and found no resident frame. Charges all direct costs to
     /// `core`'s clock and flushes its TLB (the fault exits the
@@ -203,6 +215,17 @@ impl SgxDriver {
             .get_mut(&enclave.id)
             .expect("registered")
             .push_back((page, frame, core.id));
+        // Fleet contention telemetry: when siblings are active, record
+        // how far this enclave now sits beyond its even PRM split. The
+        // fair-share eviction policy pulls the overshoot back, so the
+        // peak bounds how unfair the allocator ever got.
+        if inner.enclaves.len() > 1 {
+            let fair = self.total_frames / inner.enclaves.len();
+            let res = inner.resident[&enclave.id].len();
+            if res > fair {
+                Stats::peak(&m.stats.epc_over_share_peak, (res - fair) as u64);
+            }
+        }
     }
 
     /// Evicts one page, preferring the enclave most over its fair

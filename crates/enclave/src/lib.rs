@@ -35,6 +35,7 @@
 pub mod driver;
 pub mod enclave;
 pub mod epc;
+pub mod fleet;
 pub mod fs;
 pub mod host;
 pub mod machine;
@@ -43,6 +44,7 @@ pub mod thread;
 pub use driver::SgxDriver;
 pub use enclave::Enclave;
 pub use epc::EpcPool;
+pub use fleet::{Fleet, ReplicaState};
 pub use fs::{FileFd, FsError, HostFs};
 pub use host::{Fd, HostOs};
 pub use machine::{Core, MachineConfig, SgxMachine};

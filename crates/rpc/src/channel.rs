@@ -1,0 +1,269 @@
+//! Exit-less cross-enclave channels for replication traffic.
+//!
+//! Two enclaves on the same machine cannot share EPC pages (each
+//! enclave's linear space is its own), but they *can* both touch
+//! untrusted memory without exiting — the same property the RPC ring
+//! exploits, with an enclave on **both** ends instead of a host worker
+//! on one. An [`EnclaveChannel`] is a bounded byte ring in untrusted
+//! memory plus a host-side descriptor queue: the sender stages a
+//! message with charged `write_untrusted` traffic and pays the
+//! incremental `rpc_post` descriptor handoff per [`CHUNK_BYTES`]
+//! chunk; the receiver reaps it with charged `read_untrusted` traffic.
+//! No OCALL, no EEXIT, no host round-trip anywhere.
+//!
+//! The channel itself is **not** a confidentiality boundary — its
+//! backing store is plain untrusted memory. Callers must only send
+//! bytes that are already sealed end-to-end (the fleet tier sends
+//! `eleos_core::snapshot` blobs whose sections are AES-GCM
+//! ciphertext under a key both replicas share); the
+//! channel moves ciphertext, exactly like the paper's sealed swap
+//! moves ciphertext through the untrusted page cache.
+//!
+//! Flow control is deliberately fail-fast: replication traffic is
+//! fence-paced (snapshot out, restore in, continue), so a full ring
+//! means the fleet orchestration is broken, not that the sender
+//! should wait.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use eleos_enclave::machine::SgxMachine;
+use eleos_enclave::thread::ThreadCtx;
+use eleos_sim::stats::Stats;
+
+/// Descriptor granularity: one `rpc_post` charge per started chunk,
+/// mirroring the RPC ring's slot-sized handoffs.
+pub const CHUNK_BYTES: usize = 4096;
+
+/// One staged message: `kind` discriminates payload types (the fleet
+/// uses it for snapshot vs. epoch messages), `at`/`len` locate the
+/// payload in the ring.
+struct Msg {
+    kind: u8,
+    at: usize,
+    len: usize,
+}
+
+struct Inner {
+    /// Ring write cursor (bytes, wraps at `cap`).
+    tail: usize,
+    /// Bytes currently staged (occupancy; the read cursor is implied
+    /// by the front message's `at`).
+    used: usize,
+    msgs: VecDeque<Msg>,
+}
+
+/// A bounded exit-less byte channel between enclaves on one machine.
+///
+/// Multiple-producer, multiple-consumer in the host sense (the cursor
+/// state is lock-protected), FIFO per channel. Clone the [`Arc`] to
+/// hand both ends out.
+pub struct EnclaveChannel {
+    machine: Arc<SgxMachine>,
+    /// Base of the staging ring in simulated untrusted memory.
+    buf: u64,
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl EnclaveChannel {
+    /// Allocates a channel with a `cap`-byte untrusted staging ring.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero.
+    #[must_use]
+    pub fn new(machine: &Arc<SgxMachine>, cap: usize) -> Arc<Self> {
+        assert!(cap > 0, "a zero-capacity channel can never carry a message");
+        let buf = machine.alloc_untrusted(cap);
+        Arc::new(Self {
+            machine: Arc::clone(machine),
+            buf,
+            cap,
+            inner: Mutex::new(Inner {
+                tail: 0,
+                used: 0,
+                msgs: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// Ring capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Messages currently staged and unreceived.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.inner.lock().msgs.len()
+    }
+
+    /// Stages `bytes` into the ring without leaving the enclave.
+    ///
+    /// Charges the sender the untrusted-memory write traffic plus one
+    /// `rpc_post` per started [`CHUNK_BYTES`] chunk (the descriptor
+    /// handoffs). Empty messages are legal (a pure `kind` signal) and
+    /// cost one descriptor.
+    ///
+    /// # Panics
+    /// Panics when called from untrusted mode (the host has no
+    /// business on an enclave-to-enclave channel) or when the message
+    /// does not fit next to what is already staged — replication is
+    /// fence-paced, so overflow is an orchestration bug.
+    pub fn send(&self, ctx: &mut ThreadCtx, kind: u8, bytes: &[u8]) {
+        assert!(
+            ctx.in_enclave(),
+            "cross-enclave channels are for trusted code on both ends"
+        );
+        let mut inner = self.inner.lock();
+        assert!(
+            inner.used + bytes.len() <= self.cap,
+            "cross-enclave channel full: {} staged + {} new > {} capacity",
+            inner.used,
+            bytes.len(),
+            self.cap
+        );
+        let at = inner.tail;
+        // Stage the payload, splitting at the ring's wrap point; the
+        // write itself is charged untrusted-memory traffic.
+        let first = (self.cap - at).min(bytes.len());
+        if first > 0 {
+            ctx.write_untrusted(self.buf + at as u64, &bytes[..first]);
+        }
+        if first < bytes.len() {
+            ctx.write_untrusted(self.buf, &bytes[first..]);
+        }
+        // One descriptor handoff per started chunk (at least one, so a
+        // bare signal still synchronizes).
+        let chunks = bytes.len().div_ceil(CHUNK_BYTES).max(1);
+        ctx.compute(self.machine.cfg.costs.rpc_post * chunks as u64);
+        inner.tail = (at + bytes.len()) % self.cap;
+        inner.used += bytes.len();
+        inner.msgs.push_back(Msg {
+            kind,
+            at,
+            len: bytes.len(),
+        });
+        Stats::bump(&self.machine.stats.xchan_msgs);
+        Stats::add(&self.machine.stats.xchan_bytes, bytes.len() as u64);
+    }
+
+    /// Reaps the oldest staged message, if any, without leaving the
+    /// enclave. Charges the receiver the untrusted-memory read
+    /// traffic.
+    ///
+    /// # Panics
+    /// Panics when called from untrusted mode.
+    pub fn recv(&self, ctx: &mut ThreadCtx) -> Option<(u8, Vec<u8>)> {
+        assert!(
+            ctx.in_enclave(),
+            "cross-enclave channels are for trusted code on both ends"
+        );
+        let mut inner = self.inner.lock();
+        let msg = inner.msgs.pop_front()?;
+        let mut bytes = vec![0u8; msg.len];
+        let first = (self.cap - msg.at).min(msg.len);
+        if first > 0 {
+            ctx.read_untrusted(self.buf + msg.at as u64, &mut bytes[..first]);
+        }
+        if first < msg.len {
+            ctx.read_untrusted(self.buf, &mut bytes[first..]);
+        }
+        inner.used -= msg.len;
+        Some((msg.kind, bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleos_enclave::machine::MachineConfig;
+
+    fn rig() -> (Arc<SgxMachine>, ThreadCtx, ThreadCtx) {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let a = m.driver.create_enclave(&m, 64 * 4096);
+        let b = m.driver.create_enclave(&m, 64 * 4096);
+        let mut ta = ThreadCtx::for_enclave(&m, &a, 0);
+        let mut tb = ThreadCtx::for_enclave(&m, &b, 1);
+        ta.enter();
+        tb.enter();
+        (m, ta, tb)
+    }
+
+    #[test]
+    fn round_trips_bytes_in_fifo_order() {
+        let (m, mut ta, mut tb) = rig();
+        let ch = EnclaveChannel::new(&m, 64 << 10);
+        ch.send(&mut ta, 1, b"sealed snapshot bytes");
+        ch.send(&mut ta, 2, b"epoch 7");
+        assert_eq!(ch.pending(), 2);
+        assert_eq!(
+            ch.recv(&mut tb),
+            Some((1, b"sealed snapshot bytes".to_vec()))
+        );
+        assert_eq!(ch.recv(&mut tb), Some((2, b"epoch 7".to_vec())));
+        assert_eq!(ch.recv(&mut tb), None);
+        let s = m.stats.snapshot();
+        assert_eq!(s.xchan_msgs, 2);
+        assert_eq!(s.xchan_bytes, 21 + 7);
+    }
+
+    #[test]
+    fn transfer_is_exitless() {
+        let (m, mut ta, mut tb) = rig();
+        let ch = EnclaveChannel::new(&m, 64 << 10);
+        let s0 = m.stats.snapshot();
+        let blob = vec![0xa5u8; 20 << 10]; // several chunks
+        ch.send(&mut ta, 3, &blob);
+        assert_eq!(ch.recv(&mut tb).expect("staged").1, blob);
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.enclave_exits, 0, "channel traffic must be exit-less");
+        assert_eq!(d.ocalls, 0);
+        assert_eq!(d.xchan_bytes, 20 << 10);
+    }
+
+    #[test]
+    fn wraps_around_the_ring_boundary() {
+        let (m, mut ta, mut tb) = rig();
+        let ch = EnclaveChannel::new(&m, 1024);
+        // Advance the cursor near the end, drain, then send a message
+        // that must split across the wrap point.
+        ch.send(&mut ta, 0, &[1u8; 900]);
+        assert_eq!(ch.recv(&mut tb).expect("staged").1.len(), 900);
+        let msg: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        ch.send(&mut ta, 0, &msg);
+        assert_eq!(ch.recv(&mut tb), Some((0, msg)));
+    }
+
+    #[test]
+    fn empty_message_is_a_pure_signal() {
+        let (m, mut ta, mut tb) = rig();
+        let ch = EnclaveChannel::new(&m, 1024);
+        let before = ta.now();
+        ch.send(&mut ta, 9, &[]);
+        assert!(ta.now() > before, "even a bare signal pays its descriptor");
+        assert_eq!(ch.recv(&mut tb), Some((9, Vec::new())));
+        assert_eq!(m.stats.snapshot().xchan_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-enclave channel full")]
+    fn overflow_fails_fast() {
+        let (m, mut ta, _tb) = rig();
+        let ch = EnclaveChannel::new(&m, 256);
+        ch.send(&mut ta, 0, &[0u8; 200]);
+        ch.send(&mut ta, 0, &[0u8; 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "for trusted code on both ends")]
+    fn rejects_untrusted_senders() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let ch = EnclaveChannel::new(&m, 256);
+        let mut t = ThreadCtx::untrusted(&m, 0);
+        ch.send(&mut t, 0, b"nope");
+    }
+}

@@ -65,7 +65,10 @@
 //! t.exit();
 //! ```
 
+pub mod channel;
 pub mod libos;
+
+pub use channel::EnclaveChannel;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -160,6 +160,10 @@ impl core::fmt::Debug for HistSnapshot {
 /// (mirrors `llc::MAX_SHARD_CLASSES`).
 pub const MAX_SHARDS: usize = 8;
 
+/// Maximum number of enclave replicas tracked by the per-replica
+/// shard gauges (the fleet tier's stat dimension).
+pub const MAX_REPLICAS: usize = 4;
+
 /// Live per-shard serving telemetry. Slots beyond the active shard
 /// count stay zero. `backlog` and `depth` are *gauges* (last observed
 /// value, written with a relaxed store); the rest are counters.
@@ -245,6 +249,50 @@ impl core::ops::Sub for ShardStatsSnapshot {
     }
 }
 
+/// The fleet tier's shard telemetry: one [`ShardStats`] block per
+/// enclave replica. A single-enclave server writes replica slot 0;
+/// the fleet's per-replica pipelines write their own slot, so shard
+/// gauges never alias across replicas.
+#[derive(Debug, Default)]
+pub struct FleetShardStats {
+    /// Per-replica shard gauge blocks. Slots beyond the active
+    /// replica count stay zero.
+    pub replica: [ShardStats; MAX_REPLICAS],
+}
+
+impl FleetShardStats {
+    /// Copies every replica's shard slots.
+    #[must_use]
+    pub fn snapshot(&self) -> FleetShardSnapshot {
+        FleetShardSnapshot {
+            replica: std::array::from_fn(|r| self.replica[r].snapshot()),
+        }
+    }
+
+    /// Resets every replica's slots to zero.
+    pub fn reset(&self) {
+        for r in &self.replica {
+            r.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of [`FleetShardStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FleetShardSnapshot {
+    /// Per-replica shard gauge snapshots.
+    pub replica: [ShardStatsSnapshot; MAX_REPLICAS],
+}
+
+impl core::ops::Sub for FleetShardSnapshot {
+    type Output = FleetShardSnapshot;
+    fn sub(self, rhs: FleetShardSnapshot) -> FleetShardSnapshot {
+        FleetShardSnapshot {
+            replica: std::array::from_fn(|r| self.replica[r] - rhs.replica[r]),
+        }
+    }
+}
+
 macro_rules! stats {
     ($(#[$doc:meta] $name:ident),+ $(,)?) => {
         /// Live, atomically updated counters.
@@ -256,9 +304,9 @@ macro_rules! stats {
             /// reaps from the enqueue timestamps in the wire
             /// descriptors.
             pub sojourn: Hist,
-            /// Per-shard serving gauges (backlog, AIMD depth, steals,
-            /// migrations, per-shard sojourn).
-            pub shard: ShardStats,
+            /// Per-replica, per-shard serving gauges (backlog, AIMD
+            /// depth, steals, migrations, per-shard sojourn).
+            pub shard: FleetShardStats,
         }
 
         /// A point-in-time copy of [`Stats`].
@@ -267,8 +315,8 @@ macro_rules! stats {
             $(#[$doc] pub $name: u64,)+
             /// Per-op sojourn histogram (cycles).
             pub sojourn: HistSnapshot,
-            /// Per-shard serving gauges.
-            pub shard: ShardStatsSnapshot,
+            /// Per-replica, per-shard serving gauges.
+            pub shard: FleetShardSnapshot,
         }
 
         impl Stats {
@@ -388,6 +436,18 @@ stats! {
     suvm_evictions_probation,
     /// SUVM evictions of protected-class frames.
     suvm_evictions_protected,
+    /// High-water mark of EPC frames any enclave held *beyond* its fair share while siblings were active (fleet contention pressure).
+    epc_over_share_peak,
+    /// Snapshots sealed by the fleet tier (quiesce-at-fence captures).
+    fleet_snapshots,
+    /// Snapshots restored into a replica (failover takeovers and cold rejoins).
+    fleet_restores,
+    /// Replica failovers: a replica's shards reassigned to survivors.
+    fleet_failovers,
+    /// Messages moved over exit-less cross-enclave channels.
+    xchan_msgs,
+    /// Payload bytes moved over exit-less cross-enclave channels.
+    xchan_bytes,
 }
 
 impl Stats {
@@ -455,8 +515,27 @@ impl StatsSnapshot {
         put("evict_protected", self.suvm_evictions_protected);
         put("tlb_flushes", self.tlb_flushes);
         put("llc_miss", self.llc_misses);
-        put("steals", self.shard.steals_taken.iter().sum());
-        put("migrations", self.shard.migrations.iter().sum());
+        put(
+            "steals",
+            self.shard
+                .replica
+                .iter()
+                .map(|r| r.steals_taken.iter().sum::<u64>())
+                .sum(),
+        );
+        put(
+            "migrations",
+            self.shard
+                .replica
+                .iter()
+                .map(|r| r.migrations.iter().sum::<u64>())
+                .sum(),
+        );
+        put("epc_over_share", self.epc_over_share_peak);
+        put("snapshots", self.fleet_snapshots);
+        put("restores", self.fleet_restores);
+        put("failovers", self.fleet_failovers);
+        put("xchan_msgs", self.xchan_msgs);
         if self.sojourn.count() > 0 {
             parts.push(format!(
                 "sojourn_p50={} sojourn_p95={} sojourn_p99={}",
@@ -589,14 +668,14 @@ mod tests {
     #[test]
     fn shard_gauges_snapshot_and_delta() {
         let s = Stats::default();
-        Stats::set(&s.shard.backlog[1], 7);
-        Stats::set(&s.shard.depth[1], 4);
-        Stats::bump(&s.shard.steals_taken[0]);
-        Stats::bump(&s.shard.steals_given[1]);
-        Stats::add(&s.shard.migrations[1], 2);
-        s.shard.sojourn[1].record(100);
-        let base = ShardStatsSnapshot::default();
-        let d = s.snapshot().shard - base;
+        Stats::set(&s.shard.replica[0].backlog[1], 7);
+        Stats::set(&s.shard.replica[0].depth[1], 4);
+        Stats::bump(&s.shard.replica[0].steals_taken[0]);
+        Stats::bump(&s.shard.replica[0].steals_given[1]);
+        Stats::add(&s.shard.replica[0].migrations[1], 2);
+        s.shard.replica[0].sojourn[1].record(100);
+        let base = FleetShardSnapshot::default();
+        let d = (s.snapshot().shard - base).replica[0];
         assert_eq!(d.backlog[1], 7);
         assert_eq!(d.depth[1], 4);
         assert_eq!(d.steals_taken[0], 1);
@@ -608,7 +687,22 @@ mod tests {
         assert!(text.contains("steals=1"), "{text}");
         assert!(text.contains("migrations=2"), "{text}");
         s.reset();
-        assert_eq!(s.snapshot().shard, ShardStatsSnapshot::default());
+        assert_eq!(s.snapshot().shard, FleetShardSnapshot::default());
+    }
+
+    #[test]
+    fn replica_gauges_stay_disjoint_across_slots() {
+        let s = Stats::default();
+        Stats::set(&s.shard.replica[0].backlog[2], 3);
+        Stats::set(&s.shard.replica[1].backlog[2], 9);
+        Stats::bump(&s.shard.replica[1].steals_taken[0]);
+        let snap = s.snapshot().shard;
+        assert_eq!(snap.replica[0].backlog[2], 3);
+        assert_eq!(snap.replica[1].backlog[2], 9);
+        assert_eq!(snap.replica[0].steals_taken[0], 0);
+        assert_eq!(snap.replica[1].steals_taken[0], 1);
+        // The summary sums steal counters across every replica slot.
+        assert!(s.snapshot().summary().contains("steals=1"));
     }
 
     #[test]

@@ -1,104 +1,196 @@
-//! Multi-enclave ballooning (§3.3): two enclaves share the PRM, and
-//! the SUVM swapper coordinates each one's EPC++ size with the SGX
-//! driver so neither thrashes the other.
+//! A replicated enclave fleet behind the shard router: two SUVM-backed
+//! replicas serve one KVS through the sharded exit-less pipeline
+//! (connection → shard → owning replica), each paging its slice of the
+//! store through its own EPC++ while the SGX driver fair-shares the
+//! physical EPC between them (§3.3). Mid-run a replica is killed at a
+//! fence — its sealed snapshot crosses the exit-less cross-enclave
+//! channel, the heir restores it before reaping the inherited shards,
+//! and no reply is lost — then respawned from the shard-owner's
+//! donated snapshot.
 //!
 //! Run with: `cargo run --release --example multi_enclave`
 
 use std::sync::Arc;
 
+use eleos::apps::fleet_io::{FleetConfig, FleetKvs};
+use eleos::apps::io::ServerIoConfig;
+use eleos::apps::kvs::{build_get, build_set};
+use eleos::apps::{IoPath, Wire};
+use eleos::crypto::gcm::AesGcm128;
+use eleos::crypto::Sealer;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
-use eleos::suvm::{Suvm, SuvmConfig};
+use eleos::rpc::{with_syscalls, RpcService};
+use eleos::suvm::SuvmConfig;
+
+const SHARDS: usize = 4;
+const REPLICAS: usize = 2;
+const N_CONNS: u64 = 8;
+const N_ITEMS: u32 = 2048;
+const VAL: usize = 1024;
+const ROUNDS: usize = 32;
+const KILL_AT: usize = 16;
+const RESPAWN_AT: usize = 24;
 
 fn main() {
     let machine = SgxMachine::new(MachineConfig {
         epc_bytes: 24 << 20,
         ..MachineConfig::default()
     });
-    println!(
-        "machine: {} MiB EPC shared by whoever comes",
-        machine.cfg.epc_bytes >> 20
-    );
+    let ut = ThreadCtx::untrusted(&machine, 2);
+    let fds: Vec<_> = (0..SHARDS)
+        .map(|_| machine.host.socket(&ut, 256 << 10))
+        .collect();
+    let svc = with_syscalls(RpcService::builder(&machine), &machine)
+        .workers(2, &[6, 7])
+        .build();
+    let wire = Arc::new(Wire::new([9u8; 16]));
+    // The fleet key is shared across replicas (a per-enclave sealing
+    // identity dies with its enclave, so snapshots must not use it).
+    let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x2au8; 16]));
 
-    // Enclave A starts alone and sizes its EPC++ greedily.
-    let e1 = machine.driver.create_enclave(&machine, 64 << 20);
-    let t0 = ThreadCtx::for_enclave(&machine, &e1, 0);
-    let suvm1 = Suvm::new(
-        &t0,
-        SuvmConfig {
-            epcpp_bytes: 16 << 20,
-            backing_bytes: 64 << 20,
-            headroom_bytes: 2 << 20,
-            ..SuvmConfig::default()
+    // Each replica's kv data lives in its own 1 MiB EPC++ over a 2 MiB
+    // store, so both page continuously and contend on the shared EPC.
+    let fk = FleetKvs::new(
+        &machine,
+        &fds,
+        ServerIoConfig::with_buf_len(16 << 10)
+            .batch(8)
+            .shards(SHARDS),
+        IoPath::Rpc(Arc::new(svc)),
+        Arc::clone(&wire),
+        sealer,
+        FleetConfig {
+            suvm: Some(SuvmConfig {
+                epcpp_bytes: 1 << 20,
+                backing_bytes: 16 << 20,
+                headroom_bytes: 256 << 10,
+                ..SuvmConfig::default()
+            }),
+            cores: vec![0, 1],
+            ..FleetConfig::small(REPLICAS)
+        },
+        |ctx, kvs| {
+            for i in 0..N_ITEMS {
+                kvs.set(ctx, format!("item-{i}").as_bytes(), &[(i % 251) as u8; VAL]);
+            }
         },
     );
-    let mut t1 = ThreadCtx::for_enclave(&machine, &e1, 0);
-    t1.enter();
-    let a = suvm1.malloc(16 << 20);
-    for page in 0..4096u64 {
-        suvm1.write(&mut t1, a + page * 4096, &[1u8; 64]);
+    for r in 0..REPLICAS {
+        let id = fk.fleet().enclave(r).id;
+        println!(
+            "replica {r}: enclave {id}, driver fair share {} MiB of {} MiB EPC",
+            (machine.driver.available_epc_for(id) * 4096) >> 20,
+            machine.cfg.epc_bytes >> 20
+        );
+    }
+
+    // A conn pinned to a replica-1 shard: its pre-kill SET must survive
+    // the failover (the heir restores the victim's snapshot first).
+    let map = Arc::clone(fk.map());
+    let marked = (0..N_CONNS)
+        .find(|&c| map.route_replica(c).1 == 1)
+        .expect("some connection lands on replica 1");
+
+    let reap = |pushed_minus_reaped: &mut u64| {
+        for &fd in &fds {
+            while let Some(resp) = machine.host.pop_response(fd) {
+                let plain = wire.decrypt(&resp);
+                assert_eq!(plain[0], 1, "every request hits (found / stored)");
+                *pushed_minus_reaped -= 1;
+            }
+        }
+    };
+
+    let mut outstanding = 0u64;
+    let mut pushed = 0u64;
+    for round in 0..ROUNDS {
+        let now = fk.sync_clocks();
+        for conn in 0..N_CONNS {
+            let (s, _owner) = map.route_replica(conn);
+            let plain = if conn == marked && round < KILL_AT {
+                build_set(format!("round-{round}").as_bytes(), &[round as u8; 64])
+            } else {
+                build_get(
+                    format!("item-{}", (round as u32 * 37 + conn as u32) % N_ITEMS).as_bytes(),
+                )
+            };
+            machine
+                .host
+                .push_request_at(&ut, fds[s], &wire.encrypt(&plain), now);
+            outstanding += 1;
+            pushed += 1;
+        }
+        let mut done = 0;
+        while done < N_CONNS as usize {
+            let got = fk.pump();
+            assert!(got > 0, "queued requests must be served");
+            done += got;
+            reap(&mut outstanding);
+        }
+        fk.flush();
+        reap(&mut outstanding);
+
+        if round + 1 == KILL_AT {
+            let rep = fk.kill(1);
+            println!(
+                "kill replica 1 at a fence: heir {} takes {} shards, {} KiB snapshot over the \
+                 channel, {} cycles; survivor's fair share now {} MiB",
+                rep.heir,
+                rep.shards_moved,
+                rep.snapshot_bytes >> 10,
+                rep.cycles,
+                (machine
+                    .driver
+                    .available_epc_for(fk.fleet().enclave(rep.heir).id)
+                    * 4096)
+                    >> 20
+            );
+        }
+        if round + 1 == RESPAWN_AT {
+            let rep = fk.respawn(1);
+            println!(
+                "respawn replica 1: owner {} donates {} KiB, {} shards taken back, {} cycles",
+                rep.donor,
+                rep.snapshot_bytes >> 10,
+                rep.shards_taken,
+                rep.cycles
+            );
+        }
+    }
+    fk.flush();
+    reap(&mut outstanding);
+    assert_eq!(outstanding, 0, "every pushed request was answered");
+
+    // The heir still serves the marked connection's pre-kill writes.
+    let (s, owner) = map.route_replica(marked);
+    let probe = format!("round-{}", KILL_AT - 1);
+    machine
+        .host
+        .push_request(&ut, fds[s], &wire.encrypt(&build_get(probe.as_bytes())));
+    while fk.pump() == 0 {}
+    fk.flush();
+    let plain = wire.decrypt(&machine.host.pop_response(fds[s]).unwrap());
+    assert_eq!(plain[0], 1, "pre-kill write must survive the failover");
+    assert_eq!(&plain[5..], [(KILL_AT - 1) as u8; 64]);
+    println!("pre-kill write served by replica {owner} after the kill/respawn cycle");
+
+    let st = machine.stats.snapshot();
+    for r in 0..REPLICAS {
+        let handled: u64 = (0..SHARDS)
+            .map(|s| st.shard.replica[r].sojourn[s].count())
+            .sum();
+        println!("replica {r} reaped {handled} requests across its shard slices");
     }
     println!(
-        "enclave A alone: driver share {} frames, EPC++ {} frames resident {}",
-        machine.driver.available_epc_for(e1.id),
-        suvm1.frame_limit(),
-        suvm1.resident_pages()
+        "{pushed} replies, 0 lost; {} failovers, {} snapshots, {} restores; {} channel msgs \
+         ({} KiB, all ciphertext); {} SUVM faults, {} evictions under the shared EPC",
+        st.fleet_failovers,
+        st.fleet_snapshots,
+        st.fleet_restores,
+        st.xchan_msgs,
+        st.xchan_bytes >> 10,
+        st.suvm_major_faults,
+        st.suvm_evictions
     );
-
-    // Enclave B arrives: the fair share halves.
-    let e2 = machine.driver.create_enclave(&machine, 64 << 20);
-    println!(
-        "enclave B arrives: driver share drops to {} frames each",
-        machine.driver.available_epc_for(e1.id)
-    );
-
-    // A's swapper tick applies the new share (what the background
-    // `Swapper` thread does periodically).
-    suvm1.swapper_tick(&mut t1);
-    println!(
-        "after A's swapper tick: EPC++ limit {} frames ({} MiB), resident {}",
-        suvm1.frame_limit(),
-        (suvm1.frame_limit() * 4096) >> 20,
-        suvm1.resident_pages()
-    );
-
-    // B can now run its own working set without evicting A's EPC++
-    // through the hardware.
-    let t0b = ThreadCtx::for_enclave(&machine, &e2, 1);
-    let suvm2 = Suvm::new(
-        &t0b,
-        SuvmConfig {
-            epcpp_bytes: 8 << 20,
-            backing_bytes: 64 << 20,
-            headroom_bytes: 2 << 20,
-            ..SuvmConfig::default()
-        },
-    );
-    let mut t2 = ThreadCtx::for_enclave(&machine, &e2, 1);
-    t2.enter();
-    let b = suvm2.malloc(16 << 20);
-    let before = machine.stats.snapshot();
-    for page in 0..4096u64 {
-        suvm2.write(&mut t2, b + page * 4096, &[2u8; 64]);
-    }
-    suvm2.swapper_tick(&mut t2);
-    let delta = machine.stats.snapshot() - before;
-    println!(
-        "enclave B worked through 16 MiB: {} SUVM faults, {} hardware faults",
-        delta.suvm_major_faults, delta.hw_faults
-    );
-
-    // Data both sides is intact.
-    let mut buf = [0u8; 64];
-    suvm1.read(&mut t1, a + 1234 * 4096, &mut buf);
-    assert_eq!(buf, [1u8; 64]);
-    suvm2.read(&mut t2, b + 1234 * 4096, &mut buf);
-    assert_eq!(buf, [2u8; 64]);
-    println!("both enclaves' data intact under shared PRM.");
-
-    t1.exit();
-    t2.exit();
-    machine.driver.destroy_enclave(&machine, &e1);
-    machine.driver.destroy_enclave(&machine, &e2);
-    let _ = Arc::strong_count(&machine);
 }

@@ -1,7 +1,9 @@
 //! Warm restarts with sealed snapshots: a KVS running in one enclave
-//! serializes its state, seals it, and writes it to the (untrusted)
-//! host filesystem through exit-less file syscalls; a second enclave
-//! "process" restores it. Tampering with the file is detected.
+//! captures a portable [`Snapshot`] (the same library type fleet
+//! failover ships over the cross-enclave channel), writes its framed
+//! ciphertext to the untrusted host filesystem through exit-less file
+//! syscalls, and a second enclave "process" restores it. Tampering
+//! with the file is detected.
 //!
 //! Run with: `cargo run --release --example sealed_snapshot`
 
@@ -13,19 +15,11 @@ use eleos::crypto::gcm::AesGcm128;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
 use eleos::rpc::{funcs, with_fs, RpcService};
-use eleos::suvm::{Suvm, SuvmConfig};
+use eleos::suvm::{Snapshot, Suvm, SuvmConfig};
 
-fn suvm_for(machine: &Arc<SgxMachine>, e: &Arc<eleos::enclave::Enclave>) -> Arc<Suvm> {
-    let t = ThreadCtx::for_enclave(machine, e, 0);
-    Suvm::new(
-        &t,
-        SuvmConfig {
-            epcpp_bytes: 4 << 20,
-            backing_bytes: 64 << 20,
-            ..SuvmConfig::default()
-        },
-    )
-}
+/// Nonce domain for this application's snapshots (would be the sealing
+/// enclave's id in a fleet; any fixed scope works for a single writer).
+const DOMAIN: u32 = 1;
 
 fn main() {
     let machine = SgxMachine::new(MachineConfig {
@@ -40,12 +34,17 @@ fn main() {
     // The sealing key would come from SGX sealing (EGETKEY); it is the
     // same for both "runs" of the application.
     let seal_key = AesGcm128::new(&[0x5e; 16]);
+    let suvm_cfg = SuvmConfig {
+        epcpp_bytes: 4 << 20,
+        backing_bytes: 64 << 20,
+        ..SuvmConfig::default()
+    };
 
     // ---- Run 1: build state and snapshot it. ----
     let e1 = machine.driver.create_enclave(&machine, 64 << 20);
-    let suvm1 = suvm_for(&machine, &e1);
     let mut t1 = ThreadCtx::for_enclave(&machine, &e1, 0);
     t1.enter();
+    let suvm1 = Suvm::new(&t1, suvm_cfg.clone());
     let mut kvs = Kvs::new(
         DataSpace::Untrusted(Arc::clone(&machine)),
         DataSpace::suvm(&suvm1),
@@ -62,8 +61,17 @@ fn main() {
     }
     println!("run 1: stored {} items in SUVM", kvs.len());
 
-    let blob = kvs.sealed_snapshot(&mut t1, &seal_key, &[1u8; 12]);
-    println!("snapshot sealed: {} KiB", blob.len() / 1024);
+    // Quiesce, then capture: the snapshot's sections are sealed in one
+    // amortized batch and the frame stays ciphertext end-to-end.
+    suvm1.quiesce(&mut t1);
+    let snap = kvs.snapshot(&mut t1, &seal_key, DOMAIN, 1);
+    let blob = snap.to_bytes();
+    println!(
+        "snapshot sealed at epoch {}: sections {:?}, {} KiB framed",
+        snap.epoch(),
+        snap.section_names(),
+        blob.len() / 1024
+    );
 
     // Write it to /var/kvs.img through exit-less file syscalls.
     let staging = machine.alloc_untrusted(blob.len().next_power_of_two());
@@ -85,9 +93,9 @@ fn main() {
 
     // ---- Run 2: a fresh enclave restores it. ----
     let e2 = machine.driver.create_enclave(&machine, 64 << 20);
-    let suvm2 = suvm_for(&machine, &e2);
     let mut t2 = ThreadCtx::for_enclave(&machine, &e2, 0);
     t2.enter();
+    let suvm2 = Suvm::new(&t2, suvm_cfg);
     let fd = svc.call(&mut t2, funcs::OPEN, [path, 12, 0, 0]);
     let size = svc.call(&mut t2, funcs::FSIZE, [fd, 0, 0, 0]) as usize;
     let n = svc.call(&mut t2, funcs::READ, [fd, staging, size as u64, 0]) as usize;
@@ -102,7 +110,7 @@ fn main() {
         4096,
     );
     kvs2.init(&mut t2);
-    let restored = kvs2.restore_snapshot(&mut t2, &seal_key, &reread);
+    let restored = kvs2.restore(&mut t2, &seal_key, &Snapshot::from_bytes(&reread));
     println!("run 2: restored {restored} items");
     assert_eq!(
         kvs2.get(&mut t2, b"session:1234").as_deref(),
@@ -110,6 +118,8 @@ fn main() {
     );
 
     // ---- An attacker edits the file: restore fails closed. ----
+    // Framing parses (the frame travels through untrusted memory), but
+    // opening the tampered section fails authentication.
     let mut bad = reread.clone();
     bad[1000] ^= 0xff;
     let mut kvs3 = Kvs::new(
@@ -123,7 +133,7 @@ fn main() {
     let prev = std::panic::take_hook();
     std::panic::set_hook(quiet);
     let tampered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        kvs3.restore_snapshot(&mut t2, &seal_key, &bad)
+        kvs3.restore(&mut t2, &seal_key, &Snapshot::from_bytes(&bad))
     }));
     std::panic::set_hook(prev);
     println!("tampered snapshot rejected: {}", tampered.is_err());

@@ -74,6 +74,9 @@ EOF
 echo "== sharded-serving equivalence suite"
 cargo test --test sharding_equivalence --offline -q
 
+echo "== fleet equivalence suite (chaos schedules, byte-identical replies)"
+cargo test --test fleet_equivalence --offline -q
+
 echo "== serving_bench smoke"
 # Scale 8, not 16: at 1/16 the LLC is barely larger than four shards'
 # staging buffers, and the balance layer's extra buffer traffic
@@ -84,20 +87,31 @@ python3 - <<'EOF'
 import itertools, json, sys
 
 cells = json.load(open("BENCH_serving.json"))["cells"]
-by_cell = {(c["load"], c["policy"], c["shards"], c["balance"]): c for c in cells}
+# Cells are keyed by (load, policy, shards, balance, replicas, chaos).
+# Fleet cells (the ones with per-replica op counts) re-run the
+# replicas=1 configuration through the fleet harness, so they are kept
+# apart from the single-enclave sweep.
+sweep = [c for c in cells if not c["replica_ops"]]
+by_cell = {
+    (c["load"], c["policy"], c["shards"], c["balance"], c["replicas"], c["chaos"]): c
+    for c in sweep
+}
+fleet = {
+    (c["policy"], c["replicas"], c["chaos"]): c for c in cells if c["replica_ops"]
+}
 
-# Every (load, policy, shards, balance) cell must be present, with
-# percentiles; the skewed and churn shapes add balanced cells at 2 and
-# 4 shards.
+# Every (load, policy, shards, balance) sweep cell must be present,
+# with percentiles; the skewed and churn shapes add balanced cells at
+# 2 and 4 shards.
 expected = [
-    (load, policy, shards, "static")
+    (load, policy, shards, "static", 1, "none")
     for load, policy, shards in itertools.product(
         ("steady", "bursty", "trickle", "skewed", "churn"),
         ("fixed-1", "fixed-8", "fixed-32", "adaptive"),
         (1, 2, 4),
     )
 ] + [
-    (load, policy, shards, "balanced")
+    (load, policy, shards, "balanced", 1, "none")
     for load, policy, shards in itertools.product(
         ("skewed", "churn"),
         ("fixed-1", "fixed-8", "fixed-32", "adaptive"),
@@ -126,8 +140,8 @@ for key in expected:
 for shards in (1, 2, 4):
     # Bursty load: the adaptive depth must grow into the burst and at
     # least match the shallow fixed policy's throughput.
-    ad = by_cell[("bursty", "adaptive", shards, "static")]
-    f1 = by_cell[("bursty", "fixed-1", shards, "static")]
+    ad = by_cell[("bursty", "adaptive", shards, "static", 1, "none")]
+    f1 = by_cell[("bursty", "fixed-1", shards, "static", 1, "none")]
     if ad["throughput_ops_s"] < f1["throughput_ops_s"]:
         sys.exit(
             f"bursty shards={shards}: adaptive throughput "
@@ -136,8 +150,8 @@ for shards in (1, 2, 4):
     # Trickle load: adaptive serves each arrival instead of waiting
     # out a full fixed-32 batch, so its tail latency must not exceed
     # the deep fixed policy's.
-    ad = by_cell[("trickle", "adaptive", shards, "static")]
-    f32 = by_cell[("trickle", "fixed-32", shards, "static")]
+    ad = by_cell[("trickle", "adaptive", shards, "static", 1, "none")]
+    f32 = by_cell[("trickle", "fixed-32", shards, "static", 1, "none")]
     if ad["sojourn_p99"] > f32["sojourn_p99"]:
         sys.exit(
             f"trickle shards={shards}: adaptive p99 {ad['sojourn_p99']} "
@@ -148,8 +162,8 @@ for shards in (1, 2, 4):
 # must beat or match static pinning on busy cycles/op for the adaptive
 # policy, and must not worsen its p99 sojourn.
 for load, shards in itertools.product(("skewed", "churn"), (2, 4)):
-    bal = by_cell[(load, "adaptive", shards, "balanced")]
-    st = by_cell[(load, "adaptive", shards, "static")]
+    bal = by_cell[(load, "adaptive", shards, "balanced", 1, "none")]
+    st = by_cell[(load, "adaptive", shards, "static", 1, "none")]
     if bal["busy_cycles_per_op"] > st["busy_cycles_per_op"]:
         sys.exit(
             f"{load} shards={shards}: balanced busy cycles/op "
@@ -160,9 +174,52 @@ for load, shards in itertools.product(("skewed", "churn"), (2, 4)):
             f"{load} shards={shards}: balanced p99 {bal['sojourn_p99']} "
             f"exceeds static p99 {st['sojourn_p99']}"
         )
+# Fleet cells: the replicas axis on steady load plus the chaos cell
+# (kill 1 of 3 at 50% of the run, respawn at 75%).
+for key in [
+    ("fixed-8", 1, "none"),
+    ("fixed-8", 2, "none"),
+    ("adaptive", 1, "none"),
+    ("adaptive", 2, "none"),
+    ("adaptive", 3, "kill-respawn"),
+]:
+    c = fleet.get(key)
+    if c is None:
+        sys.exit(f"BENCH_serving.json missing fleet cell {key}")
+    # Zero lost replies, chaos or not: host socket queues outlive the
+    # enclave and the heir restores before reaping inherited shards.
+    if c["lost_replies"] != 0:
+        sys.exit(f"fleet cell {key} lost {c['lost_replies']} replies")
+    if len(c["replica_ops"]) != c["replicas"]:
+        sys.exit(f"fleet cell {key} gauges {len(c['replica_ops'])} replicas")
+    if sum(c["replica_ops"]) != c["ops"] or min(c["replica_ops"]) == 0:
+        sys.exit(f"fleet cell {key} replica_ops {c['replica_ops']} != ops {c['ops']}")
+
+# Steady state: adding a replica must not tax the pipeline — replicas=2
+# (each replica serving its shard slice on its own core) stays within
+# 5% busy cycles/op of the single-enclave baseline.
+for policy in ("fixed-8", "adaptive"):
+    one = fleet[(policy, 1, "none")]["busy_cycles_per_op"]
+    two = fleet[(policy, 2, "none")]["busy_cycles_per_op"]
+    if two > one * 1.05:
+        sys.exit(
+            f"fleet {policy}: replicas=2 busy cycles/op {two:.0f} more than "
+            f"5% over the single-enclave baseline {one:.0f}"
+        )
+
+# Chaos cell: the fence protocols ran, and each stayed under the
+# recovery budget (the measured run's own busy span).
+chaos = fleet[("adaptive", 3, "kill-respawn")]
+budget = chaos["busy_cycles_per_op"] * chaos["ops"]
+for fence in ("failover_cycles", "recovery_cycles"):
+    if not 0 < chaos[fence] < budget:
+        sys.exit(
+            f"chaos cell {fence} {chaos[fence]} outside (0, {budget:.0f}) budget"
+        )
 print(
     f"   {len(cells)} cells, adaptive rides burst throughput and trickle tail "
-    f"latency, balance beats static pinning under skew"
+    f"latency, balance beats static pinning under skew, replicas=2 within 5% "
+    f"of single-enclave, chaos cell lost 0 replies"
 )
 EOF
 

@@ -1,0 +1,479 @@
+//! Equivalence suite for the replicated enclave fleet:
+//!
+//! - a fleet of N replicas (each running the per-shard reap→decrypt→
+//!   serve→seal→send pipeline over its owned slice of the socket set)
+//!   returns byte-identical replies *per connection* to the
+//!   single-replica baseline, across kill/respawn schedules that cross
+//!   fence after fence — including the stale-reimport schedule
+//!   (kill A → respawn A → kill B) that only the versioned restore
+//!   merge survives;
+//! - a sealed snapshot round-trips SUVM-backed KVS state exactly into
+//!   a different enclave with its own SUVM instance, and the per-item
+//!   write stamps survive so a re-import stays last-writer-wins;
+//! - the global EPC allocator under multi-enclave contention: two
+//!   fleet replicas faulting concurrently each keep their EPC++ within
+//!   the driver's fair share, the over-share transient stays bounded
+//!   by the write-back batch plus headroom, and a killed replica's
+//!   resident frames are reclaimed immediately (survivor share grows).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use eleos::apps::fleet_io::{FleetConfig, FleetKvs};
+use eleos::apps::io::{IoPath, ServerIoConfig};
+use eleos::apps::kvs::{build_get, build_set, Kvs};
+use eleos::apps::space::DataSpace;
+use eleos::apps::wire::Wire;
+use eleos::crypto::gcm::AesGcm128;
+use eleos::crypto::Sealer;
+use eleos::enclave::fleet::{Fleet, ReplicaState};
+use eleos::enclave::host::Fd;
+use eleos::enclave::machine::{MachineConfig, SgxMachine};
+use eleos::enclave::thread::ThreadCtx;
+use eleos::rpc::{with_syscalls, RpcService};
+use eleos::suvm::{Suvm, SuvmConfig};
+use proptest::prelude::*;
+
+/// Sockets (= shards) the fleet serves.
+const SHARDS: usize = 4;
+/// Client connections the request streams multiplex.
+const N_CONNS: usize = 8;
+/// Rounds per run; a fence (kill or respawn) may fire after any
+/// non-final round.
+const ROUNDS: usize = 4;
+/// Requests per round.
+const PER_ROUND: usize = 8;
+/// Seeded items every replica starts with.
+const N_ITEMS: u64 = 24;
+
+// ---------------------------------------------------------------------
+// Fleet harness
+// ---------------------------------------------------------------------
+
+struct FleetRig {
+    m: Arc<SgxMachine>,
+    wire: Arc<Wire>,
+    fds: Vec<Fd>,
+    fk: FleetKvs,
+}
+
+fn rig(replicas: usize) -> FleetRig {
+    let m = SgxMachine::new(MachineConfig::tiny());
+    let ut = ThreadCtx::untrusted(&m, 1);
+    let fds: Vec<Fd> = (0..SHARDS).map(|_| m.host.socket(&ut, 256 << 10)).collect();
+    let svc = with_syscalls(RpcService::builder(&m), &m)
+        .workers(2, &[2, 3])
+        .build();
+    let wire = Arc::new(Wire::new([9u8; 16]));
+    let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x2au8; 16]));
+    let fk = FleetKvs::new(
+        &m,
+        &fds,
+        ServerIoConfig::with_buf_len(16 << 10)
+            .batch(4)
+            .shards(SHARDS),
+        IoPath::Rpc(Arc::new(svc)),
+        Arc::clone(&wire),
+        sealer,
+        FleetConfig::small(replicas),
+        |ctx, kvs| {
+            for i in 0..N_ITEMS {
+                kvs.set(ctx, format!("seed-{i}").as_bytes(), &[i as u8; 40]);
+            }
+        },
+    );
+    FleetRig { m, wire, fds, fk }
+}
+
+/// One request in the generated stream. Writes stay connection-local
+/// (`own-{conn}-{slot}` keys): a conn's shard has exactly one owner
+/// per fence interval, so conn-local state is the coherent part of the
+/// store — exactly the regime the fence protocol must preserve.
+#[derive(Clone, Copy, Debug)]
+enum Req {
+    /// GET of a seeded (never-written) global key.
+    GetSeed(u64),
+    /// SET of this connection's own key slot to a derived value.
+    SetOwn(u8, u8),
+    /// GET of this connection's own key slot (a deterministic miss
+    /// until that slot's first SET).
+    GetOwn(u8),
+}
+
+/// Derives `(conn, request)` pairs from proptest seed bytes.
+fn request_stream(seed: &[u8]) -> Vec<(u64, Req)> {
+    (0..ROUNDS * PER_ROUND)
+        .map(|i| {
+            let b = seed[i % seed.len()];
+            let conn = (u64::from(b) + i as u64 * 3) % N_CONNS as u64;
+            let slot = (b >> 3) % 3;
+            let req = match b % 3 {
+                0 => Req::GetSeed(u64::from(b) + i as u64),
+                1 => Req::SetOwn(slot, b ^ (i as u8)),
+                _ => Req::GetOwn(slot),
+            };
+            (conn, req)
+        })
+        .collect()
+}
+
+fn encode(conn: u64, req: Req) -> Vec<u8> {
+    match req {
+        Req::GetSeed(i) => build_get(format!("seed-{}", i % N_ITEMS).as_bytes()),
+        Req::SetOwn(slot, v) => build_set(format!("own-{conn}-{slot}").as_bytes(), &[v; 24]),
+        Req::GetOwn(slot) => build_get(format!("own-{conn}-{slot}").as_bytes()),
+    }
+}
+
+/// A lifecycle action fired at the fence after round `.0`.
+#[derive(Clone, Copy, Debug)]
+enum Fence {
+    Kill(usize),
+    Respawn(usize),
+}
+
+/// Runs the request stream through a `replicas`-wide fleet, firing
+/// `schedule` actions at round fences, and returns the decrypted
+/// replies regrouped per connection (per-shard FIFO order is
+/// per-connection order; replies are drained every round so the
+/// host's bounded response log never overflows).
+fn run_fleet(
+    replicas: usize,
+    schedule: &[(usize, Fence)],
+    reqs: &[(u64, Req)],
+) -> Vec<Vec<Vec<u8>>> {
+    let r = rig(replicas);
+    let ut = ThreadCtx::untrusted(&r.m, 1);
+    let mut streams: Vec<VecDeque<Vec<u8>>> = vec![VecDeque::new(); SHARDS];
+    let mut pushed: Vec<(u64, usize)> = Vec::with_capacity(reqs.len());
+    for (round, slice) in reqs.chunks(PER_ROUND).enumerate() {
+        for &(conn, req) in slice {
+            let (s, _owner) = r.fk.map().route_replica(conn);
+            r.m.host
+                .push_request(&ut, r.fds[s], &r.wire.encrypt(&encode(conn, req)));
+            pushed.push((conn, s));
+        }
+        let mut done = 0usize;
+        while done < slice.len() {
+            let got = r.fk.pump();
+            assert!(got > 0, "queued requests must be served");
+            done += got;
+        }
+        r.fk.flush();
+        for (s, q) in streams.iter_mut().enumerate() {
+            while let Some(resp) = r.m.host.pop_response(r.fds[s]) {
+                q.push_back(r.wire.decrypt(&resp));
+            }
+        }
+        for &(at, fence) in schedule {
+            if at == round {
+                match fence {
+                    Fence::Kill(v) => {
+                        r.fk.kill(v);
+                    }
+                    Fence::Respawn(v) => {
+                        r.fk.respawn(v);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); N_CONNS];
+    for (conn, s) in pushed {
+        let reply = streams[s].pop_front().expect("a reply per request");
+        out[conn as usize].push(reply);
+    }
+    assert!(
+        streams.iter().all(VecDeque::is_empty),
+        "no surplus replies on any shard"
+    );
+    out
+}
+
+/// Kill/respawn schedules valid for a `replicas`-wide fleet. The last
+/// two-replica schedule (kill 1 → respawn 1 → kill 0) is the stale
+/// re-import regression: replica 0's snapshot at the final fence still
+/// carries copies of shard-1/3 keys from the first failover, and only
+/// the versioned merge keeps them from clobbering replica 1's fresher
+/// writes.
+fn schedules(replicas: usize) -> Vec<Vec<(usize, Fence)>> {
+    let mut v = vec![vec![]];
+    if replicas >= 2 {
+        v.push(vec![(0, Fence::Kill(replicas - 1))]);
+        v.push(vec![(0, Fence::Kill(1)), (1, Fence::Respawn(1))]);
+        v.push(vec![
+            (0, Fence::Kill(1)),
+            (1, Fence::Respawn(1)),
+            (2, Fence::Kill(0)),
+        ]);
+    }
+    if replicas >= 3 {
+        v.push(vec![
+            (0, Fence::Kill(1)),
+            (1, Fence::Kill(2)),
+            (2, Fence::Respawn(1)),
+        ]);
+    }
+    v
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: replicas=N == replicas=1, across kill/respawn schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// A fleet of 2 or 3 replicas returns byte-identical per-connection
+    /// replies to the single-replica baseline for every valid
+    /// kill/respawn schedule: failover loses nothing, preserves FIFO,
+    /// and restores state before the heir serves.
+    #[test]
+    fn fleet_matches_single_replica_across_chaos_schedules(
+        seed in prop::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let reqs = request_stream(&seed);
+        let reference = run_fleet(1, &[], &reqs);
+        for replicas in 2..=3usize {
+            for schedule in schedules(replicas) {
+                let got = run_fleet(replicas, &schedule, &reqs);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "fleet diverged (replicas={}, schedule={:?})", replicas, &schedule
+                );
+            }
+        }
+    }
+}
+
+/// The stale re-import schedule, deterministically: a key written
+/// before the first failover, rewritten by its rejoined owner, must
+/// survive the *other* replica's later death — replica 0's snapshot
+/// still carries the pre-rejoin copy, and the versioned merge must
+/// refuse it.
+#[test]
+fn reimported_stale_snapshot_never_clobbers_fresher_writes() {
+    let r = rig(2);
+    let ut = ThreadCtx::untrusted(&r.m, 1);
+    // A connection whose shard starts on replica 1.
+    let conn = (0..64u64)
+        .find(|&c| {
+            let (s, _) = r.fk.map().route_replica(c);
+            s % 2 == 1
+        })
+        .expect("a replica-1 connection");
+    let (s, _) = r.fk.map().route_replica(conn);
+    let do_req = |plain: &[u8]| -> Vec<u8> {
+        r.m.host.push_request(&ut, r.fds[s], &r.wire.encrypt(plain));
+        while r.fk.pump() == 0 {}
+        r.fk.flush();
+        r.wire
+            .decrypt(&r.m.host.pop_response(r.fds[s]).expect("a reply"))
+    };
+    assert_eq!(do_req(&build_set(b"bounce", &[1u8; 16])), [1u8]);
+    r.fk.kill(1); // heir 0 imports bounce=v1
+    assert_eq!(do_req(&build_set(b"bounce", &[2u8; 16])), [1u8]);
+    r.fk.respawn(1); // rejoiner imports bounce=v2 from donor 0
+    assert_eq!(do_req(&build_set(b"bounce", &[3u8; 16])), [1u8]);
+    r.fk.kill(0); // victim 0's snapshot still holds bounce=v2 — stale
+    let reply = do_req(&build_get(b"bounce"));
+    assert_eq!(reply[0], 1, "key must survive the schedule");
+    assert_eq!(&reply[5..], [3u8; 16], "stale re-import must not win");
+    let st = r.m.stats.snapshot();
+    assert_eq!(st.fleet_failovers, 2);
+    assert_eq!(st.fleet_snapshots, 3);
+    assert_eq!(st.fleet_restores, 3);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: snapshot → restore round-trips SUVM-backed state
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// A quiesce-at-fence snapshot of a SUVM-backed store restores
+    /// byte-exactly into a different enclave with its own SUVM
+    /// instance, through the serialized byte form a cross-enclave
+    /// channel carries — and per-item write stamps survive, so a
+    /// second import applies nothing.
+    #[test]
+    fn snapshot_roundtrips_suvm_backed_state_exactly(
+        seed in prop::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let suvm_cfg = SuvmConfig {
+            epcpp_bytes: 16 * 4096,
+            backing_bytes: 8 << 20,
+            ..SuvmConfig::tiny()
+        };
+        let mk = |core: usize| {
+            let e = m.driver.create_enclave(&m, 16 << 20);
+            let t0 = ThreadCtx::for_enclave(&m, &e, core);
+            let suvm = Suvm::new(&t0, suvm_cfg.clone());
+            let kvs = Kvs::new(
+                DataSpace::Untrusted(Arc::clone(&m)),
+                DataSpace::suvm(&suvm),
+                8 << 20,
+                256,
+            );
+            let mut t = ThreadCtx::for_enclave(&m, &e, core);
+            t.enter();
+            kvs.init(&mut t);
+            (suvm, kvs, t)
+        };
+        let (suvm_a, mut a, mut ta) = mk(0);
+        // Working set larger than the 16-frame EPC++ cache: SUVM pages
+        // while the store is built.
+        let n = 160u32;
+        let value = |i: u32| {
+            let b = seed[i as usize % seed.len()];
+            vec![b ^ i as u8; 512 + (b as usize % 512)]
+        };
+        for i in 0..n {
+            a.set(&mut ta, format!("it-{i}").as_bytes(), &value(i));
+        }
+        // A second write interval rewrites some items at a newer stamp.
+        a.set_write_version(3);
+        for i in (0..n).step_by(5) {
+            a.set(&mut ta, format!("it-{i}").as_bytes(), &value(i + 1000));
+        }
+        prop_assert!(
+            m.stats.snapshot().suvm_evictions > 0,
+            "the working set must overflow EPC++"
+        );
+        // The fence: quiesce (every dirty page sealed home), then seal.
+        suvm_a.quiesce(&mut ta);
+        let sealer = AesGcm128::new(&[0x77u8; 16]);
+        let snap = a.snapshot(&mut ta, &sealer, 1, 7);
+        prop_assert_eq!(snap.epoch(), 7);
+        let bytes = snap.to_bytes();
+        prop_assert!(!bytes.windows(4).any(|w| w == b"it-1"), "sealed bytes leak keys");
+        let reread = eleos::suvm::Snapshot::from_bytes(&bytes);
+
+        let (_suvm_b, mut b, mut tb) = mk(1);
+        prop_assert_eq!(b.restore(&mut tb, &sealer, &reread), u64::from(n));
+        for i in 0..n {
+            let expect = if i % 5 == 0 { value(i + 1000) } else { value(i) };
+            prop_assert_eq!(
+                b.get(&mut tb, format!("it-{i}").as_bytes()).expect("restored key"),
+                expect,
+                "item {} diverged after restore", i
+            );
+        }
+        // Write stamps survived the round-trip: re-importing the same
+        // snapshot is a no-op, and an interval-3 write in B supersedes
+        // the snapshot's interval-3 copy only by being applied later.
+        prop_assert_eq!(b.restore(&mut tb, &sealer, &reread), 0);
+        ta.exit();
+        tb.exit();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the global EPC allocator under fleet contention
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Two fleet replicas faulting SUVM pages concurrently: each
+    /// EPC++ balloons to within its driver fair share, the over-share
+    /// transient stays bounded by one write-back batch plus the
+    /// configured headroom, and killing one replica reclaims its
+    /// frames immediately — the survivor's share doubles and it keeps
+    /// serving its data.
+    #[test]
+    fn epc_stays_fair_shared_under_concurrent_replica_faulting(
+        seed in prop::collection::vec(any::<u8>(), 8..9),
+    ) {
+        const PAGE: usize = 4096;
+        let m = SgxMachine::new(MachineConfig {
+            epc_bytes: 8 << 20,
+            ..MachineConfig::tiny()
+        });
+        let wb_batch = usize::from(seed[0] % 2) * 4; // inline and batched write-back
+        let suvm_cfg = SuvmConfig {
+            epcpp_bytes: 6 << 20, // oversubscribed once both replicas exist
+            backing_bytes: 16 << 20,
+            headroom_bytes: 512 << 10,
+            wb_batch,
+            ..SuvmConfig::tiny()
+        };
+        let fleet = Arc::new(Fleet::new(&m, 2, 32 << 20));
+        fleet.mark_serving(0);
+        fleet.mark_serving(1);
+        let mut handles = Vec::new();
+        for idx in 0..2usize {
+            let m = Arc::clone(&m);
+            let fleet = Arc::clone(&fleet);
+            let cfg = suvm_cfg.clone();
+            let seed = seed.clone();
+            handles.push(std::thread::spawn(move || {
+                let e = fleet.enclave(idx);
+                let t0 = ThreadCtx::for_enclave(&m, &e, idx);
+                let s = Suvm::new(&t0, cfg.clone());
+                let mut t = ThreadCtx::for_enclave(&m, &e, idx);
+                t.enter();
+                let a = s.malloc(8 << 20);
+                let stride = 1 + u64::from(seed[(idx + 1) % seed.len()] % 4);
+                for round in 0..2u64 {
+                    for page in (0..1536u64).step_by(stride as usize) {
+                        s.write(&mut t, a + page * PAGE as u64, &[idx as u8 + 1; 32]);
+                        if page % 192 == 0 {
+                            s.swapper_tick(&mut t);
+                        }
+                    }
+                    let _ = round;
+                }
+                s.swapper_tick(&mut t);
+                // Fair share while both replicas are live.
+                let share = m.driver.available_epc_for(e.id);
+                assert!(
+                    s.frame_limit() * cfg.page_size <= share * PAGE,
+                    "EPC++ {} frames exceeds the fair share of {} frames",
+                    s.frame_limit(),
+                    share
+                );
+                // Spot-check the data survived the ballooning churn.
+                let mut b = [0u8; 32];
+                s.read(&mut t, a + 7 * stride * PAGE as u64, &mut b);
+                assert_eq!(b, [idx as u8 + 1; 32]);
+                t.exit();
+                (s, a)
+            }));
+        }
+        let done: Vec<_> = handles.into_iter().map(|h| h.join().expect("replica thread")).collect();
+        // The allocator never let one enclave run away: the over-share
+        // peak is bounded by one write-back batch (detach lag) plus the
+        // per-enclave headroom the balloon target reserves.
+        let slack = (wb_batch.max(1) * suvm_cfg.page_size + suvm_cfg.headroom_bytes) / PAGE;
+        let peak = m.stats.snapshot().epc_over_share_peak;
+        prop_assert!(
+            peak <= slack as u64,
+            "over-share peak {} frames exceeds wb_batch+headroom slack {}",
+            peak, slack
+        );
+        // Teardown: the dead replica's frames (pinned by its resident
+        // EPC++ cache) are reclaimed immediately.
+        let dead = fleet.enclave(0);
+        let dead_id = dead.id;
+        prop_assert!(m.driver.resident_frames(dead_id) > 0);
+        let free_before = m.driver.free_frames();
+        fleet.kill(0);
+        prop_assert_eq!(m.driver.resident_frames(dead_id), 0, "dead replica keeps frames");
+        prop_assert!(m.driver.free_frames() > free_before, "kill must free frames");
+        prop_assert_eq!(fleet.state(0), ReplicaState::Dead);
+        // The survivor's share doubles and its store still reads back.
+        let live = fleet.enclave(1);
+        prop_assert_eq!(m.driver.available_epc_for(live.id), m.driver.total_frames());
+        let (s1, a1) = &done[1];
+        let mut t = ThreadCtx::for_enclave(&m, &live, 1);
+        t.enter();
+        s1.swapper_tick(&mut t);
+        let mut b = [0u8; 32];
+        s1.read(&mut t, *a1, &mut b);
+        assert_eq!(b, [2u8; 32], "survivor data intact after sibling death");
+        t.exit();
+    }
+}
