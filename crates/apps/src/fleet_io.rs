@@ -78,13 +78,18 @@ use crate::io::{IoPath, ServerIo, ServerIoConfig};
 use crate::kvs::Kvs;
 use crate::loadgen::ShardMap;
 use crate::space::DataSpace;
-use crate::wire::Wire;
+use crate::wire::Session;
 
-/// Channel message kind: a session-key epoch announcement (8 LE
-/// bytes), sent ahead of the snapshot it covers.
+/// Channel message kind: a snapshot-epoch announcement (8 LE bytes),
+/// sent ahead of the snapshot it covers.
 pub const MSG_EPOCH: u8 = 1;
 /// Channel message kind: a serialized sealed [`Snapshot`].
 pub const MSG_SNAPSHOT: u8 = 2;
+/// Channel message kind: a wire-session key-epoch announcement (4 LE
+/// bytes) — the rekey initiator tells every peer which epoch now
+/// seals replies, so a fleet never serves half its shards under a key
+/// the router's client side has already retired.
+pub const MSG_REKEY: u8 = 3;
 
 /// Fleet-level tunables.
 #[derive(Clone)]
@@ -190,11 +195,11 @@ pub struct FleetKvs {
     cfg: FleetConfig,
     io_cfg: ServerIoConfig,
     path: IoPath,
-    wire: Arc<Wire>,
+    session: Arc<Session>,
     fds: Vec<Fd>,
     /// One slot per replica index; `None` while Cold/Dead.
     slots: Vec<Mutex<Option<Replica>>>,
-    /// Session-key epoch: bumped at every snapshot fence, announced
+    /// Snapshot epoch: bumped at every snapshot fence, announced
     /// replica→replica over the channel ahead of the snapshot.
     epoch: AtomicU64,
     /// Highest epoch any receiver has accepted (monotonicity check).
@@ -211,7 +216,7 @@ impl FleetKvs {
     /// # Panics
     /// Panics when `cfg.replicas` is zero, exceeds the per-replica
     /// stat gauges, or the config/socket-set combination violates the
-    /// [`ServerIo::sharded`] invariants.
+    /// [`ServerIoConfig::build`] invariants.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -219,7 +224,7 @@ impl FleetKvs {
         fds: &[Fd],
         io_cfg: ServerIoConfig,
         path: IoPath,
-        wire: Arc<Wire>,
+        session: Arc<Session>,
         sealer: Arc<dyn Sealer>,
         cfg: FleetConfig,
         mut seed: impl FnMut(&mut ThreadCtx, &mut Kvs),
@@ -237,7 +242,7 @@ impl FleetKvs {
             cfg,
             io_cfg,
             path,
-            wire,
+            session,
             fds: fds.to_vec(),
             slots: Vec::new(),
             epoch: AtomicU64::new(0),
@@ -280,25 +285,16 @@ impl FleetKvs {
         let meta = DataSpace::Untrusted(Arc::clone(&self.machine));
         let kvs = Kvs::new(meta, data, self.cfg.mem_limit, self.cfg.buckets);
         kvs.init(&mut ctx);
-        let cfg = self.io_cfg.clone().replica(r);
-        let io = if cfg.balance.is_some() {
-            ServerIo::sharded_balanced(
-                &ctx,
-                &self.fds,
-                cfg,
-                self.path.clone(),
-                Arc::clone(&self.wire),
-                Arc::clone(&self.map),
-            )
-        } else {
-            ServerIo::sharded(
-                &ctx,
-                &self.fds,
-                cfg,
-                self.path.clone(),
-                Arc::clone(&self.wire),
-            )
-        };
+        let mut cfg = self.io_cfg.clone().replica(r);
+        if cfg.balance.is_some() {
+            cfg = cfg.routed(Arc::clone(&self.map));
+        }
+        let io = cfg.build(
+            &ctx,
+            &self.fds,
+            self.path.clone(),
+            Arc::clone(&self.session),
+        );
         Replica { ctx, io, kvs, suvm }
     }
 
@@ -315,10 +311,60 @@ impl FleetKvs {
         &self.fleet
     }
 
-    /// The current session-key epoch.
+    /// The current snapshot epoch.
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Rotates the fleet's wire-session key epoch at a fence.
+    /// `initiator` retires any still-draining rotation, derives the
+    /// next epoch key (double-buffered — no serving stall anywhere in
+    /// the fleet) and announces the new epoch over the exit-less
+    /// channel; every other serving replica acknowledges the
+    /// announcement before its next reap, so no replica seals replies
+    /// under an epoch its peers have not heard of. Returns the new
+    /// epoch.
+    ///
+    /// # Panics
+    /// Panics when `initiator` is not serving, or when the shared
+    /// session is not in a rotatable state (never established, or
+    /// revoked).
+    pub fn rekey_wire(&self, initiator: usize) -> u32 {
+        assert_eq!(
+            self.fleet.state(initiator),
+            ReplicaState::Serving,
+            "rekey initiator {initiator} must be serving"
+        );
+        let peers: Vec<usize> = self
+            .fleet
+            .serving()
+            .into_iter()
+            .filter(|&r| r != initiator)
+            .collect();
+        let to = {
+            let mut slot = self.slots[initiator].lock().expect("fleet slot poisoned");
+            let rep = slot.as_mut().expect("serving replica must be wired");
+            self.session.finish_rekey();
+            self.session.begin_rekey(&mut rep.ctx);
+            let to = self.session.epoch();
+            for _ in &peers {
+                self.chan.send(&mut rep.ctx, MSG_REKEY, &to.to_le_bytes());
+            }
+            to
+        };
+        for &r in &peers {
+            let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+            let rep = slot.as_mut().expect("serving replica must be wired");
+            let (kind, eb) = self
+                .chan
+                .recv(&mut rep.ctx)
+                .expect("rekey protocol: announcement staged");
+            assert_eq!(kind, MSG_REKEY, "rekey protocol: unexpected message kind");
+            let heard = u32::from_le_bytes(eb.try_into().expect("4-byte epoch"));
+            assert_eq!(heard, to, "rekey announcement must carry the new epoch");
+        }
+        to
     }
 
     /// Runs one serving round: every serving replica reaps its owned
@@ -561,14 +607,14 @@ mod tests {
 
     const SHARDS: usize = 4;
 
-    fn fleet(replicas: usize) -> (Arc<SgxMachine>, Arc<Wire>, Vec<Fd>, FleetKvs) {
+    fn fleet(replicas: usize) -> (Arc<SgxMachine>, Arc<Session>, Vec<Fd>, FleetKvs) {
         let m = SgxMachine::new(MachineConfig::tiny());
         let ut = ThreadCtx::untrusted(&m, 1);
         let fds: Vec<Fd> = (0..SHARDS).map(|_| m.host.socket(&ut, 256 << 10)).collect();
         let svc = with_syscalls(RpcService::builder(&m), &m)
             .workers(2, &[2, 3])
             .build();
-        let wire = Arc::new(Wire::new([9u8; 16]));
+        let wire = Arc::new(Session::established([9u8; 16]));
         let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x44u8; 16]));
         let fk = FleetKvs::new(
             &m,
@@ -719,6 +765,51 @@ mod tests {
     fn kill_of_the_last_replica_fails_fast() {
         let (_m, _wire, _fds, fk) = fleet(1);
         fk.kill(0);
+    }
+
+    #[test]
+    fn fleet_rekey_announces_the_epoch_and_keeps_serving() {
+        let (m, wire, fds, fk) = fleet(3);
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let push_gets = || {
+            for conn in 0..8u64 {
+                let s = shard_for(conn, SHARDS);
+                let key = format!("seed-{}", conn % 32);
+                m.host
+                    .push_request(&ut, fds[s], &wire.encrypt(&build_get(key.as_bytes())));
+            }
+        };
+        let s0 = m.stats.snapshot();
+        push_gets();
+        let mut served = 0;
+        while served < 8 {
+            served += fk.pump();
+        }
+        let to = fk.rekey_wire(0);
+        assert_eq!(to, 1, "first wire rotation lands on epoch 1");
+        assert_eq!(wire.epoch(), 1);
+        // Epoch-0 messages queued before the announcement still drain;
+        // post-rekey arrivals seal under epoch 1.
+        push_gets();
+        while served < 16 {
+            served += fk.pump();
+        }
+        fk.flush();
+        let mut answered = 0;
+        for &fd in &fds {
+            while let Some(resp) = m.host.pop_response(fd) {
+                assert_eq!(wire.decrypt(&resp)[0], 1, "seeded key must be found");
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, 16, "no reply lost across the rotation");
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.rekeys, 1);
+        assert_eq!(d.auth_failures, 0);
+        assert_eq!(
+            d.xchan_msgs, 2,
+            "one announcement per non-initiating replica"
+        );
     }
 
     #[test]

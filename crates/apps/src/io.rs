@@ -5,10 +5,16 @@
 //! All receive entry points funnel through one reap/sort/decrypt
 //! helper: the path-specific code only collects *raw* wire messages in
 //! the socket's arrival order, and the whole batch is then decrypted in
-//! a single [`Wire::decrypt_batch_in_enclave`] pass (the batched crypto
-//! pipeline). `recv_msg` is literally a batch of one. Batch size and
-//! crypto amortization are session configuration ([`ServerIoConfig`]),
-//! not per-call arguments.
+//! a single [`Session::decrypt_batch_in_enclave`] pass (the batched
+//! crypto pipeline). `recv_msg` is literally a batch of one. Batch
+//! size and crypto amortization are session configuration
+//! ([`ServerIoConfig`]), not per-call arguments.
+//!
+//! Every `ServerIo` is built through exactly one entry point,
+//! [`ServerIoConfig::build`], which wires the staging buffers, the
+//! optional shard map ([`ServerIoConfig::routed`]), and the wire
+//! [`Session`] together; the old `new`/`sharded`/`sharded_balanced`
+//! constructor trio survives one release as deprecated shims.
 //!
 //! On the RPC path the reap is split into one scatter-gather
 //! `recvmmsg`/`sendmmsg`-style *sub-batch* per worker — one syscall
@@ -23,8 +29,8 @@
 //!
 //! # Sharded multi-socket serving
 //!
-//! A [`ServerIo`] built over a socket *set* ([`ServerIo::sharded`],
-//! one socket per shard, SO_REUSEPORT style) runs one
+//! A [`ServerIo`] built over a socket *set* (one socket per shard,
+//! SO_REUSEPORT style) runs one
 //! reap→decrypt→serve→seal→send pipeline per shard instead. Because
 //! the load generator pins each client connection to one shard
 //! ([`crate::loadgen::shard_for`]), per-shard slot order *is* arrival
@@ -53,10 +59,10 @@
 //!
 //! Static connection pinning leaves sockets idle under skew: a Zipf
 //! load parks most arrivals on one shard while its siblings poll
-//! empty queues. [`ServerIo::sharded_balanced`] layers two remedies
-//! over the sharded pipeline, both operating only at *sub-batch
-//! boundaries* so per-connection arrival order stays a per-socket
-//! FIFO property:
+//! empty queues. [`ServerIoConfig::balanced`] (with the map wired via
+//! [`ServerIoConfig::routed`]) layers two remedies over the sharded
+//! pipeline, both operating only at *sub-batch boundaries* so
+//! per-connection arrival order stays a per-socket FIFO property:
 //!
 //! - **Hot-connection re-pinning** ([`BalanceConfig::repin`]): every
 //!   [`BalanceConfig::period`] reaps the server compares per-shard
@@ -79,6 +85,21 @@
 //! per-shard sojourn histograms land in
 //! [`ShardStats`](eleos_sim::stats::ShardStats) for
 //! `repro serving_bench` to report.
+//!
+//! # Fence-integrated key rotation
+//!
+//! With [`ServerIoConfig::rekey_every`] the server counts decrypted
+//! requests and, at the head of the next reap fence after the
+//! interval elapses, rotates the wire [`Session`]'s key epoch
+//! ([`Session::begin_rekey`]). The fence is the same sub-batch
+//! boundary the steal/rebalance/failover machinery uses — the only
+//! point where the pipeline holds no half-served requests — and the
+//! rotation itself is double-buffered inside the session, so the
+//! serving path never stalls: in-flight old-epoch messages keep
+//! draining while new arrivals seal under the new epoch.
+//! [`ServerIo::revoke`] is the terminal fence: it revokes the session
+//! and drains every queued message off the shard sockets, dropped and
+//! counted instead of served.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,7 +110,7 @@ use eleos_rpc::{funcs, RpcService};
 use eleos_sim::stats::{Stats, MAX_REPLICAS, MAX_SHARDS};
 
 use crate::loadgen::ShardMap;
-use crate::wire::Wire;
+use crate::wire::{Session, SessionState};
 
 /// Fixed-point scale for the per-shard arrival-rate EWMA.
 const EWMA_SCALE: u64 = 16;
@@ -149,7 +170,7 @@ impl Default for BalanceConfig {
 }
 
 /// Session tunables for a [`ServerIo`] connection.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServerIoConfig {
     /// Size of each untrusted staging buffer (receive and transmit).
     pub buf_len: usize,
@@ -197,6 +218,40 @@ pub struct ServerIoConfig {
     /// own slot so their backlog/steal/sojourn gauges stay apart;
     /// single-enclave servers keep the default slot 0.
     pub replica: usize,
+    /// Rotate the wire session's key epoch after this many decrypted
+    /// requests ([`Self::rekey_every`]); `None` never rotates. The
+    /// rotation fires at the head of a reap fence and is
+    /// double-buffered inside the [`Session`], so it never stalls the
+    /// serving path.
+    pub rekey_interval: Option<u64>,
+    /// The balance layer's connection→shard indirection
+    /// ([`Self::routed`]): the load generator routes arrivals through
+    /// it and the rebalancer re-pins through the same map, so both
+    /// sides always agree on where a connection lives. Validated
+    /// against the socket set at [`Self::build`] time.
+    map: Option<Arc<ShardMap>>,
+}
+
+impl std::fmt::Debug for ServerIoConfig {
+    // Hand-written because `ShardMap` (interior-mutable routing state)
+    // is deliberately not `Debug`; the config prints whether a map is
+    // wired, not its contents.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerIoConfig")
+            .field("buf_len", &self.buf_len)
+            .field("batch", &self.batch)
+            .field("batch_min", &self.batch_min)
+            .field("batch_max", &self.batch_max)
+            .field("batched_crypto", &self.batched_crypto)
+            .field("async_send", &self.async_send)
+            .field("scatter_gather", &self.scatter_gather)
+            .field("shards", &self.shards)
+            .field("balance", &self.balance)
+            .field("replica", &self.replica)
+            .field("rekey_interval", &self.rekey_interval)
+            .field("routed", &self.map.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServerIoConfig {
@@ -212,6 +267,8 @@ impl Default for ServerIoConfig {
             shards: None,
             balance: None,
             replica: 0,
+            rekey_interval: None,
+            map: None,
         }
     }
 }
@@ -341,7 +398,7 @@ impl ServerIoConfig {
     /// Enables the shard balance layer (re-pinning and/or stealing
     /// per `b`). Re-pinning additionally needs the
     /// [`ShardMap`][crate::loadgen::ShardMap] wired through
-    /// [`ServerIo::sharded_balanced`].
+    /// [`Self::routed`].
     ///
     /// # Panics
     /// Panics if `b.period` or `b.max_moves` is zero.
@@ -357,6 +414,44 @@ impl ServerIoConfig {
         );
         self.balance = Some(b);
         self
+    }
+
+    /// Wires the balance layer's connection→shard map into the
+    /// config: the load generator routes arrivals through `map` and
+    /// the periodic rebalancer re-pins hot connections through the
+    /// same map, so both sides always agree on where a connection
+    /// lives. Validated against the socket set by [`Self::build`].
+    #[must_use]
+    pub fn routed(mut self, map: Arc<ShardMap>) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Rotates the wire session's key epoch after every `n` decrypted
+    /// requests, at the head of the next reap fence (see the module
+    /// docs — the rotation is double-buffered and stall-free).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero — a zero interval would begin a new
+    /// rotation at every fence, before the previous epoch ever drains.
+    #[must_use]
+    pub fn rekey_every(mut self, n: u64) -> Self {
+        assert!(
+            n > 0,
+            "rekey_every(0): the old epoch needs at least one interval to drain"
+        );
+        self.rekey_interval = Some(n);
+        self
+    }
+
+    /// Label for the rekey interval in experiment output: `rekey-N`
+    /// or `rekey-inf`.
+    #[must_use]
+    pub fn rekey_label(&self) -> String {
+        match self.rekey_interval {
+            Some(n) => format!("rekey-{n}"),
+            None => "rekey-inf".to_owned(),
+        }
     }
 
     /// Label for the balance layer in experiment output.
@@ -398,6 +493,109 @@ impl ServerIoConfig {
             "batched"
         } else {
             "per-msg"
+        }
+    }
+
+    /// The single [`ServerIo`] entry point: binds one serving
+    /// pipeline (staging buffers + descriptor arrays + adaptive-depth
+    /// state) to each socket of the shard set and wires the session
+    /// in. One socket is the classic single-socket server; with more
+    /// than one shard the reap/send skip the arrival-order merge and
+    /// the transmit reorder buffer — per-shard FIFO is enough, because
+    /// the load generator pins every connection to one shard.
+    ///
+    /// # Panics
+    /// Panics if `fds` is empty, if the set's size disagrees with a
+    /// declared [`Self::shards`] count or a wired [`Self::routed`]
+    /// map, if `batch_max` does not fit the staging buffer, or if
+    /// more than one shard is combined with a non-RPC path or
+    /// per-message I/O (sharding rides the RPC scatter-gather path).
+    #[must_use]
+    pub fn build(
+        mut self,
+        ctx: &ThreadCtx,
+        fds: &[Fd],
+        path: IoPath,
+        session: Arc<Session>,
+    ) -> ServerIo {
+        assert!(!fds.is_empty(), "a server needs at least one socket");
+        if let Some(n) = self.shards {
+            assert_eq!(
+                n,
+                fds.len(),
+                "config declares {n} shard(s) but the socket set has {}: \
+                 the pinning hash would route connections to sockets that \
+                 don't exist (or starve ones that do)",
+                fds.len()
+            );
+        }
+        let map = self.map.take();
+        if let Some(map) = &map {
+            assert_eq!(
+                map.n_shards(),
+                fds.len(),
+                "the shard map routes over {} shard(s) but the socket set has {}",
+                map.n_shards(),
+                fds.len()
+            );
+        }
+        assert!(
+            self.buf_len / self.batch_max > 0,
+            "batch_max {} too large for a {}-byte staging buffer",
+            self.batch_max,
+            self.buf_len
+        );
+        if fds.len() > 1 {
+            assert!(
+                matches!(path, IoPath::Rpc(_)),
+                "sharded serving rides the RPC path"
+            );
+            assert!(
+                self.scatter_gather,
+                "sharded serving needs scatter-gather sub-batches"
+            );
+            assert!(
+                fds.len() <= MAX_SHARDS,
+                "{} shards exceed the {MAX_SHARDS} per-shard stat slots",
+                fds.len()
+            );
+            // Tag each socket with its shard class so the RPC workers'
+            // mmsg fills land in that shard's LLC slice when the
+            // machine partitions the RPC fence (`partition_shards`).
+            for (k, &fd) in fds.iter().enumerate() {
+                ctx.machine.set_shard_class(fd.0, k as u8);
+            }
+        }
+        let depth0 = if self.is_adaptive() {
+            self.batch_min
+        } else {
+            self.batch
+        } as u64;
+        let descs = self.batch_max * DESC_STRIDE;
+        let shards = fds
+            .iter()
+            .map(|&fd| Shard {
+                fd,
+                rx_buf: ctx.machine.alloc_untrusted(self.buf_len),
+                tx_buf: ctx.machine.alloc_untrusted(self.buf_len),
+                desc_rx: ctx.machine.alloc_untrusted(descs),
+                desc_tx: ctx.machine.alloc_untrusted(descs),
+                depth: AtomicU64::new(depth0),
+                ewma: AtomicU64::new(depth0 * EWMA_SCALE),
+            })
+            .collect();
+        ServerIo {
+            fd: fds[0],
+            shards,
+            last_reap: std::sync::Mutex::new(Vec::new()),
+            tx_seq: AtomicU64::new(0),
+            pending_send: std::sync::Mutex::new(None),
+            map,
+            reap_count: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            cfg: self,
+            path,
+            session,
         }
     }
 }
@@ -444,12 +642,15 @@ pub struct ServerIo {
     /// stolen run is staged in the thief's pipe (`pipe`) but belongs
     /// to the victim's socket (`socket`).
     last_reap: std::sync::Mutex<Vec<(usize, usize, usize)>>,
-    /// The balance layer's connection→shard indirection, when built
-    /// via [`Self::sharded_balanced`]. Consulted by the load
+    /// The balance layer's connection→shard indirection, when wired
+    /// via [`ServerIoConfig::routed`]. Consulted by the load
     /// generator at push time; the rebalancer re-pins through it.
     map: Option<Arc<ShardMap>>,
     /// Sharded reaps completed — the rebalance period's clock.
     reap_count: AtomicU64,
+    /// Requests decrypted since the last key rotation — the
+    /// [`ServerIoConfig::rekey_every`] interval's clock.
+    served: AtomicU64,
     /// Next transmit sequence number for sequenced scatter-gather
     /// sends (single-socket path only). The host commits payloads to
     /// the wire strictly in this order, so parallel send sub-batches
@@ -462,147 +663,53 @@ pub struct ServerIo {
     pub cfg: ServerIoConfig,
     /// Syscall mechanism.
     pub path: IoPath,
-    /// Session cipher.
-    pub wire: Arc<Wire>,
+    /// The wire session (handshake, epoch keys, revocation).
+    pub session: Arc<Session>,
 }
 
 impl ServerIo {
-    /// Allocates staging buffers per `cfg` and binds them to `fd` — a
-    /// classic single-socket server ([`Self::sharded`] with one
-    /// shard).
+    /// Deprecated single-socket constructor, kept for one release.
+    #[deprecated(note = "use `ServerIoConfig::build(ctx, &[fd], path, session)`")]
     #[must_use]
     pub fn new(
         ctx: &ThreadCtx,
         fd: Fd,
         cfg: ServerIoConfig,
         path: IoPath,
-        wire: Arc<Wire>,
+        session: Arc<Session>,
     ) -> Self {
-        Self::sharded(ctx, &[fd], cfg, path, wire)
+        cfg.build(ctx, &[fd], path, session)
     }
 
-    /// Binds one serving pipeline (staging buffers + descriptor
-    /// arrays + adaptive-depth state) to each socket of a shard set.
-    /// With more than one shard the reap/send skip the arrival-order
-    /// merge and the transmit reorder buffer — per-shard FIFO is
-    /// enough, because the load generator pins every connection to
-    /// one shard.
-    ///
-    /// # Panics
-    /// Panics if `fds` is empty, if the set's size disagrees with a
-    /// declared [`ServerIoConfig::shards`] count, if the config's
-    /// `batch_max` does not fit the staging buffer, or if more than
-    /// one shard is combined with a non-RPC path or per-message I/O
-    /// (sharding rides the RPC scatter-gather path).
+    /// Deprecated sharded constructor, kept for one release.
+    #[deprecated(note = "use `ServerIoConfig::build(ctx, fds, path, session)`")]
     #[must_use]
     pub fn sharded(
         ctx: &ThreadCtx,
         fds: &[Fd],
         cfg: ServerIoConfig,
         path: IoPath,
-        wire: Arc<Wire>,
+        session: Arc<Session>,
     ) -> Self {
-        assert!(!fds.is_empty(), "a server needs at least one socket");
-        if let Some(n) = cfg.shards {
-            assert_eq!(
-                n,
-                fds.len(),
-                "config declares {n} shard(s) but the socket set has {}: \
-                 the pinning hash would route connections to sockets that \
-                 don't exist (or starve ones that do)",
-                fds.len()
-            );
-        }
-        assert!(
-            cfg.buf_len / cfg.batch_max > 0,
-            "batch_max {} too large for a {}-byte staging buffer",
-            cfg.batch_max,
-            cfg.buf_len
-        );
-        if fds.len() > 1 {
-            assert!(
-                matches!(path, IoPath::Rpc(_)),
-                "sharded serving rides the RPC path"
-            );
-            assert!(
-                cfg.scatter_gather,
-                "sharded serving needs scatter-gather sub-batches"
-            );
-            assert!(
-                fds.len() <= MAX_SHARDS,
-                "{} shards exceed the {MAX_SHARDS} per-shard stat slots",
-                fds.len()
-            );
-            // Tag each socket with its shard class so the RPC workers'
-            // mmsg fills land in that shard's LLC slice when the
-            // machine partitions the RPC fence (`partition_shards`).
-            for (k, &fd) in fds.iter().enumerate() {
-                ctx.machine.set_shard_class(fd.0, k as u8);
-            }
-        }
-        let depth0 = if cfg.is_adaptive() {
-            cfg.batch_min
-        } else {
-            cfg.batch
-        } as u64;
-        let descs = cfg.batch_max * DESC_STRIDE;
-        let shards = fds
-            .iter()
-            .map(|&fd| Shard {
-                fd,
-                rx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
-                tx_buf: ctx.machine.alloc_untrusted(cfg.buf_len),
-                desc_rx: ctx.machine.alloc_untrusted(descs),
-                desc_tx: ctx.machine.alloc_untrusted(descs),
-                depth: AtomicU64::new(depth0),
-                ewma: AtomicU64::new(depth0 * EWMA_SCALE),
-            })
-            .collect();
-        Self {
-            fd: fds[0],
-            shards,
-            last_reap: std::sync::Mutex::new(Vec::new()),
-            tx_seq: AtomicU64::new(0),
-            pending_send: std::sync::Mutex::new(None),
-            map: None,
-            reap_count: AtomicU64::new(0),
-            cfg,
-            path,
-            wire,
-        }
+        cfg.build(ctx, fds, path, session)
     }
 
-    /// [`Self::sharded`] plus the balance layer's connection map: the
-    /// load generator routes arrivals through `map` and the periodic
-    /// rebalancer re-pins hot connections through the same map, so
-    /// both sides always agree on where a connection lives.
-    ///
-    /// # Panics
-    /// Panics if the map's shard count disagrees with the socket set,
-    /// plus everything [`Self::sharded`] panics on.
+    /// Deprecated balanced constructor, kept for one release.
+    #[deprecated(note = "use `ServerIoConfig::routed(map).build(ctx, fds, path, session)`")]
     #[must_use]
     pub fn sharded_balanced(
         ctx: &ThreadCtx,
         fds: &[Fd],
         cfg: ServerIoConfig,
         path: IoPath,
-        wire: Arc<Wire>,
+        session: Arc<Session>,
         map: Arc<ShardMap>,
     ) -> Self {
-        assert_eq!(
-            map.n_shards(),
-            fds.len(),
-            "the shard map routes over {} shard(s) but the socket set has {}",
-            map.n_shards(),
-            fds.len()
-        );
-        let mut io = Self::sharded(ctx, fds, cfg, path, wire);
-        io.map = Some(map);
-        io
+        cfg.routed(map).build(ctx, fds, path, session)
     }
 
     /// The balance layer's connection map, when this server was built
-    /// with [`Self::sharded_balanced`].
+    /// with [`ServerIoConfig::routed`].
     #[must_use]
     pub fn shard_map(&self) -> Option<&Arc<ShardMap>> {
         self.map.as_ref()
@@ -714,22 +821,47 @@ impl ServerIo {
         self.recv_sharded(ctx, active)
     }
 
+    /// One fence-head check of the rekey interval: once the server
+    /// has decrypted [`ServerIoConfig::rekey_every`] requests, retire
+    /// any still-draining rotation (its in-flight reaps ended with
+    /// the previous batch) and begin the next one. Runs at the head
+    /// of every reap — the only point where the pipeline holds no
+    /// half-served requests — so rotation never splits a batch's
+    /// crypto between epochs mid-serve.
+    fn maybe_rekey(&self, ctx: &mut ThreadCtx) {
+        let Some(interval) = self.cfg.rekey_interval else {
+            return;
+        };
+        if self.served.load(Ordering::Relaxed) < interval {
+            return;
+        }
+        self.served.store(0, Ordering::Relaxed);
+        self.session.finish_rekey();
+        if matches!(self.session.state(), SessionState::Established(_)) {
+            self.session.begin_rekey(ctx);
+        }
+    }
+
     /// The shared reap/sort/decrypt path behind every receive entry
     /// point: collect up to `max` raw messages in arrival order, then
-    /// decrypt them all in one [`Wire::decrypt_batch_in_enclave`]
+    /// decrypt them all in one [`Session::decrypt_batch_in_enclave`]
     /// pass.
     ///
     /// The paper's untrusted baseline also decrypts every request
     /// (§2), so the crypto charge applies on all paths.
     fn recv_up_to(&self, ctx: &mut ThreadCtx, max: usize) -> Vec<Vec<u8>> {
         assert!(max > 0);
+        self.maybe_rekey(ctx);
         let raw = self.reap_raw(ctx, max);
         if raw.is_empty() {
             return Vec::new();
         }
         let refs: Vec<&[u8]> = raw.iter().map(Vec::as_slice).collect();
-        self.wire
-            .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto)
+        let out = self
+            .session
+            .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto);
+        self.served.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
     }
 
     /// The sharded reap: one `recv_mmsg` sub-batch per shard (each at
@@ -749,6 +881,7 @@ impl ServerIo {
         let IoPath::Rpc(svc) = &self.path else {
             unreachable!("sharded serving rides the RPC path (checked at construction)");
         };
+        self.maybe_rekey(ctx);
         let stripe = self.cfg.buf_len / self.cfg.batch_max;
         let reqs: Vec<(u64, [u64; 4])> = active
             .iter()
@@ -803,8 +936,11 @@ impl ServerIo {
             return Vec::new();
         }
         let refs: Vec<&[u8]> = raw.iter().map(Vec::as_slice).collect();
-        self.wire
-            .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto)
+        let out = self
+            .session
+            .decrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto);
+        self.served.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
     }
 
     /// Reads one reaped sub-batch out of pipe `pipe`'s staging
@@ -1141,10 +1277,17 @@ impl ServerIo {
     /// long blocking waits take the naive exit, §3.1) and then
     /// receives. On the native path it simply spins on `poll`.
     /// Single-socket servers only.
-    pub fn recv_msg_blocking(&self, ctx: &mut ThreadCtx) -> Vec<u8> {
+    ///
+    /// Returns `None` when the session has been revoked — the one
+    /// condition under which no message can ever arrive again, so the
+    /// wait would otherwise spin forever.
+    pub fn recv_msg_blocking(&self, ctx: &mut ThreadCtx) -> Option<Vec<u8>> {
         loop {
+            if self.session.state() == SessionState::Revoked {
+                return None;
+            }
             if let Some(msg) = self.recv_msg(ctx) {
-                return msg;
+                return Some(msg);
             }
             let fd = self.fd;
             let ready = match &self.path {
@@ -1202,6 +1345,39 @@ impl ServerIo {
         }
     }
 
+    /// Revokes the server's session: a terminal fence. The session
+    /// flips to [`SessionState::Revoked`] (refusing all future seals
+    /// and opens), any deferred send is flushed, and the traffic
+    /// already queued on the shard sockets is drained and dropped
+    /// without serving — a revoked peer's bytes never reach the
+    /// application. Returns how many messages were queued at the
+    /// moment of revocation.
+    pub fn revoke(&self, ctx: &mut ThreadCtx) -> usize {
+        self.session.revoke(ctx);
+        self.flush(ctx);
+        let queued: usize = self
+            .shards
+            .iter()
+            .map(|sh| ctx.machine.host.rx_pending(sh.fd))
+            .sum();
+        // The reap machinery still runs (the kernel does not know the
+        // session died), but every message fails the epoch lookup in
+        // the open path and is dropped, so the batches come back
+        // empty.
+        while self
+            .shards
+            .iter()
+            .any(|sh| ctx.machine.host.rx_pending(sh.fd) > 0)
+        {
+            let drained = self.recv_batch(ctx);
+            assert!(
+                drained.is_empty(),
+                "a revoked session must not surface queued traffic"
+            );
+        }
+        queued
+    }
+
     /// The sharded send: splits `replies` by the last reap's
     /// `(socket, pipe, count)` record and sends each slice as one
     /// *unsequenced* `send_mmsg` sub-batch out its socket — slot
@@ -1226,7 +1402,7 @@ impl ServerIo {
         self.flush(ctx);
         let refs: Vec<&[u8]> = replies.iter().map(Vec::as_slice).collect();
         let msgs = self
-            .wire
+            .session
             .encrypt_batch_in_enclave(ctx, &refs, self.cfg.batched_crypto);
         let reap = self.last_reap.lock().expect("last reap").clone();
         let total: usize = reap.iter().map(|&(_, _, n)| n).sum();
@@ -1294,7 +1470,7 @@ impl ServerIo {
         }
         let sh = &self.shards[0];
         let msgs = self
-            .wire
+            .session
             .encrypt_batch_in_enclave(ctx, replies, self.cfg.batched_crypto);
         let stripe = self.cfg.buf_len / msgs.len();
         if let IoPath::Rpc(svc) = &self.path {
@@ -1463,16 +1639,11 @@ mod tests {
     fn blocking_recv_waits_for_a_producer() {
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([2u8; 16]));
+        let wire = Arc::new(Session::established([2u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 1);
         let fd = m.host.socket(&ut, 64 << 10);
-        let io = ServerIo::new(
-            &ut,
-            fd,
-            ServerIoConfig::with_buf_len(4096),
-            IoPath::Ocall,
-            Arc::clone(&wire),
-        );
+        let io =
+            ServerIoConfig::with_buf_len(4096).build(&ut, &[fd], IoPath::Ocall, Arc::clone(&wire));
 
         // A producer that delivers after a delay.
         let producer = {
@@ -1487,7 +1658,9 @@ mod tests {
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         let s0 = m.stats.snapshot();
-        let msg = io.recv_msg_blocking(&mut t);
+        let msg = io
+            .recv_msg_blocking(&mut t)
+            .expect("a live session must deliver");
         assert_eq!(msg, b"late arrival");
         // The wait took the OCALL path (poll syscalls with exits).
         let d = m.stats.snapshot() - s0;
@@ -1504,16 +1677,15 @@ mod tests {
         // reap/sort/decrypt path.
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([5u8; 16]));
+        let wire = Arc::new(Session::established([5u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 2);
         let fd = m.host.socket(&ut, 64 << 10);
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(2, &[2, 3])
             .build();
-        let io = ServerIo::new(
+        let io = ServerIoConfig::with_buf_len(8192).batch(8).build(
             &ut,
-            fd,
-            ServerIoConfig::with_buf_len(8192).batch(8),
+            &[fd],
             IoPath::Rpc(Arc::new(svc)),
             Arc::clone(&wire),
         );
@@ -1546,21 +1718,16 @@ mod tests {
             // run cannot skew the second.
             let m = SgxMachine::new(MachineConfig::tiny());
             let e = m.driver.create_enclave(&m, 1 << 20);
-            let wire = Arc::new(Wire::new([6u8; 16]));
+            let wire = Arc::new(Session::established([6u8; 16]));
             let ut = ThreadCtx::untrusted(&m, 2);
             let fd = m.host.socket(&ut, 64 << 10);
             let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
                 .workers(1, &[3])
                 .build();
-            let io = ServerIo::new(
-                &ut,
-                fd,
-                ServerIoConfig::with_buf_len(8192)
-                    .batch(8)
-                    .batched_crypto(batched),
-                IoPath::Rpc(Arc::new(svc)),
-                Arc::clone(&wire),
-            );
+            let io = ServerIoConfig::with_buf_len(8192)
+                .batch(8)
+                .batched_crypto(batched)
+                .build(&ut, &[fd], IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
             let mut t = ThreadCtx::for_enclave(&m, &e, 0);
             t.enter();
             for i in 0..8u8 {
@@ -1589,21 +1756,16 @@ mod tests {
         let run = |deferred: bool| {
             let m = SgxMachine::new(MachineConfig::tiny());
             let e = m.driver.create_enclave(&m, 1 << 20);
-            let wire = Arc::new(Wire::new([7u8; 16]));
+            let wire = Arc::new(Session::established([7u8; 16]));
             let ut = ThreadCtx::untrusted(&m, 2);
             let fd = m.host.socket(&ut, 64 << 10);
             let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
                 .workers(1, &[3])
                 .build();
-            let io = ServerIo::new(
-                &ut,
-                fd,
-                ServerIoConfig::with_buf_len(8192)
-                    .batch(4)
-                    .async_send(deferred),
-                IoPath::Rpc(Arc::new(svc)),
-                Arc::clone(&wire),
-            );
+            let io = ServerIoConfig::with_buf_len(8192)
+                .batch(4)
+                .async_send(deferred)
+                .build(&ut, &[fd], IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
             let mut t = ThreadCtx::for_enclave(&m, &e, 0);
             t.enter();
             let c0 = t.now();
@@ -1645,16 +1807,15 @@ mod tests {
         // serve loop sees one concatenated batch.
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([9u8; 16]));
+        let wire = Arc::new(Session::established([9u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 2);
         let fds = m.host.socket_set(&ut, 3, 64 << 10);
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(2, &[2, 3])
             .build();
-        let io = ServerIo::sharded(
+        let io = ServerIoConfig::with_buf_len(8192).batch(4).build(
             &ut,
             &fds,
-            ServerIoConfig::with_buf_len(8192).batch(4),
             IoPath::Rpc(Arc::new(svc)),
             Arc::clone(&wire),
         );
@@ -1691,19 +1852,15 @@ mod tests {
     fn adaptive_depth_grows_on_backlog_and_halves_when_idle() {
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([11u8; 16]));
+        let wire = Arc::new(Session::established([11u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 2);
         let fd = m.host.socket(&ut, 64 << 10);
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(1, &[3])
             .build();
-        let io = ServerIo::new(
-            &ut,
-            fd,
-            ServerIoConfig::with_buf_len(32 << 10).adaptive(1, 16),
-            IoPath::Rpc(Arc::new(svc)),
-            Arc::clone(&wire),
-        );
+        let io = ServerIoConfig::with_buf_len(32 << 10)
+            .adaptive(1, 16)
+            .build(&ut, &[fd], IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
         assert_eq!(io.shard_depth(0), 1, "adaptive depth starts at the floor");
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
@@ -1735,16 +1892,15 @@ mod tests {
     fn sojourn_histogram_records_every_scatter_gather_reap() {
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([13u8; 16]));
+        let wire = Arc::new(Session::established([13u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 2);
         let fd = m.host.socket(&ut, 64 << 10);
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(1, &[3])
             .build();
-        let io = ServerIo::new(
+        let io = ServerIoConfig::with_buf_len(8192).batch(4).build(
             &ut,
-            fd,
-            ServerIoConfig::with_buf_len(8192).batch(4),
+            &[fd],
             IoPath::Rpc(Arc::new(svc)),
             Arc::clone(&wire),
         );
@@ -1773,12 +1929,11 @@ mod tests {
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(1, &[3])
             .build();
-        let _ = ServerIo::sharded(
+        let _ = ServerIoConfig::with_buf_len(8192).batch(4).shards(3).build(
             &ut,
             &fds,
-            ServerIoConfig::with_buf_len(8192).batch(4).shards(3),
             IoPath::Rpc(Arc::new(svc)),
-            Arc::new(Wire::new([1u8; 16])),
+            Arc::new(Session::established([1u8; 16])),
         );
     }
 
@@ -1791,14 +1946,15 @@ mod tests {
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(1, &[3])
             .build();
-        let _ = ServerIo::sharded_balanced(
-            &ut,
-            &fds,
-            ServerIoConfig::with_buf_len(8192).batch(4),
-            IoPath::Rpc(Arc::new(svc)),
-            Arc::new(Wire::new([1u8; 16])),
-            crate::loadgen::ShardMap::new(3),
-        );
+        let _ = ServerIoConfig::with_buf_len(8192)
+            .batch(4)
+            .routed(crate::loadgen::ShardMap::new(3))
+            .build(
+                &ut,
+                &fds,
+                IoPath::Rpc(Arc::new(svc)),
+                Arc::new(Session::established([1u8; 16])),
+            );
     }
 
     #[test]
@@ -1809,25 +1965,20 @@ mod tests {
         // and every reply must still leave shard 0's socket, in order.
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([17u8; 16]));
+        let wire = Arc::new(Session::established([17u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 2);
         let fds = m.host.socket_set(&ut, 2, 64 << 10);
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(2, &[2, 3])
             .build();
-        let io = ServerIo::sharded(
-            &ut,
-            &fds,
-            ServerIoConfig::with_buf_len(8192)
-                .batch(2)
-                .balanced(BalanceConfig {
-                    repin: false,
-                    steal: true,
-                    ..BalanceConfig::default()
-                }),
-            IoPath::Rpc(Arc::new(svc)),
-            Arc::clone(&wire),
-        );
+        let io = ServerIoConfig::with_buf_len(8192)
+            .batch(2)
+            .balanced(BalanceConfig {
+                repin: false,
+                steal: true,
+                ..BalanceConfig::default()
+            })
+            .build(&ut, &fds, IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         for i in 0..6u8 {
@@ -1875,28 +2026,23 @@ mod tests {
     fn rebalancer_repins_hot_connections_at_the_fence() {
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([19u8; 16]));
+        let wire = Arc::new(Session::established([19u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 2);
         let fds = m.host.socket_set(&ut, 2, 64 << 10);
         let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
             .workers(2, &[2, 3])
             .build();
         let map = crate::loadgen::ShardMap::new(2);
-        let io = ServerIo::sharded_balanced(
-            &ut,
-            &fds,
-            ServerIoConfig::with_buf_len(8192)
-                .batch(2)
-                .balanced(BalanceConfig {
-                    repin: true,
-                    steal: false,
-                    period: 1,
-                    max_moves: 1,
-                }),
-            IoPath::Rpc(Arc::new(svc)),
-            Arc::clone(&wire),
-            Arc::clone(&map),
-        );
+        let io = ServerIoConfig::with_buf_len(8192)
+            .batch(2)
+            .balanced(BalanceConfig {
+                repin: true,
+                steal: false,
+                period: 1,
+                max_moves: 1,
+            })
+            .routed(Arc::clone(&map))
+            .build(&ut, &fds, IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
         // One hot connection plus a lighter one on the same home
         // shard, routed through the map like the load generator does.
         // (The lighter sibling matters: with a single connection the
@@ -1945,6 +2091,117 @@ mod tests {
         let moved = map.route(conn);
         assert_ne!(moved, home);
         while !io.recv_batch(&mut t).is_empty() {}
+        t.exit();
+    }
+
+    #[test]
+    fn rekey_interval_rotates_at_the_fence_without_losing_replies() {
+        // With `rekey_every(4)` the epoch must advance once per four
+        // decrypted requests, at reap boundaries only, and every
+        // message must still decrypt to the same bytes a static-key
+        // server would produce.
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Session::established([21u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let io = ServerIoConfig::with_buf_len(8192)
+            .batch(4)
+            .rekey_every(4)
+            .build(&ut, &[fd], IoPath::Rpc(Arc::new(svc)), Arc::clone(&wire));
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let s0 = m.stats.snapshot();
+        let mut out = Vec::new();
+        for round in 0..4u8 {
+            for i in 0..4u8 {
+                m.host
+                    .push_request(&ut, fd, &wire.encrypt(&[round * 4 + i; 24]));
+            }
+            let msgs = io.recv_batch(&mut t);
+            assert_eq!(msgs.len(), 4, "rotation must not stall the reap");
+            io.send_batch(&mut t, &msgs);
+            // The client reads each round's replies while their epoch
+            // is still buffered — a real client tracks the server's
+            // announcements, it does not decrypt a whole run at once.
+            while let Some(resp) = m.host.pop_response(fd) {
+                out.push(wire.decrypt(&resp));
+            }
+        }
+        t.exit();
+        let d = m.stats.snapshot() - s0;
+        // Fences run before reaps 2, 3, and 4 see `served >= 4`.
+        assert_eq!(d.rekeys, 3, "one rotation per elapsed interval");
+        assert_eq!(d.auth_failures, 0, "every epoch stayed in the buffer");
+        assert!(wire.epoch() >= 3, "the session's current epoch advanced");
+        assert_eq!(
+            out,
+            (0..16u8).map(|i| vec![i; 24]).collect::<Vec<_>>(),
+            "every reply decrypts across rotations"
+        );
+    }
+
+    #[test]
+    fn revoke_drops_queued_traffic_and_ends_the_blocking_wait() {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Session::established([23u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let svc = eleos_rpc::with_syscalls(eleos_rpc::RpcService::builder(&m), &m)
+            .workers(1, &[3])
+            .build();
+        let io = ServerIoConfig::with_buf_len(8192).batch(4).build(
+            &ut,
+            &[fd],
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+        );
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        for i in 0..6u8 {
+            m.host.push_request(&ut, fd, &wire.encrypt(&[i; 24]));
+        }
+        let s0 = m.stats.snapshot();
+        let queued = io.revoke(&mut t);
+        assert_eq!(queued, 6, "revocation reports the traffic it dropped");
+        let d = m.stats.snapshot() - s0;
+        assert_eq!(d.revocations, 1);
+        assert_eq!(d.auth_failures, 6, "every queued message was rejected");
+        assert_eq!(wire.state(), SessionState::Revoked);
+        assert_eq!(
+            io.recv_msg_blocking(&mut t),
+            None,
+            "the blocking wait must not spin on a dead session"
+        );
+        assert!(io.recv_batch(&mut t).is_empty());
+        t.exit();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_working_servers() {
+        // The shims forward to `ServerIoConfig::build`; they stay one
+        // release for out-of-tree callers.
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let wire = Arc::new(Session::established([25u8; 16]));
+        let ut = ThreadCtx::untrusted(&m, 2);
+        let fd = m.host.socket(&ut, 64 << 10);
+        let io = ServerIo::new(
+            &ut,
+            fd,
+            ServerIoConfig::with_buf_len(4096),
+            IoPath::Ocall,
+            Arc::clone(&wire),
+        );
+        m.host.push_request(&ut, fd, &wire.encrypt(b"legacy"));
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        assert_eq!(io.recv_msg(&mut t).as_deref(), Some(b"legacy".as_slice()));
         t.exit();
     }
 }

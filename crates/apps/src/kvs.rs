@@ -910,12 +910,11 @@ mod tests {
         let (mut kvs, mut t) = untrusted_kvs(8 << 20);
         kvs.init(&mut t);
         let m = Arc::clone(&t.machine);
-        let wire = Arc::new(crate::wire::Wire::new([3u8; 16]));
+        let wire = Arc::new(crate::wire::Session::established([3u8; 16]));
         let fd = m.host.socket(&t, 64 << 10);
-        let io = crate::io::ServerIo::new(
+        let io = crate::io::ServerIoConfig::with_buf_len(32 << 10).build(
             &t,
-            fd,
-            crate::io::ServerIoConfig::with_buf_len(32 << 10),
+            &[fd],
             crate::io::IoPath::Ocall,
             Arc::clone(&wire),
         );

@@ -19,7 +19,8 @@
 //!   memcached-style [`slab`] allocator;
 //! - [`face`] — the LBP face-verification server of §5.2 (Fig 10);
 //! - [`loadgen`] — seeded client load (memaslap-style for the KVS);
-//! - [`wire`] — AES-CTR request/response encryption (§5).
+//! - [`wire`] — the AES-CTR wire [`Session`](wire::Session) (§5):
+//!   attestation handshake, epoch key rotation, revocation.
 
 pub mod face;
 pub mod fleet_io;
@@ -32,6 +33,8 @@ pub mod space;
 pub mod text_protocol;
 pub mod wire;
 
-pub use io::{IoPath, ServerIo};
+pub use io::{IoPath, ServerIo, ServerIoConfig};
 pub use space::DataSpace;
+#[allow(deprecated)]
 pub use wire::Wire;
+pub use wire::{Session, SessionState};

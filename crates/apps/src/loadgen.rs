@@ -15,7 +15,7 @@ use eleos_enclave::thread::ThreadCtx;
 use crate::face;
 use crate::kvs;
 use crate::param_server::build_update_request;
-use crate::wire::Wire;
+use crate::wire::Session;
 
 /// A Zipf(α) sampler over `0..n` by inverse-CDF table lookup —
 /// key-value workloads are rarely uniform in production, and memaslap
@@ -180,19 +180,38 @@ impl FaceLoad {
     }
 }
 
+/// Runs the attestation handshake the client side performs before any
+/// data message: draws a fresh nonce, asks the enclave for its
+/// evidence (the report MAC the enclave pays
+/// [`session_handshake`](eleos_sim::costs::CostModel) cycles for) and
+/// verifies it against the identity the client expects. Establishes
+/// the session at epoch 0.
+///
+/// # Panics
+/// Panics if the evidence does not verify — a load generator attests
+/// against the identity it configured, so a failure here is a harness
+/// bug, not chaos.
+pub fn attest_session(ctx: &mut ThreadCtx, session: &Session) {
+    let nonce = session.fresh_nonce();
+    let report = session.evidence(ctx, nonce);
+    session
+        .verify(ctx, &session.identity(), nonce, &report)
+        .expect("the load generator attests the identity it configured");
+}
+
 /// Pushes `n` encrypted requests from `next_plain` onto `fd`'s queue.
 pub fn fill_socket(
     machine: &SgxMachine,
     ctx: &ThreadCtx,
     fd: Fd,
-    wire: &Wire,
+    session: &Session,
     n: usize,
     mut next_plain: impl FnMut() -> Vec<u8>,
 ) {
     for _ in 0..n {
         machine
             .host
-            .push_request(ctx, fd, &wire.encrypt(&next_plain()));
+            .push_request(ctx, fd, &session.encrypt(&next_plain()));
     }
 }
 
@@ -594,7 +613,7 @@ pub fn fill_socket_set(
     machine: &SgxMachine,
     ctx: &ThreadCtx,
     fds: &[Fd],
-    wire: &Wire,
+    session: &Session,
     n: usize,
     mut req_of: impl FnMut(usize) -> (u64, u64),
     mut next_plain: impl FnMut() -> Vec<u8>,
@@ -604,7 +623,7 @@ pub fn fill_socket_set(
         let fd = fds[shard_for(conn, fds.len())];
         machine
             .host
-            .push_request_at(ctx, fd, &wire.encrypt(&next_plain()), stamp);
+            .push_request_at(ctx, fd, &session.encrypt(&next_plain()), stamp);
     }
 }
 

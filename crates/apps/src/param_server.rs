@@ -433,19 +433,18 @@ mod tests {
 
     #[test]
     fn update_and_read_through_the_wire() {
-        use crate::io::{IoPath, ServerIo, ServerIoConfig};
-        use crate::wire::Wire;
+        use crate::io::{IoPath, ServerIoConfig};
+        use crate::wire::Session;
         use std::sync::Arc;
         let (_m2, space, mut t) = harness();
         let m = Arc::clone(&t.machine);
         let mut ps = ParamServer::new(space, TableKind::OpenAddressing, 1000);
         ps.init(&mut t);
-        let wire = Arc::new(Wire::new([4u8; 16]));
+        let wire = Arc::new(Session::established([4u8; 16]));
         let fd = m.host.socket(&t, 64 << 10);
-        let io = ServerIo::new(
+        let io = ServerIoConfig::with_buf_len(32 << 10).build(
             &t,
-            fd,
-            ServerIoConfig::with_buf_len(32 << 10),
+            &[fd],
             IoPath::Ocall,
             Arc::clone(&wire),
         );

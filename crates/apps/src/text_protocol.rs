@@ -309,9 +309,9 @@ mod tests {
 
     #[test]
     fn end_to_end_text_session() {
-        use crate::io::{IoPath, ServerIo};
+        use crate::io::IoPath;
         use crate::space::DataSpace;
-        use crate::wire::Wire;
+        use crate::wire::Session;
         use eleos_enclave::machine::{MachineConfig, SgxMachine};
         use eleos_enclave::thread::ThreadCtx;
         use std::sync::Arc;
@@ -320,16 +320,15 @@ mod tests {
         let e = m.driver.create_enclave(&m, 8 << 20);
         let space = DataSpace::Untrusted(Arc::clone(&m));
         let mut kvs = Kvs::new(space.clone(), space, 8 << 20, 1024);
-        let wire = Arc::new(Wire::new([6u8; 16]));
+        let wire = Arc::new(Session::established([6u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 1);
         let fd = m.host.socket(&ut, 64 << 10);
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         kvs.init(&mut t);
-        let io = ServerIo::new(
+        let io = crate::io::ServerIoConfig::with_buf_len(32 << 10).build(
             &t,
-            fd,
-            crate::io::ServerIoConfig::with_buf_len(32 << 10),
+            &[fd],
             IoPath::Ocall,
             Arc::clone(&wire),
         );
@@ -368,9 +367,9 @@ mod tests {
 
     #[test]
     fn batched_text_session_over_rpc_is_exitless() {
-        use crate::io::{IoPath, ServerIo};
+        use crate::io::IoPath;
         use crate::space::DataSpace;
-        use crate::wire::Wire;
+        use crate::wire::Session;
         use eleos_enclave::machine::{MachineConfig, SgxMachine};
         use eleos_enclave::thread::ThreadCtx;
         use eleos_rpc::{with_syscalls, RpcService};
@@ -385,19 +384,15 @@ mod tests {
         );
         let space = DataSpace::Untrusted(Arc::clone(&m));
         let mut kvs = Kvs::new(space.clone(), space, 8 << 20, 1024);
-        let wire = Arc::new(Wire::new([6u8; 16]));
+        let wire = Arc::new(Session::established([6u8; 16]));
         let ut = ThreadCtx::untrusted(&m, 1);
         let fd = m.host.socket(&ut, 64 << 10);
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
         kvs.init(&mut t);
-        let io = ServerIo::new(
-            &t,
-            fd,
-            crate::io::ServerIoConfig::with_buf_len(32 << 10).batch(4),
-            IoPath::Rpc(svc),
-            Arc::clone(&wire),
-        );
+        let io = crate::io::ServerIoConfig::with_buf_len(32 << 10)
+            .batch(4)
+            .build(&t, &[fd], IoPath::Rpc(svc), Arc::clone(&wire));
 
         let session = [
             (format_set(b"a", 0, 0, b"1"), b"STORED\r\n".to_vec()),

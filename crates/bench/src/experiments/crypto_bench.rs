@@ -121,7 +121,7 @@ fn kvs_cell(
         .scatter_gather(sg);
     let io_label = io_cfg.io_label();
     let io = rig.server_io_cfg(&ctx, io_cfg);
-    let wire = Arc::clone(&rig.wire);
+    let wire = Arc::clone(&rig.session);
     let fd = rig.fd;
     let machine = Arc::clone(&rig.machine);
     let mut push = move |ut: &ThreadCtx| {

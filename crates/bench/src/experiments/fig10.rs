@@ -71,7 +71,7 @@ fn phase(
         let server = Arc::clone(&fr.server);
         let enclave = fr.rig.enclave.clone();
         let path = fr.rig.io_path();
-        let wire = Arc::clone(&fr.rig.wire);
+        let wire = Arc::clone(&fr.rig.session);
         let wires = wires.to_vec();
         let enclaved = fr.rig.mode.enclaved();
         let buf_len = fr.side * fr.side + 4096;
@@ -82,13 +82,8 @@ fn phase(
             };
             let ut = ThreadCtx::untrusted(&machine, th);
             let fd = machine.host.socket(&ut, 8 << 20);
-            let io = eleos_apps::io::ServerIo::new(
-                &ut,
-                fd,
-                eleos_apps::io::ServerIoConfig::with_buf_len(buf_len),
-                path,
-                wire,
-            );
+            let io =
+                eleos_apps::io::ServerIoConfig::with_buf_len(buf_len).build(&ut, &[fd], path, wire);
             if enclaved {
                 ctx.enter();
             }
@@ -167,7 +162,7 @@ pub fn run(scale: Scale) {
                 let id = 1 + (i as u64 * 37) % n_ids;
                 let img = synth_capture(id, s, i as u64);
                 fr.rig
-                    .wire
+                    .session
                     .encrypt(&eleos_apps::face::build_verify_request(id, s, &img))
             })
             .collect();

@@ -68,7 +68,7 @@ fn get_phase(kr: &KvsRig, threads: usize, gets_per_thread: usize, value_len: usi
         let kvs = Arc::clone(&kr.kvs);
         let enclave = kr.rig.enclave.clone();
         let path = kr.rig.io_path();
-        let wire = Arc::clone(&kr.rig.wire);
+        let wire = Arc::clone(&kr.rig.session);
         let enclaved = kr.rig.mode.enclaved();
         let n_items = kr.load.n_items;
         let key_len = kr.load.key_len;
@@ -80,10 +80,9 @@ fn get_phase(kr: &KvsRig, threads: usize, gets_per_thread: usize, value_len: usi
             };
             let ut = ThreadCtx::untrusted(&machine, th);
             let fd = machine.host.socket(&ut, 2 << 20);
-            let io = eleos_apps::io::ServerIo::new(
+            let io = eleos_apps::io::ServerIoConfig::with_buf_len(64 << 10).build(
                 &ut,
-                fd,
-                eleos_apps::io::ServerIoConfig::with_buf_len(64 << 10),
+                &[fd],
                 path,
                 wire.clone(),
             );

@@ -57,6 +57,19 @@
 //! victim's sealed snapshot before reaping its shards),
 //! `failover_cycles` / `recovery_cycles` (the fence protocol's cost on
 //! the serving core), and per-replica served-op counts.
+//!
+//! # Session cells
+//!
+//! A third sweep gauges the session lifecycle's serving-path cost on
+//! the steady/adaptive/1-shard baseline. The **rekey** cells rotate
+//! the epoch key every N served requests (`rekey-inf` never rotates —
+//! it is the static-key baseline the others are compared against);
+//! every cell carries `rekeys` and `auth_failures`, and both the
+//! rotation and the old epoch's drain must lose zero replies. The
+//! **revoke** cell runs two independent sessions on separate sockets,
+//! revokes one at 50% pushed (its queued traffic is dropped and
+//! counted as `auth_failures`), and checks the surviving session
+//! loses zero replies.
 
 use std::sync::Arc;
 
@@ -126,6 +139,10 @@ struct Cell {
     recovery_cycles: u64,
     /// Requests served per replica (empty for single-enclave cells).
     replica_ops: Vec<u64>,
+    /// Session-key epoch rotations during the measured phase.
+    rekeys: u64,
+    /// Messages dropped unserved (revoked session or unknown epoch).
+    auth_failures: u64,
     ops: usize,
     busy_cycles_per_op: f64,
     throughput_ops_s: f64,
@@ -199,7 +216,7 @@ fn cell(
     // on the serving core's timebase so sojourn is one clock.
     let ut = ThreadCtx::untrusted(&rig.machine, 2);
     let machine = Arc::clone(&rig.machine);
-    let wire = Arc::clone(&rig.wire);
+    let wire = Arc::clone(&rig.session);
     let mut stream = conn_stream(load);
     let mut push = |stamp: u64| {
         let (_, plain) = gen.get_plain();
@@ -327,6 +344,8 @@ fn cell(
         failover_cycles: 0,
         recovery_cycles: 0,
         replica_ops: Vec::new(),
+        rekeys: d.rekeys,
+        auth_failures: d.auth_failures,
         ops,
         busy_cycles_per_op: busy as f64 / ops as f64,
         throughput_ops_s: ops as f64 / secs(busy.max(1)),
@@ -363,7 +382,7 @@ fn fleet_cell(
         &fds,
         cfg.shards(FLEET_SHARDS),
         rig.io_path(),
-        Arc::clone(&rig.wire),
+        Arc::clone(&rig.session),
         sealer,
         FleetConfig::small(replicas).on_cores(&FLEET_CORES[..replicas]),
         |ctx, kvs| {
@@ -377,7 +396,7 @@ fn fleet_cell(
     let mut stream = ConnStream::round_robin(N_CONNS);
     let ut = ThreadCtx::untrusted(&rig.machine, 2);
     let machine = Arc::clone(&rig.machine);
-    let wire = Arc::clone(&rig.wire);
+    let wire = Arc::clone(&rig.session);
     let map = Arc::clone(fk.map());
     let mut push = |stamp: u64| {
         let (_, plain) = gen.get_plain();
@@ -466,6 +485,8 @@ fn fleet_cell(
                     .sum()
             })
             .collect(),
+        rekeys: d.rekeys,
+        auth_failures: d.auth_failures,
         ops,
         busy_cycles_per_op: busy as f64 / ops as f64,
         throughput_ops_s: ops as f64 / secs(busy.max(1)),
@@ -480,6 +501,282 @@ fn fleet_cell(
         steals_given: sh.steals_given[..FLEET_SHARDS].to_vec(),
         migrations: sh.migrations[..FLEET_SHARDS].to_vec(),
         shard_sojourn_p99: sh.sojourn[..FLEET_SHARDS].iter().map(|h| h.p99()).collect(),
+    }
+}
+
+/// Runs one rekey cell: the steady/adaptive/1-shard baseline with the
+/// session key rotating every `interval` served requests (never, for
+/// `None` — the static-key reference). The client reaps and decrypts
+/// each chunk's replies while their epoch is still inside the
+/// session's two-slot key buffer, and the cell's `lost_replies` must
+/// come out zero: rotation never stalls or drops the serving path.
+fn rekey_cell(scale: Scale, chaos: &'static str, interval: Option<u64>, quick: bool) -> Cell {
+    let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, WORKERS);
+    let mut ctx = rig.thread(0);
+    let mut kvs = Kvs::new(rig.data_space(), rig.data_space(), 64 << 20, 1 << 10);
+    kvs.init(&mut ctx);
+    let mut gen = KvsLoad::new(31, N_ITEMS, 16, 32);
+    for i in 0..N_ITEMS {
+        kvs.set(&mut ctx, &gen.key(i), &gen.value(i));
+    }
+    let fds = rig.socket_set(1);
+    let mut cfg = ServerIoConfig::with_buf_len(64 << 10)
+        .async_send(false)
+        .adaptive(1, BATCH_MAX);
+    if let Some(n) = interval {
+        cfg = cfg.rekey_every(n);
+    }
+    let io = rig.server_io_sharded(&ctx, &fds, cfg);
+    let ut = ThreadCtx::untrusted(&rig.machine, 2);
+    let machine = Arc::clone(&rig.machine);
+    let wire = Arc::clone(&rig.session);
+    let mut stream = conn_stream("steady");
+    let reap_replies = |count: &mut u64| {
+        while let Some(resp) = machine.host.pop_response(fds[0]) {
+            let _ = wire.decrypt(&resp);
+            *count += 1;
+        }
+    };
+    let ops = scale
+        .ops(if quick { 512 } else { 2048 })
+        .max(CHUNK)
+        .next_multiple_of(CHUNK);
+    let mut run_chunk = |ctx: &mut ThreadCtx, n: usize, replies: &mut u64| {
+        let now = ctx.now();
+        for _ in 0..n {
+            let (_, plain) = gen.get_plain();
+            let _ = stream.next();
+            machine
+                .host
+                .push_request_at(&ut, fds[0], &wire.encrypt(&plain), now);
+        }
+        let mut done = 0usize;
+        while done < n {
+            let got = kvs.handle_batch(ctx, &io);
+            assert!(got > 0, "queued requests must be served");
+            done += got;
+            // The host's tx log is a bounded ring: the client keeps up,
+            // decrypting while the reply's epoch is still buffered.
+            reap_replies(replies);
+        }
+        io.flush(ctx);
+        reap_replies(replies);
+    };
+    let mut warmup = 0u64;
+    run_chunk(&mut ctx, CHUNK, &mut warmup);
+    rig.machine.reset_counters();
+    let c0 = ctx.now();
+    let mut replies = 0u64;
+    let mut pushed = 0usize;
+    while pushed < ops {
+        let c = (ops - pushed).min(CHUNK);
+        run_chunk(&mut ctx, c, &mut replies);
+        pushed += c;
+    }
+    let busy = ctx.now() - c0;
+    let d = rig.machine.stats.snapshot();
+    ctx.exit();
+    let sh = &d.shard.replica[0];
+    Cell {
+        shards: 1,
+        policy: "adaptive".to_owned(),
+        load: "steady",
+        balance: "static",
+        replicas: 1,
+        chaos,
+        lost_replies: ops as u64 - replies,
+        failover_cycles: 0,
+        recovery_cycles: 0,
+        replica_ops: Vec::new(),
+        rekeys: d.rekeys,
+        auth_failures: d.auth_failures,
+        ops,
+        busy_cycles_per_op: busy as f64 / ops as f64,
+        throughput_ops_s: ops as f64 / secs(busy.max(1)),
+        sojourn_p50: d.sojourn.p50(),
+        sojourn_p95: d.sojourn.p95(),
+        sojourn_p99: d.sojourn.p99(),
+        sojourn_count: d.sojourn.count(),
+        rpc_batches: d.rpc_batches,
+        shard_backlog: sh.backlog[..1].to_vec(),
+        shard_depth: sh.depth[..1].to_vec(),
+        steals_taken: sh.steals_taken[..1].to_vec(),
+        steals_given: sh.steals_given[..1].to_vec(),
+        shard_sojourn_p99: sh.sojourn[..1].iter().map(|h| h.p99()).collect(),
+        migrations: sh.migrations[..1].to_vec(),
+    }
+}
+
+/// Runs the revocation chaos cell: two independent sessions (A, the
+/// rig's attested session, and B, a second session on its own socket)
+/// serve interleaved steady traffic; at 50% pushed, B's freshly queued
+/// chunk is revoked — [`ServerIo::revoke`] kills its shard slot and
+/// drops the queued traffic as `auth_failures` — and A serves the rest
+/// of the run alone. `lost_replies` counts only the surviving
+/// session's deficit and must come out zero.
+fn revoke_cell(scale: Scale, quick: bool) -> Cell {
+    let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, WORKERS);
+    let mut ctx = rig.thread(0);
+    let mut kvs = Kvs::new(rig.data_space(), rig.data_space(), 64 << 20, 1 << 10);
+    kvs.init(&mut ctx);
+    let mut gen = KvsLoad::new(31, N_ITEMS, 16, 32);
+    for i in 0..N_ITEMS {
+        kvs.set(&mut ctx, &gen.key(i), &gen.value(i));
+    }
+    let fds = rig.socket_set(2);
+    let base = || {
+        ServerIoConfig::with_buf_len(64 << 10)
+            .async_send(false)
+            .adaptive(1, BATCH_MAX)
+    };
+    let io_a = rig.server_io_sharded(&ctx, &fds[..1], base());
+    let session_b = Arc::new(eleos_apps::wire::Session::established([0x5bu8; 16]));
+    let io_b = base().build(&ctx, &fds[1..], rig.io_path(), Arc::clone(&session_b));
+    let ut = ThreadCtx::untrusted(&rig.machine, 2);
+    let machine = Arc::clone(&rig.machine);
+    let wire_a = Arc::clone(&rig.session);
+    let ops = scale
+        .ops(if quick { 512 } else { 2048 })
+        .max(2 * CHUNK)
+        .next_multiple_of(2 * CHUNK);
+    let half = CHUNK / 2;
+    let mut a_pushed = 0u64;
+    let mut a_replies = 0u64;
+    let mut b_served = 0u64;
+    let reap_a = |count: &mut u64| {
+        while let Some(resp) = machine.host.pop_response(fds[0]) {
+            let _ = wire_a.decrypt(&resp);
+            *count += 1;
+        }
+    };
+    // One warm-up chunk on each session.
+    for (io, session, fd) in [(&io_a, &wire_a, fds[0]), (&io_b, &session_b, fds[1])] {
+        let now = ctx.now();
+        for _ in 0..half {
+            let (_, plain) = gen.get_plain();
+            machine
+                .host
+                .push_request_at(&ut, fd, &session.encrypt(&plain), now);
+        }
+        let mut done = 0usize;
+        while done < half {
+            done += kvs.handle_batch(&mut ctx, io);
+            while machine.host.pop_response(fd).is_some() {}
+        }
+        io.flush(&mut ctx);
+    }
+    while machine.host.pop_response(fds[0]).is_some() {}
+    while machine.host.pop_response(fds[1]).is_some() {}
+    rig.machine.reset_counters();
+    let c0 = ctx.now();
+    let mut pushed = 0usize;
+    let mut revoked = false;
+    while pushed < ops {
+        let now = ctx.now();
+        if !revoked {
+            // Interleaved halves: A and B each get half a chunk.
+            for fifty in 0..2usize {
+                let (session, fd): (&Arc<eleos_apps::wire::Session>, _) = if fifty == 0 {
+                    (&wire_a, fds[0])
+                } else {
+                    (&session_b, fds[1])
+                };
+                for _ in 0..half {
+                    let (_, plain) = gen.get_plain();
+                    machine
+                        .host
+                        .push_request_at(&ut, fd, &session.encrypt(&plain), now);
+                }
+            }
+            a_pushed += half as u64;
+            let mut done = 0usize;
+            while done < half {
+                done += kvs.handle_batch(&mut ctx, &io_a);
+                reap_a(&mut a_replies);
+            }
+            let mut done = 0usize;
+            while done < half {
+                done += kvs.handle_batch(&mut ctx, &io_b);
+                // B's client keeps up with its replies too (the host's
+                // tx log is a bounded ring).
+                while let Some(resp) = machine.host.pop_response(fds[1]) {
+                    let _ = session_b.decrypt(&resp);
+                }
+            }
+            b_served += half as u64;
+            io_a.flush(&mut ctx);
+            io_b.flush(&mut ctx);
+            while let Some(resp) = machine.host.pop_response(fds[1]) {
+                let _ = session_b.decrypt(&resp);
+            }
+            pushed += 2 * half;
+        } else {
+            for _ in 0..CHUNK.min(ops - pushed) {
+                let (_, plain) = gen.get_plain();
+                machine
+                    .host
+                    .push_request_at(&ut, fds[0], &wire_a.encrypt(&plain), now);
+            }
+            let c = CHUNK.min(ops - pushed);
+            a_pushed += c as u64;
+            let mut done = 0usize;
+            while done < c {
+                done += kvs.handle_batch(&mut ctx, &io_a);
+                reap_a(&mut a_replies);
+            }
+            io_a.flush(&mut ctx);
+            pushed += c;
+        }
+        reap_a(&mut a_replies);
+        if !revoked && pushed >= ops / 2 {
+            // Mid-run revocation: B's client pushes one more chunk that
+            // the revoked slot must drop, not serve.
+            let now = ctx.now();
+            for _ in 0..half {
+                let (_, plain) = gen.get_plain();
+                machine
+                    .host
+                    .push_request_at(&ut, fds[1], &session_b.encrypt(&plain), now);
+            }
+            let dropped = io_b.revoke(&mut ctx);
+            assert_eq!(dropped, half, "revocation drops the queued chunk");
+            revoked = true;
+        }
+    }
+    io_a.flush(&mut ctx);
+    reap_a(&mut a_replies);
+    let busy = ctx.now() - c0;
+    let d = rig.machine.stats.snapshot();
+    ctx.exit();
+    assert!(revoked, "the schedule must fire the revocation");
+    let sh = &d.shard.replica[0];
+    Cell {
+        shards: 1,
+        policy: "adaptive".to_owned(),
+        load: "steady",
+        balance: "static",
+        replicas: 1,
+        chaos: "revoke",
+        lost_replies: a_pushed - a_replies,
+        failover_cycles: 0,
+        recovery_cycles: 0,
+        replica_ops: vec![a_pushed, b_served],
+        rekeys: d.rekeys,
+        auth_failures: d.auth_failures,
+        ops: pushed,
+        busy_cycles_per_op: busy as f64 / pushed as f64,
+        throughput_ops_s: pushed as f64 / secs(busy.max(1)),
+        sojourn_p50: d.sojourn.p50(),
+        sojourn_p95: d.sojourn.p95(),
+        sojourn_p99: d.sojourn.p99(),
+        sojourn_count: d.sojourn.count(),
+        rpc_batches: d.rpc_batches,
+        shard_backlog: sh.backlog[..1].to_vec(),
+        shard_depth: sh.depth[..1].to_vec(),
+        steals_taken: sh.steals_taken[..1].to_vec(),
+        steals_given: sh.steals_given[..1].to_vec(),
+        migrations: sh.migrations[..1].to_vec(),
+        shard_sojourn_p99: sh.sojourn[..1].iter().map(|h| h.p99()).collect(),
     }
 }
 
@@ -591,6 +888,54 @@ pub fn run(scale: Scale, quick: bool) {
         }
     }
 
+    // Session sweep: epoch rotation intervals on the steady/adaptive/
+    // 1-shard baseline, plus the mid-run revocation cell.
+    println!(
+        "   {:<8} {:<12} {:>12} {:>10} {:>8} {:>6} {:>6}",
+        "session", "chaos", "busy c/op", "ops/s", "rekeys", "auth", "lost"
+    );
+    for (label, interval) in [
+        ("rekey-inf", None),
+        ("rekey-4096", Some(4096u64)),
+        ("rekey-1024", Some(1024)),
+        ("rekey-256", Some(256)),
+    ] {
+        let c = rekey_cell(scale, label, interval, quick);
+        println!(
+            "   {:<8} {:<12} {:>12.0} {:>10} {:>8} {:>6} {:>6}",
+            "steady",
+            c.chaos,
+            c.busy_cycles_per_op,
+            kops(c.throughput_ops_s),
+            c.rekeys,
+            c.auth_failures,
+            c.lost_replies,
+        );
+        assert_eq!(c.lost_replies, 0, "epoch rotation must not lose replies");
+        assert_eq!(c.auth_failures, 0, "the old epoch must drain, not drop");
+        cells.push(c);
+    }
+    let c = revoke_cell(scale, quick);
+    println!(
+        "   {:<8} {:<12} {:>12.0} {:>10} {:>8} {:>6} {:>6}",
+        "steady",
+        c.chaos,
+        c.busy_cycles_per_op,
+        kops(c.throughput_ops_s),
+        c.rekeys,
+        c.auth_failures,
+        c.lost_replies,
+    );
+    assert_eq!(
+        c.lost_replies, 0,
+        "the surviving session must lose zero replies"
+    );
+    assert!(
+        c.auth_failures > 0,
+        "the revoked session's queued traffic must be dropped and counted"
+    );
+    cells.push(c);
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"serving_sharded\",\n");
     json.push_str(&format!("  \"scale\": {},\n", scale.0));
@@ -603,7 +948,7 @@ pub fn run(scale: Scale, quick: bool) {
              \"balance\": \"{}\", \"replicas\": {}, \"chaos\": \"{}\", \"ops\": {}, \
              \"busy_cycles_per_op\": {:.1}, \"throughput_ops_s\": {:.1}, \
              \"lost_replies\": {}, \"failover_cycles\": {}, \"recovery_cycles\": {}, \
-             \"replica_ops\": {}, \
+             \"replica_ops\": {}, \"rekeys\": {}, \"auth_failures\": {}, \
              \"sojourn_p50\": {}, \"sojourn_p95\": {}, \"sojourn_p99\": {}, \
              \"sojourn_count\": {}, \"rpc_batches\": {}, \
              \"shard_backlog\": {}, \"shard_depth\": {}, \
@@ -622,6 +967,8 @@ pub fn run(scale: Scale, quick: bool) {
             c.failover_cycles,
             c.recovery_cycles,
             json_array(&c.replica_ops),
+            c.rekeys,
+            c.auth_failures,
             c.sojourn_p50,
             c.sojourn_p95,
             c.sojourn_p99,

@@ -10,10 +10,10 @@
 use std::sync::Arc;
 
 use eleos_apps::io::{IoPath, ServerIo, ServerIoConfig};
-use eleos_apps::loadgen::ShardMap;
+use eleos_apps::loadgen::{attest_session, ShardMap};
 use eleos_apps::param_server::{ParamServer, TableKind};
 use eleos_apps::space::DataSpace;
-use eleos_apps::wire::Wire;
+use eleos_apps::wire::Session;
 use eleos_core::{Suvm, SuvmConfig};
 use eleos_enclave::host::Fd;
 use eleos_enclave::machine::{MachineConfig, SgxMachine};
@@ -150,8 +150,9 @@ pub struct Rig {
     pub suvm: Option<Arc<Suvm>>,
     /// The RPC service, in Eleos modes.
     pub rpc: Option<Arc<RpcService>>,
-    /// The session cipher.
-    pub wire: Arc<Wire>,
+    /// The wire session, attested at rig construction (the handshake
+    /// runs once, before any measured request).
+    pub session: Arc<Session>,
     /// The server socket.
     pub fd: Fd,
     /// Mode this rig was built for.
@@ -221,15 +222,21 @@ impl Rig {
             )),
             _ => None,
         };
-        let wire = Arc::new(Wire::new([0x42; 16]));
-        let ut = ThreadCtx::untrusted(&machine, 0);
+        // Every rig session starts with the attestation handshake: the
+        // load generator verifies the serving identity's evidence
+        // before pushing a single request. Benches reset counters
+        // before their measured phase, so the one-time handshake cost
+        // never pollutes a steady-state number.
+        let session = Arc::new(Session::handshake([0x42; 16], [0xA7; 16]));
+        let mut ut = ThreadCtx::untrusted(&machine, 0);
+        attest_session(&mut ut, &session);
         let fd = machine.host.socket(&ut, SOCKET_STAGING);
         Rig {
             machine,
             enclave,
             suvm,
             rpc,
-            wire,
+            session,
             fd,
             mode,
         }
@@ -282,7 +289,7 @@ impl Rig {
     /// (batch depth, crypto mode).
     #[must_use]
     pub fn server_io_cfg(&self, ctx: &ThreadCtx, cfg: ServerIoConfig) -> ServerIo {
-        ServerIo::new(ctx, self.fd, cfg, self.io_path(), Arc::clone(&self.wire))
+        cfg.build(ctx, &[self.fd], self.io_path(), Arc::clone(&self.session))
     }
 
     /// A second socket (for multi-threaded servers).
@@ -303,15 +310,15 @@ impl Rig {
         fds
     }
 
-    /// A sharded `ServerIo` over a socket set (see
-    /// [`ServerIo::sharded`]) with an explicit config.
+    /// A sharded `ServerIo` over a socket set (one pipeline per
+    /// socket, see [`ServerIoConfig::build`]) with an explicit config.
     #[must_use]
     pub fn server_io_sharded(&self, ctx: &ThreadCtx, fds: &[Fd], cfg: ServerIoConfig) -> ServerIo {
-        ServerIo::sharded(ctx, fds, cfg, self.io_path(), Arc::clone(&self.wire))
+        cfg.build(ctx, fds, self.io_path(), Arc::clone(&self.session))
     }
 
-    /// A balance-layered sharded `ServerIo` (see
-    /// [`ServerIo::sharded_balanced`]); the load generator must route
+    /// A balance-layered sharded `ServerIo` (the map wired via
+    /// [`ServerIoConfig::routed`]); the load generator must route
     /// arrivals through the same `map`.
     #[must_use]
     pub fn server_io_balanced(
@@ -321,14 +328,8 @@ impl Rig {
         cfg: ServerIoConfig,
         map: &Arc<ShardMap>,
     ) -> ServerIo {
-        ServerIo::sharded_balanced(
-            ctx,
-            fds,
-            cfg,
-            self.io_path(),
-            Arc::clone(&self.wire),
-            Arc::clone(map),
-        )
+        cfg.routed(Arc::clone(map))
+            .build(ctx, fds, self.io_path(), Arc::clone(&self.session))
     }
 }
 
@@ -369,7 +370,7 @@ pub fn run_param_server(
     for _ in 0..warmup {
         rig.machine
             .host
-            .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+            .push_request(&ut, rig.fd, &rig.session.encrypt(&gen()));
         server
             .handle_request(&mut ctx, &io)
             .expect("warmup request");
@@ -386,7 +387,7 @@ pub fn run_param_server(
         for _ in 0..batch {
             rig.machine
                 .host
-                .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+                .push_request(&ut, rig.fd, &rig.session.encrypt(&gen()));
         }
         for _ in 0..batch {
             inner += server
@@ -443,7 +444,7 @@ pub fn run_param_server_batched(
     for _ in 0..warmup {
         rig.machine
             .host
-            .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+            .push_request(&ut, rig.fd, &rig.session.encrypt(&gen()));
         server
             .handle_request(&mut ctx, &io)
             .expect("warmup request");
@@ -460,7 +461,7 @@ pub fn run_param_server_batched(
         for _ in 0..chunk {
             rig.machine
                 .host
-                .push_request(&ut, rig.fd, &rig.wire.encrypt(&gen()));
+                .push_request(&ut, rig.fd, &rig.session.encrypt(&gen()));
         }
         let mut drained = 0usize;
         while drained < chunk {

@@ -127,6 +127,20 @@ pub struct CostModel {
     /// target range live on different nodes; shard-local buffer and
     /// stripe placement exists to avoid it.
     pub numa_remote: u64,
+
+    // --- Session lifecycle (attestation + key rotation) ---
+    /// One attestation handshake: producing the `EREPORT`-style
+    /// evidence structure (MAC over enclave identity + session nonce)
+    /// inside the enclave, in the ballpark of the measured EREPORT
+    /// latency plus one AES-CMAC pass. Paid once per session, never on
+    /// the per-request path.
+    pub session_handshake: u64,
+    /// One session key-epoch rotation: deriving the next epoch key
+    /// through the sealer seam (a block-cipher KDF pass) and expanding
+    /// its AES key schedule — roughly four `crypto_fixed` setups.
+    /// Rotation is double-buffered, so this is the *only* cost; the
+    /// serving path never stalls to drain the old epoch.
+    pub session_rekey: u64,
 }
 
 impl Default for CostModel {
@@ -168,6 +182,9 @@ impl Default for CostModel {
             reap_merge: 120,
             tx_reorder: 80,
             numa_remote: 60,
+
+            session_handshake: 9_000,
+            session_rekey: 1_600,
         }
     }
 }

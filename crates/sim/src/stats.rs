@@ -448,6 +448,14 @@ stats! {
     xchan_msgs,
     /// Payload bytes moved over exit-less cross-enclave channels.
     xchan_bytes,
+    /// Attestation handshakes completed (evidence verified, session established).
+    session_handshakes,
+    /// Session key-epoch rotations begun (double-buffered, stall-free).
+    rekeys,
+    /// Sessions revoked (shard slot killed, queued traffic dropped).
+    revocations,
+    /// Messages rejected without serving: bad evidence, replayed handshake nonce, unknown key epoch, or a revoked session.
+    auth_failures,
 }
 
 impl Stats {
@@ -536,6 +544,10 @@ impl StatsSnapshot {
         put("restores", self.fleet_restores);
         put("failovers", self.fleet_failovers);
         put("xchan_msgs", self.xchan_msgs);
+        put("handshakes", self.session_handshakes);
+        put("rekeys", self.rekeys);
+        put("revocations", self.revocations);
+        put("auth_failures", self.auth_failures);
         if self.sojourn.count() > 0 {
             parts.push(format!(
                 "sojourn_p50={} sojourn_p95={} sojourn_p99={}",

@@ -9,9 +9,10 @@ use std::sync::Arc;
 use eleos::apps::face::{
     build_verify_request, chi_square, lbp_histogram, synth_capture, synth_image, FaceDb, FaceServer,
 };
-use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
+use eleos::apps::io::{IoPath, ServerIoConfig};
+use eleos::apps::loadgen::attest_session;
 use eleos::apps::space::DataSpace;
-use eleos::apps::wire::Wire;
+use eleos::apps::wire::Session;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
 use eleos::rpc::{with_syscalls, RpcService};
@@ -63,15 +64,15 @@ fn main() {
     println!("score calibration: genuine {genuine:.0} vs impostor {impostor:.0}");
     let mut server = FaceServer::new(db, (genuine + impostor) / 2.0);
 
-    let wire = Arc::new(Wire::new([5u8; 16]));
-    let ut = ThreadCtx::untrusted(&machine, 0);
+    let session = Arc::new(Session::handshake([5u8; 16], [0x53u8; 16]));
+    let mut ut = ThreadCtx::untrusted(&machine, 0);
+    attest_session(&mut ut, &session);
     let fd = machine.host.socket(&ut, 4 << 20);
-    let io = ServerIo::new(
+    let io = ServerIoConfig::with_buf_len((SIDE * SIDE) + 4096).build(
         &ctx,
-        fd,
-        ServerIoConfig::with_buf_len((SIDE * SIDE) + 4096),
+        &[fd],
         IoPath::Rpc(rpc),
-        Arc::clone(&wire),
+        Arc::clone(&session),
     );
 
     // A mixed request stream: genuine captures and impostor attempts.
@@ -88,10 +89,10 @@ fn main() {
         machine.host.push_request(
             &ut,
             fd,
-            &wire.encrypt(&build_verify_request(claimed, SIDE, &img)),
+            &session.encrypt(&build_verify_request(claimed, SIDE, &img)),
         );
         assert!(server.handle_request(&mut ctx, &io));
-        let resp = wire.decrypt(&machine.host.pop_response(fd).expect("response"));
+        let resp = session.decrypt(&machine.host.pop_response(fd).expect("response"));
         let accepted = resp[0] == 1;
         if accepted == genuine_attempt {
             correct += 1;

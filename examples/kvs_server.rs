@@ -6,11 +6,12 @@
 
 use std::sync::Arc;
 
-use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
+use eleos::apps::io::{IoPath, ServerIoConfig};
 use eleos::apps::kvs::Kvs;
+use eleos::apps::loadgen::attest_session;
 use eleos::apps::space::DataSpace;
 use eleos::apps::text_protocol::{format_get, format_set, handle_text_request};
-use eleos::apps::wire::Wire;
+use eleos::apps::wire::Session;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
 use eleos::rpc::{with_syscalls, RpcService};
@@ -47,18 +48,18 @@ fn main() {
         1 << 15,
     );
 
-    let wire = Arc::new(Wire::new([9u8; 16]));
-    let ut = ThreadCtx::untrusted(&machine, 0);
+    let session = Arc::new(Session::handshake([9u8; 16], [0x52u8; 16]));
+    let mut ut = ThreadCtx::untrusted(&machine, 0);
+    attest_session(&mut ut, &session);
     let fd = machine.host.socket(&ut, 1 << 20);
     let mut ctx = ThreadCtx::for_enclave(&machine, &enclave, 0);
     ctx.enter();
     kvs.init(&mut ctx);
-    let io = ServerIo::new(
+    let io = ServerIoConfig::with_buf_len(64 << 10).build(
         &ctx,
-        fd,
-        ServerIoConfig::with_buf_len(64 << 10),
+        &[fd],
         IoPath::Rpc(Arc::clone(&rpc)),
-        Arc::clone(&wire),
+        Arc::clone(&session),
     );
 
     // "memaslap" session: SETs filling 32 MiB (4x the EPC++), then GETs.
@@ -70,10 +71,10 @@ fn main() {
         machine.host.push_request(
             &ut,
             fd,
-            &wire.encrypt(&format_set(key.as_bytes(), 0, 0, &value)),
+            &session.encrypt(&format_set(key.as_bytes(), 0, 0, &value)),
         );
         assert!(handle_text_request(&mut kvs, &mut ctx, &io));
-        let ack = wire.decrypt(&machine.host.pop_response(fd).expect("ack"));
+        let ack = session.decrypt(&machine.host.pop_response(fd).expect("ack"));
         assert_eq!(ack, b"STORED\r\n");
     }
     println!(
@@ -90,9 +91,9 @@ fn main() {
         let key = format!("user:{:08}", (i * 6151) % n_items);
         machine
             .host
-            .push_request(&ut, fd, &wire.encrypt(&format_get(key.as_bytes())));
+            .push_request(&ut, fd, &session.encrypt(&format_get(key.as_bytes())));
         assert!(handle_text_request(&mut kvs, &mut ctx, &io));
-        let resp = wire.decrypt(&machine.host.pop_response(fd).expect("response sent"));
+        let resp = session.decrypt(&machine.host.pop_response(fd).expect("response sent"));
         assert!(resp.starts_with(b"VALUE "), "GET must hit");
     }
     let s = machine.stats.snapshot();

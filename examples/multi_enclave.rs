@@ -15,7 +15,8 @@ use std::sync::Arc;
 use eleos::apps::fleet_io::{FleetConfig, FleetKvs};
 use eleos::apps::io::ServerIoConfig;
 use eleos::apps::kvs::{build_get, build_set};
-use eleos::apps::{IoPath, Wire};
+use eleos::apps::loadgen::attest_session;
+use eleos::apps::{IoPath, Session};
 use eleos::crypto::gcm::AesGcm128;
 use eleos::crypto::Sealer;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
@@ -44,7 +45,11 @@ fn main() {
     let svc = with_syscalls(RpcService::builder(&machine), &machine)
         .workers(2, &[6, 7])
         .build();
-    let wire = Arc::new(Wire::new([9u8; 16]));
+    let session = Arc::new(Session::handshake([9u8; 16], [0x54u8; 16]));
+    {
+        let mut hs = ThreadCtx::untrusted(&machine, 2);
+        attest_session(&mut hs, &session);
+    }
     // The fleet key is shared across replicas (a per-enclave sealing
     // identity dies with its enclave, so snapshots must not use it).
     let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x2au8; 16]));
@@ -58,7 +63,7 @@ fn main() {
             .batch(8)
             .shards(SHARDS),
         IoPath::Rpc(Arc::new(svc)),
-        Arc::clone(&wire),
+        Arc::clone(&session),
         sealer,
         FleetConfig {
             suvm: Some(SuvmConfig {
@@ -95,7 +100,7 @@ fn main() {
     let reap = |pushed_minus_reaped: &mut u64| {
         for &fd in &fds {
             while let Some(resp) = machine.host.pop_response(fd) {
-                let plain = wire.decrypt(&resp);
+                let plain = session.decrypt(&resp);
                 assert_eq!(plain[0], 1, "every request hits (found / stored)");
                 *pushed_minus_reaped -= 1;
             }
@@ -117,7 +122,7 @@ fn main() {
             };
             machine
                 .host
-                .push_request_at(&ut, fds[s], &wire.encrypt(&plain), now);
+                .push_request_at(&ut, fds[s], &session.encrypt(&plain), now);
             outstanding += 1;
             pushed += 1;
         }
@@ -167,10 +172,10 @@ fn main() {
     let probe = format!("round-{}", KILL_AT - 1);
     machine
         .host
-        .push_request(&ut, fds[s], &wire.encrypt(&build_get(probe.as_bytes())));
+        .push_request(&ut, fds[s], &session.encrypt(&build_get(probe.as_bytes())));
     while fk.pump() == 0 {}
     fk.flush();
-    let plain = wire.decrypt(&machine.host.pop_response(fds[s]).unwrap());
+    let plain = session.decrypt(&machine.host.pop_response(fds[s]).unwrap());
     assert_eq!(plain[0], 1, "pre-kill write must survive the failover");
     assert_eq!(&plain[5..], [(KILL_AT - 1) as u8; 64]);
     println!("pre-kill write served by replica {owner} after the kill/respawn cycle");

@@ -6,11 +6,11 @@
 
 use std::sync::Arc;
 
-use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
-use eleos::apps::loadgen::ParamLoad;
+use eleos::apps::io::{IoPath, ServerIoConfig};
+use eleos::apps::loadgen::{attest_session, ParamLoad};
 use eleos::apps::param_server::{ParamServer, TableKind};
 use eleos::apps::space::DataSpace;
-use eleos::apps::wire::Wire;
+use eleos::apps::wire::Session;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
 use eleos::rpc::{with_syscalls, RpcService};
@@ -24,8 +24,9 @@ fn run(mode: &str) -> f64 {
         epc_bytes: 16 << 20,
         ..MachineConfig::default()
     });
-    let wire = Arc::new(Wire::new([7u8; 16]));
-    let ut = ThreadCtx::untrusted(&machine, 0);
+    let session = Arc::new(Session::handshake([7u8; 16], [0x51u8; 16]));
+    let mut ut = ThreadCtx::untrusted(&machine, 0);
+    attest_session(&mut ut, &session);
     let fd = machine.host.socket(&ut, 1 << 20);
 
     let enclave = (mode != "native").then(|| machine.driver.create_enclave(&machine, 256 << 20));
@@ -70,13 +71,7 @@ fn run(mode: &str) -> f64 {
     server.init(&mut ctx);
     server.populate_bulk(&mut ctx, n_keys);
 
-    let io = ServerIo::new(
-        &ctx,
-        fd,
-        ServerIoConfig::with_buf_len(64 << 10),
-        path,
-        Arc::clone(&wire),
-    );
+    let io = ServerIoConfig::with_buf_len(64 << 10).build(&ctx, &[fd], path, Arc::clone(&session));
     let mut load = ParamLoad::new(3, n_keys, 4, None);
     machine.reset_counters();
     let c0 = ctx.now();
@@ -86,7 +81,7 @@ fn run(mode: &str) -> f64 {
         for _ in 0..batch {
             machine
                 .host
-                .push_request(&ut, fd, &wire.encrypt(&load.next_plain()));
+                .push_request(&ut, fd, &session.encrypt(&load.next_plain()));
         }
         for _ in 0..batch {
             server

@@ -77,6 +77,9 @@ cargo test --test sharding_equivalence --offline -q
 echo "== fleet equivalence suite (chaos schedules, byte-identical replies)"
 cargo test --test fleet_equivalence --offline -q
 
+echo "== session lifecycle suite (handshake, rekey, revocation)"
+cargo test --test security --offline -q
+
 echo "== serving_bench smoke"
 # Scale 8, not 16: at 1/16 the LLC is barely larger than four shards'
 # staging buffers, and the balance layer's extra buffer traffic
@@ -216,10 +219,62 @@ for fence in ("failover_cycles", "recovery_cycles"):
         sys.exit(
             f"chaos cell {fence} {chaos[fence]} outside (0, {budget:.0f}) budget"
         )
+
+# Session cells: the rekey sweep on the steady/adaptive/1-shard
+# baseline plus the two-session revocation chaos cell.
+session = {
+    c["chaos"]: c
+    for c in cells
+    if c["chaos"].startswith("rekey-") or c["chaos"] == "revoke"
+}
+for label in ("rekey-inf", "rekey-4096", "rekey-1024", "rekey-256"):
+    c = session.get(label)
+    if c is None:
+        sys.exit(f"BENCH_serving.json missing session cell {label}")
+    # Epoch rotation is double-buffered: the old epoch drains while the
+    # new one serves, so nothing is ever dropped or rejected.
+    if c["lost_replies"] != 0:
+        sys.exit(f"session cell {label} lost {c['lost_replies']} replies")
+    if c["auth_failures"] != 0:
+        sys.exit(f"session cell {label} had {c['auth_failures']} auth failures")
+if session["rekey-inf"]["rekeys"] != 0:
+    sys.exit("rekey-inf cell rotated keys")
+if session["rekey-256"]["rekeys"] == 0:
+    sys.exit("rekey-256 cell never rotated keys")
+
+# A session that never rotates must cost what the static-key pipeline
+# cost before the lifecycle existed (within 2% of the PR 7 baseline
+# cell), and rotating every 4096 requests stays within 5% of it.
+baseline = by_cell[("steady", "adaptive", 1, "static", 1, "none")][
+    "busy_cycles_per_op"
+]
+inf = session["rekey-inf"]["busy_cycles_per_op"]
+if inf > baseline * 1.02:
+    sys.exit(
+        f"rekey-inf busy cycles/op {inf:.0f} more than 2% over the "
+        f"static-key baseline {baseline:.0f}"
+    )
+rk = session["rekey-4096"]["busy_cycles_per_op"]
+if rk > baseline * 1.05:
+    sys.exit(
+        f"rekey-4096 busy cycles/op {rk:.0f} more than 5% over the "
+        f"static-key baseline {baseline:.0f}"
+    )
+
+# Revocation chaos: the revoked session's queued traffic is dropped and
+# counted; the surviving session loses nothing.
+rv = session.get("revoke")
+if rv is None:
+    sys.exit("BENCH_serving.json missing the revoke cell")
+if rv["lost_replies"] != 0:
+    sys.exit(f"revoke cell: surviving session lost {rv['lost_replies']} replies")
+if rv["auth_failures"] == 0:
+    sys.exit("revoke cell dropped no traffic")
 print(
     f"   {len(cells)} cells, adaptive rides burst throughput and trickle tail "
     f"latency, balance beats static pinning under skew, replicas=2 within 5% "
-    f"of single-enclave, chaos cell lost 0 replies"
+    f"of single-enclave, chaos cell lost 0 replies, rekey-inf within 2% of "
+    f"the static-key baseline, revocation spares the surviving session"
 )
 EOF
 

@@ -4,12 +4,12 @@
 
 use std::sync::Arc;
 
-use eleos::apps::io::{IoPath, ServerIo, ServerIoConfig};
+use eleos::apps::io::{IoPath, ServerIoConfig};
 use eleos::apps::kvs::{build_get, build_set, Kvs};
-use eleos::apps::loadgen::{KvsLoad, ParamLoad};
+use eleos::apps::loadgen::{attest_session, KvsLoad, ParamLoad};
 use eleos::apps::param_server::{ParamServer, TableKind};
 use eleos::apps::space::DataSpace;
-use eleos::apps::wire::Wire;
+use eleos::apps::wire::Session;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
 use eleos::rpc::{with_syscalls, RpcService};
@@ -20,7 +20,7 @@ struct Stack {
     space: DataSpace,
     path: IoPath,
     ctx: ThreadCtx,
-    wire: Arc<Wire>,
+    session: Arc<Session>,
     fd: eleos::enclave::host::Fd,
     _rpc: Option<Arc<RpcService>>,
 }
@@ -31,8 +31,9 @@ fn stack(mode: &str) -> Stack {
         untrusted_bytes: 256 << 20,
         ..MachineConfig::tiny()
     });
-    let wire = Arc::new(Wire::new([1u8; 16]));
-    let ut = ThreadCtx::untrusted(&machine, 0);
+    let session = Arc::new(Session::handshake([1u8; 16], [0x61u8; 16]));
+    let mut ut = ThreadCtx::untrusted(&machine, 0);
+    attest_session(&mut ut, &session);
     let fd = machine.host.socket(&ut, 1 << 20);
     match mode {
         "native" => Stack {
@@ -40,7 +41,7 @@ fn stack(mode: &str) -> Stack {
             path: IoPath::Native,
             ctx: ThreadCtx::untrusted(&machine, 0),
             machine,
-            wire,
+            session,
             fd,
             _rpc: None,
         },
@@ -53,7 +54,7 @@ fn stack(mode: &str) -> Stack {
                 path: IoPath::Ocall,
                 ctx,
                 machine,
-                wire,
+                session,
                 fd,
                 _rpc: None,
             }
@@ -86,7 +87,7 @@ fn stack(mode: &str) -> Stack {
                 path: IoPath::Rpc(Arc::clone(&rpc)),
                 ctx,
                 machine,
-                wire,
+                session,
                 fd,
                 _rpc: Some(rpc),
             }
@@ -103,19 +104,18 @@ fn param_server_run(mode: &str) -> Vec<u64> {
     let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, n_keys);
     server.init(&mut s.ctx);
     server.populate_bulk(&mut s.ctx, n_keys);
-    let io = ServerIo::new(
+    let io = ServerIoConfig::with_buf_len(64 << 10).build(
         &s.ctx,
-        s.fd,
-        ServerIoConfig::with_buf_len(64 << 10),
+        &[s.fd],
         s.path.clone(),
-        Arc::clone(&s.wire),
+        Arc::clone(&s.session),
     );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
     let mut load = ParamLoad::new(42, n_keys, 8, None);
     for _ in 0..200 {
         s.machine
             .host
-            .push_request(&ut, s.fd, &s.wire.encrypt(&load.next_plain()));
+            .push_request(&ut, s.fd, &s.session.encrypt(&load.next_plain()));
         server.handle_request(&mut s.ctx, &io).expect("queued");
     }
     let out = (1..=32u64)
@@ -141,12 +141,11 @@ fn eleos_mode_never_exits_the_enclave() {
     let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, 10_000);
     server.init(&mut s.ctx);
     server.populate_bulk(&mut s.ctx, 10_000);
-    let io = ServerIo::new(
+    let io = ServerIoConfig::with_buf_len(64 << 10).build(
         &s.ctx,
-        s.fd,
-        ServerIoConfig::with_buf_len(64 << 10),
+        &[s.fd],
         s.path.clone(),
-        Arc::clone(&s.wire),
+        Arc::clone(&s.session),
     );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
     s.machine.reset_counters();
@@ -154,7 +153,7 @@ fn eleos_mode_never_exits_the_enclave() {
     for _ in 0..100 {
         s.machine
             .host
-            .push_request(&ut, s.fd, &s.wire.encrypt(&load.next_plain()));
+            .push_request(&ut, s.fd, &s.session.encrypt(&load.next_plain()));
         server.handle_request(&mut s.ctx, &io).expect("queued");
     }
     let st = s.machine.stats.snapshot();
@@ -172,12 +171,11 @@ fn sgx_mode_pays_exits_and_faults() {
     let mut server = ParamServer::new(s.space.clone(), TableKind::OpenAddressing, n_keys);
     server.init(&mut s.ctx);
     server.populate_bulk(&mut s.ctx, n_keys);
-    let io = ServerIo::new(
+    let io = ServerIoConfig::with_buf_len(64 << 10).build(
         &s.ctx,
-        s.fd,
-        ServerIoConfig::with_buf_len(64 << 10),
+        &[s.fd],
         s.path.clone(),
-        Arc::clone(&s.wire),
+        Arc::clone(&s.session),
     );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
     s.machine.reset_counters();
@@ -185,7 +183,7 @@ fn sgx_mode_pays_exits_and_faults() {
     for _ in 0..100 {
         s.machine
             .host
-            .push_request(&ut, s.fd, &s.wire.encrypt(&load.next_plain()));
+            .push_request(&ut, s.fd, &s.session.encrypt(&load.next_plain()));
         server.handle_request(&mut s.ctx, &io).expect("queued");
     }
     let st = s.machine.stats.snapshot();
@@ -202,32 +200,31 @@ fn kvs_full_protocol_all_modes() {
         let meta_space = DataSpace::Untrusted(Arc::clone(&s.machine));
         let mut kvs = Kvs::new(meta_space, s.space.clone(), 16 << 20, 2048);
         kvs.init(&mut s.ctx);
-        let io = ServerIo::new(
+        let io = ServerIoConfig::with_buf_len(64 << 10).build(
             &s.ctx,
-            s.fd,
-            ServerIoConfig::with_buf_len(64 << 10),
+            &[s.fd],
             s.path.clone(),
-            Arc::clone(&s.wire),
+            Arc::clone(&s.session),
         );
         let ut = ThreadCtx::untrusted(&s.machine, 1);
         let load = KvsLoad::new(5, 500, 20, 800);
         for i in 0..load.n_items {
             s.machine
                 .host
-                .push_request(&ut, s.fd, &s.wire.encrypt(&load.set_plain(i)));
+                .push_request(&ut, s.fd, &s.session.encrypt(&load.set_plain(i)));
             assert!(kvs.handle_request(&mut s.ctx, &io), "{mode}: SET {i}");
             let resp = s
-                .wire
+                .session
                 .decrypt(&s.machine.host.pop_response(s.fd).expect("ack"));
             assert_eq!(resp, &[1u8], "{mode}: SET ack");
         }
         for i in (0..load.n_items).step_by(17) {
             s.machine
                 .host
-                .push_request(&ut, s.fd, &s.wire.encrypt(&build_get(&load.key(i))));
+                .push_request(&ut, s.fd, &s.session.encrypt(&build_get(&load.key(i))));
             assert!(kvs.handle_request(&mut s.ctx, &io));
             let resp = s
-                .wire
+                .session
                 .decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
             assert_eq!(resp[0], 1, "{mode}: GET {i} hit");
             assert_eq!(&resp[5..], load.value(i), "{mode}: GET {i} value");
@@ -236,16 +233,16 @@ fn kvs_full_protocol_all_modes() {
         s.machine.host.push_request(
             &ut,
             s.fd,
-            &s.wire.encrypt(&build_set(&load.key(3), b"tiny")),
+            &s.session.encrypt(&build_set(&load.key(3), b"tiny")),
         );
         assert!(kvs.handle_request(&mut s.ctx, &io));
         let _ = s.machine.host.pop_response(s.fd);
         s.machine
             .host
-            .push_request(&ut, s.fd, &s.wire.encrypt(&build_get(&load.key(3))));
+            .push_request(&ut, s.fd, &s.session.encrypt(&build_get(&load.key(3))));
         assert!(kvs.handle_request(&mut s.ctx, &io));
         let resp = s
-            .wire
+            .session
             .decrypt(&s.machine.host.pop_response(s.fd).expect("value"));
         assert_eq!(&resp[5..], b"tiny", "{mode}: overwrite");
         if s.ctx.in_enclave() {
@@ -272,12 +269,11 @@ fn face_pipeline_in_enclave() {
     let impostor =
         eleos::apps::face::chi_square(&lbp_histogram(&synth_image(7, side), side), &enrolled);
     let mut server = FaceServer::new(db, (genuine + impostor) / 2.0);
-    let io = ServerIo::new(
+    let io = ServerIoConfig::with_buf_len(side * side + 4096).build(
         &s.ctx,
-        s.fd,
-        ServerIoConfig::with_buf_len(side * side + 4096),
+        &[s.fd],
         s.path.clone(),
-        Arc::clone(&s.wire),
+        Arc::clone(&s.session),
     );
     let ut = ThreadCtx::untrusted(&s.machine, 1);
 
@@ -286,11 +282,11 @@ fn face_pipeline_in_enclave() {
     s.machine.host.push_request(
         &ut,
         s.fd,
-        &s.wire.encrypt(&build_verify_request(2, side, &img)),
+        &s.session.encrypt(&build_verify_request(2, side, &img)),
     );
     assert!(server.handle_request(&mut s.ctx, &io));
     assert_eq!(
-        s.wire
+        s.session
             .decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
         &[1u8]
     );
@@ -299,11 +295,11 @@ fn face_pipeline_in_enclave() {
     s.machine.host.push_request(
         &ut,
         s.fd,
-        &s.wire.encrypt(&build_verify_request(2, side, &img)),
+        &s.session.encrypt(&build_verify_request(2, side, &img)),
     );
     assert!(server.handle_request(&mut s.ctx, &io));
     assert_eq!(
-        s.wire
+        s.session
             .decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
         &[0u8]
     );
@@ -311,12 +307,12 @@ fn face_pipeline_in_enclave() {
     s.machine.host.push_request(
         &ut,
         s.fd,
-        &s.wire
+        &s.session
             .encrypt(&build_verify_request(99, side, &synth_image(1, side))),
     );
     assert!(server.handle_request(&mut s.ctx, &io));
     assert_eq!(
-        s.wire
+        s.session
             .decrypt(&s.machine.host.pop_response(s.fd).expect("resp")),
         &[2u8]
     );

@@ -22,8 +22,9 @@ use std::sync::Arc;
 use eleos::apps::fleet_io::{FleetConfig, FleetKvs};
 use eleos::apps::io::{IoPath, ServerIoConfig};
 use eleos::apps::kvs::{build_get, build_set, Kvs};
+use eleos::apps::loadgen::attest_session;
 use eleos::apps::space::DataSpace;
-use eleos::apps::wire::Wire;
+use eleos::apps::wire::Session;
 use eleos::crypto::gcm::AesGcm128;
 use eleos::crypto::Sealer;
 use eleos::enclave::fleet::{Fleet, ReplicaState};
@@ -52,7 +53,7 @@ const N_ITEMS: u64 = 24;
 
 struct FleetRig {
     m: Arc<SgxMachine>,
-    wire: Arc<Wire>,
+    wire: Arc<Session>,
     fds: Vec<Fd>,
     fk: FleetKvs,
 }
@@ -64,7 +65,11 @@ fn rig(replicas: usize) -> FleetRig {
     let svc = with_syscalls(RpcService::builder(&m), &m)
         .workers(2, &[2, 3])
         .build();
-    let wire = Arc::new(Wire::new([9u8; 16]));
+    let wire = Arc::new(Session::handshake([9u8; 16], [0x63u8; 16]));
+    {
+        let mut hs = ThreadCtx::untrusted(&m, 1);
+        attest_session(&mut hs, &wire);
+    }
     let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x2au8; 16]));
     let fk = FleetKvs::new(
         &m,
@@ -130,6 +135,8 @@ fn encode(conn: u64, req: Req) -> Vec<u8> {
 enum Fence {
     Kill(usize),
     Respawn(usize),
+    /// Epoch key rotation initiated by the given (serving) replica.
+    Rekey(usize),
 }
 
 /// Runs the request stream through a `replicas`-wide fleet, firing
@@ -174,6 +181,9 @@ fn run_fleet(
                     Fence::Respawn(v) => {
                         r.fk.respawn(v);
                     }
+                    Fence::Rekey(v) => {
+                        r.fk.rekey_wire(v);
+                    }
                 }
             }
         }
@@ -211,6 +221,21 @@ fn schedules(replicas: usize) -> Vec<Vec<(usize, Fence)>> {
         v.push(vec![
             (0, Fence::Kill(1)),
             (1, Fence::Kill(2)),
+            (2, Fence::Respawn(1)),
+        ]);
+    }
+    // Epoch rotations compose with the chaos schedules: a rekey at
+    // every fence, and a rekey interleaved with a kill/respawn pair
+    // (the announcement only reaches serving peers).
+    v.push(vec![
+        (0, Fence::Rekey(0)),
+        (1, Fence::Rekey(0)),
+        (2, Fence::Rekey(0)),
+    ]);
+    if replicas >= 2 {
+        v.push(vec![
+            (0, Fence::Kill(1)),
+            (1, Fence::Rekey(0)),
             (2, Fence::Respawn(1)),
         ]);
     }

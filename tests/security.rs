@@ -98,13 +98,76 @@ fn hw_paged_enclave_data_never_appears_in_untrusted_memory() {
 
 #[test]
 fn wire_messages_are_confidential() {
-    let w = eleos::apps::wire::Wire::new([3u8; 16]);
+    let w = eleos::apps::wire::Session::established([3u8; 16]);
     let msg = w.encrypt(SECRET);
     assert!(
         !msg.windows(8).any(|s| SECRET.windows(8).any(|p| p == s)),
         "request plaintext visible on the wire"
     );
     assert_eq!(w.decrypt(&msg), SECRET);
+}
+
+// ---------------------------------------------------------------------
+// Session lifecycle: attestation, replay, revocation
+// ---------------------------------------------------------------------
+
+#[test]
+fn handshake_replay_is_rejected() {
+    use eleos::apps::wire::{Session, SessionState};
+    let m = small_machine();
+    let mut ut = ThreadCtx::untrusted(&m, 0);
+    let s = Session::handshake([7u8; 16], [0x11u8; 16]);
+    let nonce = s.fresh_nonce();
+    let report = s.evidence(&mut ut, nonce);
+    s.verify(&mut ut, &[0x11u8; 16], nonce, &report)
+        .expect("a fresh report verifies");
+    assert_eq!(s.state(), SessionState::Established(0));
+    // An eavesdropper replays the same (nonce, report) pair: the
+    // freshness floor must refuse it even though the MAC is genuine.
+    let replayed = s.verify(&mut ut, &[0x11u8; 16], nonce, &report);
+    assert!(replayed.is_err(), "replayed evidence must not verify");
+    assert_eq!(m.stats.snapshot().auth_failures, 1, "the replay is counted");
+}
+
+#[test]
+fn wrong_identity_evidence_fails_verification() {
+    use eleos::apps::wire::{Session, SessionState};
+    let m = small_machine();
+    let mut ut = ThreadCtx::untrusted(&m, 0);
+    let s = Session::handshake([7u8; 16], [0x11u8; 16]);
+    let nonce = s.fresh_nonce();
+    let report = s.evidence(&mut ut, nonce);
+    // The verifier expected a different enclave identity: the report's
+    // MAC covers the identity, so it cannot be transplanted.
+    let err = s.verify(&mut ut, &[0x22u8; 16], nonce, &report);
+    assert!(err.is_err(), "evidence must bind the enclave identity");
+    assert_eq!(s.state(), SessionState::Handshake, "no session forms");
+    assert_eq!(m.stats.snapshot().auth_failures, 1);
+}
+
+#[test]
+fn revoked_session_drops_queued_messages() {
+    use eleos::apps::io::{IoPath, ServerIoConfig};
+    use eleos::apps::wire::Session;
+    let m = small_machine();
+    let mut ut = ThreadCtx::untrusted(&m, 0);
+    let session = Arc::new(Session::established([5u8; 16]));
+    let fd = m.host.socket(&ut, 64 << 10);
+    let io =
+        ServerIoConfig::with_buf_len(4096).build(&ut, &[fd], IoPath::Native, Arc::clone(&session));
+    for i in 0..4u8 {
+        m.host.push_request(&ut, fd, &session.encrypt(&[i; 16]));
+    }
+    let dropped = io.revoke(&mut ut);
+    assert_eq!(dropped, 4, "revocation reports the traffic it dropped");
+    assert_eq!(m.host.rx_pending(fd), 0, "the shard slot is drained");
+    let st = m.stats.snapshot();
+    assert_eq!(st.revocations, 1);
+    assert_eq!(st.auth_failures, 4, "each dropped message is counted");
+    assert!(
+        io.recv_msg_blocking(&mut ut).is_none(),
+        "a revoked session stops yielding messages"
+    );
 }
 
 #[test]

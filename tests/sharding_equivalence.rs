@@ -27,11 +27,12 @@ use eleos::apps::face::{
 };
 use eleos::apps::io::{BalanceConfig, IoPath, ServerIo, ServerIoConfig};
 use eleos::apps::kvs::{build_get, Kvs};
+use eleos::apps::loadgen::attest_session;
 use eleos::apps::loadgen::{shard_for, KvsLoad, ShardMap};
 use eleos::apps::param_server::{build_read_request, build_update_request, ParamServer, TableKind};
 use eleos::apps::space::DataSpace;
 use eleos::apps::text_protocol::{format_get, handle_text_batch};
-use eleos::apps::wire::Wire;
+use eleos::apps::wire::Session;
 use eleos::enclave::host::Fd;
 use eleos::enclave::machine::{MachineConfig, SgxMachine};
 use eleos::enclave::thread::ThreadCtx;
@@ -52,7 +53,7 @@ const N_REQS: usize = 24;
 struct ShardRig {
     m: Arc<SgxMachine>,
     e: Arc<eleos::enclave::enclave::Enclave>,
-    wire: Arc<Wire>,
+    wire: Arc<Session>,
     fds: Vec<Fd>,
     io: ServerIo,
     /// The balance layer's connection map, `None` on the static path.
@@ -66,8 +67,9 @@ impl ShardRig {
     fn new(shards: usize, workers: usize, cfg: ServerIoConfig, balanced: bool) -> ShardRig {
         let m = SgxMachine::new(MachineConfig::tiny());
         let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Wire::new([9u8; 16]));
-        let ut = ThreadCtx::untrusted(&m, 1);
+        let wire = Arc::new(Session::handshake([9u8; 16], [0x62u8; 16]));
+        let mut ut = ThreadCtx::untrusted(&m, 1);
+        attest_session(&mut ut, &wire);
         let fds: Vec<Fd> = (0..shards).map(|_| m.host.socket(&ut, 256 << 10)).collect();
         let svc = with_syscalls(RpcService::builder(&m), &m)
             .workers(workers, &[2, 3])
@@ -81,20 +83,12 @@ impl ShardRig {
                 period: 2,
                 max_moves: 2,
             });
-            let io = ServerIo::sharded_balanced(
-                &ut,
-                &fds,
-                cfg,
-                path,
-                Arc::clone(&wire),
-                Arc::clone(&map),
-            );
+            let io = cfg
+                .routed(Arc::clone(&map))
+                .build(&ut, &fds, path, Arc::clone(&wire));
             (io, Some(map))
         } else {
-            (
-                ServerIo::sharded(&ut, &fds, cfg, path, Arc::clone(&wire)),
-                None,
-            )
+            (cfg.build(&ut, &fds, path, Arc::clone(&wire)), None)
         };
         ShardRig {
             m,
