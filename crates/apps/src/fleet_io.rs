@@ -78,6 +78,7 @@ use crate::io::{IoPath, ServerIo, ServerIoConfig};
 use crate::kvs::Kvs;
 use crate::loadgen::ShardMap;
 use crate::space::DataSpace;
+use crate::storage::EngineConfig;
 use crate::wire::Session;
 
 /// Channel message kind: a snapshot-epoch announcement (8 LE bytes),
@@ -117,6 +118,10 @@ pub struct FleetConfig {
     /// own core; pair that with [`FleetKvs::sync_clocks`] barriers so
     /// per-op timestamps stay on one timebase.
     pub cores: Vec<usize>,
+    /// Storage engine every replica runs (the item-log snapshot format
+    /// is engine-neutral, so a fleet could even mix engines across
+    /// replicas — this knob keeps them uniform).
+    pub engine: EngineConfig,
 }
 
 impl FleetConfig {
@@ -133,6 +138,7 @@ impl FleetConfig {
             buckets: 1024,
             suvm: None,
             cores: vec![0],
+            engine: EngineConfig::default(),
         }
     }
 
@@ -283,7 +289,13 @@ impl FleetKvs {
             None => (DataSpace::Enclave(Arc::clone(&enclave)), None),
         };
         let meta = DataSpace::Untrusted(Arc::clone(&self.machine));
-        let kvs = Kvs::new(meta, data, self.cfg.mem_limit, self.cfg.buckets);
+        let kvs = Kvs::with_engine(
+            meta,
+            data,
+            self.cfg.mem_limit,
+            self.cfg.buckets,
+            &self.cfg.engine,
+        );
         kvs.init(&mut ctx);
         let mut cfg = self.io_cfg.clone().replica(r);
         if cfg.balance.is_some() {

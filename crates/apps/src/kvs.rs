@@ -7,12 +7,13 @@
 //! metadata space, while the **keys, values and their sizes** live in
 //! the secure data space (SUVM in the Eleos configuration).
 //!
-//! Layouts:
-//!
-//! - metadata record (48 B, clear): `hash_next, lru_prev, lru_next,
-//!   kv_addr, kv_class, expiry, version`;
-//! - kv record (secure): `key_len u32, val_len u32, key bytes, value
-//!   bytes`.
+//! The store itself is now a thin protocol/snapshot front-end over a
+//! pluggable [`StorageEngine`] (see [`crate::storage`]): the default
+//! [`EngineConfig::Slab`] engine is the seed's slab/LRU store
+//! (optionally with the fence-time slab rebalancer), and
+//! [`EngineConfig::Segment`] swaps in the TTL-bucketed append-only
+//! segment store. Engine maintenance runs only in [`Kvs::fence`],
+//! which the batch handlers invoke at sub-batch boundaries.
 //!
 //! The *version* is a caller-managed write stamp (the fleet tier sets
 //! it to its fence-epoch interval): every `set` stamps the item, and
@@ -25,28 +26,8 @@ use eleos_crypto::Sealer;
 use eleos_enclave::thread::ThreadCtx;
 
 use crate::io::ServerIo;
-use crate::param_server::hash64;
-use crate::slab::SlabPool;
 use crate::space::DataSpace;
-
-const META_BYTES: usize = 48;
-const M_NEXT: u64 = 0;
-const M_LRU_PREV: u64 = 8;
-const M_LRU_NEXT: u64 = 16;
-const M_KV_ADDR: u64 = 24;
-const M_KV_CLASS: u64 = 32;
-/// Expiry deadline in simulated seconds (u32; 0 = never) — memcached's
-/// `exptime`, kept in the clear metadata like the original (§5.1 calls
-/// expiration time security-insensitive).
-const M_EXPIRY: u64 = 36;
-/// Write stamp (u64): the store's [`Kvs::write_version`] at the time
-/// of the last `set`. Security-insensitive (it leaks only fence
-/// cadence, which the host observes anyway), so it lives in the clear
-/// metadata with the LRU links.
-const M_VERSION: u64 = 40;
-
-/// Null metadata pointer.
-const NIL: u64 = 0;
+use crate::storage::{build_engine, now_secs, EngineConfig, StorageEngine};
 
 /// Per-operation parsing/hashing compute, in cycles.
 const OP_CYCLES: u64 = 120;
@@ -54,80 +35,55 @@ const OP_CYCLES: u64 = 120;
 /// Name of the item-log section in a portable [`Snapshot`].
 const KVS_SECTION: &str = "kvs-items";
 
-/// Fixed-size allocator for metadata records in the (clear) metadata
-/// space.
-struct MetaPool {
-    space: DataSpace,
-    free: Vec<u64>,
-    block: usize,
-}
+/// Name of the engine-metadata section in a portable [`Snapshot`]:
+/// `label_len u8 || label || item_count u64 || engine blob`. Carried so
+/// a restore side can cross-check the item log against the sealing
+/// engine's view (and log which engine produced it).
+const STORAGE_META_SECTION: &str = "storage-meta";
 
-impl MetaPool {
-    fn new(space: DataSpace) -> Self {
-        Self {
-            space,
-            free: Vec::new(),
-            block: 64 << 10,
-        }
-    }
-
-    fn alloc(&mut self) -> u64 {
-        if let Some(a) = self.free.pop() {
-            return a;
-        }
-        let base = self.space.alloc(self.block);
-        let n = self.block / META_BYTES;
-        for i in (1..n).rev() {
-            self.free.push(base + (i * META_BYTES) as u64);
-        }
-        // Never hand out address 0 as a record (0 is the NIL marker);
-        // the first record of the first block is skipped if it would
-        // be 0.
-        let first = base;
-        if first == NIL {
-            return self.free.pop().expect("block has >1 record");
-        }
-        first
-    }
-
-    fn free(&mut self, addr: u64) {
-        self.free.push(addr);
-    }
-}
-
-/// The key-value store.
+/// The key-value store: protocol parsing, write-stamping and
+/// snapshot/restore over a pluggable [`StorageEngine`].
 pub struct Kvs {
-    meta: MetaPool,
-    meta_space: DataSpace,
-    slab: SlabPool,
-    buckets: u64,
-    heads: u64,
-    lru_head: u64,
-    lru_tail: u64,
-    items: u64,
-    evictions: u64,
+    engine: Box<dyn StorageEngine>,
     version: u64,
 }
 
 impl Kvs {
     /// Creates a store with a `mem_limit`-byte value pool in
-    /// `data_space` and chains/heads in `meta_space`.
+    /// `data_space` and chains/heads in `meta_space`, running the
+    /// default slab engine (no rebalancer) — byte- and cycle-identical
+    /// to the seed's store.
     #[must_use]
     pub fn new(meta_space: DataSpace, data_space: DataSpace, mem_limit: u64, buckets: u64) -> Self {
-        let buckets = buckets.next_power_of_two();
-        let heads = meta_space.alloc((buckets * 8) as usize);
-        Self {
-            meta: MetaPool::new(meta_space.clone()),
+        Self::with_engine(
             meta_space,
-            slab: SlabPool::new(data_space, mem_limit),
+            data_space,
+            mem_limit,
             buckets,
-            heads,
-            lru_head: NIL,
-            lru_tail: NIL,
-            items: 0,
-            evictions: 0,
+            &EngineConfig::default(),
+        )
+    }
+
+    /// Creates a store running the configured engine.
+    #[must_use]
+    pub fn with_engine(
+        meta_space: DataSpace,
+        data_space: DataSpace,
+        mem_limit: u64,
+        buckets: u64,
+        cfg: &EngineConfig,
+    ) -> Self {
+        Self {
+            engine: build_engine(cfg, meta_space, data_space, mem_limit, buckets),
             version: 0,
         }
+    }
+
+    /// The engine's short label (`"slab"`, `"slab-rebal"`,
+    /// `"segment"`).
+    #[must_use]
+    pub fn engine_label(&self) -> &'static str {
+        self.engine.label()
     }
 
     /// The write stamp every subsequent `set` records on its item.
@@ -147,146 +103,42 @@ impl Kvs {
 
     /// Zeroes the bucket heads.
     pub fn init(&self, ctx: &mut ThreadCtx) {
-        let zeros = vec![0u8; 4096];
-        let len = self.buckets * 8;
-        let mut off = 0u64;
-        while off < len {
-            let n = ((len - off) as usize).min(4096);
-            self.meta_space.write(ctx, self.heads + off, &zeros[..n]);
-            off += n as u64;
-        }
+        self.engine.init(ctx);
     }
 
     /// Number of live items.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.items
+        self.engine.len()
     }
 
     /// Whether the store is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.items == 0
+        self.engine.len() == 0
     }
 
-    /// Items evicted by the LRU so far.
+    /// Items evicted under memory pressure so far.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.engine.evictions()
+    }
+
+    /// Items dropped because their TTL deadline passed.
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.engine.expired()
     }
 
     /// Bytes of secure pool acquired from the data space.
     #[must_use]
     pub fn pool_bytes(&self) -> u64 {
-        self.slab.slab_bytes
-    }
-
-    fn bucket_addr(&self, key: &[u8]) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &b in key {
-            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
-        }
-        self.heads + (hash64(h) & (self.buckets - 1)) * 8
-    }
-
-    /// Reads the kv record's key and compares with `key`.
-    fn key_matches(&self, ctx: &mut ThreadCtx, kv_addr: u64, key: &[u8]) -> bool {
-        let klen = self.slab.space().read_u32(ctx, kv_addr) as usize;
-        if klen != key.len() {
-            return false;
-        }
-        let mut stored = vec![0u8; klen];
-        self.slab.space().read(ctx, kv_addr + 8, &mut stored);
-        stored == key
-    }
-
-    /// Finds `(meta_addr, prev_meta_addr)` of `key` in its chain.
-    fn find(&self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<(u64, u64)> {
-        let bucket = self.bucket_addr(key);
-        let mut prev = NIL;
-        let mut node = self.meta_space.read_u64(ctx, bucket);
-        while node != NIL {
-            let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
-            if self.key_matches(ctx, kv, key) {
-                return Some((node, prev));
-            }
-            prev = node;
-            node = self.meta_space.read_u64(ctx, node + M_NEXT);
-        }
-        None
-    }
-
-    // --- LRU list (in clear metadata, like memcached's) -------------
-
-    fn lru_unlink(&mut self, ctx: &mut ThreadCtx, node: u64) {
-        let prev = self.meta_space.read_u64(ctx, node + M_LRU_PREV);
-        let next = self.meta_space.read_u64(ctx, node + M_LRU_NEXT);
-        if prev != NIL {
-            self.meta_space.write_u64(ctx, prev + M_LRU_NEXT, next);
-        } else {
-            self.lru_head = next;
-        }
-        if next != NIL {
-            self.meta_space.write_u64(ctx, next + M_LRU_PREV, prev);
-        } else {
-            self.lru_tail = prev;
-        }
-    }
-
-    fn lru_push_front(&mut self, ctx: &mut ThreadCtx, node: u64) {
-        self.meta_space.write_u64(ctx, node + M_LRU_PREV, NIL);
-        self.meta_space
-            .write_u64(ctx, node + M_LRU_NEXT, self.lru_head);
-        if self.lru_head != NIL {
-            self.meta_space
-                .write_u64(ctx, self.lru_head + M_LRU_PREV, node);
-        }
-        self.lru_head = node;
-        if self.lru_tail == NIL {
-            self.lru_tail = node;
-        }
-    }
-
-    fn chain_unlink(&mut self, ctx: &mut ThreadCtx, key: &[u8], node: u64, prev: u64) {
-        let next = self.meta_space.read_u64(ctx, node + M_NEXT);
-        if prev == NIL {
-            self.meta_space.write_u64(ctx, self.bucket_addr(key), next);
-        } else {
-            self.meta_space.write_u64(ctx, prev + M_NEXT, next);
-        }
-    }
-
-    /// Removes the LRU tail item to reclaim a chunk.
-    fn evict_one(&mut self, ctx: &mut ThreadCtx) -> bool {
-        let victim = self.lru_tail;
-        if victim == NIL {
-            return false;
-        }
-        let kv = self.meta_space.read_u64(ctx, victim + M_KV_ADDR);
-        let class = self.meta_space.read_u32(ctx, victim + M_KV_CLASS) as usize;
-        // Need the key to unlink from its chain.
-        let klen = self.slab.space().read_u32(ctx, kv) as usize;
-        let mut key = vec![0u8; klen];
-        self.slab.space().read(ctx, kv + 8, &mut key);
-        let (node, prev) = self.find(ctx, &key).expect("LRU item must be chained");
-        debug_assert_eq!(node, victim);
-        self.chain_unlink(ctx, &key, node, prev);
-        self.lru_unlink(ctx, victim);
-        self.slab.free(class, kv);
-        self.meta.free(victim);
-        self.items -= 1;
-        self.evictions += 1;
-        true
+        self.engine.pool_bytes()
     }
 
     /// Inserts or replaces `key` with `value` (no expiry).
     pub fn set(&mut self, ctx: &mut ThreadCtx, key: &[u8], value: &[u8]) {
         self.set_with_ttl(ctx, key, value, 0);
-    }
-
-    /// Simulated wall-clock seconds on the calling core.
-    fn now_secs(ctx: &ThreadCtx) -> u32 {
-        (ctx.now() as f64 / eleos_sim::costs::CPU_HZ) as u32
     }
 
     /// Inserts or replaces `key` with `value`, expiring after
@@ -297,146 +149,60 @@ impl Kvs {
         let expiry = if ttl_secs == 0 {
             0
         } else {
-            Self::now_secs(ctx).saturating_add(ttl_secs)
+            now_secs(ctx).saturating_add(ttl_secs)
         };
-        let record_len = 8 + key.len() + value.len();
-        if let Some((node, prev)) = self.find(ctx, key) {
-            let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
-            let class = self.meta_space.read_u32(ctx, node + M_KV_CLASS) as usize;
-            if self.slab.chunk_size(class) >= record_len {
-                // Overwrite in place.
-                self.write_record(ctx, kv, key, value);
-                self.meta_space.write_u32(ctx, node + M_EXPIRY, expiry);
-                self.meta_space
-                    .write_u64(ctx, node + M_VERSION, self.version);
-                self.lru_unlink(ctx, node);
-                self.lru_push_front(ctx, node);
-                return;
-            }
-            // Wrong class: drop and reinsert.
-            self.chain_unlink(ctx, key, node, prev);
-            self.lru_unlink(ctx, node);
-            self.slab.free(class, kv);
-            self.meta.free(node);
-            self.items -= 1;
-        }
-        // Allocate, evicting LRU victims if the pool is full.
-        let (class, kv) = loop {
-            match self.slab.alloc(record_len) {
-                Some(x) => break x,
-                None => {
-                    assert!(self.evict_one(ctx), "pool exhausted and LRU empty");
-                }
-            }
-        };
-        self.write_record(ctx, kv, key, value);
-        let node = self.meta.alloc();
-        let bucket = self.bucket_addr(key);
-        let head = self.meta_space.read_u64(ctx, bucket);
-        self.meta_space.write_u64(ctx, node + M_NEXT, head);
-        self.meta_space.write_u64(ctx, node + M_KV_ADDR, kv);
-        self.meta_space
-            .write_u32(ctx, node + M_KV_CLASS, class as u32);
-        self.meta_space.write_u32(ctx, node + M_EXPIRY, expiry);
-        self.meta_space
-            .write_u64(ctx, node + M_VERSION, self.version);
-        self.meta_space.write_u64(ctx, bucket, node);
-        self.lru_push_front(ctx, node);
-        self.items += 1;
+        self.engine.set(ctx, key, value, expiry, self.version);
     }
 
-    fn write_record(&mut self, ctx: &mut ThreadCtx, kv: u64, key: &[u8], value: &[u8]) {
-        let mut rec = Vec::with_capacity(8 + key.len() + value.len());
-        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        rec.extend_from_slice(key);
-        rec.extend_from_slice(value);
-        self.slab.space().write(ctx, kv, &rec);
-    }
-
-    /// Looks `key` up, refreshing its LRU position. Expired items are
-    /// lazily deleted and read as misses (memcached semantics).
+    /// Looks `key` up. Expired items are lazily deleted and read as
+    /// misses (memcached semantics).
     pub fn get(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<Vec<u8>> {
         ctx.compute(OP_CYCLES);
-        let (node, prev) = self.find(ctx, key)?;
-        let expiry = self.meta_space.read_u32(ctx, node + M_EXPIRY);
-        if expiry != 0 && Self::now_secs(ctx) >= expiry {
-            let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
-            let class = self.meta_space.read_u32(ctx, node + M_KV_CLASS) as usize;
-            self.chain_unlink(ctx, key, node, prev);
-            self.lru_unlink(ctx, node);
-            self.slab.free(class, kv);
-            self.meta.free(node);
-            self.items -= 1;
-            return None;
-        }
-        let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
-        let vlen = self.slab.space().read_u32(ctx, kv + 4) as usize;
-        let mut value = vec![0u8; vlen];
-        self.slab
-            .space()
-            .read(ctx, kv + 8 + key.len() as u64, &mut value);
-        self.lru_unlink(ctx, node);
-        self.lru_push_front(ctx, node);
-        Some(value)
+        self.engine.get(ctx, key)
     }
 
     /// Deletes `key`; returns whether it existed.
     pub fn delete(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> bool {
         ctx.compute(OP_CYCLES);
-        let Some((node, prev)) = self.find(ctx, key) else {
-            return false;
-        };
-        let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
-        let class = self.meta_space.read_u32(ctx, node + M_KV_CLASS) as usize;
-        self.chain_unlink(ctx, key, node, prev);
-        self.lru_unlink(ctx, node);
-        self.slab.free(class, kv);
-        self.meta.free(node);
-        self.items -= 1;
-        true
+        self.engine.delete(ctx, key)
     }
 
-    /// Visits every live item (bucket order) with `(key, value)`.
+    /// Sub-batch fence: the only point where engine maintenance (slab
+    /// rebalancing, proactive segment expiry, gauge publishing) runs.
+    /// The batch handlers call it after every non-empty batch; serving
+    /// loops that bypass them must call it between batches themselves.
+    pub fn fence(&mut self, ctx: &mut ThreadCtx) {
+        self.engine.fence(ctx);
+    }
+
+    /// Visits every live, unexpired item (index order) with
+    /// `(key, value)`.
     pub fn for_each_item(&self, ctx: &mut ThreadCtx, mut f: impl FnMut(&[u8], &[u8])) {
-        self.for_each_versioned(ctx, |key, value, _| f(key, value));
+        self.engine
+            .for_each(ctx, &mut |key, value, _version, _expiry| f(key, value));
     }
 
-    /// Visits every live item (bucket order) with `(key, value,
-    /// write_version)`.
-    fn for_each_versioned(&self, ctx: &mut ThreadCtx, mut f: impl FnMut(&[u8], &[u8], u64)) {
-        for b in 0..self.buckets {
-            let mut node = self.meta_space.read_u64(ctx, self.heads + b * 8);
-            while node != NIL {
-                let kv = self.meta_space.read_u64(ctx, node + M_KV_ADDR);
-                let version = self.meta_space.read_u64(ctx, node + M_VERSION);
-                let klen = self.slab.space().read_u32(ctx, kv) as usize;
-                let vlen = self.slab.space().read_u32(ctx, kv + 4) as usize;
-                let mut key = vec![0u8; klen];
-                self.slab.space().read(ctx, kv + 8, &mut key);
-                let mut value = vec![0u8; vlen];
-                self.slab
-                    .space()
-                    .read(ctx, kv + 8 + klen as u64, &mut value);
-                f(&key, &value, version);
-                node = self.meta_space.read_u64(ctx, node + M_NEXT);
-            }
-        }
-    }
-
-    /// Encodes every live item as the snapshot plaintext:
-    /// `count u64 || (klen u32, vlen u32, version u64, key, value)*`
-    /// in bucket order. Shared by both snapshot flavors.
+    /// Encodes every live, unexpired item as the snapshot plaintext:
+    /// `count u64 || (klen u32, vlen u32, version u64, expiry u32,
+    /// key, value)*` in index order. Shared by both snapshot flavors.
+    /// Absolute expiry deadlines travel with the items, so a restore
+    /// preserves each item's remaining TTL.
     fn encode_items(&self, ctx: &mut ThreadCtx) -> Vec<u8> {
-        let mut plain = Vec::new();
-        plain.extend_from_slice(&self.items.to_le_bytes());
-        self.for_each_versioned(ctx, |key, value, version| {
-            plain.extend_from_slice(&(key.len() as u32).to_le_bytes());
-            plain.extend_from_slice(&(value.len() as u32).to_le_bytes());
-            plain.extend_from_slice(&version.to_le_bytes());
-            plain.extend_from_slice(key);
-            plain.extend_from_slice(value);
-        });
+        let mut body = Vec::new();
+        let mut count = 0u64;
+        self.engine
+            .for_each(ctx, &mut |key, value, version, expiry| {
+                body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                body.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&expiry.to_le_bytes());
+                body.extend_from_slice(key);
+                body.extend_from_slice(value);
+                count += 1;
+            });
+        let mut plain = Vec::with_capacity(8 + body.len());
+        plain.extend_from_slice(&count.to_le_bytes());
+        plain.extend_from_slice(&body);
         plain
     }
 
@@ -446,38 +212,43 @@ impl Kvs {
     /// only when the log's stamp is strictly newer — a store only ever
     /// carries a *stale* copy of a key it no longer serves at a stamp
     /// strictly below the current owner's, so equality means equal
-    /// bytes and skipping is safe. Returns the number of items applied.
+    /// bytes and skipping is safe. Items whose expiry deadline already
+    /// passed are dropped on the floor. Returns the number applied.
     fn decode_items(&mut self, ctx: &mut ThreadCtx, plain: &[u8]) -> u64 {
         let count = u64::from_le_bytes(plain[..8].try_into().expect("count"));
         let mut off = 8usize;
         let mut applied = 0u64;
+        let now = now_secs(ctx);
         for _ in 0..count {
             let klen = u32::from_le_bytes(plain[off..off + 4].try_into().expect("klen")) as usize;
             let vlen =
                 u32::from_le_bytes(plain[off + 4..off + 8].try_into().expect("vlen")) as usize;
             let version = u64::from_le_bytes(plain[off + 8..off + 16].try_into().expect("version"));
-            off += 16;
+            let expiry = u32::from_le_bytes(plain[off + 16..off + 20].try_into().expect("expiry"));
+            off += 20;
             let key = plain[off..off + klen].to_vec();
             off += klen;
             let value = plain[off..off + vlen].to_vec();
             off += vlen;
-            if let Some((node, _)) = self.find(ctx, &key) {
-                if self.meta_space.read_u64(ctx, node + M_VERSION) >= version {
+            if expiry != 0 && now >= expiry {
+                continue;
+            }
+            if let Some(stored) = self.engine.version_of(ctx, &key) {
+                if stored >= version {
                     continue;
                 }
             }
-            let live = self.version;
-            self.version = version;
-            self.set(ctx, &key, &value);
-            self.version = live;
+            ctx.compute(OP_CYCLES);
+            self.engine.set(ctx, &key, &value, expiry, version);
             applied += 1;
         }
         applied
     }
 
     /// Captures every live item as the `"kvs-items"` section of a
-    /// portable [`Snapshot`], sealed through the shared [`Sealer`]
-    /// seam. `domain`/`epoch` scope the nonces (see
+    /// portable [`Snapshot`] (plus a `"storage-meta"` section carrying
+    /// the engine's layout fingerprint), sealed through the shared
+    /// [`Sealer`] seam. `domain`/`epoch` scope the nonces (see
     /// [`SnapshotBuilder::new`]); the fleet passes the sealing
     /// enclave's id and its failover epoch.
     ///
@@ -494,31 +265,56 @@ impl Kvs {
         epoch: u64,
     ) -> Snapshot {
         let items = self.encode_items(ctx);
+        let count = u64::from_le_bytes(items[..8].try_into().expect("count"));
+        let label = self.engine.label().as_bytes();
+        let mut meta = Vec::with_capacity(1 + label.len() + 8);
+        meta.push(label.len() as u8);
+        meta.extend_from_slice(label);
+        meta.extend_from_slice(&count.to_le_bytes());
+        meta.extend_from_slice(&self.engine.meta_blob());
         SnapshotBuilder::new(domain, epoch)
             .section(KVS_SECTION, items)
+            .section(STORAGE_META_SECTION, meta)
             .seal(ctx, sealer)
     }
 
     /// Restores items from a portable [`Snapshot`] captured by
     /// [`Self::snapshot`] (possibly by a different enclave — snapshots
     /// are sealed under a shared key precisely so a replica can
-    /// restore a dead sibling's state). The merge is last-writer-wins
-    /// on the per-item write stamp, so a stale copy re-imported after
-    /// bouncing through another replica never clobbers a fresher
-    /// value. Returns the number of items applied (inserted or
-    /// overwritten).
+    /// restore a dead sibling's state, and possibly by a *different
+    /// engine* — the item log is engine-neutral). The merge is
+    /// last-writer-wins on the per-item write stamp, so a stale copy
+    /// re-imported after bouncing through another replica never
+    /// clobbers a fresher value. Returns the number of items applied
+    /// (inserted or overwritten).
     ///
     /// # Panics
-    /// Panics when the snapshot lacks the `"kvs-items"` section or
-    /// fails authentication.
+    /// Panics when the snapshot lacks the `"kvs-items"` section, fails
+    /// authentication, or its `"storage-meta"` item count disagrees
+    /// with the item log (a mis-assembled snapshot).
     pub fn restore(&mut self, ctx: &mut ThreadCtx, sealer: &dyn Sealer, snap: &Snapshot) -> u64 {
         let plain = snap.open(ctx, sealer, KVS_SECTION);
+        if snap.has_section(STORAGE_META_SECTION) {
+            let meta = snap.open(ctx, sealer, STORAGE_META_SECTION);
+            let label_len = meta[0] as usize;
+            let declared = u64::from_le_bytes(
+                meta[1 + label_len..1 + label_len + 8]
+                    .try_into()
+                    .expect("storage-meta count"),
+            );
+            let logged = u64::from_le_bytes(plain[..8].try_into().expect("count"));
+            assert_eq!(
+                declared, logged,
+                "storage-meta item count disagrees with the item log"
+            );
+        }
         self.decode_items(ctx, &plain)
     }
 
     /// Serializes every item into a sealed snapshot blob
-    /// (`AES-GCM(count || (klen,vlen,key,value)*)`), suitable for
-    /// writing to the untrusted host filesystem for warm restarts.
+    /// (`AES-GCM(count || (klen,vlen,version,expiry,key,value)*)`),
+    /// suitable for writing to the untrusted host filesystem for warm
+    /// restarts.
     #[must_use]
     pub fn sealed_snapshot(
         &self,
@@ -578,7 +374,8 @@ impl Kvs {
     /// decrypted in one batched crypto pass, lookups run back-to-back,
     /// responses batch-encrypted and sent together — on the RPC path
     /// each I/O stage is a single amortized ring submission instead of
-    /// per-message handoffs. Returns the number of requests handled.
+    /// per-message handoffs. The batch boundary is a storage fence.
+    /// Returns the number of requests handled.
     pub fn handle_batch(&mut self, ctx: &mut ThreadCtx, io: &ServerIo) -> usize {
         let requests = io.recv_batch(ctx);
         let replies: Vec<Vec<u8>> = requests
@@ -586,6 +383,9 @@ impl Kvs {
             .map(|plain| self.process(ctx, plain))
             .collect();
         io.send_batch(ctx, &replies);
+        if !requests.is_empty() {
+            self.engine.fence(ctx);
+        }
         requests.len()
     }
 
@@ -605,6 +405,9 @@ impl Kvs {
             .map(|plain| self.process(ctx, plain))
             .collect();
         io.send_batch(ctx, &replies);
+        if !requests.is_empty() {
+            self.engine.fence(ctx);
+        }
         requests.len()
     }
 
@@ -667,10 +470,22 @@ mod tests {
     use eleos_core::{Suvm, SuvmConfig};
     use eleos_enclave::machine::{MachineConfig, SgxMachine};
 
+    use crate::storage::SegmentConfig;
+
     fn untrusted_kvs(limit: u64) -> (Kvs, ThreadCtx) {
         let m = SgxMachine::new(MachineConfig::scaled(8));
         let space = DataSpace::Untrusted(Arc::clone(&m));
         let kvs = Kvs::new(space.clone(), space, limit, 1024);
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        (kvs, t)
+    }
+
+    fn untrusted_kvs_with(limit: u64, cfg: &EngineConfig) -> (Kvs, ThreadCtx) {
+        let m = SgxMachine::new(MachineConfig::scaled(8));
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let kvs = Kvs::with_engine(space.clone(), space, limit, 1024, cfg);
         let e = m.driver.create_enclave(&m, 1 << 20);
         let mut t = ThreadCtx::for_enclave(&m, &e, 0);
         t.enter();
@@ -793,10 +608,59 @@ mod tests {
         t.compute(3 * 3_400_000_000);
         assert_eq!(kvs.get(&mut t, b"ephemeral"), None, "expired");
         assert_eq!(kvs.len(), 1, "lazy delete reclaimed the item");
+        assert_eq!(kvs.expired(), 1);
         assert_eq!(kvs.get(&mut t, b"durable").unwrap(), b"stays");
         // Re-inserting after expiry works.
         kvs.set(&mut t, b"ephemeral", b"back");
         assert_eq!(kvs.get(&mut t, b"ephemeral").unwrap(), b"back");
+        t.exit();
+    }
+
+    #[test]
+    fn segment_engine_serves_the_same_api() {
+        let cfg = EngineConfig::Segment(SegmentConfig::default());
+        let (mut kvs, mut t) = untrusted_kvs_with(8 << 20, &cfg);
+        kvs.init(&mut t);
+        assert_eq!(kvs.engine_label(), "segment");
+        for i in 0..500u32 {
+            kvs.set(&mut t, format!("s-{i}").as_bytes(), &[(i % 97) as u8; 64]);
+        }
+        for i in (0..500u32).step_by(7) {
+            assert_eq!(
+                kvs.get(&mut t, format!("s-{i}").as_bytes()).unwrap(),
+                vec![(i % 97) as u8; 64]
+            );
+        }
+        assert!(kvs.delete(&mut t, b"s-0"));
+        assert_eq!(kvs.len(), 499);
+        kvs.fence(&mut t);
+        t.exit();
+    }
+
+    #[test]
+    fn snapshot_restores_across_engines() {
+        // Seal from a slab store, restore into a segment store: the
+        // item log is engine-neutral.
+        use eleos_crypto::gcm::AesGcm128;
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        kvs.set_with_ttl(&mut t, b"short", b"lived", 300);
+        kvs.set(&mut t, b"forever", b"kept");
+        let sealer = AesGcm128::new(&[0x44u8; 16]);
+        let snap = kvs.snapshot(&mut t, &sealer, 9, 1);
+        let m = Arc::clone(&t.machine);
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let mut seg = Kvs::with_engine(
+            space.clone(),
+            space,
+            8 << 20,
+            1024,
+            &EngineConfig::Segment(SegmentConfig::default()),
+        );
+        seg.init(&mut t);
+        assert_eq!(seg.restore(&mut t, &sealer, &snap), 2);
+        assert_eq!(seg.get(&mut t, b"short").unwrap(), b"lived");
+        assert_eq!(seg.get(&mut t, b"forever").unwrap(), b"kept");
         t.exit();
     }
 
@@ -902,6 +766,60 @@ mod tests {
             kvs3.restore_snapshot(&mut t, &cipher, &bad)
         }));
         assert!(r.is_err(), "tampered snapshot accepted");
+        t.exit();
+    }
+
+    #[test]
+    fn snapshot_preserves_remaining_ttl() {
+        use eleos_crypto::gcm::AesGcm128;
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        kvs.set_with_ttl(&mut t, b"ttl-10", b"v", 10);
+        kvs.set(&mut t, b"no-ttl", b"w");
+        let sealer = AesGcm128::new(&[0x66u8; 16]);
+        let snap = kvs.snapshot(&mut t, &sealer, 1, 1);
+
+        // Restore 4 simulated seconds later: 6 seconds remain.
+        let m = Arc::clone(&t.machine);
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let mut kvs2 = Kvs::new(space.clone(), space, 8 << 20, 1024);
+        kvs2.init(&mut t);
+        t.compute(4 * 3_400_000_000);
+        assert_eq!(kvs2.restore(&mut t, &sealer, &snap), 2);
+        assert_eq!(kvs2.get(&mut t, b"ttl-10").unwrap(), b"v");
+        // Past the original deadline the item is gone, proving the
+        // absolute expiry (not a fresh TTL) was restored.
+        t.compute(7 * 3_400_000_000);
+        assert_eq!(kvs2.get(&mut t, b"ttl-10"), None, "deadline preserved");
+        assert_eq!(kvs2.get(&mut t, b"no-ttl").unwrap(), b"w");
+
+        // A snapshot restored *after* the deadline drops the item
+        // entirely instead of resurrecting it.
+        let mut kvs3 = Kvs::new(
+            DataSpace::Untrusted(Arc::clone(&m)),
+            DataSpace::Untrusted(Arc::clone(&m)),
+            8 << 20,
+            1024,
+        );
+        kvs3.init(&mut t);
+        assert_eq!(kvs3.restore(&mut t, &sealer, &snap), 1, "expired dropped");
+        assert_eq!(kvs3.len(), 1);
+        t.exit();
+    }
+
+    #[test]
+    fn for_each_item_skips_expired() {
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        kvs.set_with_ttl(&mut t, b"gone-soon", b"x", 2);
+        kvs.set(&mut t, b"stays", b"y");
+        let mut seen = Vec::new();
+        kvs.for_each_item(&mut t, |k, _| seen.push(k.to_vec()));
+        assert_eq!(seen.len(), 2);
+        t.compute(3 * 3_400_000_000);
+        seen.clear();
+        kvs.for_each_item(&mut t, |k, _| seen.push(k.to_vec()));
+        assert_eq!(seen, vec![b"stays".to_vec()], "expired item visited");
         t.exit();
     }
 

@@ -15,8 +15,10 @@
 //! Applications:
 //! - [`param_server`] — the §2 motivation workload (Figs 1, 2, 6);
 //! - [`kvs`] — the memcached-style store of §5.1 (Fig 11, Table 4),
-//!   with the paper's clear-metadata/secure-kv split and a
-//!   memcached-style [`slab`] allocator;
+//!   with the paper's clear-metadata/secure-kv split over pluggable
+//!   [`storage`] engines: the memcached-style [`slab`] allocator
+//!   (optionally with a fence-time slab rebalancer) or a TTL-bucketed
+//!   append-only segment store;
 //! - [`face`] — the LBP face-verification server of §5.2 (Fig 10);
 //! - [`loadgen`] — seeded client load (memaslap-style for the KVS);
 //! - [`wire`] — the AES-CTR wire [`Session`](wire::Session) (§5):
@@ -30,6 +32,7 @@ pub mod loadgen;
 pub mod param_server;
 pub mod slab;
 pub mod space;
+pub mod storage;
 pub mod text_protocol;
 pub mod wire;
 

@@ -21,10 +21,17 @@ struct SizeClass {
     free: Vec<u64>,
 }
 
+/// A carved slab: which class currently owns the 1 MiB region.
+struct Slab {
+    base: u64,
+    class: usize,
+}
+
 /// The allocator.
 pub struct SlabPool {
     space: DataSpace,
     classes: Vec<SizeClass>,
+    slabs: Vec<Slab>,
     /// Bytes of slabs acquired from the space.
     pub slab_bytes: u64,
     /// Cap on slab acquisition (the `-m` memory limit).
@@ -52,6 +59,7 @@ impl SlabPool {
         Self {
             space,
             classes,
+            slabs: Vec::new(),
             slab_bytes: 0,
             limit,
             used_chunks: 0,
@@ -85,6 +93,10 @@ impl SlabPool {
         }
         let slab = self.space.alloc(SLAB_BYTES);
         self.slab_bytes += SLAB_BYTES as u64;
+        self.slabs.push(Slab {
+            base: slab,
+            class: idx,
+        });
         let chunk = self.classes[idx].chunk;
         let n = SLAB_BYTES / chunk;
         for i in (0..n).rev() {
@@ -105,6 +117,88 @@ impl SlabPool {
     #[must_use]
     pub fn used_chunks(&self) -> u64 {
         self.used_chunks
+    }
+
+    /// Number of size classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Chunks a full slab yields for class `idx`.
+    #[must_use]
+    pub fn chunks_per_slab(&self, idx: usize) -> usize {
+        SLAB_BYTES / self.classes[idx].chunk
+    }
+
+    /// Free chunks currently parked on class `idx`'s free list.
+    #[must_use]
+    pub fn free_chunks(&self, idx: usize) -> usize {
+        self.classes[idx].free.len()
+    }
+
+    /// Base addresses of slabs currently assigned to class `idx`.
+    #[must_use]
+    pub fn slabs_in(&self, idx: usize) -> Vec<u64> {
+        self.slabs
+            .iter()
+            .filter(|s| s.class == idx)
+            .map(|s| s.base)
+            .collect()
+    }
+
+    /// Free chunks of class `idx` living inside the slab at `base`.
+    #[must_use]
+    pub fn free_chunks_in_slab(&self, idx: usize, base: u64) -> usize {
+        let end = base + SLAB_BYTES as u64;
+        self.classes[idx]
+            .free
+            .iter()
+            .filter(|&&a| a >= base && a < end)
+            .count()
+    }
+
+    /// Strips every free chunk inside the slab at `base` off class
+    /// `idx`'s free list, returning how many were removed. First step
+    /// of a slab move: after this the old class can never hand out a
+    /// chunk from the departing slab.
+    pub fn remove_slab_free_chunks(&mut self, idx: usize, base: u64) -> usize {
+        let end = base + SLAB_BYTES as u64;
+        let before = self.classes[idx].free.len();
+        self.classes[idx].free.retain(|&a| a < base || a >= end);
+        before - self.classes[idx].free.len()
+    }
+
+    /// Pops a free chunk of class `idx` without carving a new slab.
+    /// Used during a slab move to relocate survivors.
+    pub fn alloc_in_class(&mut self, idx: usize) -> Option<u64> {
+        let addr = self.classes[idx].free.pop()?;
+        self.used_chunks += 1;
+        Some(addr)
+    }
+
+    /// Drops a live chunk without returning it to any free list — the
+    /// region it occupied is being reassigned wholesale.
+    pub fn retire_chunk(&mut self) {
+        self.used_chunks -= 1;
+    }
+
+    /// Reassigns the slab at `base` to class `idx` and carves its
+    /// chunks onto the new class's free list. The caller must have
+    /// already relocated live items and stripped the old class's free
+    /// chunks via [`SlabPool::remove_slab_free_chunks`].
+    pub fn adopt_slab(&mut self, idx: usize, base: u64) {
+        let slab = self
+            .slabs
+            .iter_mut()
+            .find(|s| s.base == base)
+            .expect("adopt_slab: unknown slab base");
+        slab.class = idx;
+        let chunk = self.classes[idx].chunk;
+        let n = SLAB_BYTES / chunk;
+        for i in (0..n).rev() {
+            self.classes[idx].free.push(base + (i * chunk) as u64);
+        }
     }
 
     /// The backing space.
@@ -177,5 +271,54 @@ mod tests {
         p.free(c, a);
         let (_, b) = p.alloc(100).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slab_registry_tracks_carves() {
+        let mut p = pool(8 << 20);
+        let (c1, _) = p.alloc(100).unwrap();
+        let (c2, _) = p.alloc(5000).unwrap();
+        assert_eq!(p.slabs_in(c1).len(), 1);
+        assert_eq!(p.slabs_in(c2).len(), 1);
+        assert_eq!(p.free_chunks(c1), p.chunks_per_slab(c1) - 1);
+    }
+
+    #[test]
+    fn slab_move_leaves_no_stranded_free_chunks() {
+        let mut p = pool(8 << 20);
+        // Carve a donor slab with two live chunks.
+        let (donor, _a0) = p.alloc(100).unwrap();
+        let (_, _a1) = p.alloc(100).unwrap();
+        let base = p.slabs_in(donor)[0];
+        // Pick a needy class to receive the slab.
+        let (needy, _) = p.alloc(5000).unwrap();
+        assert_ne!(donor, needy);
+        let stripped = p.remove_slab_free_chunks(donor, base);
+        assert_eq!(stripped, p.chunks_per_slab(donor) - 2);
+        // The two live chunks are dropped (in the engine they'd be
+        // relocated to sibling slabs), then the slab changes class.
+        p.retire_chunk();
+        p.retire_chunk();
+        p.adopt_slab(needy, base);
+        // Regression: the old class must hold zero chunks inside the
+        // moved slab, and the new class must own the whole region.
+        assert_eq!(p.free_chunks_in_slab(donor, base), 0);
+        assert_eq!(p.free_chunks_in_slab(needy, base), p.chunks_per_slab(needy));
+        assert_eq!(p.slabs_in(needy).len(), 2);
+        assert!(p.slabs_in(donor).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_class_never_carves() {
+        let mut p = pool(8 << 20);
+        let (c, a) = p.alloc(100).unwrap();
+        p.free(c, a);
+        let slabs_before = p.slab_bytes;
+        assert!(p.alloc_in_class(c).is_some());
+        assert_eq!(p.slab_bytes, slabs_before);
+        // Drain the free list: alloc_in_class must refuse to carve.
+        while p.alloc_in_class(c).is_some() {}
+        assert_eq!(p.free_chunks(c), 0);
+        assert_eq!(p.slab_bytes, slabs_before);
     }
 }

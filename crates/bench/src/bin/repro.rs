@@ -58,6 +58,7 @@ fn main() {
             "ablate_pagesize",
             "ablate_policy",
             "ablate_zipf",
+            "storage_bench",
         ]
     } else {
         ids
@@ -107,6 +108,9 @@ fn main() {
             "ablate_pagesize" => exp::ablations::run_pagesize_sweep(scale),
             "ablate_policy" => exp::ablations::run_policy_sweep(scale),
             "ablate_zipf" => exp::ablations::run_zipf_sweep(scale),
+            "storage_bench" => {
+                exp::storage_bench::run(scale, args.iter().any(|a| a == "--quick"));
+            }
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -204,6 +204,7 @@ pub fn run_policy_sweep(scale: Scale) {
         ("random", EvictPolicy::Random(5)),
         ("lru", EvictPolicy::LruApprox(5)),
         ("slru", EvictPolicy::Slru),
+        ("slru-tuned", EvictPolicy::SlruTuned),
     ] {
         let m = paper_machine(scale);
         let cfg = SuvmConfig {

@@ -18,5 +18,6 @@ pub mod fig9;
 pub mod paging_bench;
 pub mod rpc_bench;
 pub mod serving_bench;
+pub mod storage_bench;
 pub mod table1;
 pub mod table3;

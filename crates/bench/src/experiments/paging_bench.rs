@@ -129,6 +129,7 @@ pub fn run(scale: Scale, quick: bool) {
         EvictPolicy::Random(5),
         EvictPolicy::LruApprox(9),
         EvictPolicy::Slru,
+        EvictPolicy::SlruTuned,
     ];
     let stores = [StoreKind::Buddy, StoreKind::Striped { stripes: 8 }];
     let batches: &[usize] = if quick { &[0, 8] } else { &[0, 4, 8, 16] };

@@ -68,6 +68,11 @@ pub enum EvictPolicy {
     /// Pin-aware segmented LRU: re-pinned frames are promoted to a
     /// protected class that the sweep demotes before evicting.
     Slru,
+    /// SLRU with a self-tuning protected capacity: the split between
+    /// probation and protected adapts to the observed hit mix (grows
+    /// the protected class while it earns its hits, shrinks it when it
+    /// hoards frames the probation class needs).
+    SlruTuned,
 }
 
 impl EvictPolicy {
@@ -80,6 +85,7 @@ impl EvictPolicy {
             EvictPolicy::Random(_) => "random",
             EvictPolicy::LruApprox(_) => "lru",
             EvictPolicy::Slru => "slru",
+            EvictPolicy::SlruTuned => "slru-tuned",
         }
     }
 }

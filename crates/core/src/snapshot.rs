@@ -170,6 +170,14 @@ impl Snapshot {
         self.sections.iter().map(|s| s.name.as_str()).collect()
     }
 
+    /// Whether the named section is present (without opening it) —
+    /// restore paths use this to accept snapshots from before an
+    /// optional section existed.
+    #[must_use]
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|s| s.name == name)
+    }
+
     /// Total sealed payload bytes across sections (what a transport
     /// will move).
     #[must_use]

@@ -67,6 +67,12 @@ pub trait EvictionPolicy: Send + Sync {
         let _ = frame;
         VictimClass::Probation
     }
+
+    /// The current protected-class capacity, for policies that bound
+    /// (and possibly tune) it. `None` for policies without a cap.
+    fn protected_cap(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Builds the policy object configured by [`EvictPolicy`] for a pool
@@ -78,6 +84,7 @@ pub(crate) fn build_policy(policy: EvictPolicy, n: usize) -> Box<dyn EvictionPol
         EvictPolicy::Random(seed) => Box::new(RandomPolicy::new(seed)),
         EvictPolicy::LruApprox(seed) => Box::new(LruApproxPolicy::new(n, seed)),
         EvictPolicy::Slru => Box::new(SlruPolicy::new(n)),
+        EvictPolicy::SlruTuned => Box::new(TunedSlruPolicy::new(n)),
     }
 }
 
@@ -355,6 +362,141 @@ impl EvictionPolicy for SlruPolicy {
     }
 }
 
+/// Accesses between self-tuning windows of [`TunedSlruPolicy`].
+const TUNE_WINDOW: u64 = 256;
+
+/// SLRU with a *bounded, self-tuning* protected class. The plain
+/// [`SlruPolicy`] promotes every re-accessed frame, so a scan-heavy
+/// phase can flood the protected class and starve the working set.
+/// This variant caps promotions at a protected capacity and retunes
+/// the cap from per-class hit feedback every [`TUNE_WINDOW`] accesses:
+///
+/// - probation earning most of the hits (`2 * probation_hits >
+///   total_hits`) means hot frames are stuck below the cap — grow it
+///   by `n/8` (up to `7n/8`);
+/// - protected dominating (`total_hits > 3 * probation_hits`) means
+///   the class already holds the working set and is hoarding frames —
+///   shrink by `n/8` (down to `n/8`).
+///
+/// This is the same hit/eviction feedback loop the storage tier's
+/// slab rebalancer runs, applied to paging frames.
+struct TunedSlruPolicy {
+    hand: Mutex<usize>,
+    n: usize,
+    class: Vec<AtomicU8>,
+    referenced: Vec<AtomicBool>,
+    cap: AtomicU64,
+    protected: AtomicU64,
+    hits_probation: AtomicU64,
+    hits_total: AtomicU64,
+}
+
+impl TunedSlruPolicy {
+    fn new(n: usize) -> Self {
+        let mut class = Vec::with_capacity(n);
+        class.resize_with(n, || AtomicU8::new(CLASS_PROBATION));
+        let mut referenced = Vec::with_capacity(n);
+        referenced.resize_with(n, || AtomicBool::new(false));
+        Self {
+            hand: Mutex::new(0),
+            n,
+            class,
+            referenced,
+            cap: AtomicU64::new((n / 2).max(1) as u64),
+            protected: AtomicU64::new(0),
+            hits_probation: AtomicU64::new(0),
+            hits_total: AtomicU64::new(0),
+        }
+    }
+
+    fn step(&self) -> u64 {
+        (self.n / 8).max(1) as u64
+    }
+
+    fn retune(&self) {
+        let hp = self.hits_probation.swap(0, Ordering::Relaxed);
+        let ht = self.hits_total.swap(0, Ordering::Relaxed);
+        let cap = self.cap.load(Ordering::Relaxed);
+        let lo = self.step();
+        let hi = ((self.n * 7) / 8).max(1) as u64;
+        if 2 * hp > ht {
+            self.cap
+                .store((cap + self.step()).min(hi), Ordering::Relaxed);
+        } else if ht > 3 * hp {
+            self.cap
+                .store(cap.saturating_sub(self.step()).max(lo), Ordering::Relaxed);
+        }
+    }
+}
+
+impl EvictionPolicy for TunedSlruPolicy {
+    fn name(&self) -> &'static str {
+        "slru-tuned"
+    }
+
+    fn on_insert(&self, frame: u32) {
+        self.class[frame as usize].store(CLASS_PROBATION, Ordering::Release);
+        self.referenced[frame as usize].store(true, Ordering::Release);
+    }
+
+    fn on_access(&self, frame: u32) {
+        let i = frame as usize;
+        self.referenced[i].store(true, Ordering::Release);
+        let ht = self.hits_total.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.class[i].load(Ordering::Acquire) == CLASS_PROTECTED {
+            // Already protected: a pure protected-class hit.
+        } else {
+            self.hits_probation.fetch_add(1, Ordering::Relaxed);
+            // Promote only while the protected class has room.
+            if self.protected.load(Ordering::Relaxed) < self.cap.load(Ordering::Relaxed)
+                && self.class[i].swap(CLASS_PROTECTED, Ordering::AcqRel) == CLASS_PROBATION
+            {
+                self.protected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if ht.is_multiple_of(TUNE_WINDOW) {
+            self.retune();
+        }
+    }
+
+    fn on_remove(&self, frame: u32) {
+        let i = frame as usize;
+        if self.class[i].swap(CLASS_PROBATION, Ordering::AcqRel) == CLASS_PROTECTED {
+            self.protected.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.referenced[i].store(false, Ordering::Release);
+    }
+
+    fn next_candidate(&self, _step: usize, n: usize) -> usize {
+        let mut hand = self.hand.lock();
+        let idx = *hand % n;
+        *hand = (*hand + 1) % n;
+        idx
+    }
+
+    fn second_chance(&self, frame: u32) -> bool {
+        let i = frame as usize;
+        if self.class[i].swap(CLASS_PROBATION, Ordering::AcqRel) == CLASS_PROTECTED {
+            self.protected.fetch_sub(1, Ordering::Relaxed);
+            self.referenced[i].store(false, Ordering::Release);
+            return true;
+        }
+        self.referenced[i].swap(false, Ordering::AcqRel)
+    }
+
+    fn class_of(&self, frame: u32) -> VictimClass {
+        if self.class[frame as usize].load(Ordering::Acquire) == CLASS_PROTECTED {
+            VictimClass::Protected
+        } else {
+            VictimClass::Probation
+        }
+    }
+
+    fn protected_cap(&self) -> Option<usize> {
+        Some(self.cap.load(Ordering::Relaxed) as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +538,79 @@ mod tests {
         // Fallback sweep covers every frame.
         assert_eq!(p.next_candidate(8, 8), 0);
         assert_eq!(p.next_candidate(11, 8), 3);
+    }
+
+    #[test]
+    fn tuned_slru_caps_promotions() {
+        let p = build_policy(EvictPolicy::SlruTuned, 16);
+        assert_eq!(p.protected_cap(), Some(8), "cap starts at n/2");
+        for f in 0..16u32 {
+            p.on_insert(f);
+        }
+        // Promote up to the cap...
+        for f in 0..8u32 {
+            p.on_access(f);
+            assert_eq!(p.class_of(f), VictimClass::Protected);
+        }
+        // ...after which re-accessed frames stay on probation.
+        p.on_access(9);
+        assert_eq!(p.class_of(9), VictimClass::Probation);
+        // A demotion frees a slot, so the next access promotes again.
+        assert!(
+            p.second_chance(0),
+            "protected frame is demoted, not evicted"
+        );
+        p.on_access(9);
+        assert_eq!(p.class_of(9), VictimClass::Protected);
+    }
+
+    #[test]
+    fn tuned_slru_grows_cap_on_probation_hits() {
+        let p = build_policy(EvictPolicy::SlruTuned, 16);
+        for f in 0..16u32 {
+            p.on_insert(f);
+        }
+        // Fill the protected class, then hammer the *other* frames:
+        // every hit lands on probation (the cap blocks promotion), so
+        // the feedback loop must conclude the cap is too small.
+        for f in 0..8u32 {
+            p.on_access(f);
+        }
+        for i in 0..512u32 {
+            p.on_access(8 + (i % 8));
+        }
+        assert!(
+            p.protected_cap().unwrap() > 8,
+            "cap must grow, got {:?}",
+            p.protected_cap()
+        );
+    }
+
+    #[test]
+    fn tuned_slru_shrinks_cap_when_protected_dominates() {
+        let p = build_policy(EvictPolicy::SlruTuned, 16);
+        for f in 0..16u32 {
+            p.on_insert(f);
+        }
+        for f in 0..8u32 {
+            p.on_access(f);
+        }
+        // Every subsequent hit lands on already-protected frames: the
+        // class holds the whole working set and should give frames
+        // back.
+        for i in 0..512u32 {
+            p.on_access(i % 8);
+        }
+        assert!(
+            p.protected_cap().unwrap() < 8,
+            "cap must shrink, got {:?}",
+            p.protected_cap()
+        );
+        // The floor holds.
+        for i in 0..4096u32 {
+            p.on_access(i % 8);
+        }
+        assert!(p.protected_cap().unwrap() >= 2, "cap floor is n/8");
     }
 
     #[test]

@@ -141,6 +141,17 @@ pub struct CostModel {
     /// Rotation is double-buffered, so this is the *only* cost; the
     /// serving path never stalls to drain the old epoch.
     pub session_rekey: u64,
+
+    // --- Storage engine maintenance (runs only at sub-batch fences) ---
+    /// Fixed bookkeeping for one slab-rebalancer move (registry
+    /// re-class, free-list strip, chunk re-carve) on top of the
+    /// simulated copies of relocated live items, which are charged
+    /// through the data space like any other access.
+    pub slab_move: u64,
+    /// Fixed bookkeeping for one segment-store merge pass (choosing
+    /// victims, recycling segment frames) on top of the simulated
+    /// copies of surviving items.
+    pub seg_merge: u64,
 }
 
 impl Default for CostModel {
@@ -185,6 +196,9 @@ impl Default for CostModel {
 
             session_handshake: 9_000,
             session_rekey: 1_600,
+
+            slab_move: 300,
+            seg_merge: 900,
         }
     }
 }

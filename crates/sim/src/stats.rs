@@ -293,6 +293,90 @@ impl core::ops::Sub for FleetShardSnapshot {
     }
 }
 
+/// Maximum number of storage size classes tracked by the per-class
+/// engine gauges — covers the full slab ladder a 1 MiB slab with 1.25
+/// growth from a 96 B minimum produces (~43 classes), with headroom.
+pub const MAX_STORAGE_CLASSES: usize = 48;
+
+/// Live per-size-class storage-engine telemetry. All slots are
+/// *gauges*: the engine re-publishes its cumulative per-class totals
+/// with relaxed stores at sub-batch fences, so slots beyond the
+/// engine's class count stay zero.
+#[derive(Debug)]
+pub struct StorageClassStats {
+    /// Cumulative GET hits served from each size class.
+    pub hits: [AtomicU64; MAX_STORAGE_CLASSES],
+    /// Cumulative LRU evictions charged to each size class.
+    pub evictions: [AtomicU64; MAX_STORAGE_CLASSES],
+    /// Cumulative SET allocations landing in each size class.
+    pub sets: [AtomicU64; MAX_STORAGE_CLASSES],
+}
+
+impl Default for StorageClassStats {
+    fn default() -> Self {
+        Self {
+            hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            evictions: std::array::from_fn(|_| AtomicU64::new(0)),
+            sets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl StorageClassStats {
+    /// Copies all per-class slots.
+    #[must_use]
+    pub fn snapshot(&self) -> StorageClassSnapshot {
+        StorageClassSnapshot {
+            hits: std::array::from_fn(|i| self.hits[i].load(Ordering::Relaxed)),
+            evictions: std::array::from_fn(|i| self.evictions[i].load(Ordering::Relaxed)),
+            sets: std::array::from_fn(|i| self.sets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Resets every slot to zero.
+    pub fn reset(&self) {
+        for i in 0..MAX_STORAGE_CLASSES {
+            self.hits[i].store(0, Ordering::Relaxed);
+            self.evictions[i].store(0, Ordering::Relaxed);
+            self.sets[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`StorageClassStats`]. Subtraction yields
+/// final-minus-initial, which after a `reset_counters` baseline is the
+/// last published cumulative total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageClassSnapshot {
+    /// GET hits per size class (gauge).
+    pub hits: [u64; MAX_STORAGE_CLASSES],
+    /// Evictions per size class (gauge).
+    pub evictions: [u64; MAX_STORAGE_CLASSES],
+    /// SET allocations per size class (gauge).
+    pub sets: [u64; MAX_STORAGE_CLASSES],
+}
+
+impl Default for StorageClassSnapshot {
+    fn default() -> Self {
+        Self {
+            hits: [0; MAX_STORAGE_CLASSES],
+            evictions: [0; MAX_STORAGE_CLASSES],
+            sets: [0; MAX_STORAGE_CLASSES],
+        }
+    }
+}
+
+impl core::ops::Sub for StorageClassSnapshot {
+    type Output = StorageClassSnapshot;
+    fn sub(self, rhs: StorageClassSnapshot) -> StorageClassSnapshot {
+        StorageClassSnapshot {
+            hits: std::array::from_fn(|i| self.hits[i].wrapping_sub(rhs.hits[i])),
+            evictions: std::array::from_fn(|i| self.evictions[i].wrapping_sub(rhs.evictions[i])),
+            sets: std::array::from_fn(|i| self.sets[i].wrapping_sub(rhs.sets[i])),
+        }
+    }
+}
+
 macro_rules! stats {
     ($(#[$doc:meta] $name:ident),+ $(,)?) => {
         /// Live, atomically updated counters.
@@ -307,6 +391,9 @@ macro_rules! stats {
             /// Per-replica, per-shard serving gauges (backlog, AIMD
             /// depth, steals, migrations, per-shard sojourn).
             pub shard: FleetShardStats,
+            /// Per-size-class storage-engine gauges (hits, evictions,
+            /// sets), re-published at sub-batch fences.
+            pub storage: StorageClassStats,
         }
 
         /// A point-in-time copy of [`Stats`].
@@ -317,6 +404,8 @@ macro_rules! stats {
             pub sojourn: HistSnapshot,
             /// Per-replica, per-shard serving gauges.
             pub shard: FleetShardSnapshot,
+            /// Per-size-class storage-engine gauges.
+            pub storage: StorageClassSnapshot,
         }
 
         impl Stats {
@@ -327,6 +416,7 @@ macro_rules! stats {
                     $($name: self.$name.load(Ordering::Relaxed),)+
                     sojourn: self.sojourn.snapshot(),
                     shard: self.shard.snapshot(),
+                    storage: self.storage.snapshot(),
                 }
             }
 
@@ -335,6 +425,7 @@ macro_rules! stats {
                 $(self.$name.store(0, Ordering::Relaxed);)+
                 self.sojourn.reset();
                 self.shard.reset();
+                self.storage.reset();
             }
         }
 
@@ -345,6 +436,7 @@ macro_rules! stats {
                     $($name: self.$name.wrapping_sub(rhs.$name),)+
                     sojourn: self.sojourn - rhs.sojourn,
                     shard: self.shard - rhs.shard,
+                    storage: self.storage - rhs.storage,
                 }
             }
         }
@@ -456,6 +548,16 @@ stats! {
     revocations,
     /// Messages rejected without serving: bad evidence, replayed handshake nonce, unknown key epoch, or a revoked session.
     auth_failures,
+    /// Whole slabs the rebalancer reassigned from a cold class to a starved one.
+    slab_moves,
+    /// Live items relocated out of departing slabs during rebalancing moves.
+    slab_items_relocated,
+    /// Segment-store merge passes (compacting a TTL bucket's oldest segments).
+    seg_merges,
+    /// Whole segments reclaimed proactively because every item had expired.
+    seg_expired_segments,
+    /// Items dropped because their TTL deadline passed (lazy get-side expiry plus segment expiry sweeps).
+    expired_items,
 }
 
 impl Stats {
@@ -548,6 +650,11 @@ impl StatsSnapshot {
         put("rekeys", self.rekeys);
         put("revocations", self.revocations);
         put("auth_failures", self.auth_failures);
+        put("slab_moves", self.slab_moves);
+        put("slab_relocated", self.slab_items_relocated);
+        put("seg_merges", self.seg_merges);
+        put("seg_expired", self.seg_expired_segments);
+        put("expired", self.expired_items);
         if self.sojourn.count() > 0 {
             parts.push(format!(
                 "sojourn_p50={} sojourn_p95={} sojourn_p99={}",

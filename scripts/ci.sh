@@ -80,6 +80,56 @@ cargo test --test fleet_equivalence --offline -q
 echo "== session lifecycle suite (handshake, rekey, revocation)"
 cargo test --test security --offline -q
 
+echo "== storage shadow-model suite (both engines, rebalancer transparency)"
+cargo test --test storage_equivalence --offline -q
+
+echo "== storage_bench smoke"
+cargo run --release -p eleos-bench --bin repro --offline -- storage_bench --quick --scale 8
+python3 - <<'EOF'
+import itertools, json, sys
+
+cells = json.load(open("BENCH_storage.json"))["cells"]
+by = {(c["cell"], c["engine"]): c for c in cells}
+for key in itertools.product(
+    ("shifting", "skewed", "ttl"), ("slab-static", "slab-rebal", "segment")
+):
+    if key not in by:
+        sys.exit(f"BENCH_storage.json missing cell {key}")
+
+# Shifting size mix: the rebalancer reassigns whole slabs to the
+# starved class, so it must beat static slabs on busy cycles/op and
+# must actually have moved slabs to do it.
+static = by[("shifting", "slab-static")]
+rebal = by[("shifting", "slab-rebal")]
+if rebal["busy_cpo"] >= static["busy_cpo"]:
+    sys.exit(
+        f"shifting: rebalancer busy c/op {rebal['busy_cpo']:.0f} does not "
+        f"beat static {static['busy_cpo']:.0f}"
+    )
+if rebal["slab_moves"] == 0:
+    sys.exit("shifting: the rebalancer never moved a slab")
+if static["slab_moves"] != 0:
+    sys.exit("shifting: the static engine moved slabs")
+
+# TTL-heavy traffic: the segment store reclaims whole expired segments
+# at fences and must beat the static slab engine on busy cycles/op.
+seg = by[("ttl", "segment")]
+slab = by[("ttl", "slab-static")]
+if seg["busy_cpo"] >= slab["busy_cpo"]:
+    sys.exit(
+        f"ttl: segment busy c/op {seg['busy_cpo']:.0f} does not beat "
+        f"slab-static {slab['busy_cpo']:.0f}"
+    )
+if seg["expired"] == 0 or slab["expired"] == 0:
+    sys.exit("ttl: no expiry activity — the cell is not exercising TTLs")
+print(
+    f"   {len(cells)} cells, rebalancer beats static slabs under the size "
+    f"shift ({rebal['busy_cpo']:.0f} vs {static['busy_cpo']:.0f} c/op), "
+    f"segment store beats slabs under TTL churn "
+    f"({seg['busy_cpo']:.0f} vs {slab['busy_cpo']:.0f} c/op)"
+)
+EOF
+
 echo "== serving_bench smoke"
 # Scale 8, not 16: at 1/16 the LLC is barely larger than four shards'
 # staging buffers, and the balance layer's extra buffer traffic

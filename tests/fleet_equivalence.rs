@@ -24,6 +24,7 @@ use eleos::apps::io::{IoPath, ServerIoConfig};
 use eleos::apps::kvs::{build_get, build_set, Kvs};
 use eleos::apps::loadgen::attest_session;
 use eleos::apps::space::DataSpace;
+use eleos::apps::storage::{EngineConfig, SegmentConfig};
 use eleos::apps::wire::Session;
 use eleos::crypto::gcm::AesGcm128;
 use eleos::crypto::Sealer;
@@ -59,6 +60,14 @@ struct FleetRig {
 }
 
 fn rig(replicas: usize) -> FleetRig {
+    rig_with(replicas, EngineConfig::default())
+}
+
+/// Like [`rig`], but on an explicit storage engine. A third of the
+/// seeded items carry a (long) TTL, so every snapshot/restore cycle in
+/// the chaos schedules must carry expiry metadata intact for replies
+/// to stay byte-identical.
+fn rig_with(replicas: usize, engine: EngineConfig) -> FleetRig {
     let m = SgxMachine::new(MachineConfig::tiny());
     let ut = ThreadCtx::untrusted(&m, 1);
     let fds: Vec<Fd> = (0..SHARDS).map(|_| m.host.socket(&ut, 256 << 10)).collect();
@@ -80,10 +89,17 @@ fn rig(replicas: usize) -> FleetRig {
         IoPath::Rpc(Arc::new(svc)),
         Arc::clone(&wire),
         sealer,
-        FleetConfig::small(replicas),
+        FleetConfig {
+            engine,
+            ..FleetConfig::small(replicas)
+        },
         |ctx, kvs| {
             for i in 0..N_ITEMS {
-                kvs.set(ctx, format!("seed-{i}").as_bytes(), &[i as u8; 40]);
+                if i % 3 == 0 {
+                    kvs.set_with_ttl(ctx, format!("seed-{i}").as_bytes(), &[i as u8; 40], 3600);
+                } else {
+                    kvs.set(ctx, format!("seed-{i}").as_bytes(), &[i as u8; 40]);
+                }
             }
         },
     );
@@ -149,7 +165,17 @@ fn run_fleet(
     schedule: &[(usize, Fence)],
     reqs: &[(u64, Req)],
 ) -> Vec<Vec<Vec<u8>>> {
-    let r = rig(replicas);
+    run_fleet_with(replicas, schedule, reqs, EngineConfig::default())
+}
+
+/// [`run_fleet`] on an explicit storage engine.
+fn run_fleet_with(
+    replicas: usize,
+    schedule: &[(usize, Fence)],
+    reqs: &[(u64, Req)],
+    engine: EngineConfig,
+) -> Vec<Vec<Vec<u8>>> {
+    let r = rig_with(replicas, engine);
     let ut = ThreadCtx::untrusted(&r.m, 1);
     let mut streams: Vec<VecDeque<Vec<u8>>> = vec![VecDeque::new(); SHARDS];
     let mut pushed: Vec<(u64, usize)> = Vec::with_capacity(reqs.len());
@@ -501,4 +527,83 @@ proptest! {
         assert_eq!(b, [2u8; 32], "survivor data intact after sibling death");
         t.exit();
     }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the segment engine behind the fleet
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// A fleet whose replicas run the TTL-bucketed segment store
+    /// matches its own single-replica baseline across every chaos
+    /// schedule: the engine-neutral item-log snapshot (now carrying
+    /// per-item expiry and the storage-meta section) loses nothing on
+    /// failover, so replies stay byte-identical — including GETs of
+    /// the TTL'd third of the seeded items.
+    #[test]
+    fn segment_fleet_matches_single_replica_across_chaos_schedules(
+        seed in prop::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let engine = EngineConfig::Segment(SegmentConfig::default());
+        let reqs = request_stream(&seed);
+        let reference = run_fleet_with(1, &[], &reqs, engine.clone());
+        for schedule in schedules(2) {
+            let got = run_fleet_with(2, &schedule, &reqs, engine.clone());
+            prop_assert_eq!(
+                &got, &reference,
+                "segment fleet diverged (schedule={:?})", &schedule
+            );
+        }
+    }
+}
+
+/// Kill/respawn a replica running the segment engine,
+/// deterministically: a TTL'd seed item must survive two failovers
+/// (its expiry travels in the snapshot item log), and the versioned
+/// restore merge must still refuse the stale re-import — on a store
+/// whose internals (append-only segments, TTL buckets) share nothing
+/// with the slab engine the fleet was built against.
+#[test]
+fn segment_replica_failover_preserves_ttl_items() {
+    let r = rig_with(2, EngineConfig::Segment(SegmentConfig::default()));
+    let ut = ThreadCtx::untrusted(&r.m, 1);
+    let conn = (0..64u64)
+        .find(|&c| {
+            let (s, _) = r.fk.map().route_replica(c);
+            s % 2 == 1
+        })
+        .expect("a replica-1 connection");
+    let (s, _) = r.fk.map().route_replica(conn);
+    let do_req = |plain: &[u8]| -> Vec<u8> {
+        r.m.host.push_request(&ut, r.fds[s], &r.wire.encrypt(plain));
+        while r.fk.pump() == 0 {}
+        r.fk.flush();
+        r.wire
+            .decrypt(&r.m.host.pop_response(r.fds[s]).expect("a reply"))
+    };
+    // seed-0 was seeded with a 3600 s TTL on every replica.
+    let ttl_get = build_get(b"seed-0");
+    let reply = do_req(&ttl_get);
+    assert_eq!(reply[0], 1);
+    assert_eq!(&reply[5..], [0u8; 40]);
+    assert_eq!(do_req(&build_set(b"bounce", &[1u8; 16])), [1u8]);
+    r.fk.kill(1); // heir 0 imports the segment store's item log
+    let reply = do_req(&ttl_get);
+    assert_eq!(reply[0], 1, "TTL'd item lost on failover");
+    assert_eq!(&reply[5..], [0u8; 40]);
+    assert_eq!(do_req(&build_set(b"bounce", &[2u8; 16])), [1u8]);
+    r.fk.respawn(1); // rejoiner restores from donor 0's snapshot
+    assert_eq!(do_req(&build_set(b"bounce", &[3u8; 16])), [1u8]);
+    r.fk.kill(0); // stale re-import: replica 0 still holds bounce=v2
+    let reply = do_req(&ttl_get);
+    assert_eq!(reply[0], 1, "TTL'd item lost on second failover");
+    assert_eq!(&reply[5..], [0u8; 40]);
+    let reply = do_req(&build_get(b"bounce"));
+    assert_eq!(reply[0], 1, "key must survive the schedule");
+    assert_eq!(&reply[5..], [3u8; 16], "stale re-import must not win");
+    let st = r.m.stats.snapshot();
+    assert_eq!(st.fleet_failovers, 2);
+    assert_eq!(st.fleet_restores, 3);
 }

@@ -161,12 +161,13 @@ fn run_model(policy: EvictPolicy, store: StoreKind, wb_batch: usize, ops: &[Op])
     s.check_consistency();
 }
 
-const POLICIES: [EvictPolicy; 5] = [
+const POLICIES: [EvictPolicy; 6] = [
     EvictPolicy::Clock,
     EvictPolicy::Fifo,
     EvictPolicy::Random(3),
     EvictPolicy::LruApprox(11),
     EvictPolicy::Slru,
+    EvictPolicy::SlruTuned,
 ];
 
 proptest! {
