@@ -61,6 +61,32 @@
 //! `epoch`, and a re-imported stale copy can never clobber the value a
 //! fresher interval wrote (the kill A → respawn A → kill B schedule
 //! exercises exactly this).
+//!
+//! # Background maintenance plane
+//!
+//! The protocols above are fence-*synchronous*: a kill fence carries a
+//! whole-store snapshot plus a whole-store restore on serving cores,
+//! and engine maintenance (slab relocations, segment expiry/merges)
+//! runs inside serving-path fences. With
+//! [`FleetConfig::with_maintenance`] all of that byte-work moves onto
+//! a dedicated maintenance core (the same shape as the SUVM swapper's
+//! worker), driven by [`FleetKvs::maintenance_tick`]:
+//!
+//! - **incremental delta snapshots** stream each replica's writes
+//!   since its last round to every serving peer in bounded chunks
+//!   ([`EnclaveChannel::send_chunked`], `MSG_DELTA_BEGIN`/
+//!   `MSG_DELTA_CHUNK`), so a later kill fence shrinks to a *final
+//!   delta* plus the shard reassignment and epoch flip;
+//! - **engine byte-work** runs via [`Kvs::maintenance_tick`] against
+//!   quiesced slabs; serving-core fences only publish counters
+//!   (`maint_stall_cycles` stays ≈ 0 on serving cores);
+//! - a **failure detector** compares per-replica heartbeats (bumped
+//!   by every [`FleetKvs::pump_replica`]) across ticks and drives
+//!   kill/respawn itself instead of the load loop.
+//!
+//! Delta epochs are checked monotone per *receiver* (a broadcast
+//! delivers one epoch to many stores); reply transparency versus the
+//! synchronous protocol is pinned by `tests/fleet_equivalence.rs`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -91,6 +117,91 @@ pub const MSG_SNAPSHOT: u8 = 2;
 /// seals replies, so a fleet never serves half its shards under a key
 /// the router's client side has already retired.
 pub const MSG_REKEY: u8 = 3;
+/// Channel message kind: the BEGIN frame of a chunked delta snapshot
+/// ([`EnclaveChannel::send_chunked`] framing; the header carries the
+/// 8-byte delta epoch).
+pub const MSG_DELTA_BEGIN: u8 = 4;
+/// Channel message kind: one bounded chunk of a delta snapshot.
+pub const MSG_DELTA_CHUNK: u8 = 5;
+
+/// Tunables for the background maintenance plane (see the module
+/// docs). Enabling it ([`FleetConfig::with_maintenance`]) switches
+/// every replica's storage engine to background mode and moves
+/// snapshot streaming, engine byte-work, and failure handling onto
+/// [`FleetKvs::maintenance_tick`], driven from `core`.
+#[derive(Clone)]
+pub struct MaintenanceConfig {
+    /// The core the maintenance plane runs on. Must not be a serving
+    /// core (the whole point is that its cycles never land on one) —
+    /// not enforced, but benches that share it see the stall return.
+    pub core: usize,
+    /// Consecutive heartbeat-less ticks before the failure detector
+    /// declares a serving replica dead and fails it over.
+    pub hb_miss_threshold: u64,
+    /// Chunk size for streamed delta snapshots: bounds how much of
+    /// the cross-enclave ring one delta occupies at a time.
+    pub chunk_bytes: usize,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        Self {
+            core: 1,
+            hb_miss_threshold: 3,
+            chunk_bytes: 32 << 10,
+        }
+    }
+}
+
+/// Mutable maintenance-plane state, all behind one lock: the failure
+/// detector's bookkeeping, per-sender delta bases, per-receiver delta
+/// epochs, and the rejoin queue.
+struct MaintState {
+    /// Heartbeat value last observed per replica.
+    last_hb: Vec<u64>,
+    /// Consecutive ticks without heartbeat progress per replica.
+    misses: Vec<u64>,
+    /// Per-sender write-stamp floor for the next delta: everything
+    /// below it has already been streamed to every serving peer.
+    delta_base: Vec<u64>,
+    /// Per-receiver highest delta epoch applied (monotonicity check —
+    /// deliberately per-receiver, a broadcast delivers one epoch to
+    /// many receivers).
+    last_delta_epoch: Vec<u64>,
+    /// Dead slots queued for background respawn.
+    rejoin: Vec<usize>,
+    /// Maintenance-core cycles spent on detector-driven failovers.
+    auto_failover_cycles: u64,
+    /// Maintenance-core cycles spent on queued rejoins.
+    auto_recovery_cycles: u64,
+}
+
+/// The per-fleet maintenance plane: config, lock-free heartbeat
+/// counters (bumped by serving replicas on every pump), and the
+/// locked state.
+struct MaintPlane {
+    cfg: MaintenanceConfig,
+    hb: Vec<AtomicU64>,
+    state: Mutex<MaintState>,
+}
+
+impl MaintPlane {
+    fn new(cfg: MaintenanceConfig, replicas: usize) -> Self {
+        Self {
+            cfg,
+            hb: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
+            state: Mutex::new(MaintState {
+                last_hb: vec![0; replicas],
+                misses: vec![0; replicas],
+                delta_base: vec![0; replicas],
+                last_delta_epoch: vec![0; replicas],
+                rejoin: Vec::new(),
+                auto_failover_cycles: 0,
+                auto_recovery_cycles: 0,
+            }),
+        }
+    }
+}
 
 /// Fleet-level tunables.
 #[derive(Clone)]
@@ -122,6 +233,11 @@ pub struct FleetConfig {
     /// is engine-neutral, so a fleet could even mix engines across
     /// replicas — this knob keeps them uniform).
     pub engine: EngineConfig,
+    /// When set, the fleet runs the background maintenance plane:
+    /// engines switch to background mode, delta snapshots stream
+    /// between fences, and kill/respawn run off the serving path (see
+    /// the module docs). `None` keeps the fence-synchronous protocol.
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl FleetConfig {
@@ -139,7 +255,15 @@ impl FleetConfig {
             suvm: None,
             cores: vec![0],
             engine: EngineConfig::default(),
+            maintenance: None,
         }
+    }
+
+    /// Enables the background maintenance plane.
+    #[must_use]
+    pub fn with_maintenance(mut self, m: MaintenanceConfig) -> Self {
+        self.maintenance = Some(m);
+        self
     }
 
     /// Pins replica serving loops to `cores` (round-robin when fewer
@@ -210,6 +334,8 @@ pub struct FleetKvs {
     epoch: AtomicU64,
     /// Highest epoch any receiver has accepted (monotonicity check).
     seen_epoch: AtomicU64,
+    /// The background maintenance plane, when configured.
+    maint: Option<MaintPlane>,
 }
 
 impl FleetKvs {
@@ -239,6 +365,10 @@ impl FleetKvs {
         let fleet = Fleet::new(machine, cfg.replicas, cfg.linear_bytes);
         let map = ShardMap::with_replicas(fds.len(), cfg.replicas);
         let chan = EnclaveChannel::new(machine, cfg.channel_cap);
+        let maint = cfg
+            .maintenance
+            .clone()
+            .map(|m| MaintPlane::new(m, cfg.replicas));
         let this = Self {
             machine: Arc::clone(machine),
             fleet,
@@ -253,6 +383,7 @@ impl FleetKvs {
             slots: Vec::new(),
             epoch: AtomicU64::new(0),
             seen_epoch: AtomicU64::new(0),
+            maint,
         };
         let mut slots = Vec::with_capacity(this.cfg.replicas);
         for r in 0..this.cfg.replicas {
@@ -289,13 +420,16 @@ impl FleetKvs {
             None => (DataSpace::Enclave(Arc::clone(&enclave)), None),
         };
         let meta = DataSpace::Untrusted(Arc::clone(&self.machine));
-        let kvs = Kvs::with_engine(
+        let mut kvs = Kvs::with_engine(
             meta,
             data,
             self.cfg.mem_limit,
             self.cfg.buckets,
             &self.cfg.engine,
         );
+        if self.maint.is_some() {
+            kvs.set_background(true);
+        }
         kvs.init(&mut ctx);
         let mut cfg = self.io_cfg.clone().replica(r);
         if cfg.balance.is_some() {
@@ -396,6 +530,12 @@ impl FleetKvs {
         if self.fleet.state(r) != ReplicaState::Serving {
             return 0;
         }
+        // A pumped replica is a live replica: the heartbeat feeds the
+        // background failure detector (a mute replica stops bumping
+        // and gets failed over after `hb_miss_threshold` ticks).
+        if let Some(mp) = &self.maint {
+            mp.hb[r].fetch_add(1, Ordering::Relaxed);
+        }
         let owned = self.map.shards_of(r);
         if owned.is_empty() {
             return 0;
@@ -418,11 +558,16 @@ impl FleetKvs {
 
     /// Kills `victim` at a fence: snapshot out over the channel, EPC
     /// reclaimed, shards drained to the heir (see the module docs for
-    /// the protocol and why no reply is lost).
+    /// the protocol and why no reply is lost). With the maintenance
+    /// plane configured, the byte-work (final delta + restores) runs
+    /// on the maintenance core instead of the serving cores.
     ///
     /// # Panics
     /// Panics when `victim` is not serving or no other replica is.
     pub fn kill(&self, victim: usize) -> FailoverReport {
+        if self.maint.is_some() {
+            return self.kill_background(victim);
+        }
         let serving = self.fleet.serving();
         assert!(
             serving.contains(&victim),
@@ -449,6 +594,12 @@ impl FleetKvs {
             self.map.reassign(s, heir);
         }
         self.advance_write_versions();
+        // The whole fence ran on serving cores: the victim's snapshot
+        // and the heir's restore both stall the serving path.
+        Stats::add(
+            &self.machine.stats.maint_stall_cycles,
+            snap_cycles + restore_cycles,
+        );
         FailoverReport {
             heir,
             shards_moved: moved.len(),
@@ -464,17 +615,15 @@ impl FleetKvs {
     /// # Panics
     /// Panics when `idx` is not dead or no donor is serving.
     pub fn respawn(&self, idx: usize) -> RejoinReport {
+        if self.maint.is_some() {
+            return self.respawn_background(idx);
+        }
         // The donor must be the current owner of the slot's original
         // shards: its store is the one serving those connections, so
         // it supersets everything the rejoining replica needs. (All
         // shards of one residue class always move together, so one
         // probe suffices; an empty class falls back to any server.)
-        let donor = (0..self.fds.len())
-            .find(|&s| s % self.cfg.replicas == idx)
-            .map_or_else(
-                || *self.fleet.serving().first().expect("rejoin needs a donor"),
-                |s| self.map.replica_of(s),
-            );
+        let donor = self.rejoin_donor(idx);
         assert_eq!(
             self.fleet.state(donor),
             ReplicaState::Serving,
@@ -496,6 +645,8 @@ impl FleetKvs {
             }
         }
         self.advance_write_versions();
+        // The donor snapshot ran on the donor's serving core.
+        Stats::add(&self.machine.stats.maint_stall_cycles, snap_cycles);
         RejoinReport {
             donor,
             shards_taken: taken,
@@ -604,6 +755,420 @@ impl FleetKvs {
             clock.advance(target - clock.now());
         }
         target
+    }
+
+    /// Whether the background maintenance plane is configured.
+    #[must_use]
+    pub fn has_maintenance(&self) -> bool {
+        self.maint.is_some()
+    }
+
+    /// Maintenance-core cycles spent on detector-driven failovers so
+    /// far (0 without the plane).
+    #[must_use]
+    pub fn auto_failover_cycles(&self) -> u64 {
+        self.maint.as_ref().map_or(0, |mp| {
+            mp.state
+                .lock()
+                .expect("maintenance state poisoned")
+                .auto_failover_cycles
+        })
+    }
+
+    /// Maintenance-core cycles spent on queued rejoins so far (0
+    /// without the plane).
+    #[must_use]
+    pub fn auto_recovery_cycles(&self) -> u64 {
+        self.maint.as_ref().map_or(0, |mp| {
+            mp.state
+                .lock()
+                .expect("maintenance state poisoned")
+                .auto_recovery_cycles
+        })
+    }
+
+    /// Queues dead slot `idx` for background respawn at the next
+    /// maintenance tick (the off-path analogue of calling
+    /// [`Self::respawn`] at a fence).
+    ///
+    /// # Panics
+    /// Panics without the maintenance plane.
+    pub fn request_rejoin(&self, idx: usize) {
+        let mp = self
+            .maint
+            .as_ref()
+            .expect("rejoin queue needs the maintenance plane");
+        mp.state
+            .lock()
+            .expect("maintenance state poisoned")
+            .rejoin
+            .push(idx);
+    }
+
+    /// An entered thread on the maintenance core for replica `r`'s
+    /// enclave — the same shape as the SUVM swapper's worker thread.
+    /// Callers `exit()` it when done.
+    fn maint_ctx(&self, r: usize) -> ThreadCtx {
+        let core = self
+            .maint
+            .as_ref()
+            .expect("maintenance plane configured")
+            .cfg
+            .core;
+        let enclave = self.fleet.enclave(r);
+        let mut ctx = ThreadCtx::for_enclave(&self.machine, &enclave, core);
+        ctx.enter();
+        ctx
+    }
+
+    /// One pass of the background maintenance plane, run on the
+    /// maintenance core (directly by deterministic tests/benches, or
+    /// from a [`MaintenanceCtx`](crate::maintenance::MaintenanceCtx)
+    /// worker thread):
+    ///
+    /// 1. the failure detector compares heartbeats against the last
+    ///    tick and fails over replicas that missed
+    ///    `hb_miss_threshold` consecutive ticks;
+    /// 2. queued rejoins ([`Self::request_rejoin`]) respawn;
+    /// 3. every serving replica's engine runs its background
+    ///    byte-work ([`Kvs::maintenance_tick`]: slab relocations,
+    ///    segment expiry/merges) against the maintenance core;
+    /// 4. a delta round streams each replica's writes since its last
+    ///    delta to every serving peer in bounded chunks, then opens
+    ///    the next write interval.
+    ///
+    /// Returns whether any work ran. A no-op without the plane.
+    pub fn maintenance_tick(&self) -> bool {
+        let Some(mp) = &self.maint else {
+            return false;
+        };
+        let mut did = false;
+        // 1. Failure detector: heartbeat progress since the last tick.
+        // The scan itself costs maintenance-core cycles.
+        let mut victims = Vec::new();
+        {
+            let mut st = mp.state.lock().expect("maintenance state poisoned");
+            for r in self.fleet.serving() {
+                self.machine
+                    .core(mp.cfg.core)
+                    .clock
+                    .advance(self.machine.cfg.costs.maint_heartbeat);
+                let cur = mp.hb[r].load(Ordering::Relaxed);
+                if cur == st.last_hb[r] {
+                    st.misses[r] += 1;
+                    Stats::bump(&self.machine.stats.hb_misses);
+                    if st.misses[r] >= mp.cfg.hb_miss_threshold {
+                        victims.push(r);
+                    }
+                } else {
+                    st.last_hb[r] = cur;
+                    st.misses[r] = 0;
+                }
+            }
+        }
+        for v in victims {
+            if self.fleet.serving().len() < 2 || self.fleet.state(v) != ReplicaState::Serving {
+                continue;
+            }
+            let t0 = self.machine.core(mp.cfg.core).clock.now();
+            self.kill_background(v);
+            let dt = self.machine.core(mp.cfg.core).clock.now() - t0;
+            let mut st = mp.state.lock().expect("maintenance state poisoned");
+            st.misses[v] = 0;
+            st.auto_failover_cycles += dt;
+            did = true;
+        }
+        // 2. Queued rejoins.
+        let pending: Vec<usize> = {
+            let mut st = mp.state.lock().expect("maintenance state poisoned");
+            std::mem::take(&mut st.rejoin)
+        };
+        for idx in pending {
+            if self.fleet.state(idx) != ReplicaState::Dead {
+                continue;
+            }
+            let t0 = self.machine.core(mp.cfg.core).clock.now();
+            self.respawn_background(idx);
+            let dt = self.machine.core(mp.cfg.core).clock.now() - t0;
+            let mut st = mp.state.lock().expect("maintenance state poisoned");
+            st.auto_recovery_cycles += dt;
+            did = true;
+        }
+        // 3. Engine byte-work, off-core against quiesced slabs: the
+        // serving-core fences only published counters; the copies and
+        // merges happen here.
+        for r in self.fleet.serving() {
+            let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+            let Some(rep) = slot.as_mut() else { continue };
+            let mut mctx = self.maint_ctx(r);
+            if rep.kvs.maintenance_tick(&mut mctx) {
+                did = true;
+            }
+            mctx.exit();
+        }
+        // 4. Delta round.
+        did |= self.delta_round();
+        did
+    }
+
+    /// Streams one incremental snapshot per serving replica to every
+    /// serving peer, in bounded chunks over the channel. Each round
+    /// shrinks what a later kill fence must carry to the writes since
+    /// this round — the fence's final delta plus the epoch flip.
+    fn delta_round(&self) -> bool {
+        let Some(mp) = &self.maint else {
+            return false;
+        };
+        let serving = self.fleet.serving();
+        if serving.len() < 2 {
+            return false;
+        }
+        for &r in &serving {
+            let peers: Vec<usize> = serving.iter().copied().filter(|&q| q != r).collect();
+            let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            let base = mp
+                .state
+                .lock()
+                .expect("maintenance state poisoned")
+                .delta_base[r];
+            let enclave_id = self.fleet.enclave(r).id;
+            {
+                let mut slot = self.slots[r].lock().expect("fleet slot poisoned");
+                let rep = slot.as_mut().expect("serving replica must be wired");
+                let mut mctx = self.maint_ctx(r);
+                let snap = rep.kvs.snapshot_since(
+                    &mut mctx,
+                    self.sealer.as_ref(),
+                    enclave_id,
+                    epoch,
+                    base,
+                );
+                let bytes = snap.to_bytes();
+                for _ in &peers {
+                    self.chan.send_chunked(
+                        &mut mctx,
+                        MSG_DELTA_BEGIN,
+                        MSG_DELTA_CHUNK,
+                        &epoch.to_le_bytes(),
+                        &bytes,
+                        mp.cfg.chunk_bytes,
+                    );
+                }
+                mctx.exit();
+            }
+            for &q in &peers {
+                self.apply_delta(q);
+            }
+            // Open the next write interval: post-round writes carry
+            // strictly larger stamps than anything just streamed, so
+            // a rewrite of a streamed key is never mistaken for the
+            // streamed copy.
+            self.advance_write_versions();
+            let interval = self.epoch() + 1;
+            mp.state
+                .lock()
+                .expect("maintenance state poisoned")
+                .delta_base[r] = interval;
+        }
+        true
+    }
+
+    /// Receives one chunked delta off the channel into serving
+    /// replica `q`'s store, on the maintenance core.
+    fn apply_delta(&self, q: usize) {
+        let mp = self.maint.as_ref().expect("maintenance plane configured");
+        let mut slot = self.slots[q].lock().expect("fleet slot poisoned");
+        let rep = slot.as_mut().expect("serving replica must be wired");
+        let mut mctx = self.maint_ctx(q);
+        let (header, payload) = self
+            .chan
+            .recv_chunked(&mut mctx, MSG_DELTA_BEGIN, MSG_DELTA_CHUNK)
+            .expect("delta protocol: chunks staged");
+        let epoch = u64::from_le_bytes(header.try_into().expect("8-byte epoch"));
+        {
+            let mut st = mp.state.lock().expect("maintenance state poisoned");
+            assert!(
+                epoch > st.last_delta_epoch[q],
+                "delta epoch went backwards on replica {q}"
+            );
+            st.last_delta_epoch[q] = epoch;
+        }
+        let snap = Snapshot::from_bytes(&payload);
+        assert_eq!(snap.epoch(), epoch, "delta snapshot epoch mismatch");
+        rep.kvs.restore(&mut mctx, self.sealer.as_ref(), &snap);
+        mctx.exit();
+    }
+
+    /// Background failover: the serving-path fence shrinks to the
+    /// shard reassignment and epoch flip — the victim's *final delta*
+    /// (only what the delta rounds have not yet streamed) and every
+    /// survivor's restore run on the maintenance core. The delta is
+    /// broadcast to **all** survivors, not just the heir, preserving
+    /// the invariant that every serving store holds all streamed
+    /// state (which is what lets any survivor donate or inherit in a
+    /// later fence).
+    fn kill_background(&self, victim: usize) -> FailoverReport {
+        let mp = self.maint.as_ref().expect("maintenance plane configured");
+        let serving = self.fleet.serving();
+        assert!(
+            serving.contains(&victim),
+            "kill target {victim} is not serving"
+        );
+        let heir = *serving
+            .iter()
+            .find(|&&r| r != victim)
+            .expect("failover needs a surviving replica");
+        let survivors: Vec<usize> = serving.iter().copied().filter(|&r| r != victim).collect();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let base = mp
+            .state
+            .lock()
+            .expect("maintenance state poisoned")
+            .delta_base[victim];
+        let enclave_id = self.fleet.enclave(victim).id;
+        let t0 = self.machine.core(mp.cfg.core).clock.now();
+        let snapshot_bytes;
+        {
+            let mut slot = self.slots[victim].lock().expect("fleet slot poisoned");
+            let mut rep = slot.take().expect("serving replica must be wired");
+            let mut mctx = self.maint_ctx(victim);
+            rep.io.flush(&mut mctx);
+            if let Some(suvm) = &rep.suvm {
+                suvm.quiesce(&mut mctx);
+            }
+            let snap =
+                rep.kvs
+                    .snapshot_since(&mut mctx, self.sealer.as_ref(), enclave_id, epoch, base);
+            let bytes = snap.to_bytes();
+            snapshot_bytes = bytes.len();
+            for _ in &survivors {
+                self.chan.send_chunked(
+                    &mut mctx,
+                    MSG_DELTA_BEGIN,
+                    MSG_DELTA_CHUNK,
+                    &epoch.to_le_bytes(),
+                    &bytes,
+                    mp.cfg.chunk_bytes,
+                );
+            }
+            mctx.exit();
+            rep.ctx.exit();
+        }
+        self.fleet.kill(victim);
+        Stats::bump(&self.machine.stats.fleet_failovers);
+        Stats::bump(&self.machine.stats.fleet_snapshots);
+        for &q in &survivors {
+            self.apply_delta(q);
+            Stats::bump(&self.machine.stats.fleet_restores);
+        }
+        let moved = self.map.shards_of(victim);
+        for &s in &moved {
+            self.map.reassign(s, heir);
+        }
+        self.advance_write_versions();
+        FailoverReport {
+            heir,
+            shards_moved: moved.len(),
+            snapshot_bytes,
+            cycles: self.machine.core(mp.cfg.core).clock.now() - t0,
+        }
+    }
+
+    /// Background rejoin: the donor's full snapshot streams in chunks
+    /// on the maintenance core; the rejoined replica's delta state is
+    /// reset so the plane treats it as fully caught up.
+    fn respawn_background(&self, idx: usize) -> RejoinReport {
+        let mp = self.maint.as_ref().expect("maintenance plane configured");
+        let donor = self.rejoin_donor(idx);
+        assert_eq!(
+            self.fleet.state(donor),
+            ReplicaState::Serving,
+            "rejoin donor {donor} must be serving"
+        );
+        self.fleet.respawn(idx);
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let enclave_id = self.fleet.enclave(donor).id;
+        let t0 = self.machine.core(mp.cfg.core).clock.now();
+        let snapshot_bytes;
+        {
+            let mut slot = self.slots[donor].lock().expect("fleet slot poisoned");
+            let rep = slot.as_mut().expect("serving replica must be wired");
+            let mut mctx = self.maint_ctx(donor);
+            rep.io.flush(&mut mctx);
+            if let Some(suvm) = &rep.suvm {
+                suvm.quiesce(&mut mctx);
+            }
+            // Full image (base 0): the donor holds all streamed state
+            // plus its own unstreamed writes, so the rejoiner comes
+            // back fully caught up.
+            let snap =
+                rep.kvs
+                    .snapshot_since(&mut mctx, self.sealer.as_ref(), enclave_id, epoch, 0);
+            let bytes = snap.to_bytes();
+            snapshot_bytes = bytes.len();
+            self.chan.send_chunked(
+                &mut mctx,
+                MSG_DELTA_BEGIN,
+                MSG_DELTA_CHUNK,
+                &epoch.to_le_bytes(),
+                &bytes,
+                mp.cfg.chunk_bytes,
+            );
+            mctx.exit();
+        }
+        Stats::bump(&self.machine.stats.fleet_snapshots);
+        let mut rep = self.wire_replica(idx);
+        {
+            let mut mctx = self.maint_ctx(idx);
+            let (header, payload) = self
+                .chan
+                .recv_chunked(&mut mctx, MSG_DELTA_BEGIN, MSG_DELTA_CHUNK)
+                .expect("rejoin protocol: chunks staged");
+            let got = u64::from_le_bytes(header.try_into().expect("8-byte epoch"));
+            assert_eq!(got, epoch, "rejoin snapshot epoch mismatch");
+            let snap = Snapshot::from_bytes(&payload);
+            assert_eq!(snap.epoch(), epoch, "rejoin snapshot epoch mismatch");
+            rep.kvs.restore(&mut mctx, self.sealer.as_ref(), &snap);
+            mctx.exit();
+        }
+        Stats::bump(&self.machine.stats.fleet_restores);
+        *self.slots[idx].lock().expect("fleet slot poisoned") = Some(rep);
+        self.fleet.mark_serving(idx);
+        let mut taken = 0;
+        for s in 0..self.fds.len() {
+            if s % self.cfg.replicas == idx {
+                self.map.reassign(s, idx);
+                taken += 1;
+            }
+        }
+        self.advance_write_versions();
+        {
+            let mut st = mp.state.lock().expect("maintenance state poisoned");
+            // Caught up through `epoch`; the donor keeps streaming its
+            // own unstreamed interval, so the rejoiner's base starts
+            // at the fresh write interval.
+            st.delta_base[idx] = self.epoch() + 1;
+            st.last_delta_epoch[idx] = epoch;
+            st.misses[idx] = 0;
+            st.last_hb[idx] = mp.hb[idx].load(Ordering::Relaxed);
+        }
+        RejoinReport {
+            donor,
+            shards_taken: taken,
+            snapshot_bytes,
+            cycles: self.machine.core(mp.cfg.core).clock.now() - t0,
+        }
+    }
+
+    /// The current owner of dead slot `idx`'s original shard slice
+    /// (see [`Self::respawn`] for why the owner must donate).
+    fn rejoin_donor(&self, idx: usize) -> usize {
+        (0..self.fds.len())
+            .find(|&s| s % self.cfg.replicas == idx)
+            .map_or_else(
+                || *self.fleet.serving().first().expect("rejoin needs a donor"),
+                |s| self.map.replica_of(s),
+            )
     }
 }
 
@@ -834,5 +1399,118 @@ mod tests {
         assert_eq!(fk.epoch(), 2);
         fk.kill(1);
         assert_eq!(fk.epoch(), 3);
+    }
+
+    fn fleet_bg(replicas: usize) -> (Arc<SgxMachine>, Arc<Session>, Vec<Fd>, FleetKvs) {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let ut = ThreadCtx::untrusted(&m, 1);
+        let fds: Vec<Fd> = (0..SHARDS).map(|_| m.host.socket(&ut, 256 << 10)).collect();
+        let svc = with_syscalls(RpcService::builder(&m), &m)
+            .workers(2, &[2, 3])
+            .build();
+        let wire = Arc::new(Session::established([9u8; 16]));
+        let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x44u8; 16]));
+        let fk = FleetKvs::new(
+            &m,
+            &fds,
+            ServerIoConfig::with_buf_len(16 << 10)
+                .batch(4)
+                .shards(SHARDS),
+            IoPath::Rpc(Arc::new(svc)),
+            Arc::clone(&wire),
+            sealer,
+            FleetConfig::small(replicas).with_maintenance(MaintenanceConfig {
+                core: 1,
+                hb_miss_threshold: 3,
+                chunk_bytes: 4 << 10,
+            }),
+            |ctx, kvs| {
+                for i in 0..32u32 {
+                    kvs.set(ctx, format!("seed-{i}").as_bytes(), &[i as u8; 48]);
+                }
+            },
+        );
+        (m, wire, fds, fk)
+    }
+
+    #[test]
+    fn delta_rounds_stream_writes_to_peers_in_chunks() {
+        let (m, wire, fds, fk) = fleet_bg(2);
+        let ut = ThreadCtx::untrusted(&m, 1);
+        // A SET routed to replica 0, then one maintenance tick: the
+        // delta round must land the item in replica 1's store without
+        // any fence.
+        let s = (0..SHARDS).find(|&s| fk.map().replica_of(s) == 0).unwrap();
+        m.host.push_request(
+            &ut,
+            fds[s],
+            &wire.encrypt(&build_set(b"delta-key", &[5u8; 40])),
+        );
+        while fk.pump() == 0 {}
+        fk.flush();
+        while m.host.pop_response(fds[s]).is_some() {}
+        assert!(fk.maintenance_tick(), "a delta round is work");
+        {
+            let mut slot = fk.slots[1].lock().unwrap();
+            let rep = slot.as_mut().unwrap();
+            assert_eq!(
+                rep.kvs.get(&mut rep.ctx, b"delta-key").unwrap(),
+                vec![5u8; 40],
+                "peer must hold the streamed item"
+            );
+        }
+        let st = m.stats.snapshot();
+        assert!(st.maint_chunks > 0, "deltas travel chunked");
+        assert!(
+            st.snapshot_delta_items >= 1,
+            "the delta carried the fresh item"
+        );
+        // The counters the fences publish did not move: no failover
+        // snapshot/restore happened.
+        assert_eq!(st.fleet_snapshots, 0);
+        assert_eq!(st.fleet_restores, 0);
+        // A later background kill carries only the final delta.
+        let report = fk.kill(0);
+        assert_eq!(report.heir, 1);
+        assert_eq!(m.stats.snapshot().fleet_failovers, 1);
+    }
+
+    #[test]
+    fn failure_detector_kills_a_mute_replica_and_rejoin_recovers_it() {
+        let (m, wire, fds, fk) = fleet_bg(2);
+        let ut = ThreadCtx::untrusted(&m, 1);
+        // Replica 1 goes mute: only replica 0 pumps. After three
+        // heartbeat-less ticks the detector fails it over.
+        for round in 0..3 {
+            fk.pump_replica(0);
+            fk.maintenance_tick();
+            if round < 2 {
+                assert_eq!(fk.fleet().state(1), ReplicaState::Serving);
+            }
+        }
+        assert_eq!(fk.fleet().state(1), ReplicaState::Dead);
+        assert_eq!(fk.map().shards_of(0), vec![0, 1, 2, 3]);
+        let st = m.stats.snapshot();
+        assert!(st.hb_misses >= 3, "each tick counted the miss");
+        assert_eq!(st.fleet_failovers, 1);
+        assert!(fk.auto_failover_cycles() > 0, "failover cost maint cycles");
+
+        // A queued rejoin brings the slot back at the next tick, and
+        // it serves restored state.
+        fk.request_rejoin(1);
+        fk.pump_replica(0);
+        fk.maintenance_tick();
+        assert_eq!(fk.fleet().state(1), ReplicaState::Serving);
+        assert!(fk.auto_recovery_cycles() > 0, "rejoin cost maint cycles");
+        let s = (0..SHARDS).find(|&s| fk.map().replica_of(s) == 1).unwrap();
+        m.host
+            .push_request(&ut, fds[s], &wire.encrypt(&build_get(b"seed-3")));
+        let mut served = 0;
+        while served == 0 {
+            served = fk.pump();
+        }
+        fk.flush();
+        let plain = wire.decrypt(&m.host.pop_response(fds[s]).unwrap());
+        assert_eq!(plain[0], 1, "rejoined replica serves restored state");
     }
 }

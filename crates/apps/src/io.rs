@@ -13,8 +13,7 @@
 //! Every `ServerIo` is built through exactly one entry point,
 //! [`ServerIoConfig::build`], which wires the staging buffers, the
 //! optional shard map ([`ServerIoConfig::routed`]), and the wire
-//! [`Session`] together; the old `new`/`sharded`/`sharded_balanced`
-//! constructor trio survives one release as deprecated shims.
+//! [`Session`] together.
 //!
 //! On the RPC path the reap is split into one scatter-gather
 //! `recvmmsg`/`sendmmsg`-style *sub-batch* per worker — one syscall
@@ -668,46 +667,6 @@ pub struct ServerIo {
 }
 
 impl ServerIo {
-    /// Deprecated single-socket constructor, kept for one release.
-    #[deprecated(note = "use `ServerIoConfig::build(ctx, &[fd], path, session)`")]
-    #[must_use]
-    pub fn new(
-        ctx: &ThreadCtx,
-        fd: Fd,
-        cfg: ServerIoConfig,
-        path: IoPath,
-        session: Arc<Session>,
-    ) -> Self {
-        cfg.build(ctx, &[fd], path, session)
-    }
-
-    /// Deprecated sharded constructor, kept for one release.
-    #[deprecated(note = "use `ServerIoConfig::build(ctx, fds, path, session)`")]
-    #[must_use]
-    pub fn sharded(
-        ctx: &ThreadCtx,
-        fds: &[Fd],
-        cfg: ServerIoConfig,
-        path: IoPath,
-        session: Arc<Session>,
-    ) -> Self {
-        cfg.build(ctx, fds, path, session)
-    }
-
-    /// Deprecated balanced constructor, kept for one release.
-    #[deprecated(note = "use `ServerIoConfig::routed(map).build(ctx, fds, path, session)`")]
-    #[must_use]
-    pub fn sharded_balanced(
-        ctx: &ThreadCtx,
-        fds: &[Fd],
-        cfg: ServerIoConfig,
-        path: IoPath,
-        session: Arc<Session>,
-        map: Arc<ShardMap>,
-    ) -> Self {
-        cfg.routed(map).build(ctx, fds, path, session)
-    }
-
     /// The balance layer's connection map, when this server was built
     /// with [`ServerIoConfig::routed`].
     #[must_use]
@@ -2178,30 +2137,6 @@ mod tests {
             "the blocking wait must not spin on a dead session"
         );
         assert!(io.recv_batch(&mut t).is_empty());
-        t.exit();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_working_servers() {
-        // The shims forward to `ServerIoConfig::build`; they stay one
-        // release for out-of-tree callers.
-        let m = SgxMachine::new(MachineConfig::tiny());
-        let e = m.driver.create_enclave(&m, 1 << 20);
-        let wire = Arc::new(Session::established([25u8; 16]));
-        let ut = ThreadCtx::untrusted(&m, 2);
-        let fd = m.host.socket(&ut, 64 << 10);
-        let io = ServerIo::new(
-            &ut,
-            fd,
-            ServerIoConfig::with_buf_len(4096),
-            IoPath::Ocall,
-            Arc::clone(&wire),
-        );
-        m.host.push_request(&ut, fd, &wire.encrypt(b"legacy"));
-        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
-        t.enter();
-        assert_eq!(io.recv_msg(&mut t).as_deref(), Some(b"legacy".as_slice()));
         t.exit();
     }
 }

@@ -24,6 +24,7 @@
 use eleos_core::{Snapshot, SnapshotBuilder};
 use eleos_crypto::Sealer;
 use eleos_enclave::thread::ThreadCtx;
+use eleos_sim::stats::Stats;
 
 use crate::io::ServerIo;
 use crate::space::DataSpace;
@@ -175,6 +176,21 @@ impl Kvs {
         self.engine.fence(ctx);
     }
 
+    /// Switches the engine between fence-synchronous maintenance (the
+    /// default) and background mode, where fences only publish
+    /// counters and the byte-work runs in [`Self::maintenance_tick`]
+    /// off the serving path.
+    pub fn set_background(&mut self, on: bool) {
+        self.engine.set_background(on);
+    }
+
+    /// One engine background-maintenance pass, run by the maintenance
+    /// plane with a context on its own core. Returns whether any work
+    /// ran.
+    pub fn maintenance_tick(&mut self, ctx: &mut ThreadCtx) -> bool {
+        self.engine.maintenance_tick(ctx)
+    }
+
     /// Visits every live, unexpired item (index order) with
     /// `(key, value)`.
     pub fn for_each_item(&self, ctx: &mut ThreadCtx, mut f: impl FnMut(&[u8], &[u8])) {
@@ -278,6 +294,64 @@ impl Kvs {
             .seal(ctx, sealer)
     }
 
+    /// Encodes only the items whose write stamp is `>= base` — the
+    /// delta log for an incremental snapshot. Same framing as
+    /// [`Self::encode_items`].
+    fn encode_items_since(&self, ctx: &mut ThreadCtx, base: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        let mut count = 0u64;
+        self.engine
+            .for_each(ctx, &mut |key, value, version, expiry| {
+                if version < base {
+                    return;
+                }
+                body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                body.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&expiry.to_le_bytes());
+                body.extend_from_slice(key);
+                body.extend_from_slice(value);
+                count += 1;
+            });
+        let mut plain = Vec::with_capacity(8 + body.len());
+        plain.extend_from_slice(&count.to_le_bytes());
+        plain.extend_from_slice(&body);
+        plain
+    }
+
+    /// Incremental flavor of [`Self::snapshot`]: captures only the
+    /// items written at stamp `>= base`, so a receiver that already
+    /// holds everything below `base` can catch up from the delta
+    /// alone. `base = 0` degenerates to a full snapshot. The
+    /// `"storage-meta"` section carries the *delta* item count, so
+    /// [`Self::restore`] applies unchanged. The maintenance plane
+    /// streams these in chunks between failover fences; the number of
+    /// delta items is published as `snapshot_delta_items`.
+    #[must_use]
+    pub fn snapshot_since(
+        &self,
+        ctx: &mut ThreadCtx,
+        sealer: &dyn Sealer,
+        domain: u32,
+        epoch: u64,
+        base: u64,
+    ) -> Snapshot {
+        let items = self.encode_items_since(ctx, base);
+        let count = u64::from_le_bytes(items[..8].try_into().expect("count"));
+        ctx.compute(count * ctx.machine.cfg.costs.snapshot_delta_item);
+        Stats::add(&ctx.machine.stats.snapshot_delta_items, count);
+        let label = self.engine.label().as_bytes();
+        let mut meta = Vec::with_capacity(1 + label.len() + 8);
+        meta.push(label.len() as u8);
+        meta.extend_from_slice(label);
+        meta.extend_from_slice(&count.to_le_bytes());
+        meta.extend_from_slice(&self.engine.meta_blob());
+        SnapshotBuilder::new(domain, epoch)
+            .section(KVS_SECTION, items)
+            .section(STORAGE_META_SECTION, meta)
+            .seal(ctx, sealer)
+    }
+
     /// Restores items from a portable [`Snapshot`] captured by
     /// [`Self::snapshot`] (possibly by a different enclave — snapshots
     /// are sealed under a shared key precisely so a replica can
@@ -358,8 +432,10 @@ impl Kvs {
     /// queue is drained.
     ///
     /// Request plaintext: `[op u8][key_len u16][val_len u32][key][value]`
-    /// with op 0 = GET, 1 = SET. Response: GET → `[1][val_len][value]`
-    /// or `[0]`; SET → `[1]`.
+    /// with op 0 = GET, 1 = SET, 2 = SET-with-TTL (a `ttl u32` in
+    /// seconds follows `val_len`, shifting the key to offset 11).
+    /// Response: GET → `[1][val_len][value]` or `[0]`; SET and
+    /// SET-with-TTL → `[1]`.
     pub fn handle_request(&mut self, ctx: &mut ThreadCtx, io: &ServerIo) -> bool {
         let Some(plain) = io.recv_msg(ctx) else {
             return false;
@@ -434,6 +510,13 @@ impl Kvs {
                 self.set(ctx, key, value);
                 vec![1u8]
             }
+            2 => {
+                let ttl = u32::from_le_bytes(plain[7..11].try_into().expect("short header"));
+                let key = &plain[11..11 + klen];
+                let value = &plain[11 + klen..11 + klen + vlen];
+                self.set_with_ttl(ctx, key, value, ttl);
+                vec![1u8]
+            }
             other => panic!("unknown KVS opcode {other}"),
         }
     }
@@ -457,6 +540,20 @@ pub fn build_set(key: &[u8], value: &[u8]) -> Vec<u8> {
     p.push(1u8);
     p.extend_from_slice(&(key.len() as u16).to_le_bytes());
     p.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    p.extend_from_slice(key);
+    p.extend_from_slice(value);
+    p
+}
+
+/// Builds a SET-with-TTL request plaintext (`ttl_secs = 0` never
+/// expires — same convention as [`Kvs::set_with_ttl`]).
+#[must_use]
+pub fn build_set_ttl(key: &[u8], value: &[u8], ttl_secs: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(11 + key.len() + value.len());
+    p.push(2u8);
+    p.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    p.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    p.extend_from_slice(&ttl_secs.to_le_bytes());
     p.extend_from_slice(key);
     p.extend_from_slice(value);
     p
@@ -848,6 +945,86 @@ mod tests {
         let get_resp = wire.decrypt(&m.host.pop_response(fd).unwrap());
         assert_eq!(get_resp[0], 1);
         assert_eq!(&get_resp[5..], b"beta");
+        t.exit();
+    }
+
+    #[test]
+    fn protocol_set_with_ttl_expires_client_visible() {
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        let m = Arc::clone(&t.machine);
+        let wire = Arc::new(crate::wire::Session::established([3u8; 16]));
+        let fd = m.host.socket(&t, 64 << 10);
+        let io = crate::io::ServerIoConfig::with_buf_len(32 << 10).build(
+            &t,
+            &[fd],
+            crate::io::IoPath::Ocall,
+            Arc::clone(&wire),
+        );
+        m.host.push_request(
+            &t,
+            fd,
+            &wire.encrypt(&build_set_ttl(b"session", b"token", 5)),
+        );
+        m.host
+            .push_request(&t, fd, &wire.encrypt(&build_get(b"session")));
+        assert!(kvs.handle_request(&mut t, &io));
+        assert!(kvs.handle_request(&mut t, &io));
+        assert_eq!(wire.decrypt(&m.host.pop_response(fd).unwrap()), &[1u8]);
+        let hit = wire.decrypt(&m.host.pop_response(fd).unwrap());
+        assert_eq!(hit[0], 1);
+        assert_eq!(&hit[5..], b"token");
+        // Past the deadline the same GET misses.
+        t.compute(6 * 3_400_000_000);
+        m.host
+            .push_request(&t, fd, &wire.encrypt(&build_get(b"session")));
+        assert!(kvs.handle_request(&mut t, &io));
+        assert_eq!(
+            wire.decrypt(&m.host.pop_response(fd).unwrap()),
+            &[0u8],
+            "TTL'd item must expire"
+        );
+        t.exit();
+    }
+
+    #[test]
+    fn incremental_snapshot_carries_only_the_delta() {
+        use eleos_crypto::gcm::AesGcm128;
+        let (mut kvs, mut t) = untrusted_kvs(8 << 20);
+        kvs.init(&mut t);
+        for i in 0..40u32 {
+            kvs.set(&mut t, format!("base-{i}").as_bytes(), &[i as u8; 24]);
+        }
+        // Everything so far is stamp 0; open interval 2 for the
+        // writes the delta must capture.
+        kvs.set_write_version(2);
+        kvs.set(&mut t, b"fresh-a", b"one");
+        kvs.set(&mut t, b"base-7", b"rewritten");
+        let sealer = AesGcm128::new(&[0x77u8; 16]);
+        let delta = kvs.snapshot_since(&mut t, &sealer, 3, 5, 2);
+        assert_eq!(delta.epoch(), 5);
+
+        // A receiver already holding the base catches up from the
+        // delta alone.
+        let m = Arc::clone(&t.machine);
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let mut peer = Kvs::new(space.clone(), space, 8 << 20, 1024);
+        peer.init(&mut t);
+        for i in 0..40u32 {
+            peer.set(&mut t, format!("base-{i}").as_bytes(), &[i as u8; 24]);
+        }
+        assert_eq!(peer.restore(&mut t, &sealer, &delta), 2, "delta items only");
+        assert_eq!(peer.get(&mut t, b"fresh-a").unwrap(), b"one");
+        assert_eq!(peer.get(&mut t, b"base-7").unwrap(), b"rewritten");
+        assert_eq!(peer.len(), 41);
+        assert_eq!(m.stats.snapshot().snapshot_delta_items, 2);
+
+        // base = 0 degenerates to a full snapshot.
+        let full = kvs.snapshot_since(&mut t, &sealer, 3, 6, 0);
+        let space2 = DataSpace::Untrusted(Arc::clone(&m));
+        let mut fresh = Kvs::new(space2.clone(), space2, 8 << 20, 1024);
+        fresh.init(&mut t);
+        assert_eq!(fresh.restore(&mut t, &sealer, &full), 41);
         t.exit();
     }
 }

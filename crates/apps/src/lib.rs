@@ -29,6 +29,7 @@ pub mod fleet_io;
 pub mod io;
 pub mod kvs;
 pub mod loadgen;
+pub mod maintenance;
 pub mod param_server;
 pub mod slab;
 pub mod space;
@@ -38,6 +39,4 @@ pub mod wire;
 
 pub use io::{IoPath, ServerIo, ServerIoConfig};
 pub use space::DataSpace;
-#[allow(deprecated)]
-pub use wire::Wire;
 pub use wire::{Session, SessionState};

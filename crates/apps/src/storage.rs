@@ -24,6 +24,15 @@
 //! expiry) runs **only** inside [`StorageEngine::fence`], which the
 //! serving path calls between batches — never mid-batch, reusing the
 //! fence discipline of shard rebalance and fleet failover.
+//!
+//! In **background mode** ([`StorageEngine::set_background`]) the
+//! fence keeps that role but sheds the byte-work: it only publishes
+//! gauges and decays demand windows, while the relocation/merge/expiry
+//! copies run in [`StorageEngine::maintenance_tick`] on the
+//! maintenance plane's core — the Eleos move of taking stall-inducing
+//! work off the serving threads. Fence-synchronous maintenance charges
+//! its cycles to the `maint_stall_cycles` stat so benches can show the
+//! stall disappearing from the serving cores.
 
 use eleos_enclave::thread::ThreadCtx;
 use eleos_sim::stats::{Stats, MAX_STORAGE_CLASSES};
@@ -51,7 +60,32 @@ const S_ITEM: u64 = 8;
 const S_SEG: u64 = 16;
 const S_FREQ: u64 = 20;
 const S_EXPIRY: u64 = 24;
+const S_FLAGS: u64 = 28;
 const S_VERSION: u64 = 32;
+
+// Segment-record roles (`S_FLAGS`): ordinary records, the chained
+// pieces of a value too large for one segment, and the head record
+// holding the spill descriptor.
+const FLAG_PLAIN: u32 = 0;
+const FLAG_PART: u32 = 1;
+const FLAG_HEAD: u32 = 2;
+
+/// Sanity marker in a spill head's 16-byte descriptor ("SPLL").
+const SPILL_MAGIC: u32 = 0x5350_4C4C;
+
+/// Free segments the background tick tries to keep on hand so the
+/// serving-path allocator almost never reclaims inline.
+const SEG_FREE_RESERVE: usize = 2;
+
+/// The derived key of spill part `i` of `key`: a reserved `0xFF`
+/// prefix keeps part keys out of the client namespace.
+fn spill_part_key(key: &[u8], i: u32) -> Vec<u8> {
+    let mut pk = Vec::with_capacity(key.len() + 5);
+    pk.push(0xFF);
+    pk.extend_from_slice(key);
+    pk.extend_from_slice(&i.to_le_bytes());
+    pk
+}
 
 /// Null metadata pointer.
 pub(crate) const NIL: u64 = 0;
@@ -239,6 +273,19 @@ pub trait StorageEngine: Send {
     /// Engine-specific metadata for the snapshot's `storage-meta`
     /// section (layout parameters a restore-side can sanity-check).
     fn meta_blob(&self) -> Vec<u8>;
+
+    /// Switches between fence-synchronous maintenance (the default)
+    /// and background mode, where fences only publish counters and
+    /// the byte-work waits for [`Self::maintenance_tick`].
+    fn set_background(&mut self, _on: bool) {}
+
+    /// One background-maintenance pass, run by the maintenance plane
+    /// with a context pinned to its own core — never the serving
+    /// path's. Returns whether any work ran. A no-op unless the
+    /// engine is in background mode.
+    fn maintenance_tick(&mut self, _ctx: &mut ThreadCtx) -> bool {
+        false
+    }
 }
 
 /// Builds the configured engine over the given spaces.
@@ -301,6 +348,8 @@ pub struct SlabEngine {
     /// Cumulative per-class totals, published as gauges at fences.
     totals: Vec<ClassWindow>,
     fences: u32,
+    /// Background mode: fences publish only; moves run in the tick.
+    background: bool,
 }
 
 impl SlabEngine {
@@ -330,6 +379,7 @@ impl SlabEngine {
             window: vec![ClassWindow::default(); n],
             totals: vec![ClassWindow::default(); n],
             fences: 0,
+            background: false,
         }
     }
 
@@ -554,6 +604,18 @@ impl SlabEngine {
         true
     }
 
+    /// Exponential decay keeps the windows tracking *recent* demand,
+    /// so a long-cold class eventually looks like a donor. Runs after
+    /// the byte-work (synchronous fence or background tick) so the
+    /// rebalancer always acts on pre-decay demand.
+    fn decay_windows(&mut self) {
+        for w in &mut self.window {
+            w.sets /= 2;
+            w.hits /= 2;
+            w.evictions /= 2;
+        }
+    }
+
     /// Publishes the cumulative per-class totals as gauges.
     fn publish_gauges(&self, ctx: &ThreadCtx) {
         let st = &ctx.machine.stats.storage;
@@ -704,18 +766,46 @@ impl StorageEngine for SlabEngine {
         if !self.fences.is_multiple_of(cfg.fence_period) {
             return;
         }
+        if self.background {
+            // Background mode: the fence only publishes. Byte-work
+            // *and* window decay move to the maintenance tick so the
+            // tick sees the same pre-decay demand the synchronous
+            // fence would have acted on.
+            return;
+        }
+        // Fence-synchronous mode: the relocation byte-work runs
+        // right here, and every cycle of it stalls the serving
+        // core.
+        let t0 = ctx.now();
         for _ in 0..cfg.max_moves_per_fence {
             if !self.try_rebalance(ctx) {
                 break;
             }
         }
-        // Exponential decay keeps the windows tracking *recent*
-        // demand, so a long-cold class eventually looks like a donor.
-        for w in &mut self.window {
-            w.sets /= 2;
-            w.hits /= 2;
-            w.evictions /= 2;
+        Stats::add(&ctx.machine.stats.maint_stall_cycles, ctx.now() - t0);
+        self.decay_windows();
+    }
+
+    fn set_background(&mut self, on: bool) {
+        self.background = on;
+    }
+
+    fn maintenance_tick(&mut self, ctx: &mut ThreadCtx) -> bool {
+        let Some(cfg) = self.rebalance.clone() else {
+            return false;
+        };
+        if !self.background {
+            return false;
         }
+        let mut did = false;
+        for _ in 0..cfg.max_moves_per_fence {
+            if !self.try_rebalance(ctx) {
+                break;
+            }
+            did = true;
+        }
+        self.decay_windows();
+        did
     }
 
     fn for_each(&self, ctx: &mut ThreadCtx, f: &mut ItemVisitor) {
@@ -813,6 +903,11 @@ pub struct SegmentEngine {
     items: u64,
     evictions: u64,
     expired: u64,
+    /// Indexed nodes that are spill *parts* (excluded from `len`).
+    spill_parts: u64,
+    /// Background mode: fences publish only; expiry sweeps and merges
+    /// run in the tick.
+    background: bool,
 }
 
 impl SegmentEngine {
@@ -848,6 +943,8 @@ impl SegmentEngine {
             items: 0,
             evictions: 0,
             expired: 0,
+            spill_parts: 0,
+            background: false,
         }
     }
 
@@ -921,7 +1018,12 @@ impl SegmentEngine {
                 self.segments.push(Segment::fresh(base));
                 return self.segments.len() - 1;
             }
+            // Inline reclamation stalls the set that triggered it; in
+            // background mode the tick's free-segment reserve makes
+            // this path rare.
+            let t0 = ctx.now();
             self.reclaim(ctx);
+            Stats::add(&ctx.machine.stats.maint_stall_cycles, ctx.now() - t0);
         }
     }
 
@@ -1000,6 +1102,9 @@ impl SegmentEngine {
 
     /// Unlinks and frees the index node of an expired item.
     fn drop_expired(&mut self, ctx: &mut ThreadCtx, key: &[u8], node: u64, prev: u64, seg: usize) {
+        if self.meta_space.read_u32(ctx, node + S_FLAGS) == FLAG_PART {
+            self.spill_parts -= 1;
+        }
         self.chain_unlink(ctx, key, node, prev);
         self.meta.free(node);
         self.dead_mark(seg);
@@ -1059,6 +1164,9 @@ impl SegmentEngine {
                 // Only drop the index entry if it still points at
                 // *this* copy (a newer set may live elsewhere).
                 if self.meta_space.read_u64(ctx, node + S_ITEM) == item {
+                    if self.meta_space.read_u32(ctx, node + S_FLAGS) == FLAG_PART {
+                        self.spill_parts -= 1;
+                    }
                     self.chain_unlink(ctx, &key, node, prev);
                     self.meta.free(node);
                     self.items -= 1;
@@ -1109,6 +1217,7 @@ impl SegmentEngine {
             node: u64,
             expiry: u32,
             freq: u32,
+            flags: u32,
         }
         let mut survivors: Vec<Survivor> = Vec::new();
         for &seg in &victims {
@@ -1128,6 +1237,7 @@ impl SegmentEngine {
                             self.drop_expired(ctx, &key, node, prev, seg);
                         } else {
                             let freq = self.meta_space.read_u32(ctx, node + S_FREQ);
+                            let flags = self.meta_space.read_u32(ctx, node + S_FLAGS);
                             let mut value = vec![0u8; vlen];
                             self.data_space
                                 .read(ctx, item + 8 + klen as u64, &mut value);
@@ -1137,6 +1247,7 @@ impl SegmentEngine {
                                 node,
                                 expiry,
                                 freq,
+                                flags,
                             });
                         }
                     }
@@ -1174,6 +1285,9 @@ impl SegmentEngine {
                 // still point into victim regions the repack is
                 // overwriting, so key comparison would read clobbered
                 // bytes.
+                if s.flags == FLAG_PART {
+                    self.spill_parts -= 1;
+                }
                 self.unlink_node(ctx, &s.key, s.node);
                 self.meta.free(s.node);
                 self.items -= 1;
@@ -1219,6 +1333,154 @@ impl SegmentEngine {
         }
         self.merge(ctx);
     }
+
+    // --- Spill chaining (values larger than one segment) ----------
+
+    /// The plain single-record insert/overwrite path (the pre-spill
+    /// `set`), parameterized by the record's role flag.
+    fn insert_or_update(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        key: &[u8],
+        value: &[u8],
+        expiry: u32,
+        version: u64,
+        flags: u32,
+    ) {
+        let tb = self.ttl_bucket_of(ctx, expiry);
+        let (seg, item) = self.append(ctx, tb, key, value, expiry);
+        // Look the key up *after* appending: the append may have run a
+        // merge that relocated (or evicted) the previous copy, so any
+        // earlier index probe would be stale.
+        match self.find(ctx, key) {
+            Some((node, _)) => {
+                let old_seg = self.meta_space.read_u32(ctx, node + S_SEG) as usize;
+                self.dead_mark(old_seg);
+                self.meta_space.write_u64(ctx, node + S_ITEM, item);
+                self.meta_space.write_u32(ctx, node + S_SEG, seg as u32);
+                self.meta_space.write_u32(ctx, node + S_EXPIRY, expiry);
+                self.meta_space.write_u32(ctx, node + S_FLAGS, flags);
+                self.meta_space.write_u64(ctx, node + S_VERSION, version);
+            }
+            None => {
+                let node = self.meta.alloc();
+                let bucket = self.bucket_addr(key);
+                let head = self.meta_space.read_u64(ctx, bucket);
+                self.meta_space.write_u64(ctx, node + S_NEXT, head);
+                self.meta_space.write_u64(ctx, node + S_ITEM, item);
+                self.meta_space.write_u32(ctx, node + S_SEG, seg as u32);
+                self.meta_space.write_u32(ctx, node + S_FREQ, 0);
+                self.meta_space.write_u32(ctx, node + S_EXPIRY, expiry);
+                self.meta_space.write_u32(ctx, node + S_FLAGS, flags);
+                self.meta_space.write_u64(ctx, node + S_VERSION, version);
+                self.meta_space.write_u64(ctx, bucket, node);
+                self.items += 1;
+                if flags == FLAG_PART {
+                    self.spill_parts += 1;
+                }
+            }
+        }
+    }
+
+    /// Stores a value too large for one segment: the value is split
+    /// into parts under reserved derived keys, each appended like any
+    /// record, and the client-visible key maps to a 16-byte descriptor
+    /// (`total_len u64 ‖ nparts u32 ‖ magic u32`).
+    fn set_spill(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        key: &[u8],
+        value: &[u8],
+        expiry: u32,
+        version: u64,
+    ) {
+        self.drop_spill_parts_of(ctx, key);
+        let part_cap = self
+            .cfg
+            .segment_bytes
+            .checked_sub(8 + key.len() + 5)
+            .filter(|&c| c > 0)
+            .expect("key too large to spill across segments");
+        for (i, chunk) in value.chunks(part_cap).enumerate() {
+            let pk = spill_part_key(key, i as u32);
+            self.insert_or_update(ctx, &pk, chunk, expiry, version, FLAG_PART);
+        }
+        let nparts = value.len().div_ceil(part_cap) as u32;
+        let mut desc = Vec::with_capacity(16);
+        desc.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        desc.extend_from_slice(&nparts.to_le_bytes());
+        desc.extend_from_slice(&SPILL_MAGIC.to_le_bytes());
+        self.insert_or_update(ctx, key, &desc, expiry, version, FLAG_HEAD);
+    }
+
+    /// Reads a spill head's descriptor `(total_len, nparts)`.
+    fn read_spill_desc(&mut self, ctx: &mut ThreadCtx, key: &[u8], node: u64) -> (u64, u32) {
+        let item = self.meta_space.read_u64(ctx, node + S_ITEM);
+        let mut desc = vec![0u8; 16];
+        self.data_space
+            .read(ctx, item + 8 + key.len() as u64, &mut desc);
+        let total = u64::from_le_bytes(desc[..8].try_into().expect("desc"));
+        let nparts = u32::from_le_bytes(desc[8..12].try_into().expect("desc"));
+        let magic = u32::from_le_bytes(desc[12..16].try_into().expect("desc"));
+        assert_eq!(magic, SPILL_MAGIC, "corrupt spill descriptor");
+        (total, nparts)
+    }
+
+    /// If `key` currently maps to a spill head, deletes its parts (the
+    /// head itself is left for the caller to overwrite or remove).
+    fn drop_spill_parts_of(&mut self, ctx: &mut ThreadCtx, key: &[u8]) {
+        let Some((node, _)) = self.find(ctx, key) else {
+            return;
+        };
+        if self.meta_space.read_u32(ctx, node + S_FLAGS) != FLAG_HEAD {
+            return;
+        }
+        let (_, nparts) = self.read_spill_desc(ctx, key, node);
+        for i in 0..nparts {
+            self.delete(ctx, &spill_part_key(key, i));
+        }
+    }
+
+    /// Reassembles a spill from its parts. A missing part (evicted by
+    /// a merge under pressure) makes the whole spill unreadable: the
+    /// remnants are deleted and the read misses.
+    fn read_spill(&mut self, ctx: &mut ThreadCtx, key: &[u8], node: u64) -> Option<Vec<u8>> {
+        let (total, nparts) = self.read_spill_desc(ctx, key, node);
+        let mut out = Vec::with_capacity(total as usize);
+        for i in 0..nparts {
+            match self.get(ctx, &spill_part_key(key, i)) {
+                Some(chunk) => out.extend_from_slice(&chunk),
+                None => {
+                    self.delete(ctx, key);
+                    return None;
+                }
+            }
+        }
+        debug_assert_eq!(out.len() as u64, total, "spill reassembly length");
+        Some(out)
+    }
+
+    /// Read-only spill reassembly from the head's descriptor bytes
+    /// (for `for_each`, which cannot take `&mut self`). Returns
+    /// `None` when a part is missing (broken spill).
+    fn reassemble_spill(&self, ctx: &mut ThreadCtx, key: &[u8], desc: &[u8]) -> Option<Vec<u8>> {
+        let total = u64::from_le_bytes(desc[..8].try_into().expect("desc"));
+        let nparts = u32::from_le_bytes(desc[8..12].try_into().expect("desc"));
+        let magic = u32::from_le_bytes(desc[12..16].try_into().expect("desc"));
+        assert_eq!(magic, SPILL_MAGIC, "corrupt spill descriptor");
+        let mut out = Vec::with_capacity(total as usize);
+        for i in 0..nparts {
+            let pk = spill_part_key(key, i);
+            let (node, _) = self.find(ctx, &pk)?;
+            let item = self.meta_space.read_u64(ctx, node + S_ITEM);
+            let vlen = self.data_space.read_u32(ctx, item + 4) as usize;
+            let mut chunk = vec![0u8; vlen];
+            self.data_space
+                .read(ctx, item + 8 + pk.len() as u64, &mut chunk);
+            out.extend_from_slice(&chunk);
+        }
+        Some(out)
+    }
 }
 
 impl StorageEngine for SegmentEngine {
@@ -1238,34 +1500,14 @@ impl StorageEngine for SegmentEngine {
     }
 
     fn set(&mut self, ctx: &mut ThreadCtx, key: &[u8], value: &[u8], expiry: u32, version: u64) {
-        let tb = self.ttl_bucket_of(ctx, expiry);
-        let (seg, item) = self.append(ctx, tb, key, value, expiry);
-        // Look the key up *after* appending: the append may have run a
-        // merge that relocated (or evicted) the previous copy, so any
-        // earlier index probe would be stale.
-        match self.find(ctx, key) {
-            Some((node, _)) => {
-                let old_seg = self.meta_space.read_u32(ctx, node + S_SEG) as usize;
-                self.dead_mark(old_seg);
-                self.meta_space.write_u64(ctx, node + S_ITEM, item);
-                self.meta_space.write_u32(ctx, node + S_SEG, seg as u32);
-                self.meta_space.write_u32(ctx, node + S_EXPIRY, expiry);
-                self.meta_space.write_u64(ctx, node + S_VERSION, version);
-            }
-            None => {
-                let node = self.meta.alloc();
-                let bucket = self.bucket_addr(key);
-                let head = self.meta_space.read_u64(ctx, bucket);
-                self.meta_space.write_u64(ctx, node + S_NEXT, head);
-                self.meta_space.write_u64(ctx, node + S_ITEM, item);
-                self.meta_space.write_u32(ctx, node + S_SEG, seg as u32);
-                self.meta_space.write_u32(ctx, node + S_FREQ, 0);
-                self.meta_space.write_u32(ctx, node + S_EXPIRY, expiry);
-                self.meta_space.write_u64(ctx, node + S_VERSION, version);
-                self.meta_space.write_u64(ctx, bucket, node);
-                self.items += 1;
-            }
+        let record_len = 8 + key.len() + value.len();
+        if record_len > self.cfg.segment_bytes {
+            self.set_spill(ctx, key, value, expiry, version);
+            return;
         }
+        // A plain set over a spill head must take the old parts along.
+        self.drop_spill_parts_of(ctx, key);
+        self.insert_or_update(ctx, key, value, expiry, version, FLAG_PLAIN);
     }
 
     fn get(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> Option<Vec<u8>> {
@@ -1276,21 +1518,38 @@ impl StorageEngine for SegmentEngine {
             self.drop_expired(ctx, key, node, prev, seg);
             return None;
         }
+        let flags = self.meta_space.read_u32(ctx, node + S_FLAGS);
+        let freq = self.meta_space.read_u32(ctx, node + S_FREQ);
+        self.meta_space
+            .write_u32(ctx, node + S_FREQ, freq.saturating_add(1));
+        if flags == FLAG_HEAD {
+            return self.read_spill(ctx, key, node);
+        }
         let item = self.meta_space.read_u64(ctx, node + S_ITEM);
         let vlen = self.data_space.read_u32(ctx, item + 4) as usize;
         let mut value = vec![0u8; vlen];
         self.data_space
             .read(ctx, item + 8 + key.len() as u64, &mut value);
-        let freq = self.meta_space.read_u32(ctx, node + S_FREQ);
-        self.meta_space
-            .write_u32(ctx, node + S_FREQ, freq.saturating_add(1));
         Some(value)
     }
 
     fn delete(&mut self, ctx: &mut ThreadCtx, key: &[u8]) -> bool {
-        let Some((node, prev)) = self.find(ctx, key) else {
+        let Some((node, _)) = self.find(ctx, key) else {
             return false;
         };
+        let flags = self.meta_space.read_u32(ctx, node + S_FLAGS);
+        if flags == FLAG_HEAD {
+            // Parts first; they live in other hash chains, but if one
+            // shares the head's bucket the head's `prev` would go
+            // stale, so re-find the head afterwards.
+            let (_, nparts) = self.read_spill_desc(ctx, key, node);
+            for i in 0..nparts {
+                self.delete(ctx, &spill_part_key(key, i));
+            }
+        } else if flags == FLAG_PART {
+            self.spill_parts -= 1;
+        }
+        let (node, prev) = self.find(ctx, key).expect("key still indexed");
         let seg = self.meta_space.read_u32(ctx, node + S_SEG) as usize;
         self.chain_unlink(ctx, key, node, prev);
         self.meta.free(node);
@@ -1305,7 +1564,7 @@ impl StorageEngine for SegmentEngine {
     }
 
     fn len(&self) -> u64 {
-        self.items
+        self.items - self.spill_parts
     }
 
     fn evictions(&self) -> u64 {
@@ -1321,15 +1580,52 @@ impl StorageEngine for SegmentEngine {
     }
 
     fn fence(&mut self, ctx: &mut ThreadCtx) {
-        // Proactive whole-segment expiry: the host-side deadline check
-        // costs nothing; only actual reclamation does simulated work.
-        self.expire_segments(ctx);
+        if !self.background {
+            // Proactive whole-segment expiry: the host-side deadline
+            // check costs nothing, but actual reclamation does
+            // simulated work right here on the serving core. In
+            // background mode the sweep moves to the tick.
+            let t0 = ctx.now();
+            self.expire_segments(ctx);
+            Stats::add(&ctx.machine.stats.maint_stall_cycles, ctx.now() - t0);
+        }
         // Publish per-TTL-bucket live-segment counts as class gauges.
         let st = &ctx.machine.stats.storage;
         for (tb, b) in self.ttl.iter().enumerate().take(MAX_STORAGE_CLASSES) {
             let segs = b.chain.len() as u64 + u64::from(b.active.is_some());
             Stats::set(&st.sets[tb], segs);
         }
+    }
+
+    fn set_background(&mut self, on: bool) {
+        self.background = on;
+    }
+
+    fn maintenance_tick(&mut self, ctx: &mut ThreadCtx) -> bool {
+        if !self.background {
+            return false;
+        }
+        let mut did = self.expire_segments(ctx) > 0;
+        // Merge proactively to keep a reserve of free segments, so the
+        // serving-path allocator almost never reclaims inline. Only
+        // buckets with at least two sealed segments are compacted —
+        // merging a lone segment would evict everything in it.
+        loop {
+            let grown =
+                ((self.segments.len() + 1) * self.cfg.segment_bytes) as u64 > self.mem_limit;
+            let mergeable = self.ttl.iter().any(|b| b.chain.len() >= 2);
+            if !grown || self.free_segs.len() >= SEG_FREE_RESERVE || !mergeable {
+                break;
+            }
+            let before = self.free_segs.len();
+            self.merge(ctx);
+            Stats::bump(&ctx.machine.stats.bg_merges);
+            did = true;
+            if self.free_segs.len() <= before {
+                break;
+            }
+        }
+        did
     }
 
     fn for_each(&self, ctx: &mut ThreadCtx, f: &mut ItemVisitor) {
@@ -1340,7 +1636,11 @@ impl StorageEngine for SegmentEngine {
                 let item = self.meta_space.read_u64(ctx, node + S_ITEM);
                 let version = self.meta_space.read_u64(ctx, node + S_VERSION);
                 let expiry = self.meta_space.read_u32(ctx, node + S_EXPIRY);
-                if expiry == 0 || now < expiry {
+                let flags = self.meta_space.read_u32(ctx, node + S_FLAGS);
+                // Spill parts are an encoding detail: heads are
+                // visited with their reassembled value, so snapshots
+                // stay engine-neutral.
+                if flags != FLAG_PART && (expiry == 0 || now < expiry) {
                     let klen = self.data_space.read_u32(ctx, item) as usize;
                     let vlen = self.data_space.read_u32(ctx, item + 4) as usize;
                     let mut key = vec![0u8; klen];
@@ -1348,7 +1648,14 @@ impl StorageEngine for SegmentEngine {
                     let mut value = vec![0u8; vlen];
                     self.data_space
                         .read(ctx, item + 8 + klen as u64, &mut value);
-                    f(&key, &value, version, expiry);
+                    if flags == FLAG_HEAD {
+                        // A broken spill chain is skipped entirely.
+                        if let Some(full) = self.reassemble_spill(ctx, &key, &value) {
+                            f(&key, &full, version, expiry);
+                        }
+                    } else {
+                        f(&key, &value, version, expiry);
+                    }
                 }
                 node = self.meta_space.read_u64(ctx, node + S_NEXT);
             }
@@ -1529,6 +1836,114 @@ mod tests {
                 assert_eq!(v, vec![2u8; 1200]);
             }
         }
+        t.exit();
+    }
+
+    #[test]
+    fn segment_spills_values_larger_than_a_segment() {
+        let (mut eng, mut t) = segment_engine(8 << 20);
+        // 300 KiB value vs 128 KiB segments: must chain across spills.
+        let big: Vec<u8> = (0..300 << 10).map(|i: u32| (i % 241) as u8).collect();
+        eng.set(&mut t, b"big", &big, 0, 1);
+        assert_eq!(eng.len(), 1, "spill parts are an encoding detail");
+        assert_eq!(eng.get(&mut t, b"big").unwrap(), big);
+        assert_eq!(eng.version_of(&mut t, b"big"), Some(1));
+        // Overwrite with a different large value, then shrink to small.
+        let big2: Vec<u8> = (0..200 << 10).map(|i: u32| (i % 13) as u8).collect();
+        eng.set(&mut t, b"big", &big2, 0, 2);
+        assert_eq!(eng.get(&mut t, b"big").unwrap(), big2);
+        assert_eq!(eng.len(), 1);
+        eng.set(&mut t, b"big", b"small", 0, 3);
+        assert_eq!(eng.get(&mut t, b"big").unwrap(), b"small");
+        assert_eq!(eng.len(), 1);
+        // Spills re-grow and delete cleanly, parts included.
+        eng.set(&mut t, b"big", &big, 0, 4);
+        assert!(eng.delete(&mut t, b"big"));
+        assert!(eng.get(&mut t, b"big").is_none());
+        assert_eq!(eng.len(), 0);
+        t.exit();
+    }
+
+    #[test]
+    fn segment_spill_round_trips_through_for_each() {
+        let (mut eng, mut t) = segment_engine(8 << 20);
+        let big: Vec<u8> = (0..160 << 10).map(|i: u32| (i % 239) as u8).collect();
+        eng.set(&mut t, b"wide", &big, 0, 5);
+        eng.set(&mut t, b"narrow", b"v", 0, 6);
+        let mut seen: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
+        eng.for_each(&mut t, &mut |k: &[u8], v: &[u8], ver, _| {
+            seen.push((k.to_vec(), v.to_vec(), ver));
+        });
+        seen.sort();
+        assert_eq!(seen.len(), 2, "spill parts must not be visited");
+        assert_eq!(seen[0], (b"narrow".to_vec(), b"v".to_vec(), 6));
+        assert_eq!(seen[1].0, b"wide".to_vec());
+        assert_eq!(seen[1].1, big, "heads are visited reassembled");
+        assert_eq!(seen[1].2, 5);
+        t.exit();
+    }
+
+    #[test]
+    fn background_slab_moves_happen_in_the_tick_not_the_fence() {
+        let (mut eng, mut t) = slab_engine(4 << 20, Some(RebalanceConfig::default()));
+        let m = Arc::clone(&t.machine);
+        eng.set_background(true);
+        m.reset_counters();
+        // Calcify on small items, then shift to large ones (the same
+        // load the synchronous rebalancer test uses).
+        for i in 0..20_000u32 {
+            eng.set(&mut t, format!("a-{i}").as_bytes(), &[1u8; 100], 0, 1);
+        }
+        for i in 0..20_000u32 {
+            eng.delete(&mut t, format!("a-{i}").as_bytes());
+        }
+        for i in 0..2_000u32 {
+            eng.set(&mut t, format!("b-{i}").as_bytes(), &[2u8; 1200], 0, 1);
+            if i % 64 == 0 {
+                eng.fence(&mut t);
+            }
+        }
+        let d = m.stats.snapshot();
+        assert_eq!(d.slab_moves, 0, "background fences must not move slabs");
+        assert_eq!(d.maint_stall_cycles, 0, "background fences must not stall");
+        assert!(
+            eng.maintenance_tick(&mut t),
+            "the tick must find the starved class"
+        );
+        let d = m.stats.snapshot();
+        assert!(d.slab_moves > 0, "moves run in the tick");
+        assert_eq!(d.maint_stall_cycles, 0, "tick work is not a serving stall");
+        t.exit();
+    }
+
+    #[test]
+    fn background_segment_tick_merges_proactively() {
+        let (mut eng, mut t) = segment_engine(1 << 20);
+        let m = Arc::clone(&t.machine);
+        eng.set_background(true);
+        m.reset_counters();
+        for i in 0..6000u32 {
+            let key = format!("key-{i:05}");
+            let value = vec![(i % 251) as u8; 200 + (i as usize % 200)];
+            eng.set(&mut t, key.as_bytes(), &value, 0, 1);
+            if i % 64 == 0 {
+                eng.fence(&mut t);
+                eng.maintenance_tick(&mut t);
+            }
+        }
+        let d = m.stats.snapshot();
+        assert!(d.bg_merges > 0, "the tick must merge proactively");
+        // Recent keys survive with correct bytes despite background
+        // compaction.
+        let mut present = 0;
+        for i in 5900..6000u32 {
+            let key = format!("key-{i:05}");
+            if let Some(v) = eng.get(&mut t, key.as_bytes()) {
+                assert_eq!(v, vec![(i % 251) as u8; 200 + (i as usize % 200)]);
+                present += 1;
+            }
+        }
+        assert!(present > 50, "recent keys should survive background merges");
         t.exit();
     }
 

@@ -141,15 +141,6 @@ impl Session {
         Self::with_state(master, [0u8; 16], SessionState::Established(0))
     }
 
-    /// Deprecated constructor kept for one release.
-    #[deprecated(
-        note = "use `Session::established` (pre-shared key) or `Session::handshake` (attested)"
-    )]
-    #[must_use]
-    pub fn new(key: [u8; 16]) -> Self {
-        Self::established(key)
-    }
-
     /// The enclave identity this session attests.
     #[must_use]
     pub fn identity(&self) -> [u8; 16] {
@@ -466,11 +457,6 @@ impl Session {
     }
 }
 
-/// Deprecated name for [`Session`], kept for one release so downstream
-/// code migrates on its own schedule.
-#[deprecated(note = "use `Session` — the wire codec now carries a full session lifecycle")]
-pub type Wire = Session;
-
 /// The wire codec *is* a sealer: each job is dispatched to the epoch
 /// key its nonce tag names, so both key epochs of an in-flight
 /// rotation open correctly in one batch. Unauthenticated (§5 wire
@@ -689,13 +675,5 @@ mod tests {
         assert_eq!(out, vec![b"epoch 2".to_vec()]);
         assert_eq!(m.stats.snapshot().auth_failures, 1);
         t.exit();
-    }
-
-    #[test]
-    fn deprecated_wire_shims_still_work() {
-        #[allow(deprecated)]
-        let w: &Wire = &Session::new([9u8; 16]);
-        let msg = w.encrypt(b"legacy call site");
-        assert_eq!(w.decrypt(&msg), b"legacy call site");
     }
 }

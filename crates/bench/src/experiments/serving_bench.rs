@@ -36,7 +36,7 @@
 //!   so yesterday's balance is today's imbalance.
 //!
 //! The skewed and churn shapes additionally run **balanced** cells at
-//! 2 and 4 shards: [`ServerIo::sharded_balanced`] with the default
+//! 2 and 4 shards: the balance layer with the default
 //! [`BalanceConfig`] (hot-connection re-pinning through a
 //! [`ShardMap`] plus sub-batch work stealing). Every cell carries the
 //! per-shard gauges (backlog, AIMD depth, steals, migrations,
@@ -50,13 +50,30 @@
 //! reaping only its owned shards. The steady fleet cells (replicas ∈
 //! {1, 2}) gauge the replication tax: replicas=2 must stay within a
 //! few percent busy cycles/op of the single-enclave baseline, since
-//! the work is the same and only the ownership partition changed. The
-//! **chaos** cell (replicas = 3) kills one replica at 50% of the run
-//! and respawns it at 75%: the JSON carries `lost_replies` (must be
-//! zero — host sockets outlive the enclave and the heir restores the
-//! victim's sealed snapshot before reaping its shards),
-//! `failover_cycles` / `recovery_cycles` (the fence protocol's cost on
-//! the serving core), and per-replica served-op counts.
+//! the work is the same and only the ownership partition changed.
+//!
+//! Two **chaos** cells (replicas = 3) kill one replica at 50% of the
+//! run and respawn it at 75%, with the kill fired *mid-backlog* so
+//! the outstanding requests see the failover window:
+//!
+//! - `kill-respawn` runs the fence synchronously: the victim's
+//!   snapshot and the heir's restore stall the serving cores, and the
+//!   stranded backlog's sojourn eats the whole fence.
+//! - `kill-respawn-bg` runs the maintenance plane
+//!   ([`FleetKvs::maintenance_tick`] on its own core): the bench
+//!   *mutes* the victim (stops pumping it) and the background failure
+//!   detector kills it off-path after `hb_miss_threshold` heartbeat-
+//!   less ticks; the respawn goes through
+//!   [`FleetKvs::request_rejoin`]. The snapshot/restore byte-work
+//!   lands on the maintenance core, so the stranded backlog resumes
+//!   as soon as the shards move — the failover-window p99 collapses
+//!   while busy cycles/op stays put.
+//!
+//! Both carry `lost_replies` (must be zero — host sockets outlive the
+//! enclave and the heir restores the victim's snapshot before reaping
+//! its shards), `failover_cycles` / `recovery_cycles` (serving-core
+//! fence cost, or maintenance-core cost for the background cell),
+//! `maint_chunks` / `hb_misses`, and per-replica served-op counts.
 //!
 //! # Session cells
 //!
@@ -73,7 +90,7 @@
 
 use std::sync::Arc;
 
-use eleos_apps::fleet_io::{FleetConfig, FleetKvs};
+use eleos_apps::fleet_io::{FleetConfig, FleetKvs, MaintenanceConfig};
 use eleos_apps::io::{BalanceConfig, ServerIo, ServerIoConfig};
 use eleos_apps::kvs::Kvs;
 use eleos_apps::loadgen::{shard_for, ChaosAction, ChaosPlan, ConnStream, KvsLoad, ShardMap};
@@ -117,6 +134,15 @@ const FLEET_SHARDS: usize = 4;
 /// Serving cores for the fleet cells: one per replica, avoiding the
 /// load-generator core (2) and the RPC worker cores (7..4).
 const FLEET_CORES: [usize; 3] = [0, 1, 3];
+/// Core the background maintenance plane runs on. It shares the
+/// load generator's core — never a serving core — which is safe
+/// because arrivals are stamped explicitly from [`FleetKvs::
+/// sync_clocks`] time, not from core 2's clock.
+const MAINT_CORE: usize = 2;
+/// Requests served between chaos-action checks inside a chunk's
+/// backlog — the kill fires with `CHUNK - PACE` requests outstanding,
+/// identically for the synchronous and background cells.
+const PACE: usize = 32;
 
 /// One measured cell of the sweep.
 struct Cell {
@@ -139,6 +165,10 @@ struct Cell {
     recovery_cycles: u64,
     /// Requests served per replica (empty for single-enclave cells).
     replica_ops: Vec<u64>,
+    /// Delta-snapshot chunks the maintenance plane streamed.
+    maint_chunks: u64,
+    /// Heartbeat misses the background failure detector counted.
+    hb_misses: u64,
     /// Session-key epoch rotations during the measured phase.
     rekeys: u64,
     /// Messages dropped unserved (revoked session or unknown epoch).
@@ -344,6 +374,8 @@ fn cell(
         failover_cycles: 0,
         recovery_cycles: 0,
         replica_ops: Vec::new(),
+        maint_chunks: d.maint_chunks,
+        hb_misses: d.hb_misses,
         rekeys: d.rekeys,
         auth_failures: d.auth_failures,
         ops,
@@ -364,19 +396,32 @@ fn cell(
 }
 
 /// Runs one fleet cell: `replicas` enclaves over [`FLEET_SHARDS`]
-/// shared sockets on the steady load, optionally with the
-/// kill-at-50% / respawn-at-75% chaos schedule.
+/// shared sockets on the steady load. `chaos` is `"none"`,
+/// `"kill-respawn"` (synchronous fence at the serving cores) or
+/// `"kill-respawn-bg"` (the maintenance plane's failure detector and
+/// rejoin queue, off the serving path); both chaos schedules fire the
+/// kill mid-backlog so the outstanding requests see the failover
+/// window.
 fn fleet_cell(
     scale: Scale,
     replicas: usize,
     policy: &str,
     cfg: ServerIoConfig,
-    chaos: bool,
+    chaos: &'static str,
     quick: bool,
 ) -> Cell {
+    let background = chaos == "kill-respawn-bg";
     let rig = Rig::with_workers(scale, Mode::EleosRpc, 4 << 20, false, WORKERS);
     let fds = rig.socket_set(FLEET_SHARDS);
     let sealer: Arc<dyn Sealer> = Arc::new(AesGcm128::new(&[0x2au8; 16]));
+    let mut fleet_cfg = FleetConfig::small(replicas).on_cores(&FLEET_CORES[..replicas]);
+    if background {
+        fleet_cfg = fleet_cfg.with_maintenance(MaintenanceConfig {
+            core: MAINT_CORE,
+            hb_miss_threshold: 3,
+            chunk_bytes: 32 << 10,
+        });
+    }
     let fk = FleetKvs::new(
         &rig.machine,
         &fds,
@@ -384,7 +429,7 @@ fn fleet_cell(
         rig.io_path(),
         Arc::clone(&rig.session),
         sealer,
-        FleetConfig::small(replicas).on_cores(&FLEET_CORES[..replicas]),
+        fleet_cfg,
         |ctx, kvs| {
             let g = KvsLoad::new(31, N_ITEMS, 16, 32);
             for i in 0..N_ITEMS {
@@ -407,7 +452,11 @@ fn fleet_cell(
             .push_request_at(&ut, fds[s], &wire.encrypt(&plain), stamp);
     };
     let ops = (scale.ops(if quick { 512 } else { 2048 }) / CHUNK * CHUNK).max(4 * CHUNK);
-    let mut plan = chaos.then(|| ChaosPlan::kill_respawn(replicas - 1, ops / 2, ops * 3 / 4));
+    // The marks land `PACE` requests into a chunk's drain, so the
+    // rest of the chunk is still outstanding when the action fires —
+    // identically for both chaos variants.
+    let mut plan = (chaos != "none")
+        .then(|| ChaosPlan::kill_respawn(replicas - 1, ops / 2 + PACE, ops * 3 / 4 + PACE));
     // Reaps every retained reply off the sockets (the host's tx log
     // is a bounded ring, so the client must keep up) and checks each
     // still authenticates — after a failover the heir serves under
@@ -420,49 +469,100 @@ fn fleet_cell(
             }
         }
     };
-    // Each chunk starts at a clock barrier: all replica cores idle
-    // forward to the stamping core's time, so per-op sojourn stays on
-    // one timebase and the run's span is the bottleneck core's path
-    // (replicas serve their shard slices concurrently).
-    let mut run_chunk = |n: usize, replies: &mut u64| {
+    // Warm-up; its replies are reaped and discarded so the lost-reply
+    // count covers exactly the measured phase. Each chunk starts at a
+    // clock barrier: all replica cores idle forward to the stamping
+    // core's time, so per-op sojourn stays on one timebase and the
+    // run's span is the bottleneck core's path (replicas serve their
+    // shard slices concurrently).
+    let mut warmup_replies = 0u64;
+    {
         let now = fk.sync_clocks();
-        for _ in 0..n {
+        for _ in 0..CHUNK {
             push(now);
         }
         let mut done = 0usize;
-        while done < n {
+        while done < CHUNK {
             let got = fk.pump();
             assert!(got > 0, "queued requests must be served");
             done += got;
-            reap_replies(replies);
+            reap_replies(&mut warmup_replies);
         }
-    };
-    // Warm-up; its replies are reaped and discarded so the lost-reply
-    // count covers exactly the measured phase.
-    let mut warmup_replies = 0u64;
-    run_chunk(CHUNK, &mut warmup_replies);
+    }
     fk.flush();
     reap_replies(&mut warmup_replies);
     rig.machine.reset_counters();
     let t0 = fk.sync_clocks();
     let (mut failover_cycles, mut recovery_cycles) = (0u64, 0u64);
     let mut replies = 0u64;
+    // Replicas the chaos schedule has muted: the bench stops pumping
+    // them, their heartbeat stalls, and the background failure
+    // detector fails them over — the kill reaches the fleet through
+    // the plane, not the load loop.
+    let mut muted: Vec<usize> = Vec::new();
     let mut pushed = 0usize;
     while pushed < ops {
         let c = (ops - pushed).min(CHUNK);
-        run_chunk(c, &mut replies);
+        let now = fk.sync_clocks();
+        for _ in 0..c {
+            push(now);
+        }
+        let base = pushed;
         pushed += c;
-        if let Some(p) = &mut plan {
-            for action in p.take_due(pushed) {
-                match action {
-                    ChaosAction::Kill(v) => failover_cycles += fk.kill(v).cycles,
-                    ChaosAction::Respawn(v) => recovery_cycles += fk.respawn(v).cycles,
+        let mut done = 0usize;
+        let mut stuck = 0u32;
+        while done < c {
+            if let Some(p) = &mut plan {
+                for action in p.take_due(base + done) {
+                    match action {
+                        ChaosAction::Kill(v) => {
+                            if background {
+                                muted.push(v);
+                            } else {
+                                failover_cycles += fk.kill(v).cycles;
+                            }
+                        }
+                        ChaosAction::Respawn(v) => {
+                            if background {
+                                muted.retain(|&r| r != v);
+                                fk.request_rejoin(v);
+                            } else {
+                                recovery_cycles += fk.respawn(v).cycles;
+                            }
+                        }
+                    }
                 }
             }
+            let got: usize = (0..replicas)
+                .filter(|r| !muted.contains(r))
+                .map(|r| fk.pump_replica(r))
+                .sum();
+            done += got;
+            reap_replies(&mut replies);
+            if got == 0 {
+                // The rest of the backlog sits on the muted victim's
+                // shards: only a maintenance tick (detector kill +
+                // shard handoff) can unstick it.
+                assert!(background, "queued requests must be served");
+                stuck += 1;
+                assert!(stuck < 1024, "backlog stuck without maintenance progress");
+                fk.maintenance_tick();
+            } else {
+                stuck = 0;
+            }
+        }
+        if background {
+            // Steady-state plane cadence: one tick per chunk keeps
+            // the delta rounds streaming and queued rejoins timely.
+            fk.maintenance_tick();
         }
     }
     fk.flush();
     reap_replies(&mut replies);
+    if background {
+        failover_cycles = fk.auto_failover_cycles();
+        recovery_cycles = fk.auto_recovery_cycles();
+    }
     // Barrier again so busy covers the slowest replica's path: with
     // per-replica cores the fleet's wall-clock is the bottleneck core.
     let busy = fk.sync_clocks() - t0;
@@ -474,7 +574,7 @@ fn fleet_cell(
         load: "steady",
         balance: "static",
         replicas,
-        chaos: if chaos { "kill-respawn" } else { "none" },
+        chaos,
         lost_replies: ops as u64 - replies,
         failover_cycles,
         recovery_cycles,
@@ -485,6 +585,8 @@ fn fleet_cell(
                     .sum()
             })
             .collect(),
+        maint_chunks: d.maint_chunks,
+        hb_misses: d.hb_misses,
         rekeys: d.rekeys,
         auth_failures: d.auth_failures,
         ops,
@@ -588,6 +690,8 @@ fn rekey_cell(scale: Scale, chaos: &'static str, interval: Option<u64>, quick: b
         failover_cycles: 0,
         recovery_cycles: 0,
         replica_ops: Vec::new(),
+        maint_chunks: d.maint_chunks,
+        hb_misses: d.hb_misses,
         rekeys: d.rekeys,
         auth_failures: d.auth_failures,
         ops,
@@ -761,6 +865,8 @@ fn revoke_cell(scale: Scale, quick: bool) -> Cell {
         failover_cycles: 0,
         recovery_cycles: 0,
         replica_ops: vec![a_pushed, b_served],
+        maint_chunks: d.maint_chunks,
+        hb_misses: d.hb_misses,
         rekeys: d.rekeys,
         auth_failures: d.auth_failures,
         ops: pushed,
@@ -863,8 +969,13 @@ pub fn run(scale: Scale, quick: bool) {
         if !matches!(policy.as_str(), "fixed-8" | "adaptive") {
             continue;
         }
-        for (replicas, chaos) in [(1usize, false), (2, false), (3, true)] {
-            if chaos && policy != "adaptive" {
+        for (replicas, chaos) in [
+            (1usize, "none"),
+            (2, "none"),
+            (3, "kill-respawn"),
+            (3, "kill-respawn-bg"),
+        ] {
+            if chaos != "none" && policy != "adaptive" {
                 continue;
             }
             let c = fleet_cell(scale, replicas, &policy, cfg.clone(), chaos, quick);
@@ -880,10 +991,17 @@ pub fn run(scale: Scale, quick: bool) {
                 c.failover_cycles,
                 c.recovery_cycles,
             );
-            assert_eq!(
-                c.lost_replies, 0,
-                "a fence-paced failover must not lose replies"
-            );
+            assert_eq!(c.lost_replies, 0, "a failover must not lose replies");
+            if chaos == "kill-respawn-bg" {
+                assert!(
+                    c.maint_chunks > 0,
+                    "the maintenance plane must stream delta chunks"
+                );
+                assert!(
+                    c.hb_misses > 0,
+                    "the failure detector must observe the muted victim"
+                );
+            }
             cells.push(c);
         }
     }
@@ -948,7 +1066,8 @@ pub fn run(scale: Scale, quick: bool) {
              \"balance\": \"{}\", \"replicas\": {}, \"chaos\": \"{}\", \"ops\": {}, \
              \"busy_cycles_per_op\": {:.1}, \"throughput_ops_s\": {:.1}, \
              \"lost_replies\": {}, \"failover_cycles\": {}, \"recovery_cycles\": {}, \
-             \"replica_ops\": {}, \"rekeys\": {}, \"auth_failures\": {}, \
+             \"replica_ops\": {}, \"maint_chunks\": {}, \"hb_misses\": {}, \
+             \"rekeys\": {}, \"auth_failures\": {}, \
              \"sojourn_p50\": {}, \"sojourn_p95\": {}, \"sojourn_p99\": {}, \
              \"sojourn_count\": {}, \"rpc_batches\": {}, \
              \"shard_backlog\": {}, \"shard_depth\": {}, \
@@ -967,6 +1086,8 @@ pub fn run(scale: Scale, quick: bool) {
             c.failover_cycles,
             c.recovery_cycles,
             json_array(&c.replica_ops),
+            c.maint_chunks,
+            c.hb_misses,
             c.rekeys,
             c.auth_failures,
             c.sojourn_p50,

@@ -15,6 +15,14 @@
 //!   simulated think time between ops: the segment store reclaims
 //!   whole expired segments at fences and keeps the op path free of
 //!   LRU pointer maintenance.
+//!
+//! The `slab-rebal-bg` and `segment-bg` engines run the same configs
+//! in **background mode**: serving-path fences only publish counters,
+//! and the relocation/merge byte-work runs in
+//! [`Kvs::maintenance_tick`] on a second core after each fence. Each
+//! cell carries `maint_stall_cycles` (serving-core cycles stalled in
+//! fence byte-work — must be ~0 for the background engines) and
+//! `bg_merges` (proactive segment merges the tick performed).
 
 use std::sync::Arc;
 
@@ -31,6 +39,9 @@ use crate::harness::{header, Scale};
 const REFILL_CYCLES: u64 = 15_000;
 /// Ops per sub-batch fence (the serving loop's batch size).
 const FENCE_EVERY: usize = 64;
+/// Core the background engines' maintenance ticks run on (the serving
+/// thread is on core 0).
+const MAINT_CORE: usize = 1;
 
 /// Deterministic xorshift64* stream.
 struct Rng(u64);
@@ -55,32 +66,66 @@ struct Cell {
     expired: u64,
     slab_moves: u64,
     seg_merges: u64,
+    /// Serving-core cycles stalled in fence-synchronous byte-work
+    /// (~0 for the background engines — that is their whole point).
+    maint_stall: u64,
+    /// Proactive segment merges the background tick performed.
+    bg_merges: u64,
     refills: u64,
     items_end: u64,
 }
 
-fn engines() -> Vec<(&'static str, EngineConfig)> {
+/// `(label, config, background)` — the background entries run the
+/// same engine configs with the byte-work moved off the fence.
+fn engines() -> Vec<(&'static str, EngineConfig, bool)> {
+    let rebal = EngineConfig::Slab {
+        rebalance: Some(RebalanceConfig::default()),
+    };
+    let seg = EngineConfig::Segment(SegmentConfig::default());
     vec![
-        ("slab-static", EngineConfig::Slab { rebalance: None }),
-        (
-            "slab-rebal",
-            EngineConfig::Slab {
-                rebalance: Some(RebalanceConfig::default()),
-            },
-        ),
-        ("segment", EngineConfig::Segment(SegmentConfig::default())),
+        ("slab-static", EngineConfig::Slab { rebalance: None }, false),
+        ("slab-rebal", rebal.clone(), false),
+        ("slab-rebal-bg", rebal, true),
+        ("segment", seg.clone(), false),
+        ("segment-bg", seg, true),
     ]
 }
 
-fn rig(mem_limit: u64, cfg: &EngineConfig) -> (Arc<SgxMachine>, ThreadCtx, Kvs) {
+/// Builds the serving thread plus, for background engines, an entered
+/// maintenance thread on [`MAINT_CORE`].
+fn rig(
+    mem_limit: u64,
+    cfg: &EngineConfig,
+    background: bool,
+) -> (Arc<SgxMachine>, ThreadCtx, Kvs, Option<ThreadCtx>) {
     let m = SgxMachine::new(MachineConfig::scaled(8));
     let space = DataSpace::Untrusted(Arc::clone(&m));
-    let kvs = Kvs::with_engine(space.clone(), space, mem_limit, 4096, cfg);
+    let mut kvs = Kvs::with_engine(space.clone(), space, mem_limit, 4096, cfg);
     let e = m.driver.create_enclave(&m, 1 << 20);
     let mut t = ThreadCtx::for_enclave(&m, &e, 0);
     t.enter();
     kvs.init(&mut t);
-    (m, t, kvs)
+    let mt = background.then(|| {
+        kvs.set_background(true);
+        let mut mt = ThreadCtx::for_enclave(&m, &e, MAINT_CORE);
+        mt.enter();
+        mt
+    });
+    (m, t, kvs, mt)
+}
+
+/// One background pass after a serving-path fence: the maintenance
+/// core first idles forward to the serving core's time (its clock
+/// only moves when ticks run, and segment expiry reads the clock),
+/// then runs the engine byte-work off-core.
+fn bg_tick(m: &SgxMachine, t: &ThreadCtx, kvs: &mut Kvs, mt: &mut Option<ThreadCtx>) {
+    let Some(mt) = mt.as_mut() else { return };
+    let clock = &m.core(MAINT_CORE).clock;
+    let now = t.now();
+    if now > clock.now() {
+        clock.advance(now - clock.now());
+    }
+    kvs.maintenance_tick(mt);
 }
 
 /// Measured-window totals a workload hands to [`finish`].
@@ -97,8 +142,12 @@ fn finish(
     m: &SgxMachine,
     kvs: &Kvs,
     mut t: ThreadCtx,
+    mt: Option<ThreadCtx>,
 ) -> Cell {
     let d = m.stats.snapshot();
+    if let Some(mut mt) = mt {
+        mt.exit();
+    }
     t.exit();
     let Run { ops, busy, refills } = run;
     Cell {
@@ -110,6 +159,8 @@ fn finish(
         expired: kvs.expired(),
         slab_moves: d.slab_moves,
         seg_merges: d.seg_merges,
+        maint_stall: d.maint_stall_cycles,
+        bg_merges: d.bg_merges,
         refills,
         items_end: kvs.len(),
     }
@@ -119,11 +170,11 @@ fn finish(
 /// calcifies the pool, then the write mix switches to ~1.2 KiB values
 /// with reads over a recency window larger than what the calcified
 /// layout leaves the new class.
-fn run_shifting(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
+fn run_shifting(name: &'static str, cfg: &EngineConfig, background: bool, ops: usize) -> Cell {
     const A_ITEMS: u64 = 35_000;
     const WARMUP_WRITES: u64 = 2_500;
     const WINDOW: u64 = 2_000;
-    let (m, mut t, mut kvs) = rig(8 << 20, cfg);
+    let (m, mut t, mut kvs, mut mt) = rig(8 << 20, cfg, background);
     for i in 0..A_ITEMS {
         kvs.set(&mut t, format!("a-{i}").as_bytes(), &[0x11u8; 160]);
     }
@@ -142,6 +193,7 @@ fn run_shifting(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
         }
         if wrote.is_multiple_of(FENCE_EVERY as u64) {
             kvs.fence(&mut t);
+            bg_tick(&m, &t, &mut kvs, &mut mt);
         }
     }
     // No counter reset: slab moves earned during the warm-up shift are
@@ -170,18 +222,27 @@ fn run_shifting(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
         }
         if (i + 1) % FENCE_EVERY == 0 {
             kvs.fence(&mut t);
+            bg_tick(&m, &t, &mut kvs, &mut mt);
         }
     }
     let busy = t.now() - t0;
-    finish("shifting", name, Run { ops, busy, refills }, &m, &kvs, t)
+    finish(
+        "shifting",
+        name,
+        Run { ops, busy, refills },
+        &m,
+        &kvs,
+        t,
+        mt,
+    )
 }
 
 /// A stable skewed read mix over a working set inside the memory
 /// limit — the tie cell; no engine has leverage.
-fn run_skewed(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
+fn run_skewed(name: &'static str, cfg: &EngineConfig, background: bool, ops: usize) -> Cell {
     const N: u64 = 6_000;
     let value_of = |i: u64| vec![(i % 251) as u8; 100 + (i as usize % 7) * 90];
-    let (m, mut t, mut kvs) = rig(8 << 20, cfg);
+    let (m, mut t, mut kvs, mut mt) = rig(8 << 20, cfg, background);
     for i in 0..N {
         kvs.set(&mut t, format!("s-{i}").as_bytes(), &value_of(i));
     }
@@ -201,20 +262,21 @@ fn run_skewed(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
         }
         if (i + 1) % FENCE_EVERY == 0 {
             kvs.fence(&mut t);
+            bg_tick(&m, &t, &mut kvs, &mut mt);
         }
     }
     let busy = t.now() - t0;
-    finish("skewed", name, Run { ops, busy, refills }, &m, &kvs, t)
+    finish("skewed", name, Run { ops, busy, refills }, &m, &kvs, t, mt)
 }
 
 /// Short-TTL cache traffic under a tight pool, with think time
 /// advancing the simulated clock so deadlines actually pass mid-run.
-fn run_ttl(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
+fn run_ttl(name: &'static str, cfg: &EngineConfig, background: bool, ops: usize) -> Cell {
     const WINDOW: u64 = 500;
     /// Simulated client think time per op: moves the clock so the
     /// 2-9 s TTLs lapse during the run, even at `--quick` op counts.
     const THINK_CYCLES: u64 = 30_000_000;
-    let (m, mut t, mut kvs) = rig(1 << 20, cfg);
+    let (m, mut t, mut kvs, mut mt) = rig(1 << 20, cfg, background);
     m.reset_counters();
     let mut rng = Rng(0x5eed_0003);
     let mut refills = 0u64;
@@ -238,12 +300,13 @@ fn run_ttl(name: &'static str, cfg: &EngineConfig, ops: usize) -> Cell {
         }
         if (i + 1) % FENCE_EVERY == 0 {
             kvs.fence(&mut t);
+            bg_tick(&m, &t, &mut kvs, &mut mt);
         }
         busy += t.now() - op_start;
         // Think time is idle, not busy: charged to the clock only.
         t.compute(THINK_CYCLES);
     }
-    finish("ttl", name, Run { ops, busy, refills }, &m, &kvs, t)
+    finish("ttl", name, Run { ops, busy, refills }, &m, &kvs, t, mt)
 }
 
 /// Runs engines x workloads, prints a table, writes
@@ -256,7 +319,7 @@ pub fn run(scale: Scale, quick: bool) {
     );
     let ops = scale.ops(if quick { 8_000 } else { 24_000 });
     println!(
-        "   {:<9} {:<12} {:>8} {:>10} {:>9} {:>9} {:>6} {:>7} {:>8} {:>9}",
+        "   {:<9} {:<14} {:>8} {:>10} {:>9} {:>9} {:>6} {:>7} {:>10} {:>7} {:>8} {:>9}",
         "cell",
         "engine",
         "ops",
@@ -265,21 +328,23 @@ pub fn run(scale: Scale, quick: bool) {
         "expired",
         "moves",
         "merges",
+        "stall",
+        "bgmerge",
         "refills",
         "items"
     );
     let mut cells: Vec<Cell> = Vec::new();
-    type Runner = fn(&'static str, &EngineConfig, usize) -> Cell;
+    type Runner = fn(&'static str, &EngineConfig, bool, usize) -> Cell;
     let workloads: [(&str, Runner); 3] = [
         ("shifting", run_shifting),
         ("skewed", run_skewed),
         ("ttl", run_ttl),
     ];
     for (_, runner) in workloads {
-        for (name, cfg) in engines() {
-            let c = runner(name, &cfg, ops);
+        for (name, cfg, background) in engines() {
+            let c = runner(name, &cfg, background, ops);
             println!(
-                "   {:<9} {:<12} {:>8} {:>10.0} {:>9} {:>9} {:>6} {:>7} {:>8} {:>9}",
+                "   {:<9} {:<14} {:>8} {:>10.0} {:>9} {:>9} {:>6} {:>7} {:>10} {:>7} {:>8} {:>9}",
                 c.cell,
                 c.engine,
                 c.ops,
@@ -288,9 +353,17 @@ pub fn run(scale: Scale, quick: bool) {
                 c.expired,
                 c.slab_moves,
                 c.seg_merges,
+                c.maint_stall,
+                c.bg_merges,
                 c.refills,
                 c.items_end
             );
+            if background {
+                assert_eq!(
+                    c.maint_stall, 0,
+                    "background engines must not stall serving fences"
+                );
+            }
             cells.push(c);
         }
     }
@@ -305,8 +378,9 @@ pub fn run(scale: Scale, quick: bool) {
         json.push_str(&format!(
             "    {{ \"cell\": \"{}\", \"engine\": \"{}\", \"ops\": {}, \
              \"busy_cpo\": {:.1}, \"evictions\": {}, \"expired\": {}, \
-             \"slab_moves\": {}, \"seg_merges\": {}, \"refills\": {}, \
-             \"items_end\": {} }}{}\n",
+             \"slab_moves\": {}, \"seg_merges\": {}, \
+             \"maint_stall_cycles\": {}, \"bg_merges\": {}, \
+             \"refills\": {}, \"items_end\": {} }}{}\n",
             c.cell,
             c.engine,
             c.ops,
@@ -315,6 +389,8 @@ pub fn run(scale: Scale, quick: bool) {
             c.expired,
             c.slab_moves,
             c.seg_merges,
+            c.maint_stall,
+            c.bg_merges,
             c.refills,
             c.items_end,
             if i + 1 < cells.len() { "," } else { "" }

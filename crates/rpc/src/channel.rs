@@ -175,6 +175,93 @@ impl EnclaveChannel {
         inner.used -= msg.len;
         Some((msg.kind, bytes))
     }
+
+    /// Stages `payload` as a bounded chunked transfer: one `begin_kind`
+    /// descriptor message carrying `header` plus the transfer geometry,
+    /// then `ceil(len / chunk_bytes)` `chunk_kind` messages. The fleet
+    /// maintenance plane uses this to stream delta snapshots while the
+    /// ring stays bounded at `chunk_bytes` granularity. Each chunk pays
+    /// the usual staged-traffic charges plus the fixed `maint_chunk`
+    /// descriptor bookkeeping, and bumps the `maint_chunks` stat.
+    ///
+    /// Returns the number of chunks staged (zero-length payloads stage
+    /// a single empty chunk so the receiver's framing stays uniform).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`EnclaveChannel::send`],
+    /// or when `chunk_bytes` is zero.
+    pub fn send_chunked(
+        &self,
+        ctx: &mut ThreadCtx,
+        begin_kind: u8,
+        chunk_kind: u8,
+        header: &[u8],
+        payload: &[u8],
+        chunk_bytes: usize,
+    ) -> u32 {
+        assert!(
+            chunk_bytes > 0,
+            "chunked transfers need a positive chunk size"
+        );
+        let nchunks = payload.len().div_ceil(chunk_bytes).max(1);
+        let mut begin = Vec::with_capacity(header.len() + 16);
+        begin.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        begin.extend_from_slice(header);
+        begin.extend_from_slice(&(nchunks as u32).to_le_bytes());
+        begin.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.send(ctx, begin_kind, &begin);
+        for chunk in payload.chunks(chunk_bytes) {
+            self.send(ctx, chunk_kind, chunk);
+            ctx.compute(self.machine.cfg.costs.maint_chunk);
+            Stats::bump(&self.machine.stats.maint_chunks);
+        }
+        if payload.is_empty() {
+            self.send(ctx, chunk_kind, &[]);
+            ctx.compute(self.machine.cfg.costs.maint_chunk);
+            Stats::bump(&self.machine.stats.maint_chunks);
+        }
+        nchunks as u32
+    }
+
+    /// Reaps one chunked transfer staged with
+    /// [`EnclaveChannel::send_chunked`], reassembling the payload.
+    /// Returns `None` when the ring is empty; the `(header, payload)`
+    /// pair otherwise.
+    ///
+    /// # Panics
+    /// Panics when the front of the ring is not a well-formed transfer
+    /// (wrong kinds or a truncated chunk sequence) — interleaving
+    /// other traffic into an in-flight transfer is an orchestration
+    /// bug, exactly like ring overflow.
+    pub fn recv_chunked(
+        &self,
+        ctx: &mut ThreadCtx,
+        begin_kind: u8,
+        chunk_kind: u8,
+    ) -> Option<(Vec<u8>, Vec<u8>)> {
+        let (kind, begin) = self.recv(ctx)?;
+        assert_eq!(kind, begin_kind, "expected a chunked-transfer descriptor");
+        let hlen = u32::from_le_bytes(begin[..4].try_into().expect("framing")) as usize;
+        let header = begin[4..4 + hlen].to_vec();
+        let nchunks = u32::from_le_bytes(begin[4 + hlen..8 + hlen].try_into().expect("framing"));
+        let total = u64::from_le_bytes(begin[8 + hlen..16 + hlen].try_into().expect("framing"));
+        let mut payload = Vec::with_capacity(total as usize);
+        for _ in 0..nchunks {
+            let (kind, chunk) = self.recv(ctx).expect("truncated chunked transfer");
+            assert_eq!(
+                kind, chunk_kind,
+                "foreign message inside a chunked transfer"
+            );
+            payload.extend_from_slice(&chunk);
+            ctx.compute(self.machine.cfg.costs.maint_chunk);
+        }
+        assert_eq!(
+            payload.len() as u64,
+            total,
+            "chunked transfer length mismatch"
+        );
+        Some((header, payload))
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +334,31 @@ mod tests {
         assert!(ta.now() > before, "even a bare signal pays its descriptor");
         assert_eq!(ch.recv(&mut tb), Some((9, Vec::new())));
         assert_eq!(m.stats.snapshot().xchan_bytes, 0);
+    }
+
+    #[test]
+    fn chunked_transfers_bound_the_ring_and_reassemble() {
+        let (m, mut ta, mut tb) = rig();
+        let ch = EnclaveChannel::new(&m, 8 << 10);
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+        let n = ch.send_chunked(&mut ta, 4, 5, b"hdr", &payload, 2048);
+        assert_eq!(n, 3);
+        assert_eq!(m.stats.snapshot().maint_chunks, 3);
+        let (hdr, got) = ch.recv_chunked(&mut tb, 4, 5).expect("staged");
+        assert_eq!(hdr, b"hdr");
+        assert_eq!(got, payload);
+        assert_eq!(ch.pending(), 0);
+    }
+
+    #[test]
+    fn chunked_transfer_of_an_empty_payload_round_trips() {
+        let (m, mut ta, mut tb) = rig();
+        let ch = EnclaveChannel::new(&m, 1024);
+        let n = ch.send_chunked(&mut ta, 4, 5, b"epoch", &[], 256);
+        assert_eq!(n, 1);
+        let (hdr, got) = ch.recv_chunked(&mut tb, 4, 5).expect("staged");
+        assert_eq!(hdr, b"epoch");
+        assert!(got.is_empty());
     }
 
     #[test]

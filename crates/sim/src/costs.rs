@@ -152,6 +152,20 @@ pub struct CostModel {
     /// victims, recycling segment frames) on top of the simulated
     /// copies of surviving items.
     pub seg_merge: u64,
+
+    // --- Background maintenance plane (off the serving path) ---
+    /// One failure-detector heartbeat probe: reading a replica's pump
+    /// counter and comparing it against the last observation — a pair
+    /// of uncontended cache-line loads plus the branch.
+    pub maint_heartbeat: u64,
+    /// Fixed descriptor/reassembly bookkeeping per delta-snapshot
+    /// chunk staged on (or reaped off) the cross-enclave channel, on
+    /// top of the charged untrusted-memory traffic.
+    pub maint_chunk: u64,
+    /// Per-item bookkeeping of the copy-on-write delta scan (stamp
+    /// compare + log append) on top of the data-space reads, which are
+    /// charged like any other access.
+    pub snapshot_delta_item: u64,
 }
 
 impl Default for CostModel {
@@ -199,6 +213,10 @@ impl Default for CostModel {
 
             slab_move: 300,
             seg_merge: 900,
+
+            maint_heartbeat: 40,
+            maint_chunk: 250,
+            snapshot_delta_item: 30,
         }
     }
 }

@@ -558,6 +558,16 @@ stats! {
     seg_expired_segments,
     /// Items dropped because their TTL deadline passed (lazy get-side expiry plus segment expiry sweeps).
     expired_items,
+    /// Delta-snapshot chunks carried over the cross-enclave channel by the maintenance plane.
+    maint_chunks,
+    /// Serving-core cycles stalled inside fence-synchronous maintenance (slab moves, segment expiry/merges, fleet snapshot+restore); ~0 when the background maintenance plane runs the byte-work off-core.
+    maint_stall_cycles,
+    /// Items carried by incremental (delta) snapshots streamed by the maintenance plane.
+    snapshot_delta_items,
+    /// Segment-store merge passes run off the serving path by the background maintenance tick.
+    bg_merges,
+    /// Heartbeat ticks that found a replica's pump counter stalled (failure-detector evidence).
+    hb_misses,
 }
 
 impl Stats {
@@ -655,6 +665,11 @@ impl StatsSnapshot {
         put("seg_merges", self.seg_merges);
         put("seg_expired", self.seg_expired_segments);
         put("expired", self.expired_items);
+        put("maint_chunks", self.maint_chunks);
+        put("maint_stall", self.maint_stall_cycles);
+        put("delta_items", self.snapshot_delta_items);
+        put("bg_merges", self.bg_merges);
+        put("hb_misses", self.hb_misses);
         if self.sojourn.count() > 0 {
             parts.push(format!(
                 "sojourn_p50={} sojourn_p95={} sojourn_p99={}",

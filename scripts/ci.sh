@@ -91,7 +91,8 @@ import itertools, json, sys
 cells = json.load(open("BENCH_storage.json"))["cells"]
 by = {(c["cell"], c["engine"]): c for c in cells}
 for key in itertools.product(
-    ("shifting", "skewed", "ttl"), ("slab-static", "slab-rebal", "segment")
+    ("shifting", "skewed", "ttl"),
+    ("slab-static", "slab-rebal", "slab-rebal-bg", "segment", "segment-bg"),
 ):
     if key not in by:
         sys.exit(f"BENCH_storage.json missing cell {key}")
@@ -111,6 +112,41 @@ if rebal["slab_moves"] == 0:
 if static["slab_moves"] != 0:
     sys.exit("shifting: the static engine moved slabs")
 
+# Background maintenance: the fence-synchronous rebalancer stalls the
+# serving core for its relocation byte-work; the background engine
+# does the same moves from maintenance ticks on another core, so its
+# serving-path stall is zero and its busy cycles/op match the
+# synchronous engine's within noise.
+bg = by[("shifting", "slab-rebal-bg")]
+if rebal["maint_stall_cycles"] == 0:
+    sys.exit("shifting: the synchronous rebalancer recorded no fence stall")
+if bg["maint_stall_cycles"] != 0:
+    sys.exit(
+        f"shifting: background rebalancer stalled the serving path "
+        f"{bg['maint_stall_cycles']} cycles"
+    )
+if bg["slab_moves"] == 0:
+    sys.exit("shifting: the background rebalancer never moved a slab")
+if bg["busy_cpo"] > rebal["busy_cpo"] * 1.02:
+    sys.exit(
+        f"shifting: background rebalancer busy c/op {bg['busy_cpo']:.0f} more "
+        f"than 2% over the synchronous engine {rebal['busy_cpo']:.0f}"
+    )
+segbg = by[("shifting", "segment-bg")]
+seg_sync = by[("shifting", "segment")]
+if segbg["maint_stall_cycles"] != 0:
+    sys.exit(
+        f"shifting: background segment store stalled the serving path "
+        f"{segbg['maint_stall_cycles']} cycles"
+    )
+if segbg["bg_merges"] == 0:
+    sys.exit("shifting: the background segment store never merged proactively")
+if segbg["busy_cpo"] >= seg_sync["busy_cpo"]:
+    sys.exit(
+        f"shifting: background segment busy c/op {segbg['busy_cpo']:.0f} does "
+        f"not beat the fence-synchronous store {seg_sync['busy_cpo']:.0f}"
+    )
+
 # TTL-heavy traffic: the segment store reclaims whole expired segments
 # at fences and must beat the static slab engine on busy cycles/op.
 seg = by[("ttl", "segment")]
@@ -126,7 +162,9 @@ print(
     f"   {len(cells)} cells, rebalancer beats static slabs under the size "
     f"shift ({rebal['busy_cpo']:.0f} vs {static['busy_cpo']:.0f} c/op), "
     f"segment store beats slabs under TTL churn "
-    f"({seg['busy_cpo']:.0f} vs {slab['busy_cpo']:.0f} c/op)"
+    f"({seg['busy_cpo']:.0f} vs {slab['busy_cpo']:.0f} c/op), background "
+    f"maintenance keeps the serving-path stall at 0 "
+    f"(sync rebalance stalled {rebal['maint_stall_cycles']} cycles)"
 )
 EOF
 
@@ -227,14 +265,16 @@ for load, shards in itertools.product(("skewed", "churn"), (2, 4)):
             f"{load} shards={shards}: balanced p99 {bal['sojourn_p99']} "
             f"exceeds static p99 {st['sojourn_p99']}"
         )
-# Fleet cells: the replicas axis on steady load plus the chaos cell
-# (kill 1 of 3 at 50% of the run, respawn at 75%).
+# Fleet cells: the replicas axis on steady load plus the two chaos
+# cells (kill 1 of 3 mid-backlog at 50% of the run, respawn at 75% —
+# synchronous fence vs the background maintenance plane).
 for key in [
     ("fixed-8", 1, "none"),
     ("fixed-8", 2, "none"),
     ("adaptive", 1, "none"),
     ("adaptive", 2, "none"),
     ("adaptive", 3, "kill-respawn"),
+    ("adaptive", 3, "kill-respawn-bg"),
 ]:
     c = fleet.get(key)
     if c is None:
@@ -260,15 +300,45 @@ for policy in ("fixed-8", "adaptive"):
             f"5% over the single-enclave baseline {one:.0f}"
         )
 
-# Chaos cell: the fence protocols ran, and each stayed under the
-# recovery budget (the measured run's own busy span).
-chaos = fleet[("adaptive", 3, "kill-respawn")]
-budget = chaos["busy_cycles_per_op"] * chaos["ops"]
-for fence in ("failover_cycles", "recovery_cycles"):
-    if not 0 < chaos[fence] < budget:
-        sys.exit(
-            f"chaos cell {fence} {chaos[fence]} outside (0, {budget:.0f}) budget"
-        )
+# Chaos cells: the fence protocols ran, and each stayed under the
+# recovery budget. The budget is the *synchronous* cell's busy span
+# for both labels: the sync fences run inside that span by
+# construction, and the background plane's maintenance-core cycles
+# replace that on-path work, so they must stay the same magnitude —
+# the bg cell's own (smaller, that is the win) span is not the bound.
+budget = (
+    fleet[("adaptive", 3, "kill-respawn")]["busy_cycles_per_op"]
+    * fleet[("adaptive", 3, "kill-respawn")]["ops"]
+)
+for label in ("kill-respawn", "kill-respawn-bg"):
+    chaos = fleet[("adaptive", 3, label)]
+    for fence in ("failover_cycles", "recovery_cycles"):
+        if not 0 < chaos[fence] < budget:
+            sys.exit(
+                f"{label} cell {fence} {chaos[fence]} outside (0, {budget:.0f}) budget"
+            )
+
+# Background maintenance plane: the kill/respawn byte-work runs on the
+# maintenance core, so the stranded backlog's failover-window p99
+# collapses (at least 2x lower than the synchronous fence) while busy
+# cycles/op stays at or below the synchronous cell's. The plane must
+# actually have run: delta chunks streamed, heartbeat misses observed.
+sync_chaos = fleet[("adaptive", 3, "kill-respawn")]
+bg_chaos = fleet[("adaptive", 3, "kill-respawn-bg")]
+if bg_chaos["maint_chunks"] == 0:
+    sys.exit("kill-respawn-bg streamed no delta chunks")
+if bg_chaos["hb_misses"] == 0:
+    sys.exit("kill-respawn-bg observed no heartbeat misses")
+if bg_chaos["sojourn_p99"] > sync_chaos["sojourn_p99"] * 0.5:
+    sys.exit(
+        f"background chaos p99 {bg_chaos['sojourn_p99']} not at least 2x below "
+        f"the synchronous fence's {sync_chaos['sojourn_p99']}"
+    )
+if bg_chaos["busy_cycles_per_op"] > sync_chaos["busy_cycles_per_op"]:
+    sys.exit(
+        f"background chaos busy cycles/op {bg_chaos['busy_cycles_per_op']:.0f} "
+        f"exceeds the synchronous cell's {sync_chaos['busy_cycles_per_op']:.0f}"
+    )
 
 # Session cells: the rekey sweep on the steady/adaptive/1-shard
 # baseline plus the two-session revocation chaos cell.
@@ -323,8 +393,10 @@ if rv["auth_failures"] == 0:
 print(
     f"   {len(cells)} cells, adaptive rides burst throughput and trickle tail "
     f"latency, balance beats static pinning under skew, replicas=2 within 5% "
-    f"of single-enclave, chaos cell lost 0 replies, rekey-inf within 2% of "
-    f"the static-key baseline, revocation spares the surviving session"
+    f"of single-enclave, chaos cells lost 0 replies, background maintenance "
+    f"cuts the failover-window p99 {sync_chaos['sojourn_p99'] / max(bg_chaos['sojourn_p99'], 1):.1f}x, "
+    f"rekey-inf within 2% of the static-key baseline, revocation spares the "
+    f"surviving session"
 )
 EOF
 

@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use eleos::apps::fleet_io::{FleetConfig, FleetKvs};
+use eleos::apps::fleet_io::{FleetConfig, FleetKvs, MaintenanceConfig};
 use eleos::apps::io::{IoPath, ServerIoConfig};
 use eleos::apps::kvs::{build_get, build_set, Kvs};
 use eleos::apps::loadgen::attest_session;
@@ -68,6 +68,12 @@ fn rig(replicas: usize) -> FleetRig {
 /// the chaos schedules must carry expiry metadata intact for replies
 /// to stay byte-identical.
 fn rig_with(replicas: usize, engine: EngineConfig) -> FleetRig {
+    rig_full(replicas, engine, None)
+}
+
+/// Like [`rig_with`], optionally running the background maintenance
+/// plane.
+fn rig_full(replicas: usize, engine: EngineConfig, maint: Option<MaintenanceConfig>) -> FleetRig {
     let m = SgxMachine::new(MachineConfig::tiny());
     let ut = ThreadCtx::untrusted(&m, 1);
     let fds: Vec<Fd> = (0..SHARDS).map(|_| m.host.socket(&ut, 256 << 10)).collect();
@@ -91,6 +97,7 @@ fn rig_with(replicas: usize, engine: EngineConfig) -> FleetRig {
         sealer,
         FleetConfig {
             engine,
+            maintenance: maint,
             ..FleetConfig::small(replicas)
         },
         |ctx, kvs| {
@@ -175,7 +182,22 @@ fn run_fleet_with(
     reqs: &[(u64, Req)],
     engine: EngineConfig,
 ) -> Vec<Vec<Vec<u8>>> {
-    let r = rig_with(replicas, engine);
+    run_fleet_full(replicas, schedule, reqs, engine, None)
+}
+
+/// [`run_fleet_with`] with the background maintenance plane when
+/// `maint` is set: kills and respawns take the background path, and a
+/// maintenance tick (engine byte-work + a delta round) runs after
+/// every round — exactly the interleaving the serving bench drives.
+fn run_fleet_full(
+    replicas: usize,
+    schedule: &[(usize, Fence)],
+    reqs: &[(u64, Req)],
+    engine: EngineConfig,
+    maint: Option<MaintenanceConfig>,
+) -> Vec<Vec<Vec<u8>>> {
+    let ticking = maint.is_some();
+    let r = rig_full(replicas, engine, maint);
     let ut = ThreadCtx::untrusted(&r.m, 1);
     let mut streams: Vec<VecDeque<Vec<u8>>> = vec![VecDeque::new(); SHARDS];
     let mut pushed: Vec<(u64, usize)> = Vec::with_capacity(reqs.len());
@@ -212,6 +234,9 @@ fn run_fleet_with(
                     }
                 }
             }
+        }
+        if ticking {
+            r.fk.maintenance_tick();
         }
     }
     let mut out = vec![Vec::new(); N_CONNS];
@@ -606,4 +631,126 @@ fn segment_replica_failover_preserves_ttl_items() {
     let st = r.m.stats.snapshot();
     assert_eq!(st.fleet_failovers, 2);
     assert_eq!(st.fleet_restores, 3);
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: the background maintenance plane is reply-transparent
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// A fleet running the background maintenance plane — delta
+    /// snapshots streaming between rounds, background kill/respawn,
+    /// engine byte-work on the maintenance core — returns
+    /// byte-identical per-connection replies to the fence-synchronous
+    /// single-replica baseline, on both engines, across every chaos
+    /// schedule. The maintenance plane may move *when and where* the
+    /// byte-work runs; it must never change what any client reads.
+    #[test]
+    fn background_maintenance_plane_is_reply_transparent(
+        seed in prop::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let maint = MaintenanceConfig {
+            core: 1,
+            hb_miss_threshold: 1000, // schedules drive kills explicitly
+            chunk_bytes: 4 << 10,
+        };
+        let segment = EngineConfig::Segment(SegmentConfig::default());
+        for (engine, replicas) in [
+            (EngineConfig::default(), 2usize),
+            (EngineConfig::default(), 3),
+            (segment, 2),
+        ] {
+            let reqs = request_stream(&seed);
+            let reference = run_fleet_with(1, &[], &reqs, engine.clone());
+            for schedule in schedules(replicas) {
+                let got = run_fleet_full(
+                    replicas,
+                    &schedule,
+                    &reqs,
+                    engine.clone(),
+                    Some(maint.clone()),
+                );
+                prop_assert_eq!(
+                    &got, &reference,
+                    "background plane diverged (replicas={}, schedule={:?})",
+                    replicas, &schedule
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: incremental == monolithic snapshot restore
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Restoring a base snapshot plus the delta since it lands a fresh
+    /// store in exactly the state a monolithic snapshot restores —
+    /// per-key byte equality, with the delta deterministically
+    /// non-empty (at least one second-interval write is forced), so
+    /// the incremental path the maintenance plane streams is provably
+    /// exercised.
+    #[test]
+    fn incremental_restore_equals_monolithic_restore(
+        seed in prop::collection::vec(any::<u8>(), 16..17),
+    ) {
+        let m = SgxMachine::new(MachineConfig::tiny());
+        let e = m.driver.create_enclave(&m, 1 << 20);
+        let mut t = ThreadCtx::for_enclave(&m, &e, 0);
+        t.enter();
+        let space = DataSpace::Untrusted(Arc::clone(&m));
+        let mk = |t: &mut ThreadCtx| {
+            let kvs = Kvs::new(space.clone(), space.clone(), 8 << 20, 256);
+            kvs.init(t);
+            kvs
+        };
+        let mut src = mk(&mut t);
+        // Phase 1 (interval 1): the base state.
+        src.set_write_version(1);
+        let n1 = 20 + (seed[0] as usize % 20);
+        for i in 0..n1 {
+            let b = seed[i % seed.len()];
+            src.set(&mut t, format!("k-{i}").as_bytes(), &vec![b ^ i as u8; 16 + (b as usize % 48)]);
+        }
+        let sealer = AesGcm128::new(&[0x2au8; 16]);
+        let base_snap = src.snapshot(&mut t, &sealer, 1, 1);
+        // Phase 2 (interval 2): overwrites and fresh keys; at least
+        // one write always happens, so the delta is never vacuous.
+        src.set_write_version(2);
+        src.set(&mut t, b"k-0", b"forced second-interval write");
+        for (i, &b) in seed.iter().enumerate().filter(|&(_, &b)| b % 3 == 0) {
+            src.set(&mut t, format!("k-{}", b as usize % n1).as_bytes(), &vec![b; 24 + i]);
+            src.set(&mut t, format!("fresh-{i}").as_bytes(), &[b ^ 0x55; 24]);
+        }
+        let mono_snap = src.snapshot(&mut t, &sealer, 1, 2);
+        let delta_snap = src.snapshot_since(&mut t, &sealer, 1, 2, 2);
+        prop_assert!(
+            m.stats.snapshot().snapshot_delta_items >= 1,
+            "the delta must carry the forced write"
+        );
+
+        let mut mono = mk(&mut t);
+        mono.restore(&mut t, &sealer, &mono_snap);
+        let mut incr = mk(&mut t);
+        incr.restore(&mut t, &sealer, &base_snap);
+        incr.restore(&mut t, &sealer, &delta_snap);
+
+        prop_assert_eq!(incr.len(), mono.len(), "store sizes diverged");
+        let mut keys = Vec::new();
+        mono.for_each_item(&mut t, |k, _| keys.push(k.to_vec()));
+        for k in keys {
+            prop_assert_eq!(
+                incr.get(&mut t, &k),
+                mono.get(&mut t, &k),
+                "key {:?} diverged between incremental and monolithic restore",
+                String::from_utf8_lossy(&k)
+            );
+        }
+        t.exit();
+    }
 }

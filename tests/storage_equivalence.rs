@@ -224,6 +224,7 @@ proptest! {
 /// and any divergence is the rebalancer's fault alone.
 fn run_transparency(
     rebalance: Option<RebalanceConfig>,
+    background: bool,
     del_seed: u64,
     fence_at: &[bool],
 ) -> (Arc<SgxMachine>, Vec<Option<Vec<u8>>>) {
@@ -242,6 +243,15 @@ fn run_transparency(
     let mut t = ThreadCtx::for_enclave(&m, &e, 0);
     t.enter();
     kvs.init(&mut t);
+    // Background mode: fences only publish; the relocation byte-work
+    // runs in maintenance ticks on a second core, interleaved at the
+    // same fence points the synchronous engine would have used.
+    let mut mt = background.then(|| {
+        kvs.set_background(true);
+        let mut mt = ThreadCtx::for_enclave(&m, &e, 1);
+        mt.enter();
+        mt
+    });
     for i in 0..SMALL {
         kvs.set(
             &mut t,
@@ -275,6 +285,9 @@ fn run_transparency(
             || (i + 1).is_multiple_of(64)
         {
             kvs.fence(&mut t);
+            if let Some(mt) = mt.as_mut() {
+                kvs.maintenance_tick(mt);
+            }
         }
     }
     let mut replies = Vec::new();
@@ -283,6 +296,9 @@ fn run_transparency(
     }
     for i in 0..LARGE {
         replies.push(kvs.get(&mut t, format!("lg-{i}").as_bytes()));
+    }
+    if let Some(mut mt) = mt {
+        mt.exit();
     }
     t.exit();
     (m, replies)
@@ -299,10 +315,33 @@ proptest! {
         del_seed in any::<u64>(),
         fence_at in prop::collection::vec(any::<bool>(), 1..48),
     ) {
-        let (_m0, baseline) = run_transparency(None, del_seed, &fence_at);
+        let (_m0, baseline) = run_transparency(None, false, del_seed, &fence_at);
         let (_m1, rebal) =
-            run_transparency(Some(RebalanceConfig::default()), del_seed, &fence_at);
+            run_transparency(Some(RebalanceConfig::default()), false, del_seed, &fence_at);
         prop_assert_eq!(baseline, rebal);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Background maintenance is reply-transparent too: relocations
+    /// driven from maintenance ticks on another core return
+    /// byte-identical GET results to the static baseline for any
+    /// fence schedule and delete pattern.
+    #[test]
+    fn background_rebalancer_is_reply_transparent(
+        del_seed in any::<u64>(),
+        fence_at in prop::collection::vec(any::<bool>(), 1..48),
+    ) {
+        let (_m0, baseline) = run_transparency(None, false, del_seed, &fence_at);
+        let (m1, rebal) =
+            run_transparency(Some(RebalanceConfig::default()), true, del_seed, &fence_at);
+        prop_assert_eq!(baseline, rebal);
+        prop_assert_eq!(
+            m1.stats.snapshot().maint_stall_cycles, 0,
+            "background relocation stalled a serving fence"
+        );
     }
 }
 
@@ -311,11 +350,29 @@ proptest! {
 /// class), so the proptest above exercises relocation, not a no-op.
 #[test]
 fn transparency_scaffold_moves_slabs() {
-    let (m, _) = run_transparency(Some(RebalanceConfig::default()), 0x5eed, &[true]);
+    let (m, _) = run_transparency(Some(RebalanceConfig::default()), false, 0x5eed, &[true]);
     let st = m.stats.snapshot();
     assert!(st.slab_moves > 0, "no slab moves: the proptest is vacuous");
     assert!(
         st.slab_items_relocated > 0,
         "no live items relocated: donor slabs were already empty"
+    );
+    assert!(
+        st.maint_stall_cycles > 0,
+        "synchronous rebalance fences must record their stall"
+    );
+}
+
+/// Non-vacuity for the background leg: the maintenance ticks really
+/// relocate slabs, and none of that work lands on the serving fence.
+#[test]
+fn background_transparency_scaffold_moves_slabs_off_the_fence() {
+    let (m, _) = run_transparency(Some(RebalanceConfig::default()), true, 0x5eed, &[true]);
+    let st = m.stats.snapshot();
+    assert!(st.slab_moves > 0, "background ticks moved no slabs");
+    assert!(st.slab_items_relocated > 0, "no live items relocated");
+    assert_eq!(
+        st.maint_stall_cycles, 0,
+        "background relocation must not stall serving fences"
     );
 }
